@@ -1,0 +1,66 @@
+"""Benchmark fixtures: full-scale datasets generated once per session.
+
+The benches time the *analysis* functions (the paper's figures) over a
+realistically-sized synthetic world — default 1:1000 of paper scale —
+and print a paper-vs-measured comparison report for every statistic the
+paper reads off each figure.  Reports are also written to
+``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.ecosystem import EcosystemConfig, build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import run_pipeline
+from repro.platform_m2m import PlatformConfig, simulate_m2m_dataset
+
+#: Device-count scale for benches (override with REPRO_BENCH_DEVICES).
+M2M_DEVICES = int(os.environ.get("REPRO_BENCH_M2M_DEVICES", "2000"))
+MNO_DEVICES = int(os.environ.get("REPRO_BENCH_MNO_DEVICES", "3000"))
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def eco():
+    return build_default_ecosystem(EcosystemConfig(uk_sites=120, seed=11))
+
+
+@pytest.fixture(scope="session")
+def m2m_dataset(eco):
+    return simulate_m2m_dataset(eco, PlatformConfig(n_devices=M2M_DEVICES, seed=42))
+
+
+@pytest.fixture(scope="session")
+def mno_dataset(eco):
+    return simulate_mno_dataset(eco, MNOConfig(n_devices=MNO_DEVICES, seed=7))
+
+
+@pytest.fixture(scope="session")
+def pipeline(eco, mno_dataset):
+    return run_pipeline(mno_dataset, eco)
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Print a report, persist it, and assert its acceptance windows."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _emit(report: ExperimentReport) -> None:
+        text = report.format()
+        print("\n" + text)
+        path = REPORT_DIR / f"{report.experiment_id.lower()}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        failing = report.failing_rows()
+        assert report.all_hold, (
+            f"{report.experiment_id}: shape checks failed for "
+            f"{[row.statistic for row in failing]}\n{text}"
+        )
+
+    return _emit

@@ -1,0 +1,55 @@
+"""CLEARING — M2M load on the clearing/settlement machinery (§2.1, §9).
+
+§9: inbound-roaming things "put stress on the MNO [as] part of the
+international roaming ecosystem (i.e., MNO interconnection signaling
+through a roaming hub, data and financial clearing)".  This bench runs
+a full clearing cycle over the simulated MNO's inbound traffic and
+measures the records-per-euro overhead the M2M lanes impose.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.core.classifier import ClassLabel
+from repro.roaming.billing import WholesaleRater
+from repro.roaming.clearing import (
+    ClearingHouse,
+    clearing_load_per_euro,
+    statements_from_tap,
+)
+
+
+def test_clearing_cycle(benchmark, pipeline, eco, emit_report):
+    rater = WholesaleRater(str(eco.uk_mno.plmn))
+    tap = rater.rate_records(pipeline.dataset.service_records)
+    statements = statements_from_tap(tap)
+    house = ClearingHouse()
+
+    settlement = benchmark(house.reconcile, statements, statements)
+
+    report = ExperimentReport("CLEARING", "clearing-cycle load and integrity")
+    report.add(
+        "records cleared", "scales with inbound usage",
+        settlement.n_records_cleared, window=(1000, 10**9),
+    )
+    report.add(
+        "dispute rate with identical books", "0",
+        settlement.dispute_rate, window=(0.0, 0.0),
+    )
+
+    load = clearing_load_per_euro(statements)
+    nl_plmn = str(eco.nl_iot_operator.plmn)
+    person_lanes = [
+        plmn for plmn in load
+        if plmn != nl_plmn and not plmn.startswith(("21407", "33407", "72207", "26207"))
+    ]
+    person_load = min((load[p] for p in person_lanes), default=float("nan"))
+    report.add(
+        "records/EUR on the IoT-SIM lane (NL-IoT)", "far above person lanes",
+        load.get(nl_plmn, 0.0), window=(person_load, float("inf")),
+    )
+    report.note(
+        f"NL-IoT lane: {load.get(nl_plmn, 0):.0f} records/EUR vs best person "
+        f"lane {person_load:.0f} records/EUR"
+    )
+    emit_report(report)

@@ -1,0 +1,46 @@
+"""DIST — HMNO-VMNO distance structure of the platform (§3.2).
+
+"The geographical distances between the HMNO and the VMNO are not
+always small (e.g., Spain to Australia), pointing to potential serious
+performance penalties in the case of HR roaming.  In this case, the
+M2M platform uses different roaming configurations…"
+"""
+
+import pytest
+
+from repro.analysis.distances import farthest_pairs, roaming_distances
+from repro.analysis.report import ExperimentReport
+
+
+def test_platform_distance_structure(benchmark, m2m_dataset, eco, emit_report):
+    result = benchmark(
+        roaming_distances, m2m_dataset, eco.countries, hub=eco.hub
+    )
+
+    report = ExperimentReport("DIST", "HMNO-VMNO distances and HR penalty")
+    report.add(
+        "median roaming distance (km)", "regional (EU-dominated)",
+        result.txn_distance.median, window=(300, 4000),
+    )
+    report.add(
+        "intercontinental transaction share (>5000 km)", "non-trivial tail",
+        result.intercontinental_share, window=(0.001, 0.30),
+    )
+    report.add(
+        "max device reach (km)", "Spain-to-Australia scale",
+        result.device_max_distance.max, window=(8000, 20100),
+    )
+    report.add(
+        "share of roaming broken out at the hub", "far destinations only",
+        result.ihbo_share, window=(0.0, 0.40),
+    )
+    report.add(
+        "user-plane distance saved by the mixed policy", ">=0",
+        result.detour_saving, window=(0.0, 1.0),
+    )
+    pairs = farthest_pairs(m2m_dataset, eco.countries, k=3)
+    report.note(
+        "farthest observed pairs: "
+        + ", ".join(f"{h}->{v} {d:.0f} km" for h, v, d in pairs)
+    )
+    emit_report(report)

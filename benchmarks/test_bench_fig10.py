@@ -1,0 +1,76 @@
+"""FIG10 — Traffic analysis for in-roaming and native devices (Fig. 10).
+
+* M2M devices trigger far fewer resource-management events than
+  smartphones; feature phones are lowest;
+* the vast majority of M2M devices place no voice calls;
+* inbound-roaming M2M data volume is tiny, similar to inbound feature
+  phones;
+* inbound-roaming smartphones use much less data than native ones
+  (bill-shock behaviour).
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.traffic import RoamingGroup, fig10_traffic_volumes
+from repro.core.classifier import ClassLabel
+
+
+def test_fig10_traffic_volumes(benchmark, pipeline, emit_report):
+    result = benchmark(fig10_traffic_volumes, pipeline)
+
+    report = ExperimentReport("FIG10", "signaling / calls / data per class")
+    smart_native_sig = result.median(
+        "signaling_per_day", ClassLabel.SMART, RoamingGroup.NATIVE
+    )
+    m2m_inbound_sig = result.median(
+        "signaling_per_day", ClassLabel.M2M, RoamingGroup.INBOUND
+    )
+    feat_native_sig = result.median(
+        "signaling_per_day", ClassLabel.FEAT, RoamingGroup.NATIVE
+    )
+    report.add(
+        "m2m signaling below smartphone signaling (ratio)", "<1",
+        m2m_inbound_sig / smart_native_sig, window=(0.0, 0.9),
+    )
+    report.add(
+        "feature-phone signaling below m2m signaling (ratio)", "<1",
+        feat_native_sig / m2m_inbound_sig, window=(0.0, 1.0),
+    )
+    report.add(
+        "inbound m2m devices with zero calls", "vast majority",
+        result.zero_call_fraction(ClassLabel.M2M, RoamingGroup.INBOUND),
+        window=(0.55, 1.0),
+    )
+    smart_native_bytes = result.median(
+        "bytes_per_day", ClassLabel.SMART, RoamingGroup.NATIVE
+    )
+    smart_inbound_bytes = result.median(
+        "bytes_per_day", ClassLabel.SMART, RoamingGroup.INBOUND
+    )
+    m2m_inbound_bytes = result.median(
+        "bytes_per_day", ClassLabel.M2M, RoamingGroup.INBOUND
+    )
+    feat_inbound_bytes = result.median(
+        "bytes_per_day", ClassLabel.FEAT, RoamingGroup.INBOUND
+    )
+    report.add(
+        "inbound/native smartphone data ratio (bill shock)", "<<1",
+        smart_inbound_bytes / smart_native_bytes, window=(0.0, 0.5),
+    )
+    report.add(
+        "inbound m2m / native smartphone data ratio", "~0",
+        m2m_inbound_bytes / smart_native_bytes, window=(0.0, 0.01),
+    )
+    m2m_vs_feat = (
+        m2m_inbound_bytes / feat_inbound_bytes if feat_inbound_bytes else 1.0
+    )
+    report.add(
+        "inbound m2m data ~ inbound feature-phone data (ratio)", "~1",
+        m2m_vs_feat, window=(0.05, 20.0),
+    )
+    report.note(
+        f"medians/day: smart-native sig {smart_native_sig:.1f}, "
+        f"m2m-inbound sig {m2m_inbound_sig:.1f}, feat-native sig {feat_native_sig:.1f}"
+    )
+    emit_report(report)

@@ -1,0 +1,56 @@
+"""FIG12 — Connected cars vs smart meters (paper Fig. 12, §7.2).
+
+* connected cars behave like inbound-roaming smartphones: high
+  mobility, large signaling and data volumes;
+* smart meters are stationary and quiet on both planes.
+
+Vertical membership comes from the classifier's APN evidence, exactly
+like the paper's §7.2 separation.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.verticals import fig12_verticals
+
+
+def test_fig12_cars_vs_meters(benchmark, pipeline, emit_report):
+    result = benchmark(fig12_verticals, pipeline)
+
+    report = ExperimentReport("FIG12", "connected cars vs smart meters")
+    # Meters snap to a single sector, so their mean gyration is ~0 and a
+    # ratio is numerically unbounded; absolute levels carry the contrast.
+    report.add(
+        "cars mean gyration (km)", "person/vehicle scale",
+        result.cars.gyration_km.mean, window=(10.0, 500.0),
+    )
+    report.add(
+        "meters mean gyration (km)", "~0 (stationary)",
+        result.meters.gyration_km.mean, window=(0.0, 1.0),
+    )
+    report.add(
+        "car/meter signaling per day ratio", ">>1",
+        result.cars.signaling_per_day.mean / result.meters.signaling_per_day.mean,
+        window=(2.0, 100.0),
+    )
+    report.add(
+        "car/meter data volume ratio", ">>1",
+        result.cars.bytes_per_day.mean / result.meters.bytes_per_day.mean,
+        window=(20.0, 1e9),
+    )
+    car_vs_phone_gyration = (
+        result.cars.gyration_km.mean / result.inbound_smartphones.gyration_km.mean
+    )
+    report.add(
+        "cars' mobility ~ inbound smartphones (gyration ratio)", "~1",
+        car_vs_phone_gyration, window=(0.3, 4.0),
+    )
+    report.add(
+        "meters mostly below 1 km gyration", "stationary",
+        result.meters.gyration_km.fraction_at_most(1.0), window=(0.7, 1.0),
+    )
+    report.note(
+        f"{result.cars.n_devices} cars, {result.meters.n_devices} meters, "
+        f"{result.inbound_smartphones.n_devices} inbound smartphones"
+    )
+    emit_report(report)

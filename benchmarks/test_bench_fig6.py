@@ -1,0 +1,46 @@
+"""FIG6 — Device class vs roaming label heatmaps (paper Fig. 6).
+
+* of inbound roamers (I:H), 71.1% are M2M and 27.1% smartphones;
+* of M2M devices, 74.7% are inbound roamers;
+* smartphones and feature phones are overwhelmingly native/MVNO
+  (only 12.1% / 6.4% inbound).
+"""
+
+import pytest
+
+from repro.analysis.population import fig6_class_vs_label
+from repro.analysis.report import ExperimentReport
+from repro.core.classifier import ClassLabel
+
+
+def test_fig6_class_vs_label(benchmark, pipeline, emit_report):
+    result = benchmark(fig6_class_vs_label, pipeline)
+
+    report = ExperimentReport("FIG6", "device class x roaming label")
+    report.add(
+        "M2M share of inbound roamers (I:H column)", "71.1%",
+        result.share_of_label("I:H", ClassLabel.M2M), window=(0.60, 0.82),
+    )
+    report.add(
+        "smartphone share of inbound roamers", "27.1%",
+        result.share_of_label("I:H", ClassLabel.SMART), window=(0.15, 0.38),
+    )
+    report.add(
+        "inbound share of M2M devices (row)", "74.7%",
+        result.share_of_class(ClassLabel.M2M, "I:H"), window=(0.60, 0.85),
+    )
+    report.add(
+        "inbound share of smartphones", "12.1%",
+        result.share_of_class(ClassLabel.SMART, "I:H"), window=(0.06, 0.20),
+    )
+    report.add(
+        "inbound share of feature phones", "6.4%",
+        result.share_of_class(ClassLabel.FEAT, "I:H"), window=(0.01, 0.14),
+    )
+    native_smart = result.share_of_class(ClassLabel.SMART, "H:H") + \
+        result.share_of_class(ClassLabel.SMART, "V:H")
+    report.add(
+        "native+MVNO share of smartphones", "~85%",
+        native_smart, window=(0.70, 0.95),
+    )
+    emit_report(report)

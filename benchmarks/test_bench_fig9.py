@@ -1,0 +1,64 @@
+"""FIG9 — Device share per RAT for connectivity / data / voice (Fig. 9).
+
+* 77.4% of M2M devices are active on the 2G network only;
+* 56.7% of M2M devices are 2G-data-only, 24.5% use no data at all;
+* 60.6% of M2M devices use 2G voice, 27.5% produce no voice traffic;
+* 56.8% of feature phones produce no data but only 7.3% no voice;
+* smartphones live on 3G/4G.
+"""
+
+import pytest
+
+from repro.analysis.network_usage import fig9_network_usage
+from repro.analysis.report import ExperimentReport
+from repro.core.classifier import ClassLabel
+
+
+def test_fig9_network_usage(benchmark, pipeline, emit_report):
+    result = benchmark(fig9_network_usage, pipeline)
+
+    report = ExperimentReport("FIG9", "RAT dependence per device class")
+    report.add(
+        "m2m connectivity 2G-only", "77.4%",
+        result.share("connectivity", ClassLabel.M2M, "2G-only"),
+        window=(0.65, 0.85),
+    )
+    report.add(
+        "m2m data 2G-only", "56.7%",
+        result.share("data", ClassLabel.M2M, "2G-only"), window=(0.42, 0.68),
+    )
+    report.add(
+        "m2m with no data activity", "24.5%",
+        result.share("data", ClassLabel.M2M, "none"), window=(0.15, 0.33),
+    )
+    report.add(
+        "m2m voice on 2G", "60.6%",
+        result.share("voice", ClassLabel.M2M, "2G-only"), window=(0.42, 0.72),
+    )
+    report.add(
+        "m2m with no voice traffic", "27.5%",
+        result.share("voice", ClassLabel.M2M, "none"), window=(0.18, 0.42),
+    )
+    report.add(
+        "feature phones with no data", "56.8%",
+        result.share("data", ClassLabel.FEAT, "none"), window=(0.40, 0.70),
+    )
+    report.add(
+        "feature phones with no voice", "7.3%",
+        result.share("voice", ClassLabel.FEAT, "none"), window=(0.0, 0.16),
+    )
+    report.add(
+        "smartphones 2G-only", "≈0",
+        result.share("connectivity", ClassLabel.SMART, "2G-only"),
+        window=(0.0, 0.08),
+    )
+    smart_34 = sum(
+        share
+        for pattern, share in result.connectivity[ClassLabel.SMART].items()
+        if "4G" in pattern or "3G" in pattern
+    )
+    report.add(
+        "smartphones touching 3G/4G", "vast majority",
+        smart_34, window=(0.85, 1.0),
+    )
+    emit_report(report)

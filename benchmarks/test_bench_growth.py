@@ -1,0 +1,46 @@
+"""GROWTH — the §9 IoT-market projection applied to the visited MNO.
+
+"In a market expected to reach 75.44 billion worldwide by 2025, i.e.,
+almost 10x the estimated world population…" — first-order projection:
+M2M headcount scales, person devices and per-device behaviour stay as
+measured today.
+"""
+
+import pytest
+
+from repro.analysis.growth import project_growth
+from repro.analysis.report import ExperimentReport
+
+
+def test_growth_projection(benchmark, pipeline, emit_report):
+    curve = benchmark(project_growth, pipeline, (1.0, 2.0, 5.0, 10.0))
+    today, ten_x = curve[0], curve[-1]
+
+    report = ExperimentReport("GROWTH", "M2M growth projection (to ~10x)")
+    report.add(
+        "m2m device share today (incl. maybe)", "~30%",
+        today.m2m_device_share, window=(0.22, 0.38),
+    )
+    report.add(
+        "m2m device share at 10x", "dominant",
+        ten_x.m2m_device_share, window=(0.70, 0.95),
+    )
+    report.add(
+        "m2m signaling share at 10x", "large minority+",
+        ten_x.m2m_signaling_share, window=(0.25, 0.90),
+    )
+    report.add(
+        "m2m revenue share at 10x", "still small",
+        ten_x.m2m_revenue_share, window=(0.0, 0.35),
+    )
+    report.add(
+        "signaling-revenue gap widens (10x minus today)", ">0",
+        (ten_x.m2m_signaling_share - ten_x.m2m_revenue_share)
+        - (today.m2m_signaling_share - today.m2m_revenue_share),
+        window=(0.0, 1.0),
+    )
+    report.add(
+        "stress index at 10x (signaling/revenue share)", ">>1",
+        ten_x.stress_index, window=(1.5, 1e6),
+    )
+    emit_report(report)

@@ -1,0 +1,45 @@
+"""PERF — throughput of the core pipeline stages.
+
+Not a paper figure: these benches track the cost of the devices-catalog
+build and the classification pass, the two stages an operator would run
+daily at 39.6M-device scale.
+"""
+
+import pytest
+
+from repro.core.catalog import CatalogBuilder
+from repro.core.classifier import DeviceClassifier
+from repro.core.roaming import RoamingLabeler
+
+
+def test_catalog_build_throughput(benchmark, eco, mno_dataset):
+    labeler = RoamingLabeler(eco.operators, eco.uk_mno)
+    builder = CatalogBuilder(
+        mno_dataset.tac_db, mno_dataset.sector_catalog, labeler,
+        compute_mobility=False,
+    )
+    day_records, summaries = benchmark(
+        builder.build, mno_dataset.radio_events, mno_dataset.service_records
+    )
+    assert len(summaries) == mno_dataset.n_devices
+
+
+def test_classification_throughput(benchmark, pipeline):
+    classifier = DeviceClassifier()
+    result = benchmark(classifier.classify, pipeline.summaries)
+    assert len(result) == len(pipeline.summaries)
+
+
+def test_roaming_labeling_throughput(benchmark, eco, mno_dataset):
+    labeler = RoamingLabeler(eco.operators, eco.uk_mno)
+    observer = str(eco.uk_mno.plmn)
+    pairs = [
+        (record.sim_plmn, record.visited_plmn)
+        for record in mno_dataset.service_records[:20000]
+    ]
+
+    def label_all():
+        return [labeler.label(sim, visited) for sim, visited in pairs]
+
+    labels = benchmark(label_all)
+    assert len(labels) == len(pairs)

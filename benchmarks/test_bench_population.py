@@ -1,0 +1,58 @@
+"""TAB-S4 — population composition statistics (§4.2, §4.3).
+
+* whole-period class shares: 62% smart, 8% feat, 26% m2m, 4% m2m-maybe;
+* per-day roaming-label shares: ~48% H:H, ~33% V:H, ~18% I:H, stable
+  across the window;
+* the per-day inbound share is lower than the whole-period share
+  (visitor churn).
+"""
+
+import pytest
+
+from repro.analysis.population import population_shares
+from repro.analysis.report import ExperimentReport
+from repro.core.classifier import ClassLabel
+
+
+def test_population_shares(benchmark, pipeline, emit_report):
+    shares = benchmark(population_shares, pipeline)
+
+    report = ExperimentReport("TAB-S4", "device population composition")
+    report.add(
+        "smartphone class share", "62%",
+        shares.class_shares[ClassLabel.SMART], window=(0.55, 0.68),
+    )
+    report.add(
+        "feature-phone class share", "8%",
+        shares.class_shares[ClassLabel.FEAT], window=(0.05, 0.13),
+    )
+    report.add(
+        "m2m class share", "26%",
+        shares.class_shares[ClassLabel.M2M], window=(0.21, 0.31),
+    )
+    report.add(
+        "m2m-maybe residue", "4%",
+        shares.class_shares[ClassLabel.M2M_MAYBE], window=(0.015, 0.07),
+    )
+    report.add(
+        "per-day H:H share", "~48%",
+        shares.per_day_label_shares.get("H:H", 0.0), window=(0.40, 0.60),
+    )
+    report.add(
+        "per-day V:H share", "~33%",
+        shares.per_day_label_shares.get("V:H", 0.0), window=(0.22, 0.40),
+    )
+    report.add(
+        "per-day I:H share", "~18%",
+        shares.per_day_label_shares.get("I:H", 0.0), window=(0.08, 0.24),
+    )
+    churn = (
+        shares.label_shares.get("I:H", 0.0)
+        - shares.per_day_label_shares.get("I:H", 0.0)
+    )
+    report.add(
+        "whole-period minus per-day inbound share (churn)", ">0",
+        churn, window=(0.0, 0.5),
+    )
+    report.note(f"{shares.n_devices} devices (paper: 39.6M; ~1:13000 scale)")
+    emit_report(report)

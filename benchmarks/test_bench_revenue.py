@@ -1,0 +1,60 @@
+"""REVENUE — the §6 revenue asymmetry and §8 silent roamers.
+
+"Though these devices occupy radio resources in MNOs networks and
+exploit the MNOs interconnections in the cellular ecosystem, they do
+not generate traffic that would allow MNOs to accrue revenue."
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.revenue import revenue_by_class, silent_roamers
+from repro.core.classifier import ClassLabel
+from repro.devices.device import DeviceClass
+
+
+def test_revenue_asymmetry(benchmark, pipeline, emit_report):
+    report_obj = benchmark(revenue_by_class, pipeline)
+
+    smart = report_obj.by_class[ClassLabel.SMART]
+    m2m = report_obj.by_class[ClassLabel.M2M]
+
+    report = ExperimentReport("REVENUE", "inbound-roamer wholesale revenue")
+    report.add(
+        "smartphone/m2m mean revenue per device", ">>1",
+        smart.mean_eur / m2m.mean_eur if m2m.mean_eur else float("inf"),
+        window=(2.0, 1e6),
+    )
+    report.add(
+        "m2m signaling/revenue asymmetry vs smartphones", ">1",
+        report_obj.asymmetry(ClassLabel.M2M)
+        / max(1e-9, report_obj.asymmetry(ClassLabel.SMART)),
+        window=(1.5, 1e6),
+    )
+    report.add(
+        "m2m share of inbound signaling", "majority (71% of devices)",
+        report_obj.signaling_share.get(ClassLabel.M2M, 0.0), window=(0.35, 0.95),
+    )
+    report.add(
+        "m2m share of inbound revenue", "small",
+        report_obj.revenue_share.get(ClassLabel.M2M, 0.0), window=(0.0, 0.45),
+    )
+
+    silent = silent_roamers(pipeline)
+    inbound = [
+        s for s in pipeline.summaries.values() if s.label.is_inbound_roamer
+    ]
+    report.add(
+        "silent-roamer share of inbound population", "substantial (§8)",
+        len(silent) / len(inbound), window=(0.05, 0.8),
+    )
+    m2m_silent = sum(
+        1
+        for d in silent
+        if pipeline.dataset.ground_truth[d].device_class is DeviceClass.M2M
+    )
+    report.add(
+        "m2m share of silent roamers", "majority",
+        m2m_silent / len(silent) if silent else 0.0, window=(0.5, 1.0),
+    )
+    emit_report(report)

@@ -1,0 +1,39 @@
+"""STAB — temporal stability of the composition (§4.2).
+
+"The shares of devices of the roaming labels are stable across the 22
+days we verify."
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.stability import share_stability
+from repro.core.classifier import ClassLabel
+
+
+def test_share_stability(benchmark, pipeline, emit_report):
+    result = benchmark(share_stability, pipeline)
+
+    report = ExperimentReport("STAB", "day-to-day share stability")
+    report.add(
+        "days with activity", "22",
+        result.n_days, window=(20, 22),
+    )
+    report.add(
+        "worst daily deviation, roaming labels", "stable (small)",
+        result.worst_label_deviation(), window=(0.0, 0.08),
+    )
+    report.add(
+        "worst daily deviation, device classes", "stable (small)",
+        result.worst_class_deviation(), window=(0.0, 0.08),
+    )
+    report.add(
+        "H:H daily mean share", "~48%",
+        result.label_series["H:H"].mean, window=(0.40, 0.60),
+    )
+    report.add(
+        "m2m daily-share instability (relative)", "small",
+        result.class_series[ClassLabel.M2M].relative_instability,
+        window=(0.0, 0.35),
+    )
+    emit_report(report)

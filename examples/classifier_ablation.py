@@ -1,0 +1,73 @@
+"""Ablating the §4.3 classifier: what each pipeline step buys.
+
+The paper argues a multi-step process (APN keywords -> validated APNs ->
+device-property propagation -> GSMA rules) is necessary because ~21% of
+devices never expose an APN.  This example quantifies that argument:
+it runs the classifier with steps disabled and scores every variant
+against simulator ground truth.
+
+Run:  python examples/classifier_ablation.py
+"""
+
+import os
+
+from repro.core.classifier import (
+    ClassifierConfig,
+    ClassLabel,
+    DeviceClassifier,
+    rank_apns,
+)
+from repro.core.validation import validate_classification
+from repro.ecosystem import build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import run_pipeline
+
+VARIANTS = {
+    "full method": ClassifierConfig(),
+    "no property propagation": ClassifierConfig(use_property_propagation=False),
+    "no APN keywords": ClassifierConfig(use_apn_keywords=False),
+    "no GSMA rules": ClassifierConfig(use_gsma_rules=False),
+}
+
+
+def main() -> None:
+    eco = build_default_ecosystem()
+    n_devices = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "1500"))
+    print(f"simulating the visited MNO ({n_devices} devices) ...")
+    dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=n_devices, seed=19))
+    base = run_pipeline(dataset, eco, compute_mobility=False)
+
+    no_apn_share = sum(
+        1 for s in base.summaries.values() if not s.apns
+    ) / len(base.summaries)
+    print(f"devices exposing no APN at all: {no_apn_share:.0%} (paper: ~21%)")
+
+    print("\nAPNs ranked by device count (the analyst's starting point):")
+    for apn, count in rank_apns(base.summaries.values())[:8]:
+        print(f"  {count:5d}  {apn}")
+
+    header = f"\n{'variant':<26} {'m2m':>6} {'maybe':>6} {'acc':>6} {'m2m-rec':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, config in VARIANTS.items():
+        classifications = DeviceClassifier(config).classify(base.summaries)
+        report = validate_classification(classifications, dataset.ground_truth)
+        m2m = sum(
+            1 for c in classifications.values() if c.label is ClassLabel.M2M
+        ) / len(classifications)
+        maybe = sum(
+            1 for c in classifications.values() if c.label is ClassLabel.M2M_MAYBE
+        ) / len(classifications)
+        print(
+            f"{name:<26} {m2m:6.1%} {maybe:6.1%} {report.accuracy:6.1%} "
+            f"{report.per_class[ClassLabel.M2M].recall:8.1%}"
+        )
+
+    print(
+        "\nreading: dropping propagation pushes voice-only machines into "
+        "m2m-maybe; dropping the APN step removes the seed entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

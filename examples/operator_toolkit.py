@@ -1,0 +1,68 @@
+"""The operator's day-2 toolkit: streaming, export, GGSN planning, report.
+
+Beyond reproducing the paper's figures, the library is meant to be
+*used*.  This example walks the workflows an operator analyst would run:
+
+1. **streaming generation** — produce the dataset day by day with
+   bounded memory (the only way at 39.6M-device scale);
+2. **catalog export** — materialize the daily devices-catalog as CSV,
+   the artifact analysts actually share;
+3. **GGSN capacity planning** — quantify what the dedicated smart-meter
+   gateway pool (§4.4) protects the native users from;
+4. **the one-file reproduction report** — every figure in one Markdown
+   document.
+
+Run:  python examples/operator_toolkit.py
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.datasets.export import write_day_records, write_summaries
+from repro.ecosystem import build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.mno.ggsn import isolation_benefit
+from repro.mno.streaming import StreamingMNOSimulator
+from repro.pipeline import run_pipeline
+from repro.platform_m2m import PlatformConfig, simulate_m2m_dataset
+from repro.reporting import build_report
+
+
+def main() -> None:
+    eco = build_default_ecosystem()
+    n_devices = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "1000"))
+    out_dir = Path(tempfile.mkdtemp(prefix="repro_toolkit_"))
+
+    print(f"-- 1. streaming generation ({n_devices} devices, day by day) --")
+    streaming = StreamingMNOSimulator(eco, MNOConfig(n_devices=n_devices, seed=13))
+    peak_day = max(streaming.days(), key=lambda batch: batch.n_records)
+    print(f"  busiest day: day {peak_day.day} with {peak_day.n_records} records "
+          f"({len(peak_day.radio_events)} radio, "
+          f"{len(peak_day.service_records)} service)")
+
+    print("\n-- 2. batch pipeline + catalog export --")
+    dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=n_devices, seed=13))
+    result = run_pipeline(dataset, eco)
+    n_rows = write_day_records(out_dir / "catalog_days.csv", result.day_records)
+    n_sum = write_summaries(out_dir / "catalog_summaries.csv", result.summaries.values())
+    print(f"  exported {n_rows} daily rows + {n_sum} summaries to {out_dir}")
+
+    print("\n-- 3. GGSN isolation planning (§4.4) --")
+    benefit = isolation_benefit(dataset.service_records, dataset.window_days)
+    print(f"  meter pool peak: {benefit.meter_pool_peak:.0f} sessions/h "
+          f"at {benefit.meter_pool_peak_hour:02d}:00 (the nightly batch)")
+    print(f"  consumer-pool peak: {benefit.shared_peak_with_isolation:.0f}/h "
+          f"isolated vs {benefit.shared_peak_without_isolation:.0f}/h flat "
+          f"(+{benefit.peak_increase_without_isolation:.1%} without the dedicated pool)")
+
+    print("\n-- 4. one-file reproduction report --")
+    m2m = simulate_m2m_dataset(eco, PlatformConfig(n_devices=n_devices, seed=42))
+    report_path = out_dir / "REPORT.md"
+    report_path.write_text(build_report(m2m, result, eco), encoding="utf-8")
+    print(f"  wrote {report_path} "
+          f"({len(report_path.read_text().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The §6 punchline in numbers: things occupy the network, people pay.
+
+Combines the roaming substrate's billing model with the simulated MNO
+dataset to quantify the revenue asymmetry the paper highlights: M2M
+inbound roamers hold radio resources but generate almost no billable
+wholesale traffic.  Also illustrates the §2 routing configurations: the
+extra user-plane distance of home-routed roaming versus hub breakout
+for far-away fleets.
+
+Run:  python examples/roaming_economics.py
+"""
+
+import os
+from collections import defaultdict
+
+from repro.cellular.geo import GeoPoint
+from repro.core.classifier import ClassLabel
+from repro.ecosystem import build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import run_pipeline
+from repro.roaming.billing import WholesaleRater
+from repro.roaming.configs import RoamingConfig, user_plane_path_km
+
+
+def main() -> None:
+    eco = build_default_ecosystem()
+    n_devices = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "1500"))
+    print(f"simulating the visited MNO ({n_devices} devices) ...")
+    dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=n_devices, seed=31))
+    result = run_pipeline(dataset, eco, compute_mobility=False)
+
+    print("\n-- wholesale revenue per inbound-roamer class (§6) --")
+    rater = WholesaleRater(str(eco.uk_mno.plmn))
+    tap = rater.rate_records(dataset.service_records)
+    revenue = WholesaleRater.revenue_per_device(tap)
+
+    per_class = defaultdict(lambda: [0.0, 0])
+    for device_id, summary in result.summaries.items():
+        if not summary.label.is_inbound_roamer:
+            continue
+        label = result.classifications[device_id].label
+        per_class[label][0] += revenue.get(device_id, 0.0)
+        per_class[label][1] += 1
+    for label in (ClassLabel.SMART, ClassLabel.FEAT, ClassLabel.M2M):
+        total, count = per_class[label]
+        if count:
+            print(f"  {label.value:>6}: {count:4d} inbound devices, "
+                  f"avg wholesale claim {total / count:8.4f} EUR over the window")
+
+    smart_avg = per_class[ClassLabel.SMART][0] / max(1, per_class[ClassLabel.SMART][1])
+    m2m_avg = per_class[ClassLabel.M2M][0] / max(1, per_class[ClassLabel.M2M][1])
+    if m2m_avg > 0:
+        print(f"  -> a roaming smartphone is worth {smart_avg / m2m_avg:.0f}x "
+              f"a roaming thing in wholesale revenue")
+
+    print("\n-- routing configurations for far-away fleets (§2.1, Fig. 1) --")
+    home_gw = GeoPoint(40.4, -3.7)  # the Spanish HMNO's PGW
+    for iso in ("GB", "DE", "AU", "JP", "CL"):
+        country = eco.countries.by_iso(iso)
+        device = GeoPoint(country.lat, country.lon)
+        pop = eco.hub.nearest_pop(device)
+        hr = user_plane_path_km(RoamingConfig.HOME_ROUTED, device, home_gw)
+        ihbo = user_plane_path_km(
+            RoamingConfig.IPX_HUB_BREAKOUT, device, home_gw, pop.location
+        )
+        print(f"  ES SIM roaming in {iso}: HR detour {hr:7.0f} km, "
+              f"IHBO via {pop.country_iso} PoP {ihbo:7.0f} km "
+              f"({'IHBO wins' if ihbo < hr else 'HR fine'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The §8 discussion, quantified: sunsets, transparency, silent roamers.
+
+Three what-ifs the paper raises but cannot compute on its closed data:
+
+1. **Legacy sunsets** — how much of each device class is stranded when
+   2G (and 3G) are retired, per the paper's "MNOs in Europe are
+   reportedly planning to retire their legacy 2G/3G networks";
+2. **GSMA transparency** — if home operators declared their M2M APNs
+   and IMSI ranges (IR.88-style), how much of the classification
+   problem would disappear;
+3. **Silent roamers** — the inbound devices that hold radio resources
+   while generating no billable traffic.
+
+Run:  python examples/sunset_and_transparency.py
+"""
+
+import os
+
+from repro.analysis.revenue import revenue_by_class, silent_roamers
+from repro.analysis.sunset import SUNSET_2G, SUNSET_2G_3G, sunset_impact
+from repro.core.transparency import (
+    TransparencyDetector,
+    coverage_report,
+    default_declarations,
+)
+from repro.ecosystem import build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import run_pipeline
+
+
+def main() -> None:
+    eco = build_default_ecosystem()
+    n_devices = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "1500"))
+    print(f"simulating the visited MNO ({n_devices} devices) ...")
+    dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=n_devices, seed=23))
+    result = run_pipeline(dataset, eco, compute_mobility=False)
+
+    print("\n-- 1. legacy-RAT sunset impact --")
+    for scenario in (SUNSET_2G, SUNSET_2G_3G):
+        print(sunset_impact(result, scenario).format())
+
+    print("\n-- 2. transparency declarations vs the classifier --")
+    registry = default_declarations(
+        str(eco.nl_iot_operator.plmn),
+        [str(op.plmn) for op in eco.platform_hmnos.values()],
+    )
+    detected = TransparencyDetector(registry).detect_by_apn(result.summaries)
+    print(f"declared operators: {sorted(registry.declaring_operators())}")
+    print(coverage_report(
+        detected, result.classifications, dataset.ground_truth
+    ).format())
+
+    print("\n-- 3. silent roamers and the revenue gap --")
+    print(revenue_by_class(result).format())
+    silent = silent_roamers(result)
+    inbound = sum(
+        1 for s in result.summaries.values() if s.label.is_inbound_roamer
+    )
+    print(f"silent roamers: {len(silent)} of {inbound} inbound devices "
+          f"({len(silent) / inbound:.0%})")
+
+
+if __name__ == "__main__":
+    main()

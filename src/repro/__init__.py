@@ -1,0 +1,5 @@
+"""Reproduction of "Where Things Roam" (IMC 2020) as a library.
+
+See README.md for the tour; DESIGN.md for the system inventory; and
+EXPERIMENTS.md for the paper-vs-measured reproduction status.
+"""

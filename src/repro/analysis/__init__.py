@@ -1,0 +1,23 @@
+"""Per-figure analyses: the code behind every table and figure.
+
+Each module mirrors one piece of the paper's evaluation:
+
+================  ==========================================================
+module            reproduces
+================  ==========================================================
+``stats``         ECDF/quantile/share helpers shared by everything below
+``platform``      Fig. 2, Fig. 3 and the §3.2 text statistics
+``population``    Fig. 5 (home countries) and Fig. 6 (class × label)
+``activity``      Fig. 7 (active days)
+``mobility``      Fig. 8 (radius of gyration)
+``network_usage`` Fig. 9 (RAT dependence for connectivity / data / voice)
+``traffic``       Fig. 10 (signaling / calls / data volumes)
+``smart_meters``  Fig. 11 (SMIP native vs roaming)
+``verticals``     Fig. 12 (connected cars vs smart meters)
+``report``        ASCII rendering and paper-vs-measured comparison rows
+================  ==========================================================
+"""
+
+from repro.analysis.stats import ECDF, shares, quantile
+
+__all__ = ["ECDF", "quantile", "shares"]

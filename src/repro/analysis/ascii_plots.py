@@ -1,0 +1,138 @@
+"""ASCII rendering of the paper's figure types.
+
+Terminal-friendly stand-ins for the paper's plots: ECDF curves (Figs. 3,
+7, 8, 10), grouped bars (Figs. 5, 9) and heatmaps (Figs. 2, 6).  Used by
+the examples and the CLI's ``figure --plot`` mode; also handy in test
+failure output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.stats import ECDF
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def render_ecdf(
+    curves: Mapping[str, ECDF],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more ECDFs as an ASCII line chart.
+
+    Each named curve gets a marker character; the y-axis is F(x) in
+    [0, 1], the x-axis spans the pooled value range (optionally log).
+    """
+    if not curves:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    markers = "ox+*#@%&"
+    lo = min(e.quantile(0.0) for e in curves.values())
+    hi = max(e.max for e in curves.values())
+    if log_x:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 10)
+
+    def x_to_col(x: float) -> int:
+        if hi == lo:
+            return 0
+        if log_x:
+            x = max(x, lo)
+            frac = (math.log10(x) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (x - lo) / (hi - lo)
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ecdf), marker in zip(curves.items(), markers):
+        for col in range(width):
+            # Invert: find F at the x mapped to this column.
+            if log_x:
+                x = 10 ** (
+                    math.log10(lo)
+                    + col / (width - 1) * (math.log10(hi) - math.log10(lo))
+                )
+            else:
+                x = lo + col / (width - 1) * (hi - lo)
+            f = ecdf.fraction_at_most(x)
+            row = height - 1 - min(height - 1, int(f * (height - 1)))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_label = f"{1.0 - i / (height - 1):4.2f} |"
+        lines.append(y_label + "".join(row))
+    axis = " " * 6 + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * 6 + f"{lo:.3g}".ljust(width - 8) + f"{hi:.3g}"
+    )
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(curves.items(), markers)
+    )
+    lines.append(" " * 6 + legend)
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.1%}",
+) -> str:
+    """Horizontal bar chart for share-style data (Figs. 5, 9)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(
+            f"{str(key):>{label_width}} | {bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    matrix: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Shade-character heatmap for matrix data (Figs. 2, 6).
+
+    Cell values are expected in [0, 1] (row-normalized shares).
+    """
+    if not matrix:
+        raise ValueError("nothing to plot")
+    if columns is None:
+        seen: List[str] = []
+        for row in matrix.values():
+            for col in row:
+                if col not in seen:
+                    seen.append(col)
+        columns = seen
+    row_width = max(len(str(k)) for k in matrix)
+    lines = [title] if title else []
+    header = " " * (row_width + 1) + " ".join(f"{c[:4]:>4}" for c in columns)
+    lines.append(header)
+    for row_key, row in matrix.items():
+        cells = []
+        for col in columns:
+            value = row.get(col, 0.0)
+            index = min(len(_BLOCKS) - 1, int(value * (len(_BLOCKS) - 1) + 0.5))
+            cells.append(f"{_BLOCKS[index] * 4}")
+        lines.append(f"{str(row_key):>{row_width}} " + " ".join(cells))
+    lines.append(f"shade scale: '{_BLOCKS}' = 0..1")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""HMNO-VMNO distance analysis (§3.2).
+
+"The geographical distances between the HMNO and the VMNO are not
+always small (e.g., Spain to Australia), pointing to potential serious
+performance penalties in the case of HR roaming.  In this case, the M2M
+platform uses different roaming configurations in order to optimize the
+performance of IoT devices roaming in very far destinations."
+
+This module computes, per transaction and per device, the great-circle
+HMNO→VMNO distance, the HR-vs-IHBO user-plane detour through the hub,
+and how often the distance-aware policy would break out at the hub.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.stats import ECDF
+from repro.cellular.countries import CountryRegistry
+from repro.cellular.geo import GeoPoint, haversine_km
+from repro.datasets.containers import M2MDataset
+from repro.roaming.configs import RoamingConfig, pick_config_for_distance
+from repro.roaming.hub import IPXHub
+
+
+@dataclass
+class DistanceResult:
+    """Distance structure of a platform's roaming footprint."""
+
+    txn_distance: ECDF           # per-transaction HMNO->VMNO distance (km)
+    device_max_distance: ECDF    # per-device farthest VMNO
+    intercontinental_share: float  # transactions beyond 5,000 km
+    ihbo_share: float            # roaming txns where the policy breaks out
+    mean_hr_detour_km: float
+    mean_policy_detour_km: float
+
+    @property
+    def detour_saving(self) -> float:
+        """Fractional user-plane distance saved by the distance-aware
+        policy over always-HR."""
+        if self.mean_hr_detour_km == 0:
+            return 0.0
+        return 1.0 - self.mean_policy_detour_km / self.mean_hr_detour_km
+
+
+def roaming_distances(
+    dataset: M2MDataset,
+    countries: CountryRegistry,
+    hub: Optional[IPXHub] = None,
+    intercontinental_km: float = 5000.0,
+) -> DistanceResult:
+    """Distance profile of every *roaming* transaction in the dataset.
+
+    Distances use country centroids — the same granularity the paper's
+    "Spain to Australia" remark implies.  When ``hub`` is given, the
+    HR-vs-IHBO comparison runs per transaction.
+    """
+    txn_distances: List[float] = []
+    per_device_max: Dict[str, float] = defaultdict(float)
+    ihbo = 0
+    hr_detour_total = 0.0
+    policy_detour_total = 0.0
+    n_roaming = 0
+
+    for txn in dataset.transactions:
+        if not txn.is_roaming:
+            continue
+        home = countries.by_mcc(txn.sim_mcc)
+        visited = countries.by_mcc(txn.visited_mcc)
+        if home is None or visited is None:
+            continue
+        n_roaming += 1
+        home_point = GeoPoint(home.lat, home.lon)
+        visited_point = GeoPoint(visited.lat, visited.lon)
+        distance = haversine_km(home_point, visited_point)
+        txn_distances.append(distance)
+        per_device_max[txn.device_id] = max(per_device_max[txn.device_id], distance)
+        if hub is not None:
+            pop = hub.nearest_pop(visited_point)
+            config = pick_config_for_distance(
+                visited_point, home_point, pop.location
+            )
+            hr_detour_total += distance
+            if config is RoamingConfig.IPX_HUB_BREAKOUT:
+                ihbo += 1
+                policy_detour_total += haversine_km(visited_point, pop.location)
+            else:
+                policy_detour_total += distance
+
+    if not txn_distances:
+        raise ValueError("dataset contains no roaming transactions")
+
+    return DistanceResult(
+        txn_distance=ECDF(txn_distances),
+        device_max_distance=ECDF(list(per_device_max.values())),
+        intercontinental_share=sum(
+            1 for d in txn_distances if d > intercontinental_km
+        ) / len(txn_distances),
+        ihbo_share=ihbo / n_roaming if hub is not None else 0.0,
+        mean_hr_detour_km=(
+            hr_detour_total / n_roaming if hub is not None else 0.0
+        ),
+        mean_policy_detour_km=(
+            policy_detour_total / n_roaming if hub is not None else 0.0
+        ),
+    )
+
+
+def farthest_pairs(
+    dataset: M2MDataset, countries: CountryRegistry, k: int = 5
+) -> List[Tuple[str, str, float]]:
+    """The k most distant (home, visited) country pairs observed."""
+    seen: Set[Tuple[str, str]] = set()
+    pairs: List[Tuple[str, str, float]] = []
+    for txn in dataset.transactions:
+        if not txn.is_roaming:
+            continue
+        home = countries.by_mcc(txn.sim_mcc)
+        visited = countries.by_mcc(txn.visited_mcc)
+        if home is None or visited is None:
+            continue
+        key = (home.iso, visited.iso)
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append(
+            (
+                home.iso,
+                visited.iso,
+                haversine_km(
+                    GeoPoint(home.lat, home.lon), GeoPoint(visited.lat, visited.lon)
+                ),
+            )
+        )
+    pairs.sort(key=lambda p: -p[2])
+    return pairs[:k]

@@ -1,0 +1,103 @@
+"""IoT-growth projection: the §9 market outlook, applied to the MNO.
+
+"In a market expected to reach 75.44 billion worldwide by 2025, i.e.,
+almost 10x the estimated world population, this puts in perspective the
+importance of the M2M platform …"
+
+Given today's pipeline result, :func:`project_growth` scales the M2M
+population by a growth factor (person devices held constant — people do
+not multiply 10x) and recomputes the composition and load statistics the
+paper worries about: the M2M share of devices, of radio signaling, and
+of wholesale revenue.  The divergence between the first two and the last
+is the projected stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+from repro.roaming.billing import WholesaleRater, WholesaleTariff
+
+
+@dataclass
+class GrowthPoint:
+    """Projected composition at one M2M growth factor."""
+
+    factor: float
+    m2m_device_share: float
+    m2m_signaling_share: float
+    m2m_revenue_share: float
+
+    @property
+    def stress_index(self) -> float:
+        """Signaling share over revenue share: how disproportionately
+        the projected M2M population loads the network."""
+        if self.m2m_revenue_share <= 0:
+            return float("inf") if self.m2m_signaling_share > 0 else 0.0
+        return self.m2m_signaling_share / self.m2m_revenue_share
+
+
+def _class_aggregates(result: PipelineResult) -> Dict[ClassLabel, Dict[str, float]]:
+    """Per-class device counts, signaling events and wholesale revenue."""
+    rater = WholesaleRater(str(result.labeler.observer.plmn), WholesaleTariff())
+    tap = rater.rate_records(result.dataset.service_records)
+    revenue_per_device = WholesaleRater.revenue_per_device(tap)
+    aggregates: Dict[ClassLabel, Dict[str, float]] = {
+        cls: {"devices": 0.0, "events": 0.0, "revenue": 0.0} for cls in ClassLabel
+    }
+    for device_id, summary in result.summaries.items():
+        cls = result.classifications[device_id].label
+        aggregates[cls]["devices"] += 1
+        aggregates[cls]["events"] += summary.n_events
+        aggregates[cls]["revenue"] += revenue_per_device.get(device_id, 0.0)
+    return aggregates
+
+
+def project_growth(
+    result: PipelineResult,
+    factors: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
+) -> List[GrowthPoint]:
+    """Scale the M2M population (m2m + m2m-maybe) by each factor.
+
+    The projection is first-order: per-device behaviour is today's;
+    only the M2M headcount multiplies.  That is exactly the scenario the
+    paper's "10x the world population" remark sketches.
+    """
+    base = _class_aggregates(result)
+    m2m_classes = (ClassLabel.M2M, ClassLabel.M2M_MAYBE)
+    person_classes = (ClassLabel.SMART, ClassLabel.FEAT)
+
+    points: List[GrowthPoint] = []
+    for factor in factors:
+        if factor <= 0:
+            raise ValueError("growth factor must be positive")
+        devices = {
+            cls: base[cls]["devices"] * (factor if cls in m2m_classes else 1.0)
+            for cls in ClassLabel
+        }
+        events = {
+            cls: base[cls]["events"] * (factor if cls in m2m_classes else 1.0)
+            for cls in ClassLabel
+        }
+        revenue = {
+            cls: base[cls]["revenue"] * (factor if cls in m2m_classes else 1.0)
+            for cls in ClassLabel
+        }
+        total_devices = sum(devices.values())
+        total_events = sum(events.values()) or 1.0
+        total_revenue = sum(revenue.values()) or 1.0
+        m2m_devices = sum(devices[c] for c in m2m_classes)
+        m2m_events = sum(events[c] for c in m2m_classes)
+        m2m_revenue = sum(revenue[c] for c in m2m_classes)
+        points.append(
+            GrowthPoint(
+                factor=factor,
+                m2m_device_share=m2m_devices / total_devices,
+                m2m_signaling_share=m2m_events / total_events,
+                m2m_revenue_share=m2m_revenue / total_revenue,
+            )
+        )
+    return points

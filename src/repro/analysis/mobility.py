@@ -1,0 +1,47 @@
+"""Mobility analysis: Fig. 8 (radius of gyration per device class).
+
+"Results confirm expectation, i.e., the M2M inbound roaming devices are
+in majority stationary, with only 20% devices present a gyration larger
+than 1km (some likely due to cell reselection, rather than actual
+movements)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import ECDF
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+
+
+@dataclass
+class Fig8Result:
+    """Gyration ECDFs per class (all devices with radio activity), plus
+    the inbound-M2M slice the paper highlights."""
+
+    by_class: Dict[ClassLabel, ECDF]
+    m2m_inbound: Optional[ECDF]
+
+    def m2m_inbound_fraction_above(self, km: float = 1.0) -> float:
+        if self.m2m_inbound is None:
+            return float("nan")
+        return self.m2m_inbound.fraction_above(km)
+
+
+def fig8_gyration(result: PipelineResult) -> Fig8Result:
+    """Across-days average radius of gyration per device (Fig. 8)."""
+    by_class: Dict[ClassLabel, List[float]] = {}
+    m2m_inbound: List[float] = []
+    for device_id, summary in result.summaries.items():
+        if summary.mean_gyration_km is None:
+            continue  # no radio activity -> no mobility estimate
+        cls = result.classifications[device_id].label
+        by_class.setdefault(cls, []).append(summary.mean_gyration_km)
+        if cls is ClassLabel.M2M and summary.label.is_inbound_roamer:
+            m2m_inbound.append(summary.mean_gyration_km)
+    return Fig8Result(
+        by_class={c: ECDF(v) for c, v in by_class.items() if v},
+        m2m_inbound=ECDF(m2m_inbound) if m2m_inbound else None,
+    )

@@ -1,0 +1,83 @@
+"""Network-usage analysis: Fig. 9 (RAT dependence per device class).
+
+Three panels, all shares of devices within a class:
+
+* **connectivity** — which RAT combinations a device successfully used
+  at all (77.4% of M2M devices are 2G-only);
+* **data** — RAT combinations on data interfaces only (56.7% of M2M are
+  2G-data-only; 24.5% use no data at all);
+* **voice** — RAT combinations on voice interfaces only (60.6% of M2M
+  use 2G voice; 27.5% generate no voice traffic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.cellular.rats import RAT, RadioFlags
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+
+
+@dataclass
+class Fig9Result:
+    """Per-class shares of RAT-usage patterns for the three panels.
+
+    Pattern keys are :meth:`RadioFlags.label` strings ("2G-only",
+    "2G+3G", …) plus "none" for devices with no activity on that plane.
+    """
+
+    connectivity: Dict[ClassLabel, Dict[str, float]]
+    data: Dict[ClassLabel, Dict[str, float]]
+    voice: Dict[ClassLabel, Dict[str, float]]
+
+    def share(self, panel: str, cls: ClassLabel, pattern: str) -> float:
+        table = getattr(self, panel)
+        return table.get(cls, {}).get(pattern, 0.0)
+
+
+def _pattern(flags: RadioFlags) -> str:
+    return flags.label()
+
+
+def fig9_network_usage(
+    result: PipelineResult,
+    classes: Iterable[ClassLabel] = (
+        ClassLabel.SMART,
+        ClassLabel.FEAT,
+        ClassLabel.M2M,
+    ),
+) -> Fig9Result:
+    """RAT-usage pattern shares per device class (Fig. 9).
+
+    Only devices with radio visibility (i.e. seen on the home network)
+    enter the panels — outbound roamers have no interface information.
+    """
+    wanted = set(classes)
+    conn: Dict[ClassLabel, Counter] = defaultdict(Counter)
+    data: Dict[ClassLabel, Counter] = defaultdict(Counter)
+    voice: Dict[ClassLabel, Counter] = defaultdict(Counter)
+    for device_id, summary in result.summaries.items():
+        cls = result.classifications[device_id].label
+        if cls not in wanted:
+            continue
+        if summary.radio_flags.is_empty and summary.n_events == 0:
+            continue  # CDR-only device: no radio interface visibility
+        conn[cls][_pattern(summary.radio_flags)] += 1
+        data[cls][_pattern(summary.data_flags)] += 1
+        voice[cls][_pattern(summary.voice_flags)] += 1
+
+    def normalize(table: Dict[ClassLabel, Counter]) -> Dict[ClassLabel, Dict[str, float]]:
+        out: Dict[ClassLabel, Dict[str, float]] = {}
+        for cls, counter in table.items():
+            total = sum(counter.values())
+            out[cls] = {pattern: count / total for pattern, count in counter.most_common()}
+        return out
+
+    return Fig9Result(
+        connectivity=normalize(conn),
+        data=normalize(data),
+        voice=normalize(voice),
+    )

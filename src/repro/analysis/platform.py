@@ -1,0 +1,249 @@
+"""M2M-platform analyses: Fig. 2, Fig. 3 and the §3.2/§3.3 statistics."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.stats import ECDF, normalize_rows
+from repro.cellular.countries import CountryRegistry
+from repro.datasets.containers import M2MDataset
+from repro.signaling.procedures import MessageType, SignalingTransaction
+
+
+def _country_iso(countries: CountryRegistry, mcc: int) -> str:
+    country = countries.by_mcc(mcc)
+    return country.iso if country else f"MCC{mcc}"
+
+
+# -- Fig. 2 -------------------------------------------------------------------
+
+@dataclass
+class Fig2Result:
+    """Devices per (HMNO home country, visited country), row-normalized.
+
+    ``hmno_shares`` is the y-axis annotation of Fig. 2 (share of devices
+    per HMNO); ``matrix[hmno][visited]`` the row-normalized cell values.
+    """
+
+    hmno_shares: Dict[str, float]
+    matrix: Dict[str, Dict[str, float]]
+    device_counts: Dict[str, int]
+
+    def top_visited(self, hmno_iso: str, k: int = 5) -> List[Tuple[str, float]]:
+        row = self.matrix.get(hmno_iso, {})
+        return sorted(row.items(), key=lambda kv: -kv[1])[:k]
+
+
+def fig2_device_distribution(
+    dataset: M2MDataset,
+    countries: CountryRegistry,
+    min_cell_share: float = 0.001,
+) -> Fig2Result:
+    """Where each HMNO's devices operate (Fig. 2).
+
+    Cells below ``min_cell_share`` of a row are folded into "Other",
+    matching the paper's 0.1% breakdown threshold.
+    """
+    devices_seen: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+    devices_per_hmno: Dict[str, Set[str]] = defaultdict(set)
+    for txn in dataset.transactions:
+        hmno = _country_iso(countries, txn.sim_mcc)
+        visited = _country_iso(countries, txn.visited_mcc)
+        devices_seen[(hmno, visited)].add(txn.device_id)
+        devices_per_hmno[hmno].add(txn.device_id)
+
+    total_devices = sum(len(ids) for ids in devices_per_hmno.values())
+    raw: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for (hmno, visited), ids in devices_seen.items():
+        raw[hmno][visited] = float(len(ids))
+
+    folded: Dict[str, Dict[str, float]] = {}
+    for hmno, row in raw.items():
+        row_total = sum(row.values())
+        kept: Dict[str, float] = {}
+        other = 0.0
+        for visited, count in row.items():
+            if count / row_total >= min_cell_share:
+                kept[visited] = count
+            else:
+                other += count
+        if other:
+            kept["Other"] = other
+        folded[hmno] = kept
+
+    return Fig2Result(
+        hmno_shares={
+            hmno: len(ids) / total_devices for hmno, ids in devices_per_hmno.items()
+        },
+        matrix=normalize_rows(folded),
+        device_counts={hmno: len(ids) for hmno, ids in devices_per_hmno.items()},
+    )
+
+
+# -- Fig. 3 -------------------------------------------------------------------
+
+@dataclass
+class DeviceSignalingProfile:
+    """Per-device aggregates extracted from the transaction stream."""
+
+    n_records: int = 0
+    n_roaming_records: int = 0
+    n_success: int = 0
+    visited_plmns: Set[str] = field(default_factory=set)
+    switches: int = 0
+    _last_plmn: Optional[str] = None
+    sim_mcc: int = 0
+
+    @property
+    def is_roaming(self) -> bool:
+        return self.n_roaming_records > 0
+
+    @property
+    def has_success(self) -> bool:
+        return self.n_success > 0
+
+
+def device_profiles(dataset: M2MDataset) -> Dict[str, DeviceSignalingProfile]:
+    """One pass over the (time-ordered) transactions → per-device stats.
+
+    VMNO usage and inter-VMNO switches are tracked from the
+    location-bearing procedures (Authentication / Update Location);
+    Cancel Location records point at the *previous* VMNO by protocol
+    design and would double-count every move if included.
+    """
+    profiles: Dict[str, DeviceSignalingProfile] = defaultdict(DeviceSignalingProfile)
+    for txn in dataset.transactions:
+        profile = profiles[txn.device_id]
+        profile.n_records += 1
+        profile.sim_mcc = txn.sim_mcc
+        if txn.is_roaming:
+            profile.n_roaming_records += 1
+        if txn.result.is_success:
+            profile.n_success += 1
+        if txn.message_type is MessageType.CANCEL_LOCATION:
+            continue
+        profile.visited_plmns.add(txn.visited_plmn)
+        if profile._last_plmn is not None and profile._last_plmn != txn.visited_plmn:
+            profile.switches += 1
+        profile._last_plmn = txn.visited_plmn
+    return dict(profiles)
+
+
+@dataclass
+class Fig3Result:
+    """The three panels of Fig. 3."""
+
+    records_all: ECDF
+    records_4g: ECDF          # devices with >=1 successful procedure
+    records_roaming: ECDF
+    records_native: ECDF
+    vmno_counts: ECDF         # distinct VMNOs per roaming device
+    switch_counts: ECDF       # inter-VMNO switches, devices with >=2 VMNOs
+
+    @property
+    def roaming_to_native_median_ratio(self) -> float:
+        native = self.records_native.median
+        return self.records_roaming.median / native if native else float("inf")
+
+
+def fig3_dynamics(
+    dataset: M2MDataset,
+    profiles: Optional[Dict[str, DeviceSignalingProfile]] = None,
+) -> Fig3Result:
+    """Per-device signaling load, VMNO usage and switching (Fig. 3)."""
+    profiles = profiles or device_profiles(dataset)
+    records_all = [p.n_records for p in profiles.values()]
+    records_4g = [p.n_records for p in profiles.values() if p.has_success]
+    records_roaming = [p.n_records for p in profiles.values() if p.is_roaming]
+    records_native = [p.n_records for p in profiles.values() if not p.is_roaming]
+    vmnos = [len(p.visited_plmns) for p in profiles.values() if p.is_roaming]
+    switches = [
+        p.switches
+        for p in profiles.values()
+        if p.is_roaming and len(p.visited_plmns) >= 2
+    ]
+    return Fig3Result(
+        records_all=ECDF(records_all),
+        records_4g=ECDF(records_4g),
+        records_roaming=ECDF(records_roaming),
+        records_native=ECDF(records_native),
+        vmno_counts=ECDF(vmnos),
+        switch_counts=ECDF(switches),
+    )
+
+
+# -- §3.2 text statistics --------------------------------------------------------
+
+@dataclass
+class HMNOStats:
+    """Per-HMNO operational summary (the §3.2 narrative numbers)."""
+
+    iso: str
+    device_share: float
+    n_devices: int
+    n_visited_countries: int
+    n_visited_vmnos: int
+    roaming_device_fraction: float
+    signaling_share: float
+    roaming_signaling_fraction: float
+
+
+@dataclass
+class PlatformStats:
+    """Whole-platform summary."""
+
+    per_hmno: Dict[str, HMNOStats]
+    failed_only_fraction: float
+    success_fraction: float
+    n_devices: int
+    n_transactions: int
+
+
+def platform_stats(
+    dataset: M2MDataset, countries: CountryRegistry
+) -> PlatformStats:
+    """Reproduce the §3.2/§3.3 text statistics from the raw stream."""
+    profiles = device_profiles(dataset)
+    total_records = sum(p.n_records for p in profiles.values())
+
+    by_hmno: Dict[str, List[DeviceSignalingProfile]] = defaultdict(list)
+    for profile in profiles.values():
+        by_hmno[_country_iso(countries, profile.sim_mcc)].append(profile)
+
+    visited_countries: Dict[str, Set[str]] = defaultdict(set)
+    visited_vmnos: Dict[str, Set[str]] = defaultdict(set)
+    for txn in dataset.transactions:
+        hmno = _country_iso(countries, txn.sim_mcc)
+        if txn.is_roaming:
+            visited_countries[hmno].add(_country_iso(countries, txn.visited_mcc))
+            visited_vmnos[hmno].add(txn.visited_plmn)
+
+    per_hmno: Dict[str, HMNOStats] = {}
+    for iso, devs in by_hmno.items():
+        n_records = sum(p.n_records for p in devs)
+        n_roaming_records = sum(p.n_roaming_records for p in devs)
+        per_hmno[iso] = HMNOStats(
+            iso=iso,
+            device_share=len(devs) / len(profiles),
+            n_devices=len(devs),
+            n_visited_countries=len(visited_countries[iso]),
+            n_visited_vmnos=len(visited_vmnos[iso]),
+            roaming_device_fraction=(
+                sum(1 for p in devs if p.is_roaming) / len(devs)
+            ),
+            signaling_share=n_records / total_records if total_records else 0.0,
+            roaming_signaling_fraction=(
+                n_roaming_records / n_records if n_records else 0.0
+            ),
+        )
+
+    n_failed_only = sum(1 for p in profiles.values() if not p.has_success)
+    return PlatformStats(
+        per_hmno=per_hmno,
+        failed_only_fraction=n_failed_only / len(profiles),
+        success_fraction=1.0 - n_failed_only / len(profiles),
+        n_devices=len(profiles),
+        n_transactions=dataset.n_transactions,
+    )

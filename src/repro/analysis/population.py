@@ -1,0 +1,157 @@
+"""Population analyses: Fig. 5 (home countries), Fig. 6 (class × label),
+and the §4.2/§4.3 share statistics."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.stats import normalize_columns, normalize_rows, top_k_share
+from repro.cellular.countries import CountryRegistry
+from repro.core.classifier import Classification, ClassLabel
+from repro.core.roaming import RoamingLabel, SimOrigin, VisitedSide
+from repro.pipeline import PipelineResult
+
+
+def _home_iso(countries: CountryRegistry, sim_plmn: str) -> str:
+    country = countries.by_mcc(int(sim_plmn[:3]))
+    return country.iso if country else f"MCC{sim_plmn[:3]}"
+
+
+# -- Fig. 5 ---------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    """Inbound-roamer home-country distribution."""
+
+    overall: Dict[str, float]                      # top panel
+    by_class: Dict[ClassLabel, Dict[str, float]]   # bottom panel (row-norm)
+    top3_overall_share: float
+    top20_overall_share: float
+    top3_m2m_share: float
+
+    def top_countries(self, k: int = 20) -> List[Tuple[str, float]]:
+        return sorted(self.overall.items(), key=lambda kv: -kv[1])[:k]
+
+
+def fig5_home_countries(
+    result: PipelineResult, countries: CountryRegistry
+) -> Fig5Result:
+    """Home countries of inbound roaming devices (Fig. 5)."""
+    overall: Counter = Counter()
+    by_class: Dict[ClassLabel, Counter] = defaultdict(Counter)
+    for device_id, summary in result.summaries.items():
+        if not summary.label.is_inbound_roamer:
+            continue
+        iso = _home_iso(countries, summary.sim_plmn)
+        overall[iso] += 1
+        label = result.classifications[device_id].label
+        by_class[label][iso] += 1
+
+    total = sum(overall.values())
+    overall_shares = (
+        {iso: count / total for iso, count in overall.most_common()} if total else {}
+    )
+    by_class_shares = {
+        label: normalize_rows({"row": dict(counter)})["row"]
+        for label, counter in by_class.items()
+    }
+    m2m_counts = dict(by_class.get(ClassLabel.M2M, Counter()))
+    return Fig5Result(
+        overall=overall_shares,
+        by_class=by_class_shares,
+        top3_overall_share=top_k_share(dict(overall), 3),
+        top20_overall_share=top_k_share(dict(overall), 20),
+        top3_m2m_share=top_k_share(m2m_counts, 3),
+    )
+
+
+# -- Fig. 6 ---------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    """Class × roaming-label heatmaps in both normalizations."""
+
+    counts: Dict[ClassLabel, Dict[str, int]]
+    by_class: Dict[ClassLabel, Dict[str, float]]   # row-normalized (left)
+    by_label: Dict[ClassLabel, Dict[str, float]]   # column-normalized (right)
+
+    def share_of_label(self, label_str: str, cls: ClassLabel) -> float:
+        """e.g. share_of_label("I:H", M2M) == 71.1% in the paper."""
+        return self.by_label.get(cls, {}).get(label_str, 0.0)
+
+    def share_of_class(self, cls: ClassLabel, label_str: str) -> float:
+        """e.g. share_of_class(M2M, "I:H") == 74.7% in the paper."""
+        return self.by_class.get(cls, {}).get(label_str, 0.0)
+
+
+def fig6_class_vs_label(result: PipelineResult) -> Fig6Result:
+    """Device class against roaming label (Fig. 6)."""
+    counts: Dict[ClassLabel, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for device_id, summary in result.summaries.items():
+        cls = result.classifications[device_id].label
+        counts[cls][str(summary.label)] += 1
+    plain = {cls: dict(row) for cls, row in counts.items()}
+    return Fig6Result(
+        counts=plain,
+        by_class=normalize_rows(plain),
+        by_label=normalize_columns(plain),
+    )
+
+
+# -- §4.2 / §4.3 share statistics ----------------------------------------------
+
+@dataclass
+class PopulationShares:
+    """Whole-period and per-day composition of the population."""
+
+    class_shares: Dict[ClassLabel, float]
+    label_shares: Dict[str, float]            # whole-period, by device
+    per_day_label_shares: Dict[str, float]    # averaged over days
+    n_devices: int
+
+
+def population_shares(result: PipelineResult) -> PopulationShares:
+    """Class and roaming-label composition (§4.2, §4.3).
+
+    The paper's "48% / 33% / 18% per day" numbers are daily-active
+    shares; whole-period shares skew toward inbound roamers because
+    visitors churn.  Both are computed here.
+    """
+    class_counter: Counter = Counter(
+        c.label for c in result.classifications.values()
+    )
+    label_counter: Counter = Counter(
+        str(s.label) for s in result.summaries.values()
+    )
+    n = len(result.summaries)
+
+    # Per-day shares from the daily catalog: a device contributes to a
+    # day if it had any activity that day.
+    day_label_counts: Dict[int, Counter] = defaultdict(Counter)
+    for record in result.day_records:
+        if not record.has_activity:
+            continue
+        origin = result.labeler.sim_origin(record.sim_plmn)
+        side = VisitedSide.HOME if record.on_home_network else VisitedSide.ABROAD
+        label = RoamingLabel(origin, side)
+        day_label_counts[record.day][str(label)] += 1
+
+    per_day_totals: Counter = Counter()
+    for counter in day_label_counts.values():
+        day_total = sum(counter.values())
+        for label, count in counter.items():
+            per_day_totals[label] += count / day_total
+    n_days = len(day_label_counts) or 1
+
+    return PopulationShares(
+        class_shares={
+            label: class_counter.get(label, 0) / n for label in ClassLabel
+        },
+        label_shares={label: count / n for label, count in label_counter.most_common()},
+        per_day_label_shares={
+            label: total / n_days for label, total in per_day_totals.most_common()
+        },
+        n_devices=n,
+    )

@@ -1,0 +1,97 @@
+"""Procedure-level platform analysis (§3.3).
+
+"We look at the frequency of three procedures we monitor (Update
+Location, Authentication and Cancel Location).  Each record has a status
+message associated, describing the outcome of the procedure (i.e., OK,
+Feature Unsupported, Roaming Not Allowed or Unknown Subscription)."
+
+This module breaks the transaction stream down along both axes —
+message type and result code — overall and split by roaming status, the
+§3.3 companion numbers to Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.datasets.containers import M2MDataset
+from repro.signaling.procedures import MessageType, ResultCode
+
+
+@dataclass
+class ProcedureBreakdown:
+    """Shares of the transaction stream along both §3.3 axes."""
+
+    message_type_shares: Dict[MessageType, float]
+    result_shares: Dict[ResultCode, float]
+    failure_share: float
+    result_shares_roaming: Dict[ResultCode, float]
+    result_shares_native: Dict[ResultCode, float]
+    n_transactions: int
+
+    def failure_share_of(self, roaming: bool) -> float:
+        table = self.result_shares_roaming if roaming else self.result_shares_native
+        return sum(share for code, share in table.items() if code.is_failure)
+
+    def format(self) -> str:
+        lines = [f"transactions: {self.n_transactions}"]
+        lines.append("message types:")
+        for message_type, share in sorted(
+            self.message_type_shares.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {message_type.value:>16}: {share:6.1%}")
+        lines.append("results:")
+        for code, share in sorted(self.result_shares.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {code.value:>20}: {share:6.1%}")
+        lines.append(
+            f"failure share: roaming {self.failure_share_of(True):.1%} "
+            f"vs native {self.failure_share_of(False):.1%}"
+        )
+        return "\n".join(lines)
+
+
+def _normalize(counter: Counter) -> Dict:
+    total = sum(counter.values())
+    if total == 0:
+        return {}
+    return {key: count / total for key, count in counter.most_common()}
+
+
+def procedure_breakdown(dataset: M2MDataset) -> ProcedureBreakdown:
+    """Break the stream down by procedure kind and outcome."""
+    if not dataset.transactions:
+        raise ValueError("empty dataset")
+    message_types: Counter = Counter()
+    results: Counter = Counter()
+    results_roaming: Counter = Counter()
+    results_native: Counter = Counter()
+    failures = 0
+    for txn in dataset.transactions:
+        message_types[txn.message_type] += 1
+        results[txn.result] += 1
+        if txn.result.is_failure:
+            failures += 1
+        if txn.is_roaming:
+            results_roaming[txn.result] += 1
+        else:
+            results_native[txn.result] += 1
+    return ProcedureBreakdown(
+        message_type_shares=_normalize(message_types),
+        result_shares=_normalize(results),
+        failure_share=failures / len(dataset.transactions),
+        result_shares_roaming=_normalize(results_roaming),
+        result_shares_native=_normalize(results_native),
+        n_transactions=len(dataset.transactions),
+    )
+
+
+def per_device_procedure_mix(
+    dataset: M2MDataset,
+) -> Dict[str, Dict[MessageType, int]]:
+    """Per-device counts of each procedure kind (§3.3's device view)."""
+    mix: Dict[str, Counter] = defaultdict(Counter)
+    for txn in dataset.transactions:
+        mix[txn.device_id][txn.message_type] += 1
+    return {device: dict(counter) for device, counter in mix.items()}

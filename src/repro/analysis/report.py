@@ -1,0 +1,98 @@
+"""Report rendering: ASCII tables and paper-vs-measured comparison rows.
+
+Every bench prints its figure through these helpers so EXPERIMENTS.md
+and the bench output read the same way: one row per paper statistic,
+with the paper's reported value, our measured value, and a shape verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = "  "
+) -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonRow:
+    """One paper-vs-measured statistic."""
+
+    statistic: str
+    paper: str
+    measured: Number
+    #: acceptance window (lo, hi) on the measured value; None = informative only
+    window: Optional[tuple] = None
+
+    @property
+    def verdict(self) -> str:
+        if self.window is None:
+            return "info"
+        lo, hi = self.window
+        return "OK" if lo <= self.measured <= hi else "OFF"
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict in ("OK", "info")
+
+
+@dataclass
+class ExperimentReport:
+    """A figure/table reproduction report: header plus comparison rows."""
+
+    experiment_id: str
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        statistic: str,
+        paper: str,
+        measured: Number,
+        window: Optional[tuple] = None,
+    ) -> None:
+        self.rows.append(ComparisonRow(statistic, paper, measured, window))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(row.holds for row in self.rows)
+
+    def failing_rows(self) -> List[ComparisonRow]:
+        return [row for row in self.rows if not row.holds]
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        table_rows = [
+            (
+                row.statistic,
+                row.paper,
+                f"{row.measured:.3f}" if isinstance(row.measured, float) else str(row.measured),
+                row.verdict,
+            )
+            for row in self.rows
+        ]
+        lines.append(
+            format_table(("statistic", "paper", "measured", "verdict"), table_rows)
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

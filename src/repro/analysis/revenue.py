@@ -1,0 +1,143 @@
+"""Roaming-revenue and silent-roamer analysis (§6, §8).
+
+The paper's economic observation: M2M inbound roamers "occupy radio
+resources in MNOs networks and exploit the MNOs interconnections …
+[but] do not generate traffic that would allow MNOs to accrue revenue".
+§8 adds the regulatory angle of "silent roamers" — devices attached to
+a visited network that never produce billable traffic at all.
+
+:func:`revenue_by_class` rates every inbound-roamer service record
+through the wholesale tariff and aggregates per class;
+:func:`silent_roamers` finds the attached-but-unbillable population.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from repro.analysis.stats import ECDF
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+from repro.roaming.billing import WholesaleRater, WholesaleTariff
+
+
+@dataclass
+class ClassRevenue:
+    """Wholesale-revenue profile of one inbound-roamer class."""
+
+    n_devices: int
+    total_eur: float
+    per_device: ECDF
+    zero_revenue_share: float
+
+    @property
+    def mean_eur(self) -> float:
+        return self.total_eur / self.n_devices if self.n_devices else 0.0
+
+
+@dataclass
+class RevenueReport:
+    """Per-class revenue plus the resource-vs-revenue asymmetry."""
+
+    by_class: Dict[ClassLabel, ClassRevenue]
+    signaling_share: Dict[ClassLabel, float]
+    revenue_share: Dict[ClassLabel, float]
+
+    def asymmetry(self, cls: ClassLabel) -> float:
+        """Radio-resource share divided by revenue share: >1 means the
+        class consumes more network than it pays for."""
+        revenue = self.revenue_share.get(cls, 0.0)
+        signaling = self.signaling_share.get(cls, 0.0)
+        if revenue <= 0:
+            return float("inf") if signaling > 0 else 0.0
+        return signaling / revenue
+
+    def format(self) -> str:
+        lines = ["inbound-roamer wholesale revenue by class:"]
+        for cls, rev in sorted(self.by_class.items(), key=lambda kv: kv[0].value):
+            lines.append(
+                f"  {cls.value:>6}: {rev.n_devices:5d} devices, "
+                f"total {rev.total_eur:9.2f} EUR, "
+                f"mean {rev.mean_eur:7.4f} EUR/device, "
+                f"zero-revenue {rev.zero_revenue_share:5.1%}, "
+                f"signaling/revenue asymmetry {self.asymmetry(cls):6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def revenue_by_class(
+    result: PipelineResult,
+    tariff: Optional[WholesaleTariff] = None,
+    classes: Iterable[ClassLabel] = (
+        ClassLabel.SMART,
+        ClassLabel.FEAT,
+        ClassLabel.M2M,
+    ),
+) -> RevenueReport:
+    """Rate inbound-roamer usage and aggregate per classified class."""
+    rater = WholesaleRater(
+        str(result.labeler.observer.plmn), tariff or WholesaleTariff()
+    )
+    tap = rater.rate_records(result.dataset.service_records)
+    revenue_per_device = WholesaleRater.revenue_per_device(tap)
+
+    wanted = set(classes)
+    values: Dict[ClassLabel, list] = defaultdict(list)
+    signaling: Dict[ClassLabel, float] = defaultdict(float)
+    for device_id, summary in result.summaries.items():
+        if not summary.label.is_inbound_roamer:
+            continue
+        cls = result.classifications[device_id].label
+        if cls not in wanted:
+            continue
+        values[cls].append(revenue_per_device.get(device_id, 0.0))
+        signaling[cls] += summary.n_events
+
+    if not values:
+        raise ValueError("no inbound roamers in the dataset")
+
+    by_class: Dict[ClassLabel, ClassRevenue] = {}
+    for cls, revenues in values.items():
+        by_class[cls] = ClassRevenue(
+            n_devices=len(revenues),
+            total_eur=sum(revenues),
+            per_device=ECDF(revenues),
+            zero_revenue_share=sum(1 for v in revenues if v == 0.0) / len(revenues),
+        )
+
+    total_signaling = sum(signaling.values()) or 1.0
+    total_revenue = sum(c.total_eur for c in by_class.values()) or 1.0
+    return RevenueReport(
+        by_class=by_class,
+        signaling_share={
+            cls: events / total_signaling for cls, events in signaling.items()
+        },
+        revenue_share={
+            cls: c.total_eur / total_revenue for cls, c in by_class.items()
+        },
+    )
+
+
+def silent_roamers(
+    result: PipelineResult, billable_threshold_eur: float = 0.001
+) -> Set[str]:
+    """Inbound roamers that attach but generate ~no billable traffic.
+
+    These are the devices the EU "awakening of silent roamers"
+    regulatory effort targets (§8): visible in signaling, invisible in
+    revenue.
+    """
+    rater = WholesaleRater(str(result.labeler.observer.plmn))
+    tap = rater.rate_records(result.dataset.service_records)
+    revenue = WholesaleRater.revenue_per_device(tap)
+    silent: Set[str] = set()
+    for device_id, summary in result.summaries.items():
+        if not summary.label.is_inbound_roamer:
+            continue
+        if summary.n_events == 0:
+            continue  # never attached to the radio network
+        if revenue.get(device_id, 0.0) < billable_threshold_eur:
+            silent.add(device_id)
+    return silent

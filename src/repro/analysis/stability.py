@@ -1,0 +1,101 @@
+"""Temporal stability of the population composition (§4.2).
+
+"The shares of devices of the roaming labels are stable across the 22
+days we verify."  This module computes the day-by-day roaming-label and
+class-share time series from the daily devices-catalog and summarizes
+their stability (max absolute day-to-day deviation from the window
+mean), turning the paper's one-sentence claim into a checkable metric.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.classifier import ClassLabel
+from repro.core.roaming import RoamingLabel, VisitedSide
+from repro.pipeline import PipelineResult
+
+
+@dataclass
+class ShareSeries:
+    """A per-day share time series for one category."""
+
+    category: str
+    shares: List[float]  # one entry per day with activity
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.shares))
+
+    @property
+    def max_abs_deviation(self) -> float:
+        """Largest |daily - mean| across the window (the stability
+        metric; small = "stable across the 22 days")."""
+        mean = self.mean
+        return float(max(abs(s - mean) for s in self.shares))
+
+    @property
+    def relative_instability(self) -> float:
+        """Max deviation relative to the mean share."""
+        return self.max_abs_deviation / self.mean if self.mean else float("inf")
+
+
+@dataclass
+class StabilityResult:
+    """Stability of label shares and class shares over the window."""
+
+    label_series: Dict[str, ShareSeries]
+    class_series: Dict[ClassLabel, ShareSeries]
+    n_days: int
+
+    def worst_label_deviation(self) -> float:
+        return max(s.max_abs_deviation for s in self.label_series.values())
+
+    def worst_class_deviation(self) -> float:
+        return max(s.max_abs_deviation for s in self.class_series.values())
+
+
+def share_stability(result: PipelineResult) -> StabilityResult:
+    """Per-day label and class share series from the daily catalog."""
+    label_by_day: Dict[int, Counter] = defaultdict(Counter)
+    class_by_day: Dict[int, Counter] = defaultdict(Counter)
+    class_of = {d: c.label for d, c in result.classifications.items()}
+
+    for record in result.day_records:
+        if not record.has_activity:
+            continue
+        origin = result.labeler.sim_origin(record.sim_plmn)
+        side = VisitedSide.HOME if record.on_home_network else VisitedSide.ABROAD
+        label_by_day[record.day][str(RoamingLabel(origin, side))] += 1
+        class_by_day[record.day][class_of[record.device_id]] += 1
+
+    days = sorted(label_by_day)
+    if not days:
+        raise ValueError("no active device-days")
+
+    label_names = sorted({name for c in label_by_day.values() for name in c})
+    label_series: Dict[str, ShareSeries] = {}
+    for name in label_names:
+        shares = []
+        for day in days:
+            total = sum(label_by_day[day].values())
+            shares.append(label_by_day[day].get(name, 0) / total)
+        label_series[name] = ShareSeries(category=name, shares=shares)
+
+    class_series: Dict[ClassLabel, ShareSeries] = {}
+    for cls in ClassLabel:
+        shares = []
+        for day in days:
+            total = sum(class_by_day[day].values())
+            shares.append(class_by_day[day].get(cls, 0) / total)
+        class_series[cls] = ShareSeries(category=cls.value, shares=shares)
+
+    return StabilityResult(
+        label_series=label_series,
+        class_series=class_series,
+        n_days=len(days),
+    )

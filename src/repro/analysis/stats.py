@@ -1,0 +1,148 @@
+"""Distribution helpers shared by all figure analyses."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ECDF:
+    """An empirical CDF over a sample, with the queries figures need."""
+
+    def __init__(self, values: Iterable[float]):
+        data = np.asarray(sorted(float(v) for v in values), dtype=float)
+        if data.size == 0:
+            raise ValueError("ECDF of an empty sample")
+        self._values = data
+
+    @property
+    def n(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self._values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    @property
+    def max(self) -> float:
+        return float(self._values[-1])
+
+    def fraction_at_most(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self._values, x, side="right")) / self.n
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.fraction_at_most(x)
+
+    def curve(self, points: int = 50) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs for plotting/printing the CDF."""
+        if points < 2:
+            raise ValueError("need at least two curve points")
+        qs = np.linspace(0.0, 1.0, points)
+        return [(float(np.quantile(self._values, q)), float(q)) for q in qs]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """One-shot quantile without building an ECDF."""
+    if len(values) == 0:
+        raise ValueError("quantile of empty sample")
+    return float(np.quantile(np.asarray(values, dtype=float), q))
+
+
+def shares(items: Iterable[Hashable]) -> Dict[Hashable, float]:
+    """Normalized frequency of each distinct item."""
+    counts = Counter(items)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {key: count / total for key, count in counts.most_common()}
+
+
+def top_k_share(weights: Mapping[Hashable, float], k: int) -> float:
+    """Combined share of the k heaviest keys (weights need not be
+    normalized)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    total = sum(weights.values())
+    if total <= 0:
+        return 0.0
+    heaviest = sorted(weights.values(), reverse=True)[:k]
+    return sum(heaviest) / total
+
+
+def normalize_rows(
+    matrix: Mapping[Hashable, Mapping[Hashable, float]]
+) -> Dict[Hashable, Dict[Hashable, float]]:
+    """Row-normalize a nested mapping (as the paper's heatmaps do)."""
+    result: Dict[Hashable, Dict[Hashable, float]] = {}
+    for row_key, row in matrix.items():
+        total = sum(row.values())
+        result[row_key] = (
+            {col: value / total for col, value in row.items()} if total else dict(row)
+        )
+    return result
+
+
+def normalize_columns(
+    matrix: Mapping[Hashable, Mapping[Hashable, float]]
+) -> Dict[Hashable, Dict[Hashable, float]]:
+    """Column-normalize a nested mapping."""
+    column_totals: Dict[Hashable, float] = {}
+    for row in matrix.values():
+        for col, value in row.items():
+            column_totals[col] = column_totals.get(col, 0.0) + value
+    result: Dict[Hashable, Dict[Hashable, float]] = {}
+    for row_key, row in matrix.items():
+        result[row_key] = {
+            col: (value / column_totals[col] if column_totals.get(col) else value)
+            for col, value in row.items()
+        }
+    return result
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Compact distribution description for report tables."""
+
+    n: int
+    mean: float
+    median: float
+    p90: float
+    p97: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        ecdf = ECDF(values)
+        return cls(
+            n=ecdf.n,
+            mean=ecdf.mean,
+            median=ecdf.median,
+            p90=ecdf.quantile(0.90),
+            p97=ecdf.quantile(0.97),
+            max=ecdf.max,
+        )
+
+    def format(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.1f} median={self.median:.1f} "
+            f"p90={self.p90:.1f} p97={self.p97:.1f} max={self.max:.0f}"
+        )

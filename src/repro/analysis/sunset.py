@@ -1,0 +1,125 @@
+"""2G/3G sunset what-if analysis (§6.1, §8).
+
+"The sustained dependency of M2M devices and also feature phones on the
+2G network brings to light the discussion around the need of MNOs to
+keep maintaining the legacy technology.  Some MNOs (e.g., AT&T) already
+shut down 2G services" … "IoT devices such as smart meters are currently
+active mostly in 2G or 3G networks."
+
+Given a pipeline result, :func:`sunset_impact` computes, per device
+class, the share of devices *stranded* (no remaining usable RAT) under a
+retirement scenario — the quantitative version of the paper's
+discussion, and the reason it calls its 4G-only platform view "a
+lower-bound".
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+
+from repro.cellular.rats import RAT
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+
+
+@dataclass(frozen=True)
+class SunsetScenario:
+    """A legacy-retirement scenario: the RATs being switched off."""
+
+    name: str
+    retired: FrozenSet[RAT]
+
+    def __post_init__(self) -> None:
+        if not self.retired:
+            raise ValueError("a sunset scenario must retire something")
+        if self.retired >= {RAT.GSM, RAT.UMTS, RAT.LTE}:
+            raise ValueError("cannot retire every RAT")
+
+
+SUNSET_2G = SunsetScenario("2G sunset", frozenset({RAT.GSM}))
+SUNSET_3G = SunsetScenario("3G sunset", frozenset({RAT.UMTS}))
+SUNSET_2G_3G = SunsetScenario("2G+3G sunset", frozenset({RAT.GSM, RAT.UMTS}))
+
+
+@dataclass
+class SunsetImpact:
+    """Per-class stranding shares for one scenario."""
+
+    scenario: SunsetScenario
+    stranded_share: Dict[ClassLabel, float]
+    degraded_share: Dict[ClassLabel, float]
+    n_devices: Dict[ClassLabel, int]
+
+    def stranded(self, cls: ClassLabel) -> float:
+        return self.stranded_share.get(cls, 0.0)
+
+    def format(self) -> str:
+        lines = [f"scenario: {self.scenario.name}"]
+        for cls in sorted(self.stranded_share, key=lambda c: c.value):
+            lines.append(
+                f"  {cls.value:>10}: stranded {self.stranded_share[cls]:6.1%}, "
+                f"degraded {self.degraded_share[cls]:6.1%} "
+                f"(n={self.n_devices[cls]})"
+            )
+        return "\n".join(lines)
+
+
+def sunset_impact(
+    result: PipelineResult,
+    scenario: SunsetScenario,
+    classes: Iterable[ClassLabel] = (
+        ClassLabel.SMART,
+        ClassLabel.FEAT,
+        ClassLabel.M2M,
+    ),
+) -> SunsetImpact:
+    """Who survives the retirement?
+
+    A device's usable RATs are what it *successfully used* during the
+    window (its radio flags — the observable capability floor).  Under a
+    scenario, a device is **stranded** when every RAT it used is retired
+    and **degraded** when some but not all are.
+    """
+    wanted = set(classes)
+    stranded: Dict[ClassLabel, int] = Counter()
+    degraded: Dict[ClassLabel, int] = Counter()
+    totals: Dict[ClassLabel, int] = Counter()
+    for device_id, summary in result.summaries.items():
+        cls = result.classifications[device_id].label
+        if cls not in wanted:
+            continue
+        used = summary.radio_flags.rats
+        if not used:
+            continue  # no radio visibility -> cannot assess
+        totals[cls] += 1
+        remaining = used - scenario.retired
+        if not remaining:
+            stranded[cls] += 1
+        elif used & scenario.retired:
+            degraded[cls] += 1
+    if not totals:
+        raise ValueError("no devices with radio visibility")
+    return SunsetImpact(
+        scenario=scenario,
+        stranded_share={
+            cls: stranded[cls] / totals[cls] for cls in totals
+        },
+        degraded_share={
+            cls: degraded[cls] / totals[cls] for cls in totals
+        },
+        n_devices=dict(totals),
+    )
+
+
+def stranded_device_ids(
+    result: PipelineResult, scenario: SunsetScenario
+) -> Set[str]:
+    """The concrete devices a retirement would orphan."""
+    orphans: Set[str] = set()
+    for device_id, summary in result.summaries.items():
+        used = summary.radio_flags.rats
+        if used and not (used - scenario.retired):
+            orphans.add(device_id)
+    return orphans

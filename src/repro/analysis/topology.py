@@ -1,0 +1,131 @@
+"""Roaming-ecosystem topology analysis (§2.1) via networkx.
+
+"Operators connect to a hubbing solution provider to gain access to many
+roaming partners, externalizing the roaming interworking establishment
+to the roaming hub provider … The roaming hub solution does not preclude
+the existence of bilateral agreements and can be viewed as a complement
+to the bilateral roaming model."
+
+The agreement registry *is* a graph — operators as nodes, agreements as
+edges, each marked bilateral or hub-mediated.  This module materializes
+it with networkx and answers the structural questions §2 raises: how
+much reach the hub adds, how central the hub-homed operators are, and
+what the partner-degree distribution looks like for platform HMNOs vs
+ordinary operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import OperatorRegistry
+from repro.roaming.agreements import AgreementRegistry
+
+
+def agreement_graph(
+    operators: OperatorRegistry, agreements: AgreementRegistry
+) -> nx.DiGraph:
+    """Build the directed roaming graph.
+
+    Node key: PLMN string.  Node attrs: ``country``, ``name``.  Edge
+    attrs: ``via_hub`` (bool), ``rats`` (sorted list of RAT values).
+    """
+    graph = nx.DiGraph()
+    for operator in operators:
+        if operator.is_mvno:
+            continue
+        graph.add_node(
+            str(operator.plmn),
+            country=operator.country.iso,
+            name=operator.name,
+        )
+    for agreement in agreements:
+        home = str(agreement.home)
+        visited = str(agreement.visited)
+        if home in graph and visited in graph:
+            graph.add_edge(
+                home,
+                visited,
+                via_hub=agreement.via_hub,
+                rats=sorted(r.value for r in agreement.rats),
+            )
+    return graph
+
+
+@dataclass
+class TopologyStats:
+    """Structural summary of the roaming ecosystem."""
+
+    n_operators: int
+    n_agreements: int
+    hub_mediated_share: float
+    mean_out_degree: float
+    max_out_degree: int
+    max_out_degree_operator: str
+    countries_reachable_from: Dict[str, int]
+
+    def reach_of(self, plmn: str) -> int:
+        return self.countries_reachable_from.get(plmn, 0)
+
+
+def topology_stats(
+    graph: nx.DiGraph, focus_plmns: Optional[List[str]] = None
+) -> TopologyStats:
+    """Degree structure and country reach of the agreement graph."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("empty agreement graph")
+    out_degrees = dict(graph.out_degree())
+    top = max(out_degrees, key=out_degrees.get)
+    hub_edges = sum(1 for _, _, d in graph.edges(data=True) if d["via_hub"])
+
+    reach: Dict[str, int] = {}
+    for plmn in focus_plmns or []:
+        if plmn not in graph:
+            reach[plmn] = 0
+            continue
+        countries = {
+            graph.nodes[partner]["country"] for partner in graph.successors(plmn)
+        }
+        reach[plmn] = len(countries)
+
+    return TopologyStats(
+        n_operators=graph.number_of_nodes(),
+        n_agreements=graph.number_of_edges(),
+        hub_mediated_share=(
+            hub_edges / graph.number_of_edges() if graph.number_of_edges() else 0.0
+        ),
+        mean_out_degree=sum(out_degrees.values()) / len(out_degrees),
+        max_out_degree=out_degrees[top],
+        max_out_degree_operator=graph.nodes[top]["name"],
+        countries_reachable_from=reach,
+    )
+
+
+def hub_reach_gain(
+    graph: nx.DiGraph, plmn: str
+) -> Tuple[int, int]:
+    """(bilateral-only country reach, total reach) for one operator.
+
+    The difference is exactly what the hub bought the operator — the
+    §2.1 argument for hubbing, quantified.
+    """
+    if plmn not in graph:
+        raise KeyError(f"unknown operator {plmn}")
+    bilateral: Set[str] = set()
+    total: Set[str] = set()
+    for partner in graph.successors(plmn):
+        country = graph.nodes[partner]["country"]
+        total.add(country)
+        if not graph.edges[plmn, partner]["via_hub"]:
+            bilateral.add(country)
+    return len(bilateral), len(total)
+
+
+def reciprocity_holds(graph: nx.DiGraph) -> bool:
+    """Roaming agreements in this world are provisioned reciprocally;
+    verify the graph reflects that (every edge has its reverse)."""
+    return all(graph.has_edge(v, u) for u, v in graph.edges)

@@ -1,0 +1,89 @@
+"""Traffic-volume analysis: Fig. 10 (signaling, calls, data per class).
+
+Per device class and roaming configuration (native vs inbound roaming):
+
+* radio-resource-management signaling events per device per active day
+  (M2M ≪ smartphones; feature phones lowest);
+* voice calls per day (vast majority of M2M devices: none);
+* data bytes per day (inbound M2M ≈ inbound feature phones, tiny;
+  inbound smartphones ≪ native smartphones — bill shock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.stats import ECDF
+from repro.core.classifier import ClassLabel
+from repro.pipeline import PipelineResult
+
+
+class RoamingGroup(str, Enum):
+    """The two roaming configurations Fig. 10 contrasts."""
+
+    NATIVE = "native"
+    INBOUND = "inbound"
+
+
+GroupKey = Tuple[ClassLabel, RoamingGroup]
+
+
+@dataclass
+class Fig10Result:
+    """Per-(class, group) ECDFs of the three per-day traffic metrics."""
+
+    signaling_per_day: Dict[GroupKey, ECDF]
+    calls_per_day: Dict[GroupKey, ECDF]
+    bytes_per_day: Dict[GroupKey, ECDF]
+
+    def median(self, metric: str, cls: ClassLabel, group: RoamingGroup) -> float:
+        table: Dict[GroupKey, ECDF] = getattr(self, metric)
+        ecdf = table.get((cls, group))
+        return ecdf.median if ecdf else float("nan")
+
+    def zero_call_fraction(self, cls: ClassLabel, group: RoamingGroup) -> float:
+        ecdf = self.calls_per_day.get((cls, group))
+        return ecdf.fraction_at_most(0.0) if ecdf else float("nan")
+
+
+def _group_of(result: PipelineResult, device_id: str) -> Optional[RoamingGroup]:
+    label = result.summaries[device_id].label
+    if label.is_inbound_roamer:
+        return RoamingGroup.INBOUND
+    if label.visited.value == "H" and label.sim.value in ("H", "V"):
+        return RoamingGroup.NATIVE
+    return None
+
+
+def fig10_traffic_volumes(
+    result: PipelineResult,
+    classes: Iterable[ClassLabel] = (
+        ClassLabel.SMART,
+        ClassLabel.FEAT,
+        ClassLabel.M2M,
+    ),
+) -> Fig10Result:
+    """Signaling / calls / bytes per device per active day (Fig. 10)."""
+    wanted = set(classes)
+    signaling: Dict[GroupKey, List[float]] = {}
+    calls: Dict[GroupKey, List[float]] = {}
+    data: Dict[GroupKey, List[float]] = {}
+    for device_id, summary in result.summaries.items():
+        cls = result.classifications[device_id].label
+        if cls not in wanted:
+            continue
+        group = _group_of(result, device_id)
+        if group is None or summary.active_days == 0:
+            continue
+        key = (cls, group)
+        days = summary.active_days
+        signaling.setdefault(key, []).append(summary.n_events / days)
+        calls.setdefault(key, []).append(summary.n_calls / days)
+        data.setdefault(key, []).append(summary.bytes_total / days)
+    return Fig10Result(
+        signaling_per_day={k: ECDF(v) for k, v in signaling.items() if v},
+        calls_per_day={k: ECDF(v) for k, v in calls.items() if v},
+        bytes_per_day={k: ECDF(v) for k, v in data.items() if v},
+    )

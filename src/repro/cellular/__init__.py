@@ -1,0 +1,49 @@
+"""Cellular-ecosystem substrate: numbering, operators, radio, geography.
+
+This subpackage models the pieces of the cellular ecosystem that the paper's
+datasets reference but never explain: PLMN numbering (MCC/MNC), subscriber
+and equipment identifiers (IMSI/IMEI/TAC), country and operator registries,
+radio access technologies, cell-sector geometry, and a synthetic GSMA-style
+TAC device catalog.
+
+Everything downstream (signaling simulation, the M2M platform, the visited
+MNO, and the classification pipeline) is built on these primitives.
+"""
+
+from repro.cellular.countries import Country, CountryRegistry, default_countries
+from repro.cellular.identifiers import (
+    IMEI,
+    IMSI,
+    PLMN,
+    hash_device_id,
+    luhn_check_digit,
+)
+from repro.cellular.operators import Operator, OperatorRegistry, OperatorType
+from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.geo import GeoPoint, haversine_km, weighted_centroid
+from repro.cellular.sectors import Sector, SectorCatalog
+from repro.cellular.tac_db import DeviceModel, TACDatabase, GSMALabel
+
+__all__ = [
+    "Country",
+    "CountryRegistry",
+    "default_countries",
+    "DeviceModel",
+    "GeoPoint",
+    "GSMALabel",
+    "IMEI",
+    "IMSI",
+    "Operator",
+    "OperatorRegistry",
+    "OperatorType",
+    "PLMN",
+    "RAT",
+    "RadioFlags",
+    "Sector",
+    "SectorCatalog",
+    "TACDatabase",
+    "hash_device_id",
+    "haversine_km",
+    "luhn_check_digit",
+    "weighted_centroid",
+]

@@ -1,0 +1,167 @@
+"""Country registry: ISO codes, MCCs, regions and roaming regulation.
+
+The paper's analyses pivot on the country level constantly — home country
+of inbound roamers (Fig. 5), visited countries of the M2M platform (Fig. 2),
+the EU "roam like at home" regulation that explains the Spanish HMNO's
+footprint, and Latin-American roaming restrictions that keep the Mexican
+and Argentinian fleets home-bound.  This module provides the country
+substrate those analyses join against.
+
+Coordinates are approximate country centroids — good enough to give
+sector grids a plausible geography for the radius-of-gyration analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+
+class Region(str, Enum):
+    """Coarse world region, used for roaming-regulation defaults."""
+
+    EUROPE = "europe"
+    LATIN_AMERICA = "latin_america"
+    NORTH_AMERICA = "north_america"
+    ASIA = "asia"
+    OCEANIA = "oceania"
+    AFRICA = "africa"
+    MIDDLE_EAST = "middle_east"
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country participating in the cellular ecosystem.
+
+    ``mcc`` is the primary Mobile Country Code (some real countries have
+    several; one is enough for our purposes).  ``eu_roaming`` marks
+    membership in the EU roam-like-at-home zone; ``roaming_restricted``
+    marks markets (per the paper, parts of Latin America) whose local
+    rules discourage permanent roaming.
+    """
+
+    iso: str
+    name: str
+    mcc: int
+    region: Region
+    lat: float
+    lon: float
+    radius_km: float = 300.0
+    eu_roaming: bool = False
+    roaming_restricted: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.iso) != 2 or not self.iso.isupper():
+            raise ValueError(f"ISO code must be 2 uppercase letters: {self.iso!r}")
+        if not 100 <= self.mcc <= 999:
+            raise ValueError(f"MCC must be 3 digits, got {self.mcc}")
+
+
+class CountryRegistry:
+    """Lookup table of countries by ISO code and by MCC."""
+
+    def __init__(self, countries: List[Country]):
+        self._by_iso: Dict[str, Country] = {}
+        self._by_mcc: Dict[int, Country] = {}
+        for country in countries:
+            if country.iso in self._by_iso:
+                raise ValueError(f"duplicate ISO code {country.iso}")
+            if country.mcc in self._by_mcc:
+                raise ValueError(f"duplicate MCC {country.mcc}")
+            self._by_iso[country.iso] = country
+            self._by_mcc[country.mcc] = country
+
+    def __len__(self) -> int:
+        return len(self._by_iso)
+
+    def __iter__(self) -> Iterator[Country]:
+        return iter(self._by_iso.values())
+
+    def __contains__(self, iso: str) -> bool:
+        return iso in self._by_iso
+
+    def by_iso(self, iso: str) -> Country:
+        try:
+            return self._by_iso[iso]
+        except KeyError:
+            raise KeyError(f"unknown country ISO code {iso!r}") from None
+
+    def by_mcc(self, mcc: int) -> Optional[Country]:
+        """Return the country for an MCC, or None if unknown."""
+        return self._by_mcc.get(mcc)
+
+    def in_region(self, region: Region) -> List[Country]:
+        return [c for c in self if c.region == region]
+
+
+# MCCs below follow the real ITU allocation where practical so that the
+# generated identifiers read plausibly (e.g. 214 = Spain, 234 = UK).
+_COUNTRY_ROWS = [
+    # iso, name, mcc, region, lat, lon, radius_km, eu, restricted
+    ("ES", "Spain", 214, Region.EUROPE, 40.4, -3.7, 450, True, False),
+    ("GB", "United Kingdom", 234, Region.EUROPE, 52.5, -1.5, 400, False, False),
+    ("DE", "Germany", 262, Region.EUROPE, 51.1, 10.4, 400, True, False),
+    ("FR", "France", 208, Region.EUROPE, 46.6, 2.4, 450, True, False),
+    ("IT", "Italy", 222, Region.EUROPE, 42.8, 12.6, 400, True, False),
+    ("NL", "Netherlands", 204, Region.EUROPE, 52.2, 5.5, 150, True, False),
+    ("SE", "Sweden", 240, Region.EUROPE, 60.1, 15.0, 500, True, False),
+    ("NO", "Norway", 242, Region.EUROPE, 61.0, 9.0, 500, False, False),
+    ("PT", "Portugal", 268, Region.EUROPE, 39.6, -8.0, 250, True, False),
+    ("IE", "Ireland", 272, Region.EUROPE, 53.2, -7.7, 180, True, False),
+    ("BE", "Belgium", 206, Region.EUROPE, 50.6, 4.5, 120, True, False),
+    ("CH", "Switzerland", 228, Region.EUROPE, 46.8, 8.2, 150, False, False),
+    ("AT", "Austria", 232, Region.EUROPE, 47.6, 14.1, 200, True, False),
+    ("PL", "Poland", 260, Region.EUROPE, 52.1, 19.4, 350, True, False),
+    ("CZ", "Czechia", 230, Region.EUROPE, 49.8, 15.5, 200, True, False),
+    ("RO", "Romania", 226, Region.EUROPE, 45.9, 25.0, 280, True, False),
+    ("GR", "Greece", 202, Region.EUROPE, 39.1, 22.9, 250, True, False),
+    ("DK", "Denmark", 238, Region.EUROPE, 56.0, 10.0, 150, True, False),
+    ("FI", "Finland", 244, Region.EUROPE, 64.0, 26.0, 450, True, False),
+    ("HU", "Hungary", 216, Region.EUROPE, 47.2, 19.5, 180, True, False),
+    ("MX", "Mexico", 334, Region.LATIN_AMERICA, 23.6, -102.5, 900, False, True),
+    ("AR", "Argentina", 722, Region.LATIN_AMERICA, -34.6, -64.0, 1100, False, True),
+    ("BR", "Brazil", 724, Region.LATIN_AMERICA, -10.8, -52.9, 1600, False, True),
+    ("CL", "Chile", 730, Region.LATIN_AMERICA, -33.5, -70.7, 900, False, True),
+    ("CO", "Colombia", 732, Region.LATIN_AMERICA, 4.6, -74.1, 600, False, True),
+    ("PE", "Peru", 716, Region.LATIN_AMERICA, -9.2, -75.0, 700, False, True),
+    ("UY", "Uruguay", 748, Region.LATIN_AMERICA, -32.8, -56.0, 250, False, True),
+    ("US", "United States", 310, Region.NORTH_AMERICA, 39.8, -98.6, 2000, False, False),
+    ("CA", "Canada", 302, Region.NORTH_AMERICA, 56.1, -106.3, 1800, False, False),
+    ("AU", "Australia", 505, Region.OCEANIA, -25.3, 133.8, 1600, False, False),
+    ("NZ", "New Zealand", 530, Region.OCEANIA, -41.8, 172.8, 500, False, False),
+    ("JP", "Japan", 440, Region.ASIA, 36.2, 138.3, 600, False, False),
+    ("KR", "South Korea", 450, Region.ASIA, 36.5, 127.8, 250, False, False),
+    ("CN", "China", 460, Region.ASIA, 35.9, 104.2, 1800, False, False),
+    ("IN", "India", 404, Region.ASIA, 21.1, 78.0, 1300, False, False),
+    ("SG", "Singapore", 525, Region.ASIA, 1.35, 103.8, 30, False, False),
+    ("TR", "Turkey", 286, Region.MIDDLE_EAST, 39.0, 35.2, 550, False, False),
+    ("AE", "United Arab Emirates", 424, Region.MIDDLE_EAST, 24.0, 54.0, 200, False, False),
+    ("ZA", "South Africa", 655, Region.AFRICA, -29.0, 25.1, 650, False, False),
+    ("MA", "Morocco", 604, Region.AFRICA, 31.8, -7.1, 400, False, False),
+    ("EG", "Egypt", 602, Region.AFRICA, 26.8, 30.8, 500, False, False),
+]
+
+
+def default_countries() -> CountryRegistry:
+    """Build the default world model used by the simulators.
+
+    42 countries spanning every region; enough breadth to reproduce the
+    "ES SIMs active in 77 countries" flavour of the paper at reduced
+    scale while keeping generated datasets small.
+    """
+    countries = [
+        Country(
+            iso=iso,
+            name=name,
+            mcc=mcc,
+            region=region,
+            lat=lat,
+            lon=lon,
+            radius_km=radius,
+            eu_roaming=eu,
+            roaming_restricted=restricted,
+        )
+        for iso, name, mcc, region, lat, lon, radius, eu, restricted in _COUNTRY_ROWS
+    ]
+    return CountryRegistry(countries)

@@ -1,0 +1,177 @@
+"""Cellular numbering-plan identifiers: PLMN, IMSI, IMEI and TAC.
+
+These follow the real formats (ITU E.212 for IMSI, 3GPP TS 23.003 for IMEI)
+closely enough that downstream code exercises the same parsing and joining
+logic an operator pipeline would:
+
+* A :class:`PLMN` is the (MCC, MNC) pair identifying a mobile network.
+* An :class:`IMSI` is ``MCC + MNC + MSIN`` (15 digits total); the leading
+  PLMN digits are what roaming-label assignment keys on.
+* An :class:`IMEI` is ``TAC (8 digits) + serial (6 digits) + Luhn check
+  digit``; the 8-digit TAC is statically allocated to a device vendor and
+  is the join key into the GSMA device catalog.
+
+Device identifiers in exported datasets are one-way hashed, mirroring the
+anonymization the paper describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def luhn_check_digit(digits: str) -> int:
+    """Return the Luhn check digit for a string of decimal digits.
+
+    The IMEI's 15th digit is the Luhn check digit over the first 14.
+
+    >>> luhn_check_digit("49015420323751")
+    8
+    """
+    if not digits.isdigit():
+        raise ValueError(f"Luhn input must be decimal digits, got {digits!r}")
+    total = 0
+    # Rightmost digit of the *input* is doubled (it sits next to the check
+    # digit position).
+    for index, char in enumerate(reversed(digits)):
+        value = int(char)
+        if index % 2 == 0:
+            value *= 2
+            if value > 9:
+                value -= 9
+        total += value
+    return (10 - total % 10) % 10
+
+
+def luhn_is_valid(digits: str) -> bool:
+    """Return True if ``digits`` (payload + check digit) passes Luhn."""
+    if len(digits) < 2 or not digits.isdigit():
+        return False
+    return luhn_check_digit(digits[:-1]) == int(digits[-1])
+
+
+@dataclass(frozen=True, order=True)
+class PLMN:
+    """A Public Land Mobile Network identity: (MCC, MNC).
+
+    MCC is always three digits.  MNC is two or three digits depending on
+    the national numbering plan; we keep the digit count explicit so that
+    string round-trips are exact.
+    """
+
+    mcc: int
+    mnc: int
+    mnc_digits: int = 2
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.mcc <= 999:
+            raise ValueError(f"MCC must be 3 digits, got {self.mcc}")
+        if self.mnc_digits not in (2, 3):
+            raise ValueError(f"MNC length must be 2 or 3, got {self.mnc_digits}")
+        if not 0 <= self.mnc < 10**self.mnc_digits:
+            raise ValueError(
+                f"MNC {self.mnc} does not fit in {self.mnc_digits} digits"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.mcc:03d}{self.mnc:0{self.mnc_digits}d}"
+
+    @property
+    def mcc_str(self) -> str:
+        return f"{self.mcc:03d}"
+
+    @property
+    def mnc_str(self) -> str:
+        return f"{self.mnc:0{self.mnc_digits}d}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PLMN":
+        """Parse ``MCCMNC`` text (5 or 6 digits) into a PLMN."""
+        if not text.isdigit() or len(text) not in (5, 6):
+            raise ValueError(f"PLMN string must be 5 or 6 digits, got {text!r}")
+        return cls(mcc=int(text[:3]), mnc=int(text[3:]), mnc_digits=len(text) - 3)
+
+
+@dataclass(frozen=True)
+class IMSI:
+    """An International Mobile Subscriber Identity.
+
+    ``plmn`` identifies the SIM-issuing (home) network; ``msin`` is the
+    subscriber number within it.  Total length is 15 digits.
+    """
+
+    plmn: PLMN
+    msin: int
+
+    def __post_init__(self) -> None:
+        msin_digits = 15 - len(str(self.plmn))
+        if not 0 <= self.msin < 10**msin_digits:
+            raise ValueError(
+                f"MSIN {self.msin} does not fit in {msin_digits} digits"
+            )
+
+    def __str__(self) -> str:
+        msin_digits = 15 - len(str(self.plmn))
+        return f"{self.plmn}{self.msin:0{msin_digits}d}"
+
+    @classmethod
+    def parse(cls, text: str, mnc_digits: int = 2) -> "IMSI":
+        """Parse a 15-digit IMSI, assuming ``mnc_digits`` for the MNC."""
+        if not text.isdigit() or len(text) != 15:
+            raise ValueError(f"IMSI must be 15 digits, got {text!r}")
+        plmn = PLMN.parse(text[: 3 + mnc_digits])
+        return cls(plmn=plmn, msin=int(text[3 + mnc_digits:]))
+
+    def in_range(self, lo: "IMSI", hi: "IMSI") -> bool:
+        """Return True if this IMSI lies in the inclusive range [lo, hi].
+
+        Dedicated IMSI ranges are how the paper's UK MNO segregates its
+        SMIP smart-meter SIMs.
+        """
+        return int(str(lo)) <= int(str(self)) <= int(str(hi))
+
+
+@dataclass(frozen=True)
+class IMEI:
+    """An International Mobile Equipment Identity.
+
+    ``tac`` (8 digits) identifies the device model via the GSMA catalog;
+    ``serial`` (6 digits) identifies the unit; the final digit is Luhn.
+    """
+
+    tac: int
+    serial: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tac < 10**8:
+            raise ValueError(f"TAC must be 8 digits, got {self.tac}")
+        if not 0 <= self.serial < 10**6:
+            raise ValueError(f"IMEI serial must be 6 digits, got {self.serial}")
+
+    @property
+    def check_digit(self) -> int:
+        return luhn_check_digit(f"{self.tac:08d}{self.serial:06d}")
+
+    def __str__(self) -> str:
+        return f"{self.tac:08d}{self.serial:06d}{self.check_digit}"
+
+    @classmethod
+    def parse(cls, text: str) -> "IMEI":
+        """Parse a 15-digit IMEI, validating the Luhn check digit."""
+        if not text.isdigit() or len(text) != 15:
+            raise ValueError(f"IMEI must be 15 digits, got {text!r}")
+        if not luhn_is_valid(text):
+            raise ValueError(f"IMEI {text!r} fails the Luhn check")
+        return cls(tac=int(text[:8]), serial=int(text[8:14]))
+
+
+def hash_device_id(identifier: str, salt: str = "where-things-roam") -> str:
+    """One-way hash an identifier into a stable anonymous device ID.
+
+    Both of the paper's datasets carry only hashed device identifiers; we
+    apply the same treatment so no raw IMSI/IMEI ever appears in an
+    exported record.
+    """
+    digest = hashlib.sha256(f"{salt}:{identifier}".encode("utf-8")).hexdigest()
+    return digest[:16]

@@ -1,0 +1,111 @@
+"""Mobile network operators: MNOs, MVNOs and their registry.
+
+The roaming-label assignment in the paper (§4.2) needs to answer, for any
+SIM PLMN seen on the wire: is this *our* network, one of *our hosted
+MVNOs*, another operator *in our country*, or a *foreign* operator?  The
+:class:`OperatorRegistry` is the lookup that answers those questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.cellular.countries import Country
+from repro.cellular.identifiers import PLMN
+from repro.cellular.rats import RAT
+
+
+class OperatorType(str, Enum):
+    MNO = "mno"
+    MVNO = "mvno"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A mobile operator (facilities-based MNO or hosted MVNO).
+
+    ``rats`` lists the generations the operator's radio network supports.
+    An MVNO has no radio network of its own; its ``host_plmn`` points to
+    the MNO whose infrastructure it rides (the paper's "V" SIM-label
+    devices are exactly the hosted-MVNO SIMs).
+    """
+
+    name: str
+    plmn: PLMN
+    country: Country
+    operator_type: OperatorType = OperatorType.MNO
+    rats: FrozenSet[RAT] = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+    host_plmn: Optional[PLMN] = None
+
+    def __post_init__(self) -> None:
+        if self.plmn.mcc != self.country.mcc:
+            raise ValueError(
+                f"operator {self.name}: PLMN MCC {self.plmn.mcc} does not match "
+                f"country {self.country.iso} MCC {self.country.mcc}"
+            )
+        if self.operator_type is OperatorType.MVNO and self.host_plmn is None:
+            raise ValueError(f"MVNO {self.name} must declare a host PLMN")
+        if self.operator_type is OperatorType.MNO and self.host_plmn is not None:
+            raise ValueError(f"MNO {self.name} must not declare a host PLMN")
+
+    @property
+    def is_mvno(self) -> bool:
+        return self.operator_type is OperatorType.MVNO
+
+    def supports(self, rat: RAT) -> bool:
+        return rat in self.rats
+
+
+class OperatorRegistry:
+    """All operators in the modelled world, keyed by PLMN."""
+
+    def __init__(self, operators: Optional[List[Operator]] = None):
+        self._by_plmn: Dict[PLMN, Operator] = {}
+        for operator in operators or []:
+            self.add(operator)
+
+    def add(self, operator: Operator) -> None:
+        if operator.plmn in self._by_plmn:
+            raise ValueError(f"duplicate PLMN {operator.plmn}")
+        if operator.is_mvno and operator.host_plmn not in self._by_plmn:
+            raise ValueError(
+                f"MVNO {operator.name}: host PLMN {operator.host_plmn} not registered"
+            )
+        self._by_plmn[operator.plmn] = operator
+
+    def __len__(self) -> int:
+        return len(self._by_plmn)
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self._by_plmn.values())
+
+    def __contains__(self, plmn: PLMN) -> bool:
+        return plmn in self._by_plmn
+
+    def by_plmn(self, plmn: PLMN) -> Operator:
+        try:
+            return self._by_plmn[plmn]
+        except KeyError:
+            raise KeyError(f"unknown PLMN {plmn}") from None
+
+    def get(self, plmn: PLMN) -> Optional[Operator]:
+        return self._by_plmn.get(plmn)
+
+    def in_country(self, iso: str) -> List[Operator]:
+        return [op for op in self if op.country.iso == iso]
+
+    def mnos_in_country(self, iso: str) -> List[Operator]:
+        return [op for op in self.in_country(iso) if not op.is_mvno]
+
+    def mvnos_hosted_by(self, host: Operator) -> List[Operator]:
+        """MVNOs riding ``host``'s radio network."""
+        return [op for op in self if op.is_mvno and op.host_plmn == host.plmn]
+
+    def host_of(self, operator: Operator) -> Operator:
+        """Resolve an MVNO to its hosting MNO (identity for MNOs)."""
+        if not operator.is_mvno:
+            return operator
+        assert operator.host_plmn is not None
+        return self.by_plmn(operator.host_plmn)

@@ -1,0 +1,103 @@
+"""Radio Access Technologies and the devices-catalog radio-flags bitmask.
+
+The paper summarizes each device's radio activity into "radio-flags, a
+series of three 1-bit flags which are set to 1 if the device has
+successfully communicated with 2G, 3G, 4G sectors respectively".
+:class:`RadioFlags` implements exactly that encoding, plus the handful of
+set-operations the network-usage analysis (Fig. 9) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Iterable, Tuple
+
+
+class RAT(str, Enum):
+    """A Radio Access Technology generation."""
+
+    GSM = "2G"
+    UMTS = "3G"
+    LTE = "4G"
+
+    @property
+    def generation(self) -> int:
+        return {"2G": 2, "3G": 3, "4G": 4}[self.value]
+
+    @classmethod
+    def from_generation(cls, generation: int) -> "RAT":
+        try:
+            return {2: cls.GSM, 3: cls.UMTS, 4: cls.LTE}[generation]
+        except KeyError:
+            raise ValueError(f"unsupported RAT generation {generation}") from None
+
+
+_RAT_BITS = {RAT.GSM: 0b001, RAT.UMTS: 0b010, RAT.LTE: 0b100}
+
+
+@dataclass(frozen=True)
+class RadioFlags:
+    """Three 1-bit flags recording successful 2G/3G/4G activity.
+
+    Stored as a 3-bit mask (bit 0 = 2G, bit 1 = 3G, bit 2 = 4G), matching
+    the devices-catalog encoding in the paper (§4.1).
+    """
+
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mask <= 0b111:
+            raise ValueError(f"radio-flags mask must fit in 3 bits, got {self.mask}")
+
+    @classmethod
+    def from_rats(cls, rats: Iterable[RAT]) -> "RadioFlags":
+        mask = 0
+        for rat in rats:
+            mask |= _RAT_BITS[rat]
+        return cls(mask)
+
+    def with_rat(self, rat: RAT) -> "RadioFlags":
+        """Return a copy with ``rat``'s bit set."""
+        return RadioFlags(self.mask | _RAT_BITS[rat])
+
+    def union(self, other: "RadioFlags") -> "RadioFlags":
+        return RadioFlags(self.mask | other.mask)
+
+    def has(self, rat: RAT) -> bool:
+        return bool(self.mask & _RAT_BITS[rat])
+
+    @property
+    def rats(self) -> FrozenSet[RAT]:
+        return frozenset(rat for rat, bit in _RAT_BITS.items() if self.mask & bit)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.mask == 0
+
+    def only(self, rat: RAT) -> bool:
+        """True if exactly this one RAT bit is set (e.g. "2G-only")."""
+        return self.mask == _RAT_BITS[rat]
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return (flag_2g, flag_3g, flag_4g) as 0/1 ints."""
+        return (
+            int(self.has(RAT.GSM)),
+            int(self.has(RAT.UMTS)),
+            int(self.has(RAT.LTE)),
+        )
+
+    def label(self) -> str:
+        """A human-readable usage-pattern label, e.g. "2G-only", "3G+4G".
+
+        These labels are the categories of Fig. 9's bars.
+        """
+        if self.is_empty:
+            return "none"
+        parts = sorted((rat.value for rat in self.rats), key=lambda v: int(v[0]))
+        if len(parts) == 1:
+            return f"{parts[0]}-only"
+        return "+".join(parts)
+
+    def __str__(self) -> str:
+        return self.label()

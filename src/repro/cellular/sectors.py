@@ -1,0 +1,131 @@
+"""Cell sectors and per-operator sector catalogs.
+
+The MNO's measurement pipeline records, per radio event, the sector that
+handled the communication; mobility metrics then map sector IDs back to
+physical coordinates via the operator's sector catalog (§4.1).  We model
+a sector as a (site position, RAT) pair and give each operator a grid of
+sites scattered inside its country footprint, with 2G/3G/4G collocated
+per site where the operator supports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cellular.geo import GeoPoint, haversine_km, scatter_points
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+
+
+@dataclass(frozen=True)
+class Sector:
+    """A radio sector: where a device's traffic touches the ground."""
+
+    sector_id: int
+    plmn_str: str
+    rat: RAT
+    position: GeoPoint
+
+
+class SectorCatalog:
+    """All sectors of one operator, with nearest-sector queries.
+
+    The catalog is what lets the devices-catalog builder convert the
+    sector IDs in radio logs into coordinates for centroid/gyration
+    computation.
+    """
+
+    def __init__(self, operator: Operator, sectors: Sequence[Sector]):
+        self.operator = operator
+        self._sectors: List[Sector] = list(sectors)
+        self._by_id: Dict[int, Sector] = {s.sector_id: s for s in self._sectors}
+        if len(self._by_id) != len(self._sectors):
+            raise ValueError("duplicate sector IDs in catalog")
+        self._by_rat: Dict[RAT, List[Sector]] = {rat: [] for rat in RAT}
+        for sector in self._sectors:
+            self._by_rat[sector.rat].append(sector)
+        # Flat arrays for fast vectorized nearest-sector lookups.
+        self._positions: Dict[RAT, np.ndarray] = {
+            rat: np.array([[s.position.lat, s.position.lon] for s in sectors_])
+            if sectors_
+            else np.empty((0, 2))
+            for rat, sectors_ in self._by_rat.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._sectors)
+
+    def __iter__(self) -> Iterator[Sector]:
+        return iter(self._sectors)
+
+    def by_id(self, sector_id: int) -> Sector:
+        try:
+            return self._by_id[sector_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown sector {sector_id} for {self.operator.name}"
+            ) from None
+
+    def sectors_for(self, rat: RAT) -> List[Sector]:
+        return list(self._by_rat[rat])
+
+    def nearest(self, point: GeoPoint, rat: RAT) -> Optional[Sector]:
+        """Return the nearest sector of the given RAT, or None if the
+        operator has no sectors of that generation."""
+        candidates = self._by_rat[rat]
+        if not candidates:
+            return None
+        coords = self._positions[rat]
+        # Equirectangular approximation is fine for ranking nearby sites.
+        dlat = coords[:, 0] - point.lat
+        dlon = (coords[:, 1] - point.lon) * np.cos(np.radians(point.lat))
+        index = int(np.argmin(dlat * dlat + dlon * dlon))
+        return candidates[index]
+
+    def position_of(self, sector_id: int) -> GeoPoint:
+        return self.by_id(sector_id).position
+
+    def max_intersite_km(self) -> float:
+        """Rough grid coarseness: max distance from country center to a site."""
+        center = GeoPoint(self.operator.country.lat, self.operator.country.lon)
+        return max(
+            (haversine_km(s.position, center) for s in self._sectors), default=0.0
+        )
+
+
+def build_sector_catalog(
+    operator: Operator,
+    sites: int,
+    rng: np.random.Generator,
+    sector_id_base: int = 0,
+) -> SectorCatalog:
+    """Scatter ``sites`` radio sites in the operator's country and emit
+    one sector per supported RAT per site.
+
+    Sector IDs are globally unique when callers pass non-overlapping
+    ``sector_id_base`` ranges (the builder consumes at most
+    ``sites * len(RAT)`` IDs).
+    """
+    if operator.is_mvno:
+        raise ValueError(f"MVNO {operator.name} has no radio network")
+    if sites <= 0:
+        raise ValueError("sites must be positive")
+    center = GeoPoint(operator.country.lat, operator.country.lon)
+    positions = scatter_points(center, operator.country.radius_km, sites, rng)
+    sectors: List[Sector] = []
+    next_id = sector_id_base
+    for position in positions:
+        for rat in sorted(operator.rats, key=lambda r: r.generation):
+            sectors.append(
+                Sector(
+                    sector_id=next_id,
+                    plmn_str=str(operator.plmn),
+                    rat=rat,
+                    position=position,
+                )
+            )
+            next_id += 1
+    return SectorCatalog(operator, sectors)

@@ -1,0 +1,258 @@
+"""Synthetic GSMA-style TAC device catalog.
+
+The paper joins every observed device's TAC (the leading 8 digits of its
+IMEI) against a commercial GSMA database yielding manufacturer, model,
+operating system, supported radio bands and a coarse device label.  The
+coarse labels are deliberately unhelpful for IoT — "devices other than
+smartphones are mostly marked as 'modem' or 'module'" — which is exactly
+why the paper needs the multi-step classifier.  Our synthetic catalog
+reproduces that skew: M2M modules from the big module makers (Gemalto,
+Telit, Sierra Wireless account for 75% of inbound-roaming devices in the
+paper) carry only MODEM/MODULE labels, and a long tail of small vendors
+pads the vendor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cellular.rats import RAT
+
+
+class GSMALabel(str, Enum):
+    """Coarse device-type label as carried by the GSMA catalog."""
+
+    SMARTPHONE = "smartphone"
+    FEATURE_PHONE = "feature phone"
+    MODEM = "modem"
+    MODULE = "module"
+    TABLET = "tablet"
+    WEARABLE = "wearable"
+    UNKNOWN = "unknown"
+
+
+class DeviceOS(str, Enum):
+    """Operating system as recorded by the catalog.
+
+    The paper's `smart` rule keys on "a major smartphone OS (android,
+    iOS, blackberry, windows mobile)".
+    """
+
+    ANDROID = "android"
+    IOS = "ios"
+    BLACKBERRY = "blackberry"
+    WINDOWS_MOBILE = "windows mobile"
+    PROPRIETARY = "proprietary"
+    RTOS = "rtos"
+    NONE = "none"
+
+
+SMARTPHONE_OSES = frozenset(
+    {DeviceOS.ANDROID, DeviceOS.IOS, DeviceOS.BLACKBERRY, DeviceOS.WINDOWS_MOBILE}
+)
+
+# Vendors the paper names as dominating the inbound-roaming M2M population.
+M2M_MODULE_VENDORS = ("Gemalto", "Telit", "Sierra Wireless")
+SMARTPHONE_VENDORS = ("Samsung", "Apple", "Huawei", "Xiaomi", "LG", "Sony", "Motorola")
+FEATURE_PHONE_VENDORS = ("Nokia", "Alcatel", "ZTE", "Doro")
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One row of the TAC catalog: a hardware model and its properties."""
+
+    tac: int
+    manufacturer: str
+    brand: str
+    model_name: str
+    os: DeviceOS
+    bands: FrozenSet[RAT]
+    label: GSMALabel
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tac < 10**8:
+            raise ValueError(f"TAC must be 8 digits, got {self.tac}")
+        if not self.bands:
+            raise ValueError(f"model {self.model_name} must support some RAT")
+
+    @property
+    def is_smartphone_os(self) -> bool:
+        return self.os in SMARTPHONE_OSES
+
+    @property
+    def property_key(self) -> tuple:
+        """(manufacturer, model) — the key used when the classifier
+        propagates an APN-derived label to "devices having the same
+        properties" (§4.3)."""
+        return (self.manufacturer, self.model_name)
+
+
+class TACDatabase:
+    """Lookup from TAC to :class:`DeviceModel`, GSMA-catalog style."""
+
+    def __init__(self, models: Sequence[DeviceModel]):
+        self._by_tac: Dict[int, DeviceModel] = {}
+        for model in models:
+            if model.tac in self._by_tac:
+                raise ValueError(f"duplicate TAC {model.tac}")
+            self._by_tac[model.tac] = model
+
+    def __len__(self) -> int:
+        return len(self._by_tac)
+
+    def __iter__(self) -> Iterator[DeviceModel]:
+        return iter(self._by_tac.values())
+
+    def lookup(self, tac: int) -> Optional[DeviceModel]:
+        """Return the model for a TAC, or None (unknown TACs do occur)."""
+        return self._by_tac.get(tac)
+
+    def by_manufacturer(self, manufacturer: str) -> List[DeviceModel]:
+        return [m for m in self if m.manufacturer == manufacturer]
+
+    def manufacturers(self) -> List[str]:
+        return sorted({m.manufacturer for m in self})
+
+
+class TACCatalogBuilder:
+    """Deterministically allocates synthetic TAC rows per device family.
+
+    TAC blocks follow the real convention of starting with a reporting-body
+    digit pair; we use 35 (BABT) for phones and 86 for modules, purely for
+    flavour.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._models: List[DeviceModel] = []
+        self._next_phone_tac = 35000000
+        self._next_module_tac = 86000000
+
+    def _alloc_tac(self, module: bool) -> int:
+        if module:
+            tac = self._next_module_tac
+            self._next_module_tac += 1
+        else:
+            tac = self._next_phone_tac
+            self._next_phone_tac += 1
+        return tac
+
+    def add_smartphones(self, models_per_vendor: int = 6) -> List[DeviceModel]:
+        added = []
+        for vendor in SMARTPHONE_VENDORS:
+            os_ = DeviceOS.IOS if vendor == "Apple" else DeviceOS.ANDROID
+            for i in range(models_per_vendor):
+                bands = {RAT.GSM, RAT.UMTS, RAT.LTE}
+                added.append(
+                    DeviceModel(
+                        tac=self._alloc_tac(module=False),
+                        manufacturer=vendor,
+                        brand=vendor,
+                        model_name=f"{vendor} S{i + 1}",
+                        os=os_,
+                        bands=frozenset(bands),
+                        label=GSMALabel.SMARTPHONE,
+                    )
+                )
+        self._models.extend(added)
+        return added
+
+    def add_feature_phones(self, models_per_vendor: int = 4) -> List[DeviceModel]:
+        added = []
+        for vendor in FEATURE_PHONE_VENDORS:
+            for i in range(models_per_vendor):
+                # Feature phones are predominantly 2G, some with 3G.
+                bands = {RAT.GSM} if i % 2 == 0 else {RAT.GSM, RAT.UMTS}
+                added.append(
+                    DeviceModel(
+                        tac=self._alloc_tac(module=False),
+                        manufacturer=vendor,
+                        brand=vendor,
+                        model_name=f"{vendor} F{i + 1}",
+                        os=DeviceOS.PROPRIETARY,
+                        bands=frozenset(bands),
+                        label=GSMALabel.FEATURE_PHONE,
+                    )
+                )
+        self._models.extend(added)
+        return added
+
+    def add_m2m_modules(
+        self,
+        models_per_vendor: int = 5,
+        lte_share: float = 0.3,
+    ) -> List[DeviceModel]:
+        """M2M modules: 2G-heavy band support, MODEM/MODULE labels only.
+
+        ``lte_share`` is the fraction of module models that are 4G-capable
+        (the M2M-platform fleet of §3 uses these); the rest mirror the
+        2G/3G-only modules that dominate the paper's UK population.
+        """
+        added = []
+        for vendor in M2M_MODULE_VENDORS:
+            for i in range(models_per_vendor):
+                roll = self._rng.random()
+                if roll < lte_share:
+                    bands = {RAT.GSM, RAT.UMTS, RAT.LTE}
+                elif roll < lte_share + 0.25:
+                    bands = {RAT.GSM, RAT.UMTS}
+                else:
+                    bands = {RAT.GSM}
+                label = GSMALabel.MODULE if i % 2 == 0 else GSMALabel.MODEM
+                added.append(
+                    DeviceModel(
+                        tac=self._alloc_tac(module=True),
+                        manufacturer=vendor,
+                        brand=vendor,
+                        model_name=f"{vendor} M{i + 1}",
+                        os=DeviceOS.RTOS,
+                        bands=frozenset(bands),
+                        label=label,
+                    )
+                )
+        self._models.extend(added)
+        return added
+
+    def add_long_tail(self, vendors: int = 40, models_per_vendor: int = 2) -> List[DeviceModel]:
+        """A long tail of small vendors with UNKNOWN labels.
+
+        The paper observes 2,436 vendors and ~25k models — far too many
+        for manual classification.  The tail is what forces the
+        property-propagation step.
+        """
+        added = []
+        for v in range(vendors):
+            vendor = f"Vendor{v:03d}"
+            for i in range(models_per_vendor):
+                is_module = bool(self._rng.random() < 0.5)
+                bands = {RAT.GSM} if is_module else {RAT.GSM, RAT.UMTS}
+                added.append(
+                    DeviceModel(
+                        tac=self._alloc_tac(module=is_module),
+                        manufacturer=vendor,
+                        brand=vendor,
+                        model_name=f"{vendor}-X{i}",
+                        os=DeviceOS.NONE if is_module else DeviceOS.PROPRIETARY,
+                        bands=frozenset(bands),
+                        label=GSMALabel.UNKNOWN,
+                    )
+                )
+        self._models.extend(added)
+        return added
+
+    def build(self) -> TACDatabase:
+        return TACDatabase(self._models)
+
+
+def default_tac_database(seed: int = 7) -> TACDatabase:
+    """The standard synthetic catalog used by both simulators."""
+    builder = TACCatalogBuilder(np.random.default_rng(seed))
+    builder.add_smartphones()
+    builder.add_feature_phones()
+    builder.add_m2m_modules()
+    builder.add_long_tail()
+    return builder.build()

@@ -1,0 +1,167 @@
+"""JSON (de)serialization of simulator configurations.
+
+Reproducibility plumbing: a simulation is fully determined by its
+configs, so persisting them alongside a generated dataset makes any run
+re-creatable.  Handles :class:`EcosystemConfig`, :class:`PlatformConfig`
+(with nested fleets and vertical mixes) and :class:`MNOConfig` —
+**excluding** the MNO segment table, which is code-defined; a config
+referencing custom segments round-trips everything else and records the
+segment-table fingerprint so mismatches are detected at load time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.devices.device import IoTVertical
+from repro.ecosystem import EcosystemConfig
+from repro.mno.config import MNOConfig, default_segments
+from repro.platform_m2m.config import HMNOFleetConfig, PlatformConfig
+
+PathLike = Union[str, Path]
+
+_KIND_KEY = "__kind__"
+
+
+def _segment_fingerprint(config: MNOConfig) -> str:
+    """Stable hash of the segment table (names + fractions + profiles)."""
+    payload = json.dumps(
+        [(s.name, s.fraction, s.profile) for s in config.segments],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def ecosystem_config_to_dict(config: EcosystemConfig) -> Dict[str, Any]:
+    """Serialize an EcosystemConfig to a JSON-ready dict."""
+    return {
+        _KIND_KEY: "EcosystemConfig",
+        "uk_sites": config.uk_sites,
+        "mvnos_on_study_mno": config.mvnos_on_study_mno,
+        "seed": config.seed,
+    }
+
+
+def platform_config_to_dict(config: PlatformConfig) -> Dict[str, Any]:
+    """Serialize a PlatformConfig (with fleets) to a JSON-ready dict."""
+    return {
+        _KIND_KEY: "PlatformConfig",
+        "n_devices": config.n_devices,
+        "window_days": config.window_days,
+        "seed": config.seed,
+        "native_median_txns": config.native_median_txns,
+        "roaming_median_txns": config.roaming_median_txns,
+        "txn_sigma": config.txn_sigma,
+        "flooder_prob": config.flooder_prob,
+        "flooder_multiplier": config.flooder_multiplier,
+        "failed_only_fraction": config.failed_only_fraction,
+        "sporadic_failure_prob": config.sporadic_failure_prob,
+        "steering_mix": list(config.steering_mix),
+        "fleets": {
+            iso: {
+                "share": fleet.share,
+                "roaming_fraction": fleet.roaming_fraction,
+                "visited_country_zipf": fleet.visited_country_zipf,
+                "multi_country_fraction": fleet.multi_country_fraction,
+                "vertical_mix": {
+                    vertical.value: weight
+                    for vertical, weight in fleet.vertical_mix.items()
+                },
+            }
+            for iso, fleet in config.fleets.items()
+        },
+    }
+
+
+def mno_config_to_dict(config: MNOConfig) -> Dict[str, Any]:
+    """Serialize an MNOConfig (sans segment table) to a JSON-ready dict."""
+    return {
+        _KIND_KEY: "MNOConfig",
+        "n_devices": config.n_devices,
+        "window_days": config.window_days,
+        "seed": config.seed,
+        "voice_event_fraction": config.voice_event_fraction,
+        "segment_fingerprint": _segment_fingerprint(config),
+    }
+
+
+def config_from_dict(payload: Dict[str, Any]):
+    """Rebuild a config object from its dict form."""
+    kind = payload.get(_KIND_KEY)
+    if kind == "EcosystemConfig":
+        return EcosystemConfig(
+            uk_sites=payload["uk_sites"],
+            mvnos_on_study_mno=payload["mvnos_on_study_mno"],
+            seed=payload["seed"],
+        )
+    if kind == "PlatformConfig":
+        fleets = {
+            iso: HMNOFleetConfig(
+                share=f["share"],
+                roaming_fraction=f["roaming_fraction"],
+                visited_country_zipf=f["visited_country_zipf"],
+                multi_country_fraction=f["multi_country_fraction"],
+                vertical_mix={
+                    IoTVertical(v): w for v, w in f["vertical_mix"].items()
+                },
+            )
+            for iso, f in payload["fleets"].items()
+        }
+        return PlatformConfig(
+            n_devices=payload["n_devices"],
+            window_days=payload["window_days"],
+            seed=payload["seed"],
+            fleets=fleets,
+            native_median_txns=payload["native_median_txns"],
+            roaming_median_txns=payload["roaming_median_txns"],
+            txn_sigma=payload["txn_sigma"],
+            flooder_prob=payload["flooder_prob"],
+            flooder_multiplier=payload["flooder_multiplier"],
+            failed_only_fraction=payload["failed_only_fraction"],
+            sporadic_failure_prob=payload["sporadic_failure_prob"],
+            steering_mix=tuple(payload["steering_mix"]),
+        )
+    if kind == "MNOConfig":
+        config = MNOConfig(
+            n_devices=payload["n_devices"],
+            window_days=payload["window_days"],
+            seed=payload["seed"],
+            segments=default_segments(),
+            voice_event_fraction=payload["voice_event_fraction"],
+        )
+        expected = payload.get("segment_fingerprint")
+        actual = _segment_fingerprint(config)
+        if expected is not None and expected != actual:
+            raise ValueError(
+                f"segment table changed since this config was saved "
+                f"(saved {expected}, current {actual})"
+            )
+        return config
+    raise ValueError(f"unknown config kind {kind!r}")
+
+
+def to_dict(config) -> Dict[str, Any]:
+    """Dispatch on config type."""
+    if isinstance(config, EcosystemConfig):
+        return ecosystem_config_to_dict(config)
+    if isinstance(config, PlatformConfig):
+        return platform_config_to_dict(config)
+    if isinstance(config, MNOConfig):
+        return mno_config_to_dict(config)
+    raise TypeError(f"unsupported config type {type(config).__name__}")
+
+
+def save_config(path: PathLike, config) -> None:
+    """Write a config as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_dict(config), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_config(path: PathLike):
+    """Read a config back from JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return config_from_dict(json.load(handle))

@@ -1,0 +1,244 @@
+"""APN parsing, the keyword inventory, and APN-string generation.
+
+An Access Point Name has two parts (3GPP TS 23.003): a Network
+Identifier chosen by the service ("smhp.centricaplc.com") and an
+optional Operator Identifier ("mnc004.mcc204.gprs") naming the home
+network.  The paper's key observation is that the Network Identifier
+often *encodes the vertical*: ranking the 4,603 observed APNs by device
+count surfaced 26 keywords that map to M2M/IoT verticals (§4.3).
+
+This module provides:
+
+* :func:`parse_apn` — split an APN into NI and OI, recovering home
+  MCC/MNC when present;
+* :class:`KeywordInventory` — the curated keyword→vertical table (the
+  stand-in for the paper's "information found online");
+* :func:`classify_apn` — M2M (with vertical) / consumer / unknown;
+* generator helpers used by the MNO population synthesizer to mint
+  realistic APN strings per segment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.devices.device import IoTVertical
+
+
+class APNKind(str, Enum):
+    """Coarse APN classification outcome."""
+
+    M2M = "m2m"
+    CONSUMER = "consumer"
+    UNKNOWN = "unknown"
+
+
+_OI_RE = re.compile(r"\.mnc(\d{2,3})\.mcc(\d{3})\.gprs$")
+
+
+@dataclass(frozen=True)
+class APN:
+    """A parsed APN: network identifier plus optional home PLMN."""
+
+    network_id: str
+    mcc: Optional[int] = None
+    mnc: Optional[int] = None
+
+    @property
+    def has_operator_id(self) -> bool:
+        return self.mcc is not None
+
+    def __str__(self) -> str:
+        if not self.has_operator_id:
+            return self.network_id
+        return f"{self.network_id}.mnc{self.mnc:03d}.mcc{self.mcc:03d}.gprs"
+
+
+def parse_apn(apn: str) -> APN:
+    """Split an APN string into network and operator identifiers."""
+    if not apn:
+        raise ValueError("empty APN string")
+    text = apn.strip().lower()
+    match = _OI_RE.search(text)
+    if match:
+        return APN(
+            network_id=text[: match.start()],
+            mnc=int(match.group(1)),
+            mcc=int(match.group(2)),
+        )
+    return APN(network_id=text)
+
+
+# -- keyword inventory --------------------------------------------------------
+
+#: Consumer-service keywords: APNs people-phones use.  An APN whose NI
+#: contains one of these is "a consumer APN" in the paper's smart/feat
+#: rules.
+CONSUMER_KEYWORDS = (
+    "internet",
+    "payandgo",
+    "prepay",
+    "web",
+    "wap",
+    "mms",
+    "broadband",
+    "mobiledata",
+)
+
+
+class KeywordInventory:
+    """The curated keyword→vertical mapping (the paper's 26 keywords).
+
+    Matching is substring-on-the-NI, like the paper's; the table is
+    constructed so no consumer keyword collides with an M2M keyword.
+    """
+
+    def __init__(self, mapping: Mapping[str, IoTVertical]):
+        if not mapping:
+            raise ValueError("empty keyword inventory")
+        overlapping = [k for k in mapping if any(c in k or k in c for c in CONSUMER_KEYWORDS)]
+        if overlapping:
+            raise ValueError(f"keywords collide with consumer terms: {overlapping}")
+        # Longest-first so "intelligent.m2m" wins over "m2m".
+        self._ordered: List[Tuple[str, IoTVertical]] = sorted(
+            mapping.items(), key=lambda kv: -len(kv[0])
+        )
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    @property
+    def keywords(self) -> List[str]:
+        return [k for k, _ in self._ordered]
+
+    def match(self, network_id: str) -> Optional[Tuple[str, IoTVertical]]:
+        """Return (keyword, vertical) for the first matching keyword."""
+        for keyword, vertical in self._ordered:
+            if keyword in network_id:
+                return keyword, vertical
+        return None
+
+
+#: Energy companies the paper names as identifiable in SMIP-roaming APNs.
+ENERGY_COMPANIES = ("centricaplc", "rwe", "elster", "ge-energy", "bglobal")
+
+#: Automotive brands used by the connected-car APN generator.
+AUTOMOTIVE_BRANDS = ("scania", "bmw-cars", "vwag", "daimler")
+
+
+def default_keyword_inventory() -> KeywordInventory:
+    """The 26-keyword inventory mirroring the paper's curated list."""
+    mapping: Dict[str, IoTVertical] = {}
+    # Energy / smart metering.
+    for company in ENERGY_COMPANIES:
+        mapping[company] = IoTVertical.SMART_METER
+    mapping["smhp"] = IoTVertical.SMART_METER
+    mapping["smartmeter"] = IoTVertical.SMART_METER
+    mapping["metering"] = IoTVertical.SMART_METER
+    # Automotive.
+    for brand in AUTOMOTIVE_BRANDS:
+        mapping[brand] = IoTVertical.CONNECTED_CAR
+    mapping["telematics"] = IoTVertical.CONNECTED_CAR
+    mapping["connectedcar"] = IoTVertical.CONNECTED_CAR
+    # Global IoT SIM platforms.
+    mapping["intelligent.m2m"] = IoTVertical.OTHER
+    mapping["globaliot"] = IoTVertical.OTHER
+    mapping["m2mplatform"] = IoTVertical.OTHER
+    # Generic machine keywords.
+    mapping["m2m"] = IoTVertical.OTHER
+    mapping["iotsim"] = IoTVertical.OTHER
+    mapping["telemetry"] = IoTVertical.OTHER
+    # Wearables.
+    mapping["wearable"] = IoTVertical.WEARABLE
+    mapping["smartwatch"] = IoTVertical.WEARABLE
+    # Logistics / asset tracking.
+    mapping["fleettrack"] = IoTVertical.LOGISTICS
+    mapping["assettrack"] = IoTVertical.LOGISTICS
+    mapping["logistics"] = IoTVertical.LOGISTICS
+    # Payment.
+    mapping["paymentpos"] = IoTVertical.PAYMENT
+    mapping["posterminal"] = IoTVertical.PAYMENT
+    return KeywordInventory(mapping)
+
+
+def classify_apn(
+    apn: str, inventory: Optional[KeywordInventory] = None
+) -> Tuple[APNKind, Optional[IoTVertical], Optional[str]]:
+    """Classify one APN string: (kind, vertical, matched keyword)."""
+    inventory = inventory or default_keyword_inventory()
+    parsed = parse_apn(apn)
+    matched = inventory.match(parsed.network_id)
+    if matched:
+        keyword, vertical = matched
+        return APNKind.M2M, vertical, keyword
+    for keyword in CONSUMER_KEYWORDS:
+        if keyword in parsed.network_id:
+            return APNKind.CONSUMER, None, keyword
+    return APNKind.UNKNOWN, None, None
+
+
+# -- generators (used by the population synthesizer) ---------------------------
+
+def energy_meter_apn(company: str, home_mcc: int, home_mnc: int) -> str:
+    """SMIP-roaming style APN, e.g. smhp.centricaplc.com.mnc004.mcc204.gprs."""
+    if company not in ENERGY_COMPANIES:
+        raise ValueError(f"unknown energy company {company!r}")
+    return f"smhp.{company}.com.mnc{home_mnc:03d}.mcc{home_mcc:03d}.gprs"
+
+
+def connected_car_apn(brand: str) -> str:
+    """A connected-car telematics APN for a known automotive brand."""
+    if brand not in AUTOMOTIVE_BRANDS:
+        raise ValueError(f"unknown automotive brand {brand!r}")
+    return f"{brand}.telematics.net"
+
+
+def platform_iot_apn() -> str:
+    """The global IoT SIM provider's shared APN."""
+    return "intelligent.m2m.gdsp"
+
+
+def vertical_apn(vertical: IoTVertical, rng_choice: int = 0) -> str:
+    """A plausible APN for any vertical (used for minor verticals)."""
+    options = {
+        IoTVertical.SMART_METER: ["smartmeter.grid.net", "metering.utility.com"],
+        IoTVertical.CONNECTED_CAR: [connected_car_apn(b) for b in AUTOMOTIVE_BRANDS],
+        IoTVertical.WEARABLE: ["wearable.cloud.io", "smartwatch.sync.net"],
+        IoTVertical.PAYMENT: ["paymentpos.acquirer.net", "posterminal.bank.com"],
+        IoTVertical.LOGISTICS: ["fleettrack.global.net", "assettrack.ship.io"],
+        IoTVertical.OTHER: [platform_iot_apn(), "iotsim.global.net", "telemetry.hub.io"],
+    }[vertical]
+    return options[rng_choice % len(options)]
+
+
+def consumer_apn(operator_slug: str, rng_choice: int = 0) -> str:
+    """A consumer APN for a person-device on ``operator_slug``'s network."""
+    options = [
+        f"internet.{operator_slug}.com",
+        f"payandgo.{operator_slug}.com",
+        f"web.{operator_slug}.net",
+        f"wap.{operator_slug}.net",
+        f"mms.{operator_slug}.com",
+    ]
+    return options[rng_choice % len(options)]
+
+
+def generic_operator_apn(operator_slug: str, rng_choice: int = 0) -> str:
+    """A generic operator APN that matches no keyword at all.
+
+    These are the 2,178 "generic strings" of the paper — present in the
+    data, useless for classification.
+    """
+    options = [
+        f"data.{operator_slug}",
+        f"gprs.{operator_slug}",
+        f"apn.{operator_slug}.net",
+        f"standard.{operator_slug}",
+    ]
+    return options[rng_choice % len(options)]

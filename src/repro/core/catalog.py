@@ -1,0 +1,311 @@
+"""The daily devices-catalog: the paper's central data product (§4.1).
+
+"We combine the three data sources to create a daily list of active
+devices and associated properties and traffic characteristics …  Each
+record in the generated catalog reports a device ID, total number of
+events, calls, bytes seen, SIM MCC/MNC, list of visited MCC-MNC, list of
+APN strings, device manufacturer, device model, device OS", radio-flags
+and mobility metrics.
+
+:class:`CatalogBuilder` streams radio events and CDR/xDR records into
+per-(device, day) accumulators, joins the TAC catalog for device
+properties and the sector catalog for mobility, and emits
+:class:`DeviceDayRecord` rows plus whole-window :class:`DeviceSummary`
+aggregates (the unit most of the paper's figures are computed over).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.sectors import SectorCatalog
+from repro.cellular.tac_db import DeviceModel, TACDatabase
+from repro.core.mobility import MobilityMetrics, daily_mobility
+from repro.core.roaming import RoamingLabel, RoamingLabeler, VisitedSide
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+
+@dataclass(frozen=True)
+class DeviceDayRecord:
+    """One devices-catalog row: one device on one day."""
+
+    device_id: str
+    day: int
+    sim_plmn: str
+    visited_plmns: FrozenSet[str]
+    n_events: int
+    n_failed_events: int
+    n_calls: int
+    voice_minutes: float
+    n_data_sessions: int
+    bytes_total: int
+    apns: FrozenSet[str]
+    radio_flags: RadioFlags
+    voice_flags: RadioFlags
+    data_flags: RadioFlags
+    mobility: Optional[MobilityMetrics]
+    on_home_network: bool
+
+    @property
+    def has_activity(self) -> bool:
+        return bool(self.n_events or self.n_calls or self.n_data_sessions)
+
+
+@dataclass
+class DeviceSummary:
+    """Whole-window aggregate for one device.
+
+    ``voice_flags``/``data_flags`` split radio activity per plane — the
+    inputs to Fig. 9's three panels.  ``label`` is the device's roaming
+    label; ``model`` its GSMA-catalog join (None when the TAC is unknown
+    or the device was only seen in CDR/xDRs).
+    """
+
+    device_id: str
+    sim_plmn: str
+    label: RoamingLabel
+    active_days: int
+    n_events: int = 0
+    n_failed_events: int = 0
+    n_calls: int = 0
+    voice_minutes: float = 0.0
+    n_data_sessions: int = 0
+    bytes_total: int = 0
+    apns: FrozenSet[str] = frozenset()
+    visited_plmns: FrozenSet[str] = frozenset()
+    radio_flags: RadioFlags = RadioFlags()
+    voice_flags: RadioFlags = RadioFlags()
+    data_flags: RadioFlags = RadioFlags()
+    tac: Optional[int] = None
+    model: Optional[DeviceModel] = None
+    mean_gyration_km: Optional[float] = None
+
+    @property
+    def manufacturer(self) -> Optional[str]:
+        return self.model.manufacturer if self.model else None
+
+    @property
+    def has_voice(self) -> bool:
+        return self.n_calls > 0 or not self.voice_flags.is_empty
+
+    @property
+    def has_data(self) -> bool:
+        return self.n_data_sessions > 0 or not self.data_flags.is_empty
+
+    @property
+    def property_key(self) -> Optional[tuple]:
+        """(manufacturer, model) key for classifier propagation."""
+        return self.model.property_key if self.model else None
+
+    def signaling_per_day(self) -> float:
+        return self.n_events / self.active_days if self.active_days else 0.0
+
+
+class _DayAccumulator:
+    """Mutable per-(device, day) aggregation state."""
+
+    __slots__ = (
+        "radio_events",
+        "n_calls",
+        "voice_minutes",
+        "n_data_sessions",
+        "bytes_total",
+        "apns",
+        "visited_plmns",
+        "on_home_network",
+    )
+
+    def __init__(self) -> None:
+        self.radio_events: List[RadioEvent] = []
+        self.n_calls = 0
+        self.voice_minutes = 0.0
+        self.n_data_sessions = 0
+        self.bytes_total = 0
+        self.apns: Set[str] = set()
+        self.visited_plmns: Set[str] = set()
+        self.on_home_network = False
+
+
+class CatalogBuilder:
+    """Joins the three data sources into the devices-catalog."""
+
+    def __init__(
+        self,
+        tac_db: TACDatabase,
+        sector_catalog: SectorCatalog,
+        labeler: RoamingLabeler,
+        compute_mobility: bool = True,
+    ):
+        self._tac_db = tac_db
+        self._sectors = sector_catalog
+        self._labeler = labeler
+        self._compute_mobility = compute_mobility
+        self._observer_plmn = str(labeler.observer.plmn)
+
+    # -- streaming ingestion ------------------------------------------------
+
+    def _accumulate(
+        self,
+        radio_events: Iterable[RadioEvent],
+        service_records: Iterable[ServiceRecord],
+    ) -> Tuple[Dict[Tuple[str, int], _DayAccumulator], Dict[str, str], Dict[str, int]]:
+        days: Dict[Tuple[str, int], _DayAccumulator] = defaultdict(_DayAccumulator)
+        sim_plmn_of: Dict[str, str] = {}
+        tac_of: Dict[str, int] = {}
+
+        for event in radio_events:
+            acc = days[(event.device_id, event.day)]
+            acc.radio_events.append(event)
+            acc.on_home_network = True
+            acc.visited_plmns.add(self._observer_plmn)
+            sim_plmn_of.setdefault(event.device_id, event.sim_plmn)
+            tac_of.setdefault(event.device_id, event.tac)
+
+        for record in service_records:
+            acc = days[(record.device_id, record.day)]
+            acc.visited_plmns.add(record.visited_plmn)
+            if record.visited_plmn == self._observer_plmn:
+                acc.on_home_network = True
+            if record.is_voice:
+                acc.n_calls += 1
+                acc.voice_minutes += record.duration_s / 60.0
+            else:
+                acc.n_data_sessions += 1
+                acc.bytes_total += record.bytes_total
+                if record.apn:
+                    acc.apns.add(record.apn)
+            sim_plmn_of.setdefault(record.device_id, record.sim_plmn)
+
+        return days, sim_plmn_of, tac_of
+
+    def _day_record(
+        self, device_id: str, day: int, sim_plmn: str, acc: _DayAccumulator
+    ) -> DeviceDayRecord:
+        flags = RadioFlags()
+        voice_flags = RadioFlags()
+        data_flags = RadioFlags()
+        n_failed = 0
+        for event in acc.radio_events:
+            if event.is_success:
+                flags = flags.with_rat(event.rat)
+                if event.interface.is_voice:
+                    voice_flags = voice_flags.with_rat(event.rat)
+                else:
+                    data_flags = data_flags.with_rat(event.rat)
+            else:
+                n_failed += 1
+        mobility = (
+            daily_mobility(acc.radio_events, self._sectors)
+            if self._compute_mobility and acc.radio_events
+            else None
+        )
+        return DeviceDayRecord(
+            device_id=device_id,
+            day=day,
+            sim_plmn=sim_plmn,
+            visited_plmns=frozenset(acc.visited_plmns),
+            n_events=len(acc.radio_events),
+            n_failed_events=n_failed,
+            n_calls=acc.n_calls,
+            voice_minutes=acc.voice_minutes,
+            n_data_sessions=acc.n_data_sessions,
+            bytes_total=acc.bytes_total,
+            apns=frozenset(acc.apns),
+            radio_flags=flags,
+            voice_flags=voice_flags,
+            data_flags=data_flags,
+            mobility=mobility,
+            on_home_network=acc.on_home_network,
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def build_day_records(
+        self,
+        radio_events: Iterable[RadioEvent],
+        service_records: Iterable[ServiceRecord],
+    ) -> List[DeviceDayRecord]:
+        """Emit the daily devices-catalog, sorted by (device, day)."""
+        days, sim_plmn_of, _ = self._accumulate(radio_events, service_records)
+        records = [
+            self._day_record(device_id, day, sim_plmn_of[device_id], acc)
+            for (device_id, day), acc in days.items()
+        ]
+        records.sort(key=lambda r: (r.device_id, r.day))
+        return records
+
+    def summarize(
+        self, day_records: Iterable[DeviceDayRecord], tac_of: Dict[str, int]
+    ) -> Dict[str, DeviceSummary]:
+        """Roll daily records up into whole-window device summaries."""
+        by_device: Dict[str, List[DeviceDayRecord]] = defaultdict(list)
+        for record in day_records:
+            by_device[record.device_id].append(record)
+
+        summaries: Dict[str, DeviceSummary] = {}
+        for device_id, records in by_device.items():
+            ever_home = any(r.on_home_network for r in records)
+            # A device never seen on the home network was only observed
+            # through CDR/xDRs from partner networks: an outbound roamer.
+            any_visited = next(iter(records[0].visited_plmns), self._observer_plmn)
+            label = self._labeler.label(
+                records[0].sim_plmn,
+                self._observer_plmn if ever_home else any_visited,
+            )
+            tac = tac_of.get(device_id)
+            model = self._tac_db.lookup(tac) if tac is not None else None
+            gyrations = [
+                r.mobility.gyration_km for r in records if r.mobility is not None
+            ]
+            apns: Set[str] = set()
+            visited: Set[str] = set()
+            flags = RadioFlags()
+            voice_flags = RadioFlags()
+            data_flags = RadioFlags()
+            for r in records:
+                apns.update(r.apns)
+                visited.update(r.visited_plmns)
+                flags = flags.union(r.radio_flags)
+                voice_flags = voice_flags.union(r.voice_flags)
+                data_flags = data_flags.union(r.data_flags)
+            summaries[device_id] = DeviceSummary(
+                device_id=device_id,
+                sim_plmn=records[0].sim_plmn,
+                label=label,
+                active_days=sum(1 for r in records if r.has_activity),
+                n_events=sum(r.n_events for r in records),
+                n_failed_events=sum(r.n_failed_events for r in records),
+                n_calls=sum(r.n_calls for r in records),
+                voice_minutes=sum(r.voice_minutes for r in records),
+                n_data_sessions=sum(r.n_data_sessions for r in records),
+                bytes_total=sum(r.bytes_total for r in records),
+                apns=frozenset(apns),
+                visited_plmns=frozenset(visited),
+                radio_flags=flags,
+                voice_flags=voice_flags,
+                data_flags=data_flags,
+                tac=tac,
+                model=model,
+                mean_gyration_km=(
+                    sum(gyrations) / len(gyrations) if gyrations else None
+                ),
+            )
+        return summaries
+
+    def build(
+        self,
+        radio_events: Iterable[RadioEvent],
+        service_records: Iterable[ServiceRecord],
+    ) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary]]:
+        """One-shot: daily records plus per-device summaries."""
+        days, sim_plmn_of, tac_of = self._accumulate(radio_events, service_records)
+        records = [
+            self._day_record(device_id, day, sim_plmn_of[device_id], acc)
+            for (device_id, day), acc in days.items()
+        ]
+        records.sort(key=lambda r: (r.device_id, r.day))
+        return records, self.summarize(records, tac_of)

@@ -1,0 +1,156 @@
+"""Keyword-discovery tooling: how the 26 keywords were found (§4.3).
+
+"Ranking the APNs by number of devices using it, we identified 26
+'keywords' in the APN string which we mapped to M2M/IoT verticals using
+information found online."
+
+That ranking-and-eyeballing workflow is tooling-shaped; this module
+implements it so an analyst facing a *new* APN population can re-run
+the paper's procedure:
+
+1. :func:`candidate_keywords` tokenizes the top APNs' Network
+   Identifiers, drops operator/consumer/structural noise tokens, and
+   ranks the remaining tokens by distinct-device support;
+2. the analyst maps surviving candidates to verticals (the "information
+   found online" step — here, against :func:`known_vertical_lookup` or
+   their own research);
+3. :func:`build_inventory` turns confirmed mappings into a
+   :class:`~repro.core.apn.KeywordInventory` ready for the classifier.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.apn import (
+    CONSUMER_KEYWORDS,
+    KeywordInventory,
+    default_keyword_inventory,
+    parse_apn,
+)
+from repro.core.catalog import DeviceSummary
+from repro.devices.device import IoTVertical
+
+#: Structural / operator tokens that carry no vertical signal.
+NOISE_TOKENS: FrozenSet[str] = frozenset(
+    {
+        "com", "net", "org", "gprs", "apn", "data", "standard", "mobile",
+        "cloud", "io", "global", "gb", "uk", "es", "nl", "se", "de",
+    }
+)
+
+
+@dataclass(frozen=True)
+class KeywordCandidate:
+    """One candidate token with its evidence."""
+
+    token: str
+    n_devices: int
+    n_apns: int
+    example_apn: str
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1 or self.n_apns < 1:
+            raise ValueError("candidate must have support")
+
+
+def _tokens(network_id: str) -> List[str]:
+    return [t for t in network_id.replace("-", ".").split(".") if t]
+
+
+def candidate_keywords(
+    summaries: Iterable[DeviceSummary],
+    min_devices: int = 3,
+    max_candidates: int = 50,
+) -> List[KeywordCandidate]:
+    """Rank candidate vertical keywords from an APN population.
+
+    A token survives when it (a) appears in APN Network Identifiers used
+    by at least ``min_devices`` distinct devices, (b) is not a consumer
+    keyword, operator slug fragment or structural noise token, and (c)
+    is not purely numeric.
+    """
+    devices_per_token: Dict[str, Set[str]] = defaultdict(set)
+    apns_per_token: Dict[str, Set[str]] = defaultdict(set)
+    example: Dict[str, str] = {}
+    for summary in summaries:
+        for apn in summary.apns:
+            network_id = parse_apn(apn).network_id
+            for token in _tokens(network_id):
+                devices_per_token[token].add(summary.device_id)
+                apns_per_token[token].add(apn)
+                example.setdefault(token, apn)
+
+    candidates: List[KeywordCandidate] = []
+    for token, devices in devices_per_token.items():
+        if len(devices) < min_devices:
+            continue
+        if token in NOISE_TOKENS or token.isdigit():
+            continue
+        if any(consumer in token for consumer in CONSUMER_KEYWORDS):
+            continue
+        candidates.append(
+            KeywordCandidate(
+                token=token,
+                n_devices=len(devices),
+                n_apns=len(apns_per_token[token]),
+                example_apn=example[token],
+            )
+        )
+    candidates.sort(key=lambda c: (-c.n_devices, c.token))
+    return candidates[:max_candidates]
+
+
+def known_vertical_lookup(token: str) -> Optional[IoTVertical]:
+    """The stand-in for "information found online": does the default
+    inventory already know this token (or a keyword containing it)?"""
+    inventory = default_keyword_inventory()
+    for keyword, vertical in inventory:
+        if token in keyword or keyword in token:
+            return vertical
+    return None
+
+
+def auto_map_candidates(
+    candidates: Iterable[KeywordCandidate],
+) -> Tuple[Dict[str, IoTVertical], List[KeywordCandidate]]:
+    """Split candidates into (auto-mapped, needs-research).
+
+    Auto-mapping uses :func:`known_vertical_lookup`; the remainder is
+    what a human analyst would take to a search engine.
+    """
+    mapped: Dict[str, IoTVertical] = {}
+    unknown: List[KeywordCandidate] = []
+    for candidate in candidates:
+        vertical = known_vertical_lookup(candidate.token)
+        if vertical is not None:
+            mapped[candidate.token] = vertical
+        else:
+            unknown.append(candidate)
+    return mapped, unknown
+
+
+def build_inventory(mapping: Mapping[str, IoTVertical]) -> KeywordInventory:
+    """Materialize confirmed keyword→vertical mappings as an inventory."""
+    return KeywordInventory(dict(mapping))
+
+
+def discovery_report(
+    summaries: Iterable[DeviceSummary], min_devices: int = 3
+) -> str:
+    """Human-readable end-to-end discovery run (for examples/CLI)."""
+    candidates = candidate_keywords(summaries, min_devices=min_devices)
+    mapped, unknown = auto_map_candidates(candidates)
+    lines = [f"candidate keywords: {len(candidates)}"]
+    lines.append(f"auto-mapped to verticals: {len(mapped)}")
+    for token, vertical in sorted(mapped.items()):
+        lines.append(f"  {token:<20} -> {vertical.value}")
+    lines.append(f"needing manual research: {len(unknown)}")
+    for candidate in unknown[:10]:
+        lines.append(
+            f"  {candidate.token:<20} ({candidate.n_devices} devices, "
+            f"e.g. {candidate.example_apn})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Roaming-label assignment: the ``<X:Y>`` tags of §4.2.
+
+Every record in the devices-catalog gets a label ``<X:Y>`` where X
+describes the SIM relative to the MNO under study — **H**ome (our SIM),
+**V**irtual (an MVNO we host), **N**ational (another MNO of our country)
+or **I**nternational — and Y describes where the device is attached:
+**H**ome (on our network) or **A**broad (on a foreign network; visible
+only through CDR/xDR records).
+
+Six labels are observable in practice: H:H, H:A, V:H, V:A, N:H and I:H.
+An N:A or I:A device (foreign SIM, foreign network) never appears in any
+of the MNO's data sources, so those combinations cannot occur — the
+labeler raises if asked to produce one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator, OperatorRegistry
+
+
+class SimOrigin(str, Enum):
+    """The X component: whose SIM is it?"""
+
+    HOME = "H"
+    VIRTUAL = "V"
+    NATIONAL = "N"
+    INTERNATIONAL = "I"
+
+
+class VisitedSide(str, Enum):
+    """The Y component: where is the device attached?"""
+
+    HOME = "H"
+    ABROAD = "A"
+
+
+@dataclass(frozen=True)
+class RoamingLabel:
+    """A full ``<X:Y>`` roaming label."""
+
+    sim: SimOrigin
+    visited: VisitedSide
+
+    def __post_init__(self) -> None:
+        if self.visited is VisitedSide.ABROAD and self.sim in (
+            SimOrigin.NATIONAL,
+            SimOrigin.INTERNATIONAL,
+        ):
+            raise ValueError(
+                f"label {self.sim.value}:A is unobservable: a foreign SIM on a "
+                "foreign network never appears in the MNO's records"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.sim.value}:{self.visited.value}"
+
+    @property
+    def is_native(self) -> bool:
+        """Our SIM on our network."""
+        return self.sim is SimOrigin.HOME and self.visited is VisitedSide.HOME
+
+    @property
+    def is_inbound_roamer(self) -> bool:
+        """A foreign-country SIM using our radio network (I:H)."""
+        return self.sim is SimOrigin.INTERNATIONAL and self.visited is VisitedSide.HOME
+
+    @property
+    def is_outbound_roamer(self) -> bool:
+        """Our own (or hosted-MVNO) SIM attached abroad."""
+        return self.visited is VisitedSide.ABROAD
+
+    @classmethod
+    def parse(cls, text: str) -> "RoamingLabel":
+        try:
+            x, y = text.split(":")
+            return cls(SimOrigin(x), VisitedSide(y))
+        except (ValueError, KeyError):
+            raise ValueError(f"malformed roaming label {text!r}") from None
+
+
+#: All six observable labels, in the order the paper's heatmaps use.
+OBSERVABLE_LABELS = (
+    RoamingLabel(SimOrigin.HOME, VisitedSide.HOME),
+    RoamingLabel(SimOrigin.HOME, VisitedSide.ABROAD),
+    RoamingLabel(SimOrigin.VIRTUAL, VisitedSide.HOME),
+    RoamingLabel(SimOrigin.VIRTUAL, VisitedSide.ABROAD),
+    RoamingLabel(SimOrigin.NATIONAL, VisitedSide.HOME),
+    RoamingLabel(SimOrigin.INTERNATIONAL, VisitedSide.HOME),
+)
+
+
+class RoamingLabeler:
+    """Assigns ``<X:Y>`` labels from SIM and visited PLMN strings.
+
+    Needs the operator registry (to resolve MVNOs and countries) and the
+    identity of the MNO under study.
+    """
+
+    def __init__(self, registry: OperatorRegistry, observer: Operator):
+        if observer.is_mvno:
+            raise ValueError("the observing operator must be an MNO")
+        self._registry = registry
+        self._observer = observer
+        self._observer_plmn_str = str(observer.plmn)
+
+    @property
+    def observer(self) -> Operator:
+        return self._observer
+
+    def sim_origin(self, sim_plmn: str) -> SimOrigin:
+        """Classify the SIM: H, V, N or I."""
+        plmn = PLMN.parse(sim_plmn)
+        if plmn == self._observer.plmn:
+            return SimOrigin.HOME
+        operator = self._registry.get(plmn)
+        if (
+            operator is not None
+            and operator.is_mvno
+            and operator.host_plmn == self._observer.plmn
+        ):
+            return SimOrigin.VIRTUAL
+        if plmn.mcc == self._observer.plmn.mcc:
+            return SimOrigin.NATIONAL
+        return SimOrigin.INTERNATIONAL
+
+    def visited_side(self, visited_plmn: str) -> VisitedSide:
+        """Classify the attachment point: on our network, or abroad.
+
+        Attachment to another network *in our own country* is possible
+        for national roaming, but the MNO's radio logs only cover its own
+        sectors and its CDR/xDRs only cover its own SIMs; following the
+        paper we fold "attached to a network outside the country" into A
+        and everything on our network into H.
+        """
+        if visited_plmn == self._observer_plmn_str:
+            return VisitedSide.HOME
+        plmn = PLMN.parse(visited_plmn)
+        operator = self._registry.get(plmn)
+        if (
+            operator is not None
+            and operator.is_mvno
+            and operator.host_plmn == self._observer.plmn
+        ):
+            # MVNO "networks" are our own radio network.
+            return VisitedSide.HOME
+        return VisitedSide.ABROAD
+
+    def label(self, sim_plmn: str, visited_plmn: str) -> RoamingLabel:
+        """Label one (SIM, visited) pair."""
+        return RoamingLabel(
+            sim=self.sim_origin(sim_plmn),
+            visited=self.visited_side(visited_plmn),
+        )

@@ -1,0 +1,203 @@
+"""GSMA-style M2M transparency declarations and detection (§1, §8).
+
+The GSMA's LTE/EPC roaming guidelines (IR.88, cited by the paper as [2])
+recommend that home networks "provide transparency of their outbound
+roaming M2M traffic by sharing information on the dedicated APNs or
+dedicated IMSI ranges they use".  The paper's whole classification
+problem exists because that recommendation is unevenly followed.
+
+This module implements the mechanism so the two worlds can be compared:
+
+* :class:`M2MDeclaration` — one home operator's declared dedicated APNs
+  (prefix match on the Network Identifier) and/or IMSI ranges;
+* :class:`TransparencyRegistry` — the industry-wide collection;
+* :class:`TransparencyDetector` — flags inbound devices as M2M purely
+  from declarations (no inference), the §8 "NB-IoT will enable visited
+  MNOs to easily detect inbound roaming IoT devices" world;
+* :func:`coverage_report` — how much of the true M2M population each
+  approach (declarations vs the §4.3 classifier) recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.apn import parse_apn
+from repro.core.catalog import DeviceSummary
+from repro.core.classifier import Classification, ClassLabel
+from repro.datasets.containers import GroundTruthEntry
+from repro.devices.device import DeviceClass
+
+
+@dataclass(frozen=True)
+class IMSIRange:
+    """A dedicated IMSI number block [lo, hi], 15-digit values."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (10**14 <= self.lo <= self.hi < 10**15):
+            raise ValueError(f"IMSI range must be 15-digit: [{self.lo}, {self.hi}]")
+
+    def contains(self, imsi_digits: str) -> bool:
+        if len(imsi_digits) != 15 or not imsi_digits.isdigit():
+            return False
+        return self.lo <= int(imsi_digits) <= self.hi
+
+
+@dataclass(frozen=True)
+class M2MDeclaration:
+    """One home operator's transparency declaration."""
+
+    home_plmn: str
+    apn_prefixes: FrozenSet[str] = frozenset()
+    imsi_ranges: Tuple[IMSIRange, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.home_plmn.isdigit() or len(self.home_plmn) not in (5, 6):
+            raise ValueError(f"bad home PLMN {self.home_plmn!r}")
+        if not self.apn_prefixes and not self.imsi_ranges:
+            raise ValueError("a declaration must declare something")
+
+    def matches_apn(self, apn: str) -> bool:
+        network_id = parse_apn(apn).network_id
+        return any(network_id.startswith(prefix) for prefix in self.apn_prefixes)
+
+
+class TransparencyRegistry:
+    """The collection of declarations a visited MNO has received."""
+
+    def __init__(self, declarations: Optional[Iterable[M2MDeclaration]] = None):
+        self._by_home: Dict[str, List[M2MDeclaration]] = {}
+        for declaration in declarations or []:
+            self.add(declaration)
+
+    def add(self, declaration: M2MDeclaration) -> None:
+        self._by_home.setdefault(declaration.home_plmn, []).append(declaration)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_home.values())
+
+    def declarations_for(self, home_plmn: str) -> List[M2MDeclaration]:
+        return list(self._by_home.get(home_plmn, []))
+
+    def declaring_operators(self) -> Set[str]:
+        return set(self._by_home)
+
+
+class TransparencyDetector:
+    """Detects M2M devices from declarations only — zero inference.
+
+    A device is flagged when its home operator declared, and either one
+    of its APNs matches a declared prefix or (when the caller can supply
+    IMSIs — visited MNOs can, for their own SIMs at least) its IMSI
+    falls in a declared range.
+    """
+
+    def __init__(self, registry: TransparencyRegistry):
+        self._registry = registry
+
+    def detect_by_apn(self, summaries: Mapping[str, DeviceSummary]) -> Set[str]:
+        detected: Set[str] = set()
+        for device_id, summary in summaries.items():
+            declarations = self._registry.declarations_for(summary.sim_plmn)
+            if not declarations:
+                continue
+            for apn in summary.apns:
+                if any(d.matches_apn(apn) for d in declarations):
+                    detected.add(device_id)
+                    break
+        return detected
+
+    def detect_by_imsi(
+        self, imsis: Mapping[str, str]
+    ) -> Set[str]:
+        """``imsis`` maps device_id -> 15-digit IMSI string."""
+        detected: Set[str] = set()
+        for device_id, imsi in imsis.items():
+            home_plmn_candidates = (imsi[:5], imsi[:6])
+            for home_plmn in home_plmn_candidates:
+                for declaration in self._registry.declarations_for(home_plmn):
+                    if any(r.contains(imsi) for r in declaration.imsi_ranges):
+                        detected.add(device_id)
+                        break
+        return detected
+
+
+@dataclass
+class CoverageReport:
+    """How much of the true M2M population an approach recovers."""
+
+    n_true_m2m: int
+    transparency_recall: float
+    transparency_precision: float
+    classifier_recall: float
+    both_agree: float
+
+    def format(self) -> str:
+        return (
+            f"true m2m devices: {self.n_true_m2m}\n"
+            f"transparency: recall={self.transparency_recall:.3f} "
+            f"precision={self.transparency_precision:.3f}\n"
+            f"classifier:   recall={self.classifier_recall:.3f}\n"
+            f"agreement on true m2m: {self.both_agree:.3f}"
+        )
+
+
+def coverage_report(
+    detected: Set[str],
+    classifications: Mapping[str, Classification],
+    ground_truth: Mapping[str, GroundTruthEntry],
+) -> CoverageReport:
+    """Compare declaration-based detection against the §4.3 classifier."""
+    true_m2m = {
+        d
+        for d, g in ground_truth.items()
+        if g.device_class is DeviceClass.M2M and d in classifications
+    }
+    if not true_m2m:
+        raise ValueError("ground truth contains no M2M devices")
+    classifier_m2m = {
+        d for d, c in classifications.items() if c.label is ClassLabel.M2M
+    }
+    transparency_tp = len(detected & true_m2m)
+    return CoverageReport(
+        n_true_m2m=len(true_m2m),
+        transparency_recall=transparency_tp / len(true_m2m),
+        transparency_precision=(
+            transparency_tp / len(detected) if detected else 0.0
+        ),
+        classifier_recall=len(classifier_m2m & true_m2m) / len(true_m2m),
+        both_agree=len(detected & classifier_m2m & true_m2m) / len(true_m2m),
+    )
+
+
+def default_declarations(
+    nl_iot_plmn: str,
+    platform_plmns: Iterable[str],
+    declaring_fraction_note: str = "partial",
+) -> TransparencyRegistry:
+    """The declarations our modelled world would plausibly see.
+
+    Only the disciplined actors declare: the Dutch IoT-SIM operator
+    (energy-meter APNs) and the platform HMNOs (the shared global-IoT
+    APN).  Everyone else stays opaque — which is exactly why the paper
+    needs the classifier.
+    """
+    registry = TransparencyRegistry()
+    registry.add(
+        M2MDeclaration(
+            home_plmn=nl_iot_plmn,
+            apn_prefixes=frozenset({"smhp."}),
+        )
+    )
+    for plmn in platform_plmns:
+        registry.add(
+            M2MDeclaration(
+                home_plmn=plmn,
+                apn_prefixes=frozenset({"intelligent.m2m", "iotsim.", "telemetry."}),
+            )
+        )
+    return registry

@@ -1,0 +1,156 @@
+"""Classifier validation against simulator ground truth.
+
+The paper validates its classification through manual inspection and
+private operator knowledge; our simulator knows each device's true class,
+so we can score the pipeline exactly: confusion matrix, per-class
+precision/recall/F1, and overall accuracy.
+
+``m2m-maybe`` is treated the way the paper treats it — an *abstention*:
+it is excluded from precision/recall of the three real classes and
+reported separately as coverage loss.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.classifier import Classification, ClassLabel
+from repro.datasets.containers import GroundTruthEntry
+from repro.devices.device import DeviceClass
+
+_TRUTH_TO_LABEL = {
+    DeviceClass.SMART: ClassLabel.SMART,
+    DeviceClass.FEAT: ClassLabel.FEAT,
+    DeviceClass.M2M: ClassLabel.M2M,
+}
+
+
+@dataclass(frozen=True)
+class ClassScore:
+    """Precision / recall / F1 for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass
+class ValidationReport:
+    """Full scoring of a classification run."""
+
+    confusion: Dict[Tuple[ClassLabel, ClassLabel], int]
+    per_class: Dict[ClassLabel, ClassScore]
+    accuracy: float
+    abstention_rate: float
+    n_devices: int
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"devices scored: {self.n_devices}",
+            f"accuracy (decided devices): {self.accuracy:.3f}",
+            f"abstention (m2m-maybe) rate: {self.abstention_rate:.3f}",
+        ]
+        for label, score in sorted(self.per_class.items(), key=lambda kv: kv[0].value):
+            lines.append(
+                f"  {label.value:<6} precision={score.precision:.3f} "
+                f"recall={score.recall:.3f} f1={score.f1:.3f} "
+                f"support={score.support}"
+            )
+        return "\n".join(lines)
+
+
+def accuracy_by_step(
+    classifications: Mapping[str, Classification],
+    ground_truth: Mapping[str, GroundTruthEntry],
+) -> Dict[str, Tuple[int, float]]:
+    """Per-classification-step (n devices, accuracy) over decided devices.
+
+    The step ordering doubles as a confidence ordering; this is the
+    empirical check that the ordering is justified (direct APN evidence
+    should out-perform property propagation, which should out-perform
+    catalog-only fallbacks).
+    """
+    counts: Dict[str, int] = defaultdict(int)
+    correct: Dict[str, int] = defaultdict(int)
+    for device_id, predicted in classifications.items():
+        truth = ground_truth.get(device_id)
+        if truth is None or predicted.label is ClassLabel.M2M_MAYBE:
+            continue
+        step = predicted.step.value
+        counts[step] += 1
+        if predicted.label is _TRUTH_TO_LABEL[truth.device_class]:
+            correct[step] += 1
+    return {
+        step: (counts[step], correct[step] / counts[step])
+        for step in counts
+    }
+
+
+def validate_classification(
+    classifications: Mapping[str, Classification],
+    ground_truth: Mapping[str, GroundTruthEntry],
+) -> ValidationReport:
+    """Score predicted labels against ground truth.
+
+    Devices present in only one of the two mappings are skipped (e.g.
+    ground truth for devices that generated no records).
+    """
+    confusion: Dict[Tuple[ClassLabel, ClassLabel], int] = defaultdict(int)
+    decided = 0
+    correct = 0
+    abstained = 0
+    scored = 0
+
+    for device_id, predicted in classifications.items():
+        truth = ground_truth.get(device_id)
+        if truth is None:
+            continue
+        scored += 1
+        true_label = _TRUTH_TO_LABEL[truth.device_class]
+        confusion[(true_label, predicted.label)] += 1
+        if predicted.label is ClassLabel.M2M_MAYBE:
+            abstained += 1
+            continue
+        decided += 1
+        if predicted.label is true_label:
+            correct += 1
+
+    per_class: Dict[ClassLabel, ClassScore] = {}
+    for label in (ClassLabel.SMART, ClassLabel.FEAT, ClassLabel.M2M):
+        tp = confusion.get((label, label), 0)
+        fp = sum(
+            count
+            for (true, pred), count in confusion.items()
+            if pred is label and true is not label
+        )
+        support = sum(
+            count for (true, _), count in confusion.items() if true is label
+        )
+        # Recall over decided devices of this class (abstentions excluded).
+        fn = sum(
+            count
+            for (true, pred), count in confusion.items()
+            if true is label and pred is not label and pred is not ClassLabel.M2M_MAYBE
+        )
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        per_class[label] = ClassScore(
+            precision=precision, recall=recall, f1=f1, support=support
+        )
+
+    return ValidationReport(
+        confusion=dict(confusion),
+        per_class=per_class,
+        accuracy=correct / decided if decided else 0.0,
+        abstention_rate=abstained / scored if scored else 0.0,
+        n_devices=scored,
+    )

@@ -1,0 +1,54 @@
+"""Dataset containers and serialization.
+
+The two datasets of the paper — the M2M-platform signaling trace (§3.1)
+and the visited-MNO trace (§4.1) — are represented by
+:class:`M2MDataset` and :class:`MNODataset`.  Both are plain containers
+of the record types defined in :mod:`repro.signaling`, plus the side
+tables (TAC catalog, sector catalogs, ground truth) an analysis needs.
+
+:mod:`repro.datasets.io` round-trips records through JSONL so datasets
+can be generated once and re-analysed offline.
+"""
+
+from repro.datasets.containers import GroundTruthEntry, M2MDataset, MNODataset
+from repro.datasets.export import (
+    read_day_records,
+    read_summaries,
+    write_day_records,
+    write_summaries,
+)
+from repro.datasets.privacy import assert_clean, scan_export_dir, scan_file
+from repro.datasets.sampling import sample_devices, sample_transactions
+from repro.datasets.io import (
+    read_jsonl,
+    read_radio_events,
+    read_service_records,
+    read_transactions,
+    write_jsonl,
+    write_radio_events,
+    write_service_records,
+    write_transactions,
+)
+
+__all__ = [
+    "GroundTruthEntry",
+    "assert_clean",
+    "read_day_records",
+    "read_summaries",
+    "sample_devices",
+    "sample_transactions",
+    "scan_export_dir",
+    "scan_file",
+    "write_day_records",
+    "write_summaries",
+    "M2MDataset",
+    "MNODataset",
+    "read_jsonl",
+    "read_radio_events",
+    "read_service_records",
+    "read_transactions",
+    "write_jsonl",
+    "write_radio_events",
+    "write_service_records",
+    "write_transactions",
+]

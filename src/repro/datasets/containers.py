@@ -1,0 +1,112 @@
+"""Dataset containers: the in-memory form of the paper's two datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.cellular.operators import Operator
+from repro.cellular.sectors import SectorCatalog
+from repro.cellular.tac_db import TACDatabase
+from repro.devices.device import DeviceClass, IoTVertical, SimProvenance
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+from repro.signaling.procedures import SignalingTransaction
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """Simulator-side truth for one device (never visible to pipelines).
+
+    Used only by :mod:`repro.core.validation` to score the classifier,
+    and by benches to report per-segment statistics.
+    """
+
+    device_id: str
+    device_class: DeviceClass
+    provenance: SimProvenance
+    vertical: Optional[IoTVertical] = None
+    profile: str = ""
+    home_country_iso: str = ""
+    smip_native: bool = False
+    smip_roaming: bool = False
+
+
+@dataclass
+class M2MDataset:
+    """The M2M-platform signaling dataset (§3.1).
+
+    ``transactions`` is the full record stream; ``window_days`` the
+    observation length (11 in the paper); ``hmno_isos`` the home
+    countries of the platform's SIM-issuing operators.
+    """
+
+    transactions: List[SignalingTransaction]
+    window_days: int
+    hmno_isos: List[str]
+    ground_truth: Dict[str, GroundTruthEntry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+
+    @property
+    def device_ids(self) -> Set[str]:
+        return {t.device_id for t in self.transactions}
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_ids)
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    def for_sim_mcc(self, mcc: int) -> List[SignalingTransaction]:
+        """Transactions of devices whose SIM belongs to ``mcc``."""
+        return [t for t in self.transactions if t.sim_mcc == mcc]
+
+
+@dataclass
+class MNODataset:
+    """The visited-MNO dataset (§4.1): 22 days of everything the probes saw.
+
+    ``radio_events`` cover every device attached to the MNO's radio
+    network (no outbound roamers); ``service_records`` (CDR/xDR) also
+    cover outbound roamers.  ``sector_catalog`` maps sector IDs to
+    coordinates; ``tac_db`` is the GSMA-style catalog; ``observer`` is
+    the MNO under study.
+    """
+
+    observer: Operator
+    radio_events: List[RadioEvent]
+    service_records: List[ServiceRecord]
+    tac_db: TACDatabase
+    sector_catalog: SectorCatalog
+    window_days: int
+    ground_truth: Dict[str, GroundTruthEntry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+
+    @property
+    def device_ids(self) -> Set[str]:
+        ids = {e.device_id for e in self.radio_events}
+        ids.update(r.device_id for r in self.service_records)
+        return ids
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_ids)
+
+    def summary(self) -> Dict[str, int]:
+        """Quick size counts, for logging and sanity checks."""
+        return {
+            "devices": self.n_devices,
+            "radio_events": len(self.radio_events),
+            "service_records": len(self.service_records),
+            "window_days": self.window_days,
+            "sectors": len(self.sector_catalog),
+            "tac_models": len(self.tac_db),
+        }

@@ -1,0 +1,177 @@
+"""CSV export/import of the devices-catalog — the paper's data product.
+
+The daily devices-catalog (§4.1) is what the MNO's measurement pipeline
+actually materializes each day; analysts work from it, not from raw
+events.  This module round-trips both catalog levels through CSV so the
+expensive build can be done once and shared:
+
+* :func:`write_day_records` / :func:`read_day_records` — the daily rows;
+* :func:`write_summaries` / :func:`read_summaries` — whole-window
+  per-device aggregates (mobility metrics flattened to centroid/gyration
+  columns; the TAC join is re-resolvable from the ``tac`` column).
+
+Set-valued fields (APNs, visited PLMNs) are encoded with ``|`` —
+guaranteed absent from APN strings and PLMNs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.cellular.geo import GeoPoint
+from repro.cellular.rats import RadioFlags
+from repro.cellular.tac_db import TACDatabase
+from repro.core.catalog import DeviceDayRecord, DeviceSummary
+from repro.core.mobility import MobilityMetrics
+from repro.core.roaming import RoamingLabel
+
+PathLike = Union[str, Path]
+
+_SET_SEP = "|"
+
+DAY_COLUMNS = [
+    "device_id", "day", "sim_plmn", "visited_plmns", "n_events",
+    "n_failed_events", "n_calls", "voice_minutes", "n_data_sessions",
+    "bytes_total", "apns", "radio_flags", "voice_flags", "data_flags",
+    "centroid_lat", "centroid_lon", "gyration_km", "n_sectors",
+    "on_home_network",
+]
+
+SUMMARY_COLUMNS = [
+    "device_id", "sim_plmn", "label", "active_days", "n_events",
+    "n_failed_events", "n_calls", "voice_minutes", "n_data_sessions",
+    "bytes_total", "apns", "visited_plmns", "radio_flags", "voice_flags",
+    "data_flags", "tac", "mean_gyration_km",
+]
+
+
+def _encode_set(values: Iterable[str]) -> str:
+    return _SET_SEP.join(sorted(values))
+
+
+def _decode_set(text: str) -> frozenset:
+    return frozenset(part for part in text.split(_SET_SEP) if part)
+
+
+def write_day_records(path: PathLike, records: Iterable[DeviceDayRecord]) -> int:
+    """Write daily catalog rows to CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(DAY_COLUMNS)
+        for r in records:
+            mobility = r.mobility
+            writer.writerow([
+                r.device_id, r.day, r.sim_plmn, _encode_set(r.visited_plmns),
+                r.n_events, r.n_failed_events, r.n_calls,
+                f"{r.voice_minutes:.4f}", r.n_data_sessions, r.bytes_total,
+                _encode_set(r.apns), r.radio_flags.mask, r.voice_flags.mask,
+                r.data_flags.mask,
+                f"{mobility.centroid.lat:.6f}" if mobility else "",
+                f"{mobility.centroid.lon:.6f}" if mobility else "",
+                f"{mobility.gyration_km:.4f}" if mobility else "",
+                mobility.n_sectors if mobility else "",
+                int(r.on_home_network),
+            ])
+            count += 1
+    return count
+
+
+def read_day_records(path: PathLike) -> List[DeviceDayRecord]:
+    """Read daily catalog rows back from CSV."""
+    records: List[DeviceDayRecord] = []
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != DAY_COLUMNS:
+            raise ValueError(f"unexpected day-record columns: {reader.fieldnames}")
+        for row in reader:
+            mobility: Optional[MobilityMetrics] = None
+            if row["centroid_lat"]:
+                mobility = MobilityMetrics(
+                    centroid=GeoPoint(
+                        float(row["centroid_lat"]), float(row["centroid_lon"])
+                    ),
+                    gyration_km=float(row["gyration_km"]),
+                    n_sectors=int(row["n_sectors"]),
+                )
+            records.append(
+                DeviceDayRecord(
+                    device_id=row["device_id"],
+                    day=int(row["day"]),
+                    sim_plmn=row["sim_plmn"],
+                    visited_plmns=_decode_set(row["visited_plmns"]),
+                    n_events=int(row["n_events"]),
+                    n_failed_events=int(row["n_failed_events"]),
+                    n_calls=int(row["n_calls"]),
+                    voice_minutes=float(row["voice_minutes"]),
+                    n_data_sessions=int(row["n_data_sessions"]),
+                    bytes_total=int(row["bytes_total"]),
+                    apns=_decode_set(row["apns"]),
+                    radio_flags=RadioFlags(int(row["radio_flags"])),
+                    voice_flags=RadioFlags(int(row["voice_flags"])),
+                    data_flags=RadioFlags(int(row["data_flags"])),
+                    mobility=mobility,
+                    on_home_network=bool(int(row["on_home_network"])),
+                )
+            )
+    return records
+
+
+def write_summaries(path: PathLike, summaries: Iterable[DeviceSummary]) -> int:
+    """Write whole-window device summaries to CSV."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SUMMARY_COLUMNS)
+        for s in summaries:
+            writer.writerow([
+                s.device_id, s.sim_plmn, str(s.label), s.active_days,
+                s.n_events, s.n_failed_events, s.n_calls,
+                f"{s.voice_minutes:.4f}", s.n_data_sessions, s.bytes_total,
+                _encode_set(s.apns), _encode_set(s.visited_plmns),
+                s.radio_flags.mask, s.voice_flags.mask, s.data_flags.mask,
+                s.tac if s.tac is not None else "",
+                f"{s.mean_gyration_km:.4f}" if s.mean_gyration_km is not None else "",
+            ])
+            count += 1
+    return count
+
+
+def read_summaries(
+    path: PathLike, tac_db: Optional[TACDatabase] = None
+) -> Dict[str, DeviceSummary]:
+    """Read summaries back, optionally re-joining the TAC catalog."""
+    summaries: Dict[str, DeviceSummary] = {}
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != SUMMARY_COLUMNS:
+            raise ValueError(f"unexpected summary columns: {reader.fieldnames}")
+        for row in reader:
+            tac = int(row["tac"]) if row["tac"] else None
+            summaries[row["device_id"]] = DeviceSummary(
+                device_id=row["device_id"],
+                sim_plmn=row["sim_plmn"],
+                label=RoamingLabel.parse(row["label"]),
+                active_days=int(row["active_days"]),
+                n_events=int(row["n_events"]),
+                n_failed_events=int(row["n_failed_events"]),
+                n_calls=int(row["n_calls"]),
+                voice_minutes=float(row["voice_minutes"]),
+                n_data_sessions=int(row["n_data_sessions"]),
+                bytes_total=int(row["bytes_total"]),
+                apns=_decode_set(row["apns"]),
+                visited_plmns=_decode_set(row["visited_plmns"]),
+                radio_flags=RadioFlags(int(row["radio_flags"])),
+                voice_flags=RadioFlags(int(row["voice_flags"])),
+                data_flags=RadioFlags(int(row["data_flags"])),
+                tac=tac,
+                model=tac_db.lookup(tac) if (tac_db and tac is not None) else None,
+                mean_gyration_km=(
+                    float(row["mean_gyration_km"])
+                    if row["mean_gyration_km"]
+                    else None
+                ),
+            )
+    return summaries

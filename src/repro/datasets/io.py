@@ -1,0 +1,155 @@
+"""JSONL serialization for the three record types.
+
+Datasets are expensive to generate at scale, so the record streams can
+be written once and re-read by any analysis.  JSON Lines keeps the
+format greppable and append-friendly; every record type serializes to a
+flat dict of primitives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Union
+
+from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(path: PathLike, rows: Iterable[Dict]) -> int:
+    """Write dict rows to a JSONL file; returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[Dict]:
+    """Yield dict rows from a JSONL file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+# -- SignalingTransaction ----------------------------------------------------
+
+def transaction_to_dict(txn: SignalingTransaction) -> Dict:
+    """Flatten a SignalingTransaction into a JSON-ready dict."""
+    return {
+        "device_id": txn.device_id,
+        "ts": txn.timestamp,
+        "sim_plmn": txn.sim_plmn,
+        "visited_plmn": txn.visited_plmn,
+        "type": txn.message_type.value,
+        "result": txn.result.value,
+    }
+
+
+def transaction_from_dict(row: Dict) -> SignalingTransaction:
+    """Rebuild a SignalingTransaction from its dict form."""
+    return SignalingTransaction(
+        device_id=row["device_id"],
+        timestamp=float(row["ts"]),
+        sim_plmn=row["sim_plmn"],
+        visited_plmn=row["visited_plmn"],
+        message_type=MessageType(row["type"]),
+        result=ResultCode(row["result"]),
+    )
+
+
+def write_transactions(path: PathLike, txns: Iterable[SignalingTransaction]) -> int:
+    """Write transactions as JSONL; returns the row count."""
+    return write_jsonl(path, (transaction_to_dict(t) for t in txns))
+
+
+def read_transactions(path: PathLike) -> List[SignalingTransaction]:
+    """Read a JSONL file of transactions."""
+    return [transaction_from_dict(row) for row in read_jsonl(path)]
+
+
+# -- RadioEvent ---------------------------------------------------------------
+
+def radio_event_to_dict(event: RadioEvent) -> Dict:
+    """Flatten a RadioEvent into a JSON-ready dict."""
+    return {
+        "device_id": event.device_id,
+        "ts": event.timestamp,
+        "sim_plmn": event.sim_plmn,
+        "tac": event.tac,
+        "sector": event.sector_id,
+        "iface": event.interface.value,
+        "type": event.event_type.value,
+        "result": event.result.value,
+    }
+
+
+def radio_event_from_dict(row: Dict) -> RadioEvent:
+    """Rebuild a RadioEvent from its dict form."""
+    return RadioEvent(
+        device_id=row["device_id"],
+        timestamp=float(row["ts"]),
+        sim_plmn=row["sim_plmn"],
+        tac=int(row["tac"]),
+        sector_id=int(row["sector"]),
+        interface=RadioInterface(row["iface"]),
+        event_type=MessageType(row["type"]),
+        result=ResultCode(row["result"]),
+    )
+
+
+def write_radio_events(path: PathLike, events: Iterable[RadioEvent]) -> int:
+    """Write radio events as JSONL; returns the row count."""
+    return write_jsonl(path, (radio_event_to_dict(e) for e in events))
+
+
+def read_radio_events(path: PathLike) -> List[RadioEvent]:
+    """Read a JSONL file of radio events."""
+    return [radio_event_from_dict(row) for row in read_jsonl(path)]
+
+
+# -- ServiceRecord --------------------------------------------------------------
+
+def service_record_to_dict(record: ServiceRecord) -> Dict:
+    """Flatten a ServiceRecord into a JSON-ready dict."""
+    return {
+        "device_id": record.device_id,
+        "ts": record.timestamp,
+        "sim_plmn": record.sim_plmn,
+        "visited_plmn": record.visited_plmn,
+        "service": record.service.value,
+        "duration_s": record.duration_s,
+        "bytes": record.bytes_total,
+        "apn": record.apn,
+    }
+
+
+def service_record_from_dict(row: Dict) -> ServiceRecord:
+    """Rebuild a ServiceRecord from its dict form."""
+    return ServiceRecord(
+        device_id=row["device_id"],
+        timestamp=float(row["ts"]),
+        sim_plmn=row["sim_plmn"],
+        visited_plmn=row["visited_plmn"],
+        service=ServiceType(row["service"]),
+        duration_s=float(row["duration_s"]),
+        bytes_total=int(row["bytes"]),
+        apn=row.get("apn"),
+    )
+
+
+def write_service_records(path: PathLike, records: Iterable[ServiceRecord]) -> int:
+    """Write service records as JSONL; returns the row count."""
+    return write_jsonl(path, (service_record_to_dict(r) for r in records))
+
+
+def read_service_records(path: PathLike) -> List[ServiceRecord]:
+    """Read a JSONL file of service records."""
+    return [service_record_from_dict(row) for row in read_jsonl(path)]

@@ -1,0 +1,140 @@
+"""Privacy lint for exported datasets — the ethics appendix, executable.
+
+The paper's Appendix A: "Raw data has been reviewed and validated by the
+operators with respect to GDPR compliance (e.g., no identifier can be
+associated to person), and all analysis performed report on aggregated
+metrics only."  Our simulators hash every subscriber identifier before
+it reaches a record; this module is the automated review step that
+keeps it that way:
+
+* :func:`scan_text` — find identifier-shaped leaks in any text: 15-digit
+  strings that Luhn-validate (IMEI-like) or start with a known MCC
+  (IMSI-like), plus MSISDN-ish international numbers;
+* :func:`scan_file` / :func:`scan_export_dir` — run the lint over
+  JSONL/CSV exports before they leave the machine.
+
+A PLMN (5-6 digits) is *not* personal data — network codes stay in the
+clear, exactly as the paper's records do.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.cellular.countries import default_countries
+from repro.cellular.identifiers import luhn_is_valid
+
+PathLike = Union[str, Path]
+
+#: Any run of exactly 15 digits is identifier-shaped (IMSI/IMEI length).
+_FIFTEEN_DIGITS = re.compile(r"(?<!\d)(\d{15})(?!\d)")
+
+#: International MSISDN-ish pattern: + and 11-14 digits.
+_MSISDN = re.compile(r"\+\d{11,14}")
+
+_KNOWN_MCCS: Set[str] = {
+    f"{country.mcc:03d}" for country in default_countries()
+}
+
+
+@dataclass(frozen=True)
+class PrivacyFinding:
+    """One potential identifier leak."""
+
+    kind: str          # "imei", "imsi", "msisdn", "id15"
+    value: str
+    line_number: int
+    source: str
+
+    def redacted(self) -> str:
+        """The value with the tail masked, safe to print in reports."""
+        return self.value[:5] + "*" * (len(self.value) - 5)
+
+
+def _classify_fifteen(digits: str) -> str:
+    if luhn_is_valid(digits):
+        return "imei"
+    if digits[:3] in _KNOWN_MCCS:
+        return "imsi"
+    return "id15"
+
+
+def _is_standalone(line: str, start: int, end: int) -> bool:
+    """True when the digit run is a standalone token.
+
+    Rejects runs embedded in hex identifiers (letter neighbours) and in
+    decimal numbers (a ``.`` neighbour — float timestamps can carry
+    15-digit fractions).
+    """
+    before = line[start - 1] if start > 0 else ""
+    after = line[end] if end < len(line) else ""
+    for neighbour in (before, after):
+        if neighbour.isalnum() or neighbour == ".":
+            return False
+    return True
+
+
+def scan_text(
+    text: str, source: str = "<text>", start_line: int = 1
+) -> List[PrivacyFinding]:
+    """Scan text for identifier-shaped content."""
+    findings: List[PrivacyFinding] = []
+    for offset, line in enumerate(text.splitlines()):
+        line_number = start_line + offset
+        for match in _FIFTEEN_DIGITS.finditer(line):
+            if not _is_standalone(line, match.start(1), match.end(1)):
+                continue
+            digits = match.group(1)
+            findings.append(
+                PrivacyFinding(
+                    kind=_classify_fifteen(digits),
+                    value=digits,
+                    line_number=line_number,
+                    source=source,
+                )
+            )
+        for match in _MSISDN.finditer(line):
+            findings.append(
+                PrivacyFinding(
+                    kind="msisdn",
+                    value=match.group(0),
+                    line_number=line_number,
+                    source=source,
+                )
+            )
+    return findings
+
+
+def scan_file(path: PathLike) -> List[PrivacyFinding]:
+    """Lint one exported file."""
+    path = Path(path)
+    return scan_text(path.read_text(encoding="utf-8"), source=str(path))
+
+
+def scan_export_dir(
+    directory: PathLike, patterns: tuple = ("*.jsonl", "*.csv", "*.json")
+) -> List[PrivacyFinding]:
+    """Lint every export in a directory tree."""
+    directory = Path(directory)
+    findings: List[PrivacyFinding] = []
+    for pattern in patterns:
+        for path in sorted(directory.rglob(pattern)):
+            findings.extend(scan_file(path))
+    return findings
+
+
+def assert_clean(findings: List[PrivacyFinding]) -> None:
+    """Raise with a redacted summary when any finding exists."""
+    if not findings:
+        return
+    lines = [
+        f"  {f.source}:{f.line_number} {f.kind} {f.redacted()}"
+        for f in findings[:20]
+    ]
+    raise ValueError(
+        f"privacy lint found {len(findings)} identifier-shaped value(s):\n"
+        + "\n".join(lines)
+    )

@@ -1,0 +1,91 @@
+"""Dataset sampling: modelling the probes' partial view (§3.1).
+
+The paper is explicit that its platform trace is "a sampled view of
+world-wide M2M infrastructure traffic".  Sampling strategy matters:
+
+* **transaction sampling** keeps each record independently — it
+  preserves aggregate rates but *biases per-device statistics* (a
+  device's observed count shrinks by the rate, and quiet devices drop
+  out entirely);
+* **device sampling** keeps whole devices — per-device distributions
+  survive, population counts scale.
+
+Both are implemented so analyses can quantify how robust their
+statistics are to the probes' view (see the sampling bench/tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.datasets.containers import M2MDataset
+
+
+def sample_transactions(
+    dataset: M2MDataset, rate: float, seed: int = 0
+) -> M2MDataset:
+    """Keep each transaction independently with probability ``rate``.
+
+    Ground truth is restricted to devices that survive (a device with no
+    sampled transaction is invisible to any analysis).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("sampling rate must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(dataset.transactions)) < rate
+    kept = [t for t, k in zip(dataset.transactions, keep) if k]
+    surviving: Set[str] = {t.device_id for t in kept}
+    return M2MDataset(
+        transactions=kept,
+        window_days=dataset.window_days,
+        hmno_isos=list(dataset.hmno_isos),
+        ground_truth={
+            d: g for d, g in dataset.ground_truth.items() if d in surviving
+        },
+    )
+
+
+def sample_devices(dataset: M2MDataset, rate: float, seed: int = 0) -> M2MDataset:
+    """Keep each device (with all its transactions) with probability
+    ``rate`` — the bias-free way to thin a trace."""
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("sampling rate must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    devices = sorted(dataset.device_ids)
+    keep_mask = rng.random(len(devices)) < rate
+    kept_devices: Set[str] = {
+        d for d, keep in zip(devices, keep_mask) if keep
+    }
+    kept = [t for t in dataset.transactions if t.device_id in kept_devices]
+    return M2MDataset(
+        transactions=kept,
+        window_days=dataset.window_days,
+        hmno_isos=list(dataset.hmno_isos),
+        ground_truth={
+            d: g for d, g in dataset.ground_truth.items() if d in kept_devices
+        },
+    )
+
+
+def per_device_count_bias(
+    original: M2MDataset, sampled: M2MDataset
+) -> Dict[str, float]:
+    """Observed-over-true transaction-count ratio per surviving device.
+
+    Under device sampling every ratio is 1.0; under transaction sampling
+    the ratios concentrate around the sampling rate — the bias an
+    analyst must correct for before comparing against Fig. 3.
+    """
+    true_counts: Dict[str, int] = {}
+    for txn in original.transactions:
+        true_counts[txn.device_id] = true_counts.get(txn.device_id, 0) + 1
+    observed: Dict[str, int] = {}
+    for txn in sampled.transactions:
+        observed[txn.device_id] = observed.get(txn.device_id, 0) + 1
+    return {
+        device: observed[device] / true_counts[device]
+        for device in observed
+        if true_counts.get(device)
+    }

@@ -1,0 +1,40 @@
+"""Device substrate: device identities, behavioural profiles and models.
+
+A device in this library couples an identity (SIM + equipment), a ground
+truth class (smartphone / feature phone / M2M, with an IoT vertical for
+the latter), and behaviour models for mobility and traffic.  The
+simulators draw populations of these and roll their behaviour forward to
+produce the raw records both of the paper's datasets contain.
+
+Ground-truth classes exist only inside the simulator; exported datasets
+never carry them.  The classification pipeline in :mod:`repro.core` must
+re-derive them from observables, and :mod:`repro.core.validation` scores
+it against the truth kept here.
+"""
+
+from repro.devices.device import Device, DeviceClass, IoTVertical, SimProvenance
+from repro.devices.mobility_models import (
+    CommuterMobility,
+    InternationalMobility,
+    MobilityModel,
+    StationaryMobility,
+    VehicularMobility,
+)
+from repro.devices.traffic_models import DiurnalShape, TrafficModel
+from repro.devices.profiles import BehaviorProfile, default_profiles
+
+__all__ = [
+    "BehaviorProfile",
+    "CommuterMobility",
+    "Device",
+    "DeviceClass",
+    "DiurnalShape",
+    "InternationalMobility",
+    "IoTVertical",
+    "MobilityModel",
+    "SimProvenance",
+    "StationaryMobility",
+    "TrafficModel",
+    "VehicularMobility",
+    "default_profiles",
+]

@@ -1,0 +1,334 @@
+"""Behaviour profiles: the calibrated per-segment parameter bundles.
+
+A :class:`BehaviorProfile` bundles everything the MNO simulator needs to
+roll one device forward: its traffic model template, mobility kind,
+activity (presence) pattern, and service propensities (does it ever use
+voice? data?).  :func:`default_profiles` is the calibration table — the
+place where the paper's reported marginals (Figs. 7-12) are encoded as
+generative parameters.
+
+Calibration anchors (from the paper):
+
+* inbound M2M devices are active ~9 days median vs 2 days for inbound
+  smartphones (Fig. 7) → visitor stay lengths;
+* M2M devices are stationary, <20% above 1 km gyration (Fig. 8) →
+  stationary mobility with cell-reselection jitter;
+* 24.5% of M2M devices use no data, 27.5% no voice (Fig. 9) →
+  propensities;
+* M2M signaling ≪ smartphone signaling; feature phones lowest (Fig. 10);
+* connected cars look like roaming smartphones — mobile, chatty
+  (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.devices.device import DeviceClass, IoTVertical
+from repro.devices.traffic_models import DiurnalShape, TrafficModel
+
+
+class MobilityKind(str, Enum):
+    """Which mobility model the simulator instantiates for the device."""
+
+    STATIONARY = "stationary"
+    COMMUTER = "commuter"
+    VEHICULAR = "vehicular"
+    INTERNATIONAL = "international"
+
+
+class PresenceKind(str, Enum):
+    """How the device's active days are laid out over the window.
+
+    RESIDENT devices live in the country and are potentially active every
+    day; VISITOR devices (inbound roamers) arrive at some day and stay
+    for a sampled duration — the mechanism behind Fig. 7's inbound/native
+    split.
+    """
+
+    RESIDENT = "resident"
+    VISITOR = "visitor"
+
+
+@dataclass(frozen=True)
+class PresencePattern:
+    """Presence/activity parameters.
+
+    For RESIDENT: active each day with ``p_active_daily``; a fraction
+    ``deploying`` of devices instead *arrive* uniformly during the window
+    (the paper's ongoing SMIP rollout).  For VISITOR: arrival day is
+    uniform, stay length is geometric with mean ``stay_mean_days``.
+    """
+
+    kind: PresenceKind
+    p_active_daily: float = 0.95
+    stay_mean_days: float = 3.0
+    deploying: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_active_daily <= 1.0:
+            raise ValueError("p_active_daily must be in (0, 1]")
+        if self.stay_mean_days <= 0:
+            raise ValueError("stay_mean_days must be positive")
+        if not 0.0 <= self.deploying <= 1.0:
+            raise ValueError("deploying must be in [0, 1]")
+
+    def sample_active_days(
+        self, window_days: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return the sorted array of day indices the device is active."""
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        if self.kind is PresenceKind.RESIDENT:
+            first_day = 0
+            if self.deploying > 0 and rng.random() < self.deploying:
+                first_day = int(rng.integers(window_days))
+            days = np.arange(first_day, window_days)
+            mask = rng.random(len(days)) < self.p_active_daily
+            active = days[mask]
+        else:
+            arrival = int(rng.integers(window_days))
+            # Sub-day mean stays clamp to "one day" (p capped at 1).
+            stay_p = min(1.0, 1.0 / self.stay_mean_days)
+            stay = max(1, int(rng.geometric(stay_p)))
+            days = np.arange(arrival, min(window_days, arrival + stay))
+            mask = rng.random(len(days)) < self.p_active_daily
+            active = days[mask]
+        if len(active) == 0:
+            # Every observed device is active at least one day by
+            # construction (otherwise it would not be in the dataset).
+            fallback = (
+                int(rng.integers(window_days))
+                if self.kind is PresenceKind.VISITOR
+                else window_days - 1
+            )
+            active = np.array([fallback])
+        return active
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Everything needed to synthesize one device's behaviour."""
+
+    name: str
+    device_class: DeviceClass
+    traffic: TrafficModel
+    mobility: MobilityKind
+    presence: PresencePattern
+    vertical: Optional[IoTVertical] = None
+    p_voice: float = 1.0
+    p_data: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_voice <= 1.0 or not 0.0 <= self.p_data <= 1.0:
+            raise ValueError("propensities must be in [0, 1]")
+        if self.device_class is DeviceClass.M2M and self.vertical is None:
+            raise ValueError(f"profile {self.name}: M2M profile needs a vertical")
+
+    def with_presence(self, presence: PresencePattern) -> "BehaviorProfile":
+        return replace(self, presence=presence)
+
+
+def default_profiles() -> Dict[str, BehaviorProfile]:
+    """The calibrated profile table used by the MNO population builder."""
+    resident = PresencePattern(PresenceKind.RESIDENT, p_active_daily=0.85)
+    always_on = PresencePattern(PresenceKind.RESIDENT, p_active_daily=0.97)
+    tourist = PresencePattern(PresenceKind.VISITOR, stay_mean_days=3.0)
+    roaming_iot = PresencePattern(
+        PresenceKind.VISITOR, stay_mean_days=11.0, p_active_daily=0.9
+    )
+
+    profiles = [
+        BehaviorProfile(
+            name="smartphone_resident",
+            device_class=DeviceClass.SMART,
+            traffic=TrafficModel(
+                signaling_per_day=14.0,
+                calls_per_day=3.0,
+                data_sessions_per_day=6.0,
+                data_mb_mu=2.5,  # median ~12 MB/session
+                data_mb_sigma=1.2,
+                diurnal=DiurnalShape.HUMAN,
+            ),
+            mobility=MobilityKind.COMMUTER,
+            presence=resident,
+            p_voice=0.97,
+            p_data=0.99,
+        ),
+        BehaviorProfile(
+            name="smartphone_tourist",
+            device_class=DeviceClass.SMART,
+            traffic=TrafficModel(
+                signaling_per_day=16.0,
+                calls_per_day=1.5,
+                # Bill-shock fear: roamers use much less data (Fig. 10).
+                data_sessions_per_day=3.0,
+                data_mb_mu=1.5,
+                data_mb_sigma=1.3,
+                diurnal=DiurnalShape.HUMAN,
+            ),
+            mobility=MobilityKind.VEHICULAR,
+            presence=tourist,
+            p_voice=0.9,
+            p_data=0.95,
+        ),
+        BehaviorProfile(
+            name="feature_phone",
+            device_class=DeviceClass.FEAT,
+            traffic=TrafficModel(
+                signaling_per_day=3.0,
+                calls_per_day=2.0,
+                data_sessions_per_day=0.4,
+                data_mb_mu=-2.0,
+                data_mb_sigma=1.0,
+                diurnal=DiurnalShape.HUMAN,
+            ),
+            mobility=MobilityKind.COMMUTER,
+            presence=resident,
+            p_voice=0.83,
+            # 56.8% of feature phones generate no data at all (Fig. 9).
+            p_data=0.43,
+        ),
+        BehaviorProfile(
+            name="smart_meter_native",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.SMART_METER,
+            traffic=TrafficModel(
+                signaling_per_day=0.6,
+                calls_per_day=0.02,
+                data_sessions_per_day=2.0,
+                data_mb_mu=-4.0,  # ~20 kB/day telemetry
+                data_mb_sigma=0.6,
+                diurnal=DiurnalShape.NIGHTLY_BATCH,
+                intensity_sigma=0.3,
+            ),
+            mobility=MobilityKind.STATIONARY,
+            # 73% active the whole period; ongoing rollout adds arrivals.
+            presence=PresencePattern(
+                PresenceKind.RESIDENT, p_active_daily=0.97, deploying=0.2
+            ),
+            # SMS-style wakeups ride the CS plane: "voice" in the broad
+            # sense of the paper's footnote.
+            p_voice=0.75,
+            p_data=0.98,
+        ),
+        BehaviorProfile(
+            name="smart_meter_roaming",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.SMART_METER,
+            traffic=TrafficModel(
+                # Roaming SMIP generates ~10x the signaling of native
+                # meters (Fig. 11-right).
+                signaling_per_day=6.0,
+                calls_per_day=0.02,
+                data_sessions_per_day=2.0,
+                data_mb_mu=-4.0,
+                data_mb_sigma=0.6,
+                diurnal=DiurnalShape.NIGHTLY_BATCH,
+                intensity_sigma=0.4,
+            ),
+            mobility=MobilityKind.STATIONARY,
+            # Free to reattach to any UK operator: short presence spells.
+            presence=PresencePattern(
+                PresenceKind.VISITOR, stay_mean_days=9.0, p_active_daily=0.95
+            ),
+            p_voice=0.70,
+            p_data=0.95,
+        ),
+        BehaviorProfile(
+            name="connected_car",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.CONNECTED_CAR,
+            traffic=TrafficModel(
+                signaling_per_day=30.0,
+                calls_per_day=0.1,
+                data_sessions_per_day=5.0,
+                data_mb_mu=1.0,
+                data_mb_sigma=1.0,
+                diurnal=DiurnalShape.HUMAN,
+            ),
+            mobility=MobilityKind.VEHICULAR,
+            presence=roaming_iot,
+            p_voice=0.5,
+            p_data=0.97,
+        ),
+        BehaviorProfile(
+            name="wearable",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.WEARABLE,
+            traffic=TrafficModel(
+                signaling_per_day=6.0,
+                calls_per_day=0.2,
+                data_sessions_per_day=2.0,
+                data_mb_mu=-1.0,
+                data_mb_sigma=1.0,
+                diurnal=DiurnalShape.HUMAN,
+            ),
+            mobility=MobilityKind.COMMUTER,
+            presence=roaming_iot,
+            p_voice=0.5,
+            p_data=0.9,
+        ),
+        BehaviorProfile(
+            name="payment_terminal",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.PAYMENT,
+            traffic=TrafficModel(
+                signaling_per_day=3.0,
+                calls_per_day=0.05,
+                data_sessions_per_day=4.0,
+                data_mb_mu=-3.5,
+                data_mb_sigma=0.7,
+                diurnal=DiurnalShape.HUMAN,
+                intensity_sigma=0.3,
+            ),
+            mobility=MobilityKind.STATIONARY,
+            presence=roaming_iot,
+            p_voice=0.6,
+            p_data=0.99,
+        ),
+        BehaviorProfile(
+            name="logistics_tracker",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.LOGISTICS,
+            traffic=TrafficModel(
+                signaling_per_day=10.0,
+                calls_per_day=0.02,
+                data_sessions_per_day=2.0,
+                data_mb_mu=-3.0,
+                data_mb_sigma=0.8,
+                diurnal=DiurnalShape.FLAT,
+            ),
+            mobility=MobilityKind.INTERNATIONAL,
+            presence=PresencePattern(
+                PresenceKind.VISITOR, stay_mean_days=8.0, p_active_daily=0.85
+            ),
+            p_voice=0.5,
+            p_data=0.95,
+        ),
+        BehaviorProfile(
+            name="m2m_voice_only",
+            device_class=DeviceClass.M2M,
+            vertical=IoTVertical.OTHER,
+            # Security/elevator applications: voice-style signaling only,
+            # never any data — the population behind both the "24.5% of
+            # M2M use no data" observation and the m2m-maybe class
+            # (no APN is ever observed for them).
+            traffic=TrafficModel(
+                signaling_per_day=2.0,
+                calls_per_day=0.5,
+                data_sessions_per_day=0.0,
+                diurnal=DiurnalShape.FLAT,
+                intensity_sigma=0.3,
+            ),
+            mobility=MobilityKind.STATIONARY,
+            presence=always_on,
+            p_voice=1.0,
+            p_data=0.0,
+        ),
+    ]
+    return {profile.name: profile for profile in profiles}

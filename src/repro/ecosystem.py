@@ -1,0 +1,237 @@
+"""The modelled cellular world shared by both simulators.
+
+One :class:`Ecosystem` instance wires together everything from the
+substrate packages:
+
+* the country registry and per-country operators (two MNOs per country,
+  with the special actors of the paper given explicit identities:
+  the **UK study MNO** and its hosted MVNOs, the **Spanish platform
+  HMNO** (plus DE/MX/AR platform homes), and the **Dutch IoT-SIM
+  operator** that provisions the roaming smart meters);
+* the IPX roaming hub with PoPs in 19 directly-interconnected countries
+  (predominantly Europe and Latin America, §3) and peering that extends
+  reach to the rest of the world;
+* the roaming-agreement registry (EU mesh, the UK MNO's bilateral
+  footprint, and hub-provisioned platform agreements);
+* the UK MNO's sector catalog and the synthetic GSMA TAC catalog.
+
+Build one with :func:`build_default_ecosystem`; both dataset simulators
+take it as input, so analyses of the two datasets are guaranteed to talk
+about the same world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cellular.countries import Country, CountryRegistry, Region, default_countries
+from repro.cellular.geo import GeoPoint
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator, OperatorRegistry, OperatorType
+from repro.cellular.rats import RAT
+from repro.cellular.sectors import SectorCatalog, build_sector_catalog
+from repro.cellular.tac_db import TACDatabase, default_tac_database
+from repro.roaming.agreements import AgreementRegistry
+from repro.roaming.hub import IPXHub, PointOfPresence
+
+ALL_RATS = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+LEGACY_RATS = frozenset({RAT.GSM, RAT.UMTS})
+
+#: Countries with direct hub PoPs (19, Europe/LatAm-heavy, §3).
+HUB_DIRECT_ISOS = (
+    "ES", "DE", "FR", "IT", "NL", "PT", "GB", "BE", "AT", "IE",
+    "MX", "AR", "BR", "CL", "CO", "PE", "UY",
+    "US", "MA",
+)
+
+#: The four platform HMNO home countries (§3.2).
+PLATFORM_HMNO_ISOS = ("ES", "DE", "MX", "AR")
+
+
+@dataclass
+class EcosystemConfig:
+    """Size/shape knobs for the modelled world."""
+
+    uk_sites: int = 120
+    mvnos_on_study_mno: int = 2
+    seed: int = 11
+
+
+@dataclass
+class Ecosystem:
+    """The assembled world model."""
+
+    countries: CountryRegistry
+    operators: OperatorRegistry
+    agreements: AgreementRegistry
+    hub: IPXHub
+    tac_db: TACDatabase
+    uk_mno: Operator
+    uk_sectors: SectorCatalog
+    platform_hmnos: Dict[str, Operator]
+    nl_iot_operator: Operator
+    config: EcosystemConfig = field(default_factory=EcosystemConfig)
+
+    def mvnos_of_study_mno(self) -> List[Operator]:
+        return self.operators.mvnos_hosted_by(self.uk_mno)
+
+    def foreign_mnos(self, exclude_iso: str = "GB") -> List[Operator]:
+        """All non-MVNO operators outside ``exclude_iso``."""
+        return [
+            op
+            for op in self.operators
+            if not op.is_mvno and op.country.iso != exclude_iso
+        ]
+
+    def candidate_vmnos(self, home: Operator, country_iso: str, rat: RAT) -> List[Operator]:
+        """VMNOs in ``country_iso`` that ``home`` devices may attach to
+        on ``rat`` (agreement in place and RAT supported)."""
+        return [
+            op
+            for op in self.operators.mnos_in_country(country_iso)
+            if op.plmn != home.plmn
+            and op.supports(rat)
+            and self.agreements.allows(home.plmn, op.plmn, rat)
+        ]
+
+
+def _operator_name(country: Country, index: int) -> str:
+    return f"{country.iso}-MNO{index}"
+
+
+def build_default_ecosystem(config: Optional[EcosystemConfig] = None) -> Ecosystem:
+    """Construct the standard world used throughout the library."""
+    config = config or EcosystemConfig()
+    rng = np.random.default_rng(config.seed)
+    countries = default_countries()
+    operators = OperatorRegistry()
+
+    # -- operators: two MNOs per country ------------------------------------
+    for country in countries:
+        # MNO1 is full-RAT everywhere.
+        operators.add(
+            Operator(
+                name=_operator_name(country, 1),
+                plmn=PLMN(country.mcc, 10),
+                country=country,
+                rats=ALL_RATS,
+            )
+        )
+        # MNO2 lags on 4G in half the markets — the mechanism behind
+        # "roaming not allowed on LTE" failures in the M2M dataset.
+        rats = ALL_RATS if country.mcc % 2 == 0 else LEGACY_RATS
+        operators.add(
+            Operator(
+                name=_operator_name(country, 2),
+                plmn=PLMN(country.mcc, 20),
+                country=country,
+                rats=rats,
+            )
+        )
+
+    # -- the named actors -----------------------------------------------------
+    gb = countries.by_iso("GB")
+    uk_mno = operators.by_plmn(PLMN(gb.mcc, 10))
+    for index in range(config.mvnos_on_study_mno):
+        operators.add(
+            Operator(
+                name=f"GB-MVNO{index + 1}",
+                plmn=PLMN(gb.mcc, 40 + index),
+                country=gb,
+                operator_type=OperatorType.MVNO,
+                host_plmn=uk_mno.plmn,
+            )
+        )
+
+    nl = countries.by_iso("NL")
+    # The Dutch operator provisioning the roaming smart-meter SIMs; MNC 4
+    # nods to the paper's mnc004.mcc204 example.
+    nl_iot = Operator(
+        name="NL-IoT",
+        plmn=PLMN(nl.mcc, 4),
+        country=nl,
+        rats=ALL_RATS,
+    )
+    operators.add(nl_iot)
+
+    platform_hmnos: Dict[str, Operator] = {}
+    for iso in PLATFORM_HMNO_ISOS:
+        country = countries.by_iso(iso)
+        hmno = Operator(
+            name=f"{iso}-Platform",
+            plmn=PLMN(country.mcc, 7),
+            country=country,
+            rats=ALL_RATS,
+        )
+        operators.add(hmno)
+        platform_hmnos[iso] = hmno
+
+    # -- the IPX hub -----------------------------------------------------------
+    pops: List[PointOfPresence] = []
+    pop_id = 0
+    for iso in HUB_DIRECT_ISOS:
+        country = countries.by_iso(iso)
+        # ~2 PoPs per direct country ≈ the paper's 40 PoPs / 19 countries.
+        for _ in range(2):
+            pops.append(
+                PointOfPresence(
+                    pop_id=pop_id,
+                    country_iso=iso,
+                    location=GeoPoint(country.lat, country.lon),
+                )
+            )
+            pop_id += 1
+    hub = IPXHub("carrier-ipx", pops)
+    direct_isos = set(HUB_DIRECT_ISOS)
+    for op in operators:
+        if op.is_mvno:
+            continue
+        if op.country.iso in direct_isos:
+            hub.add_direct_member(op)
+        else:
+            hub.add_peered_member(op)
+
+    # -- agreements -------------------------------------------------------------
+    agreements = AgreementRegistry()
+    # EU roam-like-at-home mesh between all EU MNOs.
+    eu_mnos = [
+        op for op in operators if not op.is_mvno and op.country.eu_roaming
+    ]
+    for i, a in enumerate(eu_mnos):
+        for b in eu_mnos[i + 1:]:
+            if a.country.iso == b.country.iso:
+                continue
+            covered = frozenset(a.rats & b.rats)
+            if covered:
+                agreements.add_reciprocal(a.plmn, b.plmn, rats=covered)
+    # The UK study MNO's bilateral footprint: every foreign MNO1 plus the
+    # named actors (so inbound roamers from anywhere are plausible).
+    for op in operators:
+        if op.is_mvno or op.country.iso == "GB" or op.plmn == uk_mno.plmn:
+            continue
+        if agreements.get(uk_mno.plmn, op.plmn) is None:
+            covered = frozenset(uk_mno.rats & op.rats)
+            agreements.add_reciprocal(uk_mno.plmn, op.plmn, rats=covered)
+    # Hub-provisioned platform agreements for each platform HMNO.
+    for hmno in platform_hmnos.values():
+        hub.provision_platform_agreements(agreements, hmno)
+    # NL-IoT reaches the UK (and, via the hub, everywhere else).
+    hub.provision_platform_agreements(agreements, nl_iot)
+
+    uk_sectors = build_sector_catalog(uk_mno, sites=config.uk_sites, rng=rng)
+
+    return Ecosystem(
+        countries=countries,
+        operators=operators,
+        agreements=agreements,
+        hub=hub,
+        tac_db=default_tac_database(seed=config.seed),
+        uk_mno=uk_mno,
+        uk_sectors=uk_sectors,
+        platform_hmnos=platform_hmnos,
+        nl_iot_operator=nl_iot,
+        config=config,
+    )

@@ -1,0 +1,38 @@
+"""The visited-MNO simulator (paper §4): the UK operator's 22-day view.
+
+Synthesizes the full device population attached to the study MNO —
+native smartphones and feature phones, hosted-MVNO users, national and
+international roamers, and every M2M segment the paper identifies
+(SMIP-native and SMIP-roaming smart meters, connected cars, payment
+terminals, logistics trackers, voice-only machines) — then rolls the
+22-day window forward emitting radio-interface events and CDR/xDR
+service records.
+
+The output :class:`repro.datasets.MNODataset` feeds the devices-catalog
+pipeline of :mod:`repro.core` exactly the way the real probes feed the
+paper's pipeline.
+"""
+
+from repro.mno.config import MNOConfig, SegmentSpec, default_segments
+from repro.mno.population import PlannedDevice, PopulationBuilder
+from repro.mno.simulator import MNOSimulator, simulate_mno_dataset
+from repro.mno.ggsn import GGSNDeployment, GGSNPool, isolation_benefit
+from repro.mno.smip import SMIP_IMSI_RANGE, smip_devices
+from repro.mno.streaming import DayBatch, StreamingMNOSimulator
+
+__all__ = [
+    "DayBatch",
+    "GGSNDeployment",
+    "GGSNPool",
+    "MNOConfig",
+    "StreamingMNOSimulator",
+    "isolation_benefit",
+    "MNOSimulator",
+    "PlannedDevice",
+    "PopulationBuilder",
+    "SegmentSpec",
+    "SMIP_IMSI_RANGE",
+    "default_segments",
+    "simulate_mno_dataset",
+    "smip_devices",
+]

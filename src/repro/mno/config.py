@@ -1,0 +1,364 @@
+"""Configuration of the MNO simulator: the population segment table.
+
+Each :class:`SegmentSpec` describes one homogeneous slice of the MNO's
+device population; :func:`default_segments` is the calibrated table whose
+fractions reproduce the paper's whole-period joint distribution of
+(device class × roaming label × home country):
+
+* classes 62% smart / 8% feat / 26% m2m / 4% m2m-maybe (§4.3);
+* 71.1% of inbound roamers are M2M, 74.7% of M2M are inbound (Fig. 6);
+* top-3 inbound home countries NL/SE/ES ≈ 60% overall, ≈ 83% of M2M
+  (Fig. 5);
+* the m2m-maybe residue is voice-only hardware from long-tail vendors
+  whose models never co-occur with a validated APN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.cellular.rats import RAT
+from repro.devices.device import DeviceClass, IoTVertical, SimProvenance
+
+R2 = frozenset({RAT.GSM})
+R3 = frozenset({RAT.UMTS})
+R23 = frozenset({RAT.GSM, RAT.UMTS})
+R34 = frozenset({RAT.UMTS, RAT.LTE})
+R4 = frozenset({RAT.LTE})
+R234 = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+
+RatMix = Tuple[Tuple[FrozenSet[RAT], float], ...]
+
+#: RAT-usage mixes per device family, calibrated to Fig. 9-left
+#: (77.4% of M2M devices are 2G-only; smartphones are 3G/4G).
+SMARTPHONE_RATS: RatMix = ((R34, 0.55), (R234, 0.25), (R4, 0.12), (R23, 0.08))
+FEATURE_RATS: RatMix = ((R2, 0.51), (R23, 0.49))
+METER_ROAMING_RATS: RatMix = ((R2, 1.0),)
+METER_NATIVE_RATS: RatMix = ((R3, 0.67), (R23, 0.33))
+M2M_2G_RATS: RatMix = ((R2, 0.95), (R23, 0.05))
+CAR_RATS: RatMix = ((R34, 0.6), (R234, 0.4))
+
+
+class ModelPool(str, Enum):
+    """Which TAC-catalog family a segment's hardware comes from."""
+
+    SMARTPHONE = "smartphone"
+    FEATURE_PHONE = "feature_phone"
+    M2M_MODULE = "m2m_module"
+    LONG_TAIL = "long_tail"
+
+
+class APNBehavior(str, Enum):
+    """How a segment's devices present APNs on data sessions."""
+
+    CONSUMER = "consumer"              # internet./payandgo. style
+    ENERGY_ROAMING = "energy_roaming"  # smhp.<energyco>...mnc004.mcc204.gprs
+    SMARTMETER_NATIVE = "smartmeter_native"
+    VERTICAL = "vertical"              # keyword-bearing vertical APN
+    GENERIC = "generic"                # operator-generic, no keyword
+    NONE = "none"                      # never presents an APN
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One homogeneous population slice."""
+
+    name: str
+    fraction: float
+    profile: str
+    device_class: DeviceClass
+    provenance: SimProvenance
+    vertical: Optional[IoTVertical] = None
+    #: home-country sampling weights (ISO -> weight) for I-provenance.
+    home_weights: Optional[Mapping[str, float]] = None
+    model_pool: ModelPool = ModelPool.SMARTPHONE
+    rat_mix: RatMix = SMARTPHONE_RATS
+    apn: APNBehavior = APNBehavior.CONSUMER
+    #: per-radio-event failure probability (Fig. 11: SMIP roaming fails
+    #: noticeably more often than SMIP native).
+    event_failure_prob: float = 0.001
+    #: fraction of the segment using a generic APN instead of its
+    #: vertical one (classification then relies on propagation).
+    generic_apn_fraction: float = 0.0
+    #: device is physically abroad: no radio events, only CDR/xDRs.
+    outbound: bool = False
+    smip_native: bool = False
+    smip_roaming: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"{self.name}: fraction must be in (0, 1]")
+        if self.provenance is SimProvenance.INTERNATIONAL and not self.home_weights:
+            raise ValueError(f"{self.name}: international segment needs home weights")
+        total = sum(w for _, w in self.rat_mix)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"{self.name}: rat mix sums to {total}")
+        if not 0.0 <= self.event_failure_prob <= 1.0:
+            raise ValueError(f"{self.name}: bad failure prob")
+
+
+#: Home-country weights for person tourists (smart/feat inbound).
+TOURIST_HOMES: Dict[str, float] = {
+    "ES": 0.25,
+    "SE": 0.10,
+    "FR": 0.12,
+    "DE": 0.10,
+    "IE": 0.08,
+    "US": 0.08,
+    "IT": 0.07,
+    "NL": 0.05,
+    "PL": 0.05,
+    "PT": 0.04,
+    "AU": 0.03,
+    "IN": 0.03,
+}
+
+#: Mixed homes for inbound voice-only machines.
+VOICE_ONLY_HOMES: Dict[str, float] = {
+    "NL": 0.35,
+    "SE": 0.22,
+    "ES": 0.12,
+    "DE": 0.12,
+    "FR": 0.10,
+    "IE": 0.09,
+}
+
+CAR_HOMES: Dict[str, float] = {"DE": 0.5, "FR": 0.25, "SE": 0.15, "ES": 0.1}
+
+
+def default_segments() -> List[SegmentSpec]:
+    """The calibrated whole-period population table (fractions sum to 1)."""
+    return [
+        # ---- smartphones (0.62) ------------------------------------------
+        SegmentSpec(
+            name="smart_native_mno",
+            fraction=0.285,
+            profile="smartphone_resident",
+            device_class=DeviceClass.SMART,
+            provenance=SimProvenance.HOME,
+        ),
+        SegmentSpec(
+            name="smart_native_mvno",
+            fraction=0.225,
+            profile="smartphone_resident",
+            device_class=DeviceClass.SMART,
+            provenance=SimProvenance.MVNO,
+        ),
+        SegmentSpec(
+            name="smart_inbound",
+            fraction=0.075,
+            profile="smartphone_tourist",
+            device_class=DeviceClass.SMART,
+            provenance=SimProvenance.INTERNATIONAL,
+            home_weights=TOURIST_HOMES,
+        ),
+        SegmentSpec(
+            name="smart_outbound",
+            fraction=0.025,
+            profile="smartphone_resident",
+            device_class=DeviceClass.SMART,
+            provenance=SimProvenance.HOME,
+            outbound=True,
+        ),
+        SegmentSpec(
+            name="smart_national",
+            fraction=0.010,
+            profile="smartphone_resident",
+            device_class=DeviceClass.SMART,
+            provenance=SimProvenance.NATIONAL,
+        ),
+        # ---- feature phones (0.08) ------------------------------------------
+        SegmentSpec(
+            name="feat_native",
+            fraction=0.045,
+            profile="feature_phone",
+            device_class=DeviceClass.FEAT,
+            provenance=SimProvenance.HOME,
+            model_pool=ModelPool.FEATURE_PHONE,
+            rat_mix=FEATURE_RATS,
+        ),
+        SegmentSpec(
+            name="feat_mvno",
+            fraction=0.025,
+            profile="feature_phone",
+            device_class=DeviceClass.FEAT,
+            provenance=SimProvenance.MVNO,
+            model_pool=ModelPool.FEATURE_PHONE,
+            rat_mix=FEATURE_RATS,
+        ),
+        SegmentSpec(
+            name="feat_inbound",
+            fraction=0.005,
+            profile="feature_phone",
+            device_class=DeviceClass.FEAT,
+            provenance=SimProvenance.INTERNATIONAL,
+            home_weights=TOURIST_HOMES,
+            model_pool=ModelPool.FEATURE_PHONE,
+            rat_mix=FEATURE_RATS,
+        ),
+        SegmentSpec(
+            name="feat_outbound",
+            fraction=0.005,
+            profile="feature_phone",
+            device_class=DeviceClass.FEAT,
+            provenance=SimProvenance.HOME,
+            model_pool=ModelPool.FEATURE_PHONE,
+            rat_mix=FEATURE_RATS,
+            outbound=True,
+        ),
+        # ---- M2M, data-active (classified m2m via APN) ---------------------
+        SegmentSpec(
+            name="smip_roaming",
+            fraction=0.075,
+            profile="smart_meter_roaming",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.SMART_METER,
+            home_weights={"NL": 1.0},
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=METER_ROAMING_RATS,
+            apn=APNBehavior.ENERGY_ROAMING,
+            event_failure_prob=0.013,
+            smip_roaming=True,
+        ),
+        SegmentSpec(
+            name="smip_native",
+            fraction=0.048,
+            profile="smart_meter_native",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.HOME,
+            vertical=IoTVertical.SMART_METER,
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=METER_NATIVE_RATS,
+            apn=APNBehavior.SMARTMETER_NATIVE,
+            event_failure_prob=0.008,
+            smip_native=True,
+        ),
+        SegmentSpec(
+            name="m2m_se_inbound",
+            fraction=0.036,
+            profile="logistics_tracker",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.LOGISTICS,
+            home_weights={"SE": 1.0},
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=M2M_2G_RATS,
+            apn=APNBehavior.VERTICAL,
+            generic_apn_fraction=0.2,
+        ),
+        SegmentSpec(
+            name="m2m_es_inbound",
+            fraction=0.025,
+            profile="payment_terminal",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.PAYMENT,
+            home_weights={"ES": 1.0},
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=M2M_2G_RATS,
+            apn=APNBehavior.VERTICAL,
+            generic_apn_fraction=0.2,
+        ),
+        SegmentSpec(
+            name="cars_inbound",
+            fraction=0.018,
+            profile="connected_car",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.CONNECTED_CAR,
+            home_weights=CAR_HOMES,
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=CAR_RATS,
+            apn=APNBehavior.VERTICAL,
+        ),
+        SegmentSpec(
+            name="payment_native",
+            fraction=0.011,
+            profile="payment_terminal",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.HOME,
+            vertical=IoTVertical.PAYMENT,
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=M2M_2G_RATS,
+            apn=APNBehavior.VERTICAL,
+            generic_apn_fraction=0.15,
+        ),
+        # ---- M2M, voice-only but sharing validated hardware models --------
+        # (classified m2m via property propagation; the "24.5% of M2M use
+        # no data" slice of Fig. 9-center)
+        SegmentSpec(
+            name="voice_only_shared_inbound",
+            fraction=0.035,
+            profile="m2m_voice_only",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.OTHER,
+            home_weights=VOICE_ONLY_HOMES,
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=METER_ROAMING_RATS,
+            apn=APNBehavior.NONE,
+        ),
+        SegmentSpec(
+            name="voice_only_shared_native",
+            fraction=0.018,
+            profile="m2m_voice_only",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.HOME,
+            vertical=IoTVertical.OTHER,
+            model_pool=ModelPool.M2M_MODULE,
+            rat_mix=METER_ROAMING_RATS,
+            apn=APNBehavior.NONE,
+        ),
+        # ---- M2M, voice-only on long-tail hardware (-> m2m-maybe) ----------
+        SegmentSpec(
+            name="voice_only_longtail_native",
+            fraction=0.022,
+            profile="m2m_voice_only",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.HOME,
+            vertical=IoTVertical.OTHER,
+            model_pool=ModelPool.LONG_TAIL,
+            rat_mix=METER_ROAMING_RATS,
+            apn=APNBehavior.NONE,
+        ),
+        SegmentSpec(
+            name="voice_only_longtail_inbound",
+            fraction=0.012,
+            profile="m2m_voice_only",
+            device_class=DeviceClass.M2M,
+            provenance=SimProvenance.INTERNATIONAL,
+            vertical=IoTVertical.OTHER,
+            home_weights=VOICE_ONLY_HOMES,
+            model_pool=ModelPool.LONG_TAIL,
+            rat_mix=METER_ROAMING_RATS,
+            apn=APNBehavior.NONE,
+        ),
+    ]
+
+
+@dataclass
+class MNOConfig:
+    """Top-level knobs for one simulated MNO dataset."""
+
+    n_devices: int = 6000
+    window_days: int = 22
+    seed: int = 7
+    segments: List[SegmentSpec] = field(default_factory=default_segments)
+    #: fraction of radio events on the voice plane for devices that use
+    #: voice at all (voice-only machines are always 1.0).
+    voice_event_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+        total = sum(s.fraction for s in self.segments)
+        if abs(total - 1.0) > 1e-3:
+            raise ValueError(f"segment fractions sum to {total}, expected 1.0")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate segment names")

@@ -1,0 +1,300 @@
+"""Population synthesis for the MNO simulator.
+
+Turns the segment table of :mod:`repro.mno.config` into a list of
+:class:`PlannedDevice` — each with a full identity (IMSI from the right
+operator, IMEI from the right hardware pool), materialized traffic model,
+mobility model anchored inside the observed country, APN strings, active
+days, and the bookkeeping the simulator and ground truth need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cellular.countries import Country
+from repro.cellular.geo import GeoPoint, scatter_points
+from repro.cellular.identifiers import IMEI, IMSI
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+from repro.cellular.tac_db import (
+    DeviceModel,
+    GSMALabel,
+    M2M_MODULE_VENDORS,
+    TACDatabase,
+)
+from repro.core.apn import (
+    ENERGY_COMPANIES,
+    consumer_apn,
+    energy_meter_apn,
+    generic_operator_apn,
+    vertical_apn,
+)
+from repro.devices.device import Device, DeviceClass, SimProvenance
+from repro.devices.mobility_models import (
+    CommuterMobility,
+    MobilityModel,
+    StationaryMobility,
+    VehicularMobility,
+)
+from repro.devices.profiles import BehaviorProfile, MobilityKind, default_profiles
+from repro.devices.traffic_models import TrafficModel
+from repro.ecosystem import Ecosystem
+from repro.mno.config import APNBehavior, MNOConfig, ModelPool, SegmentSpec
+from repro.mno.smip import SMIP_IMSI_RANGE
+
+#: The APN the study MNO dedicates to its SMIP smart-meter fleet.
+SMIP_NATIVE_APN = "smartmeter.smip.gb.gprs"
+
+
+@dataclass
+class PlannedDevice:
+    """One fully-specified device ready for event generation."""
+
+    device: Device
+    segment: SegmentSpec
+    profile: BehaviorProfile
+    traffic: TrafficModel
+    rats_used: frozenset
+    uses_voice: bool
+    uses_data: bool
+    voice_event_fraction: float
+    apns: List[str]
+    active_days: np.ndarray
+    mobility: Optional[MobilityModel]
+    outbound_visited_plmn: Optional[str] = None
+
+    @property
+    def device_id(self) -> str:
+        return self.device.device_id
+
+    @property
+    def data_rats(self) -> Tuple[RAT, ...]:
+        return tuple(sorted(self.rats_used, key=lambda r: r.generation))
+
+    @property
+    def voice_rats(self) -> Tuple[RAT, ...]:
+        return tuple(
+            sorted(
+                (r for r in self.rats_used if r is not RAT.LTE),
+                key=lambda r: r.generation,
+            )
+        )
+
+
+def _slug(operator: Operator) -> str:
+    return operator.name.replace("-", "").lower()
+
+
+class PopulationBuilder:
+    """Draws the device population from the segment table."""
+
+    def __init__(self, ecosystem: Ecosystem, config: MNOConfig):
+        self.ecosystem = ecosystem
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._profiles = default_profiles()
+        self._msin_counters: Dict[str, int] = {}
+        self._smip_msin = SMIP_IMSI_RANGE[0]
+        self._pools = self._build_model_pools(ecosystem.tac_db)
+
+    # -- hardware pools -----------------------------------------------------
+
+    @staticmethod
+    def _build_model_pools(tac_db: TACDatabase) -> Dict[ModelPool, List[DeviceModel]]:
+        pools: Dict[ModelPool, List[DeviceModel]] = {pool: [] for pool in ModelPool}
+        for model in tac_db:
+            if model.label is GSMALabel.SMARTPHONE:
+                pools[ModelPool.SMARTPHONE].append(model)
+            elif model.label is GSMALabel.FEATURE_PHONE:
+                pools[ModelPool.FEATURE_PHONE].append(model)
+            elif model.manufacturer in M2M_MODULE_VENDORS:
+                pools[ModelPool.M2M_MODULE].append(model)
+            else:
+                pools[ModelPool.LONG_TAIL].append(model)
+        for pool, models in pools.items():
+            if not models:
+                raise ValueError(f"TAC catalog has no models for pool {pool.value}")
+            models.sort(key=lambda m: m.tac)
+        return pools
+
+    def _pick_model(
+        self, segment: SegmentSpec, rats: frozenset, rng: np.random.Generator
+    ) -> Tuple[DeviceModel, frozenset]:
+        """Pick hardware compatible with the segment's RAT usage.
+
+        SMIP-roaming meters come only from Gemalto and Telit (§4.4).  If
+        no pool model supports every requested RAT, usage degrades to the
+        supported intersection — mirroring how deployed fleets behave.
+        """
+        pool = list(self._pools[segment.model_pool])
+        if segment.smip_roaming:
+            pool = [m for m in pool if m.manufacturer in ("Gemalto", "Telit")]
+        compatible = [m for m in pool if rats <= m.bands]
+        if compatible:
+            model = compatible[int(rng.integers(len(compatible)))]
+            return model, rats
+        model = pool[int(rng.integers(len(pool)))]
+        usable = frozenset(rats & model.bands) or frozenset({RAT.GSM})
+        return model, usable
+
+    # -- identity ------------------------------------------------------------
+
+    def _home_operator(self, segment: SegmentSpec, rng: np.random.Generator) -> Operator:
+        eco = self.ecosystem
+        if segment.provenance is SimProvenance.HOME:
+            return eco.uk_mno
+        if segment.provenance is SimProvenance.MVNO:
+            mvnos = eco.mvnos_of_study_mno()
+            return mvnos[int(rng.integers(len(mvnos)))]
+        if segment.provenance is SimProvenance.NATIONAL:
+            others = [
+                op
+                for op in eco.operators.mnos_in_country("GB")
+                if op.plmn != eco.uk_mno.plmn
+            ]
+            return others[int(rng.integers(len(others)))]
+        # International: sample the home country, then pick its operator.
+        assert segment.home_weights is not None
+        isos = list(segment.home_weights)
+        weights = np.array([segment.home_weights[i] for i in isos], dtype=float)
+        iso = isos[int(rng.choice(len(isos), p=weights / weights.sum()))]
+        if segment.smip_roaming or (iso == "NL" and segment.apn is APNBehavior.NONE):
+            # IoT SIMs from the Netherlands are provisioned by NL-IoT.
+            return eco.nl_iot_operator
+        if iso in eco.platform_hmnos and segment.device_class is DeviceClass.M2M:
+            return eco.platform_hmnos[iso]
+        candidates = eco.operators.mnos_in_country(iso)
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def _allocate_imsi(self, operator: Operator, smip_native: bool) -> IMSI:
+        if smip_native:
+            msin = self._smip_msin
+            self._smip_msin += 1
+            if msin >= SMIP_IMSI_RANGE[1]:
+                raise RuntimeError("SMIP IMSI range exhausted")
+            return IMSI(plmn=operator.plmn, msin=msin)
+        key = str(operator.plmn)
+        msin = self._msin_counters.get(key, 1)
+        self._msin_counters[key] = msin + 1
+        return IMSI(plmn=operator.plmn, msin=msin)
+
+    # -- per-device attributes --------------------------------------------------
+
+    def _sample_rats(self, segment: SegmentSpec, rng: np.random.Generator) -> frozenset:
+        weights = np.array([w for _, w in segment.rat_mix])
+        index = int(rng.choice(len(segment.rat_mix), p=weights / weights.sum()))
+        return segment.rat_mix[index][0]
+
+    def _make_apns(
+        self, segment: SegmentSpec, home: Operator, rng: np.random.Generator
+    ) -> List[str]:
+        choice = int(rng.integers(8))
+        if segment.apn is APNBehavior.NONE:
+            return []
+        if segment.apn is APNBehavior.CONSUMER:
+            return [consumer_apn(_slug(home), choice)]
+        if segment.apn is APNBehavior.ENERGY_ROAMING:
+            company = ENERGY_COMPANIES[choice % len(ENERGY_COMPANIES)]
+            return [energy_meter_apn(company, home.plmn.mcc, home.plmn.mnc)]
+        if segment.apn is APNBehavior.SMARTMETER_NATIVE:
+            return [SMIP_NATIVE_APN]
+        if segment.apn is APNBehavior.GENERIC:
+            return [generic_operator_apn(_slug(home), choice)]
+        # VERTICAL, possibly degraded to a generic operator string.
+        assert segment.vertical is not None
+        if rng.random() < segment.generic_apn_fraction:
+            return [generic_operator_apn(_slug(home), choice)]
+        return [vertical_apn(segment.vertical, choice)]
+
+    def _make_mobility(
+        self, kind: MobilityKind, country: Country, rng: np.random.Generator
+    ) -> MobilityModel:
+        center = GeoPoint(country.lat, country.lon)
+        anchor = scatter_points(center, country.radius_km * 0.8, 1, rng)[0]
+        if kind is MobilityKind.STATIONARY:
+            return StationaryMobility(anchor=anchor)
+        if kind is MobilityKind.COMMUTER:
+            work = scatter_points(anchor, 20.0, 1, rng)[0]
+            return CommuterMobility(home=anchor, work=work)
+        # Vehicular / international fleets: long trajectories.  The MNO
+        # only sees the in-country part of an international tour, so both
+        # kinds are vehicular from its point of view.
+        leg = 60.0 if kind is MobilityKind.INTERNATIONAL else 40.0
+        return VehicularMobility(start=anchor, leg_km=leg)
+
+    def _outbound_visited(self, rng: np.random.Generator) -> str:
+        """Where our outbound roamers went (any EU partner network)."""
+        partners = [
+            op
+            for op in self.ecosystem.operators
+            if not op.is_mvno and op.country.eu_roaming and op.country.iso != "GB"
+        ]
+        return str(partners[int(rng.integers(len(partners)))].plmn)
+
+    # -- assembly ------------------------------------------------------------------
+
+    def _plan_one(self, segment: SegmentSpec) -> PlannedDevice:
+        rng = self._rng
+        home = self._home_operator(segment, rng)
+        imsi = self._allocate_imsi(home, segment.smip_native)
+        rats = self._sample_rats(segment, rng)
+        model, rats = self._pick_model(segment, rats, rng)
+        imei = IMEI(tac=model.tac, serial=int(rng.integers(10**6)))
+        device = Device(
+            imsi=imsi,
+            imei=imei,
+            model=model,
+            home_operator=home,
+            device_class=segment.device_class,
+            vertical=segment.vertical,
+            provenance=segment.provenance,
+            behavior=segment.profile,
+        )
+        profile = self._profiles[segment.profile]
+        traffic = profile.traffic.materialize(rng)
+        uses_voice = bool(rng.random() < profile.p_voice)
+        uses_data = bool(rng.random() < profile.p_data) and segment.apn is not APNBehavior.NONE
+        if not uses_voice and not uses_data:
+            uses_voice = True  # a device with no service at all is invisible
+        voice_event_fraction = (
+            1.0 if not uses_data else (self.config.voice_event_fraction if uses_voice else 0.0)
+        )
+        observed_country = self.ecosystem.uk_mno.country
+        return PlannedDevice(
+            device=device,
+            segment=segment,
+            profile=profile,
+            traffic=traffic,
+            rats_used=rats,
+            uses_voice=uses_voice,
+            uses_data=uses_data,
+            voice_event_fraction=voice_event_fraction,
+            apns=self._make_apns(segment, home, rng) if uses_data else [],
+            active_days=profile.presence.sample_active_days(
+                self.config.window_days, rng
+            ),
+            mobility=(
+                None
+                if segment.outbound
+                else self._make_mobility(profile.mobility, observed_country, rng)
+            ),
+            outbound_visited_plmn=(
+                self._outbound_visited(rng) if segment.outbound else None
+            ),
+        )
+
+    def build(self) -> List[PlannedDevice]:
+        """Materialize the whole population (deterministic per seed)."""
+        fractions = np.array([s.fraction for s in self.config.segments])
+        counts = np.floor(fractions * self.config.n_devices).astype(int)
+        remainder = self.config.n_devices - int(counts.sum())
+        for index in np.argsort(-fractions)[:remainder]:
+            counts[index] += 1
+        planned: List[PlannedDevice] = []
+        for segment, count in zip(self.config.segments, counts):
+            for _ in range(int(count)):
+                planned.append(self._plan_one(segment))
+        return planned

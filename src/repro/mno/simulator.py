@@ -1,0 +1,238 @@
+"""Event generation for the MNO dataset: 22 days of probe records.
+
+For every planned device and every day it is active, the simulator:
+
+1. rolls the device's mobility model to get the day's sector visits,
+2. draws the day's radio events (attach / routing-area-update / detach /
+   authentication), splitting them between voice- and data-plane
+   interfaces per the device's service propensities, snapping each to
+   the nearest sector of the event's RAT,
+3. draws voice CDRs and data xDRs (with the device's APN) for the
+   service-usage side,
+
+and, for outbound roamers, emits only CDR/xDRs from the visited network
+(radio signaling for outbound roamers stays in the visited country,
+§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cellular.geo import GeoPoint
+from repro.cellular.rats import RAT
+from repro.cellular.sectors import SectorCatalog
+from repro.datasets.containers import GroundTruthEntry, MNODataset
+from repro.ecosystem import Ecosystem
+from repro.mno.config import MNOConfig
+from repro.mno.population import PlannedDevice, PopulationBuilder
+from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode
+
+#: Mid-session event-type mix (§7.1 monitors Attach, Routing Area Update
+#: and Detach; authentications ride along).  Day sessions are structured:
+#: the first event of a device-day is an ATTACH and the last a DETACH;
+#: events in between draw from this mix.
+_MID_EVENT_TYPES = (
+    MessageType.ROUTING_AREA_UPDATE,
+    MessageType.AUTHENTICATION,
+    MessageType.ATTACH,   # intra-day re-attach after a coverage gap
+    MessageType.DETACH,
+)
+_MID_EVENT_CUM = np.cumsum([0.70, 0.14, 0.08, 0.08])
+
+
+def _event_type_for(index: int, count: int, pick: float) -> MessageType:
+    """Session-structured event type: attach first, detach last, mixed
+    procedures in between."""
+    if index == 0:
+        return MessageType.ATTACH
+    if index == count - 1 and count > 1:
+        return MessageType.DETACH
+    return _MID_EVENT_TYPES[int(np.searchsorted(_MID_EVENT_CUM, pick))]
+
+
+class MNOSimulator:
+    """Builds :class:`MNODataset` instances from an :class:`MNOConfig`."""
+
+    def __init__(self, ecosystem: Ecosystem, config: Optional[MNOConfig] = None):
+        self.ecosystem = ecosystem
+        self.config = config or MNOConfig()
+        self._rng = np.random.default_rng(self.config.seed + 1)
+        self._observer_plmn = str(ecosystem.uk_mno.plmn)
+
+    # -- per-day helpers ----------------------------------------------------
+
+    def _day_sectors(
+        self, plan: PlannedDevice, day: int
+    ) -> Optional[Tuple[Dict[RAT, List[int]], np.ndarray]]:
+        """Resolve the day's visits to per-RAT nearest sectors.
+
+        Returns ({rat: [sector_id per visit]}, cumulative visit weights)
+        or None when the mobility model is absent (outbound devices).
+        """
+        if plan.mobility is None:
+            return None
+        rng = self._rng
+        visits = plan.mobility.visits_for_day(day, rng)
+        weights = np.array([w for _, w in visits], dtype=float)
+        cum = np.cumsum(weights / weights.sum())
+        catalog = self.ecosystem.uk_sectors
+        sectors: Dict[RAT, List[int]] = {}
+        for rat in plan.rats_used:
+            per_visit: List[int] = []
+            for position, _ in visits:
+                sector = catalog.nearest(position, rat)
+                # The observer supports all three RATs, so lookup cannot
+                # miss for RATs the device actually uses.
+                assert sector is not None
+                per_visit.append(sector.sector_id)
+            sectors[rat] = per_visit
+        return sectors, cum
+
+    def _emit_radio_day(
+        self,
+        plan: PlannedDevice,
+        day: int,
+        out: List[RadioEvent],
+    ) -> None:
+        rng = self._rng
+        n = plan.traffic.draw_signaling_count(rng)
+        if n <= 0:
+            return
+        resolved = self._day_sectors(plan, day)
+        if resolved is None:
+            return
+        sectors_by_rat, visit_cum = resolved
+        timestamps = plan.traffic.event_timestamps(day, n, rng)
+
+        voice_rats = plan.voice_rats
+        data_rats = plan.data_rats
+        plane_draws = rng.random(n)
+        visit_picks = np.searchsorted(visit_cum, rng.random(n))
+        type_picks = rng.random(n)
+        fail_draws = rng.random(n) < plan.segment.event_failure_prob
+        rat_picks = rng.random(n)
+
+        sim_plmn = plan.device.sim_plmn
+        tac = plan.device.tac
+        device_id = plan.device_id
+        for i in range(n):
+            voice = bool(
+                voice_rats
+                and plan.voice_event_fraction > 0.0
+                and plane_draws[i] < plan.voice_event_fraction
+            )
+            rats = voice_rats if voice else data_rats
+            rat = rats[int(rat_picks[i] * len(rats))]
+            interface = RadioInterface.for_plane(rat, voice)
+            sector_id = sectors_by_rat[rat][int(visit_picks[i])]
+            result = (
+                ResultCode.SYSTEM_FAILURE if fail_draws[i] else ResultCode.OK
+            )
+            out.append(
+                RadioEvent(
+                    device_id=device_id,
+                    timestamp=float(timestamps[i]),
+                    sim_plmn=sim_plmn,
+                    tac=tac,
+                    sector_id=sector_id,
+                    interface=interface,
+                    event_type=_event_type_for(i, n, float(type_picks[i])),
+                    result=result,
+                )
+            )
+
+    def _emit_service_day(
+        self,
+        plan: PlannedDevice,
+        day: int,
+        out: List[ServiceRecord],
+    ) -> None:
+        rng = self._rng
+        visited = plan.outbound_visited_plmn or self._observer_plmn
+        sim_plmn = plan.device.sim_plmn
+        device_id = plan.device_id
+        base = day * 86400.0
+
+        if plan.uses_voice:
+            for _ in range(plan.traffic.draw_call_count(rng)):
+                out.append(
+                    ServiceRecord(
+                        device_id=device_id,
+                        timestamp=base + float(rng.random()) * 86400.0,
+                        sim_plmn=sim_plmn,
+                        visited_plmn=visited,
+                        service=ServiceType.VOICE,
+                        duration_s=plan.traffic.draw_call_duration_s(rng),
+                    )
+                )
+        if plan.uses_data and plan.apns:
+            sessions = plan.traffic.draw_data_sessions(rng)
+            if sessions <= 0:
+                return
+            apn = plan.apns[int(rng.integers(len(plan.apns)))]
+            for _ in range(sessions):
+                out.append(
+                    ServiceRecord(
+                        device_id=device_id,
+                        timestamp=base + float(rng.random()) * 86400.0,
+                        sim_plmn=sim_plmn,
+                        visited_plmn=visited,
+                        service=ServiceType.DATA,
+                        bytes_total=plan.traffic.draw_session_bytes(rng),
+                        apn=apn,
+                    )
+                )
+
+    # -- public API ---------------------------------------------------------------
+
+    def simulate(
+        self, population: Optional[List[PlannedDevice]] = None
+    ) -> MNODataset:
+        """Generate the full dataset (deterministic per config seed)."""
+        if population is None:
+            population = PopulationBuilder(self.ecosystem, self.config).build()
+
+        radio_events: List[RadioEvent] = []
+        service_records: List[ServiceRecord] = []
+        ground_truth: Dict[str, GroundTruthEntry] = {}
+
+        for plan in population:
+            for day in plan.active_days:
+                day = int(day)
+                if not plan.segment.outbound:
+                    self._emit_radio_day(plan, day, radio_events)
+                self._emit_service_day(plan, day, service_records)
+            ground_truth[plan.device_id] = GroundTruthEntry(
+                device_id=plan.device_id,
+                device_class=plan.device.device_class,
+                provenance=plan.device.provenance,
+                vertical=plan.device.vertical,
+                profile=plan.segment.name,
+                home_country_iso=plan.device.home_operator.country.iso,
+                smip_native=plan.segment.smip_native,
+                smip_roaming=plan.segment.smip_roaming,
+            )
+
+        radio_events.sort(key=lambda e: e.timestamp)
+        service_records.sort(key=lambda r: r.timestamp)
+        return MNODataset(
+            observer=self.ecosystem.uk_mno,
+            radio_events=radio_events,
+            service_records=service_records,
+            tac_db=self.ecosystem.tac_db,
+            sector_catalog=self.ecosystem.uk_sectors,
+            window_days=self.config.window_days,
+            ground_truth=ground_truth,
+        )
+
+
+def simulate_mno_dataset(
+    ecosystem: Ecosystem, config: Optional[MNOConfig] = None
+) -> MNODataset:
+    """Convenience wrapper: one call from ecosystem to dataset."""
+    return MNOSimulator(ecosystem, config).simulate()

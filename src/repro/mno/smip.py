@@ -1,0 +1,70 @@
+"""SMIP (Smart Metering Implementation Programme) helpers (§4.4, §7).
+
+The study MNO provisions its native smart-meter SIMs from a dedicated
+IMSI range (and dedicated GGSN resources); the roaming smart meters
+arrive on SIMs of a single Dutch operator and identify themselves
+through energy-company APN patterns.  This module holds the dedicated
+range and the dataset-side selectors for both fleets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.cellular.identifiers import IMSI
+from repro.core.apn import ENERGY_COMPANIES, parse_apn
+from repro.core.catalog import DeviceSummary
+from repro.datasets.containers import GroundTruthEntry
+
+#: The dedicated MSIN range [lo, hi) the study MNO reserves for SMIP
+#: smart-meter SIMs.
+SMIP_IMSI_RANGE: Tuple[int, int] = (500_000_000, 600_000_000)
+
+
+def imsi_in_smip_range(imsi: IMSI) -> bool:
+    """Is this one of the MNO's dedicated smart-meter SIMs?"""
+    return SMIP_IMSI_RANGE[0] <= imsi.msin < SMIP_IMSI_RANGE[1]
+
+
+def smip_devices(
+    ground_truth: Mapping[str, GroundTruthEntry]
+) -> Tuple[Set[str], Set[str]]:
+    """Ground-truth SMIP membership: (native device IDs, roaming IDs)."""
+    native = {d for d, g in ground_truth.items() if g.smip_native}
+    roaming = {d for d, g in ground_truth.items() if g.smip_roaming}
+    return native, roaming
+
+
+def identify_smip_roaming(
+    summaries: Mapping[str, DeviceSummary], home_plmn: str
+) -> Set[str]:
+    """The paper's §4.4 inference, run on observables only.
+
+    A device is inferred to be a roaming SMIP meter if (a) its APN's
+    Network Identifier names one of the UK energy companies and (b) its
+    SIM comes from the expected Dutch operator.
+    """
+    hits: Set[str] = set()
+    for device_id, summary in summaries.items():
+        if summary.sim_plmn != home_plmn:
+            continue
+        for apn in summary.apns:
+            network_id = parse_apn(apn).network_id
+            if any(company in network_id for company in ENERGY_COMPANIES):
+                hits.add(device_id)
+                break
+    return hits
+
+
+def smip_manufacturer_breakdown(
+    summaries: Mapping[str, DeviceSummary], device_ids: Iterable[str]
+) -> Dict[str, int]:
+    """Manufacturer counts for a meter fleet (the paper's Gemalto/Telit
+    validation step)."""
+    counts: Dict[str, int] = {}
+    for device_id in device_ids:
+        summary = summaries.get(device_id)
+        if summary is None or summary.model is None:
+            continue
+        counts[summary.model.manufacturer] = counts.get(summary.model.manufacturer, 0) + 1
+    return counts

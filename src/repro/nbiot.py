@@ -1,0 +1,191 @@
+"""NB-IoT roaming: the paper's §8 outlook, made executable.
+
+"NB-IoT is a low-power wide-area network technology developed for the
+huge volume … The GSMA announced the first international NB-IoT roaming
+trial back in June 2018 … NB-IoT will enable visited MNOs to easily
+detect the inbound roaming IoT devices, a task that currently is
+challenging."
+
+The mechanism: NB-IoT is a *dedicated* radio access — anything attaching
+over it is an IoT device by construction, so detection needs no APN
+archaeology.  This module models that future:
+
+* :class:`NBIoTDeployment` — which operators enabled NB-IoT and which
+  (home, visited) pairs have completed a roaming trial;
+* :func:`migrate_fleet` — move a fraction of the eligible (stationary,
+  LPWA-suited) M2M population onto NB-IoT, emitting dedicated attach
+  records;
+* :func:`detect_iot_by_rat` — the trivial visited-MNO detector;
+* :func:`detection_coverage_curve` — how visited-MNO IoT visibility
+  grows with NB-IoT adoption, quantifying the §8 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.classifier import ClassLabel
+from repro.devices.device import DeviceClass, IoTVertical
+from repro.pipeline import PipelineResult
+
+#: Verticals suited to LPWA migration (small, infrequent payloads).
+LPWA_VERTICALS: FrozenSet[IoTVertical] = frozenset(
+    {IoTVertical.SMART_METER, IoTVertical.PAYMENT, IoTVertical.LOGISTICS,
+     IoTVertical.OTHER}
+)
+
+
+@dataclass(frozen=True)
+class NBIoTAttachRecord:
+    """One NB-IoT attach seen by the visited MNO — RAT is explicit."""
+
+    device_id: str
+    timestamp: float
+    sim_plmn: str
+    visited_plmn: str
+    rat: str = "NB-IoT"
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("negative timestamp")
+        if self.rat != "NB-IoT":
+            raise ValueError("NB-IoT records carry the NB-IoT RAT tag")
+
+
+class NBIoTDeployment:
+    """Who has switched NB-IoT on, and which roaming trials exist."""
+
+    def __init__(self) -> None:
+        self._enabled: Set[str] = set()
+        self._trials: Set[Tuple[str, str]] = set()
+
+    def enable(self, plmn: str) -> None:
+        self._enabled.add(plmn)
+
+    def run_trial(self, home_plmn: str, visited_plmn: str) -> None:
+        """Complete a roaming trial (both ends must be enabled)."""
+        if home_plmn not in self._enabled or visited_plmn not in self._enabled:
+            raise ValueError("both operators must enable NB-IoT before a trial")
+        self._trials.add((home_plmn, visited_plmn))
+
+    def is_enabled(self, plmn: str) -> bool:
+        return plmn in self._enabled
+
+    def roaming_possible(self, home_plmn: str, visited_plmn: str) -> bool:
+        if home_plmn == visited_plmn:
+            return home_plmn in self._enabled
+        return (home_plmn, visited_plmn) in self._trials
+
+    @property
+    def n_trials(self) -> int:
+        return len(self._trials)
+
+
+def eligible_devices(result: PipelineResult) -> Set[str]:
+    """Ground-truth M2M devices in LPWA-suited verticals."""
+    eligible: Set[str] = set()
+    for device_id, truth in result.dataset.ground_truth.items():
+        if truth.device_class is not DeviceClass.M2M:
+            continue
+        if truth.vertical in LPWA_VERTICALS and device_id in result.summaries:
+            eligible.add(device_id)
+    return eligible
+
+
+def migrate_fleet(
+    result: PipelineResult,
+    deployment: NBIoTDeployment,
+    migration_fraction: float,
+    seed: int = 0,
+) -> Tuple[List[NBIoTAttachRecord], Set[str]]:
+    """Move a fraction of the eligible fleet onto NB-IoT.
+
+    A device migrates only if the (home, visited) pair has NB-IoT
+    roaming in place; migrated devices emit one dedicated attach per
+    active day.  Returns (attach records, migrated device IDs).
+    """
+    if not 0.0 <= migration_fraction <= 1.0:
+        raise ValueError("migration fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    visited_plmn = str(result.labeler.observer.plmn)
+    records: List[NBIoTAttachRecord] = []
+    migrated: Set[str] = set()
+
+    candidates = sorted(eligible_devices(result))
+    for device_id in candidates:
+        if rng.random() >= migration_fraction:
+            continue
+        summary = result.summaries[device_id]
+        if not deployment.roaming_possible(summary.sim_plmn, visited_plmn):
+            continue
+        migrated.add(device_id)
+        for day in range(summary.active_days):
+            records.append(
+                NBIoTAttachRecord(
+                    device_id=device_id,
+                    timestamp=day * 86400.0 + float(rng.random()) * 86400.0,
+                    sim_plmn=summary.sim_plmn,
+                    visited_plmn=visited_plmn,
+                )
+            )
+    records.sort(key=lambda r: r.timestamp)
+    return records, migrated
+
+
+def detect_iot_by_rat(records: Iterable[NBIoTAttachRecord]) -> Set[str]:
+    """The §8 detector: NB-IoT attach == IoT device.  No inference."""
+    return {record.device_id for record in records}
+
+
+@dataclass
+class CoveragePoint:
+    """One point of the adoption-vs-visibility curve."""
+
+    migration_fraction: float
+    detected_share_of_m2m: float
+    n_migrated: int
+
+
+def detection_coverage_curve(
+    result: PipelineResult,
+    deployment: NBIoTDeployment,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed: int = 0,
+) -> List[CoveragePoint]:
+    """Visited-MNO IoT visibility as a function of NB-IoT adoption."""
+    true_m2m = {
+        d
+        for d, g in result.dataset.ground_truth.items()
+        if g.device_class is DeviceClass.M2M and d in result.summaries
+    }
+    if not true_m2m:
+        raise ValueError("no M2M devices to migrate")
+    curve: List[CoveragePoint] = []
+    for fraction in fractions:
+        records, migrated = migrate_fleet(result, deployment, fraction, seed=seed)
+        detected = detect_iot_by_rat(records)
+        curve.append(
+            CoveragePoint(
+                migration_fraction=fraction,
+                detected_share_of_m2m=len(detected & true_m2m) / len(true_m2m),
+                n_migrated=len(migrated),
+            )
+        )
+    return curve
+
+
+def full_deployment(result: PipelineResult) -> NBIoTDeployment:
+    """A deployment where every observed home operator ran a trial with
+    the study MNO — the §8 'powerful environment' end state."""
+    deployment = NBIoTDeployment()
+    visited = str(result.labeler.observer.plmn)
+    deployment.enable(visited)
+    for summary in result.summaries.values():
+        if not deployment.is_enabled(summary.sim_plmn):
+            deployment.enable(summary.sim_plmn)
+        if summary.sim_plmn != visited:
+            deployment.run_trial(summary.sim_plmn, visited)
+    return deployment

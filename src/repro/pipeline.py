@@ -1,0 +1,56 @@
+"""One-call convenience pipeline: dataset in, everything the figures need out.
+
+Wraps the §4 workflow — devices-catalog construction, roaming labeling,
+classification — into a single :func:`run_pipeline` call whose result
+object every analysis module and bench consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
+from repro.core.classifier import Classification, ClassifierConfig, DeviceClassifier
+from repro.core.roaming import RoamingLabeler
+from repro.datasets.containers import MNODataset
+from repro.ecosystem import Ecosystem
+
+
+@dataclass
+class PipelineResult:
+    """Everything derived from one MNO dataset."""
+
+    dataset: MNODataset
+    day_records: List[DeviceDayRecord]
+    summaries: Dict[str, DeviceSummary]
+    classifications: Dict[str, Classification]
+    labeler: RoamingLabeler
+
+
+def run_pipeline(
+    dataset: MNODataset,
+    ecosystem: Ecosystem,
+    classifier_config: Optional[ClassifierConfig] = None,
+    compute_mobility: bool = True,
+) -> PipelineResult:
+    """Run catalog building, labeling and classification end to end."""
+    labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
+    builder = CatalogBuilder(
+        dataset.tac_db,
+        dataset.sector_catalog,
+        labeler,
+        compute_mobility=compute_mobility,
+    )
+    day_records, summaries = builder.build(
+        dataset.radio_events, dataset.service_records
+    )
+    classifier = DeviceClassifier(classifier_config)
+    classifications = classifier.classify(summaries)
+    return PipelineResult(
+        dataset=dataset,
+        day_records=day_records,
+        summaries=summaries,
+        classifications=classifications,
+        labeler=labeler,
+    )

@@ -1,0 +1,23 @@
+"""The global M2M platform simulator (paper §3).
+
+Generates the 11-day signaling dataset of a global IoT-SIM platform:
+fleets of IoT devices homed on four HMNOs (ES/DE/MX/AR), operating
+natively or roaming world-wide through the IPX hub, producing
+authentication / update-location / cancel-location transactions with
+success and failure outcomes.
+
+The generative model is calibrated to the marginals §3 reports —
+per-HMNO device shares, roaming fractions, the heavy-tailed per-device
+signaling load, the VMNO-count distribution and the inter-VMNO switch
+distribution — so every Fig. 2/Fig. 3 analysis runs on realistic input.
+"""
+
+from repro.platform_m2m.config import HMNOFleetConfig, PlatformConfig
+from repro.platform_m2m.simulator import M2MPlatformSimulator, simulate_m2m_dataset
+
+__all__ = [
+    "HMNOFleetConfig",
+    "M2MPlatformSimulator",
+    "PlatformConfig",
+    "simulate_m2m_dataset",
+]

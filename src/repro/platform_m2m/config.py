@@ -1,0 +1,133 @@
+"""Configuration of the M2M platform simulator.
+
+Every number here is a calibration target taken from §3 of the paper;
+the comments cite the corresponding observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.devices.device import IoTVertical
+
+
+@dataclass(frozen=True)
+class HMNOFleetConfig:
+    """Per-HMNO fleet parameters.
+
+    ``share`` — fraction of the platform's devices homed on this HMNO
+    (Fig. 2: ES 52.3%, MX 42.2%, AR 4.7%, DE ≈0.8%).
+    ``roaming_fraction`` — fraction of the fleet operating outside the
+    home country (ES 82%; MX/AR ≈ home-bound; DE ≈ all roaming).
+    ``visited_country_zipf`` — Zipf exponent concentrating roamers on a
+    few countries (ES: 75% of signaling from 5 countries, yet active in
+    76).
+    ``multi_country_fraction`` — devices that tour several countries
+    (DE's connected cars).
+    ``vertical_mix`` — ground-truth verticals of the fleet.
+    """
+
+    share: float
+    roaming_fraction: float
+    visited_country_zipf: float = 1.6
+    multi_country_fraction: float = 0.05
+    vertical_mix: Mapping[IoTVertical, float] = field(
+        default_factory=lambda: {IoTVertical.OTHER: 1.0}
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.share <= 1.0:
+            raise ValueError("share must be in [0, 1]")
+        if not 0.0 <= self.roaming_fraction <= 1.0:
+            raise ValueError("roaming_fraction must be in [0, 1]")
+        total = sum(self.vertical_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"vertical mix sums to {total}, expected 1.0")
+
+
+def _default_fleets() -> Dict[str, HMNOFleetConfig]:
+    return {
+        "ES": HMNOFleetConfig(
+            share=0.523,
+            roaming_fraction=0.82,
+            visited_country_zipf=1.6,
+            multi_country_fraction=0.05,
+            vertical_mix={
+                IoTVertical.SMART_METER: 0.40,
+                IoTVertical.PAYMENT: 0.18,
+                IoTVertical.LOGISTICS: 0.15,
+                IoTVertical.CONNECTED_CAR: 0.12,
+                IoTVertical.WEARABLE: 0.08,
+                IoTVertical.OTHER: 0.07,
+            },
+        ),
+        "MX": HMNOFleetConfig(
+            share=0.422,
+            roaming_fraction=0.10,  # 90% operate at home (§3.2)
+            visited_country_zipf=2.0,
+            vertical_mix={
+                IoTVertical.SMART_METER: 0.5,
+                IoTVertical.PAYMENT: 0.3,
+                IoTVertical.OTHER: 0.2,
+            },
+        ),
+        "AR": HMNOFleetConfig(
+            share=0.047,
+            roaming_fraction=0.05,  # almost all native (§3.2)
+            visited_country_zipf=2.0,
+            vertical_mix={
+                IoTVertical.SMART_METER: 0.5,
+                IoTVertical.LOGISTICS: 0.3,
+                IoTVertical.OTHER: 0.2,
+            },
+        ),
+        "DE": HMNOFleetConfig(
+            share=0.008,
+            roaming_fraction=0.95,
+            visited_country_zipf=0.8,  # spread wide: 18 VMNOs for ~1k devices
+            multi_country_fraction=0.6,
+            vertical_mix={IoTVertical.CONNECTED_CAR: 1.0},
+        ),
+    }
+
+
+@dataclass
+class PlatformConfig:
+    """Top-level knobs for one simulated platform dataset."""
+
+    n_devices: int = 2000
+    window_days: int = 11
+    seed: int = 42
+    fleets: Dict[str, HMNOFleetConfig] = field(default_factory=_default_fleets)
+
+    # Per-device signaling volume over the whole window: lognormal with
+    # distinct medians for roaming and native devices ("roaming devices
+    # generate 10x more procedures than native in median", §3.2/3.3)
+    # plus a rare "flooder" multiplier for the 130k-message tail.
+    native_median_txns: float = 12.0
+    roaming_median_txns: float = 120.0
+    txn_sigma: float = 1.5
+    flooder_prob: float = 0.01
+    flooder_multiplier: float = 30.0
+
+    # 40% of devices only ever fail against 4G (§3.3).
+    failed_only_fraction: float = 0.40
+    # Occasional failures on otherwise-healthy devices.
+    sporadic_failure_prob: float = 0.02
+
+    # Steering-policy mixture for roaming devices, calibrated to the
+    # VMNO-count distribution of Fig. 3-center (65% use one VMNO, >25%
+    # two, ~5% three or more).
+    steering_mix: Tuple[float, float, float] = (0.60, 0.34, 0.06)  # sticky/failure/random
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+        share_total = sum(f.share for f in self.fleets.values())
+        if abs(share_total - 1.0) > 1e-3:
+            raise ValueError(f"fleet shares sum to {share_total}, expected 1.0")
+        if abs(sum(self.steering_mix) - 1.0) > 1e-6:
+            raise ValueError("steering mix must sum to 1.0")

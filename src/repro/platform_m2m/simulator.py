@@ -1,0 +1,354 @@
+"""Generative simulator for the M2M-platform signaling dataset (§3).
+
+The simulator draws a fleet of IoT devices per HMNO, assigns each a
+roaming footprint (home-bound or a set of visited countries), a steering
+policy, and a heavy-tailed signaling budget, then rolls the 11-day window
+forward emitting :class:`SignalingTransaction` records.
+
+Failure modelling follows the paper's two mechanisms:
+
+* **4G-failed devices** (40% of the population) never complete a
+  procedure in this dataset — their SIM/agreement state cannot attach on
+  LTE, so they churn through candidate VMNOs accumulating
+  RoamingNotAllowed / FeatureUnsupported / UnknownSubscription outcomes
+  (the paper sees such devices attempt up to 19 VMNOs);
+* healthy devices fail sporadically, which is also what triggers
+  failure-driven steering switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cellular.identifiers import IMSI, hash_device_id
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+from repro.datasets.containers import GroundTruthEntry, M2MDataset
+from repro.devices.device import DeviceClass, IoTVertical, SimProvenance
+from repro.ecosystem import Ecosystem
+from repro.platform_m2m.config import HMNOFleetConfig, PlatformConfig
+from repro.roaming.steering import (
+    FailureDrivenSteering,
+    RandomSteering,
+    SteeringPolicy,
+    SteeringState,
+    StickySteering,
+)
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+#: Failure-code mix for 4G-failed devices.
+_FAILURE_MIX: Tuple[Tuple[ResultCode, float], ...] = (
+    (ResultCode.ROAMING_NOT_ALLOWED, 0.45),
+    (ResultCode.FEATURE_UNSUPPORTED, 0.35),
+    (ResultCode.UNKNOWN_SUBSCRIPTION, 0.20),
+)
+
+#: Preferred visited countries for the Spanish fleet (the "5 visited
+#: countries / 10 VMNOs carrying 75% of signaling" concentration).
+_ES_TOP_COUNTRIES = ("GB", "FR", "DE", "IT", "PT")
+_MX_COUNTRIES = ("US", "CO", "PE", "CL", "BR", "AR", "UY")
+_AR_COUNTRIES = ("CL", "UY", "BR", "PE", "CO", "MX")
+
+
+@dataclass
+class _DevicePlan:
+    """Everything sampled up-front for one device."""
+
+    device_id: str
+    hmno: Operator
+    vertical: IoTVertical
+    roaming: bool
+    failed_only: bool
+    countries: List[str]
+    policy: Optional[SteeringPolicy]
+    txn_count: int
+
+
+def _weighted_choice(
+    rng: np.random.Generator, options: Sequence[Tuple[object, float]]
+) -> object:
+    values = [o for o, _ in options]
+    weights = np.array([w for _, w in options], dtype=float)
+    index = int(rng.choice(len(values), p=weights / weights.sum()))
+    return values[index]
+
+
+class M2MPlatformSimulator:
+    """Builds :class:`M2MDataset` instances from a :class:`PlatformConfig`."""
+
+    def __init__(self, ecosystem: Ecosystem, config: Optional[PlatformConfig] = None):
+        self.ecosystem = ecosystem
+        self.config = config or PlatformConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._msin_counter = 1
+
+    # -- country footprints ------------------------------------------------
+
+    def _visited_country_universe(self, hmno_iso: str) -> List[str]:
+        if hmno_iso == "MX":
+            return list(_MX_COUNTRIES)
+        if hmno_iso == "AR":
+            return list(_AR_COUNTRIES)
+        if hmno_iso == "DE":
+            return [
+                c.iso
+                for c in self.ecosystem.countries
+                if c.eu_roaming and c.iso != "DE"
+            ]
+        # ES: the preferred top-5, then the rest of the world.
+        rest = sorted(
+            c.iso
+            for c in self.ecosystem.countries
+            if c.iso not in _ES_TOP_COUNTRIES and c.iso != hmno_iso
+        )
+        return list(_ES_TOP_COUNTRIES) + rest
+
+    def _sample_countries(
+        self, fleet: HMNOFleetConfig, universe: List[str], rng: np.random.Generator
+    ) -> List[str]:
+        ranks = np.arange(1, len(universe) + 1, dtype=float)
+        weights = ranks ** (-fleet.visited_country_zipf)
+        weights /= weights.sum()
+        if rng.random() < fleet.multi_country_fraction:
+            count = min(len(universe), 2 + int(rng.integers(3)))
+        else:
+            count = 1
+        picks = rng.choice(len(universe), size=count, replace=False, p=weights)
+        return [universe[int(i)] for i in picks]
+
+    # -- device planning --------------------------------------------------------
+
+    def _sample_policy(self, rng: np.random.Generator) -> SteeringPolicy:
+        sticky, failure, _random = self.config.steering_mix
+        roll = rng.random()
+        if roll < sticky:
+            return StickySteering(failure_threshold=3)
+        if roll < sticky + failure:
+            return FailureDrivenSteering()
+        return RandomSteering(stickiness=0.5)
+
+    def _sample_txn_count(self, roaming: bool, rng: np.random.Generator) -> int:
+        median = (
+            self.config.roaming_median_txns
+            if roaming
+            else self.config.native_median_txns
+        )
+        count = float(np.exp(rng.normal(np.log(median), self.config.txn_sigma)))
+        if rng.random() < self.config.flooder_prob:
+            count *= self.config.flooder_multiplier
+        return max(1, int(count))
+
+    def _plan_device(self, hmno_iso: str, fleet: HMNOFleetConfig) -> _DevicePlan:
+        rng = self._rng
+        hmno = self.ecosystem.platform_hmnos[hmno_iso]
+        imsi = IMSI(plmn=hmno.plmn, msin=self._msin_counter)
+        self._msin_counter += 1
+        vertical = _weighted_choice(rng, tuple(fleet.vertical_mix.items()))
+        roaming = bool(rng.random() < fleet.roaming_fraction)
+        failed_only = bool(rng.random() < self.config.failed_only_fraction)
+        if roaming:
+            universe = self._visited_country_universe(hmno_iso)
+            countries = self._sample_countries(fleet, universe, rng)
+            # A small share of the 4G-failed devices hunt for coverage much
+            # more widely (these are the devices the paper sees attempt
+            # up to 19 VMNOs); the rest keep retrying where they are.
+            if failed_only:
+                if rng.random() < 0.08:
+                    extra = [iso for iso in universe if iso not in countries]
+                    rng.shuffle(extra)
+                    countries = countries + extra[: int(rng.integers(2, 8))]
+                    policy: Optional[SteeringPolicy] = RandomSteering(stickiness=0.3)
+                else:
+                    # Most failed devices camp on the strongest network
+                    # and retry there; steering never moves them.
+                    policy = StickySteering(failure_threshold=10**9)
+            else:
+                policy = self._sample_policy(rng)
+        else:
+            countries = [hmno.country.iso]
+            policy = None
+        return _DevicePlan(
+            device_id=hash_device_id(str(imsi)),
+            hmno=hmno,
+            vertical=vertical,
+            roaming=roaming,
+            failed_only=failed_only,
+            countries=countries,
+            policy=policy,
+            txn_count=self._sample_txn_count(roaming, rng),
+        )
+
+    # -- transaction generation ----------------------------------------------
+
+    def _candidates_in(self, plan: _DevicePlan, country_iso: str) -> List[Operator]:
+        """All MNOs the device may *attempt* in a country.
+
+        Healthy devices attempt only agreement-covered LTE networks;
+        4G-failed devices attempt every MNO (that is exactly why they
+        fail everywhere).
+        """
+        if plan.failed_only:
+            return self.ecosystem.operators.mnos_in_country(country_iso)
+        candidates = self.ecosystem.candidate_vmnos(plan.hmno, country_iso, RAT.LTE)
+        if candidates:
+            return candidates
+        # No LTE agreement anywhere in the country: fall back to
+        # attempting every network (and failing, below).
+        return self.ecosystem.operators.mnos_in_country(country_iso)
+
+    def _emit_device(self, plan: _DevicePlan) -> List[SignalingTransaction]:
+        """Roll one device's attach opportunities through the HLR protocol.
+
+        Each opportunity produces an Authentication + Update Location
+        pair at the steered VMNO; when a successful Update Location
+        moves the HLR registration to a new VMNO, a Cancel Location is
+        emitted toward the previous one (see
+        :mod:`repro.signaling.hlr`).  The per-device signaling budget
+        therefore converts to opportunities at ~2.7 records each
+        (auth + update + the occasional cancel, plus tail inflation from
+        the lognormal rounding).
+        """
+        rng = self._rng
+        n = max(1, int(round(plan.txn_count / 2.7)))
+        window_s = self.config.window_days * 86400.0
+        # Spread opportunities at least 10 ms apart so a procedure
+        # triple (auth, update, cancel) never interleaves with the next
+        # opportunity of the same device.
+        # Shrink the draw range so the spacing offsets cannot push a
+        # flooder's last opportunities past the window end.
+        draw_span = max(1.0, window_s - n * 0.01 - 1.0)
+        timestamps = np.sort(rng.random(n) * draw_span) + np.arange(n) * 0.01
+
+        # Bulk draws (one RNG call each) — the per-opportunity loop below
+        # only does steering and record construction.
+        failure_values = [r for r, _ in _FAILURE_MIX]
+        failure_cum = np.cumsum([w for _, w in _FAILURE_MIX])
+        failure_picks = np.searchsorted(failure_cum, rng.random(n))
+        sporadic_fail = rng.random(n) < self.config.sporadic_failure_prob
+
+        # Devices touring several countries move through them in order,
+        # splitting the window into per-country spans.
+        spans = np.linspace(0.0, window_s, len(plan.countries) + 1)
+        country_indices = np.clip(
+            np.searchsorted(spans, timestamps, "right") - 1, 0, len(plan.countries) - 1
+        )
+        candidates_by_country = {
+            iso: self._candidates_in(plan, iso) for iso in set(plan.countries)
+        }
+        lte_ok = {
+            vmno.plmn: self.ecosystem.agreements.allows(
+                plan.hmno.plmn, vmno.plmn, RAT.LTE
+            )
+            for candidates in candidates_by_country.values()
+            for vmno in candidates
+        }
+
+        transactions: List[SignalingTransaction] = []
+        sim_plmn = str(plan.hmno.plmn)
+        state = SteeringState()
+        registered_at: Optional[str] = None
+        for i in range(n):
+            if plan.roaming:
+                country = plan.countries[int(country_indices[i])]
+                assert plan.policy is not None
+                vmno = plan.policy.select(candidates_by_country[country], state, rng)
+            else:
+                vmno = plan.hmno
+            if plan.failed_only:
+                result = failure_values[int(failure_picks[i])]
+            elif plan.roaming and not lte_ok.get(vmno.plmn, True):
+                result = (
+                    ResultCode.FEATURE_UNSUPPORTED
+                    if not vmno.supports(RAT.LTE)
+                    else ResultCode.ROAMING_NOT_ALLOWED
+                )
+            elif sporadic_fail[i]:
+                result = ResultCode.SYSTEM_FAILURE
+            else:
+                result = ResultCode.OK
+            state.record_outcome(result.is_success)
+            ts = float(timestamps[i])
+            visited = str(vmno.plmn)
+            transactions.append(
+                SignalingTransaction(
+                    device_id=plan.device_id,
+                    timestamp=ts,
+                    sim_plmn=sim_plmn,
+                    visited_plmn=visited,
+                    message_type=MessageType.AUTHENTICATION,
+                    result=result,
+                )
+            )
+            transactions.append(
+                SignalingTransaction(
+                    device_id=plan.device_id,
+                    timestamp=ts + 0.001,
+                    sim_plmn=sim_plmn,
+                    visited_plmn=visited,
+                    message_type=MessageType.UPDATE_LOCATION,
+                    result=result,
+                )
+            )
+            if result.is_success:
+                if registered_at is not None and registered_at != visited:
+                    # The HLR cancels the stale registration at the old
+                    # VMNO once the new Update Location is accepted.
+                    transactions.append(
+                        SignalingTransaction(
+                            device_id=plan.device_id,
+                            timestamp=ts + 0.002,
+                            sim_plmn=sim_plmn,
+                            visited_plmn=registered_at,
+                            message_type=MessageType.CANCEL_LOCATION,
+                            result=ResultCode.OK,
+                        )
+                    )
+                registered_at = visited
+        return transactions
+
+    # -- public API ----------------------------------------------------------------
+
+    def simulate(self) -> M2MDataset:
+        """Generate the full dataset (deterministic for a given config)."""
+        # Sorted iteration makes the output independent of fleet-dict
+        # insertion order (configs loaded from JSON may reorder keys).
+        fleet_isos = sorted(self.config.fleets)
+        shares = np.array([self.config.fleets[iso].share for iso in fleet_isos])
+        counts = np.floor(shares * self.config.n_devices).astype(int)
+        # Distribute the rounding remainder to the largest fleets.
+        remainder = self.config.n_devices - int(counts.sum())
+        for index in np.argsort(-shares)[:remainder]:
+            counts[index] += 1
+
+        transactions: List[SignalingTransaction] = []
+        ground_truth: Dict[str, GroundTruthEntry] = {}
+        for iso, count in zip(fleet_isos, counts):
+            fleet = self.config.fleets[iso]
+            for _ in range(int(count)):
+                plan = self._plan_device(iso, fleet)
+                transactions.extend(self._emit_device(plan))
+                ground_truth[plan.device_id] = GroundTruthEntry(
+                    device_id=plan.device_id,
+                    device_class=DeviceClass.M2M,
+                    provenance=SimProvenance.INTERNATIONAL,
+                    vertical=plan.vertical,
+                    profile="platform_roaming" if plan.roaming else "platform_native",
+                    home_country_iso=iso,
+                )
+        transactions.sort(key=lambda t: t.timestamp)
+        return M2MDataset(
+            transactions=transactions,
+            window_days=self.config.window_days,
+            hmno_isos=fleet_isos,
+            ground_truth=ground_truth,
+        )
+
+
+def simulate_m2m_dataset(
+    ecosystem: Ecosystem, config: Optional[PlatformConfig] = None
+) -> M2MDataset:
+    """Convenience wrapper: one call from ecosystem to dataset."""
+    return M2MPlatformSimulator(ecosystem, config).simulate()

@@ -1,0 +1,34 @@
+"""Roaming substrate: agreements, the IPX hub, configurations, steering.
+
+Section 2 of the paper describes the machinery that makes "SIMs for
+things" work: bilateral roaming agreements, roaming hubs (IPX networks
+with Points of Presence) that let one HMNO reach hundreds of partners,
+the three traffic-routing configurations (home-routed, local breakout,
+IPX hub breakout), and the wholesale billing records partners exchange
+to settle roaming revenue.  This subpackage implements each of those.
+"""
+
+from repro.roaming.agreements import AgreementRegistry, RoamingAgreement
+from repro.roaming.configs import RoamingConfig
+from repro.roaming.hub import IPXHub, PointOfPresence
+from repro.roaming.steering import (
+    FailureDrivenSteering,
+    RandomSteering,
+    SteeringPolicy,
+    StickySteering,
+)
+from repro.roaming.billing import TAPRecord, WholesaleRater
+
+__all__ = [
+    "AgreementRegistry",
+    "FailureDrivenSteering",
+    "IPXHub",
+    "PointOfPresence",
+    "RandomSteering",
+    "RoamingAgreement",
+    "RoamingConfig",
+    "SteeringPolicy",
+    "StickySteering",
+    "TAPRecord",
+    "WholesaleRater",
+]

@@ -1,0 +1,90 @@
+"""Bilateral roaming agreements between operator pairs.
+
+A roaming agreement is the commercial precondition for any roaming
+session (§2.1): without one between HMNO and VMNO, attachment attempts
+fail with ``RoamingNotAllowed`` — one of the failure outcomes the M2M
+dataset records.  Agreements can be restricted to specific RATs, which is
+how "4G roaming not yet enabled with this partner" failures arise even
+between partners with working 2G/3G roaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.cellular.identifiers import PLMN
+from repro.cellular.rats import RAT
+
+
+@dataclass(frozen=True)
+class RoamingAgreement:
+    """A (directed) roaming agreement: home's subscribers may use visited.
+
+    Real agreements are usually reciprocal; callers wanting symmetry add
+    both directions.  ``rats`` limits the generations covered.
+    ``via_hub`` records whether the relationship was established through
+    a roaming hub rather than bilaterally — hub-mediated agreements are
+    what give M2M platforms their breadth.
+    """
+
+    home: PLMN
+    visited: PLMN
+    rats: FrozenSet[RAT] = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+    via_hub: bool = False
+
+    def __post_init__(self) -> None:
+        if self.home == self.visited:
+            raise ValueError("an operator does not roam onto itself")
+        if not self.rats:
+            raise ValueError("agreement must cover at least one RAT")
+
+    def covers(self, rat: RAT) -> bool:
+        return rat in self.rats
+
+
+class AgreementRegistry:
+    """All roaming agreements in force, indexed by (home, visited)."""
+
+    def __init__(self, agreements: Optional[List[RoamingAgreement]] = None):
+        self._by_pair: Dict[Tuple[PLMN, PLMN], RoamingAgreement] = {}
+        for agreement in agreements or []:
+            self.add(agreement)
+
+    def add(self, agreement: RoamingAgreement) -> None:
+        key = (agreement.home, agreement.visited)
+        if key in self._by_pair:
+            raise ValueError(f"duplicate agreement {key[0]} -> {key[1]}")
+        self._by_pair[key] = agreement
+
+    def add_reciprocal(
+        self,
+        a: PLMN,
+        b: PLMN,
+        rats: FrozenSet[RAT] = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE}),
+        via_hub: bool = False,
+    ) -> None:
+        """Register both directions of a symmetric agreement."""
+        self.add(RoamingAgreement(home=a, visited=b, rats=rats, via_hub=via_hub))
+        self.add(RoamingAgreement(home=b, visited=a, rats=rats, via_hub=via_hub))
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[RoamingAgreement]:
+        return iter(self._by_pair.values())
+
+    def get(self, home: PLMN, visited: PLMN) -> Optional[RoamingAgreement]:
+        return self._by_pair.get((home, visited))
+
+    def allows(self, home: PLMN, visited: PLMN, rat: RAT) -> bool:
+        """Can ``home``'s subscribers use ``visited``'s network on ``rat``?"""
+        agreement = self.get(home, visited)
+        return agreement is not None and agreement.covers(rat)
+
+    def partners_of(self, home: PLMN) -> Set[PLMN]:
+        """Networks ``home``'s subscribers can roam onto."""
+        return {v for (h, v) in self._by_pair if h == home}
+
+    def hub_mediated_count(self) -> int:
+        return sum(1 for a in self if a.via_hub)

@@ -1,0 +1,111 @@
+"""Wholesale roaming billing: TAP-style records and revenue rating.
+
+Section 2.1: "MNOs generate roaming revenue by charging their roaming
+partners as a function of the data/voice/SMS the partner's users (inbound
+roamers) generate on the visited network.  The roaming partners must each
+record the activity of roaming clients … by exchanging and comparing these
+records, the VMNO can claim revenue from the partner HMNO."
+
+Section 6's punchline is financial: M2M inbound roamers occupy radio
+resources but "do not generate traffic that would allow MNOs to accrue
+revenue".  :class:`WholesaleRater` turns service records into wholesale
+charges so the benches can quantify the revenue-per-device gap between
+device classes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.signaling.cdr import ServiceRecord, ServiceType
+
+
+@dataclass(frozen=True)
+class TAPRecord:
+    """One Transferred Account Procedure charge line.
+
+    The VMNO raises one of these per rated inbound-roamer service record
+    and presents it to the HMNO for settlement.
+    """
+
+    device_id: str
+    home_plmn: str
+    visited_plmn: str
+    service: ServiceType
+    units: float
+    charge_eur: float
+
+    def __post_init__(self) -> None:
+        if self.units < 0:
+            raise ValueError("negative units")
+        if self.charge_eur < 0:
+            raise ValueError("negative charge")
+
+
+@dataclass(frozen=True)
+class WholesaleTariff:
+    """Per-unit wholesale rates (EUR): data per MB, voice per minute.
+
+    Defaults approximate post-2019 EU wholesale caps.
+    """
+
+    data_eur_per_mb: float = 0.004
+    voice_eur_per_min: float = 0.032
+
+    def rate(self, record: ServiceRecord) -> Tuple[float, float]:
+        """Return (units, charge) for one service record."""
+        if record.service is ServiceType.DATA:
+            units = record.bytes_total / 1_000_000.0
+            return units, units * self.data_eur_per_mb
+        units = record.duration_s / 60.0
+        return units, units * self.voice_eur_per_min
+
+
+class WholesaleRater:
+    """Rates inbound-roamer usage into TAP records and aggregates revenue."""
+
+    def __init__(self, visited_plmn: str, tariff: WholesaleTariff = WholesaleTariff()):
+        self.visited_plmn = visited_plmn
+        self.tariff = tariff
+
+    def rate_records(self, records: Iterable[ServiceRecord]) -> List[TAPRecord]:
+        """Rate every inbound-roamer record (SIM PLMN != visited PLMN).
+
+        Native and MVNO traffic is retail, not wholesale, and is skipped.
+        """
+        tap: List[TAPRecord] = []
+        for record in records:
+            if record.sim_plmn == self.visited_plmn:
+                continue
+            if record.visited_plmn != self.visited_plmn:
+                continue  # not on our network; nothing to claim
+            units, charge = self.tariff.rate(record)
+            tap.append(
+                TAPRecord(
+                    device_id=record.device_id,
+                    home_plmn=record.sim_plmn,
+                    visited_plmn=self.visited_plmn,
+                    service=record.service,
+                    units=units,
+                    charge_eur=charge,
+                )
+            )
+        return tap
+
+    @staticmethod
+    def revenue_by_home_plmn(tap: Iterable[TAPRecord]) -> Dict[str, float]:
+        """Total claimable revenue per partner HMNO."""
+        totals: Dict[str, float] = defaultdict(float)
+        for record in tap:
+            totals[record.home_plmn] += record.charge_eur
+        return dict(totals)
+
+    @staticmethod
+    def revenue_per_device(tap: Iterable[TAPRecord]) -> Dict[str, float]:
+        """Total claimable revenue per device."""
+        totals: Dict[str, float] = defaultdict(float)
+        for record in tap:
+            totals[record.device_id] += record.charge_eur
+        return dict(totals)

@@ -1,0 +1,202 @@
+"""Data/financial clearing between roaming partners (§2.1, §9).
+
+"The roaming partners must each record the activity of roaming clients
+in a given VMNO.  Then, by exchanging and comparing these records, the
+VMNO can claim revenue from the partner HMNO."  §9 lists "data and
+financial clearing" among the stresses M2M roaming puts on the
+interconnection ecosystem.
+
+:class:`ClearingHouse` implements that exchange: both sides submit
+usage statements per (home, visited) pair; the house matches them,
+flags discrepancies beyond tolerance, and produces a settlement.  The
+M2M angle the paper implies: millions of tiny M2M records create
+clearing volume wildly out of proportion to the money they move.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.roaming.billing import TAPRecord
+from repro.signaling.cdr import ServiceRecord, ServiceType
+
+
+@dataclass(frozen=True)
+class UsageStatement:
+    """One side's aggregate claim for a (home, visited, service) lane."""
+
+    home_plmn: str
+    visited_plmn: str
+    service: ServiceType
+    units: float
+    charge_eur: float
+    n_records: int
+
+    def __post_init__(self) -> None:
+        if self.units < 0 or self.charge_eur < 0 or self.n_records < 0:
+            raise ValueError("statement quantities must be non-negative")
+
+
+def statements_from_tap(tap: Iterable[TAPRecord]) -> List[UsageStatement]:
+    """Aggregate per-record TAP lines into lane statements."""
+    acc: Dict[Tuple[str, str, ServiceType], List[TAPRecord]] = defaultdict(list)
+    for record in tap:
+        acc[(record.home_plmn, record.visited_plmn, record.service)].append(record)
+    return [
+        UsageStatement(
+            home_plmn=home,
+            visited_plmn=visited,
+            service=service,
+            units=sum(r.units for r in records),
+            charge_eur=sum(r.charge_eur for r in records),
+            n_records=len(records),
+        )
+        for (home, visited, service), records in acc.items()
+    ]
+
+
+class DiscrepancyKind(str, Enum):
+    MISSING_AT_HOME = "missing_at_home"       # VMNO claims, HMNO has nothing
+    MISSING_AT_VISITED = "missing_at_visited" # HMNO recorded, VMNO never claimed
+    AMOUNT_MISMATCH = "amount_mismatch"
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    kind: DiscrepancyKind
+    home_plmn: str
+    visited_plmn: str
+    service: ServiceType
+    visited_charge_eur: float
+    home_charge_eur: float
+
+    @property
+    def delta_eur(self) -> float:
+        return self.visited_charge_eur - self.home_charge_eur
+
+
+@dataclass
+class Settlement:
+    """The outcome of one clearing cycle."""
+
+    agreed_eur: float
+    disputed_eur: float
+    discrepancies: List[Discrepancy]
+    n_lanes: int
+    n_records_cleared: int
+
+    @property
+    def dispute_rate(self) -> float:
+        total = self.agreed_eur + self.disputed_eur
+        return self.disputed_eur / total if total else 0.0
+
+    def format(self) -> str:
+        return (
+            f"lanes: {self.n_lanes}, records cleared: {self.n_records_cleared}\n"
+            f"agreed: {self.agreed_eur:.2f} EUR, disputed: {self.disputed_eur:.2f} EUR "
+            f"(dispute rate {self.dispute_rate:.1%}), "
+            f"{len(self.discrepancies)} discrepancies"
+        )
+
+
+class ClearingHouse:
+    """Matches visited-side claims against home-side records.
+
+    ``tolerance`` is the relative charge difference accepted as rounding
+    (real TAP processes tolerate small deltas); anything larger becomes
+    a disputed lane.
+    """
+
+    def __init__(self, tolerance: float = 0.01):
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError("tolerance must be in [0, 1)")
+        self.tolerance = tolerance
+
+    @staticmethod
+    def _lane_key(statement: UsageStatement) -> Tuple[str, str, ServiceType]:
+        return (statement.home_plmn, statement.visited_plmn, statement.service)
+
+    def reconcile(
+        self,
+        visited_side: Iterable[UsageStatement],
+        home_side: Iterable[UsageStatement],
+    ) -> Settlement:
+        """One clearing cycle over both parties' statements."""
+        visited_by_lane = {self._lane_key(s): s for s in visited_side}
+        home_by_lane = {self._lane_key(s): s for s in home_side}
+
+        agreed = 0.0
+        disputed = 0.0
+        n_records = 0
+        discrepancies: List[Discrepancy] = []
+
+        for lane, visited in visited_by_lane.items():
+            home = home_by_lane.get(lane)
+            n_records += visited.n_records
+            if home is None:
+                disputed += visited.charge_eur
+                discrepancies.append(
+                    Discrepancy(
+                        kind=DiscrepancyKind.MISSING_AT_HOME,
+                        home_plmn=lane[0],
+                        visited_plmn=lane[1],
+                        service=lane[2],
+                        visited_charge_eur=visited.charge_eur,
+                        home_charge_eur=0.0,
+                    )
+                )
+                continue
+            reference = max(visited.charge_eur, home.charge_eur, 1e-12)
+            if abs(visited.charge_eur - home.charge_eur) / reference <= self.tolerance:
+                agreed += visited.charge_eur
+            else:
+                disputed += abs(visited.charge_eur - home.charge_eur)
+                agreed += min(visited.charge_eur, home.charge_eur)
+                discrepancies.append(
+                    Discrepancy(
+                        kind=DiscrepancyKind.AMOUNT_MISMATCH,
+                        home_plmn=lane[0],
+                        visited_plmn=lane[1],
+                        service=lane[2],
+                        visited_charge_eur=visited.charge_eur,
+                        home_charge_eur=home.charge_eur,
+                    )
+                )
+
+        for lane, home in home_by_lane.items():
+            if lane not in visited_by_lane:
+                discrepancies.append(
+                    Discrepancy(
+                        kind=DiscrepancyKind.MISSING_AT_VISITED,
+                        home_plmn=lane[0],
+                        visited_plmn=lane[1],
+                        service=lane[2],
+                        visited_charge_eur=0.0,
+                        home_charge_eur=home.charge_eur,
+                    )
+                )
+
+        return Settlement(
+            agreed_eur=agreed,
+            disputed_eur=disputed,
+            discrepancies=discrepancies,
+            n_lanes=len(set(visited_by_lane) | set(home_by_lane)),
+            n_records_cleared=n_records,
+        )
+
+
+def clearing_load_per_euro(statements: Iterable[UsageStatement]) -> Dict[str, float]:
+    """Records-per-euro by home operator: the M2M clearing-overhead
+    metric (many records, little money)."""
+    records: Dict[str, int] = defaultdict(int)
+    money: Dict[str, float] = defaultdict(float)
+    for statement in statements:
+        records[statement.home_plmn] += statement.n_records
+        money[statement.home_plmn] += statement.charge_eur
+    return {
+        home: (records[home] / money[home] if money[home] > 0 else float("inf"))
+        for home in records
+    }

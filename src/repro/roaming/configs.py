@@ -1,0 +1,76 @@
+"""Roaming traffic-routing configurations: HR, LBO and IHBO.
+
+Figure 1 of the paper shows the three ways a roamer's user-plane traffic
+can reach the Internet:
+
+* **Home-routed (HR)** — traffic tunnels all the way back to a PGW in the
+  home network.  The European default; incurs a round trip to the home
+  country on every packet.
+* **Local breakout (LBO)** — traffic exits through a PGW in the visited
+  network.
+* **IPX hub breakout (IHBO)** — traffic exits at the roaming hub's PoP,
+  somewhere between the two.
+
+The paper notes the M2M platform mixes configurations to keep
+performance acceptable for far-away destinations (e.g. Spain→Australia).
+:func:`user_plane_path_km` quantifies the latency-relevant detour each
+configuration implies, which the steering ablation bench uses.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.cellular.geo import GeoPoint, haversine_km
+
+
+class RoamingConfig(str, Enum):
+    """How a roaming session's user plane is routed."""
+
+    HOME_ROUTED = "HR"
+    LOCAL_BREAKOUT = "LBO"
+    IPX_HUB_BREAKOUT = "IHBO"
+
+
+def user_plane_path_km(
+    config: RoamingConfig,
+    device_location: GeoPoint,
+    home_gateway: GeoPoint,
+    hub_pop: Optional[GeoPoint] = None,
+) -> float:
+    """Extra user-plane distance (km) a packet travels before egress.
+
+    For HR it is the full detour to the home PGW; for IHBO the leg to the
+    nearest hub PoP; for LBO zero (egress in the visited country).  This
+    is the geometric proxy the paper's performance-penalty remark about
+    HR roaming (§3.2, citing [12]) rests on.
+    """
+    if config is RoamingConfig.LOCAL_BREAKOUT:
+        return 0.0
+    if config is RoamingConfig.HOME_ROUTED:
+        return haversine_km(device_location, home_gateway)
+    if config is RoamingConfig.IPX_HUB_BREAKOUT:
+        if hub_pop is None:
+            raise ValueError("IHBO requires a hub PoP location")
+        return haversine_km(device_location, hub_pop)
+    raise ValueError(f"unknown roaming config {config}")
+
+
+def pick_config_for_distance(
+    device_location: GeoPoint,
+    home_gateway: GeoPoint,
+    hub_pop: Optional[GeoPoint],
+    hr_threshold_km: float = 5000.0,
+) -> RoamingConfig:
+    """The platform's pragmatic policy: default HR, but break out at the
+    hub when the home detour would be intercontinental.
+
+    Mirrors the paper's observation that the M2M platform "uses different
+    roaming configurations in order to optimize the performance of IoT
+    devices roaming in very far destinations".
+    """
+    home_detour = haversine_km(device_location, home_gateway)
+    if home_detour <= hr_threshold_km or hub_pop is None:
+        return RoamingConfig.HOME_ROUTED
+    return RoamingConfig.IPX_HUB_BREAKOUT

@@ -1,0 +1,133 @@
+"""The IPX roaming hub: Points of Presence and reachability.
+
+The carrier behind the paper's M2M platform "operates a large
+infrastructure world-wide, interconnecting directly with MNOs from 19
+countries through 40 Points of Presence … It further interconnects with
+other carriers to extend its footprint to the rest of the globe" (§3).
+
+:class:`IPXHub` models exactly that: a set of PoPs with direct operator
+interconnections, plus peer-hub links that extend reach indirectly.  The
+hub is what converts a handful of HMNO relationships into world-wide
+coverage for the platform's IoT SIMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.cellular.geo import GeoPoint, haversine_km
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+from repro.roaming.agreements import AgreementRegistry
+
+
+@dataclass(frozen=True)
+class PointOfPresence:
+    """A hub PoP: a physical interconnection site in some country."""
+
+    pop_id: int
+    country_iso: str
+    location: GeoPoint
+
+    def __post_init__(self) -> None:
+        if self.pop_id < 0:
+            raise ValueError("PoP id must be non-negative")
+
+
+class IPXHub:
+    """A roaming-hub / IPX provider.
+
+    ``direct_members`` are operators terminated at the hub's own PoPs;
+    ``peered_members`` are operators reachable through interconnected
+    peer hubs (one level of indirection is all the paper's description
+    needs).  :meth:`provision_platform_agreements` materializes the
+    hub-mediated roaming agreements that let a platform HMNO reach every
+    member — the "externalized roaming interworking" of §2.1.
+    """
+
+    def __init__(self, name: str, pops: Iterable[PointOfPresence]):
+        self.name = name
+        self.pops: List[PointOfPresence] = list(pops)
+        if not self.pops:
+            raise ValueError("a hub needs at least one PoP")
+        ids = {p.pop_id for p in self.pops}
+        if len(ids) != len(self.pops):
+            raise ValueError("duplicate PoP ids")
+        self._direct: Dict[PLMN, Operator] = {}
+        self._peered: Dict[PLMN, Operator] = {}
+
+    # -- membership -------------------------------------------------------
+
+    def add_direct_member(self, operator: Operator) -> None:
+        """Terminate an operator at the hub's PoPs (direct interconnect)."""
+        if operator.plmn in self._direct or operator.plmn in self._peered:
+            raise ValueError(f"{operator.name} already a member")
+        self._direct[operator.plmn] = operator
+
+    def add_peered_member(self, operator: Operator) -> None:
+        """Make an operator reachable via a peer hub."""
+        if operator.plmn in self._direct or operator.plmn in self._peered:
+            raise ValueError(f"{operator.name} already a member")
+        self._peered[operator.plmn] = operator
+
+    @property
+    def direct_members(self) -> List[Operator]:
+        return list(self._direct.values())
+
+    @property
+    def peered_members(self) -> List[Operator]:
+        return list(self._peered.values())
+
+    @property
+    def members(self) -> List[Operator]:
+        return self.direct_members + self.peered_members
+
+    def reaches(self, plmn: PLMN) -> bool:
+        return plmn in self._direct or plmn in self._peered
+
+    def direct_countries(self) -> Set[str]:
+        """ISO codes of countries with directly-interconnected members."""
+        return {op.country.iso for op in self._direct.values()}
+
+    def footprint_countries(self) -> Set[str]:
+        """All countries reachable directly or via peers."""
+        return {op.country.iso for op in self.members}
+
+    # -- geometry ----------------------------------------------------------
+
+    def nearest_pop(self, point: GeoPoint) -> PointOfPresence:
+        return min(self.pops, key=lambda p: haversine_km(p.location, point))
+
+    def pops_in(self, country_iso: str) -> List[PointOfPresence]:
+        return [p for p in self.pops if p.country_iso == country_iso]
+
+    # -- agreement provisioning ---------------------------------------------
+
+    def provision_platform_agreements(
+        self,
+        registry: AgreementRegistry,
+        home: Operator,
+        rats: FrozenSet[RAT] = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE}),
+        exclude: Optional[Set[PLMN]] = None,
+    ) -> int:
+        """Create hub-mediated agreements from ``home`` to every member.
+
+        Returns the number of agreements added.  Existing agreements are
+        left untouched (bilateral deals coexist with the hub, §2.1).
+        Agreements only cover the RATs both ends support.
+        """
+        exclude = exclude or set()
+        added = 0
+        for member in self.members:
+            if member.plmn == home.plmn or member.plmn in exclude:
+                continue
+            if registry.get(home.plmn, member.plmn) is not None:
+                continue
+            covered = frozenset(rats & member.rats & home.rats)
+            if not covered:
+                continue
+            registry.add_reciprocal(home.plmn, member.plmn, rats=covered, via_hub=True)
+            added += 2
+        return added

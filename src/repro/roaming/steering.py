@@ -1,0 +1,153 @@
+"""Steering-of-roaming policies: how a roamer picks (and re-picks) a VMNO.
+
+The distributions in Fig. 3 (number of VMNOs used; inter-VMNO switch
+counts) are the observable consequence of steering.  The paper sees a
+mix: 65% of roamers stay on a single VMNO, ~25% alternate between two,
+and a few percent switch hundreds of times.  We model that mix as a
+population of devices each driven by one of three policies:
+
+* :class:`StickySteering` — prefer the current VMNO, switch only when a
+  failure streak forces it (well-behaved stationary devices).
+* :class:`FailureDrivenSteering` — switch on any failure, round-robin
+  over candidates (reliability-first devices such as payment terminals).
+* :class:`RandomSteering` — re-select uniformly at every opportunity
+  (high-mobility devices such as connected cars crossing borders, and
+  the pathological "3,000 switches" tail).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cellular.operators import Operator
+
+
+@dataclass
+class SteeringState:
+    """Per-device steering memory carried between attach opportunities."""
+
+    current: Optional[Operator] = None
+    consecutive_failures: int = 0
+    switches: int = 0
+
+    def record_outcome(self, success: bool) -> None:
+        if success:
+            self.consecutive_failures = 0
+        else:
+            self.consecutive_failures += 1
+
+
+class SteeringPolicy(abc.ABC):
+    """Strategy interface: choose the VMNO for the next attach attempt."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        candidates: Sequence[Operator],
+        state: SteeringState,
+        rng: np.random.Generator,
+    ) -> Operator:
+        """Pick a VMNO from ``candidates`` (never empty).
+
+        Implementations must update ``state.current`` and
+        ``state.switches`` consistently.
+        """
+
+    @staticmethod
+    def _commit(state: SteeringState, choice: Operator) -> Operator:
+        if state.current is not None and choice.plmn != state.current.plmn:
+            state.switches += 1
+            state.consecutive_failures = 0
+        state.current = choice
+        return choice
+
+
+class StickySteering(SteeringPolicy):
+    """Stay on the current VMNO until ``failure_threshold`` consecutive
+    failures, then move to the next candidate."""
+
+    def __init__(self, failure_threshold: int = 3):
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+
+    def select(
+        self,
+        candidates: Sequence[Operator],
+        state: SteeringState,
+        rng: np.random.Generator,
+    ) -> Operator:
+        if not candidates:
+            raise ValueError("no candidate VMNOs")
+        current_available = state.current is not None and any(
+            c.plmn == state.current.plmn for c in candidates
+        )
+        if current_available and state.consecutive_failures < self.failure_threshold:
+            assert state.current is not None
+            return self._commit(state, state.current)
+        # Forced off the current network: pick the best alternative
+        # (deterministically the first non-current candidate).
+        for candidate in candidates:
+            if state.current is None or candidate.plmn != state.current.plmn:
+                return self._commit(state, candidate)
+        return self._commit(state, candidates[0])
+
+
+class FailureDrivenSteering(SteeringPolicy):
+    """Switch to the next candidate after every failed procedure."""
+
+    def select(
+        self,
+        candidates: Sequence[Operator],
+        state: SteeringState,
+        rng: np.random.Generator,
+    ) -> Operator:
+        if not candidates:
+            raise ValueError("no candidate VMNOs")
+        if state.current is None:
+            return self._commit(state, candidates[0])
+        if state.consecutive_failures == 0 and any(
+            c.plmn == state.current.plmn for c in candidates
+        ):
+            return self._commit(state, state.current)
+        ordered = sorted(candidates, key=lambda c: str(c.plmn))
+        current_index = next(
+            (i for i, c in enumerate(ordered) if c.plmn == state.current.plmn), -1
+        )
+        choice = ordered[(current_index + 1) % len(ordered)]
+        return self._commit(state, choice)
+
+
+class RandomSteering(SteeringPolicy):
+    """Re-select uniformly at random at every opportunity.
+
+    ``stickiness`` in (0, 1] is the probability of keeping the current
+    VMNO anyway; 0 means a fresh draw every time (maximum churn).
+    """
+
+    def __init__(self, stickiness: float = 0.0):
+        if not 0.0 <= stickiness <= 1.0:
+            raise ValueError("stickiness must be in [0, 1]")
+        self.stickiness = stickiness
+
+    def select(
+        self,
+        candidates: Sequence[Operator],
+        state: SteeringState,
+        rng: np.random.Generator,
+    ) -> Operator:
+        if not candidates:
+            raise ValueError("no candidate VMNOs")
+        if (
+            state.current is not None
+            and self.stickiness > 0.0
+            and any(c.plmn == state.current.plmn for c in candidates)
+            and rng.random() < self.stickiness
+        ):
+            return self._commit(state, state.current)
+        choice = candidates[int(rng.integers(len(candidates)))]
+        return self._commit(state, choice)

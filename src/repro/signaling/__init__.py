@@ -1,0 +1,32 @@
+"""Signaling substrate: control-plane procedures, records and probes.
+
+Models the control-plane vocabulary both of the paper's datasets are
+expressed in: mobility-management procedures (attach, detach, location
+updates, authentication), their result codes, the radio-interface event
+records collected at the MME/MSC/SGSN, and the CDR/xDR service-usage
+records used for billing and roaming revenue settlement.
+"""
+
+from repro.signaling.procedures import (
+    MessageType,
+    ResultCode,
+    SignalingTransaction,
+)
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.hlr import HomeLocationRegister, validate_stream
+from repro.signaling.probes import MonitoringProbe, ProbeLocation
+
+__all__ = [
+    "HomeLocationRegister",
+    "MessageType",
+    "validate_stream",
+    "MonitoringProbe",
+    "ProbeLocation",
+    "RadioEvent",
+    "RadioInterface",
+    "ResultCode",
+    "ServiceRecord",
+    "ServiceType",
+    "SignalingTransaction",
+]

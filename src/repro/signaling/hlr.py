@@ -1,0 +1,109 @@
+"""Home Location Register: the subscriber registry behind §3's procedures.
+
+The three MAP procedures the platform probes capture are one protocol,
+not three independent event types: a device attaching to a VMNO runs
+**Authentication** then **Update Location**, and when the HLR accepts a
+registration at a *new* VMNO it sends **Cancel Location** to the old
+one.  This module implements that registry:
+
+* :class:`HomeLocationRegister` — tracks each subscriber's current
+  registration and tells the caller when a Cancel Location toward the
+  previous VMNO is due;
+* :func:`validate_stream` — replays a transaction stream against a fresh
+  HLR and checks protocol coherence (every successful Cancel Location
+  refers to a live registration; registrations only move via successful
+  Update Locations), which the platform simulator's output must satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+class HomeLocationRegister:
+    """One HMNO's subscriber-location registry."""
+
+    def __init__(self) -> None:
+        self._registrations: Dict[str, str] = {}
+
+    def location_of(self, device_id: str) -> Optional[str]:
+        """The VMNO PLMN the device is currently registered at."""
+        return self._registrations.get(device_id)
+
+    @property
+    def n_registered(self) -> int:
+        return len(self._registrations)
+
+    def update_location(self, device_id: str, visited_plmn: str) -> Optional[str]:
+        """Accept a successful Update Location.
+
+        Returns the *previous* VMNO when the registration moved — the
+        network the HLR must now send Cancel Location to — or None when
+        nothing needs cancelling (first registration, or same VMNO).
+        """
+        previous = self._registrations.get(device_id)
+        self._registrations[device_id] = visited_plmn
+        if previous is not None and previous != visited_plmn:
+            return previous
+        return None
+
+    def cancel_location(self, device_id: str, visited_plmn: str) -> bool:
+        """Process a Cancel Location toward ``visited_plmn``.
+
+        Returns True if it was coherent (the device really was last
+        registered there before moving, i.e. this cancel corresponds to
+        a past registration being purged).  The registration map itself
+        is already pointing at the new VMNO by the time the cancel
+        travels, so coherence means "not cancelling the current one".
+        """
+        current = self._registrations.get(device_id)
+        return current is not None and current != visited_plmn
+
+
+@dataclass
+class HLRValidationReport:
+    """Protocol-coherence summary of a transaction stream."""
+
+    n_update_locations: int = 0
+    n_successful_updates: int = 0
+    n_cancel_locations: int = 0
+    n_coherent_cancels: int = 0
+    n_registration_moves: int = 0
+    n_registered_devices: int = 0
+
+    @property
+    def cancel_coherence(self) -> float:
+        """Fraction of Cancel Locations that match a real move."""
+        if self.n_cancel_locations == 0:
+            return 1.0
+        return self.n_coherent_cancels / self.n_cancel_locations
+
+    @property
+    def moves_match_cancels(self) -> bool:
+        """Every registration move should produce exactly one cancel."""
+        return self.n_registration_moves == self.n_cancel_locations
+
+
+def validate_stream(
+    transactions: Iterable[SignalingTransaction],
+) -> HLRValidationReport:
+    """Replay a (time-ordered) stream against a fresh HLR."""
+    hlr = HomeLocationRegister()
+    report = HLRValidationReport()
+    for txn in transactions:
+        if txn.message_type is MessageType.UPDATE_LOCATION:
+            report.n_update_locations += 1
+            if txn.result.is_success:
+                report.n_successful_updates += 1
+                previous = hlr.update_location(txn.device_id, txn.visited_plmn)
+                if previous is not None:
+                    report.n_registration_moves += 1
+        elif txn.message_type is MessageType.CANCEL_LOCATION:
+            report.n_cancel_locations += 1
+            if hlr.cancel_location(txn.device_id, txn.visited_plmn):
+                report.n_coherent_cancels += 1
+    report.n_registered_devices = hlr.n_registered
+    return report

@@ -1,0 +1,127 @@
+"""Passive monitoring probes at core-network elements.
+
+Figure 4 of the paper marks the network elements the MNO's commercial
+measurement solution taps: the MME (4G mobility management), the MSC
+(2G/3G circuit-switched core) and the SGSN (2G/3G packet-switched core).
+A probe sees only the interfaces its element terminates; modelling that
+visibility explicitly lets tests assert that, e.g., an MSC probe never
+reports an S1 event — the same partial-visibility property real
+deployments have.
+
+The M2M-platform dataset is collected by probes "close to the
+infrastructure of the HMNOs" watching MAP/Diameter transactions; the
+:data:`HMNO_SIGNALING` location models that vantage point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Iterable, Iterator, List
+
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import SignalingTransaction
+
+
+class ProbeLocation(str, Enum):
+    """The core-network element a probe is attached to."""
+
+    MME = "mme"
+    MSC = "msc"
+    SGSN = "sgsn"
+    HMNO_SIGNALING = "hmno_signaling"
+
+
+_VISIBILITY = {
+    ProbeLocation.MME: frozenset({RadioInterface.S1}),
+    ProbeLocation.MSC: frozenset({RadioInterface.A, RadioInterface.IU_CS}),
+    ProbeLocation.SGSN: frozenset({RadioInterface.GB, RadioInterface.IU_PS}),
+    ProbeLocation.HMNO_SIGNALING: frozenset(),
+}
+
+
+@dataclass
+class MonitoringProbe:
+    """A passive tap at one core element, buffering what it can see."""
+
+    location: ProbeLocation
+    _radio_events: List[RadioEvent] = field(default_factory=list)
+    _transactions: List[SignalingTransaction] = field(default_factory=list)
+
+    @property
+    def visible_interfaces(self) -> FrozenSet[RadioInterface]:
+        return _VISIBILITY[self.location]
+
+    def sees(self, interface: RadioInterface) -> bool:
+        return interface in self.visible_interfaces
+
+    def observe_radio(self, event: RadioEvent) -> bool:
+        """Offer a radio event to the probe; returns True if captured."""
+        if not self.sees(event.interface):
+            return False
+        self._radio_events.append(event)
+        return True
+
+    def observe_transaction(self, txn: SignalingTransaction) -> bool:
+        """Offer a MAP/Diameter transaction; only the HMNO-side probe
+        captures these."""
+        if self.location is not ProbeLocation.HMNO_SIGNALING:
+            return False
+        self._transactions.append(txn)
+        return True
+
+    @property
+    def radio_events(self) -> List[RadioEvent]:
+        return list(self._radio_events)
+
+    @property
+    def transactions(self) -> List[SignalingTransaction]:
+        return list(self._transactions)
+
+    def drain_radio(self) -> List[RadioEvent]:
+        """Return and clear buffered radio events."""
+        events, self._radio_events = self._radio_events, []
+        return events
+
+    def drain_transactions(self) -> List[SignalingTransaction]:
+        """Return and clear buffered transactions."""
+        txns, self._transactions = self._transactions, []
+        return txns
+
+
+class ProbeArray:
+    """The full measurement deployment of Fig. 4: MME + MSC + SGSN taps.
+
+    Feed it every radio event the network generates; it fans each event
+    to the probe that can see it and exposes the merged capture (which is
+    simply *all* events, since the three probes' visibility partitions
+    the interface set — a property the tests assert).
+    """
+
+    def __init__(self) -> None:
+        self.probes = [
+            MonitoringProbe(ProbeLocation.MME),
+            MonitoringProbe(ProbeLocation.MSC),
+            MonitoringProbe(ProbeLocation.SGSN),
+        ]
+
+    def observe(self, events: Iterable[RadioEvent]) -> int:
+        """Offer events to every probe; return the number captured."""
+        captured = 0
+        for event in events:
+            for probe in self.probes:
+                if probe.observe_radio(event):
+                    captured += 1
+                    break
+        return captured
+
+    def merged_capture(self) -> List[RadioEvent]:
+        """All captured events across probes, in timestamp order."""
+        merged: List[RadioEvent] = []
+        for probe in self.probes:
+            merged.extend(probe.radio_events)
+        merged.sort(key=lambda e: e.timestamp)
+        return merged
+
+    def __iter__(self) -> Iterator[MonitoringProbe]:
+        return iter(self.probes)

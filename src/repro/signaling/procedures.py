@@ -1,0 +1,104 @@
+"""Mobility-management procedures, result codes and signaling transactions.
+
+The M2M-platform dataset (§3.1) is a stream of transactions, each
+reporting: a hashed device ID, a timestamp, the SIM's MCC-MNC, the visited
+network's MCC-MNC, a message type (authentication, update location or
+cancel location) and a message result (OK, RoamingNotAllowed,
+UnknownSubscription, FeatureUnsupported, …).
+:class:`SignalingTransaction` is that exact record.
+
+The UK-MNO side additionally monitors Attach / Routing-Area-Update /
+Detach procedures (§7.1); those share the same enums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class MessageType(str, Enum):
+    """Control-plane procedure kinds observed by the probes."""
+
+    AUTHENTICATION = "authentication"
+    UPDATE_LOCATION = "update_location"
+    CANCEL_LOCATION = "cancel_location"
+    ATTACH = "attach"
+    DETACH = "detach"
+    ROUTING_AREA_UPDATE = "routing_area_update"
+
+    @property
+    def is_map_procedure(self) -> bool:
+        """True for the HMNO-side (MAP/Diameter) procedures the M2M
+        platform probes see."""
+        return self in (
+            MessageType.AUTHENTICATION,
+            MessageType.UPDATE_LOCATION,
+            MessageType.CANCEL_LOCATION,
+        )
+
+
+class ResultCode(str, Enum):
+    """Procedure outcome, as reported in the signaling records."""
+
+    OK = "OK"
+    ROAMING_NOT_ALLOWED = "RoamingNotAllowed"
+    UNKNOWN_SUBSCRIPTION = "UnknownSubscription"
+    FEATURE_UNSUPPORTED = "FeatureUnsupported"
+    SYSTEM_FAILURE = "SystemFailure"
+
+    @property
+    def is_success(self) -> bool:
+        return self is ResultCode.OK
+
+    @property
+    def is_failure(self) -> bool:
+        return not self.is_success
+
+
+@dataclass(frozen=True)
+class SignalingTransaction:
+    """One record of the M2M-platform signaling dataset.
+
+    ``timestamp`` is seconds since the dataset epoch.  ``sim_plmn`` and
+    ``visited_plmn`` are ``MCCMNC`` strings; keeping them as strings
+    matches the wire format and makes the record trivially serializable.
+    """
+
+    device_id: str
+    timestamp: float
+    sim_plmn: str
+    visited_plmn: str
+    message_type: MessageType
+    result: ResultCode
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp {self.timestamp}")
+        for label, plmn in (("sim", self.sim_plmn), ("visited", self.visited_plmn)):
+            if not plmn.isdigit() or len(plmn) not in (5, 6):
+                raise ValueError(f"{label} PLMN must be 5-6 digits, got {plmn!r}")
+
+    @property
+    def sim_mcc(self) -> int:
+        return int(self.sim_plmn[:3])
+
+    @property
+    def visited_mcc(self) -> int:
+        return int(self.visited_plmn[:3])
+
+    @property
+    def is_roaming(self) -> bool:
+        """Roaming at the international level: SIM and visited MCC differ.
+
+        National roaming (same MCC, different MNC) is not roaming from
+        the M2M platform's country-footprint point of view, matching how
+        §3 counts "non-roaming (native)" devices.
+        """
+        return self.sim_mcc != self.visited_mcc
+
+    @property
+    def day(self) -> int:
+        """Zero-based day index within the observation window."""
+        return int(self.timestamp // 86400)

@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.analysis.ascii_plots import render_bars, render_ecdf, render_heatmap
+from repro.analysis.stats import ECDF
+
+
+class TestRenderECDF:
+    def test_basic_structure(self):
+        text = render_ecdf({"a": ECDF([1, 2, 3, 4, 5])}, title="test plot")
+        lines = text.splitlines()
+        assert lines[0] == "test plot"
+        assert "o=a" in lines[-1]
+        assert any("|" in line for line in lines)
+
+    def test_multiple_curves_get_distinct_markers(self):
+        text = render_ecdf({"a": ECDF([1, 2]), "b": ECDF([10, 20])})
+        assert "o=a" in text and "x=b" in text
+
+    def test_log_scale(self):
+        text = render_ecdf({"a": ECDF([1, 10, 100, 1000])}, log_x=True)
+        assert "1e+03" in text or "1000" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_ecdf({})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            render_ecdf({"a": ECDF([1])}, width=5, height=2)
+
+    def test_axis_range_shown(self):
+        text = render_ecdf({"a": ECDF([2.0, 8.0])})
+        assert "2" in text and "8" in text
+
+
+class TestRenderBars:
+    def test_bars_scale_with_values(self):
+        text = render_bars({"big": 0.8, "small": 0.2})
+        big_line = next(l for l in text.splitlines() if l.strip().startswith("big"))
+        small_line = next(l for l in text.splitlines() if l.strip().startswith("small"))
+        assert big_line.count("#") > 2 * small_line.count("#")
+
+    def test_format_applied(self):
+        text = render_bars({"x": 0.5}, fmt="{:.0%}")
+        assert "50%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars({})
+
+
+class TestRenderHeatmap:
+    def test_structure(self):
+        matrix = {"r1": {"c1": 1.0, "c2": 0.0}, "r2": {"c1": 0.5}}
+        text = render_heatmap(matrix, title="map")
+        lines = text.splitlines()
+        assert lines[0] == "map"
+        assert "r1" in text and "r2" in text
+        assert "c1" in lines[1]
+
+    def test_high_values_use_dense_shade(self):
+        def cell_row(text):
+            return next(l for l in text.splitlines() if l.startswith("r"))
+
+        hot = cell_row(render_heatmap({"r": {"c": 1.0}}))
+        cold = cell_row(render_heatmap({"r": {"c": 0.0}}))
+        assert "@" in hot
+        assert "@" not in cold
+
+    def test_column_order_respected(self):
+        matrix = {"r": {"a": 0.1, "b": 0.9}}
+        text = render_heatmap(matrix, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_heatmap({})
+
+    def test_renders_fig6_style_output(self, pipeline):
+        from repro.analysis.population import fig6_class_vs_label
+
+        fig6 = fig6_class_vs_label(pipeline)
+        matrix = {
+            cls.value: row for cls, row in fig6.by_class.items()
+        }
+        text = render_heatmap(matrix, title="Fig. 6 (by class)")
+        assert "m2m" in text
+        assert "I:H" in text

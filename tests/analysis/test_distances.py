@@ -1,0 +1,70 @@
+"""Tests for the HMNO-VMNO distance analysis."""
+
+import pytest
+
+from repro.analysis.distances import farthest_pairs, roaming_distances
+from repro.datasets.containers import M2MDataset
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _txn(sim="21407", visited="23410", device="d", ts=0.0):
+    return SignalingTransaction(
+        device_id=device, timestamp=ts, sim_plmn=sim, visited_plmn=visited,
+        message_type=MessageType.UPDATE_LOCATION, result=ResultCode.OK,
+    )
+
+
+class TestRoamingDistances:
+    def test_spain_to_australia_is_intercontinental(self, eco):
+        dataset = M2MDataset(
+            transactions=[_txn(sim="21407", visited="50510")],  # ES -> AU
+            window_days=1,
+            hmno_isos=["ES"],
+        )
+        result = roaming_distances(dataset, eco.countries)
+        assert result.txn_distance.max > 15000
+        assert result.intercontinental_share == 1.0
+
+    def test_native_transactions_excluded(self, eco):
+        dataset = M2MDataset(
+            transactions=[_txn(sim="21407", visited="21410"),   # ES native-ish
+                          _txn(sim="21407", visited="20810")],  # ES -> FR
+            window_days=1,
+            hmno_isos=["ES"],
+        )
+        result = roaming_distances(dataset, eco.countries)
+        assert result.txn_distance.n == 1
+
+    def test_no_roaming_rejected(self, eco):
+        dataset = M2MDataset(
+            transactions=[_txn(sim="21407", visited="21410")],
+            window_days=1,
+            hmno_isos=["ES"],
+        )
+        with pytest.raises(ValueError):
+            roaming_distances(dataset, eco.countries)
+
+    def test_policy_saves_distance_with_hub(self, eco, m2m_dataset):
+        result = roaming_distances(m2m_dataset, eco.countries, hub=eco.hub)
+        assert 0.0 <= result.ihbo_share <= 1.0
+        assert result.mean_policy_detour_km <= result.mean_hr_detour_km
+        assert 0.0 <= result.detour_saving <= 1.0
+
+    def test_platform_has_intercontinental_tail(self, eco, m2m_dataset):
+        """The paper's §3.2 remark: distances are not always small."""
+        result = roaming_distances(m2m_dataset, eco.countries)
+        assert result.intercontinental_share > 0.0
+        assert result.device_max_distance.max > 5000
+
+
+class TestFarthestPairs:
+    def test_sorted_and_unique(self, eco, m2m_dataset):
+        pairs = farthest_pairs(m2m_dataset, eco.countries, k=5)
+        assert pairs
+        distances = [d for _, _, d in pairs]
+        assert distances == sorted(distances, reverse=True)
+        assert len({(h, v) for h, v, _ in pairs}) == len(pairs)
+
+    def test_home_differs_from_visited(self, eco, m2m_dataset):
+        for home, visited, _ in farthest_pairs(m2m_dataset, eco.countries):
+            assert home != visited

@@ -1,0 +1,78 @@
+"""Tests for the diurnal-pattern analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diurnal import (
+    HourlyProfile,
+    diurnal_profiles,
+    meter_reporting_window,
+    total_variation,
+)
+from repro.core.classifier import ClassLabel
+from repro.mno.smip import smip_devices
+
+
+class TestHourlyProfile:
+    def test_needs_24_normalized_bins(self):
+        with pytest.raises(ValueError):
+            HourlyProfile(np.ones(23) / 23)
+        with pytest.raises(ValueError):
+            HourlyProfile(np.ones(24))
+
+    def test_peak_and_ratio(self):
+        bins = np.full(24, 0.5 / 23)
+        bins[14] = 0.5
+        profile = HourlyProfile(bins / bins.sum())
+        assert profile.peak_hour == 14
+        assert profile.peak_to_trough > 10
+
+    def test_night_share(self):
+        bins = np.zeros(24)
+        bins[2] = 1.0
+        profile = HourlyProfile(bins)
+        assert profile.night_share() == 1.0
+
+    def test_total_variation_bounds(self):
+        uniform = HourlyProfile(np.full(24, 1 / 24))
+        spike = np.zeros(24)
+        spike[0] = 1.0
+        spiked = HourlyProfile(spike)
+        assert total_variation(uniform, uniform) == 0.0
+        assert 0.9 < total_variation(uniform, spiked) <= 1.0
+
+
+class TestDiurnalProfiles:
+    @pytest.fixture(scope="class")
+    def result(self, pipeline):
+        return diurnal_profiles(pipeline)
+
+    def test_profiles_for_each_class(self, result):
+        for cls in (ClassLabel.SMART, ClassLabel.FEAT, ClassLabel.M2M):
+            assert cls in result.profiles
+
+    def test_smartphones_peak_in_waking_hours(self, result):
+        assert 8 <= result.profiles[ClassLabel.SMART].peak_hour <= 22
+
+    def test_m2m_diverges_from_smartphones(self, result):
+        # The prior-work [18] claim the paper builds on.
+        assert result.divergence(ClassLabel.M2M, ClassLabel.SMART) > 0.1
+
+    def test_smart_and_feat_similar(self, result):
+        assert result.divergence(ClassLabel.SMART, ClassLabel.FEAT) < \
+            result.divergence(ClassLabel.SMART, ClassLabel.M2M)
+
+    def test_smartphone_night_share_low(self, result):
+        assert result.profiles[ClassLabel.SMART].night_share(0, 6) < 0.25
+
+
+class TestMeterWindow:
+    def test_meters_report_overnight(self, pipeline):
+        native, roaming = smip_devices(pipeline.dataset.ground_truth)
+        peak = meter_reporting_window(pipeline, native | roaming)
+        assert peak is not None
+        # The nightly-batch profile peaks around 02:00.
+        assert peak in (0, 1, 2, 3, 4)
+
+    def test_empty_fleet_returns_none(self, pipeline):
+        assert meter_reporting_window(pipeline, set()) is None

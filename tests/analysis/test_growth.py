@@ -1,0 +1,56 @@
+"""Tests for the IoT-growth projection."""
+
+import pytest
+
+from repro.analysis.growth import GrowthPoint, project_growth
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def curve(self, pipeline):
+        return project_growth(pipeline, factors=(1.0, 2.0, 5.0, 10.0))
+
+    def test_factor_one_is_today(self, curve, pipeline):
+        from repro.analysis.population import population_shares
+        from repro.core.classifier import ClassLabel
+
+        today = curve[0]
+        shares = population_shares(pipeline)
+        expected = (
+            shares.class_shares[ClassLabel.M2M]
+            + shares.class_shares[ClassLabel.M2M_MAYBE]
+        )
+        assert today.m2m_device_share == pytest.approx(expected, abs=0.01)
+
+    def test_device_share_monotone_in_factor(self, curve):
+        shares = [p.m2m_device_share for p in curve]
+        assert shares == sorted(shares)
+
+    def test_ten_x_makes_m2m_dominant(self, curve):
+        ten_x = curve[-1]
+        assert ten_x.m2m_device_share > 0.7
+
+    def test_signaling_outruns_revenue_at_every_factor(self, curve):
+        """The §6/§9 stress: each projected thing brings load but almost
+        no revenue.  The load-revenue gap must widen with growth, and
+        signaling share must exceed revenue share throughout."""
+        gaps = [p.m2m_signaling_share - p.m2m_revenue_share for p in curve]
+        assert gaps == sorted(gaps)
+        for point in curve:
+            assert point.m2m_signaling_share > point.m2m_revenue_share
+            assert point.stress_index > 1.0
+
+    def test_rejects_nonpositive_factor(self, pipeline):
+        with pytest.raises(ValueError):
+            project_growth(pipeline, factors=(0.0,))
+
+    def test_point_math(self):
+        point = GrowthPoint(
+            factor=2.0,
+            m2m_device_share=0.5,
+            m2m_signaling_share=0.6,
+            m2m_revenue_share=0.2,
+        )
+        assert point.stress_index == pytest.approx(3.0)
+        zero = GrowthPoint(1.0, 0.1, 0.2, 0.0)
+        assert zero.stress_index == float("inf")

@@ -1,0 +1,207 @@
+"""Shape tests for the MNO-side figure analyses (Figs. 5-12).
+
+These run on the shared 600-device session dataset; thresholds are loose
+(small sample) — the benches run the tighter, full-scale comparisons.
+"""
+
+import pytest
+
+from repro.analysis.activity import fig7_active_days
+from repro.analysis.mobility import fig8_gyration
+from repro.analysis.network_usage import fig9_network_usage
+from repro.analysis.population import (
+    fig5_home_countries,
+    fig6_class_vs_label,
+    population_shares,
+)
+from repro.analysis.smart_meters import fig11_smip_activity
+from repro.analysis.traffic import RoamingGroup, fig10_traffic_volumes
+from repro.analysis.verticals import fig12_verticals
+from repro.core.classifier import ClassLabel
+
+
+class TestFig5:
+    def test_shares_sum_to_one(self, pipeline, eco):
+        result = fig5_home_countries(pipeline, eco.countries)
+        assert sum(result.overall.values()) == pytest.approx(1.0)
+
+    def test_netherlands_leads(self, pipeline, eco):
+        result = fig5_home_countries(pipeline, eco.countries)
+        assert result.top_countries(1)[0][0] == "NL"
+
+    def test_m2m_more_concentrated_than_smart(self, pipeline, eco):
+        result = fig5_home_countries(pipeline, eco.countries)
+        assert result.top3_m2m_share > result.top3_overall_share
+
+    def test_top20_covers_nearly_all(self, pipeline, eco):
+        result = fig5_home_countries(pipeline, eco.countries)
+        assert result.top20_overall_share > 0.93
+
+
+class TestFig6:
+    def test_normalizations(self, pipeline):
+        result = fig6_class_vs_label(pipeline)
+        for cls, row in result.by_class.items():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_inbound_roamers_mostly_m2m(self, pipeline):
+        result = fig6_class_vs_label(pipeline)
+        assert result.share_of_label("I:H", ClassLabel.M2M) > 0.55
+
+    def test_m2m_mostly_inbound(self, pipeline):
+        result = fig6_class_vs_label(pipeline)
+        assert result.share_of_class(ClassLabel.M2M, "I:H") > 0.6
+
+    def test_smartphones_mostly_native(self, pipeline):
+        result = fig6_class_vs_label(pipeline)
+        assert result.share_of_class(ClassLabel.SMART, "I:H") < 0.25
+
+
+class TestPopulationShares:
+    def test_class_shares_near_paper(self, pipeline):
+        shares = population_shares(pipeline)
+        assert shares.class_shares[ClassLabel.SMART] == pytest.approx(0.62, abs=0.06)
+        assert shares.class_shares[ClassLabel.M2M] == pytest.approx(0.26, abs=0.06)
+        assert shares.class_shares[ClassLabel.M2M_MAYBE] == pytest.approx(0.04, abs=0.03)
+
+    def test_native_largest_label(self, pipeline):
+        shares = population_shares(pipeline)
+        assert max(shares.label_shares, key=shares.label_shares.get) == "H:H"
+
+    def test_per_day_shares_sum_to_one(self, pipeline):
+        shares = population_shares(pipeline)
+        assert sum(shares.per_day_label_shares.values()) == pytest.approx(1.0)
+
+    def test_inbound_share_smaller_per_day_than_whole_period(self, pipeline):
+        # Visitor churn: cumulative inbound share exceeds daily share.
+        shares = population_shares(pipeline)
+        assert shares.per_day_label_shares["I:H"] < shares.label_shares["I:H"]
+
+
+class TestFig7:
+    def test_inbound_m2m_outlasts_smartphones(self, pipeline):
+        result = fig7_active_days(pipeline)
+        assert result.median_ratio_inbound() > 2.0
+
+    def test_native_classes_similar(self, pipeline):
+        result = fig7_active_days(pipeline)
+        m2m = result.native[ClassLabel.M2M].median
+        smart = result.native[ClassLabel.SMART].median
+        assert m2m == pytest.approx(smart, rel=0.35)
+
+
+class TestFig8:
+    def test_m2m_inbound_mostly_stationary(self, pipeline):
+        result = fig8_gyration(pipeline)
+        assert result.m2m_inbound_fraction_above(1.0) < 0.35
+
+    def test_smartphones_move_more_than_m2m(self, pipeline):
+        result = fig8_gyration(pipeline)
+        assert (
+            result.by_class[ClassLabel.SMART].median
+            > result.by_class[ClassLabel.M2M].median
+        )
+
+
+class TestFig9:
+    def test_m2m_mostly_2g_only(self, pipeline):
+        result = fig9_network_usage(pipeline)
+        assert result.share("connectivity", ClassLabel.M2M, "2G-only") > 0.6
+
+    def test_some_m2m_use_no_data(self, pipeline):
+        result = fig9_network_usage(pipeline)
+        assert result.share("data", ClassLabel.M2M, "none") > 0.1
+
+    def test_smartphones_are_not_2g_only(self, pipeline):
+        result = fig9_network_usage(pipeline)
+        assert result.share("connectivity", ClassLabel.SMART, "2G-only") < 0.1
+
+    def test_feature_phones_heavy_no_data(self, pipeline):
+        result = fig9_network_usage(pipeline)
+        assert result.share("data", ClassLabel.FEAT, "none") > 0.35
+
+    def test_panel_shares_sum_to_one(self, pipeline):
+        result = fig9_network_usage(pipeline)
+        for panel in ("connectivity", "data", "voice"):
+            for cls, row in getattr(result, panel).items():
+                assert sum(row.values()) == pytest.approx(1.0)
+
+
+class TestFig10:
+    def test_m2m_signals_less_than_smartphones(self, pipeline):
+        result = fig10_traffic_volumes(pipeline)
+        m2m = result.median("signaling_per_day", ClassLabel.M2M, RoamingGroup.INBOUND)
+        smart = result.median("signaling_per_day", ClassLabel.SMART, RoamingGroup.NATIVE)
+        assert m2m < smart
+
+    def test_most_m2m_devices_make_no_calls(self, pipeline):
+        result = fig10_traffic_volumes(pipeline)
+        assert result.zero_call_fraction(ClassLabel.M2M, RoamingGroup.INBOUND) > 0.5
+
+    def test_inbound_smartphones_use_less_data_than_native(self, pipeline):
+        result = fig10_traffic_volumes(pipeline)
+        inbound = result.median("bytes_per_day", ClassLabel.SMART, RoamingGroup.INBOUND)
+        native = result.median("bytes_per_day", ClassLabel.SMART, RoamingGroup.NATIVE)
+        assert inbound < native / 2
+
+    def test_inbound_m2m_data_tiny(self, pipeline):
+        result = fig10_traffic_volumes(pipeline)
+        m2m = result.median("bytes_per_day", ClassLabel.M2M, RoamingGroup.INBOUND)
+        smart = result.median("bytes_per_day", ClassLabel.SMART, RoamingGroup.NATIVE)
+        assert m2m < smart / 100
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig11(self, pipeline):
+        return fig11_smip_activity(pipeline)
+
+    def test_native_long_lived(self, fig11):
+        assert fig11.native.full_period_fraction > 0.5
+
+    def test_roaming_short_lived(self, fig11):
+        assert fig11.roaming.active_days.fraction_at_most(5) > 0.35
+
+    def test_roaming_signals_several_times_native(self, fig11):
+        assert fig11.signaling_ratio > 4.0
+
+    def test_roaming_fails_more(self, fig11):
+        assert (
+            fig11.roaming.failed_device_fraction
+            > fig11.native.failed_device_fraction
+        )
+
+    def test_roaming_meters_2g_only(self, fig11):
+        assert fig11.roaming.rat_pattern_shares.get("2G-only", 0.0) > 0.95
+
+    def test_native_meters_mostly_3g(self, fig11):
+        assert fig11.native.rat_pattern_shares.get("3G-only", 0.0) > 0.4
+
+    def test_day1_cohort_more_persistent(self, fig11):
+        assert (
+            fig11.native.full_period_fraction_day1
+            >= fig11.native.full_period_fraction
+        )
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def fig12(self, pipeline):
+        return fig12_verticals(pipeline)
+
+    def test_cars_move_meters_do_not(self, fig12):
+        assert fig12.car_meter_gyration_ratio > 50
+
+    def test_cars_signal_more(self, fig12):
+        assert (
+            fig12.cars.signaling_per_day.mean
+            > 2 * fig12.meters.signaling_per_day.mean
+        )
+
+    def test_cars_transfer_more_data(self, fig12):
+        assert fig12.cars.bytes_per_day.mean > 10 * fig12.meters.bytes_per_day.mean
+
+    def test_cars_resemble_inbound_smartphones(self, fig12):
+        cars = fig12.cars.gyration_km.mean
+        phones = fig12.inbound_smartphones.gyration_km.mean
+        assert 0.2 < cars / phones < 5.0

@@ -1,0 +1,95 @@
+"""Tests for the M2M-platform analyses (Figs. 2-3, §3.2 stats)."""
+
+import pytest
+
+from repro.analysis.platform import (
+    device_profiles,
+    fig2_device_distribution,
+    fig3_dynamics,
+    platform_stats,
+)
+
+
+class TestDeviceProfiles:
+    def test_covers_all_devices(self, m2m_dataset):
+        profiles = device_profiles(m2m_dataset)
+        assert set(profiles) == m2m_dataset.device_ids
+
+    def test_record_counts_sum(self, m2m_dataset):
+        profiles = device_profiles(m2m_dataset)
+        assert sum(p.n_records for p in profiles.values()) == m2m_dataset.n_transactions
+
+    def test_switch_counting_consistency(self, m2m_dataset):
+        profiles = device_profiles(m2m_dataset)
+        for profile in profiles.values():
+            # Can't switch more often than there are records.
+            assert profile.switches < profile.n_records
+            if len(profile.visited_plmns) >= 2:
+                assert profile.switches >= 1
+
+
+class TestFig2:
+    def test_row_normalization(self, m2m_dataset, eco):
+        result = fig2_device_distribution(m2m_dataset, eco.countries)
+        for hmno, row in result.matrix.items():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_hmno_shares_sum_to_one(self, m2m_dataset, eco):
+        result = fig2_device_distribution(m2m_dataset, eco.countries)
+        assert sum(result.hmno_shares.values()) == pytest.approx(1.0)
+
+    def test_spain_is_largest_hmno(self, m2m_dataset, eco):
+        result = fig2_device_distribution(m2m_dataset, eco.countries)
+        assert max(result.hmno_shares, key=result.hmno_shares.get) == "ES"
+
+    def test_mexico_mostly_home(self, m2m_dataset, eco):
+        result = fig2_device_distribution(m2m_dataset, eco.countries)
+        assert result.matrix["MX"].get("MX", 0.0) > 0.7
+
+    def test_spain_roams_widely(self, m2m_dataset, eco):
+        result = fig2_device_distribution(m2m_dataset, eco.countries)
+        assert len(result.matrix["ES"]) > 10
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig3(self, m2m_dataset):
+        return fig3_dynamics(m2m_dataset)
+
+    def test_roaming_devices_signal_more(self, fig3):
+        assert fig3.roaming_to_native_median_ratio > 3.0
+
+    def test_long_tail(self, fig3):
+        assert fig3.records_all.max > 10 * fig3.records_all.mean
+
+    def test_majority_single_vmno(self, fig3):
+        assert fig3.vmno_counts.fraction_at_most(1) > 0.5
+
+    def test_some_multi_vmno_devices(self, fig3):
+        assert fig3.vmno_counts.max >= 3
+
+    def test_switch_tail_exists(self, fig3):
+        assert fig3.switch_counts.max > 20
+
+
+class TestPlatformStats:
+    @pytest.fixture(scope="class")
+    def stats(self, m2m_dataset, eco):
+        return platform_stats(m2m_dataset, eco.countries)
+
+    def test_shares_sum_to_one(self, stats):
+        assert sum(h.device_share for h in stats.per_hmno.values()) == pytest.approx(1.0)
+
+    def test_failure_success_complement(self, stats):
+        assert stats.failed_only_fraction + stats.success_fraction == pytest.approx(1.0)
+
+    def test_failed_only_near_paper_value(self, stats):
+        assert stats.failed_only_fraction == pytest.approx(0.40, abs=0.10)
+
+    def test_es_roaming_signaling_dominates(self, stats):
+        es = stats.per_hmno["ES"]
+        assert es.roaming_signaling_fraction > 0.8
+
+    def test_es_visits_many_countries(self, stats):
+        assert stats.per_hmno["ES"].n_visited_countries > 10
+        assert stats.per_hmno["MX"].n_visited_countries <= 7

@@ -1,0 +1,98 @@
+"""Tests for the §3.3 procedure breakdown."""
+
+import pytest
+
+from repro.analysis.procedures import (
+    per_device_procedure_mix,
+    procedure_breakdown,
+)
+from repro.datasets.containers import M2MDataset
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _txn(device="d", ts=0.0, mtype=MessageType.UPDATE_LOCATION,
+         result=ResultCode.OK, sim="21407", visited="23410"):
+    return SignalingTransaction(
+        device_id=device, timestamp=ts, sim_plmn=sim, visited_plmn=visited,
+        message_type=mtype, result=result,
+    )
+
+
+class TestBreakdownMath:
+    def test_shares_sum_to_one(self, m2m_dataset):
+        breakdown = procedure_breakdown(m2m_dataset)
+        assert sum(breakdown.message_type_shares.values()) == pytest.approx(1.0)
+        assert sum(breakdown.result_shares.values()) == pytest.approx(1.0)
+
+    def test_failure_share_consistent(self, m2m_dataset):
+        breakdown = procedure_breakdown(m2m_dataset)
+        failure_from_results = sum(
+            share
+            for code, share in breakdown.result_shares.items()
+            if code.is_failure
+        )
+        assert breakdown.failure_share == pytest.approx(failure_from_results)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            procedure_breakdown(
+                M2MDataset(transactions=[], window_days=1, hmno_isos=[])
+            )
+
+    def test_hand_built_counts(self):
+        dataset = M2MDataset(
+            transactions=[
+                _txn(mtype=MessageType.AUTHENTICATION),
+                _txn(mtype=MessageType.AUTHENTICATION),
+                _txn(mtype=MessageType.CANCEL_LOCATION,
+                     result=ResultCode.ROAMING_NOT_ALLOWED),
+                _txn(sim="23410", visited="23410"),  # native, OK
+            ],
+            window_days=1,
+            hmno_isos=["ES"],
+        )
+        breakdown = procedure_breakdown(dataset)
+        assert breakdown.message_type_shares[MessageType.AUTHENTICATION] == 0.5
+        assert breakdown.failure_share == 0.25
+        assert breakdown.failure_share_of(roaming=True) == pytest.approx(1 / 3)
+        assert breakdown.failure_share_of(roaming=False) == 0.0
+
+
+class TestOnSimulatedPlatform:
+    def test_monitored_procedures_only(self, m2m_dataset):
+        breakdown = procedure_breakdown(m2m_dataset)
+        assert all(
+            mtype.is_map_procedure for mtype in breakdown.message_type_shares
+        )
+
+    def test_update_location_and_auth_dominate(self, m2m_dataset):
+        breakdown = procedure_breakdown(m2m_dataset)
+        combined = breakdown.message_type_shares.get(
+            MessageType.UPDATE_LOCATION, 0.0
+        ) + breakdown.message_type_shares.get(MessageType.AUTHENTICATION, 0.0)
+        assert combined > 0.8
+
+    def test_result_codes_match_paper_vocabulary(self, m2m_dataset):
+        breakdown = procedure_breakdown(m2m_dataset)
+        observed = set(breakdown.result_shares)
+        assert ResultCode.OK in observed
+        assert observed & {
+            ResultCode.ROAMING_NOT_ALLOWED,
+            ResultCode.FEATURE_UNSUPPORTED,
+            ResultCode.UNKNOWN_SUBSCRIPTION,
+        }
+
+    def test_format_readable(self, m2m_dataset):
+        text = procedure_breakdown(m2m_dataset).format()
+        assert "message types" in text
+        assert "failure share" in text
+
+
+class TestPerDeviceMix:
+    def test_counts_conserve(self, m2m_dataset):
+        mix = per_device_procedure_mix(m2m_dataset)
+        total = sum(sum(counter.values()) for counter in mix.values())
+        assert total == m2m_dataset.n_transactions
+
+    def test_covers_all_devices(self, m2m_dataset):
+        assert set(per_device_procedure_mix(m2m_dataset)) == m2m_dataset.device_ids

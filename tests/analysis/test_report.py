@@ -1,0 +1,56 @@
+"""Unit tests for report rendering."""
+
+from repro.analysis.report import ComparisonRow, ExperimentReport, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        # Columns align: all rows same width.
+        assert len(set(len(l) for l in lines[2:])) == 1
+
+
+class TestComparisonRow:
+    def test_window_ok(self):
+        row = ComparisonRow("x", "0.5", measured=0.52, window=(0.4, 0.6))
+        assert row.verdict == "OK"
+        assert row.holds
+
+    def test_window_off(self):
+        row = ComparisonRow("x", "0.5", measured=0.9, window=(0.4, 0.6))
+        assert row.verdict == "OFF"
+        assert not row.holds
+
+    def test_informative_row_always_holds(self):
+        row = ComparisonRow("x", "0.5", measured=123.0)
+        assert row.verdict == "info"
+        assert row.holds
+
+
+class TestExperimentReport:
+    def test_all_hold_and_failures(self):
+        report = ExperimentReport("FIG1", "test")
+        report.add("good", "1", 1.0, window=(0.5, 1.5))
+        assert report.all_hold
+        report.add("bad", "1", 9.0, window=(0.5, 1.5))
+        assert not report.all_hold
+        assert [r.statistic for r in report.failing_rows()] == ["bad"]
+
+    def test_format_contains_everything(self):
+        report = ExperimentReport("FIG2", "where devices roam")
+        report.add("share", "52.3%", 0.51, window=(0.4, 0.6))
+        report.note("scaled 1:1000")
+        text = report.format()
+        assert "FIG2" in text
+        assert "where devices roam" in text
+        assert "share" in text
+        assert "OK" in text
+        assert "scaled 1:1000" in text
+
+    def test_integer_measured_rendering(self):
+        report = ExperimentReport("X", "t")
+        report.add("count", "120000", 250)
+        assert "250" in report.format()

@@ -1,0 +1,80 @@
+"""Tests for the cell-reselection disambiguation."""
+
+import pytest
+
+from repro.analysis.reselection import (
+    ReselectionVerdict,
+    classify_movement,
+    reselection_analysis,
+)
+from repro.core.classifier import ClassLabel
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode
+
+
+def _event(sector, ts, device="d"):
+    return RadioEvent(
+        device_id=device, timestamp=ts, sim_plmn="23410", tac=35000001,
+        sector_id=sector, interface=RadioInterface.GB,
+        event_type=MessageType.ATTACH, result=ResultCode.OK,
+    )
+
+
+class TestClassifyMovement:
+    def test_ping_pong_detected(self):
+        events = [_event(s, float(i)) for i, s in enumerate([1, 2, 1, 2, 1, 2])]
+        verdict = classify_movement(events)
+        assert verdict is not None
+        assert verdict.is_ping_pong
+        assert verdict.n_sectors == 2
+        assert verdict.revisit_ratio > 0.5
+
+    def test_progression_not_ping_pong(self):
+        events = [_event(s, float(i)) for i, s in enumerate([1, 2, 3, 4, 5, 6])]
+        verdict = classify_movement(events)
+        assert verdict is not None
+        assert not verdict.is_ping_pong
+        assert verdict.revisit_ratio == 0.0
+
+    def test_single_sector_no_verdict(self):
+        events = [_event(1, float(i)) for i in range(5)]
+        assert classify_movement(events) is None
+
+    def test_empty_no_verdict(self):
+        assert classify_movement([]) is None
+
+    def test_commute_pattern_is_ping_pong(self):
+        # Home-work-home-work over two sectors is also revisiting; with
+        # tiny support it classifies as ping-pong — the discriminator is
+        # support size, tuned by max_ping_pong_sectors.
+        events = [_event(s, float(i)) for i, s in enumerate([1, 2, 1, 2])]
+        strict = classify_movement(events, max_ping_pong_sectors=1)
+        assert strict is not None and not strict.is_ping_pong
+
+    def test_verdict_validation(self):
+        with pytest.raises(ValueError):
+            ReselectionVerdict("d", 2, 2, revisit_ratio=1.5, is_ping_pong=False)
+
+
+class TestReselectionAnalysis:
+    def test_runs_on_pipeline(self, pipeline):
+        result = reselection_analysis(pipeline, ClassLabel.M2M)
+        # Some inbound m2m devices exceed 1 km (the Fig. 8 tail) ...
+        assert result.n_mobile_looking > 0
+        # ... and artefact share is a valid fraction.
+        assert 0.0 <= result.artefact_share <= 1.0
+
+    def test_stationary_class_tail_contains_artefacts(self, pipeline):
+        """Meters' >1km tail should be at least partly ping-pong (the
+        paper's hedge), unlike the genuinely mobile smartphone tail."""
+        m2m = reselection_analysis(pipeline, ClassLabel.M2M)
+        smart = reselection_analysis(pipeline, ClassLabel.SMART)
+        if m2m.n_assessed and smart.n_assessed:
+            assert m2m.artefact_share >= smart.artefact_share
+
+    def test_empty_when_threshold_huge(self, pipeline):
+        result = reselection_analysis(
+            pipeline, ClassLabel.M2M, gyration_threshold_km=1e6
+        )
+        assert result.n_mobile_looking == 0
+        assert result.artefact_share == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the revenue / silent-roamer analysis."""
+
+import pytest
+
+from repro.analysis.revenue import revenue_by_class, silent_roamers
+from repro.core.classifier import ClassLabel
+from repro.devices.device import DeviceClass
+
+
+class TestRevenueByClass:
+    @pytest.fixture(scope="class")
+    def report(self, pipeline):
+        return revenue_by_class(pipeline)
+
+    def test_covers_inbound_classes(self, report):
+        assert ClassLabel.M2M in report.by_class
+        assert ClassLabel.SMART in report.by_class
+
+    def test_smartphones_out_earn_m2m_per_device(self, report):
+        smart = report.by_class[ClassLabel.SMART].mean_eur
+        m2m = report.by_class[ClassLabel.M2M].mean_eur
+        assert smart > 2 * m2m
+
+    def test_m2m_asymmetry_exceeds_smartphones(self, report):
+        # M2M occupies more signaling per euro of revenue: the §6 point.
+        assert report.asymmetry(ClassLabel.M2M) > report.asymmetry(ClassLabel.SMART)
+
+    def test_shares_normalized(self, report):
+        assert sum(report.revenue_share.values()) == pytest.approx(1.0)
+        assert sum(report.signaling_share.values()) == pytest.approx(1.0)
+
+    def test_format_readable(self, report):
+        text = report.format()
+        assert "asymmetry" in text
+        assert "m2m" in text
+
+
+class TestSilentRoamers:
+    def test_silent_devices_are_inbound_with_radio_activity(self, pipeline):
+        silent = silent_roamers(pipeline)
+        assert silent
+        for device_id in list(silent)[:50]:
+            summary = pipeline.summaries[device_id]
+            assert summary.label.is_inbound_roamer
+            assert summary.n_events > 0
+
+    def test_silent_population_skews_m2m(self, pipeline):
+        silent = silent_roamers(pipeline)
+        m2m = sum(
+            1
+            for d in silent
+            if pipeline.dataset.ground_truth[d].device_class is DeviceClass.M2M
+        )
+        assert m2m / len(silent) > 0.5
+
+    def test_threshold_monotone(self, pipeline):
+        strict = silent_roamers(pipeline, billable_threshold_eur=0.0001)
+        loose = silent_roamers(pipeline, billable_threshold_eur=1.0)
+        assert strict <= loose

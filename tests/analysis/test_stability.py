@@ -1,0 +1,48 @@
+"""Tests for the temporal-stability analysis."""
+
+import pytest
+
+from repro.analysis.stability import ShareSeries, share_stability
+from repro.core.classifier import ClassLabel
+
+
+class TestShareSeries:
+    def test_deviation_math(self):
+        series = ShareSeries("x", [0.4, 0.5, 0.6])
+        assert series.mean == pytest.approx(0.5)
+        assert series.max_abs_deviation == pytest.approx(0.1)
+        assert series.relative_instability == pytest.approx(0.2)
+
+    def test_constant_series_is_perfectly_stable(self):
+        series = ShareSeries("x", [0.3] * 22)
+        assert series.max_abs_deviation == pytest.approx(0.0, abs=1e-12)
+
+
+class TestShareStability:
+    @pytest.fixture(scope="class")
+    def stability(self, pipeline):
+        return share_stability(pipeline)
+
+    def test_covers_whole_window(self, stability, mno_dataset):
+        assert stability.n_days == mno_dataset.window_days
+
+    def test_shares_sum_to_one_each_day(self, stability):
+        n_days = stability.n_days
+        for day in range(n_days):
+            total = sum(s.shares[day] for s in stability.label_series.values())
+            assert total == pytest.approx(1.0)
+
+    def test_label_shares_stable_like_the_paper(self, stability):
+        """§4.2: "shares … are stable across the 22 days"."""
+        for name in ("H:H", "V:H"):
+            series = stability.label_series[name]
+            assert series.max_abs_deviation < 0.06, name
+
+    def test_class_shares_stable(self, stability):
+        for cls in (ClassLabel.SMART, ClassLabel.M2M):
+            assert stability.class_series[cls].max_abs_deviation < 0.08
+
+    def test_inbound_share_bounded_daily(self, stability):
+        series = stability.label_series.get("I:H")
+        assert series is not None
+        assert all(0.0 <= s <= 0.4 for s in series.shares)

@@ -1,0 +1,112 @@
+"""Unit tests for the distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    ECDF,
+    normalize_columns,
+    normalize_rows,
+    quantile,
+    shares,
+    top_k_share,
+)
+
+
+class TestECDF:
+    def test_basic_queries(self):
+        ecdf = ECDF([1, 2, 3, 4])
+        assert ecdf.n == 4
+        assert ecdf.median == pytest.approx(2.5)
+        assert ecdf.mean == pytest.approx(2.5)
+        assert ecdf.max == 4
+
+    def test_fraction_at_most(self):
+        ecdf = ECDF([1, 2, 3, 4])
+        assert ecdf.fraction_at_most(2) == 0.5
+        assert ecdf.fraction_at_most(0) == 0.0
+        assert ecdf.fraction_at_most(10) == 1.0
+
+    def test_fraction_above_complements(self):
+        ecdf = ECDF([1, 2, 3, 4])
+        assert ecdf.fraction_above(2) == pytest.approx(0.5)
+
+    def test_quantile_bounds(self):
+        ecdf = ECDF([5])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    def test_curve_monotone(self):
+        ecdf = ECDF(np.random.default_rng(0).random(100))
+        curve = ecdf.curve(20)
+        xs = [x for x, _ in curve]
+        ys = [y for _, y in curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_curve_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ECDF([1.0]).curve(1)
+
+
+class TestShares:
+    def test_normalized(self):
+        result = shares(["a", "a", "b", "c"])
+        assert result["a"] == 0.5
+        assert sum(result.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert shares([]) == {}
+
+    def test_quantile_helper(self):
+        assert quantile([1, 2, 3], 0.5) == 2.0
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestTopK:
+    def test_top_k(self):
+        weights = {"a": 6, "b": 3, "c": 1}
+        assert top_k_share(weights, 1) == pytest.approx(0.6)
+        assert top_k_share(weights, 2) == pytest.approx(0.9)
+        assert top_k_share(weights, 10) == pytest.approx(1.0)
+
+    def test_empty_weights(self):
+        assert top_k_share({}, 3) == 0.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_share({"a": 1}, 0)
+
+
+class TestNormalize:
+    MATRIX = {"r1": {"c1": 2.0, "c2": 2.0}, "r2": {"c1": 1.0}}
+
+    def test_rows(self):
+        rows = normalize_rows(self.MATRIX)
+        assert rows["r1"]["c1"] == 0.5
+        assert rows["r2"]["c1"] == 1.0
+
+    def test_columns(self):
+        cols = normalize_columns(self.MATRIX)
+        assert cols["r1"]["c1"] == pytest.approx(2 / 3)
+        assert cols["r2"]["c1"] == pytest.approx(1 / 3)
+        assert cols["r1"]["c2"] == 1.0
+
+    def test_zero_row_passthrough(self):
+        rows = normalize_rows({"r": {"c": 0.0}})
+        assert rows["r"]["c"] == 0.0
+
+
+class TestSummary:
+    def test_from_values(self):
+        summary = DistributionSummary.from_values(list(range(1, 101)))
+        assert summary.n == 100
+        assert summary.median == pytest.approx(50.5)
+        assert summary.max == 100
+        assert "n=100" in summary.format()

@@ -1,0 +1,79 @@
+"""Tests for the 2G/3G sunset what-if analysis."""
+
+import pytest
+
+from repro.analysis.sunset import (
+    SUNSET_2G,
+    SUNSET_2G_3G,
+    SUNSET_3G,
+    SunsetScenario,
+    stranded_device_ids,
+    sunset_impact,
+)
+from repro.cellular.rats import RAT
+from repro.core.classifier import ClassLabel
+
+
+class TestScenario:
+    def test_must_retire_something(self):
+        with pytest.raises(ValueError):
+            SunsetScenario("empty", frozenset())
+
+    def test_cannot_retire_everything(self):
+        with pytest.raises(ValueError):
+            SunsetScenario("all", frozenset({RAT.GSM, RAT.UMTS, RAT.LTE}))
+
+
+class TestImpact:
+    def test_2g_sunset_hits_m2m_hardest(self, pipeline):
+        impact = sunset_impact(pipeline, SUNSET_2G)
+        assert impact.stranded(ClassLabel.M2M) > impact.stranded(ClassLabel.SMART)
+        assert impact.stranded(ClassLabel.M2M) > 0.5  # paper: 77.4% 2G-only
+
+    def test_feature_phones_also_exposed(self, pipeline):
+        impact = sunset_impact(pipeline, SUNSET_2G)
+        assert impact.stranded(ClassLabel.FEAT) > 0.3  # paper: 50.9% 2G-only
+
+    def test_smartphones_mostly_survive_2g(self, pipeline):
+        impact = sunset_impact(pipeline, SUNSET_2G)
+        assert impact.stranded(ClassLabel.SMART) < 0.05
+
+    def test_3g_sunset_strands_native_meters_not_roaming(self, pipeline):
+        impact = sunset_impact(pipeline, SUNSET_3G)
+        # Some native meters are 3G-only; roaming meters (2G) survive.
+        assert 0.0 < impact.stranded(ClassLabel.M2M) < 0.5
+
+    def test_joint_sunset_dominates_individual(self, pipeline):
+        joint = sunset_impact(pipeline, SUNSET_2G_3G)
+        only_2g = sunset_impact(pipeline, SUNSET_2G)
+        for cls in (ClassLabel.SMART, ClassLabel.M2M):
+            assert joint.stranded(cls) >= only_2g.stranded(cls)
+
+    def test_stranded_plus_degraded_bounded(self, pipeline):
+        impact = sunset_impact(pipeline, SUNSET_2G)
+        for cls, share in impact.stranded_share.items():
+            assert 0.0 <= share + impact.degraded_share[cls] <= 1.0
+
+    def test_format_readable(self, pipeline):
+        text = sunset_impact(pipeline, SUNSET_2G).format()
+        assert "2G sunset" in text
+        assert "stranded" in text
+
+
+class TestStrandedIds:
+    def test_matches_impact_counts(self, pipeline):
+        orphans = stranded_device_ids(pipeline, SUNSET_2G)
+        impact = sunset_impact(pipeline, SUNSET_2G)
+        counted = sum(
+            round(impact.stranded_share[cls] * impact.n_devices[cls])
+            for cls in impact.stranded_share
+        )
+        # Orphans include m2m-maybe devices; impact counts only the three
+        # main classes, so orphans must be a superset.
+        assert len(orphans) >= counted
+
+    def test_orphans_used_only_retired_rats(self, pipeline):
+        orphans = stranded_device_ids(pipeline, SUNSET_2G)
+        for device_id in list(orphans)[:100]:
+            rats = pipeline.summaries[device_id].radio_flags.rats
+            assert rats == {RAT.GSM}

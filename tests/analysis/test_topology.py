@@ -1,0 +1,79 @@
+"""Tests for the roaming-ecosystem topology analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.topology import (
+    agreement_graph,
+    hub_reach_gain,
+    reciprocity_holds,
+    topology_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(request):
+    eco = request.getfixturevalue("eco")
+    return agreement_graph(eco.operators, eco.agreements), eco
+
+
+class TestGraphConstruction:
+    def test_nodes_are_mnos_only(self, graph):
+        g, eco = graph
+        mvnos = {str(op.plmn) for op in eco.operators if op.is_mvno}
+        assert not mvnos & set(g.nodes)
+        n_mnos = sum(1 for op in eco.operators if not op.is_mvno)
+        assert g.number_of_nodes() == n_mnos
+
+    def test_edge_count_matches_registry(self, graph):
+        g, eco = graph
+        assert g.number_of_edges() == len(eco.agreements)
+
+    def test_edges_carry_attributes(self, graph):
+        g, _ = graph
+        _, _, data = next(iter(g.edges(data=True)))
+        assert "via_hub" in data
+        assert data["rats"]
+
+    def test_reciprocity(self, graph):
+        g, _ = graph
+        assert reciprocity_holds(g)
+
+
+class TestTopologyStats:
+    def test_basic_shape(self, graph):
+        g, eco = graph
+        stats = topology_stats(g)
+        assert stats.n_operators == g.number_of_nodes()
+        assert stats.n_agreements == g.number_of_edges()
+        assert 0.0 < stats.hub_mediated_share < 1.0
+        assert stats.mean_out_degree > 1.0
+
+    def test_platform_hmnos_have_top_reach(self, graph):
+        g, eco = graph
+        focus = [str(op.plmn) for op in eco.platform_hmnos.values()]
+        ordinary = str(eco.operators.mnos_in_country("JP")[0].plmn)
+        stats = topology_stats(g, focus_plmns=focus + [ordinary])
+        es_reach = stats.reach_of(str(eco.platform_hmnos["ES"].plmn))
+        # The hub gives the platform HMNO near-global country reach,
+        # far beyond an ordinary operator's bilateral footprint.
+        assert es_reach > 30
+        assert es_reach > stats.reach_of(ordinary)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            topology_stats(nx.DiGraph())
+
+
+class TestHubReachGain:
+    def test_hub_extends_platform_reach(self, graph):
+        g, eco = graph
+        es = str(eco.platform_hmnos["ES"].plmn)
+        bilateral, total = hub_reach_gain(g, es)
+        assert total > bilateral  # the hub bought real reach
+        assert total >= 30
+
+    def test_unknown_operator_rejected(self, graph):
+        g, _ = graph
+        with pytest.raises(KeyError):
+            hub_reach_gain(g, "99999")

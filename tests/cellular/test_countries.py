@@ -1,0 +1,90 @@
+"""Unit tests for the country registry."""
+
+import pytest
+
+from repro.cellular.countries import (
+    Country,
+    CountryRegistry,
+    Region,
+    default_countries,
+)
+
+
+def _country(iso="XX", mcc=999, **kwargs):
+    defaults = dict(
+        name="Testland", region=Region.EUROPE, lat=0.0, lon=0.0
+    )
+    defaults.update(kwargs)
+    return Country(iso=iso, mcc=mcc, **defaults)
+
+
+class TestCountry:
+    def test_rejects_lowercase_iso(self):
+        with pytest.raises(ValueError):
+            _country(iso="xx")
+
+    def test_rejects_long_iso(self):
+        with pytest.raises(ValueError):
+            _country(iso="XXX")
+
+    def test_rejects_bad_mcc(self):
+        with pytest.raises(ValueError):
+            _country(mcc=42)
+
+
+class TestCountryRegistry:
+    def test_lookup_by_iso_and_mcc(self):
+        registry = CountryRegistry([_country()])
+        assert registry.by_iso("XX").mcc == 999
+        assert registry.by_mcc(999).iso == "XX"
+
+    def test_unknown_iso_raises(self):
+        registry = CountryRegistry([_country()])
+        with pytest.raises(KeyError):
+            registry.by_iso("ZZ")
+
+    def test_unknown_mcc_returns_none(self):
+        registry = CountryRegistry([_country()])
+        assert registry.by_mcc(111) is None
+
+    def test_duplicate_iso_rejected(self):
+        with pytest.raises(ValueError):
+            CountryRegistry([_country(), _country(mcc=998)])
+
+    def test_duplicate_mcc_rejected(self):
+        with pytest.raises(ValueError):
+            CountryRegistry([_country(), _country(iso="YY")])
+
+    def test_contains(self):
+        registry = CountryRegistry([_country()])
+        assert "XX" in registry
+        assert "ZZ" not in registry
+
+
+class TestDefaultCountries:
+    def test_has_named_actors(self):
+        countries = default_countries()
+        for iso in ("ES", "GB", "DE", "MX", "AR", "NL", "SE"):
+            assert iso in countries
+
+    def test_real_mcc_allocations(self):
+        countries = default_countries()
+        assert countries.by_iso("ES").mcc == 214
+        assert countries.by_iso("GB").mcc == 234
+        assert countries.by_iso("NL").mcc == 204
+
+    def test_eu_roaming_zone(self):
+        countries = default_countries()
+        assert countries.by_iso("ES").eu_roaming
+        assert not countries.by_iso("GB").eu_roaming  # post-Brexit window
+        assert not countries.by_iso("US").eu_roaming
+
+    def test_latam_roaming_restrictions(self):
+        countries = default_countries()
+        assert countries.by_iso("MX").roaming_restricted
+        assert countries.by_iso("AR").roaming_restricted
+
+    def test_region_query(self):
+        countries = default_countries()
+        latam = countries.in_region(Region.LATIN_AMERICA)
+        assert {c.iso for c in latam} >= {"MX", "AR", "BR"}

@@ -1,0 +1,124 @@
+"""Unit tests for cellular numbering identifiers."""
+
+import pytest
+
+from repro.cellular.identifiers import (
+    IMEI,
+    IMSI,
+    PLMN,
+    hash_device_id,
+    luhn_check_digit,
+)
+from repro.cellular.identifiers import luhn_is_valid
+
+
+class TestLuhn:
+    def test_known_imei_check_digit(self):
+        # Classic example IMEI 490154203237518.
+        assert luhn_check_digit("49015420323751") == 8
+
+    def test_validates_full_string(self):
+        assert luhn_is_valid("490154203237518")
+        assert not luhn_is_valid("490154203237519")
+
+    def test_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            luhn_check_digit("12a4")
+
+    def test_short_strings_invalid(self):
+        assert not luhn_is_valid("5")
+
+
+class TestPLMN:
+    def test_string_round_trip_two_digit_mnc(self):
+        plmn = PLMN(mcc=234, mnc=10)
+        assert str(plmn) == "23410"
+        assert PLMN.parse("23410") == plmn
+
+    def test_string_round_trip_three_digit_mnc(self):
+        plmn = PLMN(mcc=310, mnc=4, mnc_digits=3)
+        assert str(plmn) == "310004"
+        assert PLMN.parse("310004") == plmn
+
+    def test_leading_zero_mnc_preserved(self):
+        plmn = PLMN(mcc=204, mnc=4)
+        assert str(plmn) == "20404"
+
+    def test_rejects_bad_mcc(self):
+        with pytest.raises(ValueError):
+            PLMN(mcc=99, mnc=1)
+
+    def test_rejects_mnc_overflow(self):
+        with pytest.raises(ValueError):
+            PLMN(mcc=234, mnc=100, mnc_digits=2)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PLMN.parse("12ab5")
+        with pytest.raises(ValueError):
+            PLMN.parse("1234567")
+
+
+class TestIMSI:
+    def test_fifteen_digits(self):
+        imsi = IMSI(plmn=PLMN(214, 7), msin=42)
+        assert len(str(imsi)) == 15
+        assert str(imsi).startswith("21407")
+
+    def test_parse_round_trip(self):
+        imsi = IMSI(plmn=PLMN(234, 10), msin=123456)
+        assert IMSI.parse(str(imsi)) == imsi
+
+    def test_msin_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            IMSI(plmn=PLMN(234, 10), msin=10**10 + 1)
+
+    def test_in_range_inclusive(self):
+        plmn = PLMN(234, 10)
+        lo = IMSI(plmn, 100)
+        hi = IMSI(plmn, 200)
+        assert IMSI(plmn, 100).in_range(lo, hi)
+        assert IMSI(plmn, 200).in_range(lo, hi)
+        assert IMSI(plmn, 150).in_range(lo, hi)
+        assert not IMSI(plmn, 99).in_range(lo, hi)
+        assert not IMSI(plmn, 201).in_range(lo, hi)
+
+
+class TestIMEI:
+    def test_fifteen_digits_with_check(self):
+        imei = IMEI(tac=35000001, serial=123456)
+        text = str(imei)
+        assert len(text) == 15
+        assert luhn_is_valid(text)
+
+    def test_parse_round_trip(self):
+        imei = IMEI(tac=86000004, serial=999999)
+        assert IMEI.parse(str(imei)) == imei
+
+    def test_parse_rejects_bad_check_digit(self):
+        imei = IMEI(tac=35000001, serial=123456)
+        text = str(imei)
+        bad = text[:-1] + str((int(text[-1]) + 1) % 10)
+        with pytest.raises(ValueError):
+            IMEI.parse(bad)
+
+    def test_rejects_oversized_fields(self):
+        with pytest.raises(ValueError):
+            IMEI(tac=10**8, serial=0)
+        with pytest.raises(ValueError):
+            IMEI(tac=0, serial=10**6)
+
+
+class TestHashDeviceId:
+    def test_stable(self):
+        assert hash_device_id("21407000000042") == hash_device_id("21407000000042")
+
+    def test_distinct_inputs_distinct_outputs(self):
+        assert hash_device_id("a") != hash_device_id("b")
+
+    def test_salt_changes_output(self):
+        assert hash_device_id("x", salt="s1") != hash_device_id("x", salt="s2")
+
+    def test_no_raw_identifier_leak(self):
+        raw = "21407000000042"
+        assert raw not in hash_device_id(raw)

@@ -1,0 +1,102 @@
+"""Unit tests for the operator registry."""
+
+import pytest
+
+from repro.cellular.countries import default_countries
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator, OperatorRegistry, OperatorType
+from repro.cellular.rats import RAT
+
+COUNTRIES = default_countries()
+GB = COUNTRIES.by_iso("GB")
+ES = COUNTRIES.by_iso("ES")
+
+
+def _mno(name="GB-1", plmn=None, country=GB, **kwargs):
+    return Operator(name=name, plmn=plmn or PLMN(234, 10), country=country, **kwargs)
+
+
+class TestOperator:
+    def test_plmn_mcc_must_match_country(self):
+        with pytest.raises(ValueError):
+            Operator(name="bad", plmn=PLMN(214, 1), country=GB)
+
+    def test_mvno_requires_host(self):
+        with pytest.raises(ValueError):
+            Operator(
+                name="mvno",
+                plmn=PLMN(234, 40),
+                country=GB,
+                operator_type=OperatorType.MVNO,
+            )
+
+    def test_mno_cannot_declare_host(self):
+        with pytest.raises(ValueError):
+            Operator(
+                name="mno", plmn=PLMN(234, 11), country=GB, host_plmn=PLMN(234, 10)
+            )
+
+    def test_supports(self):
+        op = _mno(rats=frozenset({RAT.GSM, RAT.UMTS}))
+        assert op.supports(RAT.GSM)
+        assert not op.supports(RAT.LTE)
+
+
+class TestOperatorRegistry:
+    def test_add_and_lookup(self):
+        registry = OperatorRegistry([_mno()])
+        assert registry.by_plmn(PLMN(234, 10)).name == "GB-1"
+
+    def test_duplicate_plmn_rejected(self):
+        registry = OperatorRegistry([_mno()])
+        with pytest.raises(ValueError):
+            registry.add(_mno(name="other"))
+
+    def test_unknown_plmn_raises(self):
+        registry = OperatorRegistry()
+        with pytest.raises(KeyError):
+            registry.by_plmn(PLMN(234, 10))
+        assert registry.get(PLMN(234, 10)) is None
+
+    def test_mvno_host_must_exist(self):
+        registry = OperatorRegistry()
+        mvno = Operator(
+            name="mvno",
+            plmn=PLMN(234, 40),
+            country=GB,
+            operator_type=OperatorType.MVNO,
+            host_plmn=PLMN(234, 10),
+        )
+        with pytest.raises(ValueError):
+            registry.add(mvno)
+        registry.add(_mno())
+        registry.add(mvno)
+        assert registry.by_plmn(PLMN(234, 40)).is_mvno
+
+    def test_country_queries(self):
+        host = _mno()
+        mvno = Operator(
+            name="mvno",
+            plmn=PLMN(234, 40),
+            country=GB,
+            operator_type=OperatorType.MVNO,
+            host_plmn=host.plmn,
+        )
+        foreign = Operator(name="ES-1", plmn=PLMN(214, 10), country=ES)
+        registry = OperatorRegistry([host, mvno, foreign])
+        assert len(registry.in_country("GB")) == 2
+        assert registry.mnos_in_country("GB") == [host]
+        assert registry.mvnos_hosted_by(host) == [mvno]
+
+    def test_host_of_resolves_mvno(self):
+        host = _mno()
+        mvno = Operator(
+            name="mvno",
+            plmn=PLMN(234, 40),
+            country=GB,
+            operator_type=OperatorType.MVNO,
+            host_plmn=host.plmn,
+        )
+        registry = OperatorRegistry([host, mvno])
+        assert registry.host_of(mvno) is host
+        assert registry.host_of(host) is host

@@ -1,0 +1,71 @@
+"""Unit tests for RATs and the radio-flags bitmask."""
+
+import pytest
+
+from repro.cellular.rats import RAT, RadioFlags
+
+
+class TestRAT:
+    def test_generations(self):
+        assert RAT.GSM.generation == 2
+        assert RAT.UMTS.generation == 3
+        assert RAT.LTE.generation == 4
+
+    def test_from_generation_round_trip(self):
+        for rat in RAT:
+            assert RAT.from_generation(rat.generation) is rat
+
+    def test_from_generation_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            RAT.from_generation(5)
+
+
+class TestRadioFlags:
+    def test_empty_default(self):
+        flags = RadioFlags()
+        assert flags.is_empty
+        assert flags.rats == frozenset()
+        assert flags.label() == "none"
+
+    def test_with_rat_sets_bit(self):
+        flags = RadioFlags().with_rat(RAT.GSM)
+        assert flags.has(RAT.GSM)
+        assert not flags.has(RAT.UMTS)
+        assert flags.only(RAT.GSM)
+
+    def test_with_rat_is_idempotent(self):
+        flags = RadioFlags().with_rat(RAT.LTE).with_rat(RAT.LTE)
+        assert flags.mask == RadioFlags.from_rats([RAT.LTE]).mask
+
+    def test_union(self):
+        a = RadioFlags.from_rats([RAT.GSM])
+        b = RadioFlags.from_rats([RAT.LTE])
+        assert a.union(b).rats == {RAT.GSM, RAT.LTE}
+
+    def test_as_tuple_matches_paper_encoding(self):
+        flags = RadioFlags.from_rats([RAT.GSM, RAT.LTE])
+        assert flags.as_tuple() == (1, 0, 1)
+
+    def test_labels(self):
+        assert RadioFlags.from_rats([RAT.GSM]).label() == "2G-only"
+        assert RadioFlags.from_rats([RAT.GSM, RAT.UMTS]).label() == "2G+3G"
+        assert (
+            RadioFlags.from_rats([RAT.GSM, RAT.UMTS, RAT.LTE]).label()
+            == "2G+3G+4G"
+        )
+
+    def test_label_order_is_generation_sorted(self):
+        # Construction order must not affect the label.
+        a = RadioFlags.from_rats([RAT.LTE, RAT.GSM])
+        b = RadioFlags.from_rats([RAT.GSM, RAT.LTE])
+        assert a.label() == b.label() == "2G+4G"
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            RadioFlags(mask=8)
+        with pytest.raises(ValueError):
+            RadioFlags(mask=-1)
+
+    def test_only_is_exclusive(self):
+        flags = RadioFlags.from_rats([RAT.GSM, RAT.UMTS])
+        assert not flags.only(RAT.GSM)

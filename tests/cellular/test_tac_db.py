@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic GSMA TAC catalog."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.rats import RAT
+from repro.cellular.tac_db import (
+    DeviceModel,
+    DeviceOS,
+    GSMALabel,
+    M2M_MODULE_VENDORS,
+    SMARTPHONE_OSES,
+    TACCatalogBuilder,
+    TACDatabase,
+    default_tac_database,
+)
+
+
+class TestDeviceModel:
+    def _model(self, **kwargs):
+        defaults = dict(
+            tac=35000000,
+            manufacturer="Acme",
+            brand="Acme",
+            model_name="A1",
+            os=DeviceOS.ANDROID,
+            bands=frozenset({RAT.GSM}),
+            label=GSMALabel.SMARTPHONE,
+        )
+        defaults.update(kwargs)
+        return DeviceModel(**defaults)
+
+    def test_smartphone_os_detection(self):
+        assert self._model().is_smartphone_os
+        assert not self._model(os=DeviceOS.RTOS).is_smartphone_os
+
+    def test_property_key(self):
+        assert self._model().property_key == ("Acme", "A1")
+
+    def test_rejects_empty_bands(self):
+        with pytest.raises(ValueError):
+            self._model(bands=frozenset())
+
+    def test_rejects_bad_tac(self):
+        with pytest.raises(ValueError):
+            self._model(tac=10**9)
+
+
+class TestTACDatabase:
+    def test_lookup_unknown_returns_none(self):
+        db = TACDatabase([])
+        assert db.lookup(12345678) is None
+
+    def test_duplicate_tac_rejected(self):
+        model = DeviceModel(
+            tac=1,
+            manufacturer="A",
+            brand="A",
+            model_name="m",
+            os=DeviceOS.NONE,
+            bands=frozenset({RAT.GSM}),
+            label=GSMALabel.MODEM,
+        )
+        with pytest.raises(ValueError):
+            TACDatabase([model, model])
+
+
+class TestDefaultCatalog:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return default_tac_database(seed=7)
+
+    def test_deterministic(self, db):
+        again = default_tac_database(seed=7)
+        assert {m.tac for m in db} == {m.tac for m in again}
+
+    def test_contains_the_paper_module_vendors(self, db):
+        manufacturers = set(db.manufacturers())
+        assert set(M2M_MODULE_VENDORS) <= manufacturers
+
+    def test_module_vendors_only_get_modem_module_labels(self, db):
+        for vendor in M2M_MODULE_VENDORS:
+            labels = {m.label for m in db.by_manufacturer(vendor)}
+            assert labels <= {GSMALabel.MODEM, GSMALabel.MODULE}
+
+    def test_smartphones_have_smartphone_os(self, db):
+        smartphones = [m for m in db if m.label is GSMALabel.SMARTPHONE]
+        assert smartphones
+        assert all(m.os in SMARTPHONE_OSES for m in smartphones)
+
+    def test_feature_phones_are_not_lte(self, db):
+        feats = [m for m in db if m.label is GSMALabel.FEATURE_PHONE]
+        assert feats
+        assert all(RAT.LTE not in m.bands for m in feats)
+
+    def test_long_tail_exists_and_is_unknown(self, db):
+        unknown = [m for m in db if m.label is GSMALabel.UNKNOWN]
+        vendors = {m.manufacturer for m in unknown}
+        # Long tail dominates the vendor count (the paper's 2,436-vendor
+        # problem at reduced scale).
+        assert len(vendors) >= 30
+
+    def test_tac_blocks_by_family(self, db):
+        for model in db:
+            prefix = int(str(f"{model.tac:08d}")[:2])
+            assert prefix in (35, 86)
+
+
+class TestBuilder:
+    def test_custom_build_counts(self):
+        builder = TACCatalogBuilder(np.random.default_rng(1))
+        builder.add_smartphones(models_per_vendor=2)
+        builder.add_m2m_modules(models_per_vendor=3)
+        db = builder.build()
+        smart = [m for m in db if m.label is GSMALabel.SMARTPHONE]
+        modules = [m for m in db if m.label in (GSMALabel.MODEM, GSMALabel.MODULE)]
+        assert len(smart) == 2 * 7  # 7 smartphone vendors
+        assert len(modules) == 3 * 3  # 3 module vendors
+
+    def test_lte_share_zero_gives_no_lte_modules(self):
+        builder = TACCatalogBuilder(np.random.default_rng(1))
+        builder.add_m2m_modules(models_per_vendor=10, lte_share=0.0)
+        db = builder.build()
+        assert all(RAT.LTE not in m.bands for m in db)

@@ -1,0 +1,42 @@
+"""Shared fixtures: one small world and one small dataset per session.
+
+Dataset generation is the expensive part of the suite, so the ecosystem,
+the M2M-platform dataset, the MNO dataset and the pipeline result are
+all session-scoped.  Tests that need different parameters build their
+own small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecosystem import Ecosystem, EcosystemConfig, build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import PipelineResult, run_pipeline
+from repro.platform_m2m import PlatformConfig, simulate_m2m_dataset
+
+
+@pytest.fixture(scope="session")
+def eco() -> Ecosystem:
+    return build_default_ecosystem(EcosystemConfig(uk_sites=40, seed=11))
+
+
+@pytest.fixture(scope="session")
+def m2m_dataset(eco):
+    return simulate_m2m_dataset(eco, PlatformConfig(n_devices=250, seed=5))
+
+
+@pytest.fixture(scope="session")
+def mno_dataset(eco):
+    return simulate_mno_dataset(eco, MNOConfig(n_devices=600, seed=9))
+
+
+@pytest.fixture(scope="session")
+def pipeline(eco, mno_dataset) -> PipelineResult:
+    return run_pipeline(mno_dataset, eco)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,132 @@
+"""Unit tests for APN parsing, classification and generation."""
+
+import pytest
+
+from repro.core.apn import (
+    APN,
+    APNKind,
+    AUTOMOTIVE_BRANDS,
+    CONSUMER_KEYWORDS,
+    ENERGY_COMPANIES,
+    KeywordInventory,
+    classify_apn,
+    connected_car_apn,
+    consumer_apn,
+    default_keyword_inventory,
+    energy_meter_apn,
+    generic_operator_apn,
+    parse_apn,
+    platform_iot_apn,
+    vertical_apn,
+)
+from repro.devices.device import IoTVertical
+
+
+class TestParseAPN:
+    def test_paper_example(self):
+        parsed = parse_apn("smhp.centricaplc.com.mnc004.mcc204.gprs")
+        assert parsed.network_id == "smhp.centricaplc.com"
+        assert parsed.mcc == 204
+        assert parsed.mnc == 4
+
+    def test_ni_only(self):
+        parsed = parse_apn("internet.operator.com")
+        assert parsed.network_id == "internet.operator.com"
+        assert not parsed.has_operator_id
+
+    def test_round_trip(self):
+        original = "smhp.rwe.com.mnc004.mcc204.gprs"
+        assert str(parse_apn(original)) == original
+
+    def test_case_insensitive(self):
+        assert parse_apn("INTERNET.OP.COM").network_id == "internet.op.com"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_apn("")
+
+    def test_three_digit_mnc(self):
+        parsed = parse_apn("x.y.mnc004.mcc310.gprs")
+        assert parsed.mcc == 310
+
+
+class TestKeywordInventory:
+    def test_default_size_matches_paper_scale(self):
+        # The paper distilled 26 keywords; we carry a comparable table.
+        inventory = default_keyword_inventory()
+        assert 20 <= len(inventory) <= 32
+
+    def test_longest_match_wins(self):
+        inventory = default_keyword_inventory()
+        keyword, vertical = inventory.match("intelligent.m2m.gdsp")
+        assert keyword == "intelligent.m2m"
+
+    def test_no_collision_with_consumer_terms(self):
+        with pytest.raises(ValueError):
+            KeywordInventory({"internet": IoTVertical.OTHER})
+        with pytest.raises(ValueError):
+            KeywordInventory({"we": IoTVertical.OTHER})  # inside "web"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordInventory({})
+
+    def test_no_match_returns_none(self):
+        assert default_keyword_inventory().match("data.operator") is None
+
+
+class TestClassifyAPN:
+    def test_energy_apn_is_smart_meter(self):
+        kind, vertical, keyword = classify_apn(
+            energy_meter_apn("rwe", 204, 4)
+        )
+        assert kind is APNKind.M2M
+        assert vertical is IoTVertical.SMART_METER
+        # Both the company name and the "smhp" prefix are valid hits.
+        assert keyword in ("rwe", "smhp")
+
+    def test_car_apn(self):
+        kind, vertical, _ = classify_apn(connected_car_apn("scania"))
+        assert kind is APNKind.M2M
+        assert vertical is IoTVertical.CONNECTED_CAR
+
+    def test_platform_apn(self):
+        kind, vertical, keyword = classify_apn(platform_iot_apn())
+        assert kind is APNKind.M2M
+        assert keyword == "intelligent.m2m"
+
+    def test_consumer_apns(self):
+        for choice in range(5):
+            kind, vertical, _ = classify_apn(consumer_apn("gbmno1", choice))
+            assert kind is APNKind.CONSUMER
+            assert vertical is None
+
+    def test_generic_apns_are_unknown(self):
+        for choice in range(4):
+            kind, _, keyword = classify_apn(generic_operator_apn("gbmno1", choice))
+            assert kind is APNKind.UNKNOWN
+            assert keyword is None
+
+    def test_all_vertical_generators_classify_m2m(self):
+        for vertical in IoTVertical:
+            for choice in range(3):
+                kind, got, _ = classify_apn(vertical_apn(vertical, choice))
+                assert kind is APNKind.M2M, (vertical, choice)
+
+
+class TestGenerators:
+    def test_energy_apn_embeds_home_network(self):
+        apn = energy_meter_apn("elster", 204, 4)
+        assert apn.endswith(".mnc004.mcc204.gprs")
+
+    def test_unknown_company_rejected(self):
+        with pytest.raises(ValueError):
+            energy_meter_apn("enron", 204, 4)
+
+    def test_unknown_brand_rejected(self):
+        with pytest.raises(ValueError):
+            connected_car_apn("delorean")
+
+    def test_company_and_brand_tables_nonempty(self):
+        assert len(ENERGY_COMPANIES) == 5  # the paper's five energy firms
+        assert len(AUTOMOTIVE_BRANDS) >= 3

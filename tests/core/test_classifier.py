@@ -1,0 +1,222 @@
+"""Unit tests for the multi-step classifier, on hand-built summaries."""
+
+import pytest
+
+from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.tac_db import DeviceModel, DeviceOS, GSMALabel
+from repro.core.apn import energy_meter_apn
+from repro.core.classifier import (
+    ClassificationStep,
+    ClassifierConfig,
+    ClassLabel,
+    DeviceClassifier,
+    class_shares,
+    rank_apns,
+)
+from repro.core.catalog import DeviceSummary
+from repro.core.roaming import RoamingLabel, SimOrigin, VisitedSide
+
+LABEL = RoamingLabel(SimOrigin.HOME, VisitedSide.HOME)
+
+MODULE = DeviceModel(
+    tac=86000001,
+    manufacturer="Gemalto",
+    brand="Gemalto",
+    model_name="M1",
+    os=DeviceOS.RTOS,
+    bands=frozenset({RAT.GSM}),
+    label=GSMALabel.MODULE,
+)
+PHONE = DeviceModel(
+    tac=35000001,
+    manufacturer="Samsung",
+    brand="Samsung",
+    model_name="S1",
+    os=DeviceOS.ANDROID,
+    bands=frozenset({RAT.GSM, RAT.UMTS, RAT.LTE}),
+    label=GSMALabel.SMARTPHONE,
+)
+FEATURE = DeviceModel(
+    tac=35000002,
+    manufacturer="Nokia",
+    brand="Nokia",
+    model_name="F1",
+    os=DeviceOS.PROPRIETARY,
+    bands=frozenset({RAT.GSM}),
+    label=GSMALabel.FEATURE_PHONE,
+)
+LONGTAIL = DeviceModel(
+    tac=86000002,
+    manufacturer="Vendor001",
+    brand="Vendor001",
+    model_name="X0",
+    os=DeviceOS.NONE,
+    bands=frozenset({RAT.GSM}),
+    label=GSMALabel.UNKNOWN,
+)
+
+
+def _summary(device_id, apns=(), model=None, n_calls=0):
+    return DeviceSummary(
+        device_id=device_id,
+        sim_plmn="23410",
+        label=LABEL,
+        active_days=5,
+        apns=frozenset(apns),
+        model=model,
+        n_calls=n_calls,
+    )
+
+
+ENERGY_APN = energy_meter_apn("centricaplc", 204, 4)
+
+
+class TestStepOne:
+    def test_validated_apn_marks_m2m(self):
+        summaries = {"a": _summary("a", [ENERGY_APN], MODULE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["a"].label is ClassLabel.M2M
+        assert result["a"].step is ClassificationStep.APN_KEYWORD
+        assert result["a"].matched_keyword == "centricaplc"
+
+    def test_vertical_attached(self):
+        summaries = {"a": _summary("a", [ENERGY_APN], MODULE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["a"].vertical is not None
+
+
+class TestStepTwo:
+    def test_propagates_to_same_model_without_apn(self):
+        summaries = {
+            "seed": _summary("seed", [ENERGY_APN], MODULE),
+            "silent": _summary("silent", [], MODULE, n_calls=3),
+        }
+        result = DeviceClassifier().classify(summaries)
+        assert result["silent"].label is ClassLabel.M2M
+        assert result["silent"].step is ClassificationStep.PROPERTY_PROPAGATION
+
+    def test_no_propagation_across_models(self):
+        summaries = {
+            "seed": _summary("seed", [ENERGY_APN], MODULE),
+            "other": _summary("other", [], LONGTAIL, n_calls=3),
+        }
+        result = DeviceClassifier().classify(summaries)
+        assert result["other"].label is ClassLabel.M2M_MAYBE
+
+    def test_disabled_propagation_leaves_maybe(self):
+        config = ClassifierConfig(use_property_propagation=False)
+        summaries = {
+            "seed": _summary("seed", [ENERGY_APN], MODULE),
+            "silent": _summary("silent", [], MODULE, n_calls=3),
+        }
+        result = DeviceClassifier(config).classify(summaries)
+        assert result["silent"].label is ClassLabel.M2M_MAYBE
+
+
+class TestPersonRules:
+    def test_smartphone_os_plus_consumer_apn(self):
+        summaries = {"p": _summary("p", ["payandgo.op.com"], PHONE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["p"].label is ClassLabel.SMART
+        assert result["p"].step is ClassificationStep.OS_CONSUMER_APN
+
+    def test_feature_phone_label(self):
+        summaries = {"f": _summary("f", ["internet.op.com"], FEATURE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["f"].label is ClassLabel.FEAT
+
+    def test_feature_phone_without_apn_still_feat(self):
+        summaries = {"f": _summary("f", [], FEATURE, n_calls=5)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["f"].label is ClassLabel.FEAT
+
+    def test_smartphone_os_without_consumer_apn_falls_back_smart(self):
+        summaries = {"p": _summary("p", ["data.op"], PHONE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["p"].label is ClassLabel.SMART
+        assert result["p"].step is ClassificationStep.GSMA_LABEL
+
+    def test_consumer_apn_without_catalog_row_is_feat(self):
+        # The paper's literal rule: consumer APN and no smartphone-OS
+        # evidence -> feature phone.
+        summaries = {"x": _summary("x", ["internet.op.com"], None)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["x"].label is ClassLabel.FEAT
+
+
+class TestResidue:
+    def test_voice_only_longtail_is_maybe(self):
+        summaries = {"v": _summary("v", [], LONGTAIL, n_calls=4)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["v"].label is ClassLabel.M2M_MAYBE
+
+    def test_no_model_no_apn_is_maybe(self):
+        summaries = {"v": _summary("v", [], None, n_calls=4)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["v"].label is ClassLabel.M2M_MAYBE
+        assert result["v"].step is ClassificationStep.NO_EVIDENCE
+
+    def test_module_with_generic_apn_is_maybe_without_seed(self):
+        summaries = {"m": _summary("m", ["data.op"], MODULE)}
+        result = DeviceClassifier().classify(summaries)
+        assert result["m"].label is ClassLabel.M2M_MAYBE
+
+
+class TestAblationToggles:
+    def test_apn_step_disabled_kills_m2m(self):
+        config = ClassifierConfig(use_apn_keywords=False)
+        summaries = {"a": _summary("a", [ENERGY_APN], MODULE)}
+        result = DeviceClassifier(config).classify(summaries)
+        assert result["a"].label is ClassLabel.M2M_MAYBE
+
+    def test_gsma_rules_disabled_leaves_maybe(self):
+        config = ClassifierConfig(use_gsma_rules=False)
+        summaries = {"p": _summary("p", ["data.op"], PHONE)}
+        result = DeviceClassifier(config).classify(summaries)
+        assert result["p"].label is ClassLabel.M2M_MAYBE
+
+
+class TestHelpers:
+    def test_rank_apns(self):
+        summaries = {
+            "a": _summary("a", ["apn1", "apn2"]),
+            "b": _summary("b", ["apn1"]),
+        }
+        ranked = rank_apns(summaries.values())
+        assert ranked[0] == ("apn1", 2)
+
+    def test_class_shares_sum_to_one(self):
+        summaries = {
+            "a": _summary("a", [ENERGY_APN], MODULE),
+            "p": _summary("p", ["internet.op.com"], PHONE),
+        }
+        shares = class_shares(DeviceClassifier().classify(summaries))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_class_shares_empty(self):
+        assert all(v == 0.0 for v in class_shares({}).values())
+
+
+class TestConfidence:
+    def test_step_confidence_mapping(self):
+        from repro.core.classifier import (
+            Classification,
+            ClassificationStep,
+            Confidence,
+        )
+
+        assert Classification(
+            ClassLabel.M2M, ClassificationStep.APN_KEYWORD
+        ).confidence is Confidence.HIGH
+        assert Classification(
+            ClassLabel.M2M, ClassificationStep.PROPERTY_PROPAGATION
+        ).confidence is Confidence.MEDIUM
+        assert Classification(
+            ClassLabel.M2M_MAYBE, ClassificationStep.NO_EVIDENCE
+        ).confidence is Confidence.LOW
+
+    def test_every_step_has_a_confidence(self):
+        from repro.core.classifier import Classification, ClassificationStep
+
+        for step in ClassificationStep:
+            assert Classification(ClassLabel.SMART, step).confidence is not None

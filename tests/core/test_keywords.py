@@ -1,0 +1,118 @@
+"""Tests for the keyword-discovery tooling."""
+
+import pytest
+
+from repro.core.apn import energy_meter_apn
+from repro.core.catalog import DeviceSummary
+from repro.core.classifier import ClassLabel, DeviceClassifier
+from repro.core.keywords import (
+    KeywordCandidate,
+    auto_map_candidates,
+    build_inventory,
+    candidate_keywords,
+    discovery_report,
+    known_vertical_lookup,
+)
+from repro.core.roaming import RoamingLabel, SimOrigin, VisitedSide
+from repro.devices.device import IoTVertical
+
+LABEL = RoamingLabel(SimOrigin.HOME, VisitedSide.HOME)
+
+
+def _summary(device_id, apns):
+    return DeviceSummary(
+        device_id=device_id, sim_plmn="23410", label=LABEL,
+        active_days=1, apns=frozenset(apns),
+    )
+
+
+def _population(n_meters=5, n_consumers=5, n_novel=4):
+    summaries = {}
+    for i in range(n_meters):
+        summaries[f"m{i}"] = _summary(f"m{i}", [energy_meter_apn("rwe", 204, 4)])
+    for i in range(n_consumers):
+        summaries[f"c{i}"] = _summary(f"c{i}", ["internet.gbmno1.com"])
+    for i in range(n_novel):
+        # A vertical our inventory has never heard of.
+        summaries[f"n{i}"] = _summary(f"n{i}", ["vendingmach.snackco.net"])
+    return summaries
+
+
+class TestCandidates:
+    def test_finds_vertical_tokens(self):
+        candidates = candidate_keywords(_population().values(), min_devices=3)
+        tokens = {c.token for c in candidates}
+        assert "smhp" in tokens or "rwe" in tokens
+        assert "vendingmach" in tokens
+
+    def test_filters_consumer_and_noise(self):
+        candidates = candidate_keywords(_population().values(), min_devices=2)
+        tokens = {c.token for c in candidates}
+        assert "internet" not in tokens  # consumer
+        assert "com" not in tokens       # structural noise
+        assert "gprs" not in tokens
+
+    def test_min_devices_threshold(self):
+        population = _population(n_novel=2)
+        tokens = {
+            c.token
+            for c in candidate_keywords(population.values(), min_devices=3)
+        }
+        assert "vendingmach" not in tokens
+
+    def test_ranked_by_support(self):
+        candidates = candidate_keywords(
+            _population(n_meters=10, n_novel=3).values(), min_devices=2
+        )
+        assert candidates[0].n_devices >= candidates[-1].n_devices
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            KeywordCandidate(token="x", n_devices=0, n_apns=1, example_apn="a")
+
+
+class TestAutoMapping:
+    def test_known_tokens_mapped(self):
+        assert known_vertical_lookup("rwe") is IoTVertical.SMART_METER
+        assert known_vertical_lookup("telematics") is IoTVertical.CONNECTED_CAR
+        assert known_vertical_lookup("vendingmach") is None
+
+    def test_split_known_unknown(self):
+        candidates = candidate_keywords(_population().values(), min_devices=3)
+        mapped, unknown = auto_map_candidates(candidates)
+        assert any(v is IoTVertical.SMART_METER for v in mapped.values())
+        assert any(c.token == "vendingmach" for c in unknown)
+
+
+class TestInventoryBuilding:
+    def test_discovered_inventory_drives_classifier(self):
+        """End-to-end: discover -> research -> classify the new vertical."""
+        population = _population()
+        candidates = candidate_keywords(population.values(), min_devices=3)
+        mapped, unknown = auto_map_candidates(candidates)
+        # The analyst "researches" the unknown token.
+        for candidate in unknown:
+            if candidate.token == "vendingmach":
+                mapped[candidate.token] = IoTVertical.PAYMENT
+        from repro.core.classifier import ClassifierConfig
+
+        inventory = build_inventory(mapped)
+        classifier = DeviceClassifier(ClassifierConfig(inventory=inventory))
+        result = classifier.classify(population)
+        assert result["n0"].label is ClassLabel.M2M
+        assert result["n0"].vertical is IoTVertical.PAYMENT
+
+    def test_report_readable(self):
+        text = discovery_report(_population().values(), min_devices=3)
+        assert "candidate keywords" in text
+        assert "vendingmach" in text
+
+
+class TestOnSimulatedData:
+    def test_discovery_recovers_simulator_verticals(self, pipeline):
+        candidates = candidate_keywords(
+            pipeline.summaries.values(), min_devices=5
+        )
+        mapped, _ = auto_map_candidates(candidates)
+        verticals = set(mapped.values())
+        assert IoTVertical.SMART_METER in verticals

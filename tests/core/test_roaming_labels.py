@@ -1,0 +1,102 @@
+"""Unit tests for roaming-label assignment."""
+
+import pytest
+
+from repro.core.roaming import (
+    OBSERVABLE_LABELS,
+    RoamingLabel,
+    RoamingLabeler,
+    SimOrigin,
+    VisitedSide,
+)
+
+
+@pytest.fixture(scope="module")
+def labeler(eco=None):
+    from repro.ecosystem import EcosystemConfig, build_default_ecosystem
+
+    eco = build_default_ecosystem(EcosystemConfig(uk_sites=5, seed=1))
+    return RoamingLabeler(eco.operators, eco.uk_mno), eco
+
+
+class TestRoamingLabel:
+    def test_string_form(self):
+        label = RoamingLabel(SimOrigin.INTERNATIONAL, VisitedSide.HOME)
+        assert str(label) == "I:H"
+
+    def test_parse_round_trip(self):
+        for label in OBSERVABLE_LABELS:
+            assert RoamingLabel.parse(str(label)) == label
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RoamingLabel.parse("X:Y")
+        with pytest.raises(ValueError):
+            RoamingLabel.parse("IH")
+
+    def test_unobservable_labels_rejected(self):
+        with pytest.raises(ValueError):
+            RoamingLabel(SimOrigin.INTERNATIONAL, VisitedSide.ABROAD)
+        with pytest.raises(ValueError):
+            RoamingLabel(SimOrigin.NATIONAL, VisitedSide.ABROAD)
+
+    def test_exactly_six_observable_labels(self):
+        assert len(OBSERVABLE_LABELS) == 6
+        assert len({str(l) for l in OBSERVABLE_LABELS}) == 6
+
+    def test_predicates(self):
+        native = RoamingLabel(SimOrigin.HOME, VisitedSide.HOME)
+        inbound = RoamingLabel(SimOrigin.INTERNATIONAL, VisitedSide.HOME)
+        outbound = RoamingLabel(SimOrigin.HOME, VisitedSide.ABROAD)
+        assert native.is_native and not native.is_inbound_roamer
+        assert inbound.is_inbound_roamer and not inbound.is_native
+        assert outbound.is_outbound_roamer
+
+
+class TestRoamingLabeler:
+    def test_home_sim(self, labeler):
+        lab, eco = labeler
+        assert lab.sim_origin(str(eco.uk_mno.plmn)) is SimOrigin.HOME
+
+    def test_hosted_mvno_sim_is_virtual(self, labeler):
+        lab, eco = labeler
+        mvno = eco.mvnos_of_study_mno()[0]
+        assert lab.sim_origin(str(mvno.plmn)) is SimOrigin.VIRTUAL
+
+    def test_other_uk_operator_is_national(self, labeler):
+        lab, eco = labeler
+        other = [
+            op
+            for op in eco.operators.mnos_in_country("GB")
+            if op.plmn != eco.uk_mno.plmn
+        ][0]
+        assert lab.sim_origin(str(other.plmn)) is SimOrigin.NATIONAL
+
+    def test_foreign_sim_is_international(self, labeler):
+        lab, eco = labeler
+        assert lab.sim_origin(str(eco.nl_iot_operator.plmn)) is SimOrigin.INTERNATIONAL
+
+    def test_unknown_foreign_plmn_still_international(self, labeler):
+        lab, _ = labeler
+        assert lab.sim_origin("99999") is SimOrigin.INTERNATIONAL
+
+    def test_visited_home_vs_abroad(self, labeler):
+        lab, eco = labeler
+        assert lab.visited_side(str(eco.uk_mno.plmn)) is VisitedSide.HOME
+        assert lab.visited_side("21410") is VisitedSide.ABROAD
+
+    def test_mvno_attachment_counts_as_home(self, labeler):
+        lab, eco = labeler
+        mvno = eco.mvnos_of_study_mno()[0]
+        assert lab.visited_side(str(mvno.plmn)) is VisitedSide.HOME
+
+    def test_full_label(self, labeler):
+        lab, eco = labeler
+        label = lab.label(str(eco.nl_iot_operator.plmn), str(eco.uk_mno.plmn))
+        assert str(label) == "I:H"
+
+    def test_mvno_cannot_observe(self, labeler):
+        _, eco = labeler
+        mvno = eco.mvnos_of_study_mno()[0]
+        with pytest.raises(ValueError):
+            RoamingLabeler(eco.operators, mvno)

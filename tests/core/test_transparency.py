@@ -1,0 +1,137 @@
+"""Tests for GSMA-style transparency declarations and detection."""
+
+import pytest
+
+from repro.core.transparency import (
+    CoverageReport,
+    IMSIRange,
+    M2MDeclaration,
+    TransparencyDetector,
+    TransparencyRegistry,
+    coverage_report,
+    default_declarations,
+)
+from repro.core.classifier import Classification, ClassificationStep, ClassLabel
+from repro.datasets.containers import GroundTruthEntry
+from repro.devices.device import DeviceClass, SimProvenance
+
+NL = "20404"
+
+
+class TestIMSIRange:
+    def test_contains(self):
+        r = IMSIRange(lo=204040_500000000, hi=204040_599999999)
+        assert r.contains("204040500000000")
+        assert r.contains("204040599999999")
+        assert not r.contains("204040600000000")
+
+    def test_rejects_short_values(self):
+        with pytest.raises(ValueError):
+            IMSIRange(lo=1, hi=2)
+
+    def test_non_digit_input(self):
+        r = IMSIRange(lo=204040_500000000, hi=204040_599999999)
+        assert not r.contains("not-an-imsi-15ch")
+
+
+class TestDeclaration:
+    def test_must_declare_something(self):
+        with pytest.raises(ValueError):
+            M2MDeclaration(home_plmn=NL)
+
+    def test_apn_prefix_match(self):
+        d = M2MDeclaration(home_plmn=NL, apn_prefixes=frozenset({"smhp."}))
+        assert d.matches_apn("smhp.centricaplc.com.mnc004.mcc204.gprs")
+        assert not d.matches_apn("internet.op.com")
+
+    def test_bad_plmn_rejected(self):
+        with pytest.raises(ValueError):
+            M2MDeclaration(home_plmn="12", apn_prefixes=frozenset({"x"}))
+
+
+class TestDetector:
+    def _summaries(self, pipeline):
+        return pipeline.summaries
+
+    def test_detects_declared_meters(self, pipeline, eco):
+        registry = default_declarations(
+            str(eco.nl_iot_operator.plmn),
+            [str(op.plmn) for op in eco.platform_hmnos.values()],
+        )
+        detector = TransparencyDetector(registry)
+        detected = detector.detect_by_apn(pipeline.summaries)
+        assert detected
+        # Everything detected is genuinely M2M.
+        for device_id in detected:
+            assert (
+                pipeline.dataset.ground_truth[device_id].device_class
+                is DeviceClass.M2M
+            )
+
+    def test_detection_limited_to_declaring_homes(self, pipeline, eco):
+        registry = default_declarations(
+            str(eco.nl_iot_operator.plmn),
+            [str(op.plmn) for op in eco.platform_hmnos.values()],
+        )
+        detected = TransparencyDetector(registry).detect_by_apn(pipeline.summaries)
+        declaring = registry.declaring_operators()
+        for device_id in detected:
+            assert pipeline.summaries[device_id].sim_plmn in declaring
+
+    def test_imsi_range_detection(self):
+        registry = TransparencyRegistry(
+            [
+                M2MDeclaration(
+                    home_plmn=NL,
+                    imsi_ranges=(IMSIRange(204040 * 10**9, 204040 * 10**9 + 999),),
+                )
+            ]
+        )
+        detector = TransparencyDetector(registry)
+        detected = detector.detect_by_imsi(
+            {"a": "204040000000500", "b": "204040000001500", "c": "214070000000001"}
+        )
+        assert detected == {"a"}
+
+
+class TestCoverage:
+    def _world(self):
+        truth = {
+            "m1": GroundTruthEntry("m1", DeviceClass.M2M, SimProvenance.INTERNATIONAL),
+            "m2": GroundTruthEntry("m2", DeviceClass.M2M, SimProvenance.INTERNATIONAL),
+            "s1": GroundTruthEntry("s1", DeviceClass.SMART, SimProvenance.HOME),
+        }
+        cls = {
+            "m1": Classification(ClassLabel.M2M, ClassificationStep.APN_KEYWORD),
+            "m2": Classification(ClassLabel.M2M_MAYBE, ClassificationStep.NO_EVIDENCE),
+            "s1": Classification(ClassLabel.SMART, ClassificationStep.OS_CONSUMER_APN),
+        }
+        return truth, cls
+
+    def test_coverage_math(self):
+        truth, cls = self._world()
+        report = coverage_report({"m1"}, cls, truth)
+        assert report.n_true_m2m == 2
+        assert report.transparency_recall == 0.5
+        assert report.transparency_precision == 1.0
+        assert report.classifier_recall == 0.5
+        assert report.both_agree == 0.5
+
+    def test_empty_truth_rejected(self):
+        _, cls = self._world()
+        with pytest.raises(ValueError):
+            coverage_report(set(), cls, {})
+
+    def test_transparency_undercovers_classifier(self, pipeline, eco):
+        """The paper's premise: declarations alone miss most M2M because
+        most home operators do not declare."""
+        registry = default_declarations(
+            str(eco.nl_iot_operator.plmn),
+            [str(op.plmn) for op in eco.platform_hmnos.values()],
+        )
+        detected = TransparencyDetector(registry).detect_by_apn(pipeline.summaries)
+        report = coverage_report(
+            detected, pipeline.classifications, pipeline.dataset.ground_truth
+        )
+        assert report.transparency_recall < report.classifier_recall
+        assert report.transparency_precision == 1.0

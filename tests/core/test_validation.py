@@ -1,0 +1,117 @@
+"""Unit tests for classifier validation scoring."""
+
+import pytest
+
+from repro.core.classifier import Classification, ClassificationStep, ClassLabel
+from repro.core.validation import validate_classification
+from repro.datasets.containers import GroundTruthEntry
+from repro.devices.device import DeviceClass, SimProvenance
+
+
+def _cls(label):
+    return Classification(label=label, step=ClassificationStep.APN_KEYWORD)
+
+
+def _truth(device_id, device_class):
+    return GroundTruthEntry(
+        device_id=device_id,
+        device_class=device_class,
+        provenance=SimProvenance.HOME,
+    )
+
+
+class TestValidation:
+    def test_perfect_classification(self):
+        predicted = {"a": _cls(ClassLabel.M2M), "b": _cls(ClassLabel.SMART)}
+        truth = {"a": _truth("a", DeviceClass.M2M), "b": _truth("b", DeviceClass.SMART)}
+        report = validate_classification(predicted, truth)
+        assert report.accuracy == 1.0
+        assert report.abstention_rate == 0.0
+        assert report.per_class[ClassLabel.M2M].f1 == 1.0
+
+    def test_misclassification_counted(self):
+        predicted = {"a": _cls(ClassLabel.SMART)}
+        truth = {"a": _truth("a", DeviceClass.M2M)}
+        report = validate_classification(predicted, truth)
+        assert report.accuracy == 0.0
+        assert report.per_class[ClassLabel.M2M].recall == 0.0
+        assert report.per_class[ClassLabel.SMART].precision == 0.0
+
+    def test_abstention_excluded_from_accuracy(self):
+        predicted = {
+            "a": _cls(ClassLabel.M2M),
+            "b": _cls(ClassLabel.M2M_MAYBE),
+        }
+        truth = {
+            "a": _truth("a", DeviceClass.M2M),
+            "b": _truth("b", DeviceClass.M2M),
+        }
+        report = validate_classification(predicted, truth)
+        assert report.accuracy == 1.0
+        assert report.abstention_rate == pytest.approx(0.5)
+        # The abstained device does not hurt recall.
+        assert report.per_class[ClassLabel.M2M].recall == 1.0
+
+    def test_devices_missing_truth_skipped(self):
+        predicted = {"a": _cls(ClassLabel.M2M), "ghost": _cls(ClassLabel.SMART)}
+        truth = {"a": _truth("a", DeviceClass.M2M)}
+        report = validate_classification(predicted, truth)
+        assert report.n_devices == 1
+
+    def test_confusion_matrix_entries(self):
+        predicted = {
+            "a": _cls(ClassLabel.M2M),
+            "b": _cls(ClassLabel.FEAT),
+        }
+        truth = {
+            "a": _truth("a", DeviceClass.M2M),
+            "b": _truth("b", DeviceClass.SMART),
+        }
+        report = validate_classification(predicted, truth)
+        assert report.confusion[(ClassLabel.M2M, ClassLabel.M2M)] == 1
+        assert report.confusion[(ClassLabel.SMART, ClassLabel.FEAT)] == 1
+
+    def test_format_is_readable(self):
+        predicted = {"a": _cls(ClassLabel.M2M)}
+        truth = {"a": _truth("a", DeviceClass.M2M)}
+        text = validate_classification(predicted, truth).format()
+        assert "accuracy" in text
+        assert "m2m" in text
+
+    def test_empty_inputs(self):
+        report = validate_classification({}, {})
+        assert report.n_devices == 0
+        assert report.accuracy == 0.0
+
+
+class TestAccuracyByStep:
+    def test_per_step_accuracy_on_pipeline(self, pipeline):
+        from repro.core.validation import accuracy_by_step
+
+        by_step = accuracy_by_step(
+            pipeline.classifications, pipeline.dataset.ground_truth
+        )
+        assert by_step
+        for step, (n, accuracy) in by_step.items():
+            assert n > 0
+            assert 0.0 <= accuracy <= 1.0
+        # Direct APN evidence is (near-)perfect.
+        n, accuracy = by_step["apn_keyword"]
+        assert accuracy > 0.99
+
+    def test_confidence_ordering_justified(self, pipeline):
+        """HIGH-confidence steps must not be less accurate than the
+        propagation step on this population."""
+        from repro.core.validation import accuracy_by_step
+
+        by_step = accuracy_by_step(
+            pipeline.classifications, pipeline.dataset.ground_truth
+        )
+        apn_accuracy = by_step["apn_keyword"][1]
+        if "property_propagation" in by_step:
+            assert apn_accuracy >= by_step["property_propagation"][1] - 0.02
+
+    def test_empty_inputs(self):
+        from repro.core.validation import accuracy_by_step
+
+        assert accuracy_by_step({}, {}) == {}

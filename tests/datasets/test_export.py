@@ -1,0 +1,82 @@
+"""Round-trip tests for the devices-catalog CSV export."""
+
+import pytest
+
+from repro.datasets.export import (
+    read_day_records,
+    read_summaries,
+    write_day_records,
+    write_summaries,
+)
+
+
+class TestDayRecordRoundTrip:
+    def test_full_round_trip(self, pipeline, tmp_path):
+        path = tmp_path / "catalog_days.csv"
+        sample = pipeline.day_records[:500]
+        assert write_day_records(path, sample) == len(sample)
+        restored = read_day_records(path)
+        assert len(restored) == len(sample)
+        for original, back in zip(sample, restored):
+            assert back.device_id == original.device_id
+            assert back.day == original.day
+            assert back.n_events == original.n_events
+            assert back.apns == original.apns
+            assert back.radio_flags == original.radio_flags
+            assert back.on_home_network == original.on_home_network
+
+    def test_mobility_round_trip(self, pipeline, tmp_path):
+        with_mobility = [r for r in pipeline.day_records if r.mobility][:50]
+        assert with_mobility
+        path = tmp_path / "catalog_mob.csv"
+        write_day_records(path, with_mobility)
+        restored = read_day_records(path)
+        for original, back in zip(with_mobility, restored):
+            assert back.mobility is not None
+            assert back.mobility.gyration_km == pytest.approx(
+                original.mobility.gyration_km, abs=1e-3
+            )
+            assert back.mobility.n_sectors == original.mobility.n_sectors
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_day_records(path)
+
+
+class TestSummaryRoundTrip:
+    def test_full_round_trip_with_tac_join(self, pipeline, tmp_path):
+        path = tmp_path / "summaries.csv"
+        summaries = list(pipeline.summaries.values())
+        assert write_summaries(path, summaries) == len(summaries)
+        restored = read_summaries(path, tac_db=pipeline.dataset.tac_db)
+        assert set(restored) == set(pipeline.summaries)
+        for device_id, original in pipeline.summaries.items():
+            back = restored[device_id]
+            assert str(back.label) == str(original.label)
+            assert back.active_days == original.active_days
+            assert back.bytes_total == original.bytes_total
+            assert back.apns == original.apns
+            # TAC join reproduces the model reference.
+            assert (back.model is None) == (original.model is None)
+            if original.model is not None:
+                assert back.model.tac == original.model.tac
+
+    def test_classification_survives_round_trip(self, pipeline, tmp_path):
+        """The exported catalog is a faithful classifier input."""
+        from repro.core.classifier import DeviceClassifier
+
+        path = tmp_path / "summaries.csv"
+        write_summaries(path, pipeline.summaries.values())
+        restored = read_summaries(path, tac_db=pipeline.dataset.tac_db)
+        again = DeviceClassifier().classify(restored)
+        assert {d: c.label for d, c in again.items()} == {
+            d: c.label for d, c in pipeline.classifications.items()
+        }
+
+    def test_without_tac_db_models_absent(self, pipeline, tmp_path):
+        path = tmp_path / "summaries.csv"
+        write_summaries(path, pipeline.summaries.values())
+        restored = read_summaries(path)
+        assert all(s.model is None for s in restored.values())

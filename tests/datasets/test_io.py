@@ -1,0 +1,106 @@
+"""Round-trip tests for JSONL serialization."""
+
+import pytest
+
+from repro.datasets.io import (
+    radio_event_from_dict,
+    radio_event_to_dict,
+    read_jsonl,
+    read_radio_events,
+    read_service_records,
+    read_transactions,
+    service_record_from_dict,
+    service_record_to_dict,
+    transaction_from_dict,
+    transaction_to_dict,
+    write_jsonl,
+    write_radio_events,
+    write_service_records,
+    write_transactions,
+)
+from repro.signaling.cdr import data_xdr, voice_cdr
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _txn():
+    return SignalingTransaction(
+        device_id="abc",
+        timestamp=12.5,
+        sim_plmn="21407",
+        visited_plmn="23410",
+        message_type=MessageType.AUTHENTICATION,
+        result=ResultCode.ROAMING_NOT_ALLOWED,
+    )
+
+
+def _event():
+    return RadioEvent(
+        device_id="abc",
+        timestamp=99.0,
+        sim_plmn="23410",
+        tac=35000001,
+        sector_id=4,
+        interface=RadioInterface.IU_CS,
+        event_type=MessageType.ROUTING_AREA_UPDATE,
+        result=ResultCode.OK,
+    )
+
+
+class TestDictRoundTrips:
+    def test_transaction(self):
+        txn = _txn()
+        assert transaction_from_dict(transaction_to_dict(txn)) == txn
+
+    def test_radio_event(self):
+        event = _event()
+        assert radio_event_from_dict(radio_event_to_dict(event)) == event
+
+    def test_voice_record(self):
+        record = voice_cdr("d", 1.0, "21407", "23410", 33.0)
+        assert service_record_from_dict(service_record_to_dict(record)) == record
+
+    def test_data_record_with_apn(self):
+        record = data_xdr("d", 1.0, "21407", "23410", 777, "internet.op.com")
+        assert service_record_from_dict(service_record_to_dict(record)) == record
+
+    def test_data_record_without_apn(self):
+        record = data_xdr("d", 1.0, "21407", "23410", 777, None)
+        restored = service_record_from_dict(service_record_to_dict(record))
+        assert restored.apn is None
+
+
+class TestFileRoundTrips:
+    def test_transactions_file(self, tmp_path):
+        path = tmp_path / "txns.jsonl"
+        txns = [_txn(), _txn()]
+        assert write_transactions(path, txns) == 2
+        assert read_transactions(path) == txns
+
+    def test_radio_events_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [_event()]
+        write_radio_events(path, events)
+        assert read_radio_events(path) == events
+
+    def test_service_records_file(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [
+            voice_cdr("d", 1.0, "21407", "23410", 33.0),
+            data_xdr("d", 2.0, "21407", "23410", 42, "apn.x"),
+        ]
+        write_service_records(path, records)
+        assert read_service_records(path) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert list(read_jsonl(path)) == [{"a": 1}]
+
+    def test_simulated_dataset_round_trip(self, tmp_path, m2m_dataset):
+        path = tmp_path / "m2m.jsonl"
+        sample = m2m_dataset.transactions[:500]
+        write_transactions(path, sample)
+        assert read_transactions(path) == sample

@@ -1,0 +1,87 @@
+"""Tests for the privacy lint — and a lint of our own exports."""
+
+import pytest
+
+from repro.cellular.identifiers import IMEI, IMSI, PLMN
+from repro.datasets.export import write_day_records, write_summaries
+from repro.datasets.io import write_radio_events, write_service_records, write_transactions
+from repro.datasets.privacy import (
+    PrivacyFinding,
+    assert_clean,
+    scan_export_dir,
+    scan_file,
+    scan_text,
+)
+
+
+class TestScanText:
+    def test_detects_raw_imei(self):
+        imei = str(IMEI(tac=35000001, serial=123456))
+        findings = scan_text(f"device imei={imei} attached")
+        assert any(f.kind == "imei" and f.value == imei for f in findings)
+
+    def test_detects_raw_imsi(self):
+        imsi = str(IMSI(plmn=PLMN(204, 4), msin=500000001))
+        findings = scan_text(f"sim {imsi}")
+        assert any(f.kind == "imsi" for f in findings)
+
+    def test_detects_msisdn(self):
+        findings = scan_text("call +447911123456 back")
+        assert any(f.kind == "msisdn" for f in findings)
+
+    def test_plmn_codes_are_fine(self):
+        findings = scan_text('{"sim_plmn": "20404", "visited_plmn": "23410"}')
+        assert findings == []
+
+    def test_short_and_long_digit_runs_ignored(self):
+        assert scan_text("1234567890123456") == []  # 16 digits
+        assert scan_text("12345678901234") == []    # 14 digits
+
+    def test_line_numbers(self):
+        imsi = str(IMSI(plmn=PLMN(204, 4), msin=1))
+        findings = scan_text(f"ok\n{imsi}\n", source="x")
+        assert findings[0].line_number == 2
+        assert findings[0].source == "x"
+
+    def test_redaction_hides_tail(self):
+        finding = PrivacyFinding("imsi", "204040000000001", 1, "x")
+        assert finding.redacted() == "20404" + "*" * 10
+
+
+class TestAssertClean:
+    def test_passes_on_empty(self):
+        assert_clean([])
+
+    def test_raises_with_redacted_values(self):
+        finding = PrivacyFinding("imsi", "204040000000001", 3, "f.jsonl")
+        with pytest.raises(ValueError) as excinfo:
+            assert_clean([finding])
+        assert "204040000000001" not in str(excinfo.value)
+        assert "20404**********" in str(excinfo.value)
+
+
+class TestOurExportsAreClean:
+    def test_record_exports_pass_the_lint(self, tmp_path, mno_dataset, m2m_dataset):
+        """The executable ethics appendix: nothing we export carries an
+        identifier that maps back to a subscriber."""
+        write_transactions(tmp_path / "m2m.jsonl", m2m_dataset.transactions[:5000])
+        write_radio_events(tmp_path / "radio.jsonl", mno_dataset.radio_events[:5000])
+        write_service_records(
+            tmp_path / "services.jsonl", mno_dataset.service_records[:5000]
+        )
+        findings = scan_export_dir(tmp_path)
+        assert_clean(findings)
+
+    def test_catalog_exports_pass_the_lint(self, tmp_path, pipeline):
+        write_day_records(tmp_path / "days.csv", pipeline.day_records[:2000])
+        write_summaries(tmp_path / "summaries.csv", pipeline.summaries.values())
+        assert_clean(scan_export_dir(tmp_path))
+
+    def test_lint_catches_a_deliberate_leak(self, tmp_path):
+        leaky = tmp_path / "leak.jsonl"
+        imsi = str(IMSI(plmn=PLMN(204, 4), msin=42))
+        leaky.write_text(f'{{"imsi": "{imsi}"}}\n')
+        findings = scan_export_dir(tmp_path)
+        assert findings
+        with pytest.raises(ValueError):
+            assert_clean(findings)

@@ -1,0 +1,83 @@
+"""Unit tests for the device model."""
+
+import pytest
+
+from repro.cellular.countries import default_countries
+from repro.cellular.identifiers import IMEI, IMSI, PLMN
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+from repro.cellular.tac_db import DeviceModel, DeviceOS, GSMALabel
+from repro.devices.device import Device, DeviceClass, IoTVertical, SimProvenance
+
+GB = default_countries().by_iso("GB")
+HOME = Operator(name="GB-1", plmn=PLMN(234, 10), country=GB)
+MODEL = DeviceModel(
+    tac=35000001,
+    manufacturer="Acme",
+    brand="Acme",
+    model_name="A1",
+    os=DeviceOS.ANDROID,
+    bands=frozenset({RAT.GSM, RAT.UMTS, RAT.LTE}),
+    label=GSMALabel.SMARTPHONE,
+)
+
+
+def _device(**kwargs):
+    defaults = dict(
+        imsi=IMSI(plmn=HOME.plmn, msin=42),
+        imei=IMEI(tac=MODEL.tac, serial=1),
+        model=MODEL,
+        home_operator=HOME,
+        device_class=DeviceClass.SMART,
+    )
+    defaults.update(kwargs)
+    return Device(**defaults)
+
+
+class TestDeviceInvariants:
+    def test_imsi_must_match_home_operator(self):
+        with pytest.raises(ValueError):
+            _device(imsi=IMSI(plmn=PLMN(234, 20), msin=42))
+
+    def test_m2m_needs_vertical(self):
+        with pytest.raises(ValueError):
+            _device(device_class=DeviceClass.M2M)
+
+    def test_person_device_cannot_have_vertical(self):
+        with pytest.raises(ValueError):
+            _device(vertical=IoTVertical.SMART_METER)
+
+    def test_imei_must_match_model_tac(self):
+        with pytest.raises(ValueError):
+            _device(imei=IMEI(tac=86000000, serial=1))
+
+    def test_model_optional(self):
+        device = _device(model=None, imei=IMEI(tac=12345678, serial=1))
+        assert device.tac == 12345678
+
+
+class TestDeviceProperties:
+    def test_device_id_is_hashed_imsi(self):
+        device = _device()
+        assert str(device.imsi) not in device.device_id
+        assert len(device.device_id) == 16
+
+    def test_device_id_deterministic(self):
+        assert _device().device_id == _device().device_id
+
+    def test_sim_plmn(self):
+        assert _device().sim_plmn == "23410"
+
+    def test_is_m2m(self):
+        m2m = _device(
+            device_class=DeviceClass.M2M, vertical=IoTVertical.SMART_METER
+        )
+        assert m2m.is_m2m
+        assert not _device().is_m2m
+
+    def test_repr_mentions_class_and_vertical(self):
+        m2m = _device(
+            device_class=DeviceClass.M2M, vertical=IoTVertical.CONNECTED_CAR
+        )
+        assert "connected_car" in repr(m2m)
+        assert "m2m" in repr(m2m)

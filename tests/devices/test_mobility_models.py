@@ -1,0 +1,95 @@
+"""Unit tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.geo import GeoPoint, haversine_km
+from repro.devices.mobility_models import (
+    CommuterMobility,
+    InternationalMobility,
+    StationaryMobility,
+    VehicularMobility,
+)
+
+ANCHOR = GeoPoint(52.0, -1.0)
+
+
+def _spread_km(visits):
+    points = [p for p, _ in visits]
+    return max(
+        (haversine_km(points[0], p) for p in points[1:]), default=0.0
+    )
+
+
+class TestStationary:
+    def test_anchor_always_present(self, rng):
+        model = StationaryMobility(anchor=ANCHOR, reselection_prob=0.0)
+        visits = model.visits_for_day(0, rng)
+        assert visits == [(ANCHOR, 23.0)]
+
+    def test_reselection_adds_nearby_visit(self, rng):
+        model = StationaryMobility(anchor=ANCHOR, reselection_prob=1.0, reselection_km=2.0)
+        visits = model.visits_for_day(0, rng)
+        assert len(visits) == 2
+        assert _spread_km(visits) < 15.0
+
+    def test_weights_positive(self, rng):
+        model = StationaryMobility(anchor=ANCHOR, reselection_prob=1.0)
+        assert all(w > 0 for _, w in model.visits_for_day(0, rng))
+
+
+class TestCommuter:
+    def test_visits_near_anchors(self, rng):
+        work = GeoPoint(52.1, -1.1)
+        model = CommuterMobility(home=ANCHOR, work=work, noise_km=0.5)
+        visits = model.visits_for_day(0, rng)
+        assert len(visits) >= 2
+        assert haversine_km(visits[0][0], ANCHOR) < 5.0
+        assert haversine_km(visits[1][0], work) < 5.0
+
+    def test_home_weight_dominates(self, rng):
+        model = CommuterMobility(home=ANCHOR, work=GeoPoint(52.1, -1.1))
+        visits = model.visits_for_day(0, rng)
+        assert visits[0][1] > visits[1][1]
+
+
+class TestVehicular:
+    def test_produces_trajectory(self, rng):
+        model = VehicularMobility(start=ANCHOR, leg_km=40.0, legs=5)
+        visits = model.visits_for_day(0, rng)
+        assert len(visits) == 6
+        assert _spread_km(visits) > 10.0
+
+    def test_dwell_sums_to_day(self, rng):
+        model = VehicularMobility(start=ANCHOR, legs=5)
+        visits = model.visits_for_day(0, rng)
+        assert sum(w for _, w in visits) == pytest.approx(24.0)
+
+    def test_rejects_zero_legs(self, rng):
+        with pytest.raises(ValueError):
+            VehicularMobility(start=ANCHOR, legs=0).visits_for_day(0, rng)
+
+    def test_moves_more_than_stationary(self, rng):
+        vehicular = VehicularMobility(start=ANCHOR, leg_km=50.0)
+        stationary = StationaryMobility(anchor=ANCHOR)
+        v_spread = _spread_km(vehicular.visits_for_day(0, rng))
+        s_spread = _spread_km(stationary.visits_for_day(0, rng))
+        assert v_spread > s_spread
+
+
+class TestInternational:
+    def test_requires_anchor(self):
+        with pytest.raises(ValueError):
+            InternationalMobility(country_anchors=[])
+
+    def test_hops_between_anchors(self, rng):
+        anchors = [ANCHOR, GeoPoint(48.8, 2.3)]
+        model = InternationalMobility(country_anchors=anchors, hop_prob=1.0)
+        start_index = model.current_anchor_index
+        model.visits_for_day(0, rng)
+        assert model.current_anchor_index != start_index
+
+    def test_no_hop_with_single_anchor(self, rng):
+        model = InternationalMobility(country_anchors=[ANCHOR], hop_prob=1.0)
+        model.visits_for_day(0, rng)
+        assert model.current_anchor_index == 0

@@ -1,0 +1,119 @@
+"""Unit tests for behaviour profiles and presence patterns."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceClass
+from repro.devices.profiles import (
+    BehaviorProfile,
+    MobilityKind,
+    PresenceKind,
+    PresencePattern,
+    default_profiles,
+)
+from repro.devices.traffic_models import TrafficModel
+
+
+class TestPresencePattern:
+    def test_resident_spans_whole_window(self, rng):
+        pattern = PresencePattern(PresenceKind.RESIDENT, p_active_daily=1.0)
+        days = pattern.sample_active_days(22, rng)
+        assert list(days) == list(range(22))
+
+    def test_visitor_days_contiguous_and_bounded(self, rng):
+        pattern = PresencePattern(
+            PresenceKind.VISITOR, stay_mean_days=5.0, p_active_daily=1.0
+        )
+        for _ in range(50):
+            days = pattern.sample_active_days(22, rng)
+            assert days.min() >= 0 and days.max() < 22
+            assert (np.diff(days) == 1).all()
+
+    def test_never_empty(self, rng):
+        pattern = PresencePattern(
+            PresenceKind.VISITOR, stay_mean_days=1.0, p_active_daily=0.01
+        )
+        for _ in range(50):
+            assert len(pattern.sample_active_days(10, rng)) >= 1
+
+    def test_visitor_stay_mean_tracks_parameter(self, rng):
+        short = PresencePattern(PresenceKind.VISITOR, stay_mean_days=2.0)
+        long = PresencePattern(PresenceKind.VISITOR, stay_mean_days=10.0)
+        short_mean = np.mean([len(short.sample_active_days(22, rng)) for _ in range(300)])
+        long_mean = np.mean([len(long.sample_active_days(22, rng)) for _ in range(300)])
+        assert long_mean > 2 * short_mean
+
+    def test_deploying_devices_arrive_late(self, rng):
+        pattern = PresencePattern(
+            PresenceKind.RESIDENT, p_active_daily=1.0, deploying=1.0
+        )
+        firsts = [pattern.sample_active_days(22, rng)[0] for _ in range(100)]
+        assert max(firsts) > 5  # some arrive well into the window
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PresencePattern(PresenceKind.RESIDENT, p_active_daily=0.0)
+        with pytest.raises(ValueError):
+            PresencePattern(PresenceKind.VISITOR, stay_mean_days=0.0)
+        with pytest.raises(ValueError):
+            PresencePattern(PresenceKind.RESIDENT, deploying=1.5)
+        with pytest.raises(ValueError):
+            PresencePattern(PresenceKind.RESIDENT).sample_active_days(
+                0, np.random.default_rng(0)
+            )
+
+
+class TestDefaultProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return default_profiles()
+
+    def test_covers_all_paper_segments(self, profiles):
+        expected = {
+            "smartphone_resident",
+            "smartphone_tourist",
+            "feature_phone",
+            "smart_meter_native",
+            "smart_meter_roaming",
+            "connected_car",
+            "wearable",
+            "payment_terminal",
+            "logistics_tracker",
+            "m2m_voice_only",
+        }
+        assert expected <= set(profiles)
+
+    def test_roaming_meters_signal_10x_native(self, profiles):
+        native = profiles["smart_meter_native"].traffic.signaling_per_day
+        roaming = profiles["smart_meter_roaming"].traffic.signaling_per_day
+        assert roaming / native == pytest.approx(10.0, rel=0.2)
+
+    def test_cars_signal_more_than_meters(self, profiles):
+        assert (
+            profiles["connected_car"].traffic.signaling_per_day
+            > 3 * profiles["smart_meter_roaming"].traffic.signaling_per_day
+        )
+
+    def test_voice_only_profile_has_no_data(self, profiles):
+        profile = profiles["m2m_voice_only"]
+        assert profile.p_data == 0.0
+        assert profile.traffic.data_sessions_per_day == 0.0
+
+    def test_meters_are_stationary(self, profiles):
+        assert profiles["smart_meter_native"].mobility is MobilityKind.STATIONARY
+        assert profiles["smart_meter_roaming"].mobility is MobilityKind.STATIONARY
+
+    def test_m2m_profiles_declare_verticals(self, profiles):
+        for profile in profiles.values():
+            if profile.device_class is DeviceClass.M2M:
+                assert profile.vertical is not None
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BehaviorProfile(
+                name="bad",
+                device_class=DeviceClass.M2M,
+                traffic=TrafficModel(1, 1, 1),
+                mobility=MobilityKind.STATIONARY,
+                presence=PresencePattern(PresenceKind.RESIDENT),
+            )

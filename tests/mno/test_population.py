@@ -1,0 +1,151 @@
+"""Tests for the MNO population synthesizer."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.apn import classify_apn, APNKind
+from repro.devices.device import DeviceClass, SimProvenance
+from repro.mno.config import APNBehavior, MNOConfig, default_segments
+from repro.mno.population import PopulationBuilder
+from repro.mno.smip import SMIP_IMSI_RANGE, imsi_in_smip_range
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    eco = request.getfixturevalue("eco")
+    config = MNOConfig(n_devices=800, seed=21)
+    return config, PopulationBuilder(eco, config).build()
+
+
+class TestSegmentTable:
+    def test_fractions_sum_to_one(self):
+        assert sum(s.fraction for s in default_segments()) == pytest.approx(1.0)
+
+    def test_config_rejects_bad_fractions(self):
+        segments = default_segments()[:3]
+        with pytest.raises(ValueError):
+            MNOConfig(segments=segments)
+
+    def test_config_rejects_duplicate_names(self):
+        segments = default_segments()
+        with pytest.raises(ValueError):
+            MNOConfig(segments=segments + [segments[0]])
+
+
+class TestPopulationCounts:
+    def test_total_count_exact(self, population):
+        config, planned = population
+        assert len(planned) == config.n_devices
+
+    def test_segment_fractions_respected(self, population):
+        config, planned = population
+        counts = Counter(p.segment.name for p in planned)
+        for segment in config.segments:
+            expected = segment.fraction * config.n_devices
+            assert counts[segment.name] == pytest.approx(expected, abs=2)
+
+
+class TestIdentity:
+    def test_device_ids_unique(self, population):
+        _, planned = population
+        ids = [p.device_id for p in planned]
+        assert len(set(ids)) == len(ids)
+
+    def test_smip_native_in_dedicated_imsi_range(self, population):
+        _, planned = population
+        for plan in planned:
+            in_range = imsi_in_smip_range(plan.device.imsi)
+            assert in_range == plan.segment.smip_native
+
+    def test_smip_roaming_all_from_nl_iot(self, population):
+        _, planned = population
+        roaming_meters = [p for p in planned if p.segment.smip_roaming]
+        assert roaming_meters
+        assert all(
+            p.device.home_operator.name == "NL-IoT" for p in roaming_meters
+        )
+
+    def test_smip_roaming_hardware_is_gemalto_or_telit(self, population):
+        _, planned = population
+        for plan in planned:
+            if plan.segment.smip_roaming:
+                assert plan.device.model.manufacturer in ("Gemalto", "Telit")
+
+    def test_provenance_matches_operator(self, population):
+        _, planned = population
+        for plan in planned:
+            home = plan.device.home_operator
+            if plan.segment.provenance is SimProvenance.HOME:
+                assert home.country.iso == "GB" and not home.is_mvno
+            elif plan.segment.provenance is SimProvenance.MVNO:
+                assert home.is_mvno
+            elif plan.segment.provenance is SimProvenance.NATIONAL:
+                assert home.country.iso == "GB" and not home.is_mvno
+            else:
+                assert home.country.iso != "GB"
+
+
+class TestAPNs:
+    def test_energy_roaming_apns_classify_m2m(self, population):
+        _, planned = population
+        for plan in planned:
+            if plan.segment.apn is APNBehavior.ENERGY_ROAMING and plan.apns:
+                kind, vertical, _ = classify_apn(plan.apns[0])
+                assert kind is APNKind.M2M
+
+    def test_energy_apns_embed_nl_plmn(self, population):
+        _, planned = population
+        samples = [
+            p.apns[0]
+            for p in planned
+            if p.segment.smip_roaming and p.apns
+        ]
+        assert samples
+        assert all(apn.endswith(".mnc004.mcc204.gprs") for apn in samples)
+
+    def test_voice_only_devices_have_no_apn(self, population):
+        _, planned = population
+        for plan in planned:
+            if plan.segment.apn is APNBehavior.NONE:
+                assert plan.apns == []
+                assert not plan.uses_data
+
+    def test_consumer_apns_are_consumer(self, population):
+        _, planned = population
+        for plan in planned:
+            if plan.segment.apn is APNBehavior.CONSUMER and plan.apns:
+                kind, _, _ = classify_apn(plan.apns[0])
+                assert kind is APNKind.CONSUMER
+
+
+class TestBehaviour:
+    def test_rats_subset_of_model_bands(self, population):
+        _, planned = population
+        for plan in planned:
+            assert plan.rats_used <= plan.device.model.bands
+
+    def test_every_device_uses_some_service(self, population):
+        _, planned = population
+        assert all(p.uses_voice or p.uses_data for p in planned)
+
+    def test_active_days_within_window(self, population):
+        config, planned = population
+        for plan in planned:
+            assert plan.active_days.min() >= 0
+            assert plan.active_days.max() < config.window_days
+
+    def test_outbound_devices_have_foreign_visited_plmn(self, population):
+        _, planned = population
+        outbound = [p for p in planned if p.segment.outbound]
+        assert outbound
+        for plan in outbound:
+            assert plan.mobility is None
+            assert plan.outbound_visited_plmn is not None
+            assert not plan.outbound_visited_plmn.startswith("234")
+
+    def test_ground_truth_class_matches_segment(self, population):
+        _, planned = population
+        for plan in planned:
+            assert plan.device.device_class is plan.segment.device_class

@@ -1,0 +1,53 @@
+"""Tests for SMIP helpers and the §4.4 inference."""
+
+import pytest
+
+from repro.mno.smip import (
+    identify_smip_roaming,
+    imsi_in_smip_range,
+    smip_devices,
+    smip_manufacturer_breakdown,
+)
+from repro.cellular.identifiers import IMSI, PLMN
+
+
+class TestRange:
+    def test_boundaries(self):
+        plmn = PLMN(234, 10)
+        assert imsi_in_smip_range(IMSI(plmn, 500_000_000))
+        assert imsi_in_smip_range(IMSI(plmn, 599_999_999))
+        assert not imsi_in_smip_range(IMSI(plmn, 499_999_999))
+        assert not imsi_in_smip_range(IMSI(plmn, 600_000_000))
+
+
+class TestGroundTruthSelectors:
+    def test_partition_nonempty_and_disjoint(self, mno_dataset):
+        native, roaming = smip_devices(mno_dataset.ground_truth)
+        assert native and roaming
+        assert not native & roaming
+
+
+class TestInference:
+    def test_identify_smip_roaming_matches_ground_truth(self, pipeline, eco):
+        inferred = identify_smip_roaming(
+            pipeline.summaries, home_plmn=str(eco.nl_iot_operator.plmn)
+        )
+        _, truth = smip_devices(pipeline.dataset.ground_truth)
+        # The APN+home-operator inference should recover essentially all
+        # data-active roaming meters and nothing else.
+        truth_with_data = {
+            d for d in truth if pipeline.summaries[d].apns
+        }
+        assert inferred == truth_with_data
+
+    def test_inferred_meters_map_to_module_makers(self, pipeline, eco):
+        inferred = identify_smip_roaming(
+            pipeline.summaries, home_plmn=str(eco.nl_iot_operator.plmn)
+        )
+        makers = smip_manufacturer_breakdown(pipeline.summaries, inferred)
+        # The paper's validation: only Gemalto and Telit appear.
+        assert set(makers) <= {"Gemalto", "Telit"}
+        assert sum(makers.values()) > 0
+
+    def test_wrong_home_plmn_yields_nothing(self, pipeline):
+        assert identify_smip_roaming(pipeline.summaries, home_plmn="99999") == set()

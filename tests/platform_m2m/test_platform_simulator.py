@@ -1,0 +1,141 @@
+"""Tests for the M2M-platform simulator."""
+
+from collections import Counter, defaultdict
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceClass
+from repro.platform_m2m import (
+    HMNOFleetConfig,
+    M2MPlatformSimulator,
+    PlatformConfig,
+    simulate_m2m_dataset,
+)
+from repro.devices.device import IoTVertical
+
+
+class TestConfigValidation:
+    def test_shares_must_sum_to_one(self):
+        fleets = {"ES": HMNOFleetConfig(share=0.5, roaming_fraction=0.5)}
+        with pytest.raises(ValueError):
+            PlatformConfig(fleets=fleets)
+
+    def test_vertical_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HMNOFleetConfig(
+                share=1.0,
+                roaming_fraction=0.5,
+                vertical_mix={IoTVertical.OTHER: 0.5},
+            )
+
+    def test_steering_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(steering_mix=(0.5, 0.5, 0.5))
+
+    def test_positive_devices(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n_devices=0)
+
+
+class TestDatasetStructure:
+    def test_exact_device_count(self, m2m_dataset):
+        assert m2m_dataset.n_devices == 250
+
+    def test_window_respected(self, m2m_dataset):
+        window_s = m2m_dataset.window_days * 86400.0
+        assert all(0 <= t.timestamp < window_s for t in m2m_dataset.transactions)
+
+    def test_transactions_time_ordered(self, m2m_dataset):
+        ts = [t.timestamp for t in m2m_dataset.transactions]
+        assert ts == sorted(ts)
+
+    def test_ground_truth_covers_every_device(self, m2m_dataset):
+        assert m2m_dataset.device_ids == set(m2m_dataset.ground_truth)
+
+    def test_all_devices_are_m2m(self, m2m_dataset):
+        assert all(
+            g.device_class is DeviceClass.M2M
+            for g in m2m_dataset.ground_truth.values()
+        )
+
+    def test_device_ids_anonymized(self, m2m_dataset):
+        assert all(len(t.device_id) == 16 for t in m2m_dataset.transactions[:100])
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self, eco):
+        config = PlatformConfig(n_devices=60, seed=77)
+        a = simulate_m2m_dataset(eco, config)
+        b = simulate_m2m_dataset(eco, PlatformConfig(n_devices=60, seed=77))
+        assert a.n_transactions == b.n_transactions
+        assert [t.device_id for t in a.transactions[:50]] == [
+            t.device_id for t in b.transactions[:50]
+        ]
+
+    def test_different_seed_differs(self, eco):
+        # SIM identities are allocated sequentially (seed-independent),
+        # but behaviour — transaction volume and timing — must differ.
+        a = simulate_m2m_dataset(eco, PlatformConfig(n_devices=60, seed=1))
+        b = simulate_m2m_dataset(eco, PlatformConfig(n_devices=60, seed=2))
+        assert [t.timestamp for t in a.transactions[:200]] != [
+            t.timestamp for t in b.transactions[:200]
+        ]
+
+
+class TestCalibration:
+    def test_hmno_shares_follow_config(self, m2m_dataset):
+        homes = Counter(
+            g.home_country_iso for g in m2m_dataset.ground_truth.values()
+        )
+        total = sum(homes.values())
+        assert homes["ES"] / total == pytest.approx(0.523, abs=0.02)
+        assert homes["MX"] / total == pytest.approx(0.422, abs=0.02)
+
+    def test_mexican_fleet_mostly_home(self, m2m_dataset):
+        mx_txns = m2m_dataset.for_sim_mcc(334)
+        roaming_devices = {t.device_id for t in mx_txns if t.is_roaming}
+        all_devices = {t.device_id for t in mx_txns}
+        assert len(roaming_devices) / len(all_devices) < 0.25
+
+    def test_spanish_fleet_mostly_roaming(self, m2m_dataset):
+        es_txns = m2m_dataset.for_sim_mcc(214)
+        roaming_devices = {t.device_id for t in es_txns if t.is_roaming}
+        all_devices = {t.device_id for t in es_txns}
+        assert len(roaming_devices) / len(all_devices) > 0.6
+
+    def test_failed_only_fraction(self, m2m_dataset):
+        success = {
+            t.device_id
+            for t in m2m_dataset.transactions
+            if t.result.is_success
+        }
+        failed_only = m2m_dataset.device_ids - success
+        share = len(failed_only) / m2m_dataset.n_devices
+        assert share == pytest.approx(0.40, abs=0.10)
+
+    def test_failed_only_devices_never_succeed(self, m2m_dataset):
+        # Consistency of the generative mechanism: a device either has
+        # successes or every one of its records failed.
+        outcomes = defaultdict(set)
+        for t in m2m_dataset.transactions:
+            outcomes[t.device_id].add(t.result.is_success)
+        assert all(len(v) >= 1 for v in outcomes.values())
+
+    def test_native_devices_attach_to_hmno(self, eco):
+        ds = simulate_m2m_dataset(eco, PlatformConfig(n_devices=80, seed=3))
+        for txn in ds.transactions:
+            if not txn.is_roaming:
+                # Native platform traffic terminates on the HMNO itself.
+                assert txn.visited_plmn == txn.sim_plmn
+
+    def test_roaming_median_load_exceeds_native(self, m2m_dataset):
+        per_device = Counter()
+        roaming = set()
+        for t in m2m_dataset.transactions:
+            per_device[t.device_id] += 1
+            if t.is_roaming:
+                roaming.add(t.device_id)
+        roam_counts = [c for d, c in per_device.items() if d in roaming]
+        native_counts = [c for d, c in per_device.items() if d not in roaming]
+        assert np.median(roam_counts) > 3 * np.median(native_counts)

@@ -1,0 +1,76 @@
+"""Property-based tests for APN parsing and classification."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.apn import (
+    APNKind,
+    classify_apn,
+    consumer_apn,
+    default_keyword_inventory,
+    energy_meter_apn,
+    generic_operator_apn,
+    parse_apn,
+    ENERGY_COMPANIES,
+)
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+network_ids = st.lists(labels, min_size=1, max_size=4).map(".".join)
+slugs = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=10)
+
+
+class TestParseProperties:
+    @given(network_ids, st.integers(100, 999), st.integers(0, 999))
+    def test_operator_id_round_trip(self, ni, mcc, mnc):
+        apn = f"{ni}.mnc{mnc:03d}.mcc{mcc:03d}.gprs"
+        parsed = parse_apn(apn)
+        assert parsed.network_id == ni
+        assert parsed.mcc == mcc
+        assert parsed.mnc == mnc
+        assert str(parsed) == apn
+
+    @given(network_ids)
+    def test_ni_only_round_trip(self, ni):
+        parsed = parse_apn(ni)
+        assert str(parsed) == ni
+        assert parsed.mcc is None
+
+    @given(network_ids)
+    def test_classification_total(self, ni):
+        # classify_apn never raises on well-formed NIs, and always
+        # returns a coherent triple.
+        kind, vertical, keyword = classify_apn(ni)
+        if kind is APNKind.M2M:
+            assert vertical is not None and keyword is not None
+        elif kind is APNKind.CONSUMER:
+            assert vertical is None and keyword is not None
+        else:
+            assert vertical is None and keyword is None
+
+
+class TestGeneratorProperties:
+    @given(st.sampled_from(ENERGY_COMPANIES), st.integers(100, 999), st.integers(0, 999))
+    def test_energy_apns_always_m2m(self, company, mcc, mnc):
+        kind, _, _ = classify_apn(energy_meter_apn(company, mcc, mnc))
+        assert kind is APNKind.M2M
+
+    @given(slugs, st.integers(0, 20))
+    def test_consumer_apns_always_consumer(self, slug, choice):
+        # An operator slug that itself contains an M2M keyword (e.g. an
+        # operator literally named "smartmeter") legitimately classifies
+        # as M2M — keyword matching is substring-based, like the paper's.
+        inventory = default_keyword_inventory()
+        if any(keyword in slug for keyword in inventory.keywords):
+            return
+        kind, _, _ = classify_apn(consumer_apn(slug, choice))
+        assert kind is APNKind.CONSUMER
+
+    @given(slugs, st.integers(0, 20))
+    def test_generic_apns_never_match_keywords(self, slug, choice):
+        inventory = default_keyword_inventory()
+        if any(keyword in slug for keyword in inventory.keywords):
+            return  # keyword-bearing operator names legitimately match
+        parsed = parse_apn(generic_operator_apn(slug, choice))
+        assert inventory.match(parsed.network_id) is None

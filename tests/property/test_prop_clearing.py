@@ -1,0 +1,118 @@
+"""Property-based tests for billing and clearing invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roaming.billing import WholesaleRater, WholesaleTariff
+from repro.roaming.clearing import (
+    ClearingHouse,
+    UsageStatement,
+    clearing_load_per_euro,
+    statements_from_tap,
+)
+from repro.signaling.cdr import ServiceRecord, ServiceType
+
+VISITED = "23410"
+
+home_plmns = st.sampled_from(["21407", "20404", "26210", VISITED])
+
+
+@st.composite
+def service_records(draw):
+    is_voice = draw(st.booleans())
+    return ServiceRecord(
+        device_id=draw(st.sampled_from(["a", "b", "c", "d"])),
+        timestamp=draw(st.floats(0.0, 1000.0)),
+        sim_plmn=draw(home_plmns),
+        visited_plmn=draw(st.sampled_from([VISITED, "20810"])),
+        service=ServiceType.VOICE if is_voice else ServiceType.DATA,
+        duration_s=draw(st.floats(0.0, 3600.0)) if is_voice else 0.0,
+        bytes_total=0 if is_voice else draw(st.integers(0, 10**8)),
+    )
+
+
+@st.composite
+def statements(draw):
+    return UsageStatement(
+        home_plmn=draw(home_plmns),
+        visited_plmn=VISITED,
+        service=draw(st.sampled_from(list(ServiceType))),
+        units=draw(st.floats(0.0, 1e4)),
+        charge_eur=draw(st.floats(0.0, 1e3)),
+        n_records=draw(st.integers(0, 1000)),
+    )
+
+
+class TestBillingProperties:
+    @given(records=st.lists(service_records(), max_size=40))
+    @settings(max_examples=80)
+    def test_charges_non_negative_and_only_inbound(self, records):
+        rater = WholesaleRater(VISITED)
+        tap = rater.rate_records(records)
+        for line in tap:
+            assert line.charge_eur >= 0.0
+            assert line.units >= 0.0
+            assert line.home_plmn != VISITED
+            assert line.visited_plmn == VISITED
+
+    @given(records=st.lists(service_records(), max_size=40))
+    @settings(max_examples=80)
+    def test_rating_is_linear_in_tariff(self, records):
+        base = WholesaleRater(VISITED, WholesaleTariff(0.004, 0.032))
+        doubled = WholesaleRater(VISITED, WholesaleTariff(0.008, 0.064))
+        total_base = sum(l.charge_eur for l in base.rate_records(records))
+        total_doubled = sum(l.charge_eur for l in doubled.rate_records(records))
+        assert total_doubled == pytest.approx(2 * total_base, rel=1e-9)
+
+    @given(records=st.lists(service_records(), max_size=40))
+    @settings(max_examples=80)
+    def test_revenue_aggregations_conserve(self, records):
+        rater = WholesaleRater(VISITED)
+        tap = rater.rate_records(records)
+        total = sum(l.charge_eur for l in tap)
+        by_home = sum(WholesaleRater.revenue_by_home_plmn(tap).values())
+        by_device = sum(WholesaleRater.revenue_per_device(tap).values())
+        assert by_home == pytest.approx(total)
+        assert by_device == pytest.approx(total)
+
+
+class TestClearingProperties:
+    @given(books=st.lists(statements(), max_size=15))
+    @settings(max_examples=80)
+    def test_identical_books_never_dispute(self, books):
+        # Lanes must be unique per (home, visited, service): aggregate
+        # duplicates first, as statements_from_tap would.
+        lanes = {}
+        for statement in books:
+            key = (statement.home_plmn, statement.visited_plmn, statement.service)
+            lanes.setdefault(key, statement)
+        unique = list(lanes.values())
+        settlement = ClearingHouse().reconcile(unique, unique)
+        assert settlement.disputed_eur == 0.0
+        assert settlement.dispute_rate == 0.0
+        assert settlement.agreed_eur == pytest.approx(
+            sum(s.charge_eur for s in unique)
+        )
+
+    @given(books=st.lists(statements(), max_size=15))
+    @settings(max_examples=80)
+    def test_settlement_totals_bounded(self, books):
+        lanes = {}
+        for statement in books:
+            key = (statement.home_plmn, statement.visited_plmn, statement.service)
+            lanes.setdefault(key, statement)
+        unique = list(lanes.values())
+        settlement = ClearingHouse().reconcile(unique, [])
+        # With an empty home side, everything claimed is in dispute.
+        assert settlement.agreed_eur == 0.0
+        assert settlement.disputed_eur == pytest.approx(
+            sum(s.charge_eur for s in unique)
+        )
+        assert len(settlement.discrepancies) == len(unique)
+
+    @given(books=st.lists(statements(), min_size=1, max_size=15))
+    @settings(max_examples=80)
+    def test_load_per_euro_non_negative(self, books):
+        load = clearing_load_per_euro(books)
+        assert all(value >= 0 for value in load.values())

@@ -1,0 +1,55 @@
+"""Property-based tests for the radio-flags bitmask."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cellular.rats import RAT, RadioFlags
+
+rat_sets = st.frozensets(st.sampled_from(list(RAT)))
+masks = st.integers(0, 7)
+
+
+class TestRadioFlagsProperties:
+    @given(rat_sets)
+    def test_from_rats_round_trip(self, rats):
+        assert RadioFlags.from_rats(rats).rats == rats
+
+    @given(masks, masks)
+    def test_union_commutative(self, a, b):
+        fa, fb = RadioFlags(a), RadioFlags(b)
+        assert fa.union(fb) == fb.union(fa)
+
+    @given(masks)
+    def test_union_idempotent(self, mask):
+        flags = RadioFlags(mask)
+        assert flags.union(flags) == flags
+
+    @given(masks, st.sampled_from(list(RAT)))
+    def test_with_rat_monotone(self, mask, rat):
+        flags = RadioFlags(mask)
+        grown = flags.with_rat(rat)
+        assert flags.rats <= grown.rats
+        assert grown.has(rat)
+
+    @given(rat_sets)
+    def test_tuple_encoding_matches_membership(self, rats):
+        flags = RadioFlags.from_rats(rats)
+        g2, g3, g4 = flags.as_tuple()
+        assert bool(g2) == (RAT.GSM in rats)
+        assert bool(g3) == (RAT.UMTS in rats)
+        assert bool(g4) == (RAT.LTE in rats)
+
+    @given(rat_sets)
+    def test_label_mentions_every_generation(self, rats):
+        label = RadioFlags.from_rats(rats).label()
+        if not rats:
+            assert label == "none"
+        else:
+            for rat in rats:
+                assert rat.value in label
+
+    @given(masks)
+    def test_label_distinct_per_mask(self, mask):
+        # The 8 possible masks map to 8 distinct labels.
+        labels = {RadioFlags(m).label() for m in range(8)}
+        assert len(labels) == 8

@@ -1,0 +1,85 @@
+"""Property-based tests for numbering identifiers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.identifiers import (
+    IMEI,
+    IMSI,
+    PLMN,
+    hash_device_id,
+    luhn_check_digit,
+    luhn_is_valid,
+)
+
+plmns = st.builds(
+    PLMN,
+    mcc=st.integers(100, 999),
+    mnc=st.integers(0, 99),
+    mnc_digits=st.just(2),
+)
+plmns3 = st.builds(
+    PLMN,
+    mcc=st.integers(100, 999),
+    mnc=st.integers(0, 999),
+    mnc_digits=st.just(3),
+)
+
+
+class TestLuhnProperties:
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=20))
+    def test_appending_check_digit_validates(self, digits):
+        check = luhn_check_digit(digits)
+        assert luhn_is_valid(digits + str(check))
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=20))
+    def test_check_digit_in_range(self, digits):
+        assert 0 <= luhn_check_digit(digits) <= 9
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=20), st.integers(1, 9))
+    def test_corrupting_check_digit_invalidates(self, digits, delta):
+        check = luhn_check_digit(digits)
+        corrupted = str((check + delta) % 10)
+        assert not luhn_is_valid(digits + corrupted)
+
+
+class TestPLMNProperties:
+    @given(st.one_of(plmns, plmns3))
+    def test_parse_round_trip(self, plmn):
+        assert PLMN.parse(str(plmn)) == plmn
+
+    @given(st.one_of(plmns, plmns3))
+    def test_string_length(self, plmn):
+        assert len(str(plmn)) == 3 + plmn.mnc_digits
+
+
+class TestIMSIProperties:
+    @given(plmns, st.integers(0, 10**10 - 1))
+    def test_round_trip(self, plmn, msin):
+        imsi = IMSI(plmn=plmn, msin=msin)
+        assert IMSI.parse(str(imsi)) == imsi
+        assert len(str(imsi)) == 15
+
+    @given(plmns, st.integers(0, 10**10 - 1))
+    def test_ordering_consistent_with_numeric(self, plmn, msin):
+        imsi = IMSI(plmn=plmn, msin=msin)
+        assert imsi.in_range(imsi, imsi)
+
+
+class TestIMEIProperties:
+    @given(st.integers(0, 10**8 - 1), st.integers(0, 10**6 - 1))
+    def test_round_trip_and_luhn(self, tac, serial):
+        imei = IMEI(tac=tac, serial=serial)
+        text = str(imei)
+        assert len(text) == 15
+        assert luhn_is_valid(text)
+        assert IMEI.parse(text) == imei
+
+
+class TestHashProperties:
+    @given(st.text(min_size=1, max_size=40))
+    def test_deterministic_and_fixed_length(self, identifier):
+        a = hash_device_id(identifier)
+        assert a == hash_device_id(identifier)
+        assert len(a) == 16
+        assert all(c in "0123456789abcdef" for c in a)

@@ -1,0 +1,103 @@
+"""Property-based tests for mobility models and presence patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.geo import GeoPoint, haversine_km
+from repro.devices.mobility_models import (
+    CommuterMobility,
+    InternationalMobility,
+    StationaryMobility,
+    VehicularMobility,
+)
+from repro.devices.profiles import PresenceKind, PresencePattern
+
+lats = st.floats(min_value=-60.0, max_value=60.0)
+lons = st.floats(min_value=-170.0, max_value=170.0)
+points = st.builds(GeoPoint, lat=lats, lon=lons)
+seeds = st.integers(0, 2**16)
+days = st.integers(0, 21)
+
+
+def _models(anchor):
+    return [
+        StationaryMobility(anchor=anchor),
+        CommuterMobility(home=anchor, work=anchor),
+        VehicularMobility(start=anchor, leg_km=30.0, legs=4),
+        InternationalMobility(country_anchors=[anchor]),
+    ]
+
+
+class TestMobilityInvariants:
+    @given(anchor=points, day=days, seed=seeds)
+    @settings(max_examples=60)
+    def test_visits_nonempty_with_positive_weights(self, anchor, day, seed):
+        rng = np.random.default_rng(seed)
+        for model in _models(anchor):
+            visits = model.visits_for_day(day, rng)
+            assert visits
+            assert all(weight > 0 for _, weight in visits)
+
+    @given(anchor=points, day=days, seed=seeds)
+    @settings(max_examples=60)
+    def test_stationary_stays_near_anchor(self, anchor, day, seed):
+        rng = np.random.default_rng(seed)
+        model = StationaryMobility(anchor=anchor, reselection_km=2.0)
+        for position, _ in model.visits_for_day(day, rng):
+            assert haversine_km(position, anchor) < 20.0
+
+    @given(anchor=points, day=days, seed=seeds)
+    @settings(max_examples=60)
+    def test_vehicular_dwell_sums_to_a_day(self, anchor, day, seed):
+        rng = np.random.default_rng(seed)
+        model = VehicularMobility(start=anchor, legs=5)
+        visits = model.visits_for_day(day, rng)
+        assert sum(w for _, w in visits) == pytest.approx(24.0)
+
+    @given(anchor=points, seed=seeds)
+    @settings(max_examples=40)
+    def test_same_seed_same_visits(self, anchor, seed):
+        a = VehicularMobility(start=anchor, legs=3).visits_for_day(
+            0, np.random.default_rng(seed)
+        )
+        b = VehicularMobility(start=anchor, legs=3).visits_for_day(
+            0, np.random.default_rng(seed)
+        )
+        assert [(p.lat, p.lon, w) for p, w in a] == [
+            (p.lat, p.lon, w) for p, w in b
+        ]
+
+
+class TestPresenceInvariants:
+    @given(
+        kind=st.sampled_from(list(PresenceKind)),
+        p_active=st.floats(0.05, 1.0),
+        stay=st.floats(0.5, 30.0),
+        deploying=st.floats(0.0, 1.0),
+        window=st.integers(1, 40),
+        seed=seeds,
+    )
+    @settings(max_examples=120)
+    def test_active_days_always_valid(
+        self, kind, p_active, stay, deploying, window, seed
+    ):
+        pattern = PresencePattern(
+            kind, p_active_daily=p_active, stay_mean_days=stay, deploying=deploying
+        )
+        rng = np.random.default_rng(seed)
+        active = pattern.sample_active_days(window, rng)
+        assert len(active) >= 1
+        assert active.min() >= 0
+        assert active.max() < window
+        assert (np.diff(active) > 0).all()  # sorted, unique
+
+    @given(window=st.integers(2, 40), seed=seeds)
+    @settings(max_examples=60)
+    def test_visitor_days_contiguous(self, window, seed):
+        pattern = PresencePattern(
+            PresenceKind.VISITOR, stay_mean_days=5.0, p_active_daily=1.0
+        )
+        active = pattern.sample_active_days(window, np.random.default_rng(seed))
+        assert (np.diff(active) == 1).all()

@@ -1,0 +1,85 @@
+"""Property-based tests for the distribution helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import ECDF, normalize_rows, shares, top_k_share
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestECDFProperties:
+    @given(samples)
+    def test_quantiles_monotone(self, values):
+        ecdf = ECDF(values)
+        qs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        results = [ecdf.quantile(q) for q in qs]
+        assert results == sorted(results)
+
+    @given(samples)
+    def test_extreme_quantiles_are_min_max(self, values):
+        ecdf = ECDF(values)
+        assert ecdf.quantile(0.0) == min(values)
+        assert ecdf.quantile(1.0) == max(values)
+
+    @given(samples, st.floats(-1e6, 1e6, allow_nan=False))
+    def test_cdf_in_unit_interval(self, values, x):
+        ecdf = ECDF(values)
+        assert 0.0 <= ecdf.fraction_at_most(x) <= 1.0
+
+    @given(samples, st.floats(-1e6, 1e6, allow_nan=False))
+    def test_at_most_above_complement(self, values, x):
+        ecdf = ECDF(values)
+        total = ecdf.fraction_at_most(x) + ecdf.fraction_above(x)
+        assert abs(total - 1.0) < 1e-9
+
+    @given(samples)
+    def test_mean_within_bounds(self, values):
+        ecdf = ECDF(values)
+        slack = 1e-6 * max(1.0, abs(ecdf.mean))
+        assert min(values) - slack <= ecdf.mean <= max(values) + slack
+
+
+class TestSharesProperties:
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=100))
+    def test_sum_to_one(self, items):
+        result = shares(items)
+        assert abs(sum(result.values()) - 1.0) < 1e-9
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=100))
+    def test_descending_order(self, items):
+        values = list(shares(items).values())
+        assert values == sorted(values, reverse=True)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdefgh"),
+            st.floats(0.01, 100.0),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(1, 10),
+    )
+    def test_top_k_monotone_in_k(self, weights, k):
+        assert top_k_share(weights, k) <= top_k_share(weights, k + 1) + 1e-9
+        assert 0.0 <= top_k_share(weights, k) <= 1.0 + 1e-9
+
+
+class TestNormalizeProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from("rs"),
+            st.dictionaries(
+                st.sampled_from("cd"), st.floats(0.1, 100.0), min_size=1, max_size=2
+            ),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    def test_rows_sum_to_one(self, matrix):
+        for row in normalize_rows(matrix).values():
+            assert abs(sum(row.values()) - 1.0) < 1e-9

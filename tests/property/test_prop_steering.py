@@ -1,0 +1,71 @@
+"""Property-based tests for steering policies.
+
+Invariant under every policy: the selected operator is always one of the
+candidates, the switch counter equals the number of observed changes,
+and state.current always reflects the last selection.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.countries import default_countries
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator
+from repro.roaming.steering import (
+    FailureDrivenSteering,
+    RandomSteering,
+    SteeringState,
+    StickySteering,
+)
+
+GB = default_countries().by_iso("GB")
+OPERATORS = [
+    Operator(name=f"GB-{mnc}", plmn=PLMN(GB.mcc, mnc), country=GB)
+    for mnc in (10, 20, 30, 40, 50)
+]
+
+policies = st.one_of(
+    st.builds(StickySteering, failure_threshold=st.integers(1, 5)),
+    st.builds(FailureDrivenSteering),
+    st.builds(RandomSteering, stickiness=st.floats(0.0, 1.0)),
+)
+
+
+@given(
+    policy=policies,
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+    n_candidates=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=150)
+def test_steering_invariants(policy, outcomes, n_candidates, seed):
+    rng = np.random.default_rng(seed)
+    candidates = OPERATORS[:n_candidates]
+    state = SteeringState()
+    observed_switches = 0
+    last = None
+    for outcome in outcomes:
+        choice = policy.select(candidates, state, rng)
+        assert choice.plmn in {c.plmn for c in candidates}
+        assert state.current is choice
+        if last is not None and choice.plmn != last:
+            observed_switches += 1
+        last = choice.plmn
+        state.record_outcome(outcome)
+    assert state.switches == observed_switches
+
+
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+    seed=st.integers(0, 2**16),
+)
+def test_single_candidate_never_switches(outcomes, seed):
+    rng = np.random.default_rng(seed)
+    state = SteeringState()
+    policy = RandomSteering(stickiness=0.0)
+    for outcome in outcomes:
+        choice = policy.select(OPERATORS[:1], state, rng)
+        assert choice.plmn == OPERATORS[0].plmn
+        state.record_outcome(outcome)
+    assert state.switches == 0

@@ -1,0 +1,67 @@
+"""Unit tests for roaming agreements."""
+
+import pytest
+
+from repro.cellular.identifiers import PLMN
+from repro.cellular.rats import RAT
+from repro.roaming.agreements import AgreementRegistry, RoamingAgreement
+
+A = PLMN(214, 7)
+B = PLMN(234, 10)
+C = PLMN(262, 10)
+
+
+class TestRoamingAgreement:
+    def test_self_agreement_rejected(self):
+        with pytest.raises(ValueError):
+            RoamingAgreement(home=A, visited=A)
+
+    def test_empty_rats_rejected(self):
+        with pytest.raises(ValueError):
+            RoamingAgreement(home=A, visited=B, rats=frozenset())
+
+    def test_covers(self):
+        agreement = RoamingAgreement(home=A, visited=B, rats=frozenset({RAT.GSM}))
+        assert agreement.covers(RAT.GSM)
+        assert not agreement.covers(RAT.LTE)
+
+
+class TestAgreementRegistry:
+    def test_directedness(self):
+        registry = AgreementRegistry([RoamingAgreement(home=A, visited=B)])
+        assert registry.allows(A, B, RAT.GSM)
+        assert not registry.allows(B, A, RAT.GSM)
+
+    def test_reciprocal(self):
+        registry = AgreementRegistry()
+        registry.add_reciprocal(A, B)
+        assert registry.allows(A, B, RAT.LTE)
+        assert registry.allows(B, A, RAT.LTE)
+        assert len(registry) == 2
+
+    def test_duplicate_rejected(self):
+        registry = AgreementRegistry([RoamingAgreement(home=A, visited=B)])
+        with pytest.raises(ValueError):
+            registry.add(RoamingAgreement(home=A, visited=B))
+
+    def test_rat_limited_agreement(self):
+        registry = AgreementRegistry()
+        registry.add_reciprocal(A, B, rats=frozenset({RAT.GSM, RAT.UMTS}))
+        assert registry.allows(A, B, RAT.UMTS)
+        assert not registry.allows(A, B, RAT.LTE)
+
+    def test_partners_of(self):
+        registry = AgreementRegistry()
+        registry.add_reciprocal(A, B)
+        registry.add(RoamingAgreement(home=A, visited=C))
+        assert registry.partners_of(A) == {B, C}
+        assert registry.partners_of(B) == {A}
+
+    def test_hub_mediated_count(self):
+        registry = AgreementRegistry()
+        registry.add_reciprocal(A, B, via_hub=True)
+        registry.add_reciprocal(A, C, via_hub=False)
+        assert registry.hub_mediated_count() == 2
+
+    def test_get_missing_returns_none(self):
+        assert AgreementRegistry().get(A, B) is None

@@ -1,0 +1,71 @@
+"""Unit tests for wholesale billing."""
+
+import pytest
+
+from repro.roaming.billing import TAPRecord, WholesaleRater, WholesaleTariff
+from repro.signaling.cdr import ServiceType, data_xdr, voice_cdr
+
+VISITED = "23410"
+
+
+class TestTariff:
+    def test_data_rating(self):
+        tariff = WholesaleTariff(data_eur_per_mb=0.004)
+        record = data_xdr("d", 0.0, "21407", VISITED, 5_000_000, "apn.x")
+        units, charge = tariff.rate(record)
+        assert units == pytest.approx(5.0)
+        assert charge == pytest.approx(0.02)
+
+    def test_voice_rating(self):
+        tariff = WholesaleTariff(voice_eur_per_min=0.03)
+        record = voice_cdr("d", 0.0, "21407", VISITED, duration_s=120.0)
+        units, charge = tariff.rate(record)
+        assert units == pytest.approx(2.0)
+        assert charge == pytest.approx(0.06)
+
+
+class TestRater:
+    def test_rates_only_inbound_roamers(self):
+        rater = WholesaleRater(VISITED)
+        records = [
+            data_xdr("native", 0.0, VISITED, VISITED, 10**6, "apn"),
+            data_xdr("roamer", 0.0, "21407", VISITED, 10**6, "apn"),
+            data_xdr("elsewhere", 0.0, "21407", "26210", 10**6, "apn"),
+        ]
+        tap = rater.rate_records(records)
+        assert [t.device_id for t in tap] == ["roamer"]
+        assert tap[0].home_plmn == "21407"
+
+    def test_revenue_aggregations(self):
+        rater = WholesaleRater(VISITED)
+        records = [
+            data_xdr("a", 0.0, "21407", VISITED, 2_000_000, "apn"),
+            data_xdr("a", 1.0, "21407", VISITED, 1_000_000, "apn"),
+            voice_cdr("b", 2.0, "20404", VISITED, duration_s=60.0),
+        ]
+        tap = rater.rate_records(records)
+        by_home = WholesaleRater.revenue_by_home_plmn(tap)
+        by_device = WholesaleRater.revenue_per_device(tap)
+        assert set(by_home) == {"21407", "20404"}
+        assert by_device["a"] == pytest.approx(3 * 0.004)
+        assert by_home["21407"] == pytest.approx(by_device["a"])
+
+    def test_m2m_revenue_gap_scenario(self):
+        """The paper's §6 punchline: a chatty meter that moves few bytes
+        yields almost no wholesale revenue next to one roaming person."""
+        rater = WholesaleRater(VISITED)
+        meter = [
+            data_xdr("meter", float(i), "20404", VISITED, 20_000, "smhp.x")
+            for i in range(22)
+        ]
+        person = [data_xdr("person", 0.0, "21407", VISITED, 500_000_000, "internet.x")]
+        revenue = WholesaleRater.revenue_per_device(
+            rater.rate_records(meter + person)
+        )
+        assert revenue["person"] > 100 * revenue["meter"]
+
+    def test_tap_record_validation(self):
+        with pytest.raises(ValueError):
+            TAPRecord("d", "21407", VISITED, ServiceType.DATA, units=-1.0, charge_eur=0.0)
+        with pytest.raises(ValueError):
+            TAPRecord("d", "21407", VISITED, ServiceType.DATA, units=1.0, charge_eur=-0.1)

@@ -1,0 +1,114 @@
+"""Tests for the roaming clearing house."""
+
+import pytest
+
+from repro.roaming.billing import TAPRecord, WholesaleRater
+from repro.roaming.clearing import (
+    ClearingHouse,
+    DiscrepancyKind,
+    UsageStatement,
+    clearing_load_per_euro,
+    statements_from_tap,
+)
+from repro.signaling.cdr import ServiceType, data_xdr
+
+
+def _statement(home="21407", visited="23410", service=ServiceType.DATA,
+               units=10.0, charge=0.04, n=5):
+    return UsageStatement(
+        home_plmn=home, visited_plmn=visited, service=service,
+        units=units, charge_eur=charge, n_records=n,
+    )
+
+
+class TestStatements:
+    def test_aggregation_from_tap(self):
+        tap = [
+            TAPRecord("a", "21407", "23410", ServiceType.DATA, 1.0, 0.004),
+            TAPRecord("b", "21407", "23410", ServiceType.DATA, 2.0, 0.008),
+            TAPRecord("c", "20404", "23410", ServiceType.DATA, 1.0, 0.004),
+        ]
+        statements = statements_from_tap(tap)
+        assert len(statements) == 2
+        lane = next(s for s in statements if s.home_plmn == "21407")
+        assert lane.units == pytest.approx(3.0)
+        assert lane.n_records == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _statement(units=-1.0)
+
+
+class TestReconciliation:
+    def test_perfect_match_all_agreed(self):
+        house = ClearingHouse()
+        settlement = house.reconcile([_statement()], [_statement()])
+        assert settlement.agreed_eur == pytest.approx(0.04)
+        assert settlement.disputed_eur == 0.0
+        assert settlement.discrepancies == []
+
+    def test_within_tolerance_agreed(self):
+        house = ClearingHouse(tolerance=0.05)
+        settlement = house.reconcile(
+            [_statement(charge=0.040)], [_statement(charge=0.041)]
+        )
+        assert settlement.discrepancies == []
+
+    def test_amount_mismatch_disputed(self):
+        house = ClearingHouse(tolerance=0.01)
+        settlement = house.reconcile(
+            [_statement(charge=0.10)], [_statement(charge=0.05)]
+        )
+        assert settlement.disputed_eur == pytest.approx(0.05)
+        assert settlement.agreed_eur == pytest.approx(0.05)
+        assert settlement.discrepancies[0].kind is DiscrepancyKind.AMOUNT_MISMATCH
+        assert settlement.discrepancies[0].delta_eur == pytest.approx(0.05)
+
+    def test_missing_at_home(self):
+        house = ClearingHouse()
+        settlement = house.reconcile([_statement()], [])
+        assert settlement.disputed_eur == pytest.approx(0.04)
+        assert settlement.discrepancies[0].kind is DiscrepancyKind.MISSING_AT_HOME
+
+    def test_missing_at_visited(self):
+        house = ClearingHouse()
+        settlement = house.reconcile([], [_statement()])
+        assert settlement.agreed_eur == 0.0
+        assert settlement.discrepancies[0].kind is DiscrepancyKind.MISSING_AT_VISITED
+
+    def test_tolerance_bounds(self):
+        with pytest.raises(ValueError):
+            ClearingHouse(tolerance=1.0)
+
+    def test_dispute_rate(self):
+        house = ClearingHouse(tolerance=0.0)
+        settlement = house.reconcile(
+            [_statement(charge=0.10)], [_statement(charge=0.05)]
+        )
+        assert settlement.dispute_rate == pytest.approx(0.5)
+
+    def test_end_to_end_with_simulated_records(self, mno_dataset):
+        rater = WholesaleRater(str(mno_dataset.observer.plmn))
+        tap = rater.rate_records(mno_dataset.service_records)
+        statements = statements_from_tap(tap)
+        house = ClearingHouse()
+        # Home side agrees exactly (both rated the same records).
+        settlement = house.reconcile(statements, statements)
+        assert settlement.disputed_eur == 0.0
+        assert settlement.n_records_cleared == len(tap)
+
+
+class TestClearingLoad:
+    def test_m2m_lanes_have_higher_record_load(self):
+        statements = [
+            # an M2M lane: many tiny records
+            _statement(home="20404", charge=0.01, n=1000),
+            # a person lane: few fat records
+            _statement(home="21407", charge=5.00, n=50),
+        ]
+        load = clearing_load_per_euro(statements)
+        assert load["20404"] > 100 * load["21407"]
+
+    def test_zero_money_lane_is_infinite(self):
+        load = clearing_load_per_euro([_statement(charge=0.0, n=10)])
+        assert load["21407"] == float("inf")

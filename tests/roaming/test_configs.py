@@ -1,0 +1,69 @@
+"""Unit tests for roaming traffic configurations (HR/LBO/IHBO)."""
+
+import pytest
+
+from repro.cellular.geo import GeoPoint, haversine_km
+from repro.roaming.configs import (
+    RoamingConfig,
+    pick_config_for_distance,
+    user_plane_path_km,
+)
+
+DEVICE = GeoPoint(-25.0, 134.0)    # roaming in Australia
+HOME_GW = GeoPoint(40.4, -3.7)     # home PGW in Spain
+HUB_POP = GeoPoint(1.35, 103.8)    # hub PoP in Singapore
+
+
+class TestUserPlanePath:
+    def test_lbo_is_zero(self):
+        assert user_plane_path_km(RoamingConfig.LOCAL_BREAKOUT, DEVICE, HOME_GW) == 0.0
+
+    def test_hr_is_full_detour(self):
+        expected = haversine_km(DEVICE, HOME_GW)
+        assert user_plane_path_km(
+            RoamingConfig.HOME_ROUTED, DEVICE, HOME_GW
+        ) == pytest.approx(expected)
+
+    def test_ihbo_uses_pop(self):
+        expected = haversine_km(DEVICE, HUB_POP)
+        assert user_plane_path_km(
+            RoamingConfig.IPX_HUB_BREAKOUT, DEVICE, HOME_GW, HUB_POP
+        ) == pytest.approx(expected)
+
+    def test_ihbo_requires_pop(self):
+        with pytest.raises(ValueError):
+            user_plane_path_km(RoamingConfig.IPX_HUB_BREAKOUT, DEVICE, HOME_GW)
+
+    def test_hr_worse_than_ihbo_for_far_destinations(self):
+        hr = user_plane_path_km(RoamingConfig.HOME_ROUTED, DEVICE, HOME_GW)
+        ihbo = user_plane_path_km(
+            RoamingConfig.IPX_HUB_BREAKOUT, DEVICE, HOME_GW, HUB_POP
+        )
+        assert hr > ihbo
+
+
+class TestPickConfig:
+    def test_nearby_stays_home_routed(self):
+        nearby = GeoPoint(48.8, 2.3)  # Paris, home gateway in Spain
+        assert (
+            pick_config_for_distance(nearby, HOME_GW, HUB_POP)
+            is RoamingConfig.HOME_ROUTED
+        )
+
+    def test_far_breaks_out_at_hub(self):
+        assert (
+            pick_config_for_distance(DEVICE, HOME_GW, HUB_POP)
+            is RoamingConfig.IPX_HUB_BREAKOUT
+        )
+
+    def test_no_pop_forces_home_routed(self):
+        assert (
+            pick_config_for_distance(DEVICE, HOME_GW, None)
+            is RoamingConfig.HOME_ROUTED
+        )
+
+    def test_threshold_is_respected(self):
+        assert (
+            pick_config_for_distance(DEVICE, HOME_GW, HUB_POP, hr_threshold_km=1e9)
+            is RoamingConfig.HOME_ROUTED
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the IPX hub."""
+
+import pytest
+
+from repro.cellular.countries import default_countries
+from repro.cellular.geo import GeoPoint
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator
+from repro.cellular.rats import RAT
+from repro.roaming.agreements import AgreementRegistry
+from repro.roaming.hub import IPXHub, PointOfPresence
+
+COUNTRIES = default_countries()
+ES = COUNTRIES.by_iso("ES")
+GB = COUNTRIES.by_iso("GB")
+JP = COUNTRIES.by_iso("JP")
+
+ALL_RATS = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+
+
+def _hub():
+    pops = [
+        PointOfPresence(0, "ES", GeoPoint(ES.lat, ES.lon)),
+        PointOfPresence(1, "GB", GeoPoint(GB.lat, GB.lon)),
+    ]
+    return IPXHub("test-hub", pops)
+
+
+def _op(name, country, mnc=10, rats=ALL_RATS):
+    return Operator(name=name, plmn=PLMN(country.mcc, mnc), country=country, rats=rats)
+
+
+class TestMembership:
+    def test_direct_and_peered(self):
+        hub = _hub()
+        hub.add_direct_member(_op("GB-1", GB))
+        hub.add_peered_member(_op("JP-1", JP))
+        assert hub.direct_countries() == {"GB"}
+        assert hub.footprint_countries() == {"GB", "JP"}
+        assert hub.reaches(PLMN(GB.mcc, 10))
+        assert hub.reaches(PLMN(JP.mcc, 10))
+        assert not hub.reaches(PLMN(ES.mcc, 10))
+
+    def test_double_membership_rejected(self):
+        hub = _hub()
+        op = _op("GB-1", GB)
+        hub.add_direct_member(op)
+        with pytest.raises(ValueError):
+            hub.add_peered_member(op)
+
+    def test_needs_pops(self):
+        with pytest.raises(ValueError):
+            IPXHub("empty", [])
+
+    def test_duplicate_pop_ids_rejected(self):
+        pop = PointOfPresence(0, "ES", GeoPoint(ES.lat, ES.lon))
+        with pytest.raises(ValueError):
+            IPXHub("dup", [pop, pop])
+
+
+class TestGeometry:
+    def test_nearest_pop(self):
+        hub = _hub()
+        assert hub.nearest_pop(GeoPoint(GB.lat, GB.lon)).country_iso == "GB"
+
+    def test_pops_in_country(self):
+        hub = _hub()
+        assert len(hub.pops_in("ES")) == 1
+        assert hub.pops_in("JP") == []
+
+
+class TestProvisioning:
+    def test_creates_reciprocal_agreements(self):
+        hub = _hub()
+        home = _op("ES-Platform", ES, mnc=7)
+        partner = _op("GB-1", GB)
+        hub.add_direct_member(partner)
+        registry = AgreementRegistry()
+        added = hub.provision_platform_agreements(registry, home)
+        assert added == 2
+        assert registry.allows(home.plmn, partner.plmn, RAT.LTE)
+        assert registry.allows(partner.plmn, home.plmn, RAT.LTE)
+        assert registry.get(home.plmn, partner.plmn).via_hub
+
+    def test_respects_rat_intersection(self):
+        hub = _hub()
+        home = _op("ES-Platform", ES, mnc=7)
+        legacy = _op("GB-2", GB, mnc=20, rats=frozenset({RAT.GSM, RAT.UMTS}))
+        hub.add_direct_member(legacy)
+        registry = AgreementRegistry()
+        hub.provision_platform_agreements(registry, home)
+        assert registry.allows(home.plmn, legacy.plmn, RAT.UMTS)
+        assert not registry.allows(home.plmn, legacy.plmn, RAT.LTE)
+
+    def test_skips_existing_and_excluded(self):
+        hub = _hub()
+        home = _op("ES-Platform", ES, mnc=7)
+        partner = _op("GB-1", GB)
+        excluded = _op("GB-2", GB, mnc=20)
+        hub.add_direct_member(partner)
+        hub.add_direct_member(excluded)
+        registry = AgreementRegistry()
+        registry.add_reciprocal(home.plmn, partner.plmn, rats=frozenset({RAT.GSM}))
+        added = hub.provision_platform_agreements(
+            registry, home, exclude={excluded.plmn}
+        )
+        assert added == 0
+        # The pre-existing bilateral deal was left untouched.
+        assert not registry.allows(home.plmn, partner.plmn, RAT.LTE)
+
+    def test_never_self_agreement(self):
+        hub = _hub()
+        home = _op("ES-Platform", ES, mnc=7)
+        hub.add_direct_member(home)
+        registry = AgreementRegistry()
+        assert hub.provision_platform_agreements(registry, home) == 0

@@ -1,0 +1,130 @@
+"""Unit tests for steering-of-roaming policies."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.countries import default_countries
+from repro.cellular.identifiers import PLMN
+from repro.cellular.operators import Operator
+from repro.roaming.steering import (
+    FailureDrivenSteering,
+    RandomSteering,
+    SteeringState,
+    StickySteering,
+)
+
+GB = default_countries().by_iso("GB")
+OPS = [
+    Operator(name=f"GB-{mnc}", plmn=PLMN(GB.mcc, mnc), country=GB)
+    for mnc in (10, 20, 30)
+]
+
+
+class TestStickySteering:
+    def test_initial_choice_sticks(self, rng):
+        policy = StickySteering(failure_threshold=3)
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        for _ in range(10):
+            state.record_outcome(True)
+            assert policy.select(OPS, state, rng).plmn == first.plmn
+        assert state.switches == 0
+
+    def test_switches_after_failure_streak(self, rng):
+        policy = StickySteering(failure_threshold=2)
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        state.record_outcome(False)
+        assert policy.select(OPS, state, rng).plmn == first.plmn
+        state.record_outcome(False)  # second consecutive failure
+        second = policy.select(OPS, state, rng)
+        assert second.plmn != first.plmn
+        assert state.switches == 1
+
+    def test_success_resets_streak(self, rng):
+        policy = StickySteering(failure_threshold=2)
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        state.record_outcome(False)
+        state.record_outcome(True)
+        state.record_outcome(False)
+        assert policy.select(OPS, state, rng).plmn == first.plmn
+
+    def test_switches_when_current_unavailable(self, rng):
+        policy = StickySteering()
+        state = SteeringState()
+        policy.select([OPS[0]], state, rng)
+        choice = policy.select(OPS[1:], state, rng)
+        assert choice.plmn != OPS[0].plmn
+        assert state.switches == 1
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            StickySteering(failure_threshold=0)
+
+    def test_empty_candidates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            StickySteering().select([], SteeringState(), rng)
+
+
+class TestFailureDrivenSteering:
+    def test_stays_on_success(self, rng):
+        policy = FailureDrivenSteering()
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        state.record_outcome(True)
+        assert policy.select(OPS, state, rng).plmn == first.plmn
+
+    def test_moves_on_any_failure(self, rng):
+        policy = FailureDrivenSteering()
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        state.record_outcome(False)
+        assert policy.select(OPS, state, rng).plmn != first.plmn
+        assert state.switches == 1
+
+    def test_round_robin_covers_all_candidates(self, rng):
+        policy = FailureDrivenSteering()
+        state = SteeringState()
+        seen = set()
+        for _ in range(6):
+            choice = policy.select(OPS, state, rng)
+            seen.add(choice.plmn)
+            state.record_outcome(False)
+        assert seen == {op.plmn for op in OPS}
+
+
+class TestRandomSteering:
+    def test_full_stickiness_never_switches(self, rng):
+        policy = RandomSteering(stickiness=1.0)
+        state = SteeringState()
+        first = policy.select(OPS, state, rng)
+        for _ in range(20):
+            assert policy.select(OPS, state, rng).plmn == first.plmn
+        assert state.switches == 0
+
+    def test_zero_stickiness_churns(self, rng):
+        policy = RandomSteering(stickiness=0.0)
+        state = SteeringState()
+        for _ in range(60):
+            policy.select(OPS, state, rng)
+        # With 3 candidates, ~2/3 of re-selections switch.
+        assert state.switches > 20
+
+    def test_stickiness_bounds(self):
+        with pytest.raises(ValueError):
+            RandomSteering(stickiness=1.5)
+
+
+class TestSwitchAccounting:
+    def test_switch_counter_only_on_changes(self, rng):
+        policy = RandomSteering(stickiness=0.0)
+        state = SteeringState()
+        changes = 0
+        last = None
+        for _ in range(50):
+            choice = policy.select(OPS, state, rng)
+            if last is not None and choice.plmn != last:
+                changes += 1
+            last = choice.plmn
+        assert state.switches == changes

@@ -1,0 +1,56 @@
+"""Unit tests for CDR/xDR service records."""
+
+import pytest
+
+from repro.signaling.cdr import ServiceRecord, ServiceType, data_xdr, voice_cdr
+
+
+class TestServiceRecord:
+    def test_voice_cannot_carry_apn(self):
+        with pytest.raises(ValueError):
+            ServiceRecord(
+                device_id="d",
+                timestamp=0.0,
+                sim_plmn="23410",
+                visited_plmn="23410",
+                service=ServiceType.VOICE,
+                apn="internet.op.com",
+            )
+
+    def test_data_cannot_carry_duration(self):
+        with pytest.raises(ValueError):
+            ServiceRecord(
+                device_id="d",
+                timestamp=0.0,
+                sim_plmn="23410",
+                visited_plmn="23410",
+                service=ServiceType.DATA,
+                duration_s=10.0,
+            )
+
+    def test_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            voice_cdr("d", -1.0, "23410", "23410", 10.0)
+        with pytest.raises(ValueError):
+            voice_cdr("d", 0.0, "23410", "23410", -10.0)
+        with pytest.raises(ValueError):
+            data_xdr("d", 0.0, "23410", "23410", -5, "apn")
+
+    def test_voice_helper(self):
+        record = voice_cdr("d", 50.0, "21407", "23410", duration_s=120.0)
+        assert record.is_voice and not record.is_data
+        assert record.duration_s == 120.0
+        assert record.apn is None
+
+    def test_data_helper(self):
+        record = data_xdr("d", 50.0, "21407", "23410", 4096, "internet.op.com")
+        assert record.is_data
+        assert record.bytes_total == 4096
+        assert record.apn == "internet.op.com"
+
+    def test_data_without_apn_allowed(self):
+        record = data_xdr("d", 50.0, "21407", "23410", 1, None)
+        assert record.apn is None
+
+    def test_day(self):
+        assert data_xdr("d", 86400.0, "21407", "23410", 1, None).day == 1

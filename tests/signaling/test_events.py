@@ -1,0 +1,70 @@
+"""Unit tests for radio-interface events."""
+
+import pytest
+
+from repro.cellular.rats import RAT
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode
+
+
+def _event(**kwargs):
+    defaults = dict(
+        device_id="d1",
+        timestamp=100.0,
+        sim_plmn="23410",
+        tac=35000001,
+        sector_id=7,
+        interface=RadioInterface.S1,
+        event_type=MessageType.ATTACH,
+        result=ResultCode.OK,
+    )
+    defaults.update(kwargs)
+    return RadioEvent(**defaults)
+
+
+class TestRadioInterface:
+    def test_rat_mapping(self):
+        assert RadioInterface.A.rat is RAT.GSM
+        assert RadioInterface.GB.rat is RAT.GSM
+        assert RadioInterface.IU_CS.rat is RAT.UMTS
+        assert RadioInterface.IU_PS.rat is RAT.UMTS
+        assert RadioInterface.S1.rat is RAT.LTE
+
+    def test_voice_data_partition(self):
+        voice = {i for i in RadioInterface if i.is_voice}
+        data = {i for i in RadioInterface if i.is_data}
+        assert voice == {RadioInterface.A, RadioInterface.IU_CS}
+        assert voice | data == set(RadioInterface)
+        assert not voice & data
+
+    def test_for_plane_round_trip(self):
+        for interface in RadioInterface:
+            assert (
+                RadioInterface.for_plane(interface.rat, interface.is_voice)
+                is interface
+            )
+
+    def test_no_lte_voice_plane(self):
+        with pytest.raises(ValueError):
+            RadioInterface.for_plane(RAT.LTE, voice=True)
+
+
+class TestRadioEvent:
+    def test_rat_follows_interface(self):
+        assert _event(interface=RadioInterface.GB).rat is RAT.GSM
+
+    def test_day_and_success(self):
+        event = _event(timestamp=2 * 86400.0 + 5)
+        assert event.day == 2
+        assert event.is_success
+
+    def test_failure_detection(self):
+        assert not _event(result=ResultCode.SYSTEM_FAILURE).is_success
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _event(timestamp=-5.0)
+        with pytest.raises(ValueError):
+            _event(sim_plmn="123")
+        with pytest.raises(ValueError):
+            _event(tac=-1)

@@ -1,0 +1,94 @@
+"""Tests for the Home Location Register and stream validation."""
+
+import pytest
+
+from repro.signaling.hlr import HomeLocationRegister, validate_stream
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _txn(device="d", ts=0.0, visited="23410",
+         mtype=MessageType.UPDATE_LOCATION, result=ResultCode.OK):
+    return SignalingTransaction(
+        device_id=device, timestamp=ts, sim_plmn="21407", visited_plmn=visited,
+        message_type=mtype, result=result,
+    )
+
+
+class TestHomeLocationRegister:
+    def test_first_registration_needs_no_cancel(self):
+        hlr = HomeLocationRegister()
+        assert hlr.update_location("d", "23410") is None
+        assert hlr.location_of("d") == "23410"
+
+    def test_move_returns_previous_vmno(self):
+        hlr = HomeLocationRegister()
+        hlr.update_location("d", "23410")
+        assert hlr.update_location("d", "20810") == "23410"
+        assert hlr.location_of("d") == "20810"
+
+    def test_same_vmno_reregistration_needs_no_cancel(self):
+        hlr = HomeLocationRegister()
+        hlr.update_location("d", "23410")
+        assert hlr.update_location("d", "23410") is None
+
+    def test_cancel_coherence(self):
+        hlr = HomeLocationRegister()
+        hlr.update_location("d", "23410")
+        hlr.update_location("d", "20810")
+        assert hlr.cancel_location("d", "23410")       # the stale one
+        assert not hlr.cancel_location("d", "20810")   # the live one
+        assert not hlr.cancel_location("ghost", "23410")
+
+    def test_registration_count(self):
+        hlr = HomeLocationRegister()
+        hlr.update_location("a", "23410")
+        hlr.update_location("b", "20810")
+        assert hlr.n_registered == 2
+
+
+class TestValidateStream:
+    def test_coherent_hand_built_stream(self):
+        stream = [
+            _txn(ts=0.0, visited="23410"),
+            _txn(ts=1.0, visited="20810"),
+            _txn(ts=2.0, visited="23410",
+                 mtype=MessageType.CANCEL_LOCATION),
+        ]
+        report = validate_stream(stream)
+        assert report.n_registration_moves == 1
+        assert report.n_cancel_locations == 1
+        assert report.cancel_coherence == 1.0
+        assert report.moves_match_cancels
+
+    def test_failed_update_does_not_move_registration(self):
+        stream = [
+            _txn(ts=0.0, visited="23410"),
+            _txn(ts=1.0, visited="20810", result=ResultCode.ROAMING_NOT_ALLOWED),
+        ]
+        report = validate_stream(stream)
+        assert report.n_registration_moves == 0
+        assert report.n_successful_updates == 1
+
+    def test_orphan_cancel_detected(self):
+        stream = [_txn(mtype=MessageType.CANCEL_LOCATION)]
+        report = validate_stream(stream)
+        assert report.cancel_coherence == 0.0
+        assert not report.moves_match_cancels
+
+    def test_empty_stream_trivially_coherent(self):
+        report = validate_stream([])
+        assert report.cancel_coherence == 1.0
+
+
+class TestSimulatedStreamCoherence:
+    def test_platform_stream_is_protocol_coherent(self, m2m_dataset):
+        """The §3 simulator must emit HLR-coherent procedure sequences:
+        every Cancel Location corresponds to a real registration move."""
+        report = validate_stream(m2m_dataset.transactions)
+        assert report.n_cancel_locations > 0
+        assert report.cancel_coherence == 1.0
+        assert report.moves_match_cancels
+
+    def test_registered_population_bounded(self, m2m_dataset):
+        report = validate_stream(m2m_dataset.transactions)
+        assert report.n_registered_devices <= m2m_dataset.n_devices

@@ -1,0 +1,102 @@
+"""Unit tests for the passive monitoring probes."""
+
+import pytest
+
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.probes import MonitoringProbe, ProbeArray, ProbeLocation
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _event(interface, ts=0.0):
+    return RadioEvent(
+        device_id="d",
+        timestamp=ts,
+        sim_plmn="23410",
+        tac=35000001,
+        sector_id=1,
+        interface=interface,
+        event_type=MessageType.ATTACH,
+        result=ResultCode.OK,
+    )
+
+
+def _txn():
+    return SignalingTransaction(
+        device_id="d",
+        timestamp=0.0,
+        sim_plmn="21407",
+        visited_plmn="23410",
+        message_type=MessageType.UPDATE_LOCATION,
+        result=ResultCode.OK,
+    )
+
+
+class TestVisibility:
+    def test_mme_sees_only_s1(self):
+        probe = MonitoringProbe(ProbeLocation.MME)
+        assert probe.sees(RadioInterface.S1)
+        assert not probe.sees(RadioInterface.A)
+
+    def test_msc_sees_cs_interfaces(self):
+        probe = MonitoringProbe(ProbeLocation.MSC)
+        assert probe.visible_interfaces == {RadioInterface.A, RadioInterface.IU_CS}
+
+    def test_sgsn_sees_ps_legacy(self):
+        probe = MonitoringProbe(ProbeLocation.SGSN)
+        assert probe.visible_interfaces == {RadioInterface.GB, RadioInterface.IU_PS}
+
+    def test_core_probes_partition_all_interfaces(self):
+        # The three Fig.-4 probes together see every interface exactly once.
+        probes = [
+            MonitoringProbe(loc)
+            for loc in (ProbeLocation.MME, ProbeLocation.MSC, ProbeLocation.SGSN)
+        ]
+        for interface in RadioInterface:
+            seers = [p for p in probes if p.sees(interface)]
+            assert len(seers) == 1, interface
+
+
+class TestCapture:
+    def test_observe_radio_filters(self):
+        probe = MonitoringProbe(ProbeLocation.MME)
+        assert probe.observe_radio(_event(RadioInterface.S1))
+        assert not probe.observe_radio(_event(RadioInterface.A))
+        assert len(probe.radio_events) == 1
+
+    def test_only_hmno_probe_takes_transactions(self):
+        hmno = MonitoringProbe(ProbeLocation.HMNO_SIGNALING)
+        mme = MonitoringProbe(ProbeLocation.MME)
+        assert hmno.observe_transaction(_txn())
+        assert not mme.observe_transaction(_txn())
+
+    def test_drain_clears_buffer(self):
+        probe = MonitoringProbe(ProbeLocation.MSC)
+        probe.observe_radio(_event(RadioInterface.A))
+        drained = probe.drain_radio()
+        assert len(drained) == 1
+        assert probe.radio_events == []
+
+    def test_drain_transactions(self):
+        probe = MonitoringProbe(ProbeLocation.HMNO_SIGNALING)
+        probe.observe_transaction(_txn())
+        assert len(probe.drain_transactions()) == 1
+        assert probe.transactions == []
+
+
+class TestProbeArray:
+    def test_captures_every_event_once(self):
+        array = ProbeArray()
+        events = [_event(interface, ts=i) for i, interface in enumerate(RadioInterface)]
+        assert array.observe(events) == len(events)
+        assert len(array.merged_capture()) == len(events)
+
+    def test_merged_capture_time_ordered(self):
+        array = ProbeArray()
+        events = [
+            _event(RadioInterface.S1, ts=5.0),
+            _event(RadioInterface.A, ts=1.0),
+            _event(RadioInterface.GB, ts=3.0),
+        ]
+        array.observe(events)
+        merged = array.merged_capture()
+        assert [e.timestamp for e in merged] == [1.0, 3.0, 5.0]

@@ -1,0 +1,70 @@
+"""Unit tests for signaling procedures and transactions."""
+
+import pytest
+
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def _txn(**kwargs):
+    defaults = dict(
+        device_id="d1",
+        timestamp=3600.0,
+        sim_plmn="21407",
+        visited_plmn="23410",
+        message_type=MessageType.UPDATE_LOCATION,
+        result=ResultCode.OK,
+    )
+    defaults.update(kwargs)
+    return SignalingTransaction(**defaults)
+
+
+class TestMessageType:
+    def test_map_procedures(self):
+        assert MessageType.AUTHENTICATION.is_map_procedure
+        assert MessageType.UPDATE_LOCATION.is_map_procedure
+        assert MessageType.CANCEL_LOCATION.is_map_procedure
+        assert not MessageType.ATTACH.is_map_procedure
+        assert not MessageType.ROUTING_AREA_UPDATE.is_map_procedure
+
+
+class TestResultCode:
+    def test_only_ok_is_success(self):
+        assert ResultCode.OK.is_success
+        for code in ResultCode:
+            if code is not ResultCode.OK:
+                assert code.is_failure
+
+
+class TestSignalingTransaction:
+    def test_roaming_when_mcc_differs(self):
+        assert _txn().is_roaming
+
+    def test_national_roaming_not_international(self):
+        # Same MCC, different MNC: not roaming from the platform's
+        # country-footprint viewpoint.
+        txn = _txn(sim_plmn="23410", visited_plmn="23420")
+        assert not txn.is_roaming
+
+    def test_mcc_extraction(self):
+        txn = _txn()
+        assert txn.sim_mcc == 214
+        assert txn.visited_mcc == 234
+
+    def test_day_index(self):
+        assert _txn(timestamp=0.0).day == 0
+        assert _txn(timestamp=86399.9).day == 0
+        assert _txn(timestamp=86400.0).day == 1
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            _txn(timestamp=-1.0)
+
+    def test_rejects_malformed_plmn(self):
+        with pytest.raises(ValueError):
+            _txn(sim_plmn="12")
+        with pytest.raises(ValueError):
+            _txn(visited_plmn="abcde")
+
+    def test_accepts_three_digit_mnc(self):
+        txn = _txn(sim_plmn="310004")
+        assert txn.sim_mcc == 310

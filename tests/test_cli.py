@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestSimulateM2M:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["--uk-sites", "10", "simulate-m2m", "--devices", "40", "--out", str(out)]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        row = json.loads(lines[0])
+        assert {"device_id", "ts", "sim_plmn", "visited_plmn"} <= set(row)
+        assert "simulated 40 devices" in capsys.readouterr().out
+
+    def test_no_out_still_reports(self, capsys):
+        assert main(["--uk-sites", "10", "simulate-m2m", "--devices", "20"]) == 0
+        assert "transactions" in capsys.readouterr().out
+
+
+class TestSimulateMNO:
+    def test_writes_dataset_dir(self, tmp_path, capsys):
+        out = tmp_path / "mno"
+        code = main(
+            ["--uk-sites", "10", "simulate-mno", "--devices", "60", "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "radio_events.jsonl").exists()
+        assert (out / "service_records.jsonl").exists()
+
+
+class TestClassify:
+    def test_prints_shares_and_validation(self, capsys):
+        code = main(["--uk-sites", "10", "classify", "--devices", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "class shares" in out
+        assert "accuracy" in out
+
+
+class TestFigure:
+    @pytest.mark.parametrize("name", ["fig2", "fig3"])
+    def test_platform_figures(self, name, capsys):
+        code = main(
+            ["--uk-sites", "10", "figure", name, "--devices", "80"]
+        )
+        assert code == 0
+        assert name in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", ["fig6", "fig9", "fig11"])
+    def test_mno_figures(self, name, capsys):
+        code = main(
+            ["--uk-sites", "10", "figure", name, "--devices", "300"]
+        )
+        assert code == 0
+        assert name in capsys.readouterr().out
+
+
+class TestExport:
+    def test_writes_catalog_csvs(self, tmp_path, capsys):
+        out = tmp_path / "catalog"
+        code = main(
+            ["--uk-sites", "10", "export", "--devices", "80", "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "catalog_days.csv").exists()
+        assert (out / "catalog_summaries.csv").exists()
+
+    def test_exported_summaries_readable(self, tmp_path):
+        from repro.datasets.export import read_summaries
+
+        out = tmp_path / "catalog"
+        main(["--uk-sites", "10", "export", "--devices", "60", "--out", str(out)])
+        summaries = read_summaries(out / "catalog_summaries.csv")
+        assert len(summaries) > 0
+
+
+class TestKeywords:
+    def test_discovery_report_printed(self, capsys):
+        code = main(
+            ["--uk-sites", "10", "keywords", "--devices", "200", "--min-devices", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidate keywords" in out
+        assert "auto-mapped" in out
+
+
+class TestSaveConfig:
+    def test_writes_three_configs(self, tmp_path):
+        out = tmp_path / "cfg"
+        code = main(["save-config", "--out", str(out)])
+        assert code == 0
+        for name in ("ecosystem.json", "platform.json", "mno.json"):
+            assert (out / name).exists()
+
+    def test_saved_configs_load(self, tmp_path):
+        from repro.configio import load_config
+
+        out = tmp_path / "cfg"
+        main(["save-config", "--out", str(out), "--devices", "123"])
+        platform = load_config(out / "platform.json")
+        assert platform.n_devices == 123
+
+
+class TestFigurePlot:
+    def test_fig6_plot_renders_heatmap(self, capsys):
+        code = main(
+            ["--uk-sites", "10", "figure", "fig6", "--devices", "250", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shade scale" in out
+
+    def test_fig3_plot_renders_ecdf(self, capsys):
+        code = main(
+            ["--uk-sites", "10", "figure", "fig3", "--devices", "120", "--plot"]
+        )
+        assert code == 0
+        assert "ECDF" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["--uk-sites", "10", "report", "--devices", "200", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        for section in (
+            "reproduction report",
+            "Fig. 2", "Fig. 3", "Fig. 5", "Fig. 6", "Fig. 7",
+            "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+        ):
+            assert section in text
+
+    def test_report_to_stdout(self, capsys):
+        code = main(["--uk-sites", "10", "report", "--devices", "150"])
+        assert code == 0
+        assert "Fig. 11" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Tests for config JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.configio import (
+    config_from_dict,
+    load_config,
+    save_config,
+    to_dict,
+)
+from repro.ecosystem import EcosystemConfig
+from repro.mno.config import MNOConfig
+from repro.platform_m2m.config import PlatformConfig
+
+
+class TestEcosystemConfig:
+    def test_round_trip(self, tmp_path):
+        config = EcosystemConfig(uk_sites=50, mvnos_on_study_mno=3, seed=99)
+        path = tmp_path / "eco.json"
+        save_config(path, config)
+        restored = load_config(path)
+        assert restored == config
+
+
+class TestPlatformConfig:
+    def test_round_trip_with_fleets(self, tmp_path):
+        config = PlatformConfig(n_devices=777, seed=5)
+        path = tmp_path / "platform.json"
+        save_config(path, config)
+        restored = load_config(path)
+        assert restored.n_devices == 777
+        assert restored.steering_mix == config.steering_mix
+        assert set(restored.fleets) == set(config.fleets)
+        es = restored.fleets["ES"]
+        assert es.share == config.fleets["ES"].share
+        assert es.vertical_mix == dict(config.fleets["ES"].vertical_mix)
+
+    def test_restored_config_simulates_identically(self, tmp_path, eco):
+        from repro.platform_m2m import simulate_m2m_dataset
+
+        config = PlatformConfig(n_devices=60, seed=8)
+        path = tmp_path / "platform.json"
+        save_config(path, config)
+        restored = load_config(path)
+        a = simulate_m2m_dataset(eco, config)
+        b = simulate_m2m_dataset(eco, restored)
+        assert a.n_transactions == b.n_transactions
+        assert [t.timestamp for t in a.transactions[:50]] == [
+            t.timestamp for t in b.transactions[:50]
+        ]
+
+
+class TestMNOConfig:
+    def test_round_trip(self, tmp_path):
+        config = MNOConfig(n_devices=333, seed=4)
+        path = tmp_path / "mno.json"
+        save_config(path, config)
+        restored = load_config(path)
+        assert restored.n_devices == 333
+        assert restored.seed == 4
+        assert len(restored.segments) == len(config.segments)
+
+    def test_segment_fingerprint_mismatch_detected(self, tmp_path):
+        config = MNOConfig(n_devices=10)
+        payload = to_dict(config)
+        payload["segment_fingerprint"] = "deadbeef0000"
+        with pytest.raises(ValueError):
+            config_from_dict(payload)
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"__kind__": "Mystery"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_dict(object())
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        save_config(path, EcosystemConfig())
+        payload = json.loads(path.read_text())
+        assert payload["__kind__"] == "EcosystemConfig"

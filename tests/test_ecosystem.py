@@ -1,0 +1,104 @@
+"""Integration tests for the assembled ecosystem."""
+
+import pytest
+
+from repro.cellular.identifiers import PLMN
+from repro.cellular.rats import RAT
+from repro.ecosystem import (
+    HUB_DIRECT_ISOS,
+    PLATFORM_HMNO_ISOS,
+    EcosystemConfig,
+    build_default_ecosystem,
+)
+
+
+class TestWorldStructure:
+    def test_named_actors_exist(self, eco):
+        assert eco.uk_mno.country.iso == "GB"
+        assert not eco.uk_mno.is_mvno
+        assert eco.nl_iot_operator.plmn == PLMN(204, 4)
+        assert set(eco.platform_hmnos) == set(PLATFORM_HMNO_ISOS)
+
+    def test_two_mnos_per_country(self, eco):
+        for country in eco.countries:
+            assert len(eco.operators.mnos_in_country(country.iso)) >= 2
+
+    def test_mvnos_hosted_by_study_mno(self, eco):
+        mvnos = eco.mvnos_of_study_mno()
+        assert len(mvnos) == eco.config.mvnos_on_study_mno
+        assert all(m.host_plmn == eco.uk_mno.plmn for m in mvnos)
+
+    def test_hub_direct_footprint(self, eco):
+        assert eco.hub.direct_countries() == set(HUB_DIRECT_ISOS)
+        # ~40 PoPs across 19 countries, like the paper's carrier.
+        assert len(eco.hub.pops) == 2 * len(HUB_DIRECT_ISOS)
+
+    def test_hub_reaches_everywhere(self, eco):
+        for country in eco.countries:
+            assert country.iso in eco.hub.footprint_countries()
+
+
+class TestAgreements:
+    def test_eu_mesh(self, eco):
+        es = eco.operators.by_plmn(PLMN(214, 10))
+        fr = eco.operators.by_plmn(PLMN(208, 10))
+        assert eco.agreements.allows(es.plmn, fr.plmn, RAT.GSM)
+        assert eco.agreements.allows(fr.plmn, es.plmn, RAT.GSM)
+
+    def test_platform_hmnos_reach_all_hub_members(self, eco):
+        es_platform = eco.platform_hmnos["ES"]
+        partners = eco.agreements.partners_of(es_platform.plmn)
+        # Every non-MVNO operator except itself should be reachable.
+        n_mnos = sum(1 for op in eco.operators if not op.is_mvno)
+        assert len(partners) >= n_mnos - 5
+
+    def test_nl_iot_can_roam_into_uk(self, eco):
+        assert eco.agreements.allows(
+            eco.nl_iot_operator.plmn, eco.uk_mno.plmn, RAT.GSM
+        )
+
+    def test_lte_laggards_have_no_lte_agreements(self, eco):
+        es_platform = eco.platform_hmnos["ES"]
+        laggards = [
+            op
+            for op in eco.operators
+            if not op.is_mvno and RAT.LTE not in op.rats
+        ]
+        assert laggards, "the world should contain 4G laggards"
+        for op in laggards:
+            assert not eco.agreements.allows(es_platform.plmn, op.plmn, RAT.LTE)
+
+
+class TestCandidates:
+    def test_candidate_vmnos_respect_rat(self, eco):
+        es_platform = eco.platform_hmnos["ES"]
+        for iso in ("GB", "FR", "AU"):
+            for candidate in eco.candidate_vmnos(es_platform, iso, RAT.LTE):
+                assert candidate.supports(RAT.LTE)
+                assert eco.agreements.allows(
+                    es_platform.plmn, candidate.plmn, RAT.LTE
+                )
+
+    def test_candidates_exclude_self(self, eco):
+        es_platform = eco.platform_hmnos["ES"]
+        candidates = eco.candidate_vmnos(es_platform, "ES", RAT.GSM)
+        assert all(c.plmn != es_platform.plmn for c in candidates)
+
+
+class TestSectorsAndDeterminism:
+    def test_uk_sectors_sized_by_config(self, eco):
+        assert len(eco.uk_sectors) == eco.config.uk_sites * 3
+
+    def test_same_seed_same_world(self):
+        a = build_default_ecosystem(EcosystemConfig(uk_sites=10, seed=3))
+        b = build_default_ecosystem(EcosystemConfig(uk_sites=10, seed=3))
+        pos_a = [(s.sector_id, s.position.lat) for s in a.uk_sectors]
+        pos_b = [(s.sector_id, s.position.lat) for s in b.uk_sectors]
+        assert pos_a == pos_b
+
+    def test_different_seed_different_sectors(self):
+        a = build_default_ecosystem(EcosystemConfig(uk_sites=10, seed=3))
+        b = build_default_ecosystem(EcosystemConfig(uk_sites=10, seed=4))
+        assert [s.position.lat for s in a.uk_sectors] != [
+            s.position.lat for s in b.uk_sectors
+        ]

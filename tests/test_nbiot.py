@@ -1,0 +1,100 @@
+"""Tests for the NB-IoT roaming extension (§8)."""
+
+import pytest
+
+from repro.devices.device import DeviceClass
+from repro.nbiot import (
+    NBIoTAttachRecord,
+    NBIoTDeployment,
+    detect_iot_by_rat,
+    detection_coverage_curve,
+    eligible_devices,
+    full_deployment,
+    migrate_fleet,
+)
+
+
+class TestDeployment:
+    def test_trial_requires_both_ends_enabled(self):
+        deployment = NBIoTDeployment()
+        deployment.enable("20404")
+        with pytest.raises(ValueError):
+            deployment.run_trial("20404", "23410")
+        deployment.enable("23410")
+        deployment.run_trial("20404", "23410")
+        assert deployment.roaming_possible("20404", "23410")
+
+    def test_trials_are_directed(self):
+        deployment = NBIoTDeployment()
+        deployment.enable("20404")
+        deployment.enable("23410")
+        deployment.run_trial("20404", "23410")
+        assert not deployment.roaming_possible("23410", "20404")
+
+    def test_native_needs_only_enablement(self):
+        deployment = NBIoTDeployment()
+        deployment.enable("23410")
+        assert deployment.roaming_possible("23410", "23410")
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            NBIoTAttachRecord("d", -1.0, "20404", "23410")
+        with pytest.raises(ValueError):
+            NBIoTAttachRecord("d", 0.0, "20404", "23410", rat="LTE")
+
+
+class TestMigration:
+    def test_eligibility_is_m2m_lpwa(self, pipeline):
+        eligible = eligible_devices(pipeline)
+        assert eligible
+        for device_id in eligible:
+            truth = pipeline.dataset.ground_truth[device_id]
+            assert truth.device_class is DeviceClass.M2M
+
+    def test_zero_fraction_migrates_nothing(self, pipeline):
+        deployment = full_deployment(pipeline)
+        records, migrated = migrate_fleet(pipeline, deployment, 0.0)
+        assert records == [] and migrated == set()
+
+    def test_full_fraction_migrates_all_eligible(self, pipeline):
+        deployment = full_deployment(pipeline)
+        _, migrated = migrate_fleet(pipeline, deployment, 1.0)
+        assert migrated == eligible_devices(pipeline)
+
+    def test_no_trials_no_roaming_migration(self, pipeline):
+        deployment = NBIoTDeployment()
+        deployment.enable(str(pipeline.labeler.observer.plmn))
+        _, migrated = migrate_fleet(pipeline, deployment, 1.0)
+        # Only native-SIM devices can use NB-IoT without a trial.
+        observer = str(pipeline.labeler.observer.plmn)
+        for device_id in migrated:
+            assert pipeline.summaries[device_id].sim_plmn == observer
+
+    def test_migration_deterministic(self, pipeline):
+        deployment = full_deployment(pipeline)
+        _, a = migrate_fleet(pipeline, deployment, 0.5, seed=3)
+        _, b = migrate_fleet(pipeline, deployment, 0.5, seed=3)
+        assert a == b
+
+    def test_fraction_bounds(self, pipeline):
+        deployment = full_deployment(pipeline)
+        with pytest.raises(ValueError):
+            migrate_fleet(pipeline, deployment, 1.5)
+
+
+class TestDetection:
+    def test_detector_is_exact_on_migrated(self, pipeline):
+        deployment = full_deployment(pipeline)
+        records, migrated = migrate_fleet(pipeline, deployment, 0.6, seed=1)
+        assert detect_iot_by_rat(records) == migrated
+
+    def test_coverage_curve_monotone(self, pipeline):
+        deployment = full_deployment(pipeline)
+        curve = detection_coverage_curve(
+            pipeline, deployment, fractions=(0.0, 0.3, 0.6, 1.0), seed=1
+        )
+        shares = [p.detected_share_of_m2m for p in curve]
+        assert shares[0] == 0.0
+        assert shares == sorted(shares)
+        # Full migration makes the LPWA share of M2M trivially visible.
+        assert shares[-1] > 0.5

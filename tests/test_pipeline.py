@@ -1,0 +1,60 @@
+"""End-to-end integration tests: dataset -> catalog -> labels -> classes."""
+
+import pytest
+
+from repro.core.classifier import ClassifierConfig, ClassLabel
+from repro.core.validation import validate_classification
+from repro.pipeline import run_pipeline
+
+
+class TestPipelineIntegration:
+    def test_every_device_classified(self, pipeline, mno_dataset):
+        assert set(pipeline.classifications) == set(pipeline.summaries)
+        assert set(pipeline.summaries) == mno_dataset.device_ids
+
+    def test_classifier_accuracy_against_ground_truth(self, pipeline, mno_dataset):
+        report = validate_classification(
+            pipeline.classifications, mno_dataset.ground_truth
+        )
+        assert report.accuracy > 0.9
+        assert report.per_class[ClassLabel.M2M].precision > 0.95
+        assert report.per_class[ClassLabel.M2M].recall > 0.9
+
+    def test_abstention_matches_voice_only_longtail(self, pipeline, mno_dataset):
+        report = validate_classification(
+            pipeline.classifications, mno_dataset.ground_truth
+        )
+        assert 0.005 < report.abstention_rate < 0.10
+
+    def test_day_records_consistent_with_summaries(self, pipeline):
+        from collections import defaultdict
+
+        events_by_device = defaultdict(int)
+        for record in pipeline.day_records:
+            events_by_device[record.device_id] += record.n_events
+        for device_id, summary in pipeline.summaries.items():
+            assert events_by_device[device_id] == summary.n_events
+
+    def test_mobility_disabled_pipeline(self, eco, mno_dataset):
+        result = run_pipeline(mno_dataset, eco, compute_mobility=False)
+        assert all(
+            s.mean_gyration_km is None for s in result.summaries.values()
+        )
+        # Classification is unaffected by mobility.
+        assert len(result.classifications) == len(result.summaries)
+
+    def test_ablated_classifier_loses_m2m_coverage(self, eco, mno_dataset):
+        full = run_pipeline(mno_dataset, eco, compute_mobility=False)
+        apn_only = run_pipeline(
+            mno_dataset,
+            eco,
+            classifier_config=ClassifierConfig(use_property_propagation=False),
+            compute_mobility=False,
+        )
+        full_m2m = sum(
+            1 for c in full.classifications.values() if c.label is ClassLabel.M2M
+        )
+        ablated_m2m = sum(
+            1 for c in apn_only.classifications.values() if c.label is ClassLabel.M2M
+        )
+        assert ablated_m2m < full_m2m

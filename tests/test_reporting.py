@@ -1,0 +1,42 @@
+"""Unit tests for the one-file reproduction report."""
+
+import pytest
+
+from repro.reporting import build_report
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self, m2m_dataset, pipeline, eco):
+        return build_report(m2m_dataset, pipeline, eco)
+
+    def test_all_figure_sections_present(self, report):
+        for section in (
+            "Fig. 2", "Fig. 3", "Fig. 5", "Fig. 6", "Fig. 7",
+            "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+        ):
+            assert section in report, section
+
+    def test_markdown_structure(self, report):
+        lines = report.splitlines()
+        assert lines[0].startswith("# ")
+        assert any(line.startswith("## The M2M platform") for line in lines)
+        assert any(line.startswith("## The visited MNO") for line in lines)
+        # Tables render with separator rows.
+        assert any(line.startswith("|---") for line in lines)
+        # ASCII plots are fenced.
+        assert report.count("```") % 2 == 0
+        assert report.count("```") >= 4
+
+    def test_contains_paper_reference_values(self, report):
+        # The report always juxtaposes measured against paper numbers.
+        for anchor in ("62%", "71.1%", "74.7%", "77.4%", "4.5x", "~10x"):
+            assert anchor in report, anchor
+
+    def test_custom_title(self, m2m_dataset, pipeline, eco):
+        text = build_report(m2m_dataset, pipeline, eco, title="My run")
+        assert text.startswith("# My run")
+
+    def test_classifier_validation_included(self, report):
+        assert "Classifier validation" in report
+        assert "accuracy" in report

@@ -1,0 +1,74 @@
+"""Robustness: headline statistics must be stable across random seeds.
+
+A reproduction whose conclusions flip with the seed would be worthless;
+these tests sweep seeds at small scale and bound the variation of the
+statistics every bench relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.platform import platform_stats
+from repro.analysis.population import population_shares
+from repro.core.classifier import ClassLabel
+from repro.core.validation import validate_classification
+from repro.mno import MNOConfig, simulate_mno_dataset
+from repro.pipeline import run_pipeline
+from repro.platform_m2m import PlatformConfig, simulate_m2m_dataset
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def mno_runs(request):
+    eco = request.getfixturevalue("eco")
+    runs = []
+    for seed in SEEDS:
+        dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=400, seed=seed))
+        runs.append((dataset, run_pipeline(dataset, eco, compute_mobility=False)))
+    return runs
+
+
+class TestMNOSeedStability:
+    def test_class_shares_stable(self, mno_runs):
+        m2m = [
+            population_shares(result).class_shares[ClassLabel.M2M]
+            for _, result in mno_runs
+        ]
+        assert np.ptp(m2m) < 0.06
+
+    def test_classifier_accuracy_stable(self, mno_runs):
+        accuracies = [
+            validate_classification(result.classifications, ds.ground_truth).accuracy
+            for ds, result in mno_runs
+        ]
+        assert min(accuracies) > 0.93
+        assert np.ptp(accuracies) < 0.05
+
+    def test_inbound_m2m_dominance_always_holds(self, mno_runs):
+        from repro.analysis.population import fig6_class_vs_label
+
+        for _, result in mno_runs:
+            fig6 = fig6_class_vs_label(result)
+            assert fig6.share_of_label("I:H", ClassLabel.M2M) > 0.5
+
+
+class TestPlatformSeedStability:
+    def test_failed_only_share_stable(self, eco):
+        shares = []
+        for seed in SEEDS:
+            dataset = simulate_m2m_dataset(
+                eco, PlatformConfig(n_devices=300, seed=seed)
+            )
+            shares.append(platform_stats(dataset, eco.countries).failed_only_fraction)
+        assert all(0.3 < s < 0.5 for s in shares)
+        assert np.ptp(shares) < 0.1
+
+    def test_es_dominance_always_holds(self, eco):
+        for seed in SEEDS:
+            dataset = simulate_m2m_dataset(
+                eco, PlatformConfig(n_devices=300, seed=seed)
+            )
+            stats = platform_stats(dataset, eco.countries)
+            largest = max(stats.per_hmno.values(), key=lambda h: h.device_share)
+            assert largest.iso == "ES"
