@@ -7,7 +7,6 @@ bench regenerates the platform dataset under three pure-policy worlds
 the distributions away from the observed mix — the mixture is necessary.
 """
 
-import pytest
 
 from repro.analysis.platform import fig3_dynamics
 from repro.analysis.report import ExperimentReport

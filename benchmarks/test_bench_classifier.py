@@ -11,7 +11,6 @@ step contributes:
 * the GSMA/consumer rules separate smartphones from feature phones.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.core.classifier import (

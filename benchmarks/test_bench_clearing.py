@@ -7,10 +7,8 @@ a full clearing cycle over the simulated MNO's inbound traffic and
 measures the records-per-euro overhead the M2M lanes impose.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
-from repro.core.classifier import ClassLabel
 from repro.roaming.billing import WholesaleRater
 from repro.roaming.clearing import (
     ClearingHouse,

@@ -6,7 +6,6 @@ performance penalties in the case of HR roaming.  In this case, the
 M2M platform uses different roaming configurations…"
 """
 
-import pytest
 
 from repro.analysis.distances import farthest_pairs, roaming_distances
 from repro.analysis.report import ExperimentReport

@@ -5,7 +5,6 @@ traffic in a range of aspects from signaling, to uplink/downlink
 traffic volume ratios to diurnal patterns."
 """
 
-import pytest
 
 from repro.analysis.diurnal import diurnal_profiles, meter_reporting_window
 from repro.analysis.report import ExperimentReport

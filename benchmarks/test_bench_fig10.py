@@ -9,7 +9,6 @@
   (bill-shock behaviour).
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.traffic import RoamingGroup, fig10_traffic_volumes

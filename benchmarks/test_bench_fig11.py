@@ -10,7 +10,6 @@
   3G exclusively.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.smart_meters import fig11_smip_activity

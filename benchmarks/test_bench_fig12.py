@@ -8,7 +8,6 @@ Vertical membership comes from the classifier's APN evidence, exactly
 like the paper's §7.2 separation.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.verticals import fig12_verticals

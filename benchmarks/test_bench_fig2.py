@@ -7,7 +7,6 @@ Paper observations reproduced:
 * the ES fleet spreads across many visited countries.
 """
 
-import pytest
 
 from repro.analysis.platform import fig2_device_distribution
 from repro.analysis.report import ExperimentReport

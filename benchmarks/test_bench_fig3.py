@@ -8,7 +8,6 @@ three or more).  Right: inter-VMNO switches for multi-VMNO devices
 range).
 """
 
-import pytest
 
 from repro.analysis.platform import fig3_dynamics
 from repro.analysis.report import ExperimentReport

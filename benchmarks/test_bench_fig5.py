@@ -6,7 +6,6 @@
   come from the top-3 countries.
 """
 
-import pytest
 
 from repro.analysis.population import fig5_home_countries
 from repro.analysis.report import ExperimentReport
@@ -36,10 +35,6 @@ def test_fig5_home_countries(benchmark, pipeline, eco, emit_report):
     report.add(
         "NL share of inbound roamers", "~30%",
         result.overall.get("NL", 0.0), window=(0.20, 0.50),
-    )
-    m2m_top3 = result.top3_m2m_share
-    smart_row = result.by_class.get(
-        next(iter(result.by_class)), {}
     )
     report.note(f"top-3 measured: {[(c, round(s, 3)) for c, s in top]}")
     report.note(

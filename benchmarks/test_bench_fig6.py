@@ -6,7 +6,6 @@
   (only 12.1% / 6.4% inbound).
 """
 
-import pytest
 
 from repro.analysis.population import fig6_class_vs_label
 from repro.analysis.report import ExperimentReport

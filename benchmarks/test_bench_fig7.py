@@ -10,7 +10,6 @@ by the same stay-length distribution but come from different windows in
 the paper); the shape — M2M several times longer — holds.
 """
 
-import pytest
 
 from repro.analysis.activity import fig7_active_days
 from repro.analysis.report import ExperimentReport

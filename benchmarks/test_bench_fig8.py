@@ -5,7 +5,6 @@
 * smartphones show person-scale mobility, far above M2M.
 """
 
-import pytest
 
 from repro.analysis.mobility import fig8_gyration
 from repro.analysis.report import ExperimentReport

@@ -7,7 +7,6 @@
 * smartphones live on 3G/4G.
 """
 
-import pytest
 
 from repro.analysis.network_usage import fig9_network_usage
 from repro.analysis.report import ExperimentReport

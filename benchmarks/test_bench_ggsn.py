@@ -7,7 +7,6 @@ the load spike the dedicated pool absorbs; this bench quantifies what
 happens to the consumer pools if the isolation is removed.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.mno.ggsn import isolation_benefit

@@ -6,7 +6,6 @@ M2M headcount scales, person devices and per-device behaviour stay as
 measured today.
 """
 
-import pytest
 
 from repro.analysis.growth import project_growth
 from repro.analysis.report import ExperimentReport

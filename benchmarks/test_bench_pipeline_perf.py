@@ -5,7 +5,6 @@ build and the classification pass, the two stages an operator would run
 daily at 39.6M-device scale.
 """
 
-import pytest
 
 from repro.core.catalog import CatalogBuilder
 from repro.core.classifier import DeviceClassifier
@@ -32,7 +31,6 @@ def test_classification_throughput(benchmark, pipeline):
 
 def test_roaming_labeling_throughput(benchmark, eco, mno_dataset):
     labeler = RoamingLabeler(eco.operators, eco.uk_mno)
-    observer = str(eco.uk_mno.plmn)
     pairs = [
         (record.sim_plmn, record.visited_plmn)
         for record in mno_dataset.service_records[:20000]

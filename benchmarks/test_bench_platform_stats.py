@@ -8,7 +8,6 @@
 * DE's small fleet touches many VMNOs (connected cars).
 """
 
-import pytest
 
 from repro.analysis.platform import platform_stats
 from repro.analysis.report import ExperimentReport

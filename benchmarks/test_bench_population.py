@@ -7,7 +7,6 @@
   (visitor churn).
 """
 
-import pytest
 
 from repro.analysis.population import population_shares
 from repro.analysis.report import ExperimentReport

@@ -5,7 +5,6 @@ exploit the MNOs interconnections in the cellular ecosystem, they do
 not generate traffic that would allow MNOs to accrue revenue."
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.revenue import revenue_by_class, silent_roamers

@@ -6,7 +6,6 @@ survive which sampling regime: device sampling preserves per-device
 distributions; transaction sampling shrinks them by the rate.
 """
 
-import pytest
 
 from repro.analysis.platform import fig3_dynamics
 from repro.analysis.report import ExperimentReport

@@ -6,7 +6,6 @@ stable under population scale (otherwise comparisons against a 39.6M-
 device paper from a few-thousand-device simulation would be meaningless).
 """
 
-import pytest
 
 from repro.analysis.population import population_shares
 from repro.analysis.report import ExperimentReport

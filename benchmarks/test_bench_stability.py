@@ -4,7 +4,6 @@
 days we verify."
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.stability import share_stability

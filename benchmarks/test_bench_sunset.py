@@ -7,7 +7,6 @@ population observed by the visited MNO would be stranded.  This bench
 quantifies that implication.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.sunset import SUNSET_2G, SUNSET_2G_3G, SUNSET_3G, sunset_impact

@@ -5,7 +5,6 @@ the agreement graph and quantifies what hubbing buys the platform HMNOs
 — near-global country reach versus a modest bilateral footprint.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.topology import (

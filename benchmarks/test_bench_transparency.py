@@ -8,7 +8,6 @@ perfectly precise but recover only a fraction of the true M2M
 population; the multi-step classifier recovers nearly all of it.
 """
 
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.core.transparency import (

@@ -9,7 +9,7 @@ they are native devices."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List
 
 from repro.analysis.stats import ECDF
 from repro.core.classifier import ClassLabel

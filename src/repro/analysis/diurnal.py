@@ -12,9 +12,8 @@ off-peak batches.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 

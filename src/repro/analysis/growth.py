@@ -15,7 +15,7 @@ is the projected stress.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.classifier import ClassLabel
 from repro.pipeline import PipelineResult
@@ -68,7 +68,6 @@ def project_growth(
     """
     base = _class_aggregates(result)
     m2m_classes = (ClassLabel.M2M, ClassLabel.M2M_MAYBE)
-    person_classes = (ClassLabel.SMART, ClassLabel.FEAT)
 
     points: List[GrowthPoint] = []
     for factor in factors:

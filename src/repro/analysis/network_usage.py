@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
-from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.rats import RadioFlags
 from repro.core.classifier import ClassLabel
 from repro.pipeline import PipelineResult
 

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.stats import ECDF, normalize_rows
 from repro.cellular.countries import CountryRegistry
 from repro.datasets.containers import M2MDataset
-from repro.signaling.procedures import MessageType, SignalingTransaction
+from repro.signaling.procedures import MessageType
 
 
 def _country_iso(countries: CountryRegistry, mcc: int) -> str:

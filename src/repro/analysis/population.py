@@ -5,18 +5,20 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.stats import normalize_columns, normalize_rows, top_k_share
 from repro.cellular.countries import CountryRegistry
-from repro.core.classifier import Classification, ClassLabel
-from repro.core.roaming import RoamingLabel, SimOrigin, VisitedSide
+from repro.cellular.identifiers import mcc_of
+from repro.core.classifier import ClassLabel
+from repro.core.roaming import RoamingLabel, VisitedSide
 from repro.pipeline import PipelineResult
 
 
 def _home_iso(countries: CountryRegistry, sim_plmn: str) -> str:
-    country = countries.by_mcc(int(sim_plmn[:3]))
-    return country.iso if country else f"MCC{sim_plmn[:3]}"
+    mcc = mcc_of(sim_plmn)
+    country = countries.by_mcc(mcc)
+    return country.iso if country else f"MCC{mcc:03d}"
 
 
 # -- Fig. 5 ---------------------------------------------------------------------

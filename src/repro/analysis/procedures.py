@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict
 
 from repro.datasets.containers import M2MDataset
 from repro.signaling.procedures import MessageType, ResultCode

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.classifier import ClassLabel
 from repro.pipeline import PipelineResult

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
 from repro.analysis.stats import ECDF
 from repro.core.classifier import ClassLabel
@@ -104,7 +104,8 @@ def revenue_by_class(
             n_devices=len(revenues),
             total_eur=sum(revenues),
             per_device=ECDF(revenues),
-            zero_revenue_share=sum(1 for v in revenues if v == 0.0) / len(revenues),
+            zero_revenue_share=sum(1 for v in revenues if abs(v) < 1e-9)
+            / len(revenues),
         )
 
     total_signaling = sum(signaling.values()) or 1.0

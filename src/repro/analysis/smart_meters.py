@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.stats import ECDF
-from repro.cellular.rats import RAT
 from repro.mno.smip import smip_devices
 from repro.pipeline import PipelineResult
 

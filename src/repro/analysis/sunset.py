@@ -15,9 +15,9 @@ lower-bound".
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Set
 
 from repro.cellular.rats import RAT
 from repro.core.classifier import ClassLabel

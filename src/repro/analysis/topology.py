@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.cellular.identifiers import PLMN
 from repro.cellular.operators import OperatorRegistry
 from repro.roaming.agreements import AgreementRegistry
 

@@ -14,7 +14,7 @@ connected cars").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.analysis.stats import ECDF
 from repro.core.classifier import ClassLabel

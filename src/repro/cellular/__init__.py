@@ -17,6 +17,8 @@ from repro.cellular.identifiers import (
     PLMN,
     hash_device_id,
     luhn_check_digit,
+    mcc_of,
+    plmn_candidates,
 )
 from repro.cellular.operators import Operator, OperatorRegistry, OperatorType
 from repro.cellular.rats import RAT, RadioFlags
@@ -45,5 +47,7 @@ __all__ = [
     "hash_device_id",
     "haversine_km",
     "luhn_check_digit",
+    "mcc_of",
+    "plmn_candidates",
     "weighted_centroid",
 ]

@@ -13,7 +13,7 @@ sector grids a plausible geography for the radius-of-gyration analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional
 
@@ -61,7 +61,7 @@ class Country:
 class CountryRegistry:
     """Lookup table of countries by ISO code and by MCC."""
 
-    def __init__(self, countries: List[Country]):
+    def __init__(self, countries: List[Country]) -> None:
         self._by_iso: Dict[str, Country] = {}
         self._by_mcc: Dict[int, Country] = {}
         for country in countries:

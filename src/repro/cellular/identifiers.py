@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Tuple
 
 
 def luhn_check_digit(digits: str) -> int:
@@ -164,6 +165,39 @@ class IMEI:
         if not luhn_is_valid(text):
             raise ValueError(f"IMEI {text!r} fails the Luhn check")
         return cls(tac=int(text[:8]), serial=int(text[8:14]))
+
+
+def mcc_of(digits: str) -> int:
+    """The MCC (first three digits) of any PLMN-prefixed identifier string.
+
+    Works on a PLMN, an IMSI, or any digit string that starts with one:
+    the MCC is always exactly three digits regardless of MNC length.
+
+    >>> mcc_of("23415")
+    234
+    >>> mcc_of("214070000000001")
+    214
+    """
+    if len(digits) < 3 or not digits[:3].isdigit():
+        raise ValueError(
+            f"identifier must start with a 3-digit MCC, got {digits!r}"
+        )
+    return int(digits[:3])
+
+
+def plmn_candidates(imsi: str) -> Tuple[str, str]:
+    """Both possible home-PLMN prefixes of a 15-digit IMSI string.
+
+    E.212 does not encode the MNC length in the IMSI itself, so a lookup
+    that only has the raw digits must try both the 2-digit and 3-digit
+    MNC readings — this helper centralizes that ambiguity.
+
+    >>> plmn_candidates("214070000000001")
+    ('21407', '214070')
+    """
+    if not imsi.isdigit() or len(imsi) != 15:
+        raise ValueError(f"IMSI must be 15 digits, got {imsi!r}")
+    return imsi[:5], imsi[:6]
 
 
 def hash_device_id(identifier: str, salt: str = "where-things-roam") -> str:

@@ -8,7 +8,7 @@ MVNOs*, another operator *in our country*, or a *foreign* operator?  The
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, FrozenSet, Iterator, List, Optional
 
@@ -61,7 +61,7 @@ class Operator:
 class OperatorRegistry:
     """All operators in the modelled world, keyed by PLMN."""
 
-    def __init__(self, operators: Optional[List[Operator]] = None):
+    def __init__(self, operators: Optional[List[Operator]] = None) -> None:
         self._by_plmn: Dict[PLMN, Operator] = {}
         for operator in operators or []:
             self.add(operator)

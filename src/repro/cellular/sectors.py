@@ -38,7 +38,7 @@ class SectorCatalog:
     computation.
     """
 
-    def __init__(self, operator: Operator, sectors: Sequence[Sector]):
+    def __init__(self, operator: Operator, sectors: Sequence[Sector]) -> None:
         self.operator = operator
         self._sectors: List[Sector] = list(sectors)
         self._by_id: Dict[int, Sector] = {s.sector_id: s for s in self._sectors}

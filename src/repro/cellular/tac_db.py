@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class DeviceModel:
         return self.os in SMARTPHONE_OSES
 
     @property
-    def property_key(self) -> tuple:
+    def property_key(self) -> Tuple[str, str]:
         """(manufacturer, model) — the key used when the classifier
         propagates an APN-derived label to "devices having the same
         properties" (§4.3)."""
@@ -94,7 +94,7 @@ class DeviceModel:
 class TACDatabase:
     """Lookup from TAC to :class:`DeviceModel`, GSMA-catalog style."""
 
-    def __init__(self, models: Sequence[DeviceModel]):
+    def __init__(self, models: Sequence[DeviceModel]) -> None:
         self._by_tac: Dict[int, DeviceModel] = {}
         for model in models:
             if model.tac in self._by_tac:
@@ -126,7 +126,7 @@ class TACCatalogBuilder:
     flavour.
     """
 
-    def __init__(self, rng: np.random.Generator):
+    def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
         self._models: List[DeviceModel] = []
         self._next_phone_tac = 35000000

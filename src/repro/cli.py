@@ -18,17 +18,13 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.activity import fig7_active_days
 from repro.analysis.ascii_plots import render_bars, render_ecdf, render_heatmap
 from repro.analysis.mobility import fig8_gyration
 from repro.analysis.network_usage import fig9_network_usage
-from repro.analysis.platform import (
-    fig2_device_distribution,
-    fig3_dynamics,
-    platform_stats,
-)
+from repro.analysis.platform import fig2_device_distribution, fig3_dynamics
 from repro.analysis.population import (
     fig5_home_countries,
     fig6_class_vs_label,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.devices.device import IoTVertical
 
@@ -96,7 +96,7 @@ class KeywordInventory:
     constructed so no consumer keyword collides with an M2M keyword.
     """
 
-    def __init__(self, mapping: Mapping[str, IoTVertical]):
+    def __init__(self, mapping: Mapping[str, IoTVertical]) -> None:
         if not mapping:
             raise ValueError("empty keyword inventory")
         overlapping = [k for k in mapping if any(c in k or k in c for c in CONSUMER_KEYWORDS)]
@@ -110,7 +110,7 @@ class KeywordInventory:
     def __len__(self) -> int:
         return len(self._ordered)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[str, IoTVertical]]:
         return iter(self._ordered)
 
     @property

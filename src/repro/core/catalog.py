@@ -17,14 +17,14 @@ aggregates (the unit most of the paper's figures are computed over).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.rats import RadioFlags
 from repro.cellular.sectors import SectorCatalog
 from repro.cellular.tac_db import DeviceModel, TACDatabase
 from repro.core.mobility import MobilityMetrics, daily_mobility
-from repro.core.roaming import RoamingLabel, RoamingLabeler, VisitedSide
+from repro.core.roaming import RoamingLabel, RoamingLabeler
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
 
@@ -97,7 +97,7 @@ class DeviceSummary:
         return self.n_data_sessions > 0 or not self.data_flags.is_empty
 
     @property
-    def property_key(self) -> Optional[tuple]:
+    def property_key(self) -> Optional[Tuple[str, str]]:
         """(manufacturer, model) key for classifier propagation."""
         return self.model.property_key if self.model else None
 
@@ -139,7 +139,7 @@ class CatalogBuilder:
         sector_catalog: SectorCatalog,
         labeler: RoamingLabeler,
         compute_mobility: bool = True,
-    ):
+    ) -> None:
         self._tac_db = tac_db
         self._sectors = sector_catalog
         self._labeler = labeler

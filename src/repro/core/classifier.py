@@ -24,10 +24,10 @@ what the ablation bench exploits to quantify each step's contribution.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.cellular.tac_db import GSMALabel
 from repro.core.apn import (
@@ -115,7 +115,7 @@ def rank_apns(summaries: Iterable[DeviceSummary]) -> List[Tuple[str, int]]:
     This is the analyst's view the paper starts from ("ranking the APNs
     by number of devices using it, we identified 26 keywords").
     """
-    counts: Counter = Counter()
+    counts: Counter[str] = Counter()
     for summary in summaries:
         for apn in summary.apns:
             counts[apn] += 1
@@ -125,7 +125,7 @@ def rank_apns(summaries: Iterable[DeviceSummary]) -> List[Tuple[str, int]]:
 class DeviceClassifier:
     """Runs the multi-step classification over device summaries."""
 
-    def __init__(self, config: Optional[ClassifierConfig] = None):
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
 
     # -- step 1 ----------------------------------------------------------------
@@ -162,7 +162,7 @@ class DeviceClassifier:
     ) -> Dict[str, Classification]:
         """Classify every device; returns device_id -> Classification."""
         result: Dict[str, Classification] = {}
-        m2m_property_keys: Set[tuple] = set()
+        m2m_property_keys: Set[Tuple[str, str]] = set()
 
         # Step 1: validated M2M APNs.
         if self.config.use_apn_keywords:
@@ -240,6 +240,6 @@ def class_shares(classifications: Mapping[str, Classification]) -> Dict[ClassLab
     """Fraction of devices per class — the 62/8/26/4% headline split."""
     if not classifications:
         return {label: 0.0 for label in ClassLabel}
-    counts: Counter = Counter(c.label for c in classifications.values())
+    counts: Counter[ClassLabel] = Counter(c.label for c in classifications.values())
     total = len(classifications)
     return {label: counts.get(label, 0) / total for label in ClassLabel}

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.cellular.geo import GeoPoint, radius_of_gyration_km, weighted_centroid
 from repro.cellular.sectors import SectorCatalog

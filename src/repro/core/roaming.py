@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 from repro.cellular.identifiers import PLMN
 from repro.cellular.operators import Operator, OperatorRegistry
@@ -101,7 +100,7 @@ class RoamingLabeler:
     identity of the MNO under study.
     """
 
-    def __init__(self, registry: OperatorRegistry, observer: Operator):
+    def __init__(self, registry: OperatorRegistry, observer: Operator) -> None:
         if observer.is_mvno:
             raise ValueError("the observing operator must be an MNO")
         self._registry = registry

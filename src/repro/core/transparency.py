@@ -20,9 +20,10 @@ This module implements the mechanism so the two worlds can be compared:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.cellular.identifiers import plmn_candidates
 from repro.core.apn import parse_apn
 from repro.core.catalog import DeviceSummary
 from repro.core.classifier import Classification, ClassLabel
@@ -69,7 +70,7 @@ class M2MDeclaration:
 class TransparencyRegistry:
     """The collection of declarations a visited MNO has received."""
 
-    def __init__(self, declarations: Optional[Iterable[M2MDeclaration]] = None):
+    def __init__(self, declarations: Optional[Iterable[M2MDeclaration]] = None) -> None:
         self._by_home: Dict[str, List[M2MDeclaration]] = {}
         for declaration in declarations or []:
             self.add(declaration)
@@ -96,7 +97,7 @@ class TransparencyDetector:
     falls in a declared range.
     """
 
-    def __init__(self, registry: TransparencyRegistry):
+    def __init__(self, registry: TransparencyRegistry) -> None:
         self._registry = registry
 
     def detect_by_apn(self, summaries: Mapping[str, DeviceSummary]) -> Set[str]:
@@ -117,8 +118,7 @@ class TransparencyDetector:
         """``imsis`` maps device_id -> 15-digit IMSI string."""
         detected: Set[str] = set()
         for device_id, imsi in imsis.items():
-            home_plmn_candidates = (imsi[:5], imsi[:6])
-            for home_plmn in home_plmn_candidates:
+            for home_plmn in plmn_candidates(imsi):
                 for declaration in self._registry.declarations_for(home_plmn):
                     if any(r.contains(imsi) for r in declaration.imsi_ranges):
                         detected.add(device_id)

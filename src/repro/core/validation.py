@@ -12,9 +12,9 @@ reported separately as coverage loss.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 from repro.core.classifier import Classification, ClassLabel
 from repro.datasets.containers import GroundTruthEntry

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Union
 
 from repro.signaling.cdr import ServiceRecord, ServiceType
 from repro.signaling.events import RadioEvent, RadioInterface

@@ -22,10 +22,10 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Set, Union
+from typing import List, Set, Union
 
 from repro.cellular.countries import default_countries
-from repro.cellular.identifiers import luhn_is_valid
+from repro.cellular.identifiers import luhn_is_valid, mcc_of
 
 PathLike = Union[str, Path]
 
@@ -35,9 +35,7 @@ _FIFTEEN_DIGITS = re.compile(r"(?<!\d)(\d{15})(?!\d)")
 #: International MSISDN-ish pattern: + and 11-14 digits.
 _MSISDN = re.compile(r"\+\d{11,14}")
 
-_KNOWN_MCCS: Set[str] = {
-    f"{country.mcc:03d}" for country in default_countries()
-}
+_KNOWN_MCCS: Set[int] = {country.mcc for country in default_countries()}
 
 
 @dataclass(frozen=True)
@@ -57,7 +55,7 @@ class PrivacyFinding:
 def _classify_fifteen(digits: str) -> str:
     if luhn_is_valid(digits):
         return "imei"
-    if digits[:3] in _KNOWN_MCCS:
+    if mcc_of(digits) in _KNOWN_MCCS:
         return "imsi"
     return "id15"
 

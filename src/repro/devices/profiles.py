@@ -22,7 +22,7 @@ Calibration anchors (from the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Dict, Optional
 

@@ -14,9 +14,8 @@ the paper observes (mean 267 signaling records but a 130k-message tail).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
 
 import numpy as np
 

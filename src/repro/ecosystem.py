@@ -27,7 +27,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cellular.countries import Country, CountryRegistry, Region, default_countries
+from repro.cellular.countries import (
+    Country,
+    CountryRegistry,
+    default_countries,
+)
 from repro.cellular.geo import GeoPoint
 from repro.cellular.identifiers import PLMN
 from repro.cellular.operators import Operator, OperatorRegistry, OperatorType

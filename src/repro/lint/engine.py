@@ -1,0 +1,434 @@
+"""Core of the lint framework: findings, rule base class, file runner.
+
+A :class:`Rule` declares the AST node types it wants to see; the engine
+parses each file once and dispatches nodes to every applicable rule in a
+single walk.  Rules that need whole-file context (e.g. the public-API
+drift check) override :meth:`Rule.check_file` instead.
+
+Suppression: a ``# repro: noqa[RULE-ID]`` comment silences that rule on
+its line (comma-separate several ids; bare ``# repro: noqa`` silences
+every rule on the line).  Suppressions that silence nothing are reported
+as ``NOQA001`` warnings so stale exemptions surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.lint.registry import all_rules
+
+PathLike = Union[str, Path]
+
+#: Rule id for unused-suppression warnings (the rule class lives in
+#: ``repro.lint.rules.noqa`` purely so it appears in the catalog).
+UNUSED_SUPPRESSION_ID = "NOQA001"
+
+#: Rule id attached to files that fail to parse.
+SYNTAX_ERROR_ID = "SYNTAX001"
+
+_NOQA_ALL = re.compile(r"#\s*repro:\s*noqa\s*(?:$|[^\[])")
+_NOQA_IDS = re.compile(r"#\s*repro:\s*noqa\[([^\]]*)\]")
+
+
+class Severity(str, Enum):
+    """How bad a finding is; both levels count toward the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, sortable into deterministic report order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    fix_hint: str = ""
+
+    def render_text(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+        if self.fix_hint:
+            text += f"\n    hint: {self.fix_hint}"
+        return text
+
+    def render_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass
+class _Suppression:
+    """One noqa directive: which rules it silences and whether it fired."""
+
+    line: int
+    rule_ids: Optional[Set[str]]  # None = every rule
+    used: bool = False
+
+    def covers(self, rule_id: str) -> bool:
+        return self.rule_ids is None or rule_id in self.rule_ids
+
+
+class FileContext:
+    """Everything a rule may want to know about the file being linted."""
+
+    def __init__(self, path: PathLike, source: str, tree: ast.Module):
+        self.path = Path(path)
+        self.posix = self.path.as_posix()
+        self.parts: Tuple[str, ...] = self.path.parts
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self._numpy_aliases: Optional[Set[str]] = None
+        self._from_imports: Optional[Dict[str, str]] = None
+
+    # -- path scoping helpers ------------------------------------------------
+
+    def in_package(self, *names: str) -> bool:
+        """True when any path component matches one of ``names``.
+
+        Lint scoping keys on directory names (``mno``, ``analysis``, …)
+        so it works for both ``src/repro/mno/x.py`` and test fixtures
+        living under ``tests/lint/fixtures/mno/x.py``.
+        """
+        return any(part in names for part in self.parts)
+
+    def is_module(self, tail: str) -> bool:
+        """True when the file path ends with ``tail`` (posix form)."""
+        return self.posix.endswith(tail)
+
+    # -- import tracking -----------------------------------------------------
+
+    def _scan_imports(self) -> None:
+        numpy_aliases: Set[str] = set()
+        from_imports: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        numpy_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    from_imports[local] = f"{node.module}.{alias.name}"
+        self._numpy_aliases = numpy_aliases
+        self._from_imports = from_imports
+
+    @property
+    def numpy_aliases(self) -> Set[str]:
+        """Local names bound to the numpy top-level module."""
+        if self._numpy_aliases is None:
+            self._scan_imports()
+        assert self._numpy_aliases is not None
+        return self._numpy_aliases
+
+    @property
+    def from_imports(self) -> Dict[str, str]:
+        """Local name -> dotted origin for every ``from x import y``."""
+        if self._from_imports is None:
+            self._scan_imports()
+        assert self._from_imports is not None
+        return self._from_imports
+
+    def resolves_to(self, name: str, dotted: str) -> bool:
+        """True when local ``name`` was imported as ``dotted``."""
+        return self.from_imports.get(name) == dotted
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class-level metadata, optionally restrict
+    themselves to part of the tree via :meth:`applies_to`, and implement
+    :meth:`visit` (called for every node whose type is listed in
+    ``node_types``) and/or :meth:`check_file`.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = ""
+    fix_hint: ClassVar[str] = ""
+    node_types: ClassVar[Tuple[type, ...]] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self,
+        ctx: FileContext,
+        line: int,
+        col: int = 0,
+        message: Optional[str] = None,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding pre-filled with this rule's metadata."""
+        return Finding(
+            path=ctx.posix,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message if message is not None else self.summary,
+            fix_hint=fix_hint if fix_hint is not None else self.fix_hint,
+        )
+
+    def finding_at(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: Optional[str] = None,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix_hint=fix_hint,
+        )
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) for every real comment token in ``source``.
+
+    Tokenizing (rather than line-scanning) keeps noqa examples inside
+    docstrings and string literals from being treated as directives.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def _parse_suppressions(source: str) -> List[_Suppression]:
+    suppressions: List[_Suppression] = []
+    for lineno, comment in _iter_comments(source):
+        if "repro:" not in comment:
+            continue
+        match = _NOQA_IDS.search(comment)
+        if match:
+            ids = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            suppressions.append(_Suppression(line=lineno, rule_ids=ids or None))
+        elif _NOQA_ALL.search(comment):
+            suppressions.append(_Suppression(line=lineno, rule_ids=None))
+    return suppressions
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[Type[Rule]]:
+    rules = all_rules()
+    known = {rule.rule_id for rule in rules}
+    for rule_id in list(select or []) + list(ignore or []):
+        if rule_id not in known:
+            raise ValueError(f"unknown rule id {rule_id!r}")
+    if select:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def _meta_for(rule_id: str) -> Tuple[Severity, str]:
+    """(severity, fix_hint) for engine-synthesized findings."""
+    from repro.lint.registry import get_rule
+
+    try:
+        rule = get_rule(rule_id)
+    except KeyError:
+        return Severity.WARNING, ""
+    return rule.severity, rule.fix_hint
+
+
+def lint_source(
+    source: str,
+    path: PathLike = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one python source string; returns sorted findings."""
+    rule_classes = _select_rules(select, ignore)
+    active_ids = {rule.rule_id for rule in rule_classes}
+    posix = Path(path).as_posix()
+
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        severity, hint = _meta_for(SYNTAX_ERROR_ID)
+        if SYNTAX_ERROR_ID not in active_ids:
+            return []
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=SYNTAX_ERROR_ID,
+                severity=severity,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint=hint,
+            )
+        ]
+
+    ctx = FileContext(path, source, tree)
+    rules = [rule for rule in (cls() for cls in rule_classes) if rule.applies_to(ctx)]
+
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    raw: List[Finding] = []
+    if dispatch:
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                raw.extend(rule.visit(node, ctx))
+    for rule in rules:
+        raw.extend(rule.check_file(ctx))
+
+    suppressions = _parse_suppressions(source)
+    by_line: Dict[int, List[_Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, []).append(sup)
+
+    kept: List[Finding] = []
+    for finding in raw:
+        silenced = False
+        for sup in by_line.get(finding.line, ()):
+            if sup.covers(finding.rule_id):
+                sup.used = True
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+
+    if UNUSED_SUPPRESSION_ID in active_ids:
+        severity, hint = _meta_for(UNUSED_SUPPRESSION_ID)
+        for sup in suppressions:
+            if sup.used:
+                continue
+            described = (
+                ", ".join(sorted(sup.rule_ids)) if sup.rule_ids else "all rules"
+            )
+            kept.append(
+                Finding(
+                    path=posix,
+                    line=sup.line,
+                    col=0,
+                    rule_id=UNUSED_SUPPRESSION_ID,
+                    severity=severity,
+                    message=f"unused suppression ({described}): nothing to silence here",
+                    fix_hint=hint,
+                )
+            )
+
+    return sorted(kept)
+
+
+def lint_file(
+    path: PathLike,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=path, select=select, ignore=ignore)
+
+
+def _iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    seen: Set[Path] = set()
+    for raw_path in paths:
+        path = Path(raw_path)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..")
+                   for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    result = LintResult()
+    for path in _iter_python_files(paths):
+        result.files_checked += 1
+        result.findings.extend(lint_file(path, select=select, ignore=ignore))
+    result.findings.sort()
+    return result

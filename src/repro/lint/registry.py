@@ -1,0 +1,50 @@
+"""Rule registry: rules self-register at import time via a decorator.
+
+Rule modules live under :mod:`repro.lint.rules`; importing that package
+(done lazily by :func:`all_rules`) populates the registry.  Third-party
+or test-local rules can call :func:`register_rule` directly.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Dict, List, Type, TypeVar
+
+if TYPE_CHECKING:
+    from repro.lint.engine import Rule
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+R = TypeVar("R", bound="Type[Rule]")
+
+
+def register_rule(rule_cls: R) -> R:
+    """Class decorator adding a :class:`Rule` subclass to the registry.
+
+    Raises ``ValueError`` on a duplicate rule id — ids are the stable
+    public names used by ``--select``/``--ignore`` and ``noqa``.
+    """
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def _ensure_builtin_rules() -> None:
+    importlib.import_module("repro.lint.rules")
+
+
+def all_rules() -> List[Type["Rule"]]:
+    """Every registered rule class, sorted by rule id."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type["Rule"]:
+    """Look up one rule class by id (raises ``KeyError`` if unknown)."""
+    _ensure_builtin_rules()
+    return _REGISTRY[rule_id]

@@ -1,0 +1,25 @@
+"""Built-in rule modules; importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration side effect)
+    api_drift,
+    dataclass_config,
+    excepts,
+    floats,
+    identifiers,
+    mutable_defaults,
+    noqa,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "api_drift",
+    "dataclass_config",
+    "excepts",
+    "floats",
+    "identifiers",
+    "mutable_defaults",
+    "noqa",
+    "rng",
+    "wallclock",
+]

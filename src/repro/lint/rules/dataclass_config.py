@@ -1,0 +1,88 @@
+"""Config dataclass hygiene: every field annotated, every field defaulted.
+
+Config objects (``*Config`` dataclasses) are the knobs users override
+partially — a field without a default forces callers to restate
+calibration constants, and an un-annotated assignment in a dataclass
+body is a silent class attribute, not a field at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id == "ClassVar"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return False
+
+
+@register_rule
+class ConfigFieldHygiene(Rule):
+    """CFG001 — ``*Config`` dataclass fields need annotations and defaults."""
+
+    rule_id: ClassVar[str] = "CFG001"
+    name: ClassVar[str] = "config-field-hygiene"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "config dataclass field lacks a type annotation or a default"
+    )
+    fix_hint: ClassVar[str] = (
+        "annotate every field and give it a calibrated default "
+        "(use field(default_factory=...) for containers)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if not node.name.endswith("Config") or not _is_dataclass_decorated(node):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                if _is_classvar(stmt.annotation):
+                    continue
+                if stmt.value is None:
+                    name = (
+                        stmt.target.id
+                        if isinstance(stmt.target, ast.Name)
+                        else "<field>"
+                    )
+                    yield self.finding_at(
+                        ctx,
+                        stmt,
+                        message=(
+                            f"config field `{node.name}.{name}` has no default"
+                        ),
+                    )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith(
+                        "__"
+                    ):
+                        yield self.finding_at(
+                            ctx,
+                            stmt,
+                            message=(
+                                f"`{node.name}.{target.id}` is un-annotated: "
+                                "it is a class attribute, not a dataclass field"
+                            ),
+                        )

@@ -1,0 +1,56 @@
+"""Exception hygiene: no bare ``except:``, no silently swallowed errors.
+
+A simulator that swallows an exception keeps running with corrupt state
+and produces a plausible-looking but wrong dataset — the worst failure
+mode a reproduction can have.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register_rule
+class BareExcept(Rule):
+    """EXC001 — bare ``except:`` or an exception handler that does nothing."""
+
+    rule_id: ClassVar[str] = "EXC001"
+    name: ClassVar[str] = "bare-or-swallowed-except"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = "exception caught and discarded"
+    fix_hint: ClassVar[str] = (
+        "catch the narrowest exception type and either handle it or re-raise; "
+        "if ignoring is intentional, log or comment why and use "
+        "contextlib.suppress"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.finding_at(
+                ctx,
+                node,
+                message="bare `except:` catches SystemExit/KeyboardInterrupt too",
+            )
+        elif _swallows(node):
+            yield self.finding_at(
+                ctx,
+                node,
+                message="exception handler swallows the error without a trace",
+            )

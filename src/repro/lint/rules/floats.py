@@ -1,0 +1,48 @@
+"""Float equality in analysis code: shares and rates never compare exactly.
+
+Scoped to ``analysis/``: the figures and statistics modules work with
+normalized shares and averaged rates, where ``x == 0.3`` silently
+depends on rounding behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+@register_rule
+class FloatEquality(Rule):
+    """FLT001 — ``==``/``!=`` against a float literal in analysis code."""
+
+    rule_id: ClassVar[str] = "FLT001"
+    name: ClassVar[str] = "float-equality"
+    severity: ClassVar[Severity] = Severity.WARNING
+    summary: ClassVar[str] = (
+        "exact equality against a float literal is rounding-fragile"
+    )
+    fix_hint: ClassVar[str] = (
+        "compare with math.isclose(...) or an explicit epsilon "
+        "(abs(x - y) < 1e-9)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Compare,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("analysis")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_constant(left) or _is_float_constant(right):
+                yield self.finding_at(ctx, node)
+                return

@@ -1,0 +1,83 @@
+"""Identifier hygiene: no ad-hoc slicing of PLMN/IMSI/IMEI strings.
+
+Numbering-plan structure (3-digit MCC, 2-or-3-digit MNC, 8-digit TAC…)
+is encoded exactly once, in :mod:`repro.cellular.identifiers`.  A stray
+``plmn[:3]`` elsewhere silently hard-codes an assumption (say, 2-digit
+MNCs) that the helpers already get right.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: Substrings of variable/attribute names that mark an identifier string.
+_IDENTIFIER_MARKERS: Tuple[str, ...] = (
+    "plmn",
+    "imsi",
+    "imei",
+    "mccmnc",
+    "msisdn",
+)
+
+
+def _terminal_name(value: ast.AST) -> str:
+    """The rightmost simple name of an expression, lowercased.
+
+    ``summary.sim_plmn`` -> ``sim_plmn``; calls/subscripts yield ``""``.
+    """
+    if isinstance(value, ast.Attribute):
+        return value.attr.lower()
+    if isinstance(value, ast.Name):
+        return value.id.lower()
+    return ""
+
+
+def _is_int_constant(node: object) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) is int
+
+
+@register_rule
+class IdentifierSlicing(Rule):
+    """ID001 — slicing identifier strings outside cellular/identifiers.py."""
+
+    rule_id: ClassVar[str] = "ID001"
+    name: ClassVar[str] = "identifier-slicing"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "ad-hoc slicing of a PLMN/IMSI/IMEI string re-encodes numbering-plan "
+        "structure"
+    )
+    fix_hint: ClassVar[str] = (
+        "parse with repro.cellular.identifiers (PLMN.parse / IMSI.parse / "
+        "mcc_of / plmn_candidates) instead of slicing"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Subscript,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The one module allowed to know the digit layout.
+        return not ctx.is_module("cellular/identifiers.py")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Subscript)
+        name = _terminal_name(node.value)
+        if not name or not any(marker in name for marker in _IDENTIFIER_MARKERS):
+            return
+        # Only slices with literal digit positions count: a plain index
+        # (`ranges[0]`, `by_plmn[key]`) is container access, not
+        # numbering-plan parsing.
+        slc = node.slice
+        if isinstance(slc, ast.Slice):
+            bounds = (slc.lower, slc.upper, slc.step)
+            if any(_is_int_constant(b) for b in bounds):
+                yield self.finding_at(
+                    ctx,
+                    node,
+                    message=(
+                        f"`{name}[...]` slices an identifier string by digit "
+                        "position"
+                    ),
+                )

@@ -1,0 +1,59 @@
+"""Mutable default arguments: shared state across calls."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple, Union
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "Counter", "deque")
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class MutableDefaultArgument(Rule):
+    """DEF001 — mutable default argument values are shared across calls."""
+
+    rule_id: ClassVar[str] = "DEF001"
+    name: ClassVar[str] = "mutable-default-argument"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "mutable default argument: the object is created once and shared by "
+        "every call"
+    )
+    fix_hint: ClassVar[str] = "default to None and create the object in the body"
+    node_types: ClassVar[Tuple[type, ...]] = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        fn: Union[ast.FunctionDef, ast.AsyncFunctionDef] = node
+        defaults = list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield self.finding_at(
+                    ctx,
+                    default,
+                    message=(
+                        f"mutable default in `{fn.name}(...)`: the object is "
+                        "created once at def time"
+                    ),
+                )

@@ -1,0 +1,36 @@
+"""Catalog entries for the engine-emitted rules.
+
+The engine itself reports unused suppressions (``NOQA001``) and files
+that fail to parse (``SYNTAX001``); these classes exist so both rules
+show up in ``--list-rules``, the docs, and ``--select``/``--ignore``
+handling like any other rule.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.lint.engine import Rule, Severity
+from repro.lint.registry import register_rule
+
+
+@register_rule
+class UnusedSuppression(Rule):
+    """NOQA001 — a ``# repro: noqa[...]`` comment that silences nothing."""
+
+    rule_id: ClassVar[str] = "NOQA001"
+    name: ClassVar[str] = "unused-suppression"
+    severity: ClassVar[Severity] = Severity.WARNING
+    summary: ClassVar[str] = "suppression comment with no matching finding"
+    fix_hint: ClassVar[str] = "delete the stale `# repro: noqa[...]` comment"
+
+
+@register_rule
+class SyntaxErrorRule(Rule):
+    """SYNTAX001 — the file does not parse as python."""
+
+    rule_id: ClassVar[str] = "SYNTAX001"
+    name: ClassVar[str] = "syntax-error"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = "file does not parse"
+    fix_hint: ClassVar[str] = "fix the syntax error"

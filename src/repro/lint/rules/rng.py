@@ -1,0 +1,152 @@
+"""RNG discipline: every random draw must flow from a seeded Generator.
+
+The whole reproduction is built on deterministic simulators; a single
+``import random`` or ``np.random.seed()`` call re-introduces hidden
+global state and silently breaks run-to-run reproducibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: numpy legacy global-state API (``np.random.<fn>``); ``default_rng``,
+#: ``Generator`` and ``SeedSequence`` are the sanctioned entry points.
+_GLOBAL_STATE_FNS: FrozenSet[str] = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "poisson",
+        "exponential",
+        "binomial",
+        "lognormal",
+        "zipf",
+        "beta",
+        "gamma",
+        "pareto",
+        "standard_normal",
+        "get_state",
+        "set_state",
+    }
+)
+
+
+@register_rule
+class StdlibRandomImport(Rule):
+    """RNG001 — the stdlib ``random`` module is banned in ``repro``."""
+
+    rule_id: ClassVar[str] = "RNG001"
+    name: ClassVar[str] = "stdlib-random-import"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = "stdlib `random` is banned: it is hidden global state"
+    fix_hint: ClassVar[str] = (
+        "draw from a numpy Generator created with "
+        "np.random.default_rng(seed) and threaded in from the config"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding_at(ctx, node)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module is not None:
+                if node.module == "random" or node.module.startswith("random."):
+                    yield self.finding_at(ctx, node)
+
+
+@register_rule
+class NumpyGlobalStateRNG(Rule):
+    """RNG002 — numpy's legacy global-state RNG API is banned."""
+
+    rule_id: ClassVar[str] = "RNG002"
+    name: ClassVar[str] = "numpy-global-rng"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "numpy global-state RNG call (np.random.<fn>) is banned"
+    )
+    fix_hint: ClassVar[str] = (
+        "use a Generator instance: rng = np.random.default_rng(seed); rng.<fn>(...)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Attribute, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_STATE_FNS:
+                        yield self.finding_at(
+                            ctx,
+                            node,
+                            message=(
+                                f"importing numpy.random.{alias.name} "
+                                "(global-state RNG API) is banned"
+                            ),
+                        )
+            return
+        assert isinstance(node, ast.Attribute)
+        if node.attr not in _GLOBAL_STATE_FNS:
+            return
+        value = node.value
+        # np.random.<fn> — value is Attribute(random) over a numpy alias.
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in ctx.numpy_aliases
+        ):
+            yield self.finding_at(
+                ctx,
+                node,
+                message=f"np.random.{node.attr} uses numpy's hidden global RNG state",
+            )
+
+
+@register_rule
+class UnseededDefaultRng(Rule):
+    """RNG003 — ``default_rng()`` without a seed is nondeterministic."""
+
+    rule_id: ClassVar[str] = "RNG003"
+    name: ClassVar[str] = "unseeded-default-rng"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "default_rng() called without a seed: entropy comes from the OS"
+    )
+    fix_hint: ClassVar[str] = (
+        "pass the seed from the run config: np.random.default_rng(config.seed)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if node.args or node.keywords:
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "default_rng" and ctx.resolves_to(
+                func.id, "numpy.random.default_rng"
+            ):
+                yield self.finding_at(ctx, node)
+        elif isinstance(func, ast.Attribute) and func.attr == "default_rng":
+            value = func.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ctx.numpy_aliases
+            ):
+                yield self.finding_at(ctx, node)

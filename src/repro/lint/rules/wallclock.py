@@ -1,0 +1,105 @@
+"""Wall-clock ban: simulators must take time from the config, not the OS.
+
+Scoped to the simulation packages (``mno``, ``platform_m2m``,
+``signaling``, ``devices``): a simulator that reads the host clock
+produces different traces on every run and can never be replayed.
+Analysis/reporting code may timestamp its own output freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+_SIM_PACKAGES: Tuple[str, ...] = ("mno", "platform_m2m", "signaling", "devices")
+
+#: Methods on datetime/date classes that read the wall clock.
+_DATETIME_METHODS: FrozenSet[str] = frozenset({"now", "today", "utcnow"})
+
+#: Functions in the ``time`` module that read the wall clock.
+_TIME_FUNCTIONS: FrozenSet[str] = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "monotonic", "monotonic_ns"}
+)
+
+
+@register_rule
+class WallClockInSimulator(Rule):
+    """TIME001 — no wall-clock reads inside simulation packages."""
+
+    rule_id: ClassVar[str] = "TIME001"
+    name: ClassVar[str] = "wall-clock-in-simulator"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "wall-clock read in a simulation package: traces become unreplayable"
+    )
+    fix_hint: ClassVar[str] = (
+        "derive simulation time from the config window "
+        "(day index / seconds offset), never from the host clock"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_SIM_PACKAGES)
+
+    def _base_name(self, value: ast.AST) -> str:
+        """Terminal name of a Name/Attribute chain (``a.b.c`` -> ``a``)."""
+        while isinstance(value, ast.Attribute):
+            value = value.value
+        return value.id if isinstance(value, ast.Name) else ""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            base = self._base_name(func.value)
+            dotted = ast.unparse(func) if hasattr(ast, "unparse") else attr
+            if attr in _DATETIME_METHODS and self._is_datetime_base(func.value, ctx):
+                yield self.finding_at(
+                    ctx, node, message=f"{dotted}() reads the wall clock"
+                )
+            elif attr in _TIME_FUNCTIONS and base == "time" and (
+                "time" not in ctx.from_imports
+            ):
+                yield self.finding_at(
+                    ctx, node, message=f"time.{attr}() reads the wall clock"
+                )
+        elif isinstance(func, ast.Name):
+            origin = ctx.from_imports.get(func.id, "")
+            if origin.startswith("time.") and origin.split(".", 1)[1] in _TIME_FUNCTIONS:
+                yield self.finding_at(
+                    ctx, node, message=f"{origin}() reads the wall clock"
+                )
+            elif func.id in _DATETIME_METHODS and origin in (
+                "datetime.datetime.now",
+                "datetime.datetime.utcnow",
+                "datetime.date.today",
+            ):
+                yield self.finding_at(
+                    ctx, node, message=f"{origin}() reads the wall clock"
+                )
+
+    def _is_datetime_base(self, value: ast.AST, ctx: FileContext) -> bool:
+        """True when ``value`` names the datetime/date class or module.
+
+        Covers ``datetime.now()`` / ``date.today()`` (class imported from
+        the datetime module) and ``datetime.datetime.now()`` (module
+        attribute access).
+        """
+        if isinstance(value, ast.Name):
+            if value.id in ("datetime", "date"):
+                origin = ctx.from_imports.get(value.id, "")
+                return origin in ("datetime.datetime", "datetime.date") or (
+                    value.id == "datetime" and not origin
+                )
+            return False
+        if isinstance(value, ast.Attribute):
+            return (
+                value.attr in ("datetime", "date")
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "datetime"
+            )
+        return False

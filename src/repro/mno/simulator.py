@@ -21,9 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cellular.geo import GeoPoint
 from repro.cellular.rats import RAT
-from repro.cellular.sectors import SectorCatalog
 from repro.datasets.containers import GroundTruthEntry, MNODataset
 from repro.ecosystem import Ecosystem
 from repro.mno.config import MNOConfig

@@ -9,7 +9,7 @@ range and the dataset-side selectors for both fleets.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, Iterable, Mapping, Set, Tuple
 
 from repro.cellular.identifiers import IMSI
 from repro.core.apn import ENERGY_COMPANIES, parse_apn

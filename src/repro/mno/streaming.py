@@ -16,10 +16,9 @@ the same config always reproduces the same batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
-import numpy as np
 
 from repro.datasets.containers import GroundTruthEntry
 from repro.ecosystem import Ecosystem

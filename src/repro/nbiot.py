@@ -22,12 +22,11 @@ archaeology.  This module models that future:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.classifier import ClassLabel
 from repro.devices.device import DeviceClass, IoTVertical
 from repro.pipeline import PipelineResult
 

@@ -28,8 +28,8 @@ class HMNOFleetConfig:
     ``vertical_mix`` — ground-truth verticals of the fleet.
     """
 
-    share: float
-    roaming_fraction: float
+    share: float = 1.0
+    roaming_fraction: float = 0.0
     visited_country_zipf: float = 1.6
     multi_country_fraction: float = 0.05
     vertical_mix: Mapping[IoTVertical, float] = field(

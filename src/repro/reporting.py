@@ -9,8 +9,7 @@ plots for the distribution figures.  The CLI exposes it as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.activity import fig7_active_days
 from repro.analysis.ascii_plots import render_bars, render_ecdf, render_heatmap

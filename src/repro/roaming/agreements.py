@@ -10,7 +10,7 @@ between partners with working 2G/3G roaming.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.cellular.identifiers import PLMN

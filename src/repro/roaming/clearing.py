@@ -16,12 +16,12 @@ clearing volume wildly out of proportion to the money they move.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.roaming.billing import TAPRecord
-from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.cdr import ServiceType
 
 
 @dataclass(frozen=True)

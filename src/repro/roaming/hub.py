@@ -13,7 +13,7 @@ coverage for the platform's IoT SIMs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.cellular.geo import GeoPoint, haversine_km

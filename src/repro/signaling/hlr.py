@@ -17,10 +17,10 @@ one.  This module implements that registry:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
 
-from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+from repro.signaling.procedures import MessageType, SignalingTransaction
 
 
 class HomeLocationRegister:

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+
+from repro.cellular.identifiers import mcc_of
 
 
 class MessageType(str, Enum):
@@ -82,11 +83,11 @@ class SignalingTransaction:
 
     @property
     def sim_mcc(self) -> int:
-        return int(self.sim_plmn[:3])
+        return mcc_of(self.sim_plmn)
 
     @property
     def visited_mcc(self) -> int:
-        return int(self.visited_plmn[:3])
+        return mcc_of(self.visited_plmn)
 
     @property
     def is_roaming(self) -> bool:

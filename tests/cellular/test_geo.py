@@ -1,8 +1,6 @@
 """Unit tests for geographic primitives."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.cellular.geo import (

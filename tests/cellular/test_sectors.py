@@ -1,6 +1,5 @@
 """Unit tests for sector catalogs."""
 
-import numpy as np
 import pytest
 
 from repro.cellular.countries import default_countries

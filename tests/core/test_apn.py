@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.apn import (
-    APN,
     APNKind,
     AUTOMOTIVE_BRANDS,
-    CONSUMER_KEYWORDS,
     ENERGY_COMPANIES,
     KeywordInventory,
     classify_apn,

@@ -1,6 +1,5 @@
 """Unit tests for the devices-catalog builder, on hand-built records."""
 
-import numpy as np
 import pytest
 
 from repro.cellular.rats import RAT

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cellular.rats import RAT, RadioFlags
+from repro.cellular.rats import RAT
 from repro.cellular.tac_db import DeviceModel, DeviceOS, GSMALabel
 from repro.core.apn import energy_meter_apn
 from repro.core.classifier import (

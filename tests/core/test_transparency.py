@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.transparency import (
-    CoverageReport,
     IMSIRange,
     M2MDeclaration,
     TransparencyDetector,

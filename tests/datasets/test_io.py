@@ -1,6 +1,5 @@
 """Round-trip tests for JSONL serialization."""
 
-import pytest
 
 from repro.datasets.io import (
     radio_event_from_dict,

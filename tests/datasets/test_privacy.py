@@ -9,7 +9,6 @@ from repro.datasets.privacy import (
     PrivacyFinding,
     assert_clean,
     scan_export_dir,
-    scan_file,
     scan_text,
 )
 

@@ -7,7 +7,7 @@ from repro.cellular.identifiers import IMEI, IMSI, PLMN
 from repro.cellular.operators import Operator
 from repro.cellular.rats import RAT
 from repro.cellular.tac_db import DeviceModel, DeviceOS, GSMALabel
-from repro.devices.device import Device, DeviceClass, IoTVertical, SimProvenance
+from repro.devices.device import Device, DeviceClass, IoTVertical
 
 GB = default_countries().by_iso("GB")
 HOME = Operator(name="GB-1", plmn=PLMN(234, 10), country=GB)

@@ -1,6 +1,5 @@
 """Unit tests for mobility models."""
 
-import numpy as np
 import pytest
 
 from repro.cellular.geo import GeoPoint, haversine_km

@@ -1,0 +1,8 @@
+"""Fixture: float equality in analysis code — FLT001 (twice)."""
+
+
+def check(share: float) -> bool:
+    """Exact comparisons against float literals."""
+    if share == 0.5:
+        return True
+    return share != 1.0

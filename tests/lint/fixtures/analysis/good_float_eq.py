@@ -1,0 +1,7 @@
+"""Fixture: tolerance-based float comparison — must trigger nothing."""
+
+
+def check(share: float) -> bool:
+    """Epsilon comparison, and int equality stays legal."""
+    count = 3
+    return abs(share - 0.5) < 1e-9 and count == 3

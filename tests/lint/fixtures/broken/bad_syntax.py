@@ -1,0 +1,4 @@
+"""Fixture: does not parse — SYNTAX001."""
+
+def broken(:
+    return

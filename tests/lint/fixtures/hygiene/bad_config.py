@@ -1,0 +1,12 @@
+"""Fixture: config dataclass hygiene — CFG001 (twice)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulatorConfig:
+    """A field with no default and an un-annotated class attribute."""
+
+    n_devices: int
+    window_days = 22
+    seed: int = 7

@@ -1,0 +1,18 @@
+"""Fixture: bare and swallowed exception handlers — EXC001 (twice)."""
+
+
+def risky() -> int:
+    """A bare except and a handler that does nothing."""
+    try:
+        return 1
+    except:
+        return 0
+
+
+def swallow() -> int:
+    """Swallowing a typed exception is just as silent."""
+    try:
+        return 1
+    except ValueError:
+        pass
+    return 0

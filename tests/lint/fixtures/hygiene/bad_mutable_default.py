@@ -1,0 +1,6 @@
+"""Fixture: mutable default arguments — DEF001 (three findings)."""
+
+
+def collect(values=[], mapping={}, *, tags=set()):
+    """One finding per mutable default."""
+    return values, mapping, tags

@@ -1,0 +1,20 @@
+"""Fixture: clean defaults, excepts and config — must trigger nothing."""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class SimulatorConfig:
+    """Every field annotated and defaulted."""
+
+    n_devices: int = 6000
+    seed: int = 7
+
+
+def collect(values: Optional[List[int]] = None) -> List[int]:
+    """None-default plus a handler that actually handles."""
+    try:
+        return list(values or [])
+    except TypeError as exc:
+        raise ValueError("values must be iterable") from exc

@@ -1,0 +1,7 @@
+"""Fixture: ad-hoc identifier slicing — ID001 (three findings)."""
+
+
+def home_mcc(sim_plmn: str, imsi: str) -> int:
+    """Digit-position slicing of PLMN and IMSI strings."""
+    candidates = (imsi[:5], imsi[:6])
+    return int(sim_plmn[:3]) if candidates else 0

@@ -1,0 +1,11 @@
+"""Fixture: identifier parsing through the helpers — must trigger nothing."""
+
+from repro.cellular.identifiers import mcc_of, plmn_candidates
+
+
+def home_mcc(sim_plmn: str, imsi: str) -> int:
+    """The sanctioned pattern: helpers own the digit layout."""
+    candidates = plmn_candidates(imsi)
+    ranges = (imsi, imsi)
+    _ = ranges[0]  # plain container indexing stays legal
+    return mcc_of(sim_plmn) if candidates else 0

@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads in a simulation package — TIME001 (four)."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp() -> float:
+    """Every flavour of host-clock read."""
+    datetime.now()
+    datetime.utcnow()
+    date.today()
+    return time.time()

@@ -1,0 +1,6 @@
+"""Fixture: simulation time derived from config — must trigger nothing."""
+
+
+def event_time(day_index: int, seconds_into_day: float) -> float:
+    """Simulation timestamps flow from the configured window."""
+    return day_index * 86400.0 + seconds_into_day

@@ -1,0 +1,6 @@
+"""Fixture: a real finding silenced by noqa — must trigger nothing."""
+
+
+def home_mcc(sim_plmn: str) -> int:
+    """The slice below is exempted, so no ID001 (and no NOQA001)."""
+    return int(sim_plmn[:3])  # repro: noqa[ID001]

@@ -1,0 +1,8 @@
+"""Fixture: a suppression with nothing to silence — NOQA001 (twice)."""
+
+
+def clean() -> int:
+    """Stale exemptions on perfectly clean lines."""
+    a = 1  # repro: noqa[ID001]
+    b = 2  # repro: noqa
+    return a + b

@@ -1,0 +1,11 @@
+"""Fixture: stdlib random import — must trigger RNG001 (twice)."""
+
+import random
+
+from random import shuffle
+
+
+def draw() -> float:
+    """Use the banned module so the imports are not dead code."""
+    shuffle([])
+    return random.random()

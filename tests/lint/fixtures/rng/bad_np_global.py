@@ -1,0 +1,11 @@
+"""Fixture: numpy global-state RNG — must trigger RNG002 (three times)."""
+
+import numpy as np
+from numpy.random import randint
+
+
+def draw() -> float:
+    """Seed and draw through the legacy global-state API."""
+    np.random.seed(7)
+    randint(10)
+    return float(np.random.uniform())

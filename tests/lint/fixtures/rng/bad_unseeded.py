@@ -1,0 +1,9 @@
+"""Fixture: unseeded default_rng — must trigger RNG003 (twice)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_rngs() -> tuple:
+    """Both spellings of an unseeded Generator."""
+    return np.random.default_rng(), default_rng()

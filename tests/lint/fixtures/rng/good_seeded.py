@@ -1,0 +1,13 @@
+"""Fixture: disciplined RNG use — must trigger nothing."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """A Generator seeded from config is the sanctioned pattern."""
+    return np.random.default_rng(seed)
+
+
+def draw(rng: np.random.Generator) -> float:
+    """Draw through the passed-in Generator."""
+    return float(rng.uniform())

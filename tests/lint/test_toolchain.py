@@ -1,0 +1,37 @@
+"""Run the external toolchain (ruff, mypy) against the repo when available.
+
+The reference container does not ship ruff or mypy, so these tests skip
+there; in environments that install the ``dev`` extra (CI does) they keep
+the `pyproject.toml` configuration honest.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean() -> None:
+    """`ruff check` over all first-party code reports nothing."""
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "tools", "benchmarks", "examples"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean() -> None:
+    """`mypy` (configured via pyproject.toml) reports nothing."""
+    proc = subprocess.run(
+        ["mypy"], cwd=REPO_ROOT, capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,6 +1,5 @@
 """Tests for GGSN pools and the SMIP isolation analysis."""
 
-import numpy as np
 import pytest
 
 from repro.mno.ggsn import (

@@ -2,7 +2,6 @@
 
 from collections import defaultdict
 
-import pytest
 
 from repro.cellular.rats import RAT
 from repro.mno import MNOConfig, simulate_mno_dataset

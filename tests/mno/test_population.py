@@ -2,14 +2,13 @@
 
 from collections import Counter
 
-import numpy as np
 import pytest
 
 from repro.core.apn import classify_apn, APNKind
-from repro.devices.device import DeviceClass, SimProvenance
+from repro.devices.device import SimProvenance
 from repro.mno.config import APNBehavior, MNOConfig, default_segments
 from repro.mno.population import PopulationBuilder
-from repro.mno.smip import SMIP_IMSI_RANGE, imsi_in_smip_range
+from repro.mno.smip import imsi_in_smip_range
 
 
 @pytest.fixture(scope="module")

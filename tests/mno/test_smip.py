@@ -1,6 +1,5 @@
 """Tests for SMIP helpers and the §4.4 inference."""
 
-import pytest
 
 from repro.mno.smip import (
     identify_smip_roaming,

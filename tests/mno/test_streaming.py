@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mno import MNOConfig
-from repro.mno.streaming import DayBatch, StreamingMNOSimulator
+from repro.mno.streaming import StreamingMNOSimulator
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ import pytest
 from repro.devices.device import DeviceClass
 from repro.platform_m2m import (
     HMNOFleetConfig,
-    M2MPlatformSimulator,
     PlatformConfig,
     simulate_m2m_dataset,
 )

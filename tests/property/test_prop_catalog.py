@@ -11,11 +11,9 @@ conservation laws regardless of the stream's shape:
 
 from collections import defaultdict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cellular.rats import RadioFlags
 from repro.core.catalog import CatalogBuilder
 from repro.core.roaming import RoamingLabeler
 from repro.ecosystem import EcosystemConfig, build_default_ecosystem

@@ -9,7 +9,6 @@ from repro.roaming.clearing import (
     ClearingHouse,
     UsageStatement,
     clearing_load_per_euro,
-    statements_from_tap,
 )
 from repro.signaling.cdr import ServiceRecord, ServiceType
 

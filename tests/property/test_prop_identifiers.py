@@ -1,6 +1,6 @@
 """Property-based tests for numbering identifiers."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cellular.identifiers import (

@@ -10,7 +10,7 @@ from repro.roaming.clearing import (
     clearing_load_per_euro,
     statements_from_tap,
 )
-from repro.signaling.cdr import ServiceType, data_xdr
+from repro.signaling.cdr import ServiceType
 
 
 def _statement(home="21407", visited="23410", service=ServiceType.DATA,

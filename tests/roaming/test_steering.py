@@ -1,6 +1,5 @@
 """Unit tests for steering-of-roaming policies."""
 
-import numpy as np
 import pytest
 
 from repro.cellular.countries import default_countries

@@ -1,6 +1,5 @@
 """Tests for the Home Location Register and stream validation."""
 
-import pytest
 
 from repro.signaling.hlr import HomeLocationRegister, validate_stream
 from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction

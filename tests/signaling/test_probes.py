@@ -1,6 +1,5 @@
 """Unit tests for the passive monitoring probes."""
 
-import pytest
 
 from repro.signaling.events import RadioEvent, RadioInterface
 from repro.signaling.probes import MonitoringProbe, ProbeArray, ProbeLocation

@@ -1,6 +1,5 @@
 """Integration tests for the assembled ecosystem."""
 
-import pytest
 
 from repro.cellular.identifiers import PLMN
 from repro.cellular.rats import RAT

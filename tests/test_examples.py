@@ -7,7 +7,6 @@ study's headline phrases.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -11,7 +11,7 @@ from repro.datasets.io import read_radio_events, read_transactions, write_jsonl
 from repro.ecosystem import EcosystemConfig, build_default_ecosystem
 from repro.roaming.billing import WholesaleRater
 from repro.roaming.clearing import ClearingHouse, UsageStatement, statements_from_tap
-from repro.signaling.cdr import ServiceType, data_xdr
+from repro.signaling.cdr import data_xdr
 from repro.signaling.events import RadioEvent, RadioInterface
 from repro.signaling.procedures import MessageType, ResultCode
 

@@ -1,6 +1,5 @@
 """End-to-end integration tests: dataset -> catalog -> labels -> classes."""
 
-import pytest
 
 from repro.core.classifier import ClassifierConfig, ClassLabel
 from repro.core.validation import validate_classification
