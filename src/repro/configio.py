@@ -3,7 +3,8 @@
 Reproducibility plumbing: a simulation is fully determined by its
 configs, so persisting them alongside a generated dataset makes any run
 re-creatable.  Handles :class:`EcosystemConfig`, :class:`PlatformConfig`
-(with nested fleets and vertical mixes) and :class:`MNOConfig` —
+(with nested fleets and vertical mixes), :class:`MNOConfig` and
+:class:`~repro.faults.FaultPlan` (with outage windows) —
 **excluding** the MNO segment table, which is code-defined; a config
 referencing custom segments round-trips everything else and records the
 segment-table fingerprint so mismatches are detected at load time.
@@ -18,8 +19,10 @@ from typing import Any, Dict, Union
 
 from repro.devices.device import IoTVertical
 from repro.ecosystem import EcosystemConfig
+from repro.faults.plan import CorruptionKind, FaultPlan, OutageWindow
 from repro.mno.config import MNOConfig, default_segments
 from repro.platform_m2m.config import HMNOFleetConfig, PlatformConfig
+from repro.signaling.procedures import ResultCode
 
 PathLike = Union[str, Path]
 
@@ -88,6 +91,34 @@ def mno_config_to_dict(config: MNOConfig) -> Dict[str, Any]:
     }
 
 
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """Serialize a FaultPlan (with outage windows) to a JSON-ready dict.
+
+    A persisted plan plus a dataset config fully determines an injected
+    dataset, so chaos runs are re-creatable the same way simulations are.
+    """
+    return {
+        _KIND_KEY: "FaultPlan",
+        "seed": plan.seed,
+        "drop_rate": plan.drop_rate,
+        "duplicate_rate": plan.duplicate_rate,
+        "reorder_rate": plan.reorder_rate,
+        "corrupt_rate": plan.corrupt_rate,
+        "reorder_window": plan.reorder_window,
+        "corruptions": [kind.value for kind in plan.corruptions],
+        "truncate_fraction": plan.truncate_fraction,
+        "outages": [
+            {
+                "start_s": window.start_s,
+                "end_s": window.end_s,
+                "plmn": window.plmn,
+                "result": window.result.value,
+            }
+            for window in plan.outages
+        ],
+    }
+
+
 def config_from_dict(payload: Dict[str, Any]):
     """Rebuild a config object from its dict form."""
     kind = payload.get(_KIND_KEY)
@@ -140,6 +171,28 @@ def config_from_dict(payload: Dict[str, Any]):
                 f"(saved {expected}, current {actual})"
             )
         return config
+    if kind == "FaultPlan":
+        return FaultPlan(
+            seed=payload["seed"],
+            drop_rate=payload["drop_rate"],
+            duplicate_rate=payload["duplicate_rate"],
+            reorder_rate=payload["reorder_rate"],
+            corrupt_rate=payload["corrupt_rate"],
+            reorder_window=payload["reorder_window"],
+            corruptions=tuple(
+                CorruptionKind(value) for value in payload["corruptions"]
+            ),
+            truncate_fraction=payload["truncate_fraction"],
+            outages=tuple(
+                OutageWindow(
+                    start_s=window["start_s"],
+                    end_s=window["end_s"],
+                    plmn=window["plmn"],
+                    result=ResultCode(window["result"]),
+                )
+                for window in payload["outages"]
+            ),
+        )
     raise ValueError(f"unknown config kind {kind!r}")
 
 
@@ -151,6 +204,8 @@ def to_dict(config) -> Dict[str, Any]:
         return platform_config_to_dict(config)
     if isinstance(config, MNOConfig):
         return mno_config_to_dict(config)
+    if isinstance(config, FaultPlan):
+        return fault_plan_to_dict(config)
     raise TypeError(f"unsupported config type {type(config).__name__}")
 
 

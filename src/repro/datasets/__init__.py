@@ -20,6 +20,13 @@ from repro.datasets.export import (
 from repro.datasets.privacy import assert_clean, scan_export_dir, scan_file
 from repro.datasets.sampling import sample_devices, sample_transactions
 from repro.datasets.io import (
+    IngestError,
+    IngestErrorKind,
+    IngestReport,
+    ingest_jsonl,
+    ingest_radio_events,
+    ingest_service_records,
+    ingest_transactions,
     read_jsonl,
     read_radio_events,
     read_service_records,
@@ -32,7 +39,14 @@ from repro.datasets.io import (
 
 __all__ = [
     "GroundTruthEntry",
+    "IngestError",
+    "IngestErrorKind",
+    "IngestReport",
     "assert_clean",
+    "ingest_jsonl",
+    "ingest_radio_events",
+    "ingest_service_records",
+    "ingest_transactions",
     "read_day_records",
     "read_summaries",
     "sample_devices",

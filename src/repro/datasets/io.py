@@ -1,22 +1,147 @@
-"""JSONL serialization for the three record types.
+"""JSONL serialization for the three record types, with resilient ingest.
 
 Datasets are expensive to generate at scale, so the record streams can
 be written once and re-read by any analysis.  JSON Lines keeps the
 format greppable and append-friendly; every record type serializes to a
 flat dict of primitives.
+
+Reading has two modes.  **Strict** (the default, and what the plain
+``read_*`` functions do) raises on the first bad row, with the file and
+line number in the error — an analysis should never silently run on a
+partially-read dataset.  **Lenient** (``ingest_*`` with
+``lenient=True``) quarantines bad rows into a typed
+:class:`IngestReport` instead, classifying each error as
+
+* ``parse`` — the line is not JSON at all (torn writes, truncation);
+* ``schema`` — valid JSON that does not match the codec (missing field,
+  unknown enum value, uncoercible type);
+* ``semantic`` — a well-formed row whose values violate the record
+  invariants (negative timestamp, malformed PLMN).
+
+The taxonomy mirrors :class:`repro.faults.plan.CorruptionKind`, so every
+fault the injection layer can put into a file lands in exactly one
+bucket here.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
+from enum import Enum
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.signaling.cdr import ServiceRecord, ServiceType
 from repro.signaling.events import RadioEvent, RadioInterface
 from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
 
 PathLike = Union[str, Path]
+
+R = TypeVar("R")
+
+#: How much of a bad raw line an IngestError keeps for debugging.
+_EXCERPT_CHARS = 80
+
+
+class IngestErrorKind(str, Enum):
+    """Which layer rejected a quarantined row."""
+
+    PARSE = "parse"
+    SCHEMA = "schema"
+    SEMANTIC = "semantic"
+
+
+@dataclass(frozen=True)
+class IngestError:
+    """One quarantined row: where it was, why it was rejected."""
+
+    path: str
+    line_no: int
+    kind: IngestErrorKind
+    message: str
+    excerpt: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.kind.value}] {self.message}"
+
+
+@dataclass
+class IngestReport:
+    """Outcome of reading one (or several merged) JSONL files.
+
+    ``n_rows`` counts physical non-blank lines; ``n_ok`` the rows that
+    became records.  ``coverage`` is the fraction that survived — the
+    number an analysis should report alongside any result computed from
+    a lenient read.
+    """
+
+    path: str = ""
+    n_rows: int = 0
+    n_ok: int = 0
+    errors: List[IngestError] = field(default_factory=list)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.errors
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of rows successfully ingested (1.0 for empty files)."""
+        if self.n_rows == 0:
+            return 1.0
+        return self.n_ok / self.n_rows
+
+    @property
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for error in self.errors:
+            counts[error.kind.value] = counts.get(error.kind.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def merge(self, other: "IngestReport") -> "IngestReport":
+        """Combine two file reports into one (paths joined with ``+``)."""
+        return IngestReport(
+            path=f"{self.path}+{other.path}" if self.path and other.path
+            else (self.path or other.path),
+            n_rows=self.n_rows + other.n_rows,
+            n_ok=self.n_ok + other.n_ok,
+            errors=[*self.errors, *other.errors],
+        )
+
+
+def _located(exc: BaseException, path: str, line_no: int) -> BaseException:
+    """The same error, re-raised with its file location attached."""
+    where = f"[{path}:{line_no}]"
+    if isinstance(exc, json.JSONDecodeError):
+        return json.JSONDecodeError(f"{exc.msg} {where}", exc.doc, exc.pos)
+    if isinstance(exc, KeyError):
+        missing = exc.args[0] if exc.args else "?"
+        return KeyError(f"missing field {missing!r} {where}")
+    return type(exc)(f"{exc} {where}")
+
+
+def _iter_lines(path: PathLike) -> Iterator[Tuple[int, str]]:
+    """(line_no, stripped line) for every non-blank line of a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if line:
+                yield line_no, line
 
 
 def write_jsonl(path: PathLike, rows: Iterable[Dict]) -> int:
@@ -31,12 +156,115 @@ def write_jsonl(path: PathLike, rows: Iterable[Dict]) -> int:
 
 
 def read_jsonl(path: PathLike) -> Iterator[Dict]:
-    """Yield dict rows from a JSONL file, skipping blank lines."""
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+    """Yield dict rows from a JSONL file, skipping blank lines.
+
+    Strict: a malformed line raises ``json.JSONDecodeError`` with the
+    file and line number appended to the message.
+    """
+    for line_no, line in _iter_lines(path):
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _located(exc, str(path), line_no) from exc
+
+
+def ingest_jsonl(
+    path: PathLike, lenient: bool = False
+) -> Tuple[List[Dict], IngestReport]:
+    """Read raw dict rows with a report (parse-level taxonomy only)."""
+    report = IngestReport(path=str(path))
+    rows: List[Dict] = []
+    for line_no, line in _iter_lines(path):
+        report.n_rows += 1
+        try:
+            rows.append(json.loads(line))
+            report.n_ok += 1
+        except json.JSONDecodeError as exc:
+            if not lenient:
+                raise _located(exc, report.path, line_no) from exc
+            report.errors.append(
+                IngestError(
+                    path=report.path,
+                    line_no=line_no,
+                    kind=IngestErrorKind.PARSE,
+                    message=exc.msg,
+                    excerpt=line[:_EXCERPT_CHARS],
+                )
+            )
+    return rows, report
+
+
+def _ingest(
+    path: PathLike,
+    fields_of: Callable[[Dict], Dict[str, Any]],
+    construct: Callable[..., R],
+    lenient: bool,
+) -> Tuple[List[R], IngestReport]:
+    """The shared strict/lenient codec read loop.
+
+    The two-stage build separates the taxonomy: ``fields_of`` failures
+    (missing key, enum lookup, type coercion) are *schema* errors;
+    ``construct`` failures (the record's own ``__post_init__``
+    validation) are *semantic* errors.
+    """
+    report = IngestReport(path=str(path))
+    records: List[R] = []
+    for line_no, line in _iter_lines(path):
+        report.n_rows += 1
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if not lenient:
+                raise _located(exc, report.path, line_no) from exc
+            report.errors.append(
+                IngestError(
+                    path=report.path,
+                    line_no=line_no,
+                    kind=IngestErrorKind.PARSE,
+                    message=exc.msg,
+                    excerpt=line[:_EXCERPT_CHARS],
+                )
+            )
+            continue
+        try:
+            fields = fields_of(row)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            if not lenient:
+                raise _located(exc, report.path, line_no) from exc
+            report.errors.append(
+                IngestError(
+                    path=report.path,
+                    line_no=line_no,
+                    kind=IngestErrorKind.SCHEMA,
+                    message=str(exc),
+                    excerpt=line[:_EXCERPT_CHARS],
+                )
+            )
+            continue
+        try:
+            records.append(construct(**fields))
+            report.n_ok += 1
+        except (ValueError, TypeError, AttributeError) as exc:
+            if not lenient:
+                raise _located(exc, report.path, line_no) from exc
+            # A ValueError out of the constructor is the record's own
+            # invariant check (semantic); TypeError/AttributeError mean a
+            # wrongly-typed value slipped past coercion (still schema).
+            kind = (
+                IngestErrorKind.SEMANTIC
+                if isinstance(exc, ValueError)
+                else IngestErrorKind.SCHEMA
+            )
+            report.errors.append(
+                IngestError(
+                    path=report.path,
+                    line_no=line_no,
+                    kind=kind,
+                    message=str(exc),
+                    excerpt=line[:_EXCERPT_CHARS],
+                )
+            )
+    return records, report
 
 
 # -- SignalingTransaction ----------------------------------------------------
@@ -53,16 +281,20 @@ def transaction_to_dict(txn: SignalingTransaction) -> Dict:
     }
 
 
+def _transaction_fields(row: Dict) -> Dict[str, Any]:
+    return {
+        "device_id": row["device_id"],
+        "timestamp": float(row["ts"]),
+        "sim_plmn": row["sim_plmn"],
+        "visited_plmn": row["visited_plmn"],
+        "message_type": MessageType(row["type"]),
+        "result": ResultCode(row["result"]),
+    }
+
+
 def transaction_from_dict(row: Dict) -> SignalingTransaction:
     """Rebuild a SignalingTransaction from its dict form."""
-    return SignalingTransaction(
-        device_id=row["device_id"],
-        timestamp=float(row["ts"]),
-        sim_plmn=row["sim_plmn"],
-        visited_plmn=row["visited_plmn"],
-        message_type=MessageType(row["type"]),
-        result=ResultCode(row["result"]),
-    )
+    return SignalingTransaction(**_transaction_fields(row))
 
 
 def write_transactions(path: PathLike, txns: Iterable[SignalingTransaction]) -> int:
@@ -70,9 +302,16 @@ def write_transactions(path: PathLike, txns: Iterable[SignalingTransaction]) -> 
     return write_jsonl(path, (transaction_to_dict(t) for t in txns))
 
 
+def ingest_transactions(
+    path: PathLike, lenient: bool = False
+) -> Tuple[List[SignalingTransaction], IngestReport]:
+    """Read transactions; lenient mode quarantines bad rows."""
+    return _ingest(path, _transaction_fields, SignalingTransaction, lenient)
+
+
 def read_transactions(path: PathLike) -> List[SignalingTransaction]:
-    """Read a JSONL file of transactions."""
-    return [transaction_from_dict(row) for row in read_jsonl(path)]
+    """Read a JSONL file of transactions (strict)."""
+    return ingest_transactions(path)[0]
 
 
 # -- RadioEvent ---------------------------------------------------------------
@@ -91,18 +330,22 @@ def radio_event_to_dict(event: RadioEvent) -> Dict:
     }
 
 
+def _radio_event_fields(row: Dict) -> Dict[str, Any]:
+    return {
+        "device_id": row["device_id"],
+        "timestamp": float(row["ts"]),
+        "sim_plmn": row["sim_plmn"],
+        "tac": int(row["tac"]),
+        "sector_id": int(row["sector"]),
+        "interface": RadioInterface(row["iface"]),
+        "event_type": MessageType(row["type"]),
+        "result": ResultCode(row["result"]),
+    }
+
+
 def radio_event_from_dict(row: Dict) -> RadioEvent:
     """Rebuild a RadioEvent from its dict form."""
-    return RadioEvent(
-        device_id=row["device_id"],
-        timestamp=float(row["ts"]),
-        sim_plmn=row["sim_plmn"],
-        tac=int(row["tac"]),
-        sector_id=int(row["sector"]),
-        interface=RadioInterface(row["iface"]),
-        event_type=MessageType(row["type"]),
-        result=ResultCode(row["result"]),
-    )
+    return RadioEvent(**_radio_event_fields(row))
 
 
 def write_radio_events(path: PathLike, events: Iterable[RadioEvent]) -> int:
@@ -110,9 +353,16 @@ def write_radio_events(path: PathLike, events: Iterable[RadioEvent]) -> int:
     return write_jsonl(path, (radio_event_to_dict(e) for e in events))
 
 
+def ingest_radio_events(
+    path: PathLike, lenient: bool = False
+) -> Tuple[List[RadioEvent], IngestReport]:
+    """Read radio events; lenient mode quarantines bad rows."""
+    return _ingest(path, _radio_event_fields, RadioEvent, lenient)
+
+
 def read_radio_events(path: PathLike) -> List[RadioEvent]:
-    """Read a JSONL file of radio events."""
-    return [radio_event_from_dict(row) for row in read_jsonl(path)]
+    """Read a JSONL file of radio events (strict)."""
+    return ingest_radio_events(path)[0]
 
 
 # -- ServiceRecord --------------------------------------------------------------
@@ -131,18 +381,22 @@ def service_record_to_dict(record: ServiceRecord) -> Dict:
     }
 
 
+def _service_record_fields(row: Dict) -> Dict[str, Any]:
+    return {
+        "device_id": row["device_id"],
+        "timestamp": float(row["ts"]),
+        "sim_plmn": row["sim_plmn"],
+        "visited_plmn": row["visited_plmn"],
+        "service": ServiceType(row["service"]),
+        "duration_s": float(row["duration_s"]),
+        "bytes_total": int(row["bytes"]),
+        "apn": row.get("apn"),
+    }
+
+
 def service_record_from_dict(row: Dict) -> ServiceRecord:
     """Rebuild a ServiceRecord from its dict form."""
-    return ServiceRecord(
-        device_id=row["device_id"],
-        timestamp=float(row["ts"]),
-        sim_plmn=row["sim_plmn"],
-        visited_plmn=row["visited_plmn"],
-        service=ServiceType(row["service"]),
-        duration_s=float(row["duration_s"]),
-        bytes_total=int(row["bytes"]),
-        apn=row.get("apn"),
-    )
+    return ServiceRecord(**_service_record_fields(row))
 
 
 def write_service_records(path: PathLike, records: Iterable[ServiceRecord]) -> int:
@@ -150,6 +404,13 @@ def write_service_records(path: PathLike, records: Iterable[ServiceRecord]) -> i
     return write_jsonl(path, (service_record_to_dict(r) for r in records))
 
 
+def ingest_service_records(
+    path: PathLike, lenient: bool = False
+) -> Tuple[List[ServiceRecord], IngestReport]:
+    """Read service records; lenient mode quarantines bad rows."""
+    return _ingest(path, _service_record_fields, ServiceRecord, lenient)
+
+
 def read_service_records(path: PathLike) -> List[ServiceRecord]:
-    """Read a JSONL file of service records."""
-    return [service_record_from_dict(row) for row in read_jsonl(path)]
+    """Read a JSONL file of service records (strict)."""
+    return ingest_service_records(path)[0]

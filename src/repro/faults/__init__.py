@@ -1,0 +1,67 @@
+"""Seeded, composable fault injection and the resilience layer it validates.
+
+The paper's central population is *failing* devices: §3's 4G-failed
+fleets retrying attach across up to 19 VMNOs, §7's SMIP-roaming smart
+meters hammering the signaling plane.  Real operator traces are no
+cleaner — truncated files, duplicated and reordered events, corrupted
+fields and outage gaps are the norm for long-lived measurement
+infrastructure.  This package makes those degradations *first-class,
+reproducible inputs*:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, serializable
+  composition of injectors (drop / duplicate / reorder / corrupt /
+  truncate / outage windows);
+* :mod:`repro.faults.inject` — the injectors themselves, operating on
+  typed record streams and on JSONL files (byte-deterministic for a
+  given plan);
+* :mod:`repro.faults.retry` — exponential-backoff retry modeling
+  (seeded jitter, delay cap), used by the platform simulator to model
+  reattach storms during outages and by any code that needs a sanctioned
+  retry loop (lint rule ``RETRY001`` bans ad-hoc ones).
+
+Everything a fault plan injects, the ingest layer
+(:mod:`repro.datasets.io`), the HLR validator
+(:mod:`repro.signaling.hlr`) and the pipeline's lenient mode
+(:mod:`repro.pipeline`) are built to survive; the ``chaos`` test suite
+asserts exactly that across a (plan × seed) grid.
+"""
+
+from repro.faults.inject import (
+    RADIO_EVENT_SCHEMA,
+    SERVICE_RECORD_SCHEMA,
+    TRANSACTION_SCHEMA,
+    InjectionReport,
+    RowSchema,
+    inject_jsonl,
+    inject_radio_events,
+    inject_rows,
+    inject_service_records,
+    inject_transactions,
+)
+from repro.faults.plan import CorruptionKind, FaultPlan, OutageWindow
+from repro.faults.retry import (
+    RetryError,
+    RetryPolicy,
+    backoff_schedule,
+    call_with_retry,
+)
+
+__all__ = [
+    "CorruptionKind",
+    "FaultPlan",
+    "InjectionReport",
+    "OutageWindow",
+    "RADIO_EVENT_SCHEMA",
+    "RetryError",
+    "RetryPolicy",
+    "RowSchema",
+    "SERVICE_RECORD_SCHEMA",
+    "TRANSACTION_SCHEMA",
+    "backoff_schedule",
+    "call_with_retry",
+    "inject_jsonl",
+    "inject_radio_events",
+    "inject_rows",
+    "inject_service_records",
+    "inject_transactions",
+]

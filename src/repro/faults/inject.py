@@ -1,0 +1,369 @@
+"""The injectors a :class:`~repro.faults.plan.FaultPlan` composes.
+
+Two operating levels share one implementation of the generic stream
+faults (drop / duplicate / bounded reorder):
+
+* **typed streams** — lists of :class:`SignalingTransaction`,
+  :class:`RadioEvent` or :class:`ServiceRecord`; field corruption is
+  impossible here (the constructors validate), but outage windows apply:
+  successful Update Locations inside a window flip to the window's
+  failure code, exactly what a dead HLR looks like downstream;
+* **JSONL rows/files** — dict rows (and raw lines), where field
+  corruption and file truncation live; this is what the resilient-ingest
+  layer in :mod:`repro.datasets.io` has to survive.
+
+Determinism: every injector draws from its own substream of the plan
+seed (see :class:`FaultPlan`), so the same plan injects byte-identical
+faults on every run, and enabling one injector never shifts another's
+draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+import numpy as np
+
+from repro.datasets.io import read_jsonl, transaction_to_dict
+from repro.faults.plan import CorruptionKind, FaultPlan
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+from repro.signaling.procedures import MessageType, SignalingTransaction
+
+T = TypeVar("T")
+PathLike = Union[str, Path]
+
+#: A serialized row after injection: still a dict, or a raw garbage line.
+RawRow = Union[Dict[str, Any], str]
+
+#: What a GARBAGE_LINE corruption writes: deliberately not JSON.
+_GARBAGE = '{"device_id": "###TORN-RECORD'
+
+
+@dataclass(frozen=True)
+class RowSchema:
+    """Which fields of a codec's rows each corruption kind may touch."""
+
+    name: str
+    plmn_fields: Tuple[str, ...]
+    timestamp_field: str
+    enum_fields: Tuple[str, ...]
+    required_fields: Tuple[str, ...]
+
+
+TRANSACTION_SCHEMA = RowSchema(
+    name="transaction",
+    plmn_fields=("sim_plmn", "visited_plmn"),
+    timestamp_field="ts",
+    enum_fields=("type", "result"),
+    required_fields=("device_id", "ts", "sim_plmn", "visited_plmn", "type", "result"),
+)
+
+RADIO_EVENT_SCHEMA = RowSchema(
+    name="radio_event",
+    plmn_fields=("sim_plmn",),
+    timestamp_field="ts",
+    enum_fields=("iface", "type", "result"),
+    required_fields=(
+        "device_id", "ts", "sim_plmn", "tac", "sector", "iface", "type", "result",
+    ),
+)
+
+SERVICE_RECORD_SCHEMA = RowSchema(
+    name="service_record",
+    plmn_fields=("sim_plmn", "visited_plmn"),
+    timestamp_field="ts",
+    enum_fields=("service",),
+    required_fields=(
+        "device_id", "ts", "sim_plmn", "visited_plmn", "service",
+        "duration_s", "bytes",
+    ),
+)
+
+
+@dataclass
+class InjectionReport:
+    """What one plan application actually did to one stream or file."""
+
+    n_input: int = 0
+    n_output: int = 0
+    n_dropped: int = 0
+    n_duplicated: int = 0
+    n_reordered: int = 0
+    n_corrupted: int = 0
+    n_outage_flipped: int = 0
+    n_truncated_bytes: int = 0
+
+    @property
+    def n_faults(self) -> int:
+        return (
+            self.n_dropped
+            + self.n_duplicated
+            + self.n_reordered
+            + self.n_corrupted
+            + self.n_outage_flipped
+            + (1 if self.n_truncated_bytes else 0)
+        )
+
+
+# -- generic stream faults ---------------------------------------------------
+
+def drop_items(
+    items: Sequence[T], rate: float, rng: np.random.Generator
+) -> Tuple[List[T], int]:
+    """Independently drop each item with probability ``rate``."""
+    if rate <= 0.0 or not items:
+        return list(items), 0
+    keep = rng.random(len(items)) >= rate
+    kept = [item for item, flag in zip(items, keep) if flag]
+    return kept, len(items) - len(kept)
+
+
+def duplicate_items(
+    items: Sequence[T], rate: float, rng: np.random.Generator
+) -> Tuple[List[T], int]:
+    """Emit each item once, plus an adjacent duplicate with prob ``rate``."""
+    if rate <= 0.0 or not items:
+        return list(items), 0
+    again = rng.random(len(items)) < rate
+    out: List[T] = []
+    for item, flag in zip(items, again):
+        out.append(item)
+        if flag:
+            out.append(item)
+    return out, int(np.count_nonzero(again))
+
+
+def reorder_items(
+    items: Sequence[T], rate: float, window: int, rng: np.random.Generator
+) -> Tuple[List[T], int]:
+    """Swap selected items with a neighbour at most ``window`` ahead.
+
+    Displacement is bounded, modelling the jitter of merge-sorted
+    multi-probe feeds rather than a full shuffle.
+    """
+    out = list(items)
+    n = len(out)
+    if rate <= 0.0 or window < 1 or n < 2:
+        return out, 0
+    picks = rng.random(n) < rate
+    offsets = rng.integers(1, window + 1, size=n)
+    moved = 0
+    for i in range(n):
+        if not picks[i]:
+            continue
+        j = min(n - 1, i + int(offsets[i]))
+        if j != i:
+            out[i], out[j] = out[j], out[i]
+            moved += 1
+    return out, moved
+
+
+# -- row corruption ----------------------------------------------------------
+
+def corrupt_row(
+    row: Mapping[str, Any],
+    kind: CorruptionKind,
+    schema: RowSchema,
+    rng: np.random.Generator,
+) -> RawRow:
+    """Damage one row according to ``kind``; returns a dict or a raw line."""
+    if kind is CorruptionKind.GARBAGE_LINE:
+        return _GARBAGE
+    damaged: Dict[str, Any] = dict(row)
+    if kind is CorruptionKind.BAD_PLMN:
+        target = schema.plmn_fields[int(rng.integers(len(schema.plmn_fields)))]
+        damaged[target] = "@@#!!"
+    elif kind is CorruptionKind.BAD_TIMESTAMP:
+        damaged[schema.timestamp_field] = -1.0 - float(rng.random())
+    elif kind is CorruptionKind.BAD_ENUM:
+        target = schema.enum_fields[int(rng.integers(len(schema.enum_fields)))]
+        damaged[target] = "__corrupt__"
+    elif kind is CorruptionKind.MISSING_FIELD:
+        target = schema.required_fields[
+            int(rng.integers(len(schema.required_fields)))
+        ]
+        damaged.pop(target, None)
+    return damaged
+
+
+def corrupt_rows(
+    rows: Sequence[Mapping[str, Any]],
+    rate: float,
+    kinds: Sequence[CorruptionKind],
+    schema: RowSchema,
+    rng: np.random.Generator,
+) -> Tuple[List[RawRow], int]:
+    """Independently corrupt each row with probability ``rate``."""
+    if rate <= 0.0 or not rows or not kinds:
+        return [dict(row) for row in rows], 0
+    hits = rng.random(len(rows)) < rate
+    kind_picks = rng.integers(0, len(kinds), size=len(rows))
+    out: List[RawRow] = []
+    corrupted = 0
+    for row, hit, pick in zip(rows, hits, kind_picks):
+        if hit:
+            out.append(corrupt_row(row, kinds[int(pick)], schema, rng))
+            corrupted += 1
+        else:
+            out.append(dict(row))
+    return out, corrupted
+
+
+# -- plan application: rows and files ---------------------------------------
+
+def inject_rows(
+    rows: Sequence[Mapping[str, Any]],
+    plan: FaultPlan,
+    schema: RowSchema,
+) -> Tuple[List[RawRow], InjectionReport]:
+    """Apply a plan's stream faults + corruption to dict rows."""
+    report = InjectionReport(n_input=len(rows))
+    staged: List[Mapping[str, Any]] = list(rows)
+    staged, report.n_dropped = drop_items(staged, plan.drop_rate, plan.drop_rng())
+    staged, report.n_duplicated = duplicate_items(
+        staged, plan.duplicate_rate, plan.duplicate_rng()
+    )
+    staged, report.n_reordered = reorder_items(
+        staged, plan.reorder_rate, plan.reorder_window, plan.reorder_rng()
+    )
+    out, report.n_corrupted = corrupt_rows(
+        staged, plan.corrupt_rate, plan.corruptions, schema, plan.corrupt_rng()
+    )
+    report.n_output = len(out)
+    return out, report
+
+
+def render_rows(rows: Sequence[RawRow]) -> str:
+    """Serialize injected rows back to JSONL text (garbage lines verbatim)."""
+    lines = [
+        row if isinstance(row, str) else json.dumps(row, separators=(",", ":"))
+        for row in rows
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def _write_truncated(
+    path: PathLike, rows: Sequence[RawRow], plan: FaultPlan, report: InjectionReport
+) -> None:
+    """Render rows to ``path``, applying the plan's byte truncation."""
+    text = render_rows(rows)
+    if plan.truncate_fraction > 0.0 and text:
+        keep = int(len(text) * (1.0 - plan.truncate_fraction))
+        report.n_truncated_bytes = len(text) - keep
+        text = text[:keep]
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def inject_jsonl(
+    src: PathLike,
+    dst: PathLike,
+    plan: FaultPlan,
+    schema: RowSchema,
+) -> InjectionReport:
+    """Read a clean JSONL file, write its fault-injected twin.
+
+    Byte-deterministic: the same (src, plan) always produces the same
+    ``dst`` content.  ``truncate_fraction`` cuts bytes off the end of the
+    rendered text, usually tearing the last record mid-line.
+    """
+    rows = list(read_jsonl(src))
+    out, report = inject_rows(rows, plan, schema)
+    _write_truncated(dst, out, plan, report)
+    return report
+
+
+# -- plan application: typed streams ----------------------------------------
+
+def _apply_outages(
+    transactions: Sequence[SignalingTransaction], plan: FaultPlan
+) -> Tuple[List[SignalingTransaction], int]:
+    """Flip successful Update Locations inside outage windows to failures."""
+    if not plan.outages:
+        return list(transactions), 0
+    flipped = 0
+    out: List[SignalingTransaction] = []
+    for txn in transactions:
+        window = (
+            plan.outage_at(txn.timestamp, txn.visited_plmn)
+            if txn.message_type is MessageType.UPDATE_LOCATION
+            and txn.result.is_success
+            else None
+        )
+        if window is not None:
+            out.append(dataclasses.replace(txn, result=window.result))
+            flipped += 1
+        else:
+            out.append(txn)
+    return out, flipped
+
+
+def inject_transactions(
+    transactions: Sequence[SignalingTransaction], plan: FaultPlan
+) -> Tuple[List[SignalingTransaction], InjectionReport]:
+    """Apply stream faults + outage flips to a signaling stream."""
+    report = InjectionReport(n_input=len(transactions))
+    staged, report.n_outage_flipped = _apply_outages(transactions, plan)
+    staged, report.n_dropped = drop_items(staged, plan.drop_rate, plan.drop_rng())
+    staged, report.n_duplicated = duplicate_items(
+        staged, plan.duplicate_rate, plan.duplicate_rng()
+    )
+    staged, report.n_reordered = reorder_items(
+        staged, plan.reorder_rate, plan.reorder_window, plan.reorder_rng()
+    )
+    report.n_output = len(staged)
+    return staged, report
+
+
+def _inject_generic(
+    items: Sequence[T], plan: FaultPlan
+) -> Tuple[List[T], InjectionReport]:
+    report = InjectionReport(n_input=len(items))
+    staged, report.n_dropped = drop_items(items, plan.drop_rate, plan.drop_rng())
+    staged, report.n_duplicated = duplicate_items(
+        staged, plan.duplicate_rate, plan.duplicate_rng()
+    )
+    staged, report.n_reordered = reorder_items(
+        staged, plan.reorder_rate, plan.reorder_window, plan.reorder_rng()
+    )
+    report.n_output = len(staged)
+    return staged, report
+
+
+def inject_radio_events(
+    events: Sequence[RadioEvent], plan: FaultPlan
+) -> Tuple[List[RadioEvent], InjectionReport]:
+    """Apply stream faults (drop/duplicate/reorder) to radio events."""
+    return _inject_generic(events, plan)
+
+
+def inject_service_records(
+    records: Sequence[ServiceRecord], plan: FaultPlan
+) -> Tuple[List[ServiceRecord], InjectionReport]:
+    """Apply stream faults (drop/duplicate/reorder) to CDR/xDR records."""
+    return _inject_generic(records, plan)
+
+
+# -- convenience: typed stream -> injected JSONL file ------------------------
+
+def write_injected_transactions(
+    path: PathLike, transactions: Sequence[SignalingTransaction], plan: FaultPlan
+) -> InjectionReport:
+    """Serialize a transaction stream through row-level injection."""
+    rows = [transaction_to_dict(t) for t in transactions]
+    out, report = inject_rows(rows, plan, TRANSACTION_SCHEMA)
+    _write_truncated(path, out, plan, report)
+    return report

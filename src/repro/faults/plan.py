@@ -1,0 +1,165 @@
+"""Fault plans: the seeded configuration object composing fault injectors.
+
+A :class:`FaultPlan` is to degradation what :class:`PlatformConfig` is to
+generation: one value object that fully determines the faults applied to
+a stream or file.  The same plan always injects the same faults — every
+injector draws from a per-injector substream of the plan's seed, so
+enabling one injector never shifts the draws of another.
+
+Plans serialize through :mod:`repro.configio` (kind ``"FaultPlan"``) so
+a degraded dataset can be regenerated from its persisted plan exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.signaling.procedures import ResultCode
+
+
+class CorruptionKind(str, Enum):
+    """The ways a serialized row can be damaged, one per taxonomy bucket.
+
+    ``GARBAGE_LINE`` produces a *parse* error (not JSON at all);
+    ``BAD_ENUM`` and ``MISSING_FIELD`` produce *schema* errors (the row
+    no longer matches the codec); ``BAD_PLMN`` and ``BAD_TIMESTAMP``
+    produce *semantic* errors (well-formed rows whose values violate the
+    record invariants).
+    """
+
+    BAD_PLMN = "bad_plmn"
+    BAD_TIMESTAMP = "bad_timestamp"
+    BAD_ENUM = "bad_enum"
+    MISSING_FIELD = "missing_field"
+    GARBAGE_LINE = "garbage_line"
+
+
+#: Default corruption mix: every kind, uniformly.
+ALL_CORRUPTION_KINDS: Tuple[CorruptionKind, ...] = tuple(CorruptionKind)
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """An HLR/VMNO outage: procedures fail inside ``[start_s, end_s)``.
+
+    ``plmn`` scopes the outage to one visited network; ``None`` means the
+    HLR itself is down, failing Update Locations toward *every* VMNO.
+    ``result`` is the failure code the outage produces (SystemFailure by
+    default, matching what a dead HLR looks like from the probes).
+    """
+
+    start_s: float
+    end_s: float
+    plmn: Optional[str] = None
+    result: ResultCode = ResultCode.SYSTEM_FAILURE
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage window must satisfy 0 <= start < end, "
+                f"got [{self.start_s}, {self.end_s})"
+            )
+        if self.result.is_success:
+            raise ValueError("an outage cannot produce a success result")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def covers(self, timestamp: float) -> bool:
+        """True when ``timestamp`` falls inside the window."""
+        return self.start_s <= timestamp < self.end_s
+
+    def affects(self, timestamp: float, plmn: Optional[str] = None) -> bool:
+        """True when a procedure at (timestamp, visited ``plmn``) fails."""
+        if not self.covers(timestamp):
+            return False
+        return self.plmn is None or plmn is None or self.plmn == plmn
+
+
+#: Substream salts: each injector draws from its own child stream of the
+#: plan seed so injectors compose without perturbing one another.
+_STREAM_DROP = 1
+_STREAM_DUPLICATE = 2
+_STREAM_REORDER = 3
+_STREAM_CORRUPT = 4
+
+_RATE_FIELDS = ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded composition of fault injectors over streams and files.
+
+    All rates are per-record probabilities in ``[0, 1]``; the default
+    plan injects nothing.  ``truncate_fraction`` cuts that fraction of
+    *bytes* off the end of an injected JSONL file (usually tearing the
+    final line mid-record, like a crashed writer).  ``outages`` apply to
+    signaling-transaction streams and to the platform simulator (see
+    :meth:`outage_at`).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_window: int = 4
+    corrupt_rate: float = 0.0
+    corruptions: Tuple[CorruptionKind, ...] = ALL_CORRUPTION_KINDS
+    truncate_fraction: float = 0.0
+    outages: Tuple[OutageWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS + ("truncate_fraction",):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reorder_window < 1:
+            raise ValueError(
+                f"reorder_window must be >= 1, got {self.reorder_window}"
+            )
+        if self.corrupt_rate > 0 and not self.corruptions:
+            raise ValueError("corrupt_rate > 0 needs at least one CorruptionKind")
+
+    # -- seeded substreams ---------------------------------------------------
+
+    def _stream(self, salt: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(salt,))
+        )
+
+    def drop_rng(self) -> np.random.Generator:
+        return self._stream(_STREAM_DROP)
+
+    def duplicate_rng(self) -> np.random.Generator:
+        return self._stream(_STREAM_DUPLICATE)
+
+    def reorder_rng(self) -> np.random.Generator:
+        return self._stream(_STREAM_REORDER)
+
+    def corrupt_rng(self) -> np.random.Generator:
+        return self._stream(_STREAM_CORRUPT)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def injects_anything(self) -> bool:
+        """False for the all-defaults no-op plan."""
+        return (
+            any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+            or self.truncate_fraction > 0
+            or bool(self.outages)
+        )
+
+    def outage_at(
+        self, timestamp: float, plmn: Optional[str] = None
+    ) -> Optional[OutageWindow]:
+        """The first outage window affecting (timestamp, visited plmn)."""
+        for window in self.outages:
+            if window.affects(timestamp, plmn):
+                return window
+        return None

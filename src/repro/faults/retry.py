@@ -1,0 +1,122 @@
+"""Exponential backoff with seeded jitter: the sanctioned retry model.
+
+§3's 4G-failed devices are, at heart, retry loops with no backoff cap
+that ever fires — they churn through candidate VMNOs re-attempting
+attach for the whole observation window.  Modeling that (and the
+reattach storms an HLR outage triggers) needs a retry schedule that is
+*deterministic for a given seed*: delays draw their jitter from a
+``numpy`` Generator threaded in by the caller, never from wall-clock or
+global state.
+
+This module is also the target of lint rule ``RETRY001``: ad-hoc
+``while``/``try``/``continue`` retry loops in simulator packages must be
+rewritten over :class:`RetryPolicy` so their timing is configurable and
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class RetryError(RuntimeError):
+    """Raised when every attempt allowed by a policy has failed."""
+
+    def __init__(self, attempts: int, last_error: Optional[BaseException]):
+        super().__init__(
+            f"gave up after {attempts} attempt(s): {last_error!r}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with a delay cap and bounded uniform jitter.
+
+    The un-jittered delay before retry ``k`` (0-based) is
+    ``min(base_delay_s * multiplier**k, max_delay_s)``; jitter then
+    scales it uniformly into ``[(1 - jitter) * d, d]`` ("equal jitter",
+    keeping the mean high enough that storms still thin out over time).
+    """
+
+    base_delay_s: float = 30.0
+    multiplier: float = 2.0
+    max_delay_s: float = 3600.0
+    jitter: float = 0.5
+    max_attempts: int = 6
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0:
+            raise ValueError(f"base_delay_s must be > 0, got {self.base_delay_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """The jittered delay before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if self.jitter > 0.0:
+            raw *= (1.0 - self.jitter) + self.jitter * float(rng.random())
+        return raw
+
+
+def backoff_schedule(
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    start_s: float = 0.0,
+    horizon_s: Optional[float] = None,
+) -> List[float]:
+    """Retry timestamps after a failure at ``start_s``.
+
+    At most ``policy.max_attempts`` entries; stops early once a retry
+    would land at or past ``horizon_s`` (e.g. the simulation window
+    end).  Deterministic for a given (policy, rng state).
+    """
+    schedule: List[float] = []
+    at = start_s
+    for attempt in range(policy.max_attempts):
+        at += policy.delay_s(attempt, rng)
+        if horizon_s is not None and at >= horizon_s:
+            break
+        schedule.append(at)
+    return schedule
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    retry_on: Tuple[Type[Exception], ...] = (Exception,),
+    on_retry: Optional[Callable[[int, float, Exception], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy's attempts run out.
+
+    Simulation-side retries never sleep; the jittered delay for each
+    failed attempt is still *drawn* (keeping RNG consumption identical
+    whether or not a caller observes it) and handed to ``on_retry`` so
+    callers can model elapsed time.  Raises :class:`RetryError` wrapping
+    the last exception once ``max_attempts`` attempts all failed.
+    """
+    last: Optional[Exception] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            delay = policy.delay_s(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+    raise RetryError(policy.max_attempts, last)

@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration side ef
     identifiers,
     mutable_defaults,
     noqa,
+    retry,
     rng,
     wallclock,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "identifiers",
     "mutable_defaults",
     "noqa",
+    "retry",
     "rng",
     "wallclock",
 ]

@@ -1,0 +1,134 @@
+"""Retry hygiene: simulators must model retries, not improvise them.
+
+An ad-hoc ``while``/``for`` loop that catches an exception and tries
+again hides two things the reproduction cares about: the *backoff
+schedule* (reattach storms are a measured phenomenon — §3/§7 — not an
+implementation detail) and the *randomness source* (unseeded jitter
+makes traces unreplayable).  Inside the simulation packages every retry
+must go through :mod:`repro.faults.retry`, whose
+:class:`~repro.faults.retry.RetryPolicy` draws jitter from an explicit
+seeded RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, List, Tuple, Union
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+_SIM_PACKAGES: Tuple[str, ...] = ("mno", "platform_m2m", "signaling", "devices")
+
+_LoopNode = Union[ast.For, ast.AsyncFor, ast.While]
+
+#: Statement types that open a new retry scope: a Continue/Break inside
+#: one of these no longer refers to the loop under inspection.
+_SCOPE_BREAKERS = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def _direct_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements whose control flow still belongs to the enclosing loop.
+
+    Recurses through ``if``/``with``/``try`` blocks but stops at nested
+    loops and function/class definitions — a ``try`` in a nested loop
+    retries *that* loop, not the one being inspected.
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, _SCOPE_BREAKERS):
+            continue
+        for child_body in (
+            getattr(stmt, "body", None),
+            getattr(stmt, "orelse", None),
+            getattr(stmt, "finalbody", None),
+        ):
+            if child_body:
+                yield from _direct_statements(child_body)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _direct_statements(handler.body)
+
+
+def _contains_loop_jump(body: List[ast.stmt], jump_type: type) -> bool:
+    """True when ``body`` contains a Continue/Break targeting this loop."""
+    for stmt in _direct_statements(body):
+        if isinstance(stmt, jump_type):
+            return True
+    return False
+
+
+def _contains_raise(body: List[ast.stmt]) -> bool:
+    return any(isinstance(stmt, ast.Raise) for stmt in _direct_statements(body))
+
+
+@register_rule
+class AdHocRetryLoop(Rule):
+    """RETRY001 — hand-rolled retry loop instead of repro.faults.retry."""
+
+    rule_id: ClassVar[str] = "RETRY001"
+    name: ClassVar[str] = "ad-hoc-retry-loop"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "ad-hoc retry loop in a simulation package: backoff is unmodeled "
+        "and jitter unseeded"
+    )
+    fix_hint: ClassVar[str] = (
+        "use repro.faults.retry (RetryPolicy with backoff_schedule or "
+        "call_with_retry) so the schedule is explicit and drawn from a "
+        "seeded RNG"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.For, ast.AsyncFor, ast.While)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_SIM_PACKAGES)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+        for stmt in _direct_statements(node.body):
+            if not isinstance(stmt, ast.Try):
+                continue
+            if not stmt.handlers:
+                continue
+            if self._calls_retry_helper(stmt, ctx):
+                continue
+            if self._is_retry(stmt):
+                yield self.finding_at(ctx, stmt)
+
+    def _is_retry(self, try_node: ast.Try) -> bool:
+        """True for the two canonical hand-rolled retry shapes.
+
+        Either a handler explicitly ``continue``s the loop, or the try
+        body ``break``s out on success while a handler swallows the
+        failure and falls through to the next iteration.
+        """
+        for handler in try_node.handlers:
+            if _contains_loop_jump(handler.body, ast.Continue):
+                return True
+        if _contains_loop_jump(try_node.body, ast.Break):
+            for handler in try_node.handlers:
+                if not _contains_raise(handler.body) and not _contains_loop_jump(
+                    handler.body, ast.Break
+                ):
+                    return True
+        return False
+
+    def _calls_retry_helper(self, try_node: ast.Try, ctx: FileContext) -> bool:
+        """Escape hatch: the try already delegates to repro.faults.retry."""
+        for sub in ast.walk(try_node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name):
+                if ctx.from_imports.get(func.id, "").startswith("repro.faults"):
+                    return True
+            elif isinstance(func, ast.Attribute):
+                if "faults.retry" in ast.unparse(func):
+                    return True
+        return False

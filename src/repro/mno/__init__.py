@@ -18,10 +18,19 @@ from repro.mno.population import PlannedDevice, PopulationBuilder
 from repro.mno.simulator import MNOSimulator, simulate_mno_dataset
 from repro.mno.ggsn import GGSNDeployment, GGSNPool, isolation_benefit
 from repro.mno.smip import SMIP_IMSI_RANGE, smip_devices
-from repro.mno.streaming import DayBatch, StreamingMNOSimulator
+from repro.mno.streaming import (
+    DayBatch,
+    StreamingMNOSimulator,
+    day_partition_paths,
+    load_day_batch,
+    write_day_batch,
+)
 
 __all__ = [
     "DayBatch",
+    "day_partition_paths",
+    "load_day_batch",
+    "write_day_batch",
     "GGSNDeployment",
     "GGSNPool",
     "MNOConfig",

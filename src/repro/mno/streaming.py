@@ -17,16 +17,26 @@ the same config always reproduces the same batches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 
 from repro.datasets.containers import GroundTruthEntry
+from repro.datasets.io import (
+    IngestReport,
+    ingest_radio_events,
+    ingest_service_records,
+    write_radio_events,
+    write_service_records,
+)
 from repro.ecosystem import Ecosystem
 from repro.mno.config import MNOConfig
 from repro.mno.population import PlannedDevice, PopulationBuilder
 from repro.mno.simulator import MNOSimulator
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -110,3 +120,39 @@ class StreamingMNOSimulator:
         """Device IDs scheduled to be active on ``day``."""
         _ = self.population
         return {plan.device_id for plan in self._by_day.get(day, [])}
+
+
+# -- day-partition round trip -------------------------------------------------
+
+def day_partition_paths(directory: PathLike, day: int) -> Tuple[Path, Path]:
+    """(radio, service) JSONL paths for one day partition."""
+    base = Path(directory)
+    return base / f"radio_{day:02d}.jsonl", base / f"service_{day:02d}.jsonl"
+
+
+def write_day_batch(directory: PathLike, batch: DayBatch) -> Tuple[Path, Path]:
+    """Persist one :class:`DayBatch` as its two JSONL partitions."""
+    radio_path, service_path = day_partition_paths(directory, batch.day)
+    write_radio_events(radio_path, batch.radio_events)
+    write_service_records(service_path, batch.service_records)
+    return radio_path, service_path
+
+
+def load_day_batch(
+    directory: PathLike, day: int, lenient: bool = False
+) -> Tuple[DayBatch, IngestReport]:
+    """Read one day partition back into a :class:`DayBatch`.
+
+    The returned :class:`IngestReport` merges both files' reports; in
+    strict mode (default) any bad row raises with its file and line, in
+    lenient mode bad rows are quarantined and the batch holds whatever
+    survived, re-sorted by timestamp (dirty partitions may interleave
+    out of order).
+    """
+    radio_path, service_path = day_partition_paths(directory, day)
+    events, radio_report = ingest_radio_events(radio_path, lenient=lenient)
+    records, service_report = ingest_service_records(service_path, lenient=lenient)
+    events.sort(key=lambda e: e.timestamp)
+    records.sort(key=lambda r: r.timestamp)
+    batch = DayBatch(day=day, radio_events=events, service_records=records)
+    return batch, radio_report.merge(service_report)

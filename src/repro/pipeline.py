@@ -3,18 +3,86 @@
 Wraps the §4 workflow — devices-catalog construction, roaming labeling,
 classification — into a single :func:`run_pipeline` call whose result
 object every analysis module and bench consumes.
+
+Graceful degradation (``lenient=True``): real probe feeds contain rows
+the pipeline cannot interpret (see :mod:`repro.faults`), and one
+poisoned device must not take the whole day's catalog down.  In lenient
+mode each stage runs per device; a device whose records crash a stage is
+quarantined and the run completes over the survivors, reporting what was
+lost in a :class:`DegradationReport`.  Strict mode (the default) keeps
+the historical all-or-nothing behavior so programming errors stay loud.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, ClassifierConfig, DeviceClassifier
 from repro.core.roaming import RoamingLabeler
 from repro.datasets.containers import MNODataset
 from repro.ecosystem import Ecosystem
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+#: How many per-device failures a DegradationReport keeps verbatim.
+MAX_EXEMPLAR_FAILURES = 10
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """One quarantined device: which stage crashed, and how."""
+
+    device_id: str
+    stage: str
+    error: str
+
+    def __str__(self) -> str:
+        return f"{self.device_id}@{self.stage}: {self.error}"
+
+
+@dataclass
+class DegradationReport:
+    """What a lenient pipeline run lost, and where.
+
+    ``coverage`` is the fraction of observed devices that made it all
+    the way through; ``exemplars`` holds up to
+    :data:`MAX_EXEMPLAR_FAILURES` verbatim failures for debugging while
+    ``n_failed_by_stage`` always counts everything.
+    """
+
+    n_devices_total: int = 0
+    n_devices_ok: int = 0
+    n_failed_by_stage: Dict[str, int] = field(default_factory=dict)
+    exemplars: List[StageFailure] = field(default_factory=list)
+    classifier_fallback: bool = False
+
+    @property
+    def n_devices_failed(self) -> int:
+        return sum(self.n_failed_by_stage.values())
+
+    @property
+    def coverage(self) -> float:
+        if self.n_devices_total == 0:
+            return 1.0
+        return self.n_devices_ok / self.n_devices_total
+
+    @property
+    def ok(self) -> bool:
+        return self.n_devices_failed == 0 and not self.classifier_fallback
+
+    def record_failure(self, device_id: str, stage: str, error: Exception) -> None:
+        self.n_failed_by_stage[stage] = self.n_failed_by_stage.get(stage, 0) + 1
+        if len(self.exemplars) < MAX_EXEMPLAR_FAILURES:
+            self.exemplars.append(
+                StageFailure(
+                    device_id=device_id,
+                    stage=stage,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
 
 
 @dataclass
@@ -26,6 +94,75 @@ class PipelineResult:
     summaries: Dict[str, DeviceSummary]
     classifications: Dict[str, Classification]
     labeler: RoamingLabeler
+    degradation: Optional[DegradationReport] = None
+
+
+def _records_by_device(
+    dataset: MNODataset,
+) -> Tuple[Dict[str, List[RadioEvent]], Dict[str, List[ServiceRecord]], Dict[str, int]]:
+    """Split the dataset's record streams per device (lenient mode)."""
+    events: Dict[str, List[RadioEvent]] = defaultdict(list)
+    services: Dict[str, List[ServiceRecord]] = defaultdict(list)
+    tac_of: Dict[str, int] = {}
+    for event in dataset.radio_events:
+        events[event.device_id].append(event)
+        tac_of.setdefault(event.device_id, event.tac)
+    for record in dataset.service_records:
+        services[record.device_id].append(record)
+    return events, services, tac_of
+
+
+def _run_lenient(
+    dataset: MNODataset,
+    builder: CatalogBuilder,
+    classifier: DeviceClassifier,
+) -> Tuple[
+    List[DeviceDayRecord],
+    Dict[str, DeviceSummary],
+    Dict[str, Classification],
+    DegradationReport,
+]:
+    events, services, tac_of = _records_by_device(dataset)
+    device_ids = sorted(set(events) | set(services))
+    report = DegradationReport(n_devices_total=len(device_ids))
+
+    day_records: List[DeviceDayRecord] = []
+    summaries: Dict[str, DeviceSummary] = {}
+    for device_id in device_ids:
+        try:
+            records = builder.build_day_records(
+                events.get(device_id, []), services.get(device_id, [])
+            )
+        except Exception as exc:
+            report.record_failure(device_id, "catalog", exc)
+            continue
+        try:
+            summaries.update(builder.summarize(records, tac_of))
+        except Exception as exc:
+            report.record_failure(device_id, "summary", exc)
+            continue
+        day_records.extend(records)
+
+    day_records.sort(key=lambda r: (r.device_id, r.day))
+
+    # Classification propagates properties *across* devices sharing a
+    # (manufacturer, model), so the batch call is the real thing; if one
+    # device poisons the batch, degrade to per-device classification —
+    # weaker (no propagation) but isolating.
+    classifications: Dict[str, Classification]
+    try:
+        classifications = classifier.classify(summaries)
+    except Exception:
+        report.classifier_fallback = True
+        classifications = {}
+        for device_id, summary in summaries.items():
+            try:
+                classifications.update(classifier.classify({device_id: summary}))
+            except Exception as exc:
+                report.record_failure(device_id, "classify", exc)
+
+    report.n_devices_ok = len(classifications)
+    return day_records, summaries, classifications, report
 
 
 def run_pipeline(
@@ -33,8 +170,15 @@ def run_pipeline(
     ecosystem: Ecosystem,
     classifier_config: Optional[ClassifierConfig] = None,
     compute_mobility: bool = True,
+    lenient: bool = False,
 ) -> PipelineResult:
-    """Run catalog building, labeling and classification end to end."""
+    """Run catalog building, labeling and classification end to end.
+
+    With ``lenient=True`` stage failures quarantine the offending device
+    instead of raising, and ``result.degradation`` reports coverage;
+    strict mode (default) raises on the first failure and leaves
+    ``degradation`` as None.
+    """
     labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
     builder = CatalogBuilder(
         dataset.tac_db,
@@ -42,15 +186,22 @@ def run_pipeline(
         labeler,
         compute_mobility=compute_mobility,
     )
-    day_records, summaries = builder.build(
-        dataset.radio_events, dataset.service_records
-    )
     classifier = DeviceClassifier(classifier_config)
-    classifications = classifier.classify(summaries)
+    degradation: Optional[DegradationReport] = None
+    if lenient:
+        day_records, summaries, classifications, degradation = _run_lenient(
+            dataset, builder, classifier
+        )
+    else:
+        day_records, summaries = builder.build(
+            dataset.radio_events, dataset.service_records
+        )
+        classifications = classifier.classify(summaries)
     return PipelineResult(
         dataset=dataset,
         day_records=day_records,
         summaries=summaries,
         classifications=classifications,
         labeler=labeler,
+        degradation=degradation,
     )

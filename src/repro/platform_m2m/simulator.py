@@ -19,7 +19,7 @@ Failure modelling follows the paper's two mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,8 @@ from repro.cellular.rats import RAT
 from repro.datasets.containers import GroundTruthEntry, M2MDataset
 from repro.devices.device import DeviceClass, IoTVertical, SimProvenance
 from repro.ecosystem import Ecosystem
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.faults.retry import RetryPolicy, backoff_schedule
 from repro.platform_m2m.config import HMNOFleetConfig, PlatformConfig
 from repro.roaming.steering import (
     FailureDrivenSteering,
@@ -77,11 +79,28 @@ def _weighted_choice(
 
 
 class M2MPlatformSimulator:
-    """Builds :class:`M2MDataset` instances from a :class:`PlatformConfig`."""
+    """Builds :class:`M2MDataset` instances from a :class:`PlatformConfig`.
 
-    def __init__(self, ecosystem: Ecosystem, config: Optional[PlatformConfig] = None):
+    An optional :class:`FaultPlan` injects HLR/VMNO outages *at
+    generation time*: procedures that would have succeeded inside an
+    outage window fail with the window's code, and every failure during
+    an outage triggers a seeded exponential-backoff reattach storm
+    (``retry_policy``) — the §3/§7 mechanism by which failing fleets
+    dominate the signaling-load tail.  Without a plan, output is
+    bit-identical to the pre-fault-aware simulator.
+    """
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        config: Optional[PlatformConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.ecosystem = ecosystem
         self.config = config or PlatformConfig()
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
         self._rng = np.random.default_rng(self.config.seed)
         self._msin_counter = 1
 
@@ -250,6 +269,46 @@ class M2MPlatformSimulator:
         sim_plmn = str(plan.hmno.plmn)
         state = SteeringState()
         registered_at: Optional[str] = None
+
+        def emit_pair(at: float, visited: str, result: ResultCode) -> None:
+            transactions.append(
+                SignalingTransaction(
+                    device_id=plan.device_id,
+                    timestamp=at,
+                    sim_plmn=sim_plmn,
+                    visited_plmn=visited,
+                    message_type=MessageType.AUTHENTICATION,
+                    result=result,
+                )
+            )
+            transactions.append(
+                SignalingTransaction(
+                    device_id=plan.device_id,
+                    timestamp=at + 0.001,
+                    sim_plmn=sim_plmn,
+                    visited_plmn=visited,
+                    message_type=MessageType.UPDATE_LOCATION,
+                    result=result,
+                )
+            )
+
+        def register(at: float, visited: str) -> None:
+            nonlocal registered_at
+            if registered_at is not None and registered_at != visited:
+                # The HLR cancels the stale registration at the old
+                # VMNO once the new Update Location is accepted.
+                transactions.append(
+                    SignalingTransaction(
+                        device_id=plan.device_id,
+                        timestamp=at + 0.002,
+                        sim_plmn=sim_plmn,
+                        visited_plmn=registered_at,
+                        message_type=MessageType.CANCEL_LOCATION,
+                        result=ResultCode.OK,
+                    )
+                )
+            registered_at = visited
+
         for i in range(n):
             if plan.roaming:
                 country = plan.countries[int(country_indices[i])]
@@ -257,6 +316,8 @@ class M2MPlatformSimulator:
                 vmno = plan.policy.select(candidates_by_country[country], state, rng)
             else:
                 vmno = plan.hmno
+            ts = float(timestamps[i])
+            visited = str(vmno.plmn)
             if plan.failed_only:
                 result = failure_values[int(failure_picks[i])]
             elif plan.roaming and not lte_ok.get(vmno.plmn, True):
@@ -269,45 +330,57 @@ class M2MPlatformSimulator:
                 result = ResultCode.SYSTEM_FAILURE
             else:
                 result = ResultCode.OK
+            outage: Optional[OutageWindow] = (
+                self.fault_plan.outage_at(ts, visited) if self.fault_plan else None
+            )
+            if outage is not None and result.is_success:
+                result = outage.result
             state.record_outcome(result.is_success)
-            ts = float(timestamps[i])
-            visited = str(vmno.plmn)
-            transactions.append(
-                SignalingTransaction(
-                    device_id=plan.device_id,
-                    timestamp=ts,
-                    sim_plmn=sim_plmn,
-                    visited_plmn=visited,
-                    message_type=MessageType.AUTHENTICATION,
-                    result=result,
-                )
-            )
-            transactions.append(
-                SignalingTransaction(
-                    device_id=plan.device_id,
-                    timestamp=ts + 0.001,
-                    sim_plmn=sim_plmn,
-                    visited_plmn=visited,
-                    message_type=MessageType.UPDATE_LOCATION,
-                    result=result,
-                )
-            )
+            emit_pair(ts, visited, result)
             if result.is_success:
-                if registered_at is not None and registered_at != visited:
-                    # The HLR cancels the stale registration at the old
-                    # VMNO once the new Update Location is accepted.
-                    transactions.append(
-                        SignalingTransaction(
-                            device_id=plan.device_id,
-                            timestamp=ts + 0.002,
-                            sim_plmn=sim_plmn,
-                            visited_plmn=registered_at,
-                            message_type=MessageType.CANCEL_LOCATION,
-                            result=ResultCode.OK,
-                        )
-                    )
-                registered_at = visited
+                register(ts, visited)
+            elif outage is not None:
+                self._emit_storm(
+                    plan, outage, ts, visited, result, window_s,
+                    state, emit_pair, register,
+                )
         return transactions
+
+    def _emit_storm(
+        self,
+        plan: _DevicePlan,
+        outage: OutageWindow,
+        ts: float,
+        visited: str,
+        result: ResultCode,
+        window_s: float,
+        state: SteeringState,
+        emit_pair: Callable[[float, str, ResultCode], None],
+        register: Callable[[float, str], None],
+    ) -> None:
+        """Reattach storm after an in-outage failure.
+
+        The device retries the same VMNO on the exponential-backoff
+        schedule: attempts still inside the outage repeat the failure,
+        and the first attempt after the window ends re-attaches a
+        healthy device (4G-failed devices keep failing with their own
+        code — the outage merely densifies their retry pattern).  The
+        schedule is drawn from the simulator RNG, so a given
+        (config, fault_plan) pair is fully deterministic.
+        """
+        for retry_ts in backoff_schedule(
+            self.retry_policy, self._rng, start_s=ts, horizon_s=window_s - 0.01
+        ):
+            if outage.affects(retry_ts, visited):
+                state.record_outcome(False)
+                emit_pair(retry_ts, visited, result)
+            else:
+                if plan.failed_only:
+                    break
+                state.record_outcome(True)
+                emit_pair(retry_ts, visited, ResultCode.OK)
+                register(retry_ts, visited)
+                break
 
     # -- public API ----------------------------------------------------------------
 
@@ -348,7 +421,12 @@ class M2MPlatformSimulator:
 
 
 def simulate_m2m_dataset(
-    ecosystem: Ecosystem, config: Optional[PlatformConfig] = None
+    ecosystem: Ecosystem,
+    config: Optional[PlatformConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> M2MDataset:
     """Convenience wrapper: one call from ecosystem to dataset."""
-    return M2MPlatformSimulator(ecosystem, config).simulate()
+    return M2MPlatformSimulator(
+        ecosystem, config, fault_plan=fault_plan, retry_policy=retry_policy
+    ).simulate()

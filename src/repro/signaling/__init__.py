@@ -14,10 +14,17 @@ from repro.signaling.procedures import (
 )
 from repro.signaling.events import RadioEvent, RadioInterface
 from repro.signaling.cdr import ServiceRecord, ServiceType
-from repro.signaling.hlr import HomeLocationRegister, validate_stream
+from repro.signaling.hlr import (
+    CancelOutcome,
+    HLRValidationReport,
+    HomeLocationRegister,
+    validate_stream,
+)
 from repro.signaling.probes import MonitoringProbe, ProbeLocation
 
 __all__ = [
+    "CancelOutcome",
+    "HLRValidationReport",
     "HomeLocationRegister",
     "MessageType",
     "validate_stream",

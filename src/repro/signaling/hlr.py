@@ -18,9 +18,30 @@ one.  This module implements that registry:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 from typing import Dict, Iterable, Optional
 
 from repro.signaling.procedures import MessageType, SignalingTransaction
+
+
+class CancelOutcome(Enum):
+    """How a Cancel Location relates to the HLR's registration state.
+
+    The two incoherent outcomes point at *different* stream damage:
+    a cancel for a **never-registered** device means the Update Location
+    that created the registration was lost (record drops, truncated
+    files), while a cancel of the **current** registration means the
+    cancel overtook its own Update Location (reordering).  Keeping them
+    separate lets fault-injection tests tell drops from reorders.
+    """
+
+    COHERENT = "coherent"
+    NEVER_REGISTERED = "never_registered"
+    CURRENT_REGISTRATION = "current_registration"
+
+    @property
+    def is_coherent(self) -> bool:
+        return self is CancelOutcome.COHERENT
 
 
 class HomeLocationRegister:
@@ -50,29 +71,51 @@ class HomeLocationRegister:
             return previous
         return None
 
-    def cancel_location(self, device_id: str, visited_plmn: str) -> bool:
-        """Process a Cancel Location toward ``visited_plmn``.
+    def cancel_outcome(self, device_id: str, visited_plmn: str) -> CancelOutcome:
+        """Classify a Cancel Location toward ``visited_plmn``.
 
-        Returns True if it was coherent (the device really was last
-        registered there before moving, i.e. this cancel corresponds to
-        a past registration being purged).  The registration map itself
-        is already pointing at the new VMNO by the time the cancel
-        travels, so coherence means "not cancelling the current one".
+        Coherent means the device really was last registered there
+        before moving — this cancel purges a past registration.  The
+        registration map is already pointing at the new VMNO by the time
+        the cancel travels, so cancelling the *current* VMNO is
+        incoherent (the cancel overtook its update), and cancelling for
+        a device with *no* registration at all means the update that
+        would have created one never arrived.
         """
         current = self._registrations.get(device_id)
-        return current is not None and current != visited_plmn
+        if current is None:
+            return CancelOutcome.NEVER_REGISTERED
+        if current == visited_plmn:
+            return CancelOutcome.CURRENT_REGISTRATION
+        return CancelOutcome.COHERENT
+
+    def cancel_location(self, device_id: str, visited_plmn: str) -> bool:
+        """Process a Cancel Location; True when it was coherent."""
+        return self.cancel_outcome(device_id, visited_plmn).is_coherent
 
 
 @dataclass
 class HLRValidationReport:
-    """Protocol-coherence summary of a transaction stream."""
+    """Protocol-coherence summary of a transaction stream.
+
+    Incoherent cancels split by cause: ``n_cancels_never_registered``
+    (the registration-creating update was lost — drops) vs
+    ``n_cancels_of_current`` (the cancel overtook its update —
+    reorders); see :class:`CancelOutcome`.
+    """
 
     n_update_locations: int = 0
     n_successful_updates: int = 0
     n_cancel_locations: int = 0
     n_coherent_cancels: int = 0
+    n_cancels_never_registered: int = 0
+    n_cancels_of_current: int = 0
     n_registration_moves: int = 0
     n_registered_devices: int = 0
+
+    @property
+    def n_incoherent_cancels(self) -> int:
+        return self.n_cancels_never_registered + self.n_cancels_of_current
 
     @property
     def cancel_coherence(self) -> float:
@@ -103,7 +146,12 @@ def validate_stream(
                     report.n_registration_moves += 1
         elif txn.message_type is MessageType.CANCEL_LOCATION:
             report.n_cancel_locations += 1
-            if hlr.cancel_location(txn.device_id, txn.visited_plmn):
+            outcome = hlr.cancel_outcome(txn.device_id, txn.visited_plmn)
+            if outcome is CancelOutcome.COHERENT:
                 report.n_coherent_cancels += 1
+            elif outcome is CancelOutcome.NEVER_REGISTERED:
+                report.n_cancels_never_registered += 1
+            else:
+                report.n_cancels_of_current += 1
     report.n_registered_devices = hlr.n_registered
     return report

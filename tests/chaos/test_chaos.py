@@ -1,0 +1,163 @@
+"""Chaos suite: invariants that must hold across a grid of fault plans.
+
+Every test here is parametrized over ``plan kind × seed`` (9 grid
+points).  The invariants are the contract of the robustness layer:
+
+* injection is byte-deterministic for a (plan, input) pair;
+* lenient ingest accounts for every physical row exactly once;
+* HLR validation *never raises* on damaged streams, and its cancel
+  accounting always sums;
+* ``run_pipeline(lenient=True)`` *never raises* on damaged datasets,
+  returns a DegradationReport, and keeps coverage high.
+
+Excluded from tier-1 by the ``chaos`` marker (see pyproject); CI runs it
+as its own job with ``pytest -m chaos``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.io import ingest_transactions, write_transactions
+from repro.faults import (
+    FaultPlan,
+    OutageWindow,
+    TRANSACTION_SCHEMA,
+    inject_jsonl,
+    inject_radio_events,
+    inject_service_records,
+    inject_transactions,
+)
+from repro.pipeline import run_pipeline
+from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.hlr import validate_stream
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = (0, 1, 2)
+
+
+def make_plan(kind, seed):
+    if kind == "stream":
+        return FaultPlan(
+            seed=seed, drop_rate=0.05, duplicate_rate=0.03, reorder_rate=0.05
+        )
+    if kind == "corrupt":
+        return FaultPlan(seed=seed, corrupt_rate=0.08, truncate_fraction=0.02)
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.02,
+        outages=(OutageWindow(start_s=100_000.0, end_s=250_000.0),),
+    )
+
+
+GRID = [
+    (kind, seed)
+    for kind in ("stream", "corrupt", "outage")
+    for seed in SEEDS
+]
+
+
+def grid_params():
+    return pytest.mark.parametrize(
+        ("kind", "seed"), GRID, ids=[f"{k}-s{s}" for k, s in GRID]
+    )
+
+
+@grid_params()
+def test_file_injection_is_byte_deterministic(tmp_path, m2m_dataset, kind, seed):
+    plan = make_plan(kind, seed)
+    src = tmp_path / "clean.jsonl"
+    write_transactions(src, m2m_dataset.transactions[:2000])
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    report_a = inject_jsonl(src, a, plan, TRANSACTION_SCHEMA)
+    report_b = inject_jsonl(src, b, plan, TRANSACTION_SCHEMA)
+    assert a.read_bytes() == b.read_bytes()
+    assert report_a == report_b
+
+
+@grid_params()
+def test_lenient_ingest_accounts_for_every_row(tmp_path, m2m_dataset, kind, seed):
+    plan = make_plan(kind, seed)
+    src = tmp_path / "clean.jsonl"
+    dst = tmp_path / "dirty.jsonl"
+    write_transactions(src, m2m_dataset.transactions[:2000])
+    inject_jsonl(src, dst, plan, TRANSACTION_SCHEMA)
+    records, report = ingest_transactions(dst, lenient=True)
+    assert report.n_ok == len(records)
+    assert report.n_ok + report.n_quarantined == report.n_rows
+    assert report.coverage > 0.5
+    for error in report.errors:
+        assert error.kind.value in ("parse", "schema", "semantic")
+
+
+@grid_params()
+def test_hlr_validation_survives_damaged_streams(m2m_dataset, kind, seed):
+    plan = make_plan(kind, seed)
+    damaged, _ = inject_transactions(m2m_dataset.transactions, plan)
+    report = validate_stream(damaged)  # must never raise
+    assert (
+        report.n_coherent_cancels
+        + report.n_cancels_never_registered
+        + report.n_cancels_of_current
+        == report.n_cancel_locations
+    )
+    assert 0.0 <= report.cancel_coherence <= 1.0
+    if plan.drop_rate > 0 and report.n_incoherent_cancels:
+        # drops manifest as cancels for never-seen registrations,
+        # reorders as cancels naming the live one; both are counted
+        assert (
+            report.n_cancels_never_registered + report.n_cancels_of_current
+            == report.n_incoherent_cancels
+        )
+
+
+def poison_record(device_id):
+    return ServiceRecord(
+        device_id=device_id,
+        timestamp=1000.0,
+        sim_plmn="26202",
+        visited_plmn="20801",
+        service=ServiceType.VOICE,
+        duration_s=30.0,
+    )
+
+
+@grid_params()
+def test_lenient_pipeline_never_raises(eco, mno_dataset, kind, seed):
+    plan = make_plan(kind, seed)
+    events, _ = inject_radio_events(mno_dataset.radio_events, plan)
+    records, _ = inject_service_records(mno_dataset.service_records, plan)
+    dirty = dataclasses.replace(
+        mno_dataset,
+        radio_events=events,
+        service_records=records + [poison_record(f"poison-{kind}-{seed}")],
+    )
+    result = run_pipeline(dirty, eco, lenient=True)
+    report = result.degradation
+    assert report is not None
+    assert report.n_devices_total > 0
+    assert report.coverage > 0.9
+    assert result.summaries
+    assert result.classifications
+    assert report.n_devices_ok == len(result.classifications)
+    # the poison device is quarantined, not fatal
+    assert f"poison-{kind}-{seed}" not in result.summaries
+
+
+@grid_params()
+def test_degraded_population_stays_calibrated(eco, mno_dataset, kind, seed):
+    """Bounded faults must not collapse the classified population."""
+    plan = make_plan(kind, seed)
+    events, _ = inject_radio_events(mno_dataset.radio_events, plan)
+    records, _ = inject_service_records(mno_dataset.service_records, plan)
+    dirty = dataclasses.replace(
+        mno_dataset, radio_events=events, service_records=records
+    )
+    clean_result = run_pipeline(mno_dataset, eco)
+    dirty_result = run_pipeline(dirty, eco, lenient=True)
+    n_clean = len(clean_result.classifications)
+    n_dirty = len(dirty_result.classifications)
+    # drop_rate <= 5% on records can only lose devices whose *every*
+    # record dropped; the classified population stays within 10%.
+    assert n_dirty >= 0.9 * n_clean

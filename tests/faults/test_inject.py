@@ -1,0 +1,229 @@
+"""Injector behavior: determinism, counts, and typed-stream outage flips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import read_transactions, write_transactions
+from repro.faults import (
+    CorruptionKind,
+    FaultPlan,
+    OutageWindow,
+    TRANSACTION_SCHEMA,
+    inject_jsonl,
+    inject_radio_events,
+    inject_rows,
+    inject_transactions,
+)
+from repro.faults.inject import (
+    corrupt_row,
+    drop_items,
+    duplicate_items,
+    reorder_items,
+)
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
+
+
+def make_transactions(n=50):
+    return [
+        SignalingTransaction(
+            device_id=f"dev-{i % 7}",
+            timestamp=float(i) * 10.0,
+            sim_plmn="21407",
+            visited_plmn="23410",
+            message_type=MessageType.UPDATE_LOCATION,
+            result=ResultCode.OK if i % 3 else ResultCode.SYSTEM_FAILURE,
+        )
+        for i in range(n)
+    ]
+
+
+def make_rows(n=50):
+    from repro.datasets.io import transaction_to_dict
+
+    return [transaction_to_dict(t) for t in make_transactions(n)]
+
+
+class TestGenericFaults:
+    def test_drop_counts_and_determinism(self):
+        items = list(range(200))
+        kept1, dropped1 = drop_items(items, 0.25, np.random.default_rng(7))
+        kept2, dropped2 = drop_items(items, 0.25, np.random.default_rng(7))
+        assert kept1 == kept2 and dropped1 == dropped2
+        assert len(kept1) + dropped1 == len(items)
+        assert 0 < dropped1 < len(items)
+
+    def test_drop_rate_zero_is_identity(self):
+        items = list(range(10))
+        kept, dropped = drop_items(items, 0.0, np.random.default_rng(0))
+        assert kept == items and dropped == 0
+
+    def test_duplicates_are_adjacent(self):
+        items = list(range(100))
+        out, n_dup = duplicate_items(items, 0.3, np.random.default_rng(3))
+        assert len(out) == len(items) + n_dup
+        assert n_dup > 0
+        # every duplicate sits right after its original
+        seen = set()
+        for prev, curr in zip(out, out[1:]):
+            if curr in seen:
+                assert curr == prev
+            seen.add(curr)
+
+    def test_reorder_displacement_is_bounded(self):
+        items = list(range(300))
+        window = 4
+        out, n_moved = reorder_items(items, 0.2, window, np.random.default_rng(9))
+        assert sorted(out) == items
+        assert n_moved > 0
+        for position, value in enumerate(out):
+            # A single swap moves an item at most `window` back; forward
+            # displacement can chain across swaps but stays local.
+            assert value - position <= window
+            assert position - value <= 2 * window
+
+    def test_reorder_tiny_inputs_are_safe(self):
+        assert reorder_items([1], 1.0, 4, np.random.default_rng(0)) == ([1], 0)
+        assert reorder_items([], 1.0, 4, np.random.default_rng(0)) == ([], 0)
+
+
+class TestCorruptRow:
+    ROW = {
+        "device_id": "d",
+        "ts": 5.0,
+        "sim_plmn": "21407",
+        "visited_plmn": "23410",
+        "type": "update_location",
+        "result": "ok",
+    }
+
+    def corrupt(self, kind):
+        return corrupt_row(
+            self.ROW, kind, TRANSACTION_SCHEMA, np.random.default_rng(1)
+        )
+
+    def test_garbage_line_is_not_json(self):
+        out = self.corrupt(CorruptionKind.GARBAGE_LINE)
+        assert isinstance(out, str)
+        with pytest.raises(ValueError):
+            import json
+
+            json.loads(out)
+
+    def test_bad_plmn_hits_a_plmn_field(self):
+        out = self.corrupt(CorruptionKind.BAD_PLMN)
+        assert any(
+            not str(out[field]).isdigit()
+            for field in TRANSACTION_SCHEMA.plmn_fields
+        )
+
+    def test_bad_timestamp_goes_negative(self):
+        out = self.corrupt(CorruptionKind.BAD_TIMESTAMP)
+        assert out["ts"] < 0
+
+    def test_bad_enum_is_unknown_value(self):
+        out = self.corrupt(CorruptionKind.BAD_ENUM)
+        assert "__corrupt__" in (out["type"], out["result"])
+
+    def test_missing_field_removes_a_required_field(self):
+        out = self.corrupt(CorruptionKind.MISSING_FIELD)
+        assert len(out) == len(self.ROW) - 1
+
+    def test_original_row_is_untouched(self):
+        before = dict(self.ROW)
+        self.corrupt(CorruptionKind.BAD_PLMN)
+        assert self.ROW == before
+
+
+class TestInjectRows:
+    def test_deterministic_for_a_seed(self):
+        plan = FaultPlan(
+            seed=11, drop_rate=0.1, duplicate_rate=0.1, reorder_rate=0.1,
+            corrupt_rate=0.2,
+        )
+        out1, rep1 = inject_rows(make_rows(), plan, TRANSACTION_SCHEMA)
+        out2, rep2 = inject_rows(make_rows(), plan, TRANSACTION_SCHEMA)
+        assert out1 == out2
+        assert rep1 == rep2
+        assert rep1.n_faults > 0
+
+    def test_noop_plan_is_identity(self):
+        rows = make_rows()
+        out, report = inject_rows(rows, FaultPlan(), TRANSACTION_SCHEMA)
+        assert out == rows
+        assert report.n_faults == 0
+        assert report.n_input == report.n_output == len(rows)
+
+
+class TestInjectJsonl:
+    def test_byte_identical_across_runs(self, tmp_path):
+        src = tmp_path / "clean.jsonl"
+        write_transactions(src, make_transactions())
+        plan = FaultPlan(
+            seed=5, drop_rate=0.1, corrupt_rate=0.2, truncate_fraction=0.05
+        )
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        rep_a = inject_jsonl(src, a, plan, TRANSACTION_SCHEMA)
+        rep_b = inject_jsonl(src, b, plan, TRANSACTION_SCHEMA)
+        assert a.read_bytes() == b.read_bytes()
+        assert rep_a == rep_b
+
+    def test_truncation_cuts_bytes(self, tmp_path):
+        src = tmp_path / "clean.jsonl"
+        write_transactions(src, make_transactions())
+        dst = tmp_path / "cut.jsonl"
+        report = inject_jsonl(
+            src, dst, FaultPlan(truncate_fraction=0.5), TRANSACTION_SCHEMA
+        )
+        assert report.n_truncated_bytes > 0
+        assert dst.stat().st_size < src.stat().st_size
+
+    def test_noop_plan_round_trips(self, tmp_path):
+        src, dst = tmp_path / "clean.jsonl", tmp_path / "copy.jsonl"
+        txns = make_transactions()
+        write_transactions(src, txns)
+        inject_jsonl(src, dst, FaultPlan(), TRANSACTION_SCHEMA)
+        assert read_transactions(dst) == txns
+
+
+class TestTypedStreams:
+    def test_outage_flips_successful_updates(self):
+        txns = make_transactions()
+        window = OutageWindow(start_s=100.0, end_s=300.0)
+        out, report = inject_transactions(txns, FaultPlan(outages=(window,)))
+        assert report.n_outage_flipped > 0
+        for txn in out:
+            if window.covers(txn.timestamp):
+                assert txn.result is window.result
+        # outside the window nothing changed
+        untouched = [t for t in out if not window.covers(t.timestamp)]
+        original = [t for t in txns if not window.covers(t.timestamp)]
+        assert untouched == original
+
+    def test_outage_respects_plmn_scope(self):
+        txns = make_transactions()
+        window = OutageWindow(start_s=0.0, end_s=1e9, plmn="99999")
+        out, report = inject_transactions(txns, FaultPlan(outages=(window,)))
+        assert report.n_outage_flipped == 0
+        assert out == txns
+
+    def test_radio_event_stream_faults(self):
+        events = [
+            RadioEvent(
+                device_id=f"dev-{i}",
+                timestamp=float(i),
+                sim_plmn="23410",
+                tac=35236081,
+                sector_id=1,
+                interface=RadioInterface.S1,
+                event_type=MessageType.ATTACH,
+                result=ResultCode.OK,
+            )
+            for i in range(100)
+        ]
+        plan = FaultPlan(seed=2, drop_rate=0.2, duplicate_rate=0.1)
+        out1, rep1 = inject_radio_events(events, plan)
+        out2, rep2 = inject_radio_events(events, plan)
+        assert out1 == out2
+        assert rep1.n_dropped > 0 and rep1.n_duplicated > 0
+        assert rep1.n_output == len(events) - rep1.n_dropped + rep1.n_duplicated

@@ -1,0 +1,89 @@
+"""FaultPlan / OutageWindow semantics and substream determinism."""
+
+import pytest
+
+from repro.faults import CorruptionKind, FaultPlan, OutageWindow
+from repro.signaling.procedures import ResultCode
+
+
+class TestOutageWindow:
+    def test_validates_ordering(self):
+        with pytest.raises(ValueError):
+            OutageWindow(start_s=10.0, end_s=10.0)
+        with pytest.raises(ValueError):
+            OutageWindow(start_s=10.0, end_s=5.0)
+
+    def test_covers_is_half_open(self):
+        window = OutageWindow(start_s=10.0, end_s=20.0)
+        assert not window.covers(9.999)
+        assert window.covers(10.0)
+        assert window.covers(19.999)
+        assert not window.covers(20.0)
+
+    def test_affects_filters_by_plmn(self):
+        window = OutageWindow(start_s=0.0, end_s=10.0, plmn="23410")
+        assert window.affects(5.0, "23410")
+        assert not window.affects(5.0, "26202")
+        # A window without a plmn hits every network.
+        everywhere = OutageWindow(start_s=0.0, end_s=10.0)
+        assert everywhere.affects(5.0, "26202")
+
+    def test_default_result_is_a_failure(self):
+        window = OutageWindow(start_s=0.0, end_s=1.0)
+        assert not window.result.is_success
+
+
+class TestFaultPlan:
+    def test_rejects_bad_rates(self):
+        for field in ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: 1.5})
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: -0.1})
+        with pytest.raises(ValueError):
+            FaultPlan(reorder_window=0)
+        with pytest.raises(ValueError):
+            FaultPlan(truncate_fraction=2.0)
+
+    def test_injects_anything(self):
+        assert not FaultPlan().injects_anything
+        assert FaultPlan(drop_rate=0.1).injects_anything
+        assert FaultPlan(
+            outages=(OutageWindow(start_s=0.0, end_s=1.0),)
+        ).injects_anything
+
+    def test_substreams_are_independent(self):
+        """Enabling one injector must not shift another's draws."""
+        drop_only = FaultPlan(seed=42, drop_rate=0.5)
+        drop_and_corrupt = FaultPlan(seed=42, drop_rate=0.5, corrupt_rate=0.5)
+        a = drop_only.drop_rng().random(16)
+        b = drop_and_corrupt.drop_rng().random(16)
+        assert (a == b).all()
+
+    def test_substreams_differ_from_each_other(self):
+        plan = FaultPlan(seed=42, drop_rate=0.5, duplicate_rate=0.5)
+        assert (plan.drop_rng().random(16) != plan.duplicate_rng().random(16)).any()
+
+    def test_seed_changes_streams(self):
+        a = FaultPlan(seed=1, drop_rate=0.5).drop_rng().random(16)
+        b = FaultPlan(seed=2, drop_rate=0.5).drop_rng().random(16)
+        assert (a != b).any()
+
+    def test_outage_at_matches_time_and_plmn(self):
+        plan = FaultPlan(
+            outages=(
+                OutageWindow(start_s=0.0, end_s=10.0, plmn="23410"),
+                OutageWindow(
+                    start_s=50.0,
+                    end_s=60.0,
+                    result=ResultCode.ROAMING_NOT_ALLOWED,
+                ),
+            )
+        )
+        assert plan.outage_at(5.0, "23410") is plan.outages[0]
+        assert plan.outage_at(5.0, "26202") is None
+        assert plan.outage_at(55.0, "26202") is plan.outages[1]
+        assert plan.outage_at(30.0, "23410") is None
+
+    def test_all_corruption_kinds_enabled_by_default(self):
+        assert set(FaultPlan().corruptions) == set(CorruptionKind)

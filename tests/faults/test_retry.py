@@ -1,0 +1,145 @@
+"""RetryPolicy math, schedule horizons, and call_with_retry semantics."""
+
+import numpy as np
+import pytest
+
+from repro.faults import RetryError, RetryPolicy, backoff_schedule, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=100.0, max_delay_s=50.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_delay_grows_then_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=10.0, multiplier=2.0, max_delay_s=50.0, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_s(k, rng) for k in range(6)]
+        assert delays[:3] == [10.0, 20.0, 40.0]
+        assert all(d == 50.0 for d in delays[3:])
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay_s=100.0, multiplier=1.0, max_delay_s=100.0, jitter=0.5
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            delay = policy.delay_s(0, rng)
+            assert 50.0 <= delay <= 100.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(-1, np.random.default_rng(0))
+
+
+class TestBackoffSchedule:
+    def test_deterministic_and_increasing(self):
+        policy = RetryPolicy(base_delay_s=30.0, max_attempts=6)
+        a = backoff_schedule(policy, np.random.default_rng(4), start_s=100.0)
+        b = backoff_schedule(policy, np.random.default_rng(4), start_s=100.0)
+        assert a == b
+        assert len(a) == policy.max_attempts
+        assert a == sorted(a)
+        assert a[0] > 100.0
+
+    def test_horizon_stops_schedule(self):
+        policy = RetryPolicy(base_delay_s=30.0, jitter=0.0, max_attempts=6)
+        full = backoff_schedule(policy, np.random.default_rng(0), start_s=0.0)
+        cut = backoff_schedule(
+            policy, np.random.default_rng(0), start_s=0.0, horizon_s=full[2]
+        )
+        assert cut == full[:2]
+        assert all(at < full[2] for at in cut)
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("flap")
+            return "done"
+
+        result = call_with_retry(
+            flaky, RetryPolicy(max_attempts=5), np.random.default_rng(0)
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+
+    def test_raises_retry_error_when_exhausted(self):
+        def always_fails():
+            raise OSError("down")
+
+        with pytest.raises(RetryError) as excinfo:
+            call_with_retry(
+                always_fails, RetryPolicy(max_attempts=4), np.random.default_rng(0)
+            )
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.last_error, OSError)
+
+    def test_unlisted_exceptions_propagate(self):
+        def wrong_kind():
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                wrong_kind,
+                RetryPolicy(max_attempts=3),
+                np.random.default_rng(0),
+                retry_on=(OSError,),
+            )
+
+    def test_rng_consumption_is_observer_independent(self):
+        """Delays are drawn whether or not on_retry watches them."""
+
+        def fail_twice_factory():
+            calls = {"n": 0}
+
+            def fn():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise OSError("flap")
+                return calls["n"]
+
+            return fn
+
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        observed = []
+        call_with_retry(fail_twice_factory(), RetryPolicy(), rng_a)
+        call_with_retry(
+            fail_twice_factory(),
+            RetryPolicy(),
+            rng_b,
+            on_retry=lambda attempt, delay, exc: observed.append(delay),
+        )
+        assert len(observed) == 2
+        assert rng_a.random() == rng_b.random()
+
+    def test_observed_delays_follow_policy(self):
+        policy = RetryPolicy(base_delay_s=10.0, multiplier=2.0, jitter=0.0)
+        observed = []
+
+        def always_fails():
+            raise OSError("down")
+
+        with pytest.raises(RetryError):
+            call_with_retry(
+                always_fails,
+                policy,
+                np.random.default_rng(0),
+                on_retry=lambda attempt, delay, exc: observed.append(delay),
+            )
+        assert observed[:3] == [10.0, 20.0, 40.0]

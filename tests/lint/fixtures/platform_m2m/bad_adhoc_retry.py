@@ -1,0 +1,24 @@
+"""Fixture: hand-rolled retry loops a simulation package must not contain."""
+
+
+def attach_with_continue(device, networks):
+    delay = 1.0
+    for network in networks:
+        try:
+            device.attach(network)
+        except ConnectionError:
+            delay *= 2.0
+            continue
+        return network
+    return None
+
+
+def attach_until_success(device, network):
+    delay = 1.0
+    while delay < 64.0:
+        try:
+            device.attach(network)
+            break
+        except ConnectionError:
+            delay *= 2.0
+    return delay

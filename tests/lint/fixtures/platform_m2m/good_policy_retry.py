@@ -1,0 +1,37 @@
+"""Fixture: retries modeled through repro.faults.retry are fine."""
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy, backoff_schedule, call_with_retry
+
+
+def reattach_storm(policy: RetryPolicy, seed: int):
+    rng = np.random.default_rng(seed)
+    return list(backoff_schedule(policy, rng, start_s=0.0, horizon_s=3600.0))
+
+
+def attach_with_policy(device, networks, policy: RetryPolicy, seed: int):
+    rng = np.random.default_rng(seed)
+    for network in networks:
+        try:
+            return call_with_retry(
+                lambda: device.attach(network),
+                policy,
+                rng,
+                retry_on=(ConnectionError,),
+            )
+        except ConnectionError:
+            continue
+    return None
+
+
+def drain_backlog(queue):
+    # A loop that breaks out of a try for reasons other than retrying
+    # (here: normal completion) is not a retry loop.
+    drained = []
+    while True:
+        try:
+            drained.append(queue.pop())
+        except IndexError:
+            break
+    return drained

@@ -20,6 +20,7 @@ BAD_FIXTURES = {
     "hygiene/bad_mutable_default.py": {"DEF001": 3},
     "hygiene/bad_excepts.py": {"EXC001": 2},
     "hygiene/bad_config.py": {"CFG001": 2},
+    "platform_m2m/bad_adhoc_retry.py": {"RETRY001": 2},
     "noqa/unused.py": {"NOQA001": 2},
     "broken/bad_syntax.py": {"SYNTAX001": 1},
 }
@@ -30,6 +31,7 @@ GOOD_FIXTURES = [
     "analysis/good_float_eq.py",
     "ident/good_helpers.py",
     "hygiene/good_hygiene.py",
+    "platform_m2m/good_policy_retry.py",
     "noqa/suppressed.py",
 ]
 

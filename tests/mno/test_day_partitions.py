@@ -1,0 +1,93 @@
+"""Day-partition JSONL round trip and lenient re-reads of dirty partitions."""
+
+import pytest
+
+from repro.mno import day_partition_paths, load_day_batch, write_day_batch
+from repro.mno.streaming import DayBatch
+from repro.signaling.cdr import ServiceRecord, ServiceType
+from repro.signaling.events import RadioEvent, RadioInterface
+from repro.signaling.procedures import MessageType, ResultCode
+
+
+def make_batch(day=3):
+    base = day * 86400.0
+    events = [
+        RadioEvent(
+            device_id=f"dev-{i}",
+            timestamp=base + i,
+            sim_plmn="23410",
+            tac=35236081,
+            sector_id=i % 5,
+            interface=RadioInterface.S1,
+            event_type=MessageType.ATTACH,
+            result=ResultCode.OK,
+        )
+        for i in range(6)
+    ]
+    records = [
+        ServiceRecord(
+            device_id=f"dev-{i}",
+            timestamp=base + 100.0 + i,
+            sim_plmn="23410",
+            visited_plmn="23410",
+            service=ServiceType.DATA,
+            bytes_total=512,
+            apn="iot.example",
+        )
+        for i in range(4)
+    ]
+    return DayBatch(day=day, radio_events=events, service_records=records)
+
+
+def test_partition_paths_are_day_stamped(tmp_path):
+    radio, service = day_partition_paths(tmp_path, 7)
+    assert radio.name == "radio_07.jsonl"
+    assert service.name == "service_07.jsonl"
+
+
+def test_round_trip_preserves_the_batch(tmp_path):
+    batch = make_batch()
+    write_day_batch(tmp_path, batch)
+    loaded, report = load_day_batch(tmp_path, batch.day)
+    assert loaded.radio_events == batch.radio_events
+    assert loaded.service_records == batch.service_records
+    assert report.ok
+    assert report.n_rows == batch.n_records
+
+
+def test_strict_load_raises_on_a_dirty_partition(tmp_path):
+    batch = make_batch()
+    radio_path, _ = write_day_batch(tmp_path, batch)
+    with open(radio_path, "a", encoding="utf-8") as handle:
+        handle.write("{torn\n")
+    with pytest.raises(ValueError):
+        load_day_batch(tmp_path, batch.day)
+
+
+def test_lenient_load_quarantines_and_resorts(tmp_path):
+    batch = make_batch()
+    radio_path, service_path = write_day_batch(tmp_path, batch)
+    with open(radio_path, "a", encoding="utf-8") as handle:
+        handle.write("{torn\n")
+    # append an out-of-order (but valid) service row to exercise re-sort
+    early = ServiceRecord(
+        device_id="dev-early",
+        timestamp=batch.day * 86400.0 + 1.0,
+        sim_plmn="23410",
+        visited_plmn="23410",
+        service=ServiceType.VOICE,
+        duration_s=10.0,
+    )
+    from repro.datasets.io import service_record_to_dict
+    import json
+
+    with open(service_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(service_record_to_dict(early)) + "\n")
+
+    loaded, report = load_day_batch(tmp_path, batch.day, lenient=True)
+    assert report.n_quarantined == 1
+    assert report.counts_by_kind == {"parse": 1}
+    assert len(loaded.radio_events) == len(batch.radio_events)
+    timestamps = [r.timestamp for r in loaded.service_records]
+    assert timestamps == sorted(timestamps)
+    assert loaded.service_records[0].device_id == "dev-early"

@@ -1,0 +1,120 @@
+"""Generation-time outages: failure flips, reattach storms, determinism."""
+
+import hashlib
+
+from repro.faults import FaultPlan, OutageWindow, RetryPolicy
+from repro.platform_m2m import PlatformConfig
+from repro.platform_m2m.simulator import simulate_m2m_dataset
+from repro.signaling.hlr import validate_stream
+from repro.signaling.procedures import MessageType, ResultCode
+
+WINDOW = OutageWindow(start_s=100_000.0, end_s=300_000.0)
+PLAN = FaultPlan(seed=3, outages=(WINDOW,))
+
+
+def small_config():
+    return PlatformConfig(n_devices=80, seed=5)
+
+
+def digest(dataset):
+    h = hashlib.sha256()
+    for t in dataset.transactions:
+        h.update(
+            repr(
+                (t.device_id, t.timestamp, t.sim_plmn, t.visited_plmn,
+                 t.message_type.value, t.result.value)
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def test_empty_plan_changes_nothing(eco):
+    baseline = simulate_m2m_dataset(eco, small_config())
+    with_noop_plan = simulate_m2m_dataset(eco, small_config(), fault_plan=FaultPlan())
+    assert digest(with_noop_plan) == digest(baseline)
+
+
+def test_outage_run_is_deterministic(eco):
+    a = simulate_m2m_dataset(eco, small_config(), fault_plan=PLAN)
+    b = simulate_m2m_dataset(eco, small_config(), fault_plan=PLAN)
+    assert digest(a) == digest(b)
+
+
+def test_no_successful_updates_inside_the_outage(eco):
+    dataset = simulate_m2m_dataset(eco, small_config(), fault_plan=PLAN)
+    for txn in dataset.transactions:
+        if (
+            txn.message_type is MessageType.UPDATE_LOCATION
+            and WINDOW.covers(txn.timestamp)
+        ):
+            assert not txn.result.is_success
+
+
+def test_storms_inflate_in_window_signaling(eco):
+    baseline = simulate_m2m_dataset(eco, small_config())
+    stormy = simulate_m2m_dataset(eco, small_config(), fault_plan=PLAN)
+    in_window = lambda ds: sum(  # noqa: E731
+        1 for t in ds.transactions if WINDOW.covers(t.timestamp)
+    )
+    assert in_window(stormy) > 2 * in_window(baseline)
+    assert len(stormy.transactions) > len(baseline.transactions)
+
+
+def test_storm_output_stays_protocol_coherent(eco):
+    dataset = simulate_m2m_dataset(eco, small_config(), fault_plan=PLAN)
+    report = validate_stream(dataset.transactions)
+    assert report.cancel_coherence == 1.0
+    assert report.moves_match_cancels
+    assert report.n_incoherent_cancels == 0
+
+
+def test_retry_policy_shapes_the_storm(eco):
+    sparse = RetryPolicy(base_delay_s=3600.0, multiplier=2.0, max_delay_s=7200.0,
+                         max_attempts=2)
+    dense = RetryPolicy(base_delay_s=60.0, multiplier=1.5, max_delay_s=600.0,
+                        max_attempts=8)
+    few = simulate_m2m_dataset(
+        eco, small_config(), fault_plan=PLAN, retry_policy=sparse
+    )
+    many = simulate_m2m_dataset(
+        eco, small_config(), fault_plan=PLAN, retry_policy=dense
+    )
+    assert len(many.transactions) > len(few.transactions)
+
+
+def test_plmn_scoped_outage_spares_other_networks(eco):
+    scoped = FaultPlan(
+        seed=3,
+        outages=(OutageWindow(start_s=0.0, end_s=1e9, plmn="00000"),),
+    )
+    baseline = simulate_m2m_dataset(eco, small_config())
+    spared = simulate_m2m_dataset(eco, small_config(), fault_plan=scoped)
+    assert digest(spared) == digest(baseline)
+
+
+def test_outage_result_code_is_used(eco):
+    plan = FaultPlan(
+        seed=3,
+        outages=(
+            OutageWindow(
+                start_s=WINDOW.start_s,
+                end_s=WINDOW.end_s,
+                result=ResultCode.ROAMING_NOT_ALLOWED,
+            ),
+        ),
+    )
+    baseline = simulate_m2m_dataset(eco, small_config())
+    dataset = simulate_m2m_dataset(eco, small_config(), fault_plan=plan)
+    baseline_in_window = sum(
+        1
+        for t in baseline.transactions
+        if WINDOW.covers(t.timestamp)
+        and t.result is ResultCode.ROAMING_NOT_ALLOWED
+    )
+    flipped_in_window = sum(
+        1
+        for t in dataset.transactions
+        if WINDOW.covers(t.timestamp)
+        and t.result is ResultCode.ROAMING_NOT_ALLOWED
+    )
+    assert flipped_in_window > baseline_in_window

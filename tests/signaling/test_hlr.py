@@ -1,7 +1,7 @@
 """Tests for the Home Location Register and stream validation."""
 
 
-from repro.signaling.hlr import HomeLocationRegister, validate_stream
+from repro.signaling.hlr import CancelOutcome, HomeLocationRegister, validate_stream
 from repro.signaling.procedures import MessageType, ResultCode, SignalingTransaction
 
 
@@ -44,6 +44,20 @@ class TestHomeLocationRegister:
         hlr.update_location("b", "20810")
         assert hlr.n_registered == 2
 
+    def test_cancel_outcome_taxonomy(self):
+        """Drops and reorders leave distinguishable incoherence traces."""
+        hlr = HomeLocationRegister()
+        # never registered: the creating update was lost (drop)
+        assert hlr.cancel_outcome("ghost", "23410") is CancelOutcome.NEVER_REGISTERED
+        hlr.update_location("d", "23410")
+        hlr.update_location("d", "20810")
+        # current registration: the cancel overtook its update (reorder)
+        assert hlr.cancel_outcome("d", "20810") is CancelOutcome.CURRENT_REGISTRATION
+        assert hlr.cancel_outcome("d", "23410") is CancelOutcome.COHERENT
+        assert CancelOutcome.COHERENT.is_coherent
+        assert not CancelOutcome.NEVER_REGISTERED.is_coherent
+        assert not CancelOutcome.CURRENT_REGISTRATION.is_coherent
+
 
 class TestValidateStream:
     def test_coherent_hand_built_stream(self):
@@ -73,6 +87,44 @@ class TestValidateStream:
         report = validate_stream(stream)
         assert report.cancel_coherence == 0.0
         assert not report.moves_match_cancels
+
+    def test_never_registered_cancel_counted_separately(self):
+        """A cancel for a device with no registration = a dropped update."""
+        stream = [_txn(device="ghost", mtype=MessageType.CANCEL_LOCATION)]
+        report = validate_stream(stream)
+        assert report.n_cancels_never_registered == 1
+        assert report.n_cancels_of_current == 0
+        assert report.n_incoherent_cancels == 1
+
+    def test_cancel_of_current_counted_separately(self):
+        """A cancel naming the live registration = a reordered stream."""
+        stream = [
+            _txn(ts=0.0, visited="23410"),
+            _txn(ts=1.0, visited="23410", mtype=MessageType.CANCEL_LOCATION),
+        ]
+        report = validate_stream(stream)
+        assert report.n_cancels_never_registered == 0
+        assert report.n_cancels_of_current == 1
+        assert report.n_incoherent_cancels == 1
+
+    def test_cancel_accounting_sums(self):
+        stream = [
+            _txn(device="a", ts=0.0, visited="23410"),
+            _txn(device="a", ts=1.0, visited="20810"),
+            _txn(device="a", ts=2.0, visited="23410",
+                 mtype=MessageType.CANCEL_LOCATION),
+            _txn(device="a", ts=3.0, visited="20810",
+                 mtype=MessageType.CANCEL_LOCATION),
+            _txn(device="ghost", ts=4.0, mtype=MessageType.CANCEL_LOCATION),
+        ]
+        report = validate_stream(stream)
+        assert (
+            report.n_coherent_cancels + report.n_incoherent_cancels
+            == report.n_cancel_locations
+        )
+        assert report.n_coherent_cancels == 1
+        assert report.n_cancels_of_current == 1
+        assert report.n_cancels_never_registered == 1
 
     def test_empty_stream_trivially_coherent(self):
         report = validate_stream([])

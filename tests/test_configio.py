@@ -11,8 +11,10 @@ from repro.configio import (
     to_dict,
 )
 from repro.ecosystem import EcosystemConfig
+from repro.faults import CorruptionKind, FaultPlan, OutageWindow
 from repro.mno.config import MNOConfig
 from repro.platform_m2m.config import PlatformConfig
+from repro.signaling.procedures import ResultCode
 
 
 class TestEcosystemConfig:
@@ -68,6 +70,60 @@ class TestMNOConfig:
         payload["segment_fingerprint"] = "deadbeef0000"
         with pytest.raises(ValueError):
             config_from_dict(payload)
+
+
+class TestFaultPlan:
+    def test_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            drop_rate=0.02,
+            duplicate_rate=0.01,
+            reorder_rate=0.03,
+            reorder_window=6,
+            corrupt_rate=0.05,
+            corruptions=(CorruptionKind.BAD_PLMN, CorruptionKind.GARBAGE_LINE),
+            truncate_fraction=0.1,
+            outages=(
+                OutageWindow(
+                    start_s=10.0,
+                    end_s=20.0,
+                    plmn="26202",
+                    result=ResultCode.ROAMING_NOT_ALLOWED,
+                ),
+                OutageWindow(start_s=100.0, end_s=200.0),
+            ),
+        )
+        path = tmp_path / "plan.json"
+        save_config(path, plan)
+        assert load_config(path) == plan
+
+    def test_restored_plan_injects_identically(self, tmp_path):
+        from repro.datasets.io import write_transactions
+        from repro.faults import TRANSACTION_SCHEMA, inject_jsonl
+        from repro.signaling.procedures import MessageType, SignalingTransaction
+
+        plan = FaultPlan(seed=13, drop_rate=0.2, corrupt_rate=0.3)
+        save_config(tmp_path / "plan.json", plan)
+        restored = load_config(tmp_path / "plan.json")
+        src = tmp_path / "clean.jsonl"
+        write_transactions(
+            src,
+            [
+                SignalingTransaction(
+                    device_id=f"d{i}",
+                    timestamp=float(i),
+                    sim_plmn="21407",
+                    visited_plmn="23410",
+                    message_type=MessageType.UPDATE_LOCATION,
+                    result=ResultCode.OK,
+                )
+                for i in range(40)
+            ],
+        )
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        inject_jsonl(src, a, plan, TRANSACTION_SCHEMA)
+        inject_jsonl(src, b, restored, TRANSACTION_SCHEMA)
+        assert a.read_bytes() == b.read_bytes()
 
 
 class TestErrors:

@@ -1,0 +1,85 @@
+"""Per-device quarantine in run_pipeline's lenient mode."""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline import MAX_EXEMPLAR_FAILURES, run_pipeline
+from repro.signaling.cdr import ServiceRecord, ServiceType
+
+
+def poison_record(device_id, timestamp=1000.0):
+    """A device seen only via a foreign CDR with a foreign SIM.
+
+    Its roaming label would be I:A (foreign SIM on a foreign network),
+    which the labeler rejects as unobservable — the catalog's summarize
+    stage raises for exactly this device.
+    """
+    return ServiceRecord(
+        device_id=device_id,
+        timestamp=timestamp,
+        sim_plmn="26202",
+        visited_plmn="20801",
+        service=ServiceType.VOICE,
+        duration_s=30.0,
+    )
+
+
+def with_poison(dataset, n=1):
+    extra = [poison_record(f"poison-{i}", 1000.0 + i) for i in range(n)]
+    return dataclasses.replace(
+        dataset, service_records=dataset.service_records + extra
+    )
+
+
+def test_strict_mode_still_raises(eco, mno_dataset):
+    with pytest.raises(ValueError):
+        run_pipeline(with_poison(mno_dataset), eco)
+
+
+def test_lenient_quarantines_the_poison_device(eco, mno_dataset):
+    result = run_pipeline(with_poison(mno_dataset), eco, lenient=True)
+    report = result.degradation
+    assert report is not None
+    assert report.n_failed_by_stage == {"summary": 1}
+    assert report.n_devices_failed == 1
+    assert 0.0 < report.coverage < 1.0
+    assert not report.ok
+    assert "poison-0" not in result.summaries
+    assert "poison-0" not in result.classifications
+    assert report.exemplars[0].device_id == "poison-0"
+    assert "I:A" in report.exemplars[0].error
+
+
+def test_lenient_matches_strict_on_clean_data(eco, mno_dataset):
+    strict = run_pipeline(mno_dataset, eco)
+    lenient = run_pipeline(mno_dataset, eco, lenient=True)
+    assert strict.degradation is None
+    assert lenient.degradation is not None
+    assert lenient.degradation.ok
+    assert lenient.degradation.coverage == 1.0
+    assert lenient.day_records == strict.day_records
+    assert lenient.summaries == strict.summaries
+    assert lenient.classifications == strict.classifications
+
+
+def test_survivors_are_unaffected_by_the_poison(eco, mno_dataset):
+    clean = run_pipeline(mno_dataset, eco, lenient=True)
+    dirty = run_pipeline(with_poison(mno_dataset), eco, lenient=True)
+    assert dirty.summaries == clean.summaries
+    assert dirty.classifications == clean.classifications
+
+
+def test_exemplars_are_capped_but_counts_are_not(eco, mno_dataset):
+    n_poison = MAX_EXEMPLAR_FAILURES + 3
+    result = run_pipeline(with_poison(mno_dataset, n=n_poison), eco, lenient=True)
+    report = result.degradation
+    assert report.n_failed_by_stage == {"summary": n_poison}
+    assert len(report.exemplars) == MAX_EXEMPLAR_FAILURES
+
+
+def test_degradation_accounting_sums(eco, mno_dataset):
+    result = run_pipeline(with_poison(mno_dataset, n=2), eco, lenient=True)
+    report = result.degradation
+    assert report.n_devices_ok + report.n_devices_failed == report.n_devices_total
+    assert report.n_devices_ok == len(result.classifications)
