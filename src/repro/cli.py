@@ -60,7 +60,7 @@ def _build_pipeline(args: argparse.Namespace):
     dataset = simulate_mno_dataset(
         eco, MNOConfig(n_devices=args.devices, seed=args.seed)
     )
-    return eco, dataset, run_pipeline(dataset, eco)
+    return eco, dataset, run_pipeline(dataset, eco, n_workers=args.jobs)
 
 
 # -- commands -------------------------------------------------------------------
@@ -207,7 +207,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
                 dataset = simulate_mno_dataset(
                     eco, MNOConfig(n_devices=args.devices, seed=args.seed)
                 )
-                result = run_pipeline(dataset, eco)
+                result = run_pipeline(dataset, eco, n_workers=args.jobs)
             _print_mno_figure(name, eco, result, plot=getattr(args, "plot", False))
         else:
             print(f"unknown figure {name!r}", file=sys.stderr)
@@ -278,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--eco-seed", type=int, default=11, help="world seed")
     parser.add_argument("--uk-sites", type=int, default=80, help="UK radio sites")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the pipeline's sharded stages "
+        "(1 = serial; output is identical at any value)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("simulate-m2m", help="generate an M2M platform trace")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.devices.device import IoTVertical
@@ -57,8 +58,14 @@ class APN:
         return f"{self.network_id}.mnc{self.mnc:03d}.mcc{self.mcc:03d}.gprs"
 
 
+@lru_cache(maxsize=65536)
 def parse_apn(apn: str) -> APN:
-    """Split an APN string into network and operator identifiers."""
+    """Split an APN string into network and operator identifiers.
+
+    Parsing is pure and the observed APN vocabulary is small relative to
+    the record count, so results are memoized (:func:`functools.lru_cache`);
+    the returned :class:`APN` is frozen, making the shared instance safe.
+    """
     if not apn:
         raise ValueError("empty APN string")
     text = apn.strip().lower()
@@ -106,6 +113,10 @@ class KeywordInventory:
         self._ordered: List[Tuple[str, IoTVertical]] = sorted(
             mapping.items(), key=lambda kv: -len(kv[0])
         )
+        # Memo for `match`: the keyword scan is O(keywords) per call and
+        # the same network IDs recur once per record; matching is pure,
+        # so a hit returns exactly what the scan would.
+        self._match_cache: Dict[str, Optional[Tuple[str, IoTVertical]]] = {}
 
     def __len__(self) -> int:
         return len(self._ordered)
@@ -119,10 +130,15 @@ class KeywordInventory:
 
     def match(self, network_id: str) -> Optional[Tuple[str, IoTVertical]]:
         """Return (keyword, vertical) for the first matching keyword."""
+        if network_id in self._match_cache:
+            return self._match_cache[network_id]
+        result: Optional[Tuple[str, IoTVertical]] = None
         for keyword, vertical in self._ordered:
             if keyword in network_id:
-                return keyword, vertical
-        return None
+                result = (keyword, vertical)
+                break
+        self._match_cache[network_id] = result
+        return result
 
 
 #: Energy companies the paper names as identifiable in SMIP-roaming APNs.

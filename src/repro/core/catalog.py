@@ -145,6 +145,11 @@ class CatalogBuilder:
         self._labeler = labeler
         self._compute_mobility = compute_mobility
         self._observer_plmn = str(labeler.observer.plmn)
+        # TAC-join memo: the catalog has far fewer models than the
+        # population has devices, so each TAC is resolved once and the
+        # (possibly None) result reused across devices and `summarize`
+        # calls.  Lookup is deterministic; the memo cannot change a join.
+        self._model_cache: Dict[int, Optional[DeviceModel]] = {}
 
     # -- streaming ingestion ------------------------------------------------
 
@@ -156,14 +161,22 @@ class CatalogBuilder:
         days: Dict[Tuple[str, int], _DayAccumulator] = defaultdict(_DayAccumulator)
         sim_plmn_of: Dict[str, str] = {}
         tac_of: Dict[str, int] = {}
+        observer_plmn = self._observer_plmn
 
         for event in radio_events:
-            acc = days[(event.device_id, event.day)]
+            device_id = event.device_id
+            acc = days[(device_id, event.day)]
+            if not acc.radio_events:
+                # First radio event of this (device, day): every radio
+                # event is by definition on the observer's network, so
+                # the home flag and the observer PLMN are set once here
+                # rather than per record.
+                acc.on_home_network = True
+                acc.visited_plmns.add(observer_plmn)
             acc.radio_events.append(event)
-            acc.on_home_network = True
-            acc.visited_plmns.add(self._observer_plmn)
-            sim_plmn_of.setdefault(event.device_id, event.sim_plmn)
-            tac_of.setdefault(event.device_id, event.tac)
+            if device_id not in sim_plmn_of:
+                sim_plmn_of[device_id] = event.sim_plmn
+                tac_of[device_id] = event.tac
 
         for record in service_records:
             acc = days[(record.device_id, record.day)]
@@ -247,42 +260,69 @@ class CatalogBuilder:
             by_device[record.device_id].append(record)
 
         summaries: Dict[str, DeviceSummary] = {}
+        model_cache = self._model_cache
         for device_id, records in by_device.items():
-            ever_home = any(r.on_home_network for r in records)
-            # A device never seen on the home network was only observed
-            # through CDR/xDRs from partner networks: an outbound roamer.
-            any_visited = next(iter(records[0].visited_plmns), self._observer_plmn)
-            label = self._labeler.label(
-                records[0].sim_plmn,
-                self._observer_plmn if ever_home else any_visited,
-            )
-            tac = tac_of.get(device_id)
-            model = self._tac_db.lookup(tac) if tac is not None else None
-            gyrations = [
-                r.mobility.gyration_km for r in records if r.mobility is not None
-            ]
+            # One pass over the device's day records accumulates every
+            # aggregate; the apns/visited frozensets are built once at
+            # the end rather than re-derived per record.
+            ever_home = False
+            active_days = 0
+            n_events = n_failed_events = n_calls = n_data_sessions = 0
+            voice_minutes = 0.0
+            bytes_total = 0
+            gyration_sum = 0.0
+            gyration_n = 0
             apns: Set[str] = set()
             visited: Set[str] = set()
             flags = RadioFlags()
             voice_flags = RadioFlags()
             data_flags = RadioFlags()
             for r in records:
+                ever_home = ever_home or r.on_home_network
+                if r.has_activity:
+                    active_days += 1
+                n_events += r.n_events
+                n_failed_events += r.n_failed_events
+                n_calls += r.n_calls
+                voice_minutes += r.voice_minutes
+                n_data_sessions += r.n_data_sessions
+                bytes_total += r.bytes_total
+                if r.mobility is not None:
+                    gyration_sum += r.mobility.gyration_km
+                    gyration_n += 1
                 apns.update(r.apns)
                 visited.update(r.visited_plmns)
                 flags = flags.union(r.radio_flags)
                 voice_flags = voice_flags.union(r.voice_flags)
                 data_flags = data_flags.union(r.data_flags)
+            # A device never seen on the home network was only observed
+            # through CDR/xDRs from partner networks: an outbound roamer.
+            # min() (not next(iter(...))) keeps the pick independent of
+            # frozenset iteration order, i.e. of PYTHONHASHSEED.
+            any_visited = min(records[0].visited_plmns, default=self._observer_plmn)
+            label = self._labeler.label(
+                records[0].sim_plmn,
+                self._observer_plmn if ever_home else any_visited,
+            )
+            tac = tac_of.get(device_id)
+            if tac is None:
+                model = None
+            elif tac in model_cache:
+                model = model_cache[tac]
+            else:
+                model = self._tac_db.lookup(tac)
+                model_cache[tac] = model
             summaries[device_id] = DeviceSummary(
                 device_id=device_id,
                 sim_plmn=records[0].sim_plmn,
                 label=label,
-                active_days=sum(1 for r in records if r.has_activity),
-                n_events=sum(r.n_events for r in records),
-                n_failed_events=sum(r.n_failed_events for r in records),
-                n_calls=sum(r.n_calls for r in records),
-                voice_minutes=sum(r.voice_minutes for r in records),
-                n_data_sessions=sum(r.n_data_sessions for r in records),
-                bytes_total=sum(r.bytes_total for r in records),
+                active_days=active_days,
+                n_events=n_events,
+                n_failed_events=n_failed_events,
+                n_calls=n_calls,
+                voice_minutes=voice_minutes,
+                n_data_sessions=n_data_sessions,
+                bytes_total=bytes_total,
                 apns=frozenset(apns),
                 visited_plmns=frozenset(visited),
                 radio_flags=flags,
@@ -291,7 +331,7 @@ class CatalogBuilder:
                 tac=tac,
                 model=model,
                 mean_gyration_km=(
-                    sum(gyrations) / len(gyrations) if gyrations else None
+                    gyration_sum / gyration_n if gyration_n else None
                 ),
             )
         return summaries

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.cellular.tac_db import GSMALabel
 from repro.core.apn import (
@@ -123,12 +123,33 @@ def rank_apns(summaries: Iterable[DeviceSummary]) -> List[Tuple[str, int]]:
 
 
 class DeviceClassifier:
-    """Runs the multi-step classification over device summaries."""
+    """Runs the multi-step classification over device summaries.
+
+    Per-APN intermediate results (keyword classification, consumer-APN
+    checks) are memoized on the instance: both are pure functions of the
+    APN string and the (immutable) config, and the APN vocabulary is far
+    smaller than the device count, so cache hits return exactly what a
+    fresh computation would.
+    """
 
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
+        self._apn_kind_cache: Dict[
+            str, Tuple[APNKind, Optional[IoTVertical], Optional[str]]
+        ] = {}
+        self._consumer_apn_cache: Dict[str, bool] = {}
 
     # -- step 1 ----------------------------------------------------------------
+
+    def _classify_apn_cached(
+        self, apn: str
+    ) -> Tuple[APNKind, Optional[IoTVertical], Optional[str]]:
+        """Memoized :func:`classify_apn` against this config's inventory."""
+        hit = self._apn_kind_cache.get(apn)
+        if hit is None:
+            hit = classify_apn(apn, self.config.inventory)
+            self._apn_kind_cache[apn] = hit
+        return hit
 
     def validated_apns(
         self, summaries: Mapping[str, DeviceSummary]
@@ -143,32 +164,76 @@ class DeviceClassifier:
             for apn in summary.apns:
                 if apn in validated:
                     continue
-                kind, vertical, keyword = classify_apn(apn, self.config.inventory)
+                kind, vertical, keyword = self._classify_apn_cached(apn)
                 if kind is APNKind.M2M and vertical is not None and keyword:
                     validated[apn] = (keyword, vertical)
         return validated
 
-    @staticmethod
-    def _uses_consumer_apn(summary: DeviceSummary) -> bool:
-        return any(
-            any(k in parse_apn(apn).network_id for k in CONSUMER_KEYWORDS)
-            for apn in summary.apns
-        )
+    def _uses_consumer_apn(self, summary: DeviceSummary) -> bool:
+        cache = self._consumer_apn_cache
+        for apn in summary.apns:
+            hit = cache.get(apn)
+            if hit is None:
+                network_id = parse_apn(apn).network_id
+                hit = any(k in network_id for k in CONSUMER_KEYWORDS)
+                cache[apn] = hit
+            if hit:
+                return True
+        return False
+
+    def collect_m2m_evidence(
+        self, summaries: Mapping[str, DeviceSummary]
+    ) -> Tuple[Dict[str, Tuple[str, IoTVertical]], Set[Tuple[str, str]]]:
+        """Step-1 evidence: validated APNs plus step-1 device property keys.
+
+        Because :func:`classify_apn` is a pure per-APN function, evidence
+        collected over a *shard* of devices union-merges into exactly the
+        evidence a whole-population pass would produce — this is what
+        makes sharded classification (``repro.parallel``) byte-identical
+        to the serial run.  Returns ``({apn: (keyword, vertical)},
+        {(manufacturer, model), ...})``; both empty when APN keywords are
+        disabled.
+        """
+        if not self.config.use_apn_keywords:
+            return {}, set()
+        validated = self.validated_apns(summaries)
+        keys: Set[Tuple[str, str]] = set()
+        for summary in summaries.values():
+            if summary.property_key is None:
+                continue
+            if any(apn in validated for apn in summary.apns):
+                keys.add(summary.property_key)
+        return validated, keys
 
     # -- the full pipeline ----------------------------------------------------
 
     def classify(
-        self, summaries: Mapping[str, DeviceSummary]
+        self,
+        summaries: Mapping[str, DeviceSummary],
+        extra_m2m_property_keys: Optional[AbstractSet[Tuple[str, str]]] = None,
     ) -> Dict[str, Classification]:
-        """Classify every device; returns device_id -> Classification."""
+        """Classify every device; returns device_id -> Classification.
+
+        ``extra_m2m_property_keys`` feeds step 2 additional (manufacturer,
+        model) keys collected *outside* ``summaries`` — the shard-merge
+        layer passes the globally merged step-1 evidence here so that
+        property propagation still crosses shard boundaries.  Passing the
+        global key set makes per-shard calls equal the whole-population
+        call restricted to the shard's devices.
+        """
         result: Dict[str, Classification] = {}
         m2m_property_keys: Set[Tuple[str, str]] = set()
+        if extra_m2m_property_keys:
+            m2m_property_keys.update(extra_m2m_property_keys)
 
-        # Step 1: validated M2M APNs.
+        # Step 1: validated M2M APNs.  The APN set is iterated sorted so
+        # the matched keyword for a multi-APN device never depends on
+        # frozenset iteration order (which varies with PYTHONHASHSEED —
+        # and hence across worker processes).
         if self.config.use_apn_keywords:
             validated = self.validated_apns(summaries)
             for device_id, summary in summaries.items():
-                for apn in summary.apns:
+                for apn in sorted(summary.apns):
                     hit = validated.get(apn)
                     if hit is None:
                         continue

@@ -17,9 +17,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Dict, Optional, Tuple
 
 from repro.cellular.identifiers import PLMN
 from repro.cellular.operators import Operator, OperatorRegistry
+
+#: Upper bound on the labeler's memo table.  The label space is tiny
+#: (pairs of observed PLMN strings), so the cap exists only to bound a
+#: pathological input stream; eviction is insertion-ordered.
+LABEL_CACHE_MAXSIZE = 65536
+
+
+@dataclass(frozen=True)
+class LabelCacheStats:
+    """Hit/miss counters for :class:`RoamingLabeler`'s label memo."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class SimOrigin(str, Enum):
@@ -98,14 +119,31 @@ class RoamingLabeler:
 
     Needs the operator registry (to resolve MVNOs and countries) and the
     identity of the MNO under study.
+
+    ``label`` is called once per record on the catalog hot path, but the
+    label space — pairs of PLMN strings actually observed — is tiny, so
+    results are memoized per (sim, visited) pair.  The memo is purely an
+    evaluation cache: labeling is deterministic, so a hit always returns
+    exactly what a fresh computation would (``cache=False`` disables it,
+    which the perf harness uses to measure the uncached path).
     """
 
-    def __init__(self, registry: OperatorRegistry, observer: Operator) -> None:
+    def __init__(
+        self,
+        registry: OperatorRegistry,
+        observer: Operator,
+        cache: bool = True,
+    ) -> None:
         if observer.is_mvno:
             raise ValueError("the observing operator must be an MNO")
         self._registry = registry
         self._observer = observer
         self._observer_plmn_str = str(observer.plmn)
+        self._cache: Optional[Dict[Tuple[str, str], RoamingLabel]] = (
+            {} if cache else None
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def observer(self) -> Operator:
@@ -150,8 +188,32 @@ class RoamingLabeler:
         return VisitedSide.ABROAD
 
     def label(self, sim_plmn: str, visited_plmn: str) -> RoamingLabel:
-        """Label one (SIM, visited) pair."""
+        """Label one (SIM, visited) pair (memoized; see class docstring)."""
+        if self._cache is None:
+            return self._label_uncached(sim_plmn, visited_plmn)
+        key = (sim_plmn, visited_plmn)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache_hits += 1
+            return hit
+        self._cache_misses += 1
+        result = self._label_uncached(sim_plmn, visited_plmn)
+        if len(self._cache) >= LABEL_CACHE_MAXSIZE:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = result
+        return result
+
+    def _label_uncached(self, sim_plmn: str, visited_plmn: str) -> RoamingLabel:
+        """The real computation behind :meth:`label`."""
         return RoamingLabel(
             sim=self.sim_origin(sim_plmn),
             visited=self.visited_side(visited_plmn),
+        )
+
+    def cache_stats(self) -> LabelCacheStats:
+        """Hit/miss counters for the label memo (zeros when disabled)."""
+        return LabelCacheStats(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._cache) if self._cache is not None else 0,
         )

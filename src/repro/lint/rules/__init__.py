@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration side ef
     identifiers,
     mutable_defaults,
     noqa,
+    parallelism,
     retry,
     rng,
     wallclock,
@@ -21,6 +22,7 @@ __all__ = [
     "identifiers",
     "mutable_defaults",
     "noqa",
+    "parallelism",
     "retry",
     "rng",
     "wallclock",

@@ -1,0 +1,70 @@
+"""Process-pool containment: all fan-out goes through ``repro.parallel``.
+
+The sharded-merge guarantees (byte-identical output at any worker
+count) hold only because every pool in the codebase is the audited seam
+in :mod:`repro.parallel.pool` — a raw ``ProcessPoolExecutor`` or
+``multiprocessing`` pool elsewhere would fan work out without the
+deterministic sharding, context-once pickling, and shard-order result
+collection that seam provides.  Outside the ``parallel`` package, both
+are banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+@register_rule
+class ProcessPoolOutsideParallel(Rule):
+    """PERF001 — no raw process pools outside ``repro.parallel``."""
+
+    rule_id: ClassVar[str] = "PERF001"
+    name: ClassVar[str] = "process-pool-outside-parallel"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "raw process pool outside repro.parallel: bypasses the "
+        "deterministic sharding seam"
+    )
+    fix_hint: ClassVar[str] = (
+        "fan out through repro.parallel.pool.map_shards (shard with "
+        "repro.parallel.sharding) instead of creating a pool directly"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (
+        ast.Import,
+        ast.ImportFrom,
+        ast.Attribute,
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_package("parallel")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "multiprocessing" or alias.name.startswith(
+                    "multiprocessing."
+                ):
+                    yield self.finding_at(
+                        ctx, node, message=f"import of {alias.name}"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "multiprocessing" or module.startswith("multiprocessing."):
+                yield self.finding_at(ctx, node, message=f"import from {module}")
+            elif module == "concurrent.futures":
+                for alias in node.names:
+                    if alias.name == "ProcessPoolExecutor":
+                        yield self.finding_at(
+                            ctx,
+                            node,
+                            message="import of concurrent.futures.ProcessPoolExecutor",
+                        )
+        elif isinstance(node, ast.Attribute):
+            if node.attr == "ProcessPoolExecutor":
+                yield self.finding_at(
+                    ctx, node, message="use of ProcessPoolExecutor attribute"
+                )

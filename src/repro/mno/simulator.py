@@ -65,16 +65,23 @@ class MNOSimulator:
     # -- per-day helpers ----------------------------------------------------
 
     def _day_sectors(
-        self, plan: PlannedDevice, day: int
+        self,
+        plan: PlannedDevice,
+        day: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> Optional[Tuple[Dict[RAT, List[int]], np.ndarray]]:
         """Resolve the day's visits to per-RAT nearest sectors.
 
         Returns ({rat: [sector_id per visit]}, cumulative visit weights)
         or None when the mobility model is absent (outbound devices).
+        ``rng`` overrides the simulator's shared stream — the streaming
+        layer passes per-(device, day) substreams so generation is
+        independent of iteration and worker order.
         """
         if plan.mobility is None:
             return None
-        rng = self._rng
+        if rng is None:
+            rng = self._rng
         visits = plan.mobility.visits_for_day(day, rng)
         weights = np.array([w for _, w in visits], dtype=float)
         cum = np.cumsum(weights / weights.sum())
@@ -96,12 +103,14 @@ class MNOSimulator:
         plan: PlannedDevice,
         day: int,
         out: List[RadioEvent],
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
-        rng = self._rng
+        if rng is None:
+            rng = self._rng
         n = plan.traffic.draw_signaling_count(rng)
         if n <= 0:
             return
-        resolved = self._day_sectors(plan, day)
+        resolved = self._day_sectors(plan, day, rng=rng)
         if resolved is None:
             return
         sectors_by_rat, visit_cum = resolved
@@ -149,8 +158,10 @@ class MNOSimulator:
         plan: PlannedDevice,
         day: int,
         out: List[ServiceRecord],
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
-        rng = self._rng
+        if rng is None:
+            rng = self._rng
         visited = plan.outbound_visited_plmn or self._observer_plmn
         sim_plmn = plan.device.sim_plmn
         device_id = plan.device_id

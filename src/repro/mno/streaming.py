@@ -16,10 +16,12 @@ the same config always reproduces the same batches.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
+import numpy as np
 
 from repro.datasets.containers import GroundTruthEntry
 from repro.datasets.io import (
@@ -33,10 +35,48 @@ from repro.ecosystem import Ecosystem
 from repro.mno.config import MNOConfig
 from repro.mno.population import PlannedDevice, PopulationBuilder
 from repro.mno.simulator import MNOSimulator
+from repro.parallel.pool import get_context, map_shards
+from repro.parallel.sharding import shard_of
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
 
 PathLike = Union[str, Path]
+
+#: Substream salt for per-(device, day) generation streams — the same
+#: child-stream idiom :mod:`repro.faults` uses, with a salt outside its
+#: range so the two families can never collide on a shared seed.
+_STREAM_DAY_GEN = 11
+
+
+def _device_day_rng(seed: int, day: int, device_id: str) -> np.random.Generator:
+    """Independent RNG substream for one device on one day.
+
+    Keyed by (config seed, salt, day, CRC-32 of the device ID), so the
+    stream a device draws from depends on nothing but the device and the
+    day — not on iteration order, shard assignment, or worker count.
+    """
+    return np.random.default_rng(
+        [seed, _STREAM_DAY_GEN, day, zlib.crc32(device_id.encode("utf-8"))]
+    )
+
+
+def _generate_day_shard(
+    payload: Tuple[int, int, int],
+) -> Tuple[List[RadioEvent], List[ServiceRecord]]:
+    """Worker: generate one day's records for one shard of devices."""
+    sim: StreamingMNOSimulator = get_context()
+    day, shard_index, n_shards = payload
+    _ = sim.population  # ensure the per-day index exists in this process
+    radio: List[RadioEvent] = []
+    service: List[ServiceRecord] = []
+    for plan in sim._by_day.get(day, []):
+        if shard_of(plan.device_id, n_shards) != shard_index:
+            continue
+        rng = _device_day_rng(sim.config.seed, day, plan.device_id)
+        if not plan.segment.outbound:
+            sim._inner._emit_radio_day(plan, day, radio, rng=rng)
+        sim._inner._emit_service_day(plan, day, service, rng=rng)
+    return radio, service
 
 
 @dataclass
@@ -111,10 +151,42 @@ class StreamingMNOSimulator:
         service.sort(key=lambda r: r.timestamp)
         return DayBatch(day=day, radio_events=radio, service_records=service)
 
-    def days(self) -> Iterator[DayBatch]:
-        """Iterate the whole window, one bounded batch at a time."""
+    def generate_day_sharded(self, day: int, n_workers: int = 1) -> DayBatch:
+        """Generate one day's records sharded by device across workers.
+
+        Every device draws from its own per-(device, day) RNG substream
+        (:func:`_device_day_rng`), so the batch is **worker-count
+        invariant**: any ``n_workers`` — including 1 — yields the exact
+        same records.  It is *not* bitwise-equal to :meth:`generate_day`,
+        whose devices share one sequential stream; this mirrors the
+        existing batch-vs-streaming determinism caveat (see the module
+        docstring).  Records are sorted by ``(timestamp, device_id)`` so
+        even tie order is shard-independent.
+        """
+        if not 0 <= day < self.config.window_days:
+            raise ValueError(f"day {day} outside the {self.config.window_days}-day window")
+        _ = self.population  # build the index once, before workers fork
+        n_shards = max(n_workers, 1)
+        payloads = [(day, index, n_shards) for index in range(n_shards)]
+        parts = map_shards(_generate_day_shard, payloads, n_workers, context=self)
+        radio = [event for part, _ in parts for event in part]
+        service = [record for _, part in parts for record in part]
+        radio.sort(key=lambda e: (e.timestamp, e.device_id))
+        service.sort(key=lambda r: (r.timestamp, r.device_id))
+        return DayBatch(day=day, radio_events=radio, service_records=service)
+
+    def days(self, n_workers: int = 1) -> Iterator[DayBatch]:
+        """Iterate the whole window, one bounded batch at a time.
+
+        ``n_workers > 1`` generates each day via
+        :meth:`generate_day_sharded` (worker-count-invariant substream
+        RNG); the default keeps the historical single-stream path.
+        """
         for day in range(self.config.window_days):
-            yield self.generate_day(day)
+            if n_workers > 1:
+                yield self.generate_day_sharded(day, n_workers=n_workers)
+            else:
+                yield self.generate_day(day)
 
     def active_devices_on(self, day: int) -> Set[str]:
         """Device IDs scheduled to be active on ``day``."""

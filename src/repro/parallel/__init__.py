@@ -1,0 +1,29 @@
+"""Deterministic sharded execution of the pipeline's hot stages.
+
+The subsystem has three layers:
+
+- :mod:`repro.parallel.sharding` — pure shard-by-device assignment
+  (CRC-32 of the device ID, stable across processes and runs);
+- :mod:`repro.parallel.pool` — the repository's only process-pool seam
+  (:func:`map_shards`), enforced by lint rule ``PERF001``;
+- :mod:`repro.parallel.executor` — the pipeline-specific fan-out and
+  the order-normalizing merge that makes sharded output byte-identical
+  to a serial :func:`repro.pipeline.run_pipeline` at any worker count.
+
+Callers normally reach this through ``run_pipeline(..., n_workers=N)``
+or the CLI's ``--jobs``; the pieces are exported for tests and for the
+streaming simulator's per-day sharded generation.
+"""
+
+from repro.parallel.executor import run_stages_sharded
+from repro.parallel.pool import get_context, map_shards
+from repro.parallel.sharding import shard_items, shard_mno_records, shard_of
+
+__all__ = [
+    "get_context",
+    "map_shards",
+    "run_stages_sharded",
+    "shard_items",
+    "shard_mno_records",
+    "shard_of",
+]

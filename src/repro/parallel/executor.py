@@ -1,0 +1,186 @@
+"""Sharded execution of the pipeline's hot stages, with exact merge.
+
+The fan-out is shard-by-device (:mod:`repro.parallel.sharding`): every
+record of a device lands in one shard, so per-shard accumulators never
+see partial devices.  Three properties make the merged output
+**byte-identical** to a serial :func:`repro.pipeline.run_pipeline` at
+any worker count:
+
+1. *Per-device purity of the catalog.*  ``CatalogBuilder`` aggregates
+   strictly within a device, so a shard's day records and summaries are
+   the serial results restricted to the shard's devices.
+2. *Union-mergeable classifier evidence.*  Step 1 of the classifier is
+   a pure per-APN function, so step-1 evidence (validated APNs, M2M
+   property keys) collected per shard unions into the global evidence;
+   re-running classification per shard with the global key set then
+   reproduces the serial per-device decisions, including cross-shard
+   property propagation.
+3. *Order-normalizing merge.*  Day records are re-sorted by
+   ``(device_id, day)``, summaries by device ID, and classifications are
+   re-inserted in the serial pass's step order (step-1 devices first,
+   then step-2, then the rest, each in summary order) — so even
+   container iteration order matches the serial run.
+
+Lenient mode shards the catalog/summary stage (the expensive part) and
+merges the per-shard :class:`~repro.pipeline.DegradationReport` partials
+with :meth:`~repro.pipeline.DegradationReport.merge`; the classification
+stage then runs over the merged summaries in the parent so the batch
+poisoning/fallback semantics stay exactly the serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
+from repro.core.classifier import Classification, ClassificationStep, DeviceClassifier
+from repro.datasets.containers import MNODataset
+from repro.parallel.pool import get_context, map_shards
+from repro.parallel.sharding import shard_mno_records
+from repro.pipeline import (
+    DegradationReport,
+    _lenient_catalog_stage,
+    _lenient_classify_stage,
+)
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+#: A shard payload: (radio events, service records) for one device subset.
+ShardPayload = Tuple[List[RadioEvent], List[ServiceRecord]]
+
+
+# -- worker tasks (module-level so they pickle by name) ----------------------
+
+def _build_shard(
+    payload: ShardPayload,
+) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]]:
+    """Strict-mode worker: catalog + summaries + step-1 evidence."""
+    builder, classifier = get_context()
+    events, services = payload
+    records, summaries = builder.build(events, services)
+    _, m2m_keys = classifier.collect_m2m_evidence(summaries)
+    return records, summaries, m2m_keys
+
+
+def _classify_shard(
+    payload: Tuple[Dict[str, DeviceSummary], Set[Tuple[str, str]]],
+) -> Dict[str, Classification]:
+    """Strict-mode worker: classify one shard against global evidence."""
+    _, classifier = get_context()
+    summaries, global_keys = payload
+    return classifier.classify(summaries, extra_m2m_property_keys=global_keys)
+
+
+def _lenient_shard(
+    payload: ShardPayload,
+) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]:
+    """Lenient-mode worker: quarantining catalog stage over one shard."""
+    builder, _ = get_context()
+    events, services = payload
+    by_dev_events: Dict[str, List[RadioEvent]] = {}
+    by_dev_services: Dict[str, List[ServiceRecord]] = {}
+    tac_of: Dict[str, int] = {}
+    for event in events:
+        by_dev_events.setdefault(event.device_id, []).append(event)
+        tac_of.setdefault(event.device_id, event.tac)
+    for record in services:
+        by_dev_services.setdefault(record.device_id, []).append(record)
+    device_ids = sorted(set(by_dev_events) | set(by_dev_services))
+    return _lenient_catalog_stage(
+        device_ids, by_dev_events, by_dev_services, tac_of, builder
+    )
+
+
+# -- merge helpers -----------------------------------------------------------
+
+def _merge_summaries(
+    parts: List[Dict[str, DeviceSummary]],
+) -> Dict[str, DeviceSummary]:
+    """Union the per-shard summary dicts in serial (device-ID) order."""
+    merged: Dict[str, DeviceSummary] = {}
+    for part in parts:
+        merged.update(part)
+    return {device_id: merged[device_id] for device_id in sorted(merged)}
+
+
+def _serial_order_classifications(
+    parts: List[Dict[str, Classification]],
+    summaries: Dict[str, DeviceSummary],
+) -> Dict[str, Classification]:
+    """Rebuild the serial run's classification insertion order.
+
+    The serial pass inserts step-1 devices first, then step-2, then
+    steps 3–4, each in summary order; reproducing that order makes the
+    merged dict indistinguishable from the serial one even under
+    ``list(...)``/iteration comparisons.
+    """
+    merged: Dict[str, Classification] = {}
+    for part in parts:
+        merged.update(part)
+    ordered: Dict[str, Classification] = {}
+    for step in (ClassificationStep.APN_KEYWORD, ClassificationStep.PROPERTY_PROPAGATION):
+        for device_id in summaries:
+            cls = merged.get(device_id)
+            if cls is not None and cls.step is step:
+                ordered[device_id] = cls
+    for device_id in summaries:
+        if device_id not in ordered and device_id in merged:
+            ordered[device_id] = merged[device_id]
+    return ordered
+
+
+# -- entry point -------------------------------------------------------------
+
+def run_stages_sharded(
+    dataset: MNODataset,
+    builder: CatalogBuilder,
+    classifier: DeviceClassifier,
+    n_workers: int,
+    lenient: bool = False,
+    n_shards: Optional[int] = None,
+) -> Tuple[
+    List[DeviceDayRecord],
+    Dict[str, DeviceSummary],
+    Dict[str, Classification],
+    Optional[DegradationReport],
+]:
+    """Run catalog → summaries → classification sharded by device.
+
+    Returns the same ``(day_records, summaries, classifications,
+    degradation)`` tuple the serial pipeline builds, byte-identical to
+    it.  ``n_shards`` defaults to ``n_workers``; any value produces the
+    same output because the merge normalizes order completely.
+    """
+    if n_shards is None:
+        n_shards = n_workers
+    shards = shard_mno_records(dataset.radio_events, dataset.service_records, n_shards)
+    context = (builder, classifier)
+
+    if lenient:
+        parts = map_shards(_lenient_shard, shards, n_workers, context=context)
+        day_records = [record for part, _, _ in parts for record in part]
+        day_records.sort(key=lambda r: (r.device_id, r.day))
+        summaries = _merge_summaries([part for _, part, _ in parts])
+        report = DegradationReport()
+        for _, _, partial in parts:
+            report = report.merge(partial)
+        # Batch classification with fallback runs in the parent so the
+        # poisoned-batch semantics stay exactly serial (a poisoned shard
+        # must degrade the whole batch, not just its shard).
+        classifications = _lenient_classify_stage(summaries, classifier, report)
+        report.n_devices_ok = len(classifications)
+        return day_records, summaries, classifications, report
+
+    built = map_shards(_build_shard, shards, n_workers, context=context)
+    day_records = [record for part, _, _ in built for record in part]
+    day_records.sort(key=lambda r: (r.device_id, r.day))
+    summaries = _merge_summaries([part for _, part, _ in built])
+    global_keys: Set[Tuple[str, str]] = set()
+    for _, _, keys in built:
+        global_keys.update(keys)
+    classify_payloads = [(part, global_keys) for _, part, _ in built if part]
+    classified = map_shards(
+        _classify_shard, classify_payloads, n_workers, context=context
+    )
+    classifications = _serial_order_classifications(classified, summaries)
+    return day_records, summaries, classifications, None

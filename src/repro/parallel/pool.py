@@ -1,0 +1,79 @@
+"""The one audited process-pool layer in the repository.
+
+Everything that fans work out across processes goes through
+:func:`map_shards`; lint rule ``PERF001`` bans ``multiprocessing`` /
+``ProcessPoolExecutor`` use anywhere else in ``src/`` so parallelism
+stays behind this single seam.
+
+Worker functions receive their shard as the sole argument and read any
+shared, read-only state through :func:`get_context` — the context object
+is pickled **once per worker** (via the pool initializer) instead of
+once per task, which matters because the shared state (TAC catalog,
+sector catalog, operator registry) dwarfs a typical shard payload.
+
+``n_workers <= 1`` never creates a pool: the shards run in-process, in
+order, with the context installed around the calls — the degenerate case
+costs nothing and behaves identically, which keeps ``workers=1`` an
+exact fallback.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: Per-process shared context installed by the pool initializer (or, for
+#: in-process runs, around the map_shards call).  Read via get_context().
+_CONTEXT: Optional[Any] = None
+
+
+def get_context() -> Any:
+    """The shared read-only context installed for the current worker.
+
+    Raises ``RuntimeError`` when called outside a :func:`map_shards`
+    run — worker functions must not be invoked standalone.
+    """
+    if _CONTEXT is None:
+        raise RuntimeError(
+            "no worker context installed; call through map_shards(context=...)"
+        )
+    return _CONTEXT
+
+
+def _install_context(context: Any) -> None:
+    """Pool initializer: stash the shared context in this process."""
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def map_shards(
+    fn: Callable[[S], R],
+    shards: Sequence[S],
+    n_workers: int,
+    context: Any = None,
+) -> List[R]:
+    """Apply ``fn`` to every shard, in shard order, across ``n_workers``.
+
+    ``fn`` must be a module-level (picklable) function.  Results are
+    returned in shard order regardless of completion order, so callers
+    can merge deterministically.  With ``n_workers <= 1`` the shards run
+    serially in this process — no pool is created.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1 or len(shards) <= 1:
+        previous = _CONTEXT
+        _install_context(context)
+        try:
+            return [fn(shard) for shard in shards]
+        finally:
+            _install_context(previous)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(shards)),
+        initializer=_install_context,
+        initargs=(context,),
+    ) as pool:
+        return list(pool.map(fn, shards))

@@ -15,7 +15,7 @@ the historical all-or-nothing behavior so programming errors stay loud.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -55,7 +55,7 @@ class DegradationReport:
 
     n_devices_total: int = 0
     n_devices_ok: int = 0
-    n_failed_by_stage: Dict[str, int] = field(default_factory=dict)
+    n_failed_by_stage: Counter = field(default_factory=Counter)
     exemplars: List[StageFailure] = field(default_factory=list)
     classifier_fallback: bool = False
 
@@ -74,7 +74,7 @@ class DegradationReport:
         return self.n_devices_failed == 0 and not self.classifier_fallback
 
     def record_failure(self, device_id: str, stage: str, error: Exception) -> None:
-        self.n_failed_by_stage[stage] = self.n_failed_by_stage.get(stage, 0) + 1
+        self.n_failed_by_stage[stage] += 1
         if len(self.exemplars) < MAX_EXEMPLAR_FAILURES:
             self.exemplars.append(
                 StageFailure(
@@ -83,6 +83,26 @@ class DegradationReport:
                     error=f"{type(error).__name__}: {error}",
                 )
             )
+
+    def merge(self, other: "DegradationReport") -> "DegradationReport":
+        """Combine two per-shard reports into one whole-run report.
+
+        Totals and per-stage counters sum; ``classifier_fallback`` ORs.
+        Exemplars are re-sorted by device ID and re-capped so the merged
+        report keeps the same exemplars a serial run (which visits
+        devices in sorted order) would have kept, regardless of how
+        devices were sharded.  The inputs are left untouched.
+        """
+        exemplars = sorted(
+            self.exemplars + other.exemplars, key=lambda f: f.device_id
+        )[:MAX_EXEMPLAR_FAILURES]
+        return DegradationReport(
+            n_devices_total=self.n_devices_total + other.n_devices_total,
+            n_devices_ok=self.n_devices_ok + other.n_devices_ok,
+            n_failed_by_stage=self.n_failed_by_stage + other.n_failed_by_stage,
+            exemplars=exemplars,
+            classifier_fallback=self.classifier_fallback or other.classifier_fallback,
+        )
 
 
 @dataclass
@@ -112,20 +132,21 @@ def _records_by_device(
     return events, services, tac_of
 
 
-def _run_lenient(
-    dataset: MNODataset,
+def _lenient_catalog_stage(
+    device_ids: List[str],
+    events: Dict[str, List[RadioEvent]],
+    services: Dict[str, List[ServiceRecord]],
+    tac_of: Dict[str, int],
     builder: CatalogBuilder,
-    classifier: DeviceClassifier,
-) -> Tuple[
-    List[DeviceDayRecord],
-    Dict[str, DeviceSummary],
-    Dict[str, Classification],
-    DegradationReport,
-]:
-    events, services, tac_of = _records_by_device(dataset)
-    device_ids = sorted(set(events) | set(services))
-    report = DegradationReport(n_devices_total=len(device_ids))
+) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]:
+    """Per-device catalog + summary with quarantine, over ``device_ids``.
 
+    The unit the shard layer (:mod:`repro.parallel`) fans out: each
+    worker runs this over its shard's devices and the partial results —
+    including the :class:`DegradationReport` — merge into exactly what a
+    serial pass over all devices produces.
+    """
+    report = DegradationReport(n_devices_total=len(device_ids))
     day_records: List[DeviceDayRecord] = []
     summaries: Dict[str, DeviceSummary] = {}
     for device_id in device_ids:
@@ -142,13 +163,21 @@ def _run_lenient(
             report.record_failure(device_id, "summary", exc)
             continue
         day_records.extend(records)
+    return day_records, summaries, report
 
-    day_records.sort(key=lambda r: (r.device_id, r.day))
 
-    # Classification propagates properties *across* devices sharing a
-    # (manufacturer, model), so the batch call is the real thing; if one
-    # device poisons the batch, degrade to per-device classification —
-    # weaker (no propagation) but isolating.
+def _lenient_classify_stage(
+    summaries: Dict[str, DeviceSummary],
+    classifier: DeviceClassifier,
+    report: DegradationReport,
+) -> Dict[str, Classification]:
+    """Batch classification with per-device fallback (lenient mode).
+
+    Classification propagates properties *across* devices sharing a
+    (manufacturer, model), so the batch call is the real thing; if one
+    device poisons the batch, degrade to per-device classification —
+    weaker (no propagation) but isolating.
+    """
     classifications: Dict[str, Classification]
     try:
         classifications = classifier.classify(summaries)
@@ -160,7 +189,26 @@ def _run_lenient(
                 classifications.update(classifier.classify({device_id: summary}))
             except Exception as exc:
                 report.record_failure(device_id, "classify", exc)
+    return classifications
 
+
+def _run_lenient(
+    dataset: MNODataset,
+    builder: CatalogBuilder,
+    classifier: DeviceClassifier,
+) -> Tuple[
+    List[DeviceDayRecord],
+    Dict[str, DeviceSummary],
+    Dict[str, Classification],
+    DegradationReport,
+]:
+    events, services, tac_of = _records_by_device(dataset)
+    device_ids = sorted(set(events) | set(services))
+    day_records, summaries, report = _lenient_catalog_stage(
+        device_ids, events, services, tac_of, builder
+    )
+    day_records.sort(key=lambda r: (r.device_id, r.day))
+    classifications = _lenient_classify_stage(summaries, classifier, report)
     report.n_devices_ok = len(classifications)
     return day_records, summaries, classifications, report
 
@@ -171,6 +219,7 @@ def run_pipeline(
     classifier_config: Optional[ClassifierConfig] = None,
     compute_mobility: bool = True,
     lenient: bool = False,
+    n_workers: int = 1,
 ) -> PipelineResult:
     """Run catalog building, labeling and classification end to end.
 
@@ -178,7 +227,14 @@ def run_pipeline(
     instead of raising, and ``result.degradation`` reports coverage;
     strict mode (default) raises on the first failure and leaves
     ``degradation`` as None.
+
+    ``n_workers > 1`` shards the hot stages by device across a process
+    pool (:mod:`repro.parallel`); the merged output is byte-identical to
+    the serial run at any worker count.  ``n_workers=1`` (the default)
+    takes the exact serial code path — no pool, no sharding.
     """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
     builder = CatalogBuilder(
         dataset.tac_db,
@@ -188,7 +244,15 @@ def run_pipeline(
     )
     classifier = DeviceClassifier(classifier_config)
     degradation: Optional[DegradationReport] = None
-    if lenient:
+    if n_workers > 1:
+        # Imported lazily: repro.parallel pulls in concurrent.futures and
+        # is only needed when a pool is actually requested.
+        from repro.parallel.executor import run_stages_sharded
+
+        day_records, summaries, classifications, degradation = run_stages_sharded(
+            dataset, builder, classifier, n_workers=n_workers, lenient=lenient
+        )
+    elif lenient:
         day_records, summaries, classifications, degradation = _run_lenient(
             dataset, builder, classifier
         )

@@ -1,0 +1,9 @@
+"""Fixture: inside a ``parallel`` package the pool seam is allowed."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def map_shards(fn, shards, n_workers):
+    """The audited seam itself may create process pools."""
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, shards))

@@ -1,0 +1,25 @@
+"""Fixture: raw process pools outside the ``repro.parallel`` seam."""
+
+import concurrent.futures
+import multiprocessing  # PERF001: multiprocessing import
+from concurrent.futures import ProcessPoolExecutor  # PERF001: executor import
+from multiprocessing import Pool  # PERF001: multiprocessing import
+
+
+def fan_out_executor(items):
+    """Raw executor via module attribute — PERF001."""
+    with concurrent.futures.ProcessPoolExecutor() as pool:
+        return list(pool.map(str, items))
+
+
+def fan_out_pool(items):
+    """Raw multiprocessing pool (import already flagged above)."""
+    del multiprocessing
+    with Pool() as pool:
+        return list(pool.map(str, items))
+
+
+def fan_out_imported(items):
+    """Directly-imported executor (import already flagged above)."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, items))

@@ -21,6 +21,7 @@ BAD_FIXTURES = {
     "hygiene/bad_excepts.py": {"EXC001": 2},
     "hygiene/bad_config.py": {"CFG001": 2},
     "platform_m2m/bad_adhoc_retry.py": {"RETRY001": 2},
+    "perf/bad_process_pool.py": {"PERF001": 4},
     "noqa/unused.py": {"NOQA001": 2},
     "broken/bad_syntax.py": {"SYNTAX001": 1},
 }
@@ -32,6 +33,7 @@ GOOD_FIXTURES = [
     "ident/good_helpers.py",
     "hygiene/good_hygiene.py",
     "platform_m2m/good_policy_retry.py",
+    "parallel/good_pool_seam.py",
     "noqa/suppressed.py",
 ]
 

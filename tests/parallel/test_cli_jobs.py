@@ -1,0 +1,20 @@
+"""The CLI's --jobs flag routes through the sharded pipeline."""
+
+from repro.cli import main
+
+
+def test_classify_with_jobs_matches_serial(capsys):
+    args = ["classify", "--devices", "60", "--seed", "7"]
+    assert main(["--jobs", "2"] + args) == 0
+    sharded_out = capsys.readouterr().out
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+    assert sharded_out == serial_out
+    assert "class shares:" in sharded_out
+
+
+def test_jobs_flag_default_is_serial():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["classify"])
+    assert args.jobs == 1

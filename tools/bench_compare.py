@@ -1,0 +1,252 @@
+"""Standalone pipeline benchmark with baseline regression checking.
+
+Times the pipeline's hot stages — catalog build, classification, the
+sharded worker sweep (1/2/4), and the cached vs uncached roaming-labeler
+path — and writes the results as ``BENCH_pipeline.json``.  With
+``--check`` it compares each bench's ops/sec against a committed
+baseline and exits non-zero on a regression beyond ``--tolerance``
+(default 20%), which is how CI's perf job gates merges.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py --out BENCH_pipeline.json
+    PYTHONPATH=src python tools/bench_compare.py --smoke --check
+    PYTHONPATH=src python tools/bench_compare.py --smoke --write-baseline
+
+Numbers are honest wall-clock measurements on whatever machine runs the
+tool; the ``meta`` block records ``cpu_count`` so a 1-core container's
+worker sweep (where pool overhead dominates and speedup < 1) is
+interpretable next to a multi-core run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.catalog import CatalogBuilder  # noqa: E402
+from repro.core.classifier import DeviceClassifier  # noqa: E402
+from repro.core.roaming import RoamingLabeler  # noqa: E402
+from repro.ecosystem import EcosystemConfig, build_default_ecosystem  # noqa: E402
+from repro.mno import MNOConfig, simulate_mno_dataset  # noqa: E402
+from repro.pipeline import run_pipeline  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+SMOKE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline_smoke.json"
+
+#: Worker counts swept by the pipeline benches.
+WORKER_SWEEP = (1, 2, 4)
+
+#: Inner iterations for sub-millisecond benches (classify,
+#: labeling_cached): one pass is too noisy to gate CI on.
+FAST_BENCH_BATCH = 10
+
+
+def _time_best(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall-clock seconds for one bench callable."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Run every bench; returns ``{bench: {seconds, ops_per_sec}}``."""
+    eco = build_default_ecosystem(EcosystemConfig(uk_sites=120, seed=11))
+    dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=devices, seed=seed))
+
+    labeler = RoamingLabeler(eco.operators, eco.uk_mno)
+    builder = CatalogBuilder(
+        dataset.tac_db, dataset.sector_catalog, labeler, compute_mobility=False
+    )
+    _, summaries = builder.build(dataset.radio_events, dataset.service_records)
+
+    pairs = [
+        (record.sim_plmn, record.visited_plmn)
+        for record in dataset.service_records[:20000]
+    ]
+
+    benches: Dict[str, Callable[[], object]] = {}
+    benches["catalog_build"] = lambda: CatalogBuilder(
+        dataset.tac_db,
+        dataset.sector_catalog,
+        RoamingLabeler(eco.operators, eco.uk_mno),
+        compute_mobility=False,
+    ).build(dataset.radio_events, dataset.service_records)
+    def classify_batch() -> None:
+        for _ in range(FAST_BENCH_BATCH):
+            DeviceClassifier().classify(summaries)
+
+    benches["classify"] = classify_batch
+    for n_workers in WORKER_SWEEP:
+        benches[f"pipeline_workers_{n_workers}"] = (
+            lambda w=n_workers: run_pipeline(
+                dataset, eco, compute_mobility=False, n_workers=w
+            )
+        )
+
+    def label_uncached() -> None:
+        fresh = RoamingLabeler(eco.operators, eco.uk_mno, cache=False)
+        for sim, visited in pairs:
+            fresh.label(sim, visited)
+
+    warm = RoamingLabeler(eco.operators, eco.uk_mno)
+    for sim, visited in pairs:  # prime the cache so the bench times hits
+        warm.label(sim, visited)
+
+    def label_cached() -> None:
+        for _ in range(FAST_BENCH_BATCH):
+            for sim, visited in pairs:
+                warm.label(sim, visited)
+
+    benches["labeling_uncached"] = label_uncached
+    benches["labeling_cached"] = label_cached
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in benches.items():
+        seconds = _time_best(fn, repeats)
+        results[name] = {
+            "seconds": round(seconds, 6),
+            "ops_per_sec": round(1.0 / seconds, 4) if seconds > 0 else float("inf"),
+        }
+        print(f"  {name:<22} {seconds:8.4f}s  ({results[name]['ops_per_sec']:.2f} ops/s)")
+    return results
+
+
+def derive_ratios(benches: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Speedup ratios the acceptance criteria read off the report."""
+    serial = benches["pipeline_workers_1"]["seconds"]
+    ratios = {
+        f"speedup_workers_{w}": round(
+            serial / benches[f"pipeline_workers_{w}"]["seconds"], 3
+        )
+        for w in WORKER_SWEEP
+        if w != 1
+    }
+    # labeling_cached times FAST_BENCH_BATCH passes; normalize to one.
+    ratios["labeling_cache_speedup"] = round(
+        benches["labeling_uncached"]["seconds"]
+        / (benches["labeling_cached"]["seconds"] / FAST_BENCH_BATCH),
+        3,
+    )
+    return ratios
+
+
+def check_against_baseline(
+    current: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    tolerance: float,
+) -> int:
+    """Count benches slower than ``baseline * (1 - tolerance)``."""
+    regressions = 0
+    for name, entry in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            print(f"  MISSING {name}: present in baseline, not measured")
+            regressions += 1
+            continue
+        floor = entry["ops_per_sec"] * (1.0 - tolerance)
+        status = "ok"
+        if now["ops_per_sec"] < floor:
+            status = "REGRESSION"
+            regressions += 1
+        print(
+            f"  {name:<22} {now['ops_per_sec']:10.2f} ops/s "
+            f"vs baseline {entry['ops_per_sec']:10.2f} "
+            f"(floor {floor:10.2f})  {status}"
+        )
+    return regressions
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=1000, help="bench population")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--out", type=str, default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--baseline", type=str, default=None, help="baseline JSON to compare against"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20, help="allowed ops/sec drop fraction"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any bench regresses past the tolerance",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small population + the smoke baseline (CI-sized run)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="overwrite the selected baseline file with this run",
+    )
+    args = parser.parse_args(argv)
+
+    devices = 300 if args.smoke else args.devices
+    repeats = 2 if args.smoke else args.repeats
+    baseline_path = Path(
+        args.baseline
+        if args.baseline
+        else (SMOKE_BASELINE if args.smoke else DEFAULT_BASELINE)
+    )
+
+    print(f"benching {devices} devices (repeats={repeats}) ...")
+    benches = run_benches(devices, args.seed, repeats)
+    report = {
+        "meta": {
+            "devices": devices,
+            "seed": args.seed,
+            "repeats": repeats,
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "benches": benches,
+        "derived": derive_ratios(benches),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    for name, value in report["derived"].items():
+        print(f"  {name}: {value}x")
+
+    if args.write_baseline:
+        baseline_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote baseline {baseline_path}")
+        return 0
+
+    if args.check:
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; run --write-baseline first")
+            return 2
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        print(f"checking against {baseline_path} (tolerance {args.tolerance:.0%})")
+        regressions = check_against_baseline(
+            benches, baseline["benches"], args.tolerance
+        )
+        if regressions:
+            print(f"{regressions} bench(es) regressed")
+            return 1
+        print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
