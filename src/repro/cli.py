@@ -49,6 +49,18 @@ from repro.pipeline import run_pipeline
 from repro.platform_m2m import PlatformConfig, simulate_m2m_dataset
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` parser: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _build_eco(args: argparse.Namespace):
     return build_default_ecosystem(
         EcosystemConfig(uk_sites=args.uk_sites, seed=args.eco_seed)
@@ -60,7 +72,9 @@ def _build_pipeline(args: argparse.Namespace):
     dataset = simulate_mno_dataset(
         eco, MNOConfig(n_devices=args.devices, seed=args.seed)
     )
-    return eco, dataset, run_pipeline(dataset, eco, n_workers=args.jobs)
+    return eco, dataset, run_pipeline(
+        dataset, eco, n_workers=args.jobs, columnar=args.columnar
+    )
 
 
 # -- commands -------------------------------------------------------------------
@@ -207,7 +221,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
                 dataset = simulate_mno_dataset(
                     eco, MNOConfig(n_devices=args.devices, seed=args.seed)
                 )
-                result = run_pipeline(dataset, eco, n_workers=args.jobs)
+                result = run_pipeline(
+                    dataset, eco, n_workers=args.jobs, columnar=args.columnar
+                )
             _print_mno_figure(name, eco, result, plot=getattr(args, "plot", False))
         else:
             print(f"unknown figure {name!r}", file=sys.stderr)
@@ -280,10 +296,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--uk-sites", type=int, default=80, help="UK radio sites")
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
+        type=_jobs_arg,
+        default="auto",
         help="worker processes for the pipeline's sharded stages "
-        "(1 = serial; output is identical at any value)",
+        "(an integer, or 'auto' to pick from the machine and input size; "
+        "1 = serial; output is identical at any value)",
+    )
+    parser.add_argument(
+        "--columnar",
+        action="store_true",
+        default=None,
+        dest="columnar",
+        help="run the catalog stage on the columnar (struct-of-arrays) "
+        "data plane; byte-identical output, different execution plan "
+        "(default: the REPRO_COLUMNAR environment flag)",
+    )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_false",
+        dest="columnar",
+        help="force the row-oriented data plane",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -24,7 +24,12 @@ from repro.core.apn import (
     default_keyword_inventory,
     parse_apn,
 )
-from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
+from repro.core.catalog import (
+    CatalogBuilder,
+    CatalogUpdate,
+    DeviceDayRecord,
+    DeviceSummary,
+)
 from repro.core.classifier import ClassLabel, ClassifierConfig, DeviceClassifier
 from repro.core.mobility import daily_mobility, MobilityMetrics
 from repro.core.roaming import RoamingLabel, RoamingLabeler, SimOrigin, VisitedSide
@@ -34,6 +39,7 @@ __all__ = [
     "APN",
     "APNKind",
     "CatalogBuilder",
+    "CatalogUpdate",
     "ClassLabel",
     "ClassifierConfig",
     "DeviceClassifier",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cellular.geo import GeoPoint, radius_of_gyration_km, weighted_centroid
 from repro.cellular.sectors import SectorCatalog
@@ -37,35 +37,50 @@ class MobilityMetrics:
             raise ValueError("mobility needs at least one sector")
 
 
+def sector_dwell_weights_from_pairs(
+    pairs: Sequence[Tuple[float, int]],
+    max_gap_s: float = 3600.0,
+    min_dwell_s: float = 60.0,
+) -> Dict[int, float]:
+    """Estimate per-sector dwell seconds from ``(timestamp, sector_id)``
+    pairs — the columnar pipeline's entry point, which never materializes
+    :class:`RadioEvent` objects.  The sort is stable, so ties keep their
+    input (stream) order exactly as the row path does."""
+    if not pairs:
+        return {}
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    dwell: Dict[int, float] = defaultdict(float)
+    for (timestamp, sector_id), (next_timestamp, _) in zip(ordered, ordered[1:]):
+        gap = max(min_dwell_s, min(max_gap_s, next_timestamp - timestamp))
+        dwell[sector_id] += gap
+    dwell[ordered[-1][1]] += min_dwell_s
+    return dict(dwell)
+
+
 def sector_dwell_weights(
     events: Sequence[RadioEvent],
     max_gap_s: float = 3600.0,
     min_dwell_s: float = 60.0,
 ) -> Dict[int, float]:
     """Estimate per-sector dwell seconds from one device-day's events."""
-    if not events:
-        return {}
-    ordered = sorted(events, key=lambda e: e.timestamp)
-    dwell: Dict[int, float] = defaultdict(float)
-    for current, nxt in zip(ordered, ordered[1:]):
-        gap = max(min_dwell_s, min(max_gap_s, nxt.timestamp - current.timestamp))
-        dwell[current.sector_id] += gap
-    dwell[ordered[-1].sector_id] += min_dwell_s
-    return dict(dwell)
+    return sector_dwell_weights_from_pairs(
+        [(event.timestamp, event.sector_id) for event in events],
+        max_gap_s=max_gap_s,
+        min_dwell_s=min_dwell_s,
+    )
 
 
-def daily_mobility(
-    events: Sequence[RadioEvent],
+def daily_mobility_from_pairs(
+    pairs: Sequence[Tuple[float, int]],
     catalog: SectorCatalog,
     max_gap_s: float = 3600.0,
     min_dwell_s: float = 60.0,
 ) -> Optional[MobilityMetrics]:
-    """Compute one device-day's mobility metrics, or None without events.
-
-    Events pointing at sectors unknown to the catalog are skipped (real
-    pipelines see these too — sector churn outpaces catalog refreshes).
-    """
-    dwell = sector_dwell_weights(events, max_gap_s=max_gap_s, min_dwell_s=min_dwell_s)
+    """Columnar twin of :func:`daily_mobility` over ``(timestamp,
+    sector_id)`` pairs; bitwise-identical metrics for the same stream."""
+    dwell = sector_dwell_weights_from_pairs(
+        pairs, max_gap_s=max_gap_s, min_dwell_s=min_dwell_s
+    )
     points: List[GeoPoint] = []
     weights: List[float] = []
     for sector_id, seconds in dwell.items():
@@ -81,6 +96,25 @@ def daily_mobility(
         centroid=weighted_centroid(points, weights),
         gyration_km=radius_of_gyration_km(points, weights),
         n_sectors=len(points),
+    )
+
+
+def daily_mobility(
+    events: Sequence[RadioEvent],
+    catalog: SectorCatalog,
+    max_gap_s: float = 3600.0,
+    min_dwell_s: float = 60.0,
+) -> Optional[MobilityMetrics]:
+    """Compute one device-day's mobility metrics, or None without events.
+
+    Events pointing at sectors unknown to the catalog are skipped (real
+    pipelines see these too — sector churn outpaces catalog refreshes).
+    """
+    return daily_mobility_from_pairs(
+        [(event.timestamp, event.sector_id) for event in events],
+        catalog,
+        max_gap_s=max_gap_s,
+        min_dwell_s=min_dwell_s,
     )
 
 

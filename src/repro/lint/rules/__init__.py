@@ -9,6 +9,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration side ef
     mutable_defaults,
     noqa,
     parallelism,
+    perf_rows,
     retry,
     rng,
     wallclock,
@@ -23,6 +24,7 @@ __all__ = [
     "mutable_defaults",
     "noqa",
     "parallelism",
+    "perf_rows",
     "retry",
     "rng",
     "wallclock",

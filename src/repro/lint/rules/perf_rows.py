@@ -1,0 +1,85 @@
+"""Hot-loop row construction: keep the core's kernels columnar.
+
+The catalog's hot stages have a columnar twin
+(:meth:`repro.core.catalog.CatalogBuilder.build_from_columns` scanning
+:mod:`repro.columnar` stores), so constructing a :class:`RadioEvent` /
+:class:`ServiceRecord` dataclass *per row inside a loop* in
+``repro/core/`` reintroduces exactly the per-row allocation and
+validation cost the columnar plane exists to avoid.  Materializing rows
+is fine at boundaries (adapters, error paths, one-off lookups); doing it
+once per iteration in core code is a performance bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: Row dataclasses with a columnar equivalent; constructing one of these
+#: per loop iteration in core code defeats the columnar plane.
+_ROW_CONSTRUCTORS = frozenset({"RadioEvent", "ServiceRecord"})
+
+_LOOP_TYPES: Tuple[type, ...] = (
+    ast.For,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.DictComp,
+)
+
+
+def _constructor_name(call: ast.Call) -> str:
+    """The called name, unwrapping one attribute level (mod.RadioEvent)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register_rule
+class RowConstructionInCoreLoop(Rule):
+    """PERF002 — per-row dataclass construction in a core hot loop."""
+
+    rule_id: ClassVar[str] = "PERF002"
+    name: ClassVar[str] = "row-construction-in-core-loop"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "per-row RadioEvent/ServiceRecord construction inside a loop in "
+        "repro.core: this path has a columnar equivalent"
+    )
+    fix_hint: ClassVar[str] = (
+        "scan the interned columns (repro.columnar) or hoist the "
+        "construction out of the loop; materialize rows only at "
+        "boundaries (to_rows/rows_at adapters)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = _LOOP_TYPES
+
+    def __init__(self) -> None:
+        # Rules are instantiated once per linted file, so nested loops —
+        # which the engine visits outer-first — dedupe per call site
+        # rather than flagging the same construction at every depth.
+        self._reported: Set[Tuple[int, int]] = set()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("core")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            name = _constructor_name(inner)
+            if name not in _ROW_CONSTRUCTORS:
+                continue
+            site = (inner.lineno, inner.col_offset)
+            if site in self._reported:
+                continue
+            self._reported.add(site)
+            yield self.finding_at(
+                ctx, inner, message=f"{name}(...) constructed per loop iteration"
+            )

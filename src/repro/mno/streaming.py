@@ -23,6 +23,12 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.columnar.store import (
+    ColumnPools,
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+    from_record_streams,
+)
 from repro.datasets.containers import GroundTruthEntry
 from repro.datasets.io import (
     IngestReport,
@@ -90,6 +96,19 @@ class DayBatch:
     @property
     def n_records(self) -> int:
         return len(self.radio_events) + len(self.service_records)
+
+    def to_columns(
+        self, pools: Optional[ColumnPools] = None
+    ) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords]:
+        """Dictionary-encode this batch onto columnar stores.
+
+        Passing the same ``pools`` across a window's batches keeps the
+        interning dictionaries shared, which is the intended feed for
+        the incremental catalog engine
+        (:meth:`repro.core.catalog.CatalogBuilder.update`): one day's
+        column block per call, bounded memory across a 22-day replay.
+        """
+        return from_record_streams(self.radio_events, self.service_records, pools)
 
 
 class StreamingMNOSimulator:

@@ -17,12 +17,18 @@ streaming simulator's per-day sharded generation.
 
 from repro.parallel.executor import run_stages_sharded
 from repro.parallel.pool import get_context, map_shards
-from repro.parallel.sharding import shard_items, shard_mno_records, shard_of
+from repro.parallel.sharding import (
+    shard_columnar_records,
+    shard_items,
+    shard_mno_records,
+    shard_of,
+)
 
 __all__ = [
     "get_context",
     "map_shards",
     "run_stages_sharded",
+    "shard_columnar_records",
     "shard_items",
     "shard_mno_records",
     "shard_of",

@@ -30,23 +30,32 @@ poisoning/fallback semantics stay exactly the serial ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.columnar.store import (
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+    from_record_streams,
+)
 from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, ClassificationStep, DeviceClassifier
 from repro.datasets.containers import MNODataset
 from repro.parallel.pool import get_context, map_shards
-from repro.parallel.sharding import shard_mno_records
+from repro.parallel.sharding import shard_columnar_records, shard_mno_records
 from repro.pipeline import (
     DegradationReport,
     _lenient_catalog_stage,
     _lenient_classify_stage,
+    _records_by_device_columnar,
 )
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
 
 #: A shard payload: (radio events, service records) for one device subset.
 ShardPayload = Tuple[List[RadioEvent], List[ServiceRecord]]
+
+#: Columnar shard payload: the same device subset as interned columns.
+ColumnarPayload = Tuple[ColumnarRadioEvents, ColumnarServiceRecords]
 
 
 # -- worker tasks (module-level so they pickle by name) ----------------------
@@ -85,6 +94,30 @@ def _lenient_shard(
         tac_of.setdefault(event.device_id, event.tac)
     for record in services:
         by_dev_services.setdefault(record.device_id, []).append(record)
+    device_ids = sorted(set(by_dev_events) | set(by_dev_services))
+    return _lenient_catalog_stage(
+        device_ids, by_dev_events, by_dev_services, tac_of, builder
+    )
+
+
+def _build_shard_columnar(
+    payload: ColumnarPayload,
+) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]]:
+    """Strict-mode worker over one shard's interned column block."""
+    builder, classifier = get_context()
+    events, services = payload
+    records, summaries = builder.build_from_columns(events, services)
+    _, m2m_keys = classifier.collect_m2m_evidence(summaries)
+    return records, summaries, m2m_keys
+
+
+def _lenient_shard_columnar(
+    payload: ColumnarPayload,
+) -> Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]:
+    """Lenient-mode worker over one shard's interned column block."""
+    builder, _ = get_context()
+    events, services = payload
+    by_dev_events, by_dev_services, tac_of = _records_by_device_columnar(events, services)
     device_ids = sorted(set(by_dev_events) | set(by_dev_services))
     return _lenient_catalog_stage(
         device_ids, by_dev_events, by_dev_services, tac_of, builder
@@ -138,6 +171,7 @@ def run_stages_sharded(
     n_workers: int,
     lenient: bool = False,
     n_shards: Optional[int] = None,
+    columnar: bool = False,
 ) -> Tuple[
     List[DeviceDayRecord],
     Dict[str, DeviceSummary],
@@ -150,14 +184,35 @@ def run_stages_sharded(
     degradation)`` tuple the serial pipeline builds, byte-identical to
     it.  ``n_shards`` defaults to ``n_workers``; any value produces the
     same output because the merge normalizes order completely.
+
+    ``columnar=True`` dictionary-encodes the dataset once in the parent
+    and ships each worker an interned column block
+    (:func:`~repro.parallel.sharding.shard_columnar_records`) instead of
+    row lists; workers run the columnar catalog kernel.  Shard
+    assignment, merge, and output are unchanged.
     """
     if n_shards is None:
         n_shards = n_workers
-    shards = shard_mno_records(dataset.radio_events, dataset.service_records, n_shards)
+    # Row and columnar payloads share shard assignment and merge; only
+    # the payload encoding and the worker entry point differ, so the
+    # two planes are erased to Any at the map_shards seam.
+    shards: Sequence[Any]
+    if columnar:
+        events_c, records_c = from_record_streams(
+            dataset.radio_events, dataset.service_records
+        )
+        shards = shard_columnar_records(events_c, records_c, n_shards)
+    else:
+        shards = shard_mno_records(
+            dataset.radio_events, dataset.service_records, n_shards
+        )
     context = (builder, classifier)
 
     if lenient:
-        parts = map_shards(_lenient_shard, shards, n_workers, context=context)
+        lenient_worker: Callable[
+            [Any], Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]
+        ] = (_lenient_shard_columnar if columnar else _lenient_shard)
+        parts = map_shards(lenient_worker, shards, n_workers, context=context)
         day_records = [record for part, _, _ in parts for record in part]
         day_records.sort(key=lambda r: (r.device_id, r.day))
         summaries = _merge_summaries([part for _, part, _ in parts])
@@ -171,7 +226,11 @@ def run_stages_sharded(
         report.n_devices_ok = len(classifications)
         return day_records, summaries, classifications, report
 
-    built = map_shards(_build_shard, shards, n_workers, context=context)
+    build_worker: Callable[
+        [Any],
+        Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]],
+    ] = (_build_shard_columnar if columnar else _build_shard)
+    built = map_shards(build_worker, shards, n_workers, context=context)
     day_records = [record for part, _, _ in built for record in part]
     day_records.sort(key=lambda r: (r.device_id, r.day))
     summaries = _merge_summaries([part for _, part, _ in built])

@@ -19,6 +19,7 @@ from __future__ import annotations
 import zlib
 from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
+from repro.columnar.store import ColumnarRadioEvents, ColumnarServiceRecords
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
 
@@ -74,3 +75,35 @@ def shard_mno_records(
     radio_shards = shard_items(radio_events, n_shards)
     service_shards = shard_items(service_records, n_shards)
     return list(zip(radio_shards, service_shards))
+
+
+def shard_columnar_records(
+    radio_events: ColumnarRadioEvents,
+    service_records: ColumnarServiceRecords,
+    n_shards: int,
+) -> List[Tuple[ColumnarRadioEvents, ColumnarServiceRecords]]:
+    """Shard columnar stores by device, exchanging column blocks.
+
+    The shard function is the same CRC-32-of-device-ID as
+    :func:`shard_items` — a device lands in the same shard whichever
+    plane is in use — but it is evaluated once per *pool entry* (the
+    device vocabulary) rather than once per row, and each shard is a
+    ``select`` sharing the parent pools, so what crosses the process
+    boundary is interned column blocks, never row lists.
+    """
+    if radio_events.pools is not service_records.pools:
+        raise ValueError("columnar streams must share one ColumnPools")
+    shard_by_pool_id = [
+        shard_of(device_id, n_shards)
+        for device_id in radio_events.pools.devices.strings
+    ]
+    radio_indices: List[List[int]] = [[] for _ in range(n_shards)]
+    for i, dev in enumerate(radio_events.device_ids):
+        radio_indices[shard_by_pool_id[dev]].append(i)
+    service_indices: List[List[int]] = [[] for _ in range(n_shards)]
+    for i, dev in enumerate(service_records.device_ids):
+        service_indices[shard_by_pool_id[dev]].append(i)
+    return [
+        (radio_events.select(radio_idx), service_records.select(service_idx))
+        for radio_idx, service_idx in zip(radio_indices, service_indices)
+    ]

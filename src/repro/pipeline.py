@@ -15,10 +15,16 @@ the historical all-or-nothing behavior so programming errors stay loud.
 
 from __future__ import annotations
 
+import os
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.columnar.store import (
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+    from_record_streams,
+)
 from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, ClassifierConfig, DeviceClassifier
 from repro.core.roaming import RoamingLabeler
@@ -29,6 +35,17 @@ from repro.signaling.events import RadioEvent
 
 #: How many per-device failures a DegradationReport keeps verbatim.
 MAX_EXEMPLAR_FAILURES = 10
+
+#: Below this many total rows, ``n_workers="auto"`` stays serial: the
+#: committed bench (benchmarks/BENCH_baseline.json) shows pool spawn +
+#: shard pickling dominating at small scale (workers=2 ran at 0.28x
+#: serial on the 1k-device bench).
+AUTO_PARALLEL_MIN_ROWS = 250_000
+
+#: Environment flag flipping ``run_pipeline``'s default data plane to
+#: columnar — how CI runs the whole tier-1 suite over the columnar path
+#: without touching call sites.
+COLUMNAR_ENV_FLAG = "REPRO_COLUMNAR"
 
 
 @dataclass(frozen=True)
@@ -132,6 +149,36 @@ def _records_by_device(
     return events, services, tac_of
 
 
+def _records_by_device_columnar(
+    radio_events: ColumnarRadioEvents,
+    service_records: ColumnarServiceRecords,
+) -> Tuple[Dict[str, List[RadioEvent]], Dict[str, List[ServiceRecord]], Dict[str, int]]:
+    """Columnar twin of :func:`_records_by_device`.
+
+    Grouping scans the interned device-id columns (int comparisons);
+    rows are materialized per device only afterwards, because the
+    lenient stage needs real dataclasses to exercise — and quarantine —
+    exactly the per-device failures the row path sees.
+    """
+    radio_indices: Dict[int, List[int]] = defaultdict(list)
+    tac_by_id: Dict[int, int] = {}
+    tacs = radio_events.tacs
+    for i, dev in enumerate(radio_events.device_ids):
+        radio_indices[dev].append(i)
+        if dev not in tac_by_id:
+            tac_by_id[dev] = tacs[i]
+    service_indices: Dict[int, List[int]] = defaultdict(list)
+    for i, dev in enumerate(service_records.device_ids):
+        service_indices[dev].append(i)
+    lookup = radio_events.pools.devices.lookup
+    events = {lookup(dev): radio_events.rows_at(idx) for dev, idx in radio_indices.items()}
+    services = {
+        lookup(dev): service_records.rows_at(idx) for dev, idx in service_indices.items()
+    }
+    tac_of = {lookup(dev): tac for dev, tac in tac_by_id.items()}
+    return events, services, tac_of
+
+
 def _lenient_catalog_stage(
     device_ids: List[str],
     events: Dict[str, List[RadioEvent]],
@@ -196,13 +243,20 @@ def _run_lenient(
     dataset: MNODataset,
     builder: CatalogBuilder,
     classifier: DeviceClassifier,
+    columnar: bool = False,
 ) -> Tuple[
     List[DeviceDayRecord],
     Dict[str, DeviceSummary],
     Dict[str, Classification],
     DegradationReport,
 ]:
-    events, services, tac_of = _records_by_device(dataset)
+    if columnar:
+        events_c, records_c = from_record_streams(
+            dataset.radio_events, dataset.service_records
+        )
+        events, services, tac_of = _records_by_device_columnar(events_c, records_c)
+    else:
+        events, services, tac_of = _records_by_device(dataset)
     device_ids = sorted(set(events) | set(services))
     day_records, summaries, report = _lenient_catalog_stage(
         device_ids, events, services, tac_of, builder
@@ -213,13 +267,50 @@ def _run_lenient(
     return day_records, summaries, classifications, report
 
 
+def resolve_workers(
+    n_workers: Union[int, str], n_rows: Optional[int] = None
+) -> int:
+    """Resolve an ``n_workers`` argument (int or ``"auto"``) to a count.
+
+    ``"auto"`` stays serial on boxes with ``os.cpu_count() <= 2`` (the
+    committed bench shows 2 workers running at 0.28x serial — pool spawn
+    and pickling swamp the win) and on small inputs
+    (< :data:`AUTO_PARALLEL_MIN_ROWS` rows when ``n_rows`` is known);
+    otherwise it uses up to four workers, past which the shard merge is
+    the bottleneck.
+    """
+    if n_workers == "auto":
+        cpus = os.cpu_count() or 1
+        if cpus <= 2:
+            return 1
+        if n_rows is not None and n_rows < AUTO_PARALLEL_MIN_ROWS:
+            return 1
+        return min(cpus, 4)
+    if not isinstance(n_workers, int):
+        raise ValueError(f"n_workers must be an int or 'auto', got {n_workers!r}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+def _columnar_default() -> bool:
+    """The :data:`COLUMNAR_ENV_FLAG` shim: 1/true/yes/on enable."""
+    return os.environ.get(COLUMNAR_ENV_FLAG, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 def run_pipeline(
     dataset: MNODataset,
     ecosystem: Ecosystem,
     classifier_config: Optional[ClassifierConfig] = None,
     compute_mobility: bool = True,
     lenient: bool = False,
-    n_workers: int = 1,
+    n_workers: Union[int, str] = "auto",
+    columnar: Optional[bool] = None,
 ) -> PipelineResult:
     """Run catalog building, labeling and classification end to end.
 
@@ -230,11 +321,25 @@ def run_pipeline(
 
     ``n_workers > 1`` shards the hot stages by device across a process
     pool (:mod:`repro.parallel`); the merged output is byte-identical to
-    the serial run at any worker count.  ``n_workers=1`` (the default)
-    takes the exact serial code path — no pool, no sharding.
+    the serial run at any worker count.  ``n_workers=1`` takes the exact
+    serial code path — no pool, no sharding — and the default
+    ``"auto"`` picks a count from the machine and input size
+    (:func:`resolve_workers`), staying serial whenever the committed
+    benches say the pool would lose.
+
+    ``columnar=True`` runs the catalog stage on the struct-of-arrays
+    data plane (:mod:`repro.columnar`): record streams are
+    dictionary-encoded once and the catalog kernel scans interned int
+    columns instead of dataclass rows.  Output is byte-identical to the
+    row path in every mode; only the execution plan changes.  The
+    default (``None``) reads the ``REPRO_COLUMNAR`` environment flag,
+    which is how CI sweeps the whole suite over the columnar plane.
     """
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    n_workers = resolve_workers(
+        n_workers, len(dataset.radio_events) + len(dataset.service_records)
+    )
+    if columnar is None:
+        columnar = _columnar_default()
     labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
     builder = CatalogBuilder(
         dataset.tac_db,
@@ -250,12 +355,23 @@ def run_pipeline(
         from repro.parallel.executor import run_stages_sharded
 
         day_records, summaries, classifications, degradation = run_stages_sharded(
-            dataset, builder, classifier, n_workers=n_workers, lenient=lenient
+            dataset,
+            builder,
+            classifier,
+            n_workers=n_workers,
+            lenient=lenient,
+            columnar=columnar,
         )
     elif lenient:
         day_records, summaries, classifications, degradation = _run_lenient(
-            dataset, builder, classifier
+            dataset, builder, classifier, columnar=columnar
         )
+    elif columnar:
+        events_c, records_c = from_record_streams(
+            dataset.radio_events, dataset.service_records
+        )
+        day_records, summaries = builder.build_from_columns(events_c, records_c)
+        classifications = classifier.classify(summaries)
     else:
         day_records, summaries = builder.build(
             dataset.radio_events, dataset.service_records

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class ServiceType(str, Enum):
@@ -23,6 +23,12 @@ class ServiceType(str, Enum):
 
     VOICE = "voice"
     DATA = "data"
+
+
+#: Canonical, index-stable service-type order for columnar encodings
+#: (:mod:`repro.columnar` stores the service plane as an index into this
+#: tuple).  Append-only.
+SERVICE_TYPES: Tuple[ServiceType, ...] = tuple(ServiceType)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Tuple
 
 from repro.cellular.rats import RAT
 from repro.signaling.procedures import MessageType, ResultCode
@@ -112,3 +113,10 @@ class RadioEvent:
     @property
     def is_success(self) -> bool:
         return self.result.is_success
+
+
+#: Canonical, index-stable interface order: :mod:`repro.columnar` encodes
+#: each event's interface as an index into this tuple, so shard workers
+#: and persisted column blocks agree on the mapping.  Append-only — any
+#: reordering changes the meaning of every encoded block.
+RADIO_INTERFACES: Tuple[RadioInterface, ...] = tuple(RadioInterface)

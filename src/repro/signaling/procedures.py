@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Tuple
 
 from repro.cellular.identifiers import mcc_of
 
@@ -56,6 +57,14 @@ class ResultCode(str, Enum):
     @property
     def is_failure(self) -> bool:
         return not self.is_success
+
+
+#: Canonical, index-stable enum orders for columnar/wire encodings:
+#: :mod:`repro.columnar` stores message types and result codes as indices
+#: into these tuples.  Append-only — reordering changes the meaning of
+#: every encoded column block.
+MESSAGE_TYPES: Tuple[MessageType, ...] = tuple(MessageType)
+RESULT_CODES: Tuple[ResultCode, ...] = tuple(ResultCode)
 
 
 @dataclass(frozen=True)

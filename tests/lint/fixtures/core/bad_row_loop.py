@@ -1,0 +1,45 @@
+"""Fixture: per-row dataclass construction in core loops — PERF002 (four findings)."""
+
+from repro.signaling import cdr
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+
+def rebuild_rows(store):
+    """For loop rebuilding a dataclass per row."""
+    rows = []
+    for i in range(len(store.device_ids)):
+        rows.append(RadioEvent(  # PERF002: per-iteration construction
+            device_id=store.pools.devices.lookup(store.device_ids[i]),
+            timestamp=store.timestamps[i],
+            sim_plmn="26202",
+            tac=35000000,
+            sector_id=store.sector_ids[i],
+            interface=None,
+            event_type=None,
+            result=None,
+        ))
+    return rows
+
+
+def drain_queue(queue):
+    """While loop constructing a record per item."""
+    out = []
+    while queue:
+        payload = queue.pop()
+        out.append(ServiceRecord(**payload))  # PERF002
+    return out
+
+
+def comprehension(timestamps):
+    """List comprehension is a loop too."""
+    return [RadioEvent(device_id="d", timestamp=ts) for ts in timestamps]  # PERF002
+
+
+def nested(blocks):
+    """Nested loops flag the call site once, not once per depth."""
+    out = []
+    for block in blocks:
+        for payload in block:
+            out.append(cdr.ServiceRecord(**payload))  # PERF002 (single finding)
+    return out

@@ -1,0 +1,31 @@
+"""Fixture: columnar scanning and boundary materialization — PERF002-clean."""
+
+from repro.signaling.events import RadioEvent
+
+
+def scan_columns(device_ids, results, success_table):
+    """Hot loop over interned int columns: no row objects anywhere."""
+    failed = 0
+    for dev, res in zip(device_ids, results):
+        if not success_table[res]:
+            failed += dev
+    return failed
+
+
+def materialize_one(store, index):
+    """Boundary adapter: a single row built outside any loop is fine."""
+    return RadioEvent(
+        device_id=store.pools.devices.lookup(store.device_ids[index]),
+        timestamp=store.timestamps[index],
+        sim_plmn="26202",
+        tac=35000000,
+        sector_id=store.sector_ids[index],
+        interface=None,
+        event_type=None,
+        result=None,
+    )
+
+
+def rows_via_adapter(store, indices):
+    """Delegating to the store's own adapter keeps the loop columnar."""
+    return store.rows_at(indices)

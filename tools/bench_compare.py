@@ -25,14 +25,17 @@ import argparse
 import json
 import os
 import platform
+import resource
 import sys
 import time
+from collections import defaultdict
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.columnar import from_record_streams  # noqa: E402
 from repro.core.catalog import CatalogBuilder  # noqa: E402
 from repro.core.classifier import DeviceClassifier  # noqa: E402
 from repro.core.roaming import RoamingLabeler  # noqa: E402
@@ -50,6 +53,15 @@ WORKER_SWEEP = (1, 2, 4)
 #: labeling_cached): one pass is too noisy to gate CI on.
 FAST_BENCH_BATCH = 10
 
+#: Hard acceptance floors on derived speedups, enforced by ``--check``
+#: at full (non-smoke) scale: the columnar catalog kernel must be at
+#: least 2x the row path, the incremental day-update at least 5x a full
+#: rebuild.
+SPEEDUP_FLOORS = {
+    "columnar_speedup": 2.0,
+    "incremental_day_speedup": 5.0,
+}
+
 
 def _time_best(fn: Callable[[], object], repeats: int) -> float:
     """Best-of-N wall-clock seconds for one bench callable."""
@@ -61,10 +73,28 @@ def _time_best(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process so far, in KiB.
+
+    ``ru_maxrss`` is a *monotone watermark* — it never goes down — so a
+    bench's figure reads as "the high-water mark as of the end of this
+    bench", not that bench's own allocation.  Bench order is therefore
+    part of the measurement; it is recorded to catch a columnar store or
+    cache blowing memory up, not for fine-grained attribution.
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, float]]:
-    """Run every bench; returns ``{bench: {seconds, ops_per_sec}}``."""
+    """Run every bench; returns ``{bench: {seconds, ops_per_sec, ...}}``.
+
+    Each entry also records ``rows_per_sec`` (record rows processed per
+    wall-clock second, where a row count is meaningful for the bench)
+    and ``peak_rss_kb`` (see :func:`_peak_rss_kb`).
+    """
     eco = build_default_ecosystem(EcosystemConfig(uk_sites=120, seed=11))
     dataset = simulate_mno_dataset(eco, MNOConfig(n_devices=devices, seed=seed))
+    n_rows = len(dataset.radio_events) + len(dataset.service_records)
 
     labeler = RoamingLabeler(eco.operators, eco.uk_mno)
     builder = CatalogBuilder(
@@ -77,24 +107,81 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
         for record in dataset.service_records[:20000]
     ]
 
+    def fresh_builder() -> CatalogBuilder:
+        return CatalogBuilder(
+            dataset.tac_db,
+            dataset.sector_catalog,
+            RoamingLabeler(eco.operators, eco.uk_mno),
+            compute_mobility=False,
+        )
+
     benches: Dict[str, Callable[[], object]] = {}
-    benches["catalog_build"] = lambda: CatalogBuilder(
-        dataset.tac_db,
-        dataset.sector_catalog,
-        RoamingLabeler(eco.operators, eco.uk_mno),
-        compute_mobility=False,
-    ).build(dataset.radio_events, dataset.service_records)
+    rows_per_op: Dict[str, int] = {}
+    benches["catalog_build"] = lambda: fresh_builder().build(
+        dataset.radio_events, dataset.service_records
+    )
+    rows_per_op["catalog_build"] = n_rows
+
+    # Columnar kernel over pre-encoded stores: encoding happens once per
+    # ingest in the real pipeline, so the kernel bench excludes it; the
+    # interning cost is measured separately as `intern_pool`.
+    events_c, records_c = from_record_streams(
+        dataset.radio_events, dataset.service_records
+    )
+    benches["catalog_columnar"] = lambda: fresh_builder().build_from_columns(
+        events_c, records_c
+    )
+    rows_per_op["catalog_columnar"] = n_rows
+
+    benches["intern_pool"] = lambda: from_record_streams(
+        dataset.radio_events, dataset.service_records
+    )
+    rows_per_op["intern_pool"] = n_rows
+
+    # Incremental day-update: replay the window once, then alternate the
+    # last day between its original slice and a mutated one (every 7th
+    # radio row dropped) so every timed update crosses the change
+    # detector and does real recompute work — repeating an identical
+    # slice would short-circuit to a no-op and flatter the number.
+    by_day_events = defaultdict(list)
+    by_day_services = defaultdict(list)
+    for event in dataset.radio_events:
+        by_day_events[event.day].append(event)
+    for record in dataset.service_records:
+        by_day_services[record.day].append(record)
+    days = sorted(set(by_day_events) | set(by_day_services))
+    inc_builder = fresh_builder()
+    for day in days:
+        inc_builder.update(day, by_day_events[day], by_day_services[day])
+    last_day = days[-1]
+    slice_full = (by_day_events[last_day], by_day_services[last_day])
+    slice_mutated = (
+        [e for i, e in enumerate(by_day_events[last_day]) if i % 7],
+        by_day_services[last_day],
+    )
+    toggle: List[bool] = [False]
+
+    def incremental_day() -> None:
+        toggle[0] = not toggle[0]
+        day_events, day_services = slice_mutated if toggle[0] else slice_full
+        inc_builder.update(last_day, day_events, day_services)
+
+    benches["catalog_incremental_day"] = incremental_day
+    rows_per_op["catalog_incremental_day"] = len(slice_full[0]) + len(slice_full[1])
+
     def classify_batch() -> None:
         for _ in range(FAST_BENCH_BATCH):
             DeviceClassifier().classify(summaries)
 
     benches["classify"] = classify_batch
+    rows_per_op["classify"] = FAST_BENCH_BATCH * len(summaries)
     for n_workers in WORKER_SWEEP:
         benches[f"pipeline_workers_{n_workers}"] = (
             lambda w=n_workers: run_pipeline(
                 dataset, eco, compute_mobility=False, n_workers=w
             )
         )
+        rows_per_op[f"pipeline_workers_{n_workers}"] = n_rows
 
     def label_uncached() -> None:
         fresh = RoamingLabeler(eco.operators, eco.uk_mno, cache=False)
@@ -112,6 +199,8 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
 
     benches["labeling_uncached"] = label_uncached
     benches["labeling_cached"] = label_cached
+    rows_per_op["labeling_uncached"] = len(pairs)
+    rows_per_op["labeling_cached"] = FAST_BENCH_BATCH * len(pairs)
 
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in benches.items():
@@ -119,8 +208,17 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
         results[name] = {
             "seconds": round(seconds, 6),
             "ops_per_sec": round(1.0 / seconds, 4) if seconds > 0 else float("inf"),
+            "rows_per_sec": (
+                round(rows_per_op[name] / seconds, 1) if seconds > 0 else float("inf")
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
         }
-        print(f"  {name:<22} {seconds:8.4f}s  ({results[name]['ops_per_sec']:.2f} ops/s)")
+        print(
+            f"  {name:<24} {seconds:8.4f}s  "
+            f"({results[name]['ops_per_sec']:.2f} ops/s, "
+            f"{results[name]['rows_per_sec']:,.0f} rows/s, "
+            f"rss {results[name]['peak_rss_kb']} KiB)"
+        )
     return results
 
 
@@ -140,7 +238,33 @@ def derive_ratios(benches: Dict[str, Dict[str, float]]) -> Dict[str, float]:
         / (benches["labeling_cached"]["seconds"] / FAST_BENCH_BATCH),
         3,
     )
+    # Columnar acceptance ratios, both against the full row-path rebuild.
+    ratios["columnar_speedup"] = round(
+        benches["catalog_build"]["seconds"] / benches["catalog_columnar"]["seconds"], 3
+    )
+    ratios["incremental_day_speedup"] = round(
+        benches["catalog_build"]["seconds"]
+        / benches["catalog_incremental_day"]["seconds"],
+        3,
+    )
     return ratios
+
+
+def check_speedup_floors(derived: Dict[str, float]) -> int:
+    """Count derived ratios below their hard acceptance floor."""
+    failures = 0
+    for name, floor in sorted(SPEEDUP_FLOORS.items()):
+        value = derived.get(name)
+        if value is None:
+            print(f"  MISSING {name}: floor {floor}x, ratio not derived")
+            failures += 1
+            continue
+        status = "ok"
+        if value < floor:
+            status = "BELOW FLOOR"
+            failures += 1
+        print(f"  {name:<24} {value:8.3f}x (floor {floor}x)  {status}")
+    return failures
 
 
 def check_against_baseline(
@@ -241,6 +365,8 @@ def main(argv: Optional[list] = None) -> int:
         regressions = check_against_baseline(
             benches, baseline["benches"], args.tolerance
         )
+        print("checking speedup floors")
+        regressions += check_speedup_floors(report["derived"])
         if regressions:
             print(f"{regressions} bench(es) regressed")
             return 1
