@@ -244,6 +244,48 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run the pipeline durably: checkpointed, resumable, health-reported."""
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    eco = _build_eco(args)
+    dataset = simulate_mno_dataset(
+        eco, MNOConfig(n_devices=args.devices, seed=args.seed)
+    )
+    result = run_pipeline(
+        dataset,
+        eco,
+        lenient=args.lenient,
+        n_workers=args.jobs,
+        columnar=args.columnar,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    print(
+        f"classified {len(result.classifications)} devices "
+        f"({len(result.summaries)} summarized, "
+        f"{len(result.day_records)} daily rows)"
+    )
+    if result.health is not None:
+        print(f"run health: {result.health.summary()}")
+    if result.degradation is not None:
+        deg = result.degradation
+        print(
+            f"degradation: {deg.n_devices_failed}/{deg.n_devices_total} devices "
+            f"failed (coverage {deg.coverage:.1%})"
+        )
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        n_days = write_day_records(out_dir / "catalog_days.csv", result.day_records)
+        n_summaries = write_summaries(
+            out_dir / "catalog_summaries.csv", result.summaries.values()
+        )
+        print(f"wrote {n_days} daily rows and {n_summaries} device summaries to {out_dir}")
+    return 0
+
+
 def cmd_keywords(args: argparse.Namespace) -> int:
     """Run the APN keyword-discovery workflow on a simulated population."""
     _, _, result = _build_pipeline(args)
@@ -351,6 +393,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", type=str, required=True)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "run",
+        help="run the pipeline with durable checkpoints (resumable after a crash)",
+    )
+    p.add_argument("--devices", type=int, default=800)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--lenient", action="store_true", help="quarantine bad devices")
+    p.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="directory for the run manifest, journal and per-unit blocks",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing checkpoint directory (skips journaled units)",
+    )
+    p.add_argument("--out", type=str, default=None, help="CSV export directory")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("keywords", help="run APN keyword discovery")
     p.add_argument("--devices", type=int, default=800)

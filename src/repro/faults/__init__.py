@@ -14,6 +14,10 @@ reproducible inputs*:
 * :mod:`repro.faults.inject` — the injectors themselves, operating on
   typed record streams and on JSONL files (byte-deterministic for a
   given plan);
+* :mod:`repro.faults.crash` — crash-shaped injectors (deterministic
+  SIGKILL switches, torn checkpoints, stale manifests) that exercise
+  the durable runtime (:mod:`repro.runtime`) the way the data
+  injectors exercise ingest;
 * :mod:`repro.faults.retry` — exponential-backoff retry modeling
   (seeded jitter, delay cap), used by the platform simulator to model
   reattach storms during outages and by any code that needs a sanctioned
@@ -26,6 +30,14 @@ Everything a fault plan injects, the ingest layer
 asserts exactly that across a (plan × seed) grid.
 """
 
+from repro.faults.crash import (
+    KILL_AT_DAY,
+    KILL_AT_RENAME,
+    KILL_AT_UNIT,
+    KillSwitch,
+    make_manifest_stale,
+    tear_day_checkpoint,
+)
 from repro.faults.inject import (
     RADIO_EVENT_SCHEMA,
     SERVICE_RECORD_SCHEMA,
@@ -50,6 +62,10 @@ __all__ = [
     "CorruptionKind",
     "FaultPlan",
     "InjectionReport",
+    "KILL_AT_DAY",
+    "KILL_AT_RENAME",
+    "KILL_AT_UNIT",
+    "KillSwitch",
     "OutageWindow",
     "RADIO_EVENT_SCHEMA",
     "RetryError",
@@ -64,4 +80,6 @@ __all__ = [
     "inject_rows",
     "inject_service_records",
     "inject_transactions",
+    "make_manifest_stale",
+    "tear_day_checkpoint",
 ]

@@ -3,6 +3,7 @@
 from repro.lint.rules import (  # noqa: F401  (imported for registration side effect)
     api_drift,
     dataclass_config,
+    durability,
     excepts,
     floats,
     identifiers,
@@ -18,6 +19,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration side ef
 __all__ = [
     "api_drift",
     "dataclass_config",
+    "durability",
     "excepts",
     "floats",
     "identifiers",

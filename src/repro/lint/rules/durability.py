@@ -1,0 +1,109 @@
+"""Durability hygiene: checkpoint and bench artifacts must be written atomically.
+
+A durable artifact — a checkpoint block, run manifest, journal, or a
+bench baseline that gates CI — read back after a crash must be either
+the old version or the new one, never a torn half.  A bare
+``open(path, "w")`` / ``Path.write_text`` gives no such guarantee: the
+process can die between the ``write`` and the implicit close, leaving a
+truncated file that a later run will happily parse into silent wrong
+results.  :mod:`repro.runtime` owns the sanctioned discipline
+(temp file → fsync → ``os.replace`` → directory fsync, CRC-framed
+payloads); everything else must route artifact writes through
+:func:`repro.runtime.checkpoint.atomic_write_bytes` /
+``atomic_write_text``.
+
+The rule keys on the *name* of what is being written: a path expression
+mentioning ``checkpoint``/``ckpt``, ``manifest``, ``journal`` or
+``baseline`` is a durable artifact.  Ordinary exports (CSV, JSONL,
+reports) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: Substrings (lowercased) that mark a path expression as a durable
+#: artifact.  Matching on the expression text keys the rule on intent —
+#: ``manifest_path.write_text(...)`` — not on runtime values.
+_ARTIFACT_MARKERS: Tuple[str, ...] = (
+    "checkpoint",
+    "ckpt",
+    "manifest",
+    "journal",
+    "baseline",
+)
+
+#: ``open`` modes that mutate the target file.
+_WRITE_MODES = ("w", "a", "x", "+")
+
+_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _mentions_artifact(node: ast.AST) -> bool:
+    text = ast.unparse(node).lower()
+    return any(marker in text for marker in _ARTIFACT_MARKERS)
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The literal mode of an ``open()`` call, or None when unknown."""
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode_node = kw.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
+
+
+@register_rule
+class NonAtomicArtifactWrite(Rule):
+    """DUR001 — durable artifact written without the atomic discipline."""
+
+    rule_id: ClassVar[str] = "DUR001"
+    name: ClassVar[str] = "non-atomic-artifact-write"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "checkpoint/bench artifact written non-atomically: a crash "
+        "mid-write leaves a torn file that parses as silent wrong results"
+    )
+    fix_hint: ClassVar[str] = (
+        "route the write through repro.runtime (atomic_write_bytes / "
+        "atomic_write_text: temp file, fsync, os.replace)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # repro.runtime IS the atomic writer; its internals are the one
+        # place allowed to touch artifact files directly.
+        return not ctx.in_package("runtime")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if not node.args or not _mentions_artifact(node.args[0]):
+                return
+            mode = _open_mode(node)
+            if mode is None or any(flag in mode for flag in _WRITE_MODES):
+                yield self.finding_at(ctx, node)
+            return
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            if self._is_atomic_helper(func.value, ctx):
+                return
+            if _mentions_artifact(func.value):
+                yield self.finding_at(ctx, node)
+
+    def _is_atomic_helper(self, receiver: ast.expr, ctx: FileContext) -> bool:
+        """Escape hatch for names bound to the sanctioned runtime writers."""
+        if isinstance(receiver, ast.Name):
+            return ctx.from_imports.get(receiver.id, "").startswith("repro.runtime")
+        return False

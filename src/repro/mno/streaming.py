@@ -38,6 +38,7 @@ from repro.datasets.io import (
     write_service_records,
 )
 from repro.ecosystem import Ecosystem
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.mno.config import MNOConfig
 from repro.mno.population import PlannedDevice, PopulationBuilder
 from repro.mno.simulator import MNOSimulator
@@ -247,3 +248,50 @@ def load_day_batch(
     records.sort(key=lambda r: r.timestamp)
     batch = DayBatch(day=day, radio_events=events, service_records=records)
     return batch, radio_report.merge(service_report)
+
+
+def load_day_batch_with_retry(
+    directory: PathLike,
+    day: int,
+    lenient: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[DayBatch, IngestReport]:
+    """:func:`load_day_batch` under the sanctioned retry policy.
+
+    Transient I/O failures (``OSError``: flaky network filesystems,
+    partitions still being published) retry under ``policy`` — and,
+    crucially, **no attempt's** :class:`IngestReport` is dropped on the
+    floor: a report produced before the attempt failed on the other
+    file is merged into the returned one, so every row read and every
+    quarantined line across the retried loads stays accounted for in
+    the pipeline's :class:`~repro.pipeline.DegradationReport`.  (The
+    merged counts are per *read*: a day whose radio file was read twice
+    reports both reads.)  Delays are drawn, never slept — the policy
+    bounds attempts, retrying reads needs no pacing here.
+    """
+    retry_policy = policy if policy is not None else RetryPolicy()
+    jitter_rng = rng if rng is not None else np.random.default_rng(0)
+    radio_path, service_path = day_partition_paths(directory, day)
+    dropped: List[IngestReport] = []
+
+    def attempt() -> Tuple[DayBatch, IngestReport]:
+        events, radio_report = ingest_radio_events(radio_path, lenient=lenient)
+        try:
+            records, service_report = ingest_service_records(
+                service_path, lenient=lenient
+            )
+        except OSError:
+            dropped.append(radio_report)
+            raise
+        events.sort(key=lambda e: e.timestamp)
+        records.sort(key=lambda r: r.timestamp)
+        batch = DayBatch(day=day, radio_events=events, service_records=records)
+        return batch, radio_report.merge(service_report)
+
+    batch, report = call_with_retry(
+        attempt, retry_policy, jitter_rng, retry_on=(OSError,)
+    )
+    for partial in reversed(dropped):
+        report = partial.merge(report)
+    return batch, report

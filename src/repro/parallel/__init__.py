@@ -1,11 +1,14 @@
 """Deterministic sharded execution of the pipeline's hot stages.
 
-The subsystem has three layers:
+The subsystem has four layers:
 
 - :mod:`repro.parallel.sharding` — pure shard-by-device assignment
   (CRC-32 of the device ID, stable across processes and runs);
 - :mod:`repro.parallel.pool` — the repository's only process-pool seam
-  (:func:`map_shards`), enforced by lint rule ``PERF001``;
+  (:func:`map_shards`), enforced by lint rule ``PERF001``, with
+  per-shard deadlines, broken-pool recovery and a circuit breaker;
+- :mod:`repro.parallel.health` — the typed :class:`RunHealth` report
+  every recovery action is recorded in;
 - :mod:`repro.parallel.executor` — the pipeline-specific fan-out and
   the order-normalizing merge that makes sharded output byte-identical
   to a serial :func:`repro.pipeline.run_pipeline` at any worker count.
@@ -16,7 +19,14 @@ streaming simulator's per-day sharded generation.
 """
 
 from repro.parallel.executor import run_stages_sharded
-from repro.parallel.pool import get_context, map_shards
+from repro.parallel.health import RunHealth, ShardIncident
+from repro.parallel.pool import (
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_POOL_RETRY,
+    DEFAULT_SHARD_DEADLINE_S,
+    get_context,
+    map_shards,
+)
 from repro.parallel.sharding import (
     shard_columnar_records,
     shard_items,
@@ -25,6 +35,11 @@ from repro.parallel.sharding import (
 )
 
 __all__ = [
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_POOL_RETRY",
+    "DEFAULT_SHARD_DEADLINE_S",
+    "RunHealth",
+    "ShardIncident",
     "get_context",
     "map_shards",
     "run_stages_sharded",

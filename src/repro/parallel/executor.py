@@ -40,7 +40,9 @@ from repro.columnar.store import (
 from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, ClassificationStep, DeviceClassifier
 from repro.datasets.containers import MNODataset
-from repro.parallel.pool import get_context, map_shards
+from repro.faults.retry import RetryPolicy
+from repro.parallel.health import RunHealth
+from repro.parallel.pool import DEFAULT_SHARD_DEADLINE_S, get_context, map_shards
 from repro.parallel.sharding import shard_columnar_records, shard_mno_records
 from repro.pipeline import (
     DegradationReport,
@@ -172,6 +174,9 @@ def run_stages_sharded(
     lenient: bool = False,
     n_shards: Optional[int] = None,
     columnar: bool = False,
+    shard_deadline_s: Optional[float] = DEFAULT_SHARD_DEADLINE_S,
+    retry_policy: Optional[RetryPolicy] = None,
+    health: Optional[RunHealth] = None,
 ) -> Tuple[
     List[DeviceDayRecord],
     Dict[str, DeviceSummary],
@@ -190,6 +195,13 @@ def run_stages_sharded(
     (:func:`~repro.parallel.sharding.shard_columnar_records`) instead of
     row lists; workers run the columnar catalog kernel.  Shard
     assignment, merge, and output are unchanged.
+
+    ``shard_deadline_s`` bounds the wait on every shard (a hung worker
+    is a shard failure, not a stalled run) and ``health`` collects any
+    recovery events the pool seam had to take; both default to the
+    seam's recovery behavior with no report.  Recovery never changes
+    output — a recovered shard re-executes the same pure function over
+    the same payload.
     """
     if n_shards is None:
         n_shards = n_workers
@@ -212,7 +224,15 @@ def run_stages_sharded(
         lenient_worker: Callable[
             [Any], Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]
         ] = (_lenient_shard_columnar if columnar else _lenient_shard)
-        parts = map_shards(lenient_worker, shards, n_workers, context=context)
+        parts = map_shards(
+            lenient_worker,
+            shards,
+            n_workers,
+            context=context,
+            deadline_s=shard_deadline_s,
+            retry_policy=retry_policy,
+            health=health,
+        )
         day_records = [record for part, _, _ in parts for record in part]
         day_records.sort(key=lambda r: (r.device_id, r.day))
         summaries = _merge_summaries([part for _, part, _ in parts])
@@ -230,7 +250,15 @@ def run_stages_sharded(
         [Any],
         Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]],
     ] = (_build_shard_columnar if columnar else _build_shard)
-    built = map_shards(build_worker, shards, n_workers, context=context)
+    built = map_shards(
+        build_worker,
+        shards,
+        n_workers,
+        context=context,
+        deadline_s=shard_deadline_s,
+        retry_policy=retry_policy,
+        health=health,
+    )
     day_records = [record for part, _, _ in built for record in part]
     day_records.sort(key=lambda r: (r.device_id, r.day))
     summaries = _merge_summaries([part for _, part, _ in built])
@@ -239,7 +267,13 @@ def run_stages_sharded(
         global_keys.update(keys)
     classify_payloads = [(part, global_keys) for _, part, _ in built if part]
     classified = map_shards(
-        _classify_shard, classify_payloads, n_workers, context=context
+        _classify_shard,
+        classify_payloads,
+        n_workers,
+        context=context,
+        deadline_s=shard_deadline_s,
+        retry_policy=retry_policy,
+        health=health,
     )
     classifications = _serial_order_classifications(classified, summaries)
     return day_records, summaries, classifications, None

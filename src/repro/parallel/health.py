@@ -1,0 +1,125 @@
+"""Typed health reporting for the resilient pool seam.
+
+A multi-day run at the paper's scale *will* lose workers — OOM kills,
+node drains, hung shards.  :func:`repro.parallel.pool.map_shards`
+recovers from those without failing the run, but recovery must never be
+silent: every deadline hit, broken pool, retry, circuit-breaker trip and
+in-process fallback is recorded here as a :class:`ShardIncident`, and
+the aggregate :class:`RunHealth` rides on the pipeline result
+(``PipelineResult.health``) so operators can tell a clean run from one
+that limped home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: A shard's wait exceeded its deadline (the hung-worker case).
+DEADLINE = "deadline"
+#: The pool itself died (worker SIGKILLed / OOMed mid-shard).
+BROKEN_POOL = "broken-pool"
+#: A failed shard was resubmitted to a fresh pool under the retry policy.
+RETRY = "retry"
+#: Consecutive pool failures crossed the breaker threshold.
+BREAKER_TRIP = "breaker-trip"
+#: A shard ran in the parent process instead of a pool.
+IN_PROCESS = "in-process"
+#: A checkpointed unit failed CRC/format validation and was re-executed.
+TORN_CHECKPOINT = "torn-checkpoint"
+
+INCIDENT_KINDS = (
+    DEADLINE,
+    BROKEN_POOL,
+    RETRY,
+    BREAKER_TRIP,
+    IN_PROCESS,
+    TORN_CHECKPOINT,
+)
+
+
+@dataclass(frozen=True)
+class ShardIncident:
+    """One recovery-relevant event observed while running a shard.
+
+    ``attempt`` is the 0-based pool attempt for that shard at the time
+    of the incident; ``backoff_s`` is the (never-slept, policy-drawn)
+    delay recorded for :data:`RETRY` incidents so the schedule stays
+    auditable.
+    """
+
+    shard_index: int
+    kind: str
+    attempt: int = 0
+    detail: str = ""
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in INCIDENT_KINDS:
+            raise ValueError(f"unknown incident kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"shard {self.shard_index}: {self.kind} attempt={self.attempt}{suffix}"
+
+
+@dataclass
+class RunHealth:
+    """Aggregate recovery record for one run (possibly many pool calls).
+
+    ``ok`` means the run needed no recovery at all; a run that finished
+    after retries is *complete* but not *clean*, and the distinction is
+    the whole point of this report.
+    """
+
+    deadline_hits: int = 0
+    broken_pools: int = 0
+    retries: int = 0
+    torn_checkpoints: int = 0
+    breaker_tripped: bool = False
+    in_process_shards: List[int] = field(default_factory=list)
+    incidents: List[ShardIncident] = field(default_factory=list)
+
+    def record(self, incident: ShardIncident) -> None:
+        """Append one incident and fold it into the counters."""
+        self.incidents.append(incident)
+        if incident.kind == DEADLINE:
+            self.deadline_hits += 1
+        elif incident.kind == BROKEN_POOL:
+            self.broken_pools += 1
+        elif incident.kind == RETRY:
+            self.retries += 1
+        elif incident.kind == BREAKER_TRIP:
+            self.breaker_tripped = True
+        elif incident.kind == IN_PROCESS:
+            self.in_process_shards.append(incident.shard_index)
+        elif incident.kind == TORN_CHECKPOINT:
+            self.torn_checkpoints += 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.incidents
+
+    def merge(self, other: Optional["RunHealth"]) -> "RunHealth":
+        """Combine two reports (e.g. across stages or days) into a new one."""
+        if other is None:
+            return self
+        merged = RunHealth()
+        for incident in self.incidents + other.incidents:
+            merged.record(incident)
+        return merged
+
+    def summary(self) -> str:
+        if self.ok:
+            return "healthy: no recovery events"
+        parts = [
+            f"{self.deadline_hits} deadline hit(s)",
+            f"{self.broken_pools} broken pool(s)",
+            f"{self.retries} retr(y/ies)",
+            f"{self.torn_checkpoints} torn checkpoint(s)",
+        ]
+        if self.breaker_tripped:
+            parts.append("circuit breaker tripped")
+        if self.in_process_shards:
+            parts.append(f"in-process shards {sorted(set(self.in_process_shards))}")
+        return "; ".join(parts)

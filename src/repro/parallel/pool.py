@@ -15,15 +15,64 @@ sector catalog, operator registry) dwarfs a typical shard payload.
 order, with the context installed around the calls — the degenerate case
 costs nothing and behaves identically, which keeps ``workers=1`` an
 exact fallback.
+
+Worker-failure recovery
+-----------------------
+
+A multi-day run must survive a *bad process*, not just bad data.  The
+seam therefore waits on each shard with a deadline (a hung worker
+becomes a shard failure instead of stalling the run forever) and treats
+``BrokenProcessPool`` — a worker SIGKILLed or OOMed mid-shard — as
+recoverable: already-finished shards are harvested, the pool is rebuilt,
+and **only the failed shard's work is re-submitted**, under the
+sanctioned :class:`~repro.faults.retry.RetryPolicy`.  A run of
+consecutive pool failures trips a circuit breaker that degrades the
+remaining shards to in-process execution (correct, merely slower);
+per-shard retry exhaustion does the same for that one shard so the real
+error, if any, surfaces undisturbed.  Every recovery step is recorded in
+the caller's :class:`~repro.parallel.health.RunHealth` — recovery is
+never silent.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+from repro.parallel.health import (
+    BREAKER_TRIP,
+    BROKEN_POOL,
+    DEADLINE,
+    IN_PROCESS,
+    RETRY,
+    RunHealth,
+    ShardIncident,
+)
 
 S = TypeVar("S")
 R = TypeVar("R")
+
+#: Default per-shard wait deadline (seconds) for pipeline stages; a
+#: shard that produces nothing for this long is declared failed and
+#: re-executed rather than stalling the run.
+DEFAULT_SHARD_DEADLINE_S = 300.0
+
+#: Consecutive pool failures (across shards) before the circuit breaker
+#: opens and the remaining shards degrade to in-process execution.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Pool re-submission schedule.  ``jitter=0`` keeps recovery fully
+#: deterministic (no RNG draw); the delays are *recorded*, never slept —
+#: rebuilding a local pool needs no pacing, but the schedule must stay
+#: auditable in the health report.
+DEFAULT_POOL_RETRY = RetryPolicy(
+    base_delay_s=1.0, multiplier=2.0, max_delay_s=60.0, jitter=0.0, max_attempts=3
+)
 
 #: Per-process shared context installed by the pool initializer (or, for
 #: in-process runs, around the map_shards call).  Read via get_context().
@@ -49,11 +98,32 @@ def _install_context(context: Any) -> None:
     _CONTEXT = context
 
 
+def _note(health: Optional[RunHealth], incident: ShardIncident) -> None:
+    if health is not None:
+        health.record(incident)
+
+
+def _run_in_process(
+    fn: Callable[[S], R], shard: S, context: Any
+) -> R:
+    """Run one shard in the parent, context installed around the call."""
+    previous = _CONTEXT
+    _install_context(context)
+    try:
+        return fn(shard)
+    finally:
+        _install_context(previous)
+
+
 def map_shards(
     fn: Callable[[S], R],
     shards: Sequence[S],
     n_workers: int,
     context: Any = None,
+    deadline_s: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    health: Optional[RunHealth] = None,
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
 ) -> List[R]:
     """Apply ``fn`` to every shard, in shard order, across ``n_workers``.
 
@@ -61,9 +131,22 @@ def map_shards(
     returned in shard order regardless of completion order, so callers
     can merge deterministically.  With ``n_workers <= 1`` the shards run
     serially in this process — no pool is created.
+
+    ``deadline_s`` bounds the wait on each shard; a shard that exceeds
+    it (hung worker) counts as a shard failure.  Worker death
+    (``BrokenProcessPool``) and deadline hits are recovered by rebuilding
+    the pool and re-submitting **only the unfinished shards**, governed
+    by ``retry_policy`` (default :data:`DEFAULT_POOL_RETRY`); after
+    ``breaker_threshold`` consecutive pool failures, or when one shard
+    exhausts its retry budget, execution degrades to in-process.  All
+    recovery events are recorded on ``health`` when given.  Ordinary
+    exceptions raised *by the task itself* propagate unchanged — they
+    are the caller's bug, not a process failure.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if breaker_threshold < 1:
+        raise ValueError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
     if n_workers == 1 or len(shards) <= 1:
         previous = _CONTEXT
         _install_context(context)
@@ -71,9 +154,104 @@ def map_shards(
             return [fn(shard) for shard in shards]
         finally:
             _install_context(previous)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(shards)),
-        initializer=_install_context,
-        initargs=(context,),
-    ) as pool:
-        return list(pool.map(fn, shards))
+
+    policy = retry_policy if retry_policy is not None else DEFAULT_POOL_RETRY
+    # Only consulted when the policy jitters; the default is jitter-free
+    # so recovery schedules are bit-reproducible.
+    rng = np.random.default_rng(0)
+    results: Dict[int, R] = {}
+    pending: List[int] = list(range(len(shards)))
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    consecutive_failures = 0
+    breaker_open = False
+
+    while pending:
+        if breaker_open:
+            for index in pending:
+                _note(
+                    health,
+                    ShardIncident(
+                        index, IN_PROCESS, attempts[index], "circuit breaker open"
+                    ),
+                )
+                results[index] = _run_in_process(fn, shards[index], context)
+            pending = []
+            break
+
+        failed: Optional[Tuple[int, str, str]] = None
+        pool = ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending)),
+            initializer=_install_context,
+            initargs=(context,),
+        )
+        try:
+            futures = {index: pool.submit(fn, shards[index]) for index in pending}
+            for index in pending:
+                try:
+                    results[index] = futures[index].result(timeout=deadline_s)
+                except FuturesTimeout:
+                    failed = (index, DEADLINE, f"no result within {deadline_s}s")
+                    break
+                except BrokenProcessPool as exc:
+                    failed = (index, BROKEN_POOL, f"{type(exc).__name__}: {exc}")
+                    break
+            if failed is not None:
+                # Harvest shards that *did* finish cleanly before the
+                # failure so their work is never repeated.
+                for other in pending:
+                    if other in results:
+                        continue
+                    future = futures[other]
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        results[other] = future.result()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if failed is None:
+            pending = []
+            break
+
+        index, kind, detail = failed
+        attempt = attempts[index]
+        attempts[index] = attempt + 1
+        consecutive_failures += 1
+        _note(health, ShardIncident(index, kind, attempt, detail))
+        if consecutive_failures >= breaker_threshold:
+            breaker_open = True
+            _note(
+                health,
+                ShardIncident(
+                    index,
+                    BREAKER_TRIP,
+                    attempt,
+                    f"{consecutive_failures} consecutive pool failures",
+                ),
+            )
+        elif attempts[index] >= policy.max_attempts:
+            # This one shard is out of pool retries: run it in the
+            # parent so a persistent task error surfaces undisturbed.
+            _note(
+                health,
+                ShardIncident(index, IN_PROCESS, attempt, "retry budget exhausted"),
+            )
+            results[index] = _run_in_process(fn, shards[index], context)
+            consecutive_failures = 0
+        else:
+            delay = policy.delay_s(attempt, rng)
+            _note(
+                health,
+                ShardIncident(
+                    index,
+                    RETRY,
+                    attempt,
+                    "resubmitting unfinished shards to a fresh pool",
+                    backoff_s=delay,
+                ),
+            )
+        pending = [i for i in pending if i not in results]
+
+    return [results[i] for i in range(len(shards))]

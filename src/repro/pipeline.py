@@ -18,7 +18,13 @@ from __future__ import annotations
 import os
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.parallel.health sits behind the
+    # repro.parallel package, whose executor imports this module.
+    from repro.parallel.health import RunHealth
 
 from repro.columnar.store import (
     ColumnarRadioEvents,
@@ -29,6 +35,7 @@ from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, ClassifierConfig, DeviceClassifier
 from repro.core.roaming import RoamingLabeler
 from repro.datasets.containers import MNODataset
+from repro.datasets.io import IngestReport
 from repro.ecosystem import Ecosystem
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
@@ -75,6 +82,9 @@ class DegradationReport:
     n_failed_by_stage: Counter = field(default_factory=Counter)
     exemplars: List[StageFailure] = field(default_factory=list)
     classifier_fallback: bool = False
+    #: Row-level losses from lenient ingest (partition-backed runs);
+    #: None when the run's input never passed through the ingest layer.
+    ingest: Optional[IngestReport] = None
 
     @property
     def n_devices_failed(self) -> int:
@@ -113,12 +123,19 @@ class DegradationReport:
         exemplars = sorted(
             self.exemplars + other.exemplars, key=lambda f: f.device_id
         )[:MAX_EXEMPLAR_FAILURES]
+        if self.ingest is None:
+            ingest = other.ingest
+        elif other.ingest is None:
+            ingest = self.ingest
+        else:
+            ingest = self.ingest.merge(other.ingest)
         return DegradationReport(
             n_devices_total=self.n_devices_total + other.n_devices_total,
             n_devices_ok=self.n_devices_ok + other.n_devices_ok,
             n_failed_by_stage=self.n_failed_by_stage + other.n_failed_by_stage,
             exemplars=exemplars,
             classifier_fallback=self.classifier_fallback or other.classifier_fallback,
+            ingest=ingest,
         )
 
 
@@ -132,6 +149,9 @@ class PipelineResult:
     classifications: Dict[str, Classification]
     labeler: RoamingLabeler
     degradation: Optional[DegradationReport] = None
+    #: Recovery record from the resilient pool seam / durable runtime;
+    #: None for serial, non-durable runs (nothing to recover from).
+    health: Optional["RunHealth"] = None
 
 
 def _records_by_device(
@@ -311,6 +331,8 @@ def run_pipeline(
     lenient: bool = False,
     n_workers: Union[int, str] = "auto",
     columnar: Optional[bool] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> PipelineResult:
     """Run catalog building, labeling and classification end to end.
 
@@ -334,12 +356,36 @@ def run_pipeline(
     row path in every mode; only the execution plan changes.  The
     default (``None``) reads the ``REPRO_COLUMNAR`` environment flag,
     which is how CI sweeps the whole suite over the columnar plane.
+
+    ``checkpoint_dir`` makes the run *durable*: the pipeline executes
+    day by day through :mod:`repro.runtime`, checkpointing each
+    ``(day, shard)`` unit atomically so a killed run can be continued
+    with ``resume=True`` to a byte-identical result.  ``resume`` is
+    only meaningful with a checkpoint directory.
     """
     n_workers = resolve_workers(
         n_workers, len(dataset.radio_events) + len(dataset.service_records)
     )
     if columnar is None:
         columnar = _columnar_default()
+    if checkpoint_dir is not None:
+        # Imported lazily: repro.runtime sits on top of repro.parallel,
+        # which imports this module.
+        from repro.runtime.run import run_durable_pipeline
+
+        return run_durable_pipeline(
+            dataset,
+            ecosystem,
+            checkpoint_dir,
+            resume=resume,
+            classifier_config=classifier_config,
+            compute_mobility=compute_mobility,
+            lenient=lenient,
+            n_workers=n_workers,
+            columnar=columnar,
+        )
+    if resume:
+        raise ValueError("resume=True requires a checkpoint_dir")
     labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
     builder = CatalogBuilder(
         dataset.tac_db,
@@ -349,11 +395,14 @@ def run_pipeline(
     )
     classifier = DeviceClassifier(classifier_config)
     degradation: Optional[DegradationReport] = None
+    health: Optional["RunHealth"] = None
     if n_workers > 1:
         # Imported lazily: repro.parallel pulls in concurrent.futures and
         # is only needed when a pool is actually requested.
         from repro.parallel.executor import run_stages_sharded
+        from repro.parallel.health import RunHealth as _RunHealth
 
+        health = _RunHealth()
         day_records, summaries, classifications, degradation = run_stages_sharded(
             dataset,
             builder,
@@ -361,6 +410,7 @@ def run_pipeline(
             n_workers=n_workers,
             lenient=lenient,
             columnar=columnar,
+            health=health,
         )
     elif lenient:
         day_records, summaries, classifications, degradation = _run_lenient(
@@ -384,4 +434,5 @@ def run_pipeline(
         classifications=classifications,
         labeler=labeler,
         degradation=degradation,
+        health=health,
     )

@@ -1,0 +1,284 @@
+"""Atomic, crash-safe persistence for durable pipeline runs.
+
+Everything a durable run writes goes through the write-temp → fsync →
+rename discipline in :func:`atomic_write_bytes`: a reader can observe
+the old file or the new file, never a torn one.  What survives a kill
+at *any* instant is therefore always one of three valid states —
+
+- **manifest** (``MANIFEST.json``): the run's identity.  A version and
+  a CRC-checksummed fingerprint of everything that must match for old
+  checkpoints to be reusable (dataset shape, mode flags, shard count).
+  Rewritten atomically once per attempt with a bumped attempt counter.
+- **journal** (``journal.jsonl``): append-only completion log, one
+  self-checksummed line per finished ``(day, shard)`` unit, tagged with
+  the attempt that produced it.  A torn tail line (the crash case) is
+  detected by its CRC and everything from it on is discarded — the unit
+  simply re-executes, which is safe because units are pure.
+- **units** (``units/day_DDD.shard_SSS.ckpt``): the serialized columnar
+  blocks themselves (:mod:`repro.runtime.serialize`), each internally
+  CRC-framed.
+
+A unit counts as complete only when *both* its journal line and its
+block validate; either one failing integrity checks costs exactly one
+unit of recomputation, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+
+from repro.runtime.serialize import (
+    CheckpointCorruption,
+    CheckpointError,
+    StaleManifestError,
+)
+
+PathLike = Union[str, Path]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.jsonl"
+UNITS_DIRNAME = "units"
+_TMP_SUFFIX = ".tmp"
+
+#: Hook invoked with the destination path just before the atomic rename —
+#: the seam :class:`repro.faults.crash.KillSwitch` uses to model a crash
+#: *during* checkpoint publication.
+BeforeReplace = Optional[Callable[[Path], None]]
+
+
+def _fsync_dir(directory: Path) -> None:
+    # Directory fsync persists the rename itself; not all filesystems
+    # support opening a directory, so failure here is best-effort.
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, before_replace: BeforeReplace = None
+) -> Path:
+    """Write ``data`` to ``path`` via write-temp → fsync → rename."""
+    target = Path(path)
+    tmp = target.with_name(target.name + _TMP_SUFFIX)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if before_replace is not None:
+        before_replace(target)
+    os.replace(tmp, target)
+    _fsync_dir(target.parent)
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Atomic twin of ``Path.write_text`` for durable artifacts."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def _payload_crc(payload: Any) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class CheckpointStore:
+    """One durable run's on-disk state: manifest + journal + unit blocks.
+
+    ``resume=False`` (the default) demands a directory with no prior
+    run; pointing it at one raises :class:`CheckpointError` rather than
+    silently clobbering checkpoints.  ``resume=True`` validates the
+    manifest (version, fingerprint) against this run, adopts the
+    recorded ``n_shards`` — the unit partitioning is fixed for the
+    run's lifetime so resume works at any worker count — and bumps the
+    attempt counter.  Journal lines carry the attempt that produced
+    them, so tests (and operators) can see exactly which units each
+    attempt executed.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        fingerprint: Dict[str, Any],
+        n_shards: int,
+        resume: bool = False,
+        before_replace: BeforeReplace = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.directory = Path(directory)
+        self.before_replace = before_replace
+        self.fingerprint = fingerprint
+        self.units_dir = self.directory / UNITS_DIRNAME
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.directory / MANIFEST_NAME
+        self._journal_path = self.directory / JOURNAL_NAME
+
+        if self._manifest_path.exists():
+            if not resume:
+                raise CheckpointError(
+                    f"{self.directory} already holds a run manifest; "
+                    "pass resume=True to continue it"
+                )
+            payload = self._read_manifest()
+            self._validate_manifest(payload)
+            self.n_shards = int(payload["n_shards"])
+            self.attempt = int(payload["attempt"]) + 1
+        else:
+            self.n_shards = n_shards
+            self.attempt = 0
+        self._clean_temp_files()
+        self._write_manifest()
+        self._completed: Dict[Tuple[int, int], int] = {}
+        self._entries: List[Dict[str, int]] = []
+        self._load_journal()
+        self._journal: IO[str] = open(  # noqa: SIM115 — held for the run
+            self._journal_path, "a", encoding="utf-8"
+        )
+
+    # -- manifest ------------------------------------------------------------
+
+    def _read_manifest(self) -> Dict[str, Any]:
+        text = self._manifest_path.read_text(encoding="utf-8")
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruption(f"unreadable manifest: {exc}") from exc
+        if not isinstance(doc, dict) or "payload" not in doc or "crc32" not in doc:
+            raise CheckpointCorruption("manifest missing payload/crc32 envelope")
+        payload = doc["payload"]
+        if _payload_crc(payload) != doc["crc32"]:
+            raise CheckpointCorruption("manifest checksum mismatch")
+        if doc.get("version") != MANIFEST_VERSION:
+            raise StaleManifestError(
+                f"manifest version {doc.get('version')} != supported "
+                f"{MANIFEST_VERSION}"
+            )
+        return payload
+
+    def _validate_manifest(self, payload: Dict[str, Any]) -> None:
+        recorded = payload.get("fingerprint", {})
+        if _payload_crc(recorded) != _payload_crc(self.fingerprint):
+            differing = sorted(
+                key
+                for key in set(recorded) | set(self.fingerprint)
+                if recorded.get(key) != self.fingerprint.get(key)
+            )
+            raise StaleManifestError(
+                "checkpoint fingerprint does not match this run "
+                f"(differing keys: {differing})"
+            )
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "fingerprint": self.fingerprint,
+            "n_shards": self.n_shards,
+            "attempt": self.attempt,
+        }
+        doc = {
+            "version": MANIFEST_VERSION,
+            "crc32": _payload_crc(payload),
+            "payload": payload,
+        }
+        atomic_write_bytes(
+            self._manifest_path,
+            json.dumps(doc, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    # -- journal -------------------------------------------------------------
+
+    def _load_journal(self) -> None:
+        if not self._journal_path.exists():
+            return
+        for line in self._journal_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                crc = doc.pop("crc")
+            except (json.JSONDecodeError, KeyError, AttributeError):
+                break  # torn tail: discard it and everything after
+            if crc != _payload_crc(doc):
+                break
+            entry = {
+                "day": int(doc["day"]),
+                "shard": int(doc["shard"]),
+                "attempt": int(doc["attempt"]),
+            }
+            self._entries.append(entry)
+            self._completed[(entry["day"], entry["shard"])] = entry["attempt"]
+
+    def mark_complete(self, day: int, shard: int) -> None:
+        """Append one completed unit to the journal (flushed, not fsynced).
+
+        Losing un-fsynced journal lines in a crash is safe — the units
+        merely re-execute; call :meth:`sync` at day boundaries to bound
+        that recomputation without paying an fsync per unit.
+        """
+        entry = {"day": day, "shard": shard, "attempt": self.attempt}
+        doc = dict(entry)
+        doc["crc"] = _payload_crc(entry)
+        self._journal.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._journal.flush()
+        self._entries.append(entry)
+        self._completed[(day, shard)] = self.attempt
+
+    def sync(self) -> None:
+        """fsync the journal so completions survive power loss."""
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def journal_entries(self) -> List[Dict[str, int]]:
+        """Every valid journal entry, in append order."""
+        return [dict(entry) for entry in self._entries]
+
+    # -- units ---------------------------------------------------------------
+
+    def unit_path(self, day: int, shard: int) -> Path:
+        return self.units_dir / f"day_{day:03d}.shard_{shard:03d}.ckpt"
+
+    def is_journaled(self, day: int, shard: int) -> bool:
+        return (day, shard) in self._completed
+
+    def save_unit(self, day: int, shard: int, data: bytes) -> Path:
+        return atomic_write_bytes(
+            self.unit_path(day, shard), data, before_replace=self.before_replace
+        )
+
+    def load_unit(self, day: int, shard: int) -> bytes:
+        path = self.unit_path(day, shard)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError as exc:
+            raise CheckpointCorruption(
+                f"journaled unit (day={day}, shard={shard}) has no block file"
+            ) from exc
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _clean_temp_files(self) -> None:
+        for stray in self.directory.rglob(f"*{_TMP_SUFFIX}"):
+            stray.unlink()
+
+    def close(self) -> None:
+        if not self._journal.closed:
+            self.sync()
+            self._journal.close()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

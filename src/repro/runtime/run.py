@@ -1,0 +1,338 @@
+"""Durable execution of the day-by-day pipeline: kill → resume → same bytes.
+
+The driver folds the window into the catalog one ``(day, shard)`` unit
+at a time.  Each unit is pure — a shard-by-device slice of one day's
+records, encoded (and in lenient mode validated) by a worker into a
+self-contained block (:mod:`repro.runtime.serialize`) — so a unit can
+be re-executed any number of times with the same result.  Completed
+units are persisted and journaled by the
+:class:`~repro.runtime.checkpoint.CheckpointStore`; the catalog itself
+is reconstructed by replaying the blocks through the incremental engine
+(:meth:`repro.core.catalog.CatalogBuilder.update`), whose snapshot over
+ascending days equals a one-shot :meth:`build`.
+
+The durability contract: killing the run at **any** instant and
+resuming with ``resume=True`` yields day records, summaries and
+classifications byte-identical to an uninterrupted run — in strict and
+lenient modes, at any worker count, on the row or columnar update
+plane.  Three properties carry the proof: units are pure; the journal
+plus per-block CRCs make "complete" an all-or-nothing predicate; and
+the update feed concatenates shards in fixed shard order while every
+catalog output is order-normalized per device.
+
+Lenient note: durable lenient mode validates devices against each
+*day slice* (the unit boundary) rather than the whole window at once,
+so quarantine decisions are day-granular; a device is quarantined from
+its first failing day and scrubbed from the final snapshot entirely,
+matching the serial policy for any failure that manifests on the day
+it is recorded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.columnar.store import from_record_streams
+from repro.core.catalog import CatalogBuilder
+from repro.core.classifier import ClassifierConfig, DeviceClassifier
+from repro.core.roaming import RoamingLabeler
+from repro.datasets.containers import MNODataset
+from repro.datasets.io import IngestReport
+from repro.ecosystem import Ecosystem
+from repro.faults.retry import RetryPolicy
+from repro.parallel.health import TORN_CHECKPOINT, RunHealth, ShardIncident
+from repro.parallel.pool import DEFAULT_SHARD_DEADLINE_S, get_context, map_shards
+from repro.parallel.sharding import shard_mno_records
+from repro.pipeline import (
+    MAX_EXEMPLAR_FAILURES,
+    DegradationReport,
+    PipelineResult,
+    StageFailure,
+    _lenient_classify_stage,
+)
+from repro.runtime.checkpoint import BeforeReplace, CheckpointStore, PathLike
+from repro.runtime.serialize import (
+    CheckpointCorruption,
+    QuarantineEntry,
+    pack_day_block,
+    unpack_day_block,
+)
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+#: A day's worth of source rows plus (for partition sources) the ingest
+#: report that reading them produced.
+DaySlice = Tuple[List[RadioEvent], List[ServiceRecord], Optional[IngestReport]]
+
+#: Callable yielding one day's source rows; the seam partition-backed
+#: runs plug ``load_day_batch_with_retry`` into.
+DaySource = Callable[[int], DaySlice]
+
+#: Unit worker payload: (day, shard index, radio slice, service slice).
+UnitPayload = Tuple[int, int, List[RadioEvent], List[ServiceRecord]]
+
+
+def _day_slices(
+    dataset: MNODataset,
+) -> Dict[int, Tuple[List[RadioEvent], List[ServiceRecord]]]:
+    """Group the dataset's record streams by day, stream order kept."""
+    radio: Dict[int, List[RadioEvent]] = defaultdict(list)
+    service: Dict[int, List[ServiceRecord]] = defaultdict(list)
+    for event in dataset.radio_events:
+        radio[int(event.timestamp // 86400.0)].append(event)
+    for record in dataset.service_records:
+        service[int(record.timestamp // 86400.0)].append(record)
+    return {
+        day: (radio.get(day, []), service.get(day, []))
+        for day in sorted(set(radio) | set(service))
+    }
+
+
+def _validate_day_slice(
+    builder: CatalogBuilder,
+    radio: List[RadioEvent],
+    service: List[ServiceRecord],
+) -> Tuple[List[RadioEvent], List[ServiceRecord], List[QuarantineEntry]]:
+    """Lenient-unit validation: quarantine devices whose day slice fails.
+
+    Mirrors :func:`repro.pipeline._lenient_catalog_stage` per device
+    (catalog stage, then summary stage) over the unit's slice; error
+    text uses the same ``TypeName: message`` form so durable and serial
+    degradation reports agree.
+    """
+    by_dev_radio: Dict[str, List[RadioEvent]] = defaultdict(list)
+    by_dev_service: Dict[str, List[ServiceRecord]] = defaultdict(list)
+    tac_of: Dict[str, int] = {}
+    for event in radio:
+        by_dev_radio[event.device_id].append(event)
+        tac_of.setdefault(event.device_id, event.tac)
+    for record in service:
+        by_dev_service[record.device_id].append(record)
+    quarantine: List[QuarantineEntry] = []
+    bad: Set[str] = set()
+    for device_id in sorted(set(by_dev_radio) | set(by_dev_service)):
+        try:
+            records = builder.build_day_records(
+                by_dev_radio.get(device_id, []), by_dev_service.get(device_id, [])
+            )
+        except Exception as exc:
+            quarantine.append((device_id, "catalog", f"{type(exc).__name__}: {exc}"))
+            bad.add(device_id)
+            continue
+        try:
+            builder.summarize(records, tac_of)
+        except Exception as exc:
+            quarantine.append((device_id, "summary", f"{type(exc).__name__}: {exc}"))
+            bad.add(device_id)
+    if bad:
+        radio = [event for event in radio if event.device_id not in bad]
+        service = [record for record in service if record.device_id not in bad]
+    return radio, service, quarantine
+
+
+def _encode_unit(payload: UnitPayload) -> bytes:
+    """Worker: turn one (day, shard) slice into its checkpoint block."""
+    builder, lenient = get_context()
+    _, _, radio, service = payload
+    if not lenient:
+        return pack_day_block(radio, service)
+    radio, service, quarantine = _validate_day_slice(builder, radio, service)
+    return pack_day_block(radio, service, quarantine)
+
+
+def run_durable_pipeline(
+    dataset: MNODataset,
+    ecosystem: Ecosystem,
+    checkpoint_dir: Optional[PathLike],
+    resume: bool = False,
+    classifier_config: Optional[ClassifierConfig] = None,
+    compute_mobility: bool = True,
+    lenient: bool = False,
+    n_workers: int = 1,
+    n_shards: Optional[int] = None,
+    columnar: bool = False,
+    shard_deadline_s: Optional[float] = DEFAULT_SHARD_DEADLINE_S,
+    retry_policy: Optional[RetryPolicy] = None,
+    day_source: Optional[DaySource] = None,
+    days: Optional[Sequence[int]] = None,
+    before_replace: BeforeReplace = None,
+    on_unit: Optional[Callable[[int, int], None]] = None,
+    on_day: Optional[Callable[[int], None]] = None,
+) -> PipelineResult:
+    """Run the pipeline under checkpoint/resume durability.
+
+    ``checkpoint_dir=None`` runs the identical unit-by-unit computation
+    with persistence disabled — the measured baseline for the
+    ``checkpoint_overhead`` bench.  ``resume=True`` continues a prior
+    run in the directory (validating its manifest) instead of demanding
+    a clean one; completed units are loaded, CRC-validated and *not*
+    re-executed.  ``day_source``/``days`` switch the input from the
+    in-memory dataset to an external per-day provider (e.g. JSONL
+    partitions via
+    :func:`repro.mno.streaming.load_day_batch_with_retry`); any ingest
+    reports it yields are merged into ``result.degradation.ingest``.
+
+    ``on_unit(day, shard)`` and ``on_day(day)`` are crash-injection
+    seams (see :mod:`repro.faults.crash`), called just before a unit is
+    published and after a day is folded, respectively.
+    """
+    if n_shards is None:
+        n_shards = max(n_workers, 1)
+    labeler = RoamingLabeler(ecosystem.operators, dataset.observer)
+    builder = CatalogBuilder(
+        dataset.tac_db,
+        dataset.sector_catalog,
+        labeler,
+        compute_mobility=compute_mobility,
+    )
+    classifier = DeviceClassifier(classifier_config)
+    health = RunHealth()
+
+    slices: Dict[int, Tuple[List[RadioEvent], List[ServiceRecord]]] = {}
+    if day_source is None:
+        slices = _day_slices(dataset)
+        day_list = sorted(slices)
+    else:
+        if days is None:
+            raise ValueError("day_source requires an explicit days sequence")
+        day_list = sorted(days)
+
+    fingerprint = {
+        "source": "dataset" if day_source is None else "partitions",
+        "n_radio": len(dataset.radio_events),
+        "n_service": len(dataset.service_records),
+        "observer": str(dataset.observer.plmn),
+        "window_days": dataset.window_days,
+        "days": list(day_list),
+        "lenient": bool(lenient),
+        "columnar": bool(columnar),
+        "compute_mobility": bool(compute_mobility),
+    }
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            fingerprint,
+            n_shards=n_shards,
+            resume=resume,
+            before_replace=before_replace,
+        )
+        # The unit partitioning is fixed at run creation; resuming at a
+        # different worker count reuses the recorded shard count so
+        # completed units stay addressable.
+        n_shards = store.n_shards
+
+    quarantined: Dict[str, QuarantineEntry] = {}
+    observed: Set[str] = set()
+    ingest: Optional[IngestReport] = None
+    try:
+        for day in day_list:
+            blocks: Dict[int, Tuple] = {}
+            pending: List[int] = []
+            for shard in range(n_shards):
+                if store is not None and store.is_journaled(day, shard):
+                    try:
+                        blocks[shard] = unpack_day_block(store.load_unit(day, shard))
+                        continue
+                    except CheckpointCorruption as exc:
+                        health.record(
+                            ShardIncident(
+                                shard, TORN_CHECKPOINT, 0, f"day {day}: {exc}"
+                            )
+                        )
+                pending.append(shard)
+            if pending:
+                if day_source is not None:
+                    radio_day, service_day, day_report = day_source(day)
+                    if day_report is not None:
+                        ingest = (
+                            day_report if ingest is None else ingest.merge(day_report)
+                        )
+                else:
+                    radio_day, service_day = slices.get(day, ([], []))
+                shard_slices = shard_mno_records(radio_day, service_day, n_shards)
+                payloads: List[UnitPayload] = [
+                    (day, shard, shard_slices[shard][0], shard_slices[shard][1])
+                    for shard in pending
+                ]
+                blobs = map_shards(
+                    _encode_unit,
+                    payloads,
+                    n_workers,
+                    context=(builder, lenient),
+                    deadline_s=shard_deadline_s,
+                    retry_policy=retry_policy,
+                    health=health,
+                )
+                for (_, shard, _, _), blob in zip(payloads, blobs):
+                    if on_unit is not None:
+                        on_unit(day, shard)
+                    if store is not None:
+                        store.save_unit(day, shard, blob)
+                        store.mark_complete(day, shard)
+                    blocks[shard] = unpack_day_block(blob)
+            if store is not None:
+                store.sync()
+
+            day_radio: List[RadioEvent] = []
+            day_service: List[ServiceRecord] = []
+            for shard in range(n_shards):
+                events_c, records_c, unit_quarantine = blocks[shard]
+                # Quarantined devices' rows were scrubbed from the block,
+                # so they count as observed only via their entries.
+                observed.update(events_c.pools.devices.strings)
+                for entry in unit_quarantine:
+                    observed.add(entry[0])
+                    quarantined.setdefault(entry[0], entry)
+                for event in events_c.iter_rows():
+                    if event.device_id not in quarantined:
+                        day_radio.append(event)
+                for record in records_c.iter_rows():
+                    if record.device_id not in quarantined:
+                        day_service.append(record)
+            if columnar:
+                events_day, records_day = from_record_streams(day_radio, day_service)
+                builder.update(day, events_day, records_day)
+            else:
+                builder.update(day, day_radio, day_service)
+            if on_day is not None:
+                on_day(day)
+    finally:
+        if store is not None:
+            store.close()
+
+    day_records, summaries = builder.snapshot()
+    if quarantined:
+        day_records = [r for r in day_records if r.device_id not in quarantined]
+        summaries = {
+            device_id: summary
+            for device_id, summary in summaries.items()
+            if device_id not in quarantined
+        }
+
+    degradation: Optional[DegradationReport] = None
+    if lenient:
+        degradation = DegradationReport(n_devices_total=len(observed))
+        for device_id in sorted(quarantined):
+            _, stage, error = quarantined[device_id]
+            degradation.n_failed_by_stage[stage] += 1
+            if len(degradation.exemplars) < MAX_EXEMPLAR_FAILURES:
+                degradation.exemplars.append(
+                    StageFailure(device_id=device_id, stage=stage, error=error)
+                )
+        degradation.ingest = ingest
+        classifications = _lenient_classify_stage(summaries, classifier, degradation)
+        degradation.n_devices_ok = len(classifications)
+    else:
+        classifications = classifier.classify(summaries)
+
+    return PipelineResult(
+        dataset=dataset,
+        day_records=day_records,
+        summaries=summaries,
+        classifications=classifications,
+        labeler=labeler,
+        degradation=degradation,
+        health=health,
+    )

@@ -1,0 +1,22 @@
+"""Fixture: durable artifacts written without the atomic discipline."""
+
+import json
+from pathlib import Path
+
+
+def save_manifest(manifest_path: Path, doc: dict) -> None:
+    manifest_path.write_text(json.dumps(doc), encoding="utf-8")
+
+
+def append_journal(journal_path: Path, entry: dict) -> None:
+    with open(journal_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
+
+
+def publish_checkpoint(checkpoint_path: Path, blob: bytes) -> None:
+    checkpoint_path.write_bytes(blob)
+
+
+def write_baseline(directory: Path, report: dict) -> None:
+    with open(directory / "BENCH_baseline.json", mode="w") as fh:
+        json.dump(report, fh)

@@ -1,0 +1,25 @@
+"""Fixture: durable artifacts routed through the sanctioned atomic writers."""
+
+import json
+from pathlib import Path
+
+from repro.runtime.checkpoint import atomic_write_bytes, atomic_write_text
+
+
+def save_manifest(manifest_path: Path, doc: dict) -> None:
+    atomic_write_text(manifest_path, json.dumps(doc))
+
+
+def publish_checkpoint(checkpoint_path: Path, blob: bytes) -> None:
+    atomic_write_bytes(checkpoint_path, blob)
+
+
+def read_manifest(manifest_path: Path) -> dict:
+    # Reads are fine: only mutation needs the rename discipline.
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def export_csv(out_path: Path, rows: list) -> None:
+    # Ordinary exports are out of scope — not a durable artifact name.
+    out_path.write_text("\n".join(rows), encoding="utf-8")

@@ -22,6 +22,7 @@ BAD_FIXTURES = {
     "hygiene/bad_config.py": {"CFG001": 2},
     "platform_m2m/bad_adhoc_retry.py": {"RETRY001": 2},
     "perf/bad_process_pool.py": {"PERF001": 4},
+    "durability/bad_torn_writes.py": {"DUR001": 4},
     "core/bad_row_loop.py": {"PERF002": 4},
     "noqa/unused.py": {"NOQA001": 2},
     "broken/bad_syntax.py": {"SYNTAX001": 1},
@@ -35,6 +36,7 @@ GOOD_FIXTURES = [
     "hygiene/good_hygiene.py",
     "platform_m2m/good_policy_retry.py",
     "parallel/good_pool_seam.py",
+    "durability/good_atomic_writes.py",
     "core/good_columnar_scan.py",
     "noqa/suppressed.py",
 ]

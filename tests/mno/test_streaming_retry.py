@@ -1,0 +1,99 @@
+"""load_day_batch_with_retry: transient I/O retries keep full accounting."""
+
+import numpy as np
+import pytest
+
+import repro.mno.streaming as streaming
+from repro.faults.retry import RetryError, RetryPolicy
+from repro.mno import MNOConfig
+from repro.mno.streaming import (
+    StreamingMNOSimulator,
+    load_day_batch,
+    load_day_batch_with_retry,
+    write_day_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def day_batch(eco):
+    sim = StreamingMNOSimulator(eco, MNOConfig(n_devices=60, seed=3))
+    return sim.generate_day(0)
+
+
+@pytest.fixture()
+def partition_dir(tmp_path, day_batch):
+    write_day_batch(tmp_path, day_batch)
+    return tmp_path
+
+
+def test_clean_load_matches_plain_loader(partition_dir):
+    plain_batch, plain_report = load_day_batch(partition_dir, 0)
+    batch, report = load_day_batch_with_retry(partition_dir, 0)
+    assert batch.radio_events == plain_batch.radio_events
+    assert batch.service_records == plain_batch.service_records
+    assert report.n_rows == plain_report.n_rows
+    assert report.n_ok == plain_report.n_ok
+
+
+def test_transient_failure_retries_and_keeps_partial_report(
+    partition_dir, day_batch, monkeypatch
+):
+    plain_batch, plain_report = load_day_batch(partition_dir, 0)
+    calls = {"n": 0}
+    real = streaming.ingest_service_records
+
+    def flaky(path, lenient=False):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError("transient mount hiccup")
+        return real(path, lenient=lenient)
+
+    monkeypatch.setattr(streaming, "ingest_service_records", flaky)
+    batch, report = load_day_batch_with_retry(partition_dir, 0)
+    assert calls["n"] == 2
+    assert batch.radio_events == plain_batch.radio_events
+    assert batch.service_records == plain_batch.service_records
+    # The failed attempt's radio read is merged in, not dropped: both
+    # reads of the radio partition are accounted for.
+    assert report.n_rows == plain_report.n_rows + len(day_batch.radio_events)
+    assert report.n_ok == plain_report.n_ok + len(day_batch.radio_events)
+
+
+def test_persistent_failure_exhausts_policy(tmp_path):
+    policy = RetryPolicy(max_attempts=3)
+    with pytest.raises(RetryError):
+        load_day_batch_with_retry(tmp_path / "missing", 0, policy=policy)
+
+
+def test_non_io_errors_are_not_retried(partition_dir, monkeypatch):
+    calls = {"n": 0}
+
+    def broken(path, lenient=False):
+        calls["n"] += 1
+        raise ValueError("schema bug, not an I/O fault")
+
+    monkeypatch.setattr(streaming, "ingest_radio_events", broken)
+    with pytest.raises(ValueError, match="schema bug"):
+        load_day_batch_with_retry(partition_dir, 0)
+    assert calls["n"] == 1
+
+
+def test_retry_never_sleeps(partition_dir, monkeypatch):
+    def no_sleep(_seconds):
+        raise AssertionError("retry loop must not sleep")
+
+    monkeypatch.setattr("time.sleep", no_sleep)
+    calls = {"n": 0}
+    real = streaming.ingest_service_records
+
+    def flaky(path, lenient=False):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return real(path, lenient=lenient)
+
+    monkeypatch.setattr(streaming, "ingest_service_records", flaky)
+    batch, _ = load_day_batch_with_retry(
+        partition_dir, 0, rng=np.random.default_rng(7)
+    )
+    assert batch.n_records > 0

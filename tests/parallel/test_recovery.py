@@ -1,0 +1,182 @@
+"""Worker-failure recovery in map_shards: deadlines, death, the breaker.
+
+The worker functions key their misbehaviour on *where they run*: the
+shared context carries the parent's PID, so a function can hang or die
+only inside a pool worker while the in-process fallback path computes
+the true result.  That makes every test assert the full contract —
+recovery happened, it was recorded, and the results are still exactly
+right.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+from repro.parallel.health import (
+    BREAKER_TRIP,
+    BROKEN_POOL,
+    DEADLINE,
+    IN_PROCESS,
+    RunHealth,
+    ShardIncident,
+)
+from repro.parallel.pool import get_context, map_shards
+
+#: A jitter-free policy whose single attempt sends a failing shard
+#: straight to the in-process fallback — keeps recovery tests fast.
+ONE_SHOT = RetryPolicy(
+    base_delay_s=0.01, multiplier=1.0, max_delay_s=0.01, jitter=0.0, max_attempts=1
+)
+
+
+def _in_worker() -> bool:
+    return os.getpid() != get_context()
+
+
+def square_or_hang(x: int) -> int:
+    if _in_worker():
+        time.sleep(30.0)
+    return x * x
+
+
+def square_or_die(x: int) -> int:
+    if _in_worker():
+        os._exit(3)
+    return x * x
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def always_raise(x: int) -> int:
+    raise ValueError(f"task bug on {x}")
+
+
+# -- RunHealth bookkeeping ----------------------------------------------------
+
+def test_incident_kind_is_validated():
+    with pytest.raises(ValueError, match="unknown incident kind"):
+        ShardIncident(0, "bogus")
+
+
+def test_health_record_and_summary():
+    health = RunHealth()
+    assert health.ok
+    assert "healthy" in health.summary()
+    health.record(ShardIncident(0, DEADLINE, 0, "no result within 1s"))
+    health.record(ShardIncident(0, IN_PROCESS, 1, "retry budget exhausted"))
+    assert not health.ok
+    assert health.deadline_hits == 1
+    assert health.in_process_shards == [0]
+    assert "deadline" in health.summary()
+
+
+def test_health_merge_accumulates():
+    a, b = RunHealth(), RunHealth()
+    a.record(ShardIncident(0, BROKEN_POOL, 0, "x"))
+    b.record(ShardIncident(1, BREAKER_TRIP, 2, "y"))
+    merged = a.merge(b)
+    assert merged.broken_pools == 1
+    assert merged.breaker_tripped
+    assert len(merged.incidents) == 2
+
+
+# -- recovery behaviour -------------------------------------------------------
+
+def test_hung_worker_hits_deadline_and_recovers():
+    health = RunHealth()
+    results = map_shards(
+        square_or_hang,
+        [1, 2, 3],
+        n_workers=2,
+        context=os.getpid(),
+        deadline_s=0.5,
+        retry_policy=ONE_SHOT,
+        health=health,
+    )
+    assert results == [1, 4, 9]
+    assert health.deadline_hits >= 1
+    assert len(health.in_process_shards) >= 1
+    assert not health.ok
+
+
+def test_dead_worker_breaks_pool_and_recovers():
+    health = RunHealth()
+    results = map_shards(
+        square_or_die,
+        [1, 2, 3],
+        n_workers=2,
+        context=os.getpid(),
+        deadline_s=30.0,
+        retry_policy=ONE_SHOT,
+        health=health,
+    )
+    assert results == [1, 4, 9]
+    assert health.broken_pools >= 1
+    assert len(health.in_process_shards) >= 1
+
+
+def test_persistent_failures_trip_the_breaker():
+    health = RunHealth()
+    generous = RetryPolicy(
+        base_delay_s=0.01, multiplier=1.0, max_delay_s=0.01, jitter=0.0,
+        max_attempts=10,
+    )
+    results = map_shards(
+        square_or_die,
+        [1, 2, 3, 4],
+        n_workers=2,
+        context=os.getpid(),
+        deadline_s=30.0,
+        retry_policy=generous,
+        health=health,
+        breaker_threshold=3,
+    )
+    assert results == [1, 4, 9, 16]
+    assert health.breaker_tripped
+    assert any(i.kind == BREAKER_TRIP for i in health.incidents)
+    # Every shard still unfinished at trip time ran in-process.
+    assert len(health.in_process_shards) >= 1
+
+
+def test_task_exceptions_propagate_unchanged():
+    with pytest.raises(ValueError, match="task bug"):
+        map_shards(
+            always_raise,
+            [1, 2],
+            n_workers=2,
+            context=os.getpid(),
+            deadline_s=30.0,
+            health=RunHealth(),
+        )
+
+
+def test_healthy_run_records_nothing():
+    health = RunHealth()
+    results = map_shards(
+        square,
+        [1, 2, 3, 4],
+        n_workers=2,
+        context=os.getpid(),
+        deadline_s=30.0,
+        health=health,
+    )
+    assert results == [1, 4, 9, 16]
+    assert health.ok
+    assert health.incidents == []
+
+
+def test_recovered_run_matches_serial():
+    serial = map_shards(square, [1, 2, 3], n_workers=1, context=os.getpid())
+    recovered = map_shards(
+        square_or_die,
+        [1, 2, 3],
+        n_workers=2,
+        context=os.getpid(),
+        retry_policy=ONE_SHOT,
+        health=RunHealth(),
+    )
+    assert recovered == serial

@@ -26,7 +26,9 @@ import json
 import os
 import platform
 import resource
+import shutil
 import sys
+import tempfile
 import time
 from collections import defaultdict
 from pathlib import Path
@@ -42,6 +44,7 @@ from repro.core.roaming import RoamingLabeler  # noqa: E402
 from repro.ecosystem import EcosystemConfig, build_default_ecosystem  # noqa: E402
 from repro.mno import MNOConfig, simulate_mno_dataset  # noqa: E402
 from repro.pipeline import run_pipeline  # noqa: E402
+from repro.runtime import atomic_write_text, run_durable_pipeline  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
 SMOKE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline_smoke.json"
@@ -60,6 +63,22 @@ FAST_BENCH_BATCH = 10
 SPEEDUP_FLOORS = {
     "columnar_speedup": 2.0,
     "incremental_day_speedup": 5.0,
+}
+
+#: Hard acceptance ceilings on derived overhead ratios, enforced by
+#: ``--check`` at full scale: checkpointing every (day, shard) unit may
+#: cost at most 10% over the identical un-persisted run.
+OVERHEAD_CEILINGS = {
+    "checkpoint_overhead": 1.10,
+}
+
+#: The smoke run uses looser ceilings: per-unit persistence costs
+#: (manifest, journal line, block fsyncs) are fixed while the 300-device
+#: units carry ~20x fewer rows, so the relative overhead is inherently
+#: higher than at contract scale.  Smoke only guards against gross
+#: regressions; the 1.10 contract is asserted at full scale.
+SMOKE_OVERHEAD_CEILINGS = {
+    "checkpoint_overhead": 1.25,
 }
 
 
@@ -202,6 +221,30 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
     rows_per_op["labeling_uncached"] = len(pairs)
     rows_per_op["labeling_cached"] = FAST_BENCH_BATCH * len(pairs)
 
+    # Durable-runtime overhead: the same unit-sharded execution with and
+    # without checkpoint persistence (manifest + journal + one CRC-framed
+    # block per (day, shard) unit).  Each checkpointed pass needs a
+    # virgin directory — an existing manifest without resume=True is,
+    # correctly, an error — so the callable rotates subdirectories.
+    ckpt_parent = Path(tempfile.mkdtemp(prefix="bench_ckpt_"))
+    ckpt_counter = [0]
+
+    def durable_checkpointed() -> None:
+        ckpt_counter[0] += 1
+        target = ckpt_parent / f"run_{ckpt_counter[0]:03d}"
+        try:
+            run_durable_pipeline(
+                dataset, eco, checkpoint_dir=target,
+                compute_mobility=False, n_workers=1,
+            )
+        finally:
+            shutil.rmtree(target, ignore_errors=True)
+
+    def durable_baseline() -> None:
+        run_durable_pipeline(
+            dataset, eco, checkpoint_dir=None, compute_mobility=False, n_workers=1
+        )
+
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in benches.items():
         seconds = _time_best(fn, repeats)
@@ -219,6 +262,46 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
             f"{results[name]['rows_per_sec']:,.0f} rows/s, "
             f"rss {results[name]['peak_rss_kb']} KiB)"
         )
+    # The durable pair is timed *interleaved* rather than through the
+    # best-of-N loop above: the overhead gate reads the ratio of the two
+    # timings, and two independent best-of-N measurements taken minutes
+    # apart pick up machine drift as fake overhead (or fake speedup).
+    # Alternating checkpointed/baseline runs and gating on the *minimum*
+    # per-pair ratio means a single noisy iteration cannot trip the
+    # ceiling — only a consistently slower checkpointed path can.
+    pair_repeats = max(repeats, 3)
+    ckpt_times: list = []
+    base_times: list = []
+    for _ in range(pair_repeats):
+        start = time.perf_counter()
+        durable_checkpointed()
+        ckpt_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        durable_baseline()
+        base_times.append(time.perf_counter() - start)
+    for name, times in (
+        ("durable_checkpointed", ckpt_times),
+        ("durable_baseline", base_times),
+    ):
+        seconds = min(times)
+        results[name] = {
+            "seconds": round(seconds, 6),
+            "ops_per_sec": round(1.0 / seconds, 4) if seconds > 0 else float("inf"),
+            "rows_per_sec": (
+                round(n_rows / seconds, 1) if seconds > 0 else float("inf")
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        print(
+            f"  {name:<24} {seconds:8.4f}s  "
+            f"({results[name]['ops_per_sec']:.2f} ops/s, "
+            f"{results[name]['rows_per_sec']:,.0f} rows/s, "
+            f"rss {results[name]['peak_rss_kb']} KiB)"
+        )
+    results["durable_checkpointed"]["overhead_vs_baseline"] = round(
+        min(c / b for c, b in zip(ckpt_times, base_times)), 3
+    )
+    shutil.rmtree(ckpt_parent, ignore_errors=True)
     return results
 
 
@@ -247,6 +330,19 @@ def derive_ratios(benches: Dict[str, Dict[str, float]]) -> Dict[str, float]:
         / benches["catalog_incremental_day"]["seconds"],
         3,
     )
+    # Durability acceptance: persistence cost relative to the identical
+    # un-persisted unit-sharded run (1.0 = free, ceiling 1.10).  Taken
+    # from the interleaved paired measurement when available — the
+    # quotient of two independently-timed benches is too drift-sensitive
+    # to gate on.
+    ratios["checkpoint_overhead"] = benches["durable_checkpointed"].get(
+        "overhead_vs_baseline",
+        round(
+            benches["durable_checkpointed"]["seconds"]
+            / benches["durable_baseline"]["seconds"],
+            3,
+        ),
+    )
     return ratios
 
 
@@ -264,6 +360,27 @@ def check_speedup_floors(derived: Dict[str, float]) -> int:
             status = "BELOW FLOOR"
             failures += 1
         print(f"  {name:<24} {value:8.3f}x (floor {floor}x)  {status}")
+    return failures
+
+
+def check_overhead_ceilings(
+    derived: Dict[str, float], ceilings: Optional[Dict[str, float]] = None
+) -> int:
+    """Count derived overhead ratios above their hard ceiling."""
+    failures = 0
+    if ceilings is None:
+        ceilings = OVERHEAD_CEILINGS
+    for name, ceiling in sorted(ceilings.items()):
+        value = derived.get(name)
+        if value is None:
+            print(f"  MISSING {name}: ceiling {ceiling}x, ratio not derived")
+            failures += 1
+            continue
+        status = "ok"
+        if value > ceiling:
+            status = "ABOVE CEILING"
+            failures += 1
+        print(f"  {name:<24} {value:8.3f}x (ceiling {ceiling}x)  {status}")
     return failures
 
 
@@ -346,13 +463,13 @@ def main(argv: Optional[list] = None) -> int:
         "derived": derive_ratios(benches),
     }
     out_path = Path(args.out)
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(out_path, json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
     for name, value in report["derived"].items():
         print(f"  {name}: {value}x")
 
     if args.write_baseline:
-        baseline_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(baseline_path, json.dumps(report, indent=2) + "\n")
         print(f"wrote baseline {baseline_path}")
         return 0
 
@@ -367,6 +484,11 @@ def main(argv: Optional[list] = None) -> int:
         )
         print("checking speedup floors")
         regressions += check_speedup_floors(report["derived"])
+        print("checking overhead ceilings")
+        regressions += check_overhead_ceilings(
+            report["derived"],
+            SMOKE_OVERHEAD_CEILINGS if args.smoke else OVERHEAD_CEILINGS,
+        )
         if regressions:
             print(f"{regressions} bench(es) regressed")
             return 1
