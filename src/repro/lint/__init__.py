@@ -22,6 +22,8 @@ exemptions cannot accumulate.  See ``docs/STATIC_ANALYSIS.md`` for the
 full rule catalog.
 """
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.dataflow import ScopeDataflow
 from repro.lint.engine import (
     FileContext,
     Finding,
@@ -32,18 +34,36 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
 )
+from repro.lint.project import (
+    IndexCache,
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+    module_name_for,
+)
 from repro.lint.registry import all_rules, get_rule, register_rule
+from repro.lint.sarif import render_sarif
 
 __all__ = [
     "FileContext",
     "Finding",
+    "IndexCache",
     "LintResult",
+    "ModuleIndex",
+    "ProjectIndex",
     "Rule",
+    "ScopeDataflow",
     "Severity",
     "all_rules",
+    "apply_baseline",
+    "build_module_index",
     "get_rule",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "module_name_for",
     "register_rule",
+    "render_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,94 @@
+"""Baseline / ratchet file: tolerate known findings, forbid new ones.
+
+Landing a new whole-program rule on a mature tree would either require
+fixing every pre-existing finding in the same commit or weakening the
+rule.  The baseline breaks that deadlock: a checked-in JSON file records
+how many findings of each ``(path, rule)`` pair are *accepted*; the lint
+run subtracts the accepted budget and reports only the excess.  The
+budget can only shrink (the ratchet): ``--update-baseline`` rewrites the
+file from the current tree, and CI diffs it, so a fixed finding can
+never silently regress.
+
+Suppression is positional within a ``(path, rule)`` group: with a budget
+of N, the first N findings (in the engine's deterministic sort order)
+are baselined and the rest reported.  That makes the output stable for
+a given tree, while any *growth* of the group — wherever in the file it
+happens — surfaces at least one finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.lint.engine import Finding
+from repro.runtime.checkpoint import atomic_write_text
+
+PathLike = Union[str, Path]
+
+#: Schema version of the baseline document; bump on breaking change.
+BASELINE_VERSION = 1
+
+
+def _group_key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule_id}"
+
+
+def load_baseline(path: PathLike) -> Dict[str, int]:
+    """Accepted ``path::rule`` -> count budget from a baseline file.
+
+    A missing file is an empty baseline (everything is reported), so a
+    fresh checkout with no baseline behaves like a strict run.
+    """
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return {}
+    doc = json.loads(raw)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    counts = doc.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ValueError(f"malformed baseline file {path}: 'counts' must be a map")
+    return {str(key): int(value) for key, value in counts.items()}
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """(unbaselined findings, number suppressed by the baseline)."""
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        key = _group_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """The baseline document accepting exactly the given findings."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = _group_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    doc = {"version": BASELINE_VERSION, "counts": dict(sorted(counts.items()))}
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: List[Finding], path: PathLike) -> None:
+    """Rewrite the baseline file to accept exactly the current findings.
+
+    The baseline gates CI, making it a durable artifact in DUR001's
+    sense; writing it through the sanctioned atomic discipline means a
+    crash mid-update can never leave a torn file that silently accepts
+    (or rejects) the wrong findings.
+    """
+    atomic_write_text(Path(path), render_baseline(findings))

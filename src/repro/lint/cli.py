@@ -1,8 +1,14 @@
 """Command-line front end: ``python -m repro.lint [paths] [options]``.
 
-The exit code is the number of findings (capped at 100), so shell
-pipelines and CI can gate on it directly; ``--format json`` emits a
-schema-stable document for tooling.
+The exit code is the number of (unbaselined) findings capped at 100, so
+shell pipelines and CI can gate on it directly; ``--format json`` emits
+a schema-stable document for tooling and ``--format sarif`` (alias:
+``--output sarif``) emits SARIF 2.1.0 for GitHub PR annotations.
+
+Whole-program flags: ``--cache DIR`` keeps content-hash keyed index
+shards and findings between runs so CI re-analyzes only changed modules;
+``--baseline FILE`` subtracts the checked-in finding budget and
+``--update-baseline`` rewrites it (the ratchet).
 """
 
 from __future__ import annotations
@@ -12,8 +18,10 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.engine import LintResult, lint_paths
 from repro.lint.registry import all_rules
+from repro.lint.sarif import render_sarif
 
 #: Exit codes above this are reserved (128+ = signals), so cap there.
 MAX_EXIT_CODE = 100
@@ -27,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "AST-based static analysis enforcing the reproduction's "
+            "Whole-program static analysis enforcing the reproduction's "
             "simulation invariants."
         ),
     )
@@ -39,7 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        "--output",
+        dest="format",
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -52,6 +62,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help=(
+            "incremental cache directory: index shards and findings are "
+            "keyed on content hashes, so warm runs re-analyze only "
+            "changed modules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline/ratchet file: accepted findings are subtracted "
+            "from the report and the exit code"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite --baseline FILE to accept exactly the current "
+            "findings, then exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append cache/index statistics to text output",
     )
     parser.add_argument(
         "--list-rules",
@@ -67,7 +107,7 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     return [token.strip() for token in raw.split(",") if token.strip()]
 
 
-def render_text(result: LintResult) -> str:
+def render_text(result: LintResult, suppressed: int = 0, stats: bool = False) -> str:
     """Human-readable report: one block per finding plus a summary line."""
     blocks = [finding.render_text() for finding in result.findings]
     summary = (
@@ -79,7 +119,15 @@ def render_text(result: LintResult) -> str:
             for rule_id, count in result.counts_by_rule.items()
         )
         summary += f" [{by_rule}]"
+    if suppressed:
+        summary += f" ({suppressed} baselined)"
     blocks.append(summary)
+    if stats:
+        blocks.append(
+            f"index: {len(result.indexed_modules)} module(s) rebuilt, "
+            f"{len(result.cached_modules)} from cache; "
+            f"{result.files_reanalyzed} file(s) re-analyzed"
+        )
     return "\n".join(blocks)
 
 
@@ -119,21 +167,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_rule_catalog())
         return 0
 
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
+
     try:
         result = lint_paths(
             args.paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            cache_dir=args.cache,
         )
     except ValueError as exc:
         parser.error(str(exc))
     except OSError as exc:
         parser.error(f"cannot read {exc.filename or ''}: {exc.strerror or exc}")
 
+    if args.update_baseline:
+        write_baseline(result.findings, args.baseline)
+        print(
+            f"baseline updated: {args.baseline} accepts "
+            f"{len(result.findings)} finding(s)"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            parser.error(str(exc))
+        result.findings, suppressed = apply_baseline(result.findings, baseline)
+
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
-        print(render_text(result))
+        print(render_text(result, suppressed=suppressed, stats=args.stats))
     return min(len(result.findings), MAX_EXIT_CODE)
 
 

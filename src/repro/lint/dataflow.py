@@ -1,0 +1,226 @@
+"""Intraprocedural dataflow queries for lint rules.
+
+The DET/SEAM rule families need answers a bare AST walk cannot give:
+*is this expression's iteration order deterministic?*, *is this name
+bound to a set?*, *is this variable mutated after line N?*.  A
+:class:`ScopeDataflow` is built once per scope (function or module body)
+and answers those queries from a two-pass flow-insensitive analysis of
+the scope's assignments — deliberately simple, always terminating, and
+conservative in the right direction: a name is only called a set when
+the evidence is structural (set literal/comprehension, ``set()`` /
+``frozenset()`` call, a set-typed annotation, or an expression over
+names already known to be sets).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.lint.project import MUTATING_METHODS
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+#: Annotation heads that mark a parameter or variable as set-typed.
+_SET_ANNOTATIONS = ("Set", "FrozenSet", "MutableSet", "AbstractSet", "set", "frozenset")
+
+#: Calls returning sets regardless of their arguments.
+_SET_FACTORIES = ("set", "frozenset")
+
+#: Set methods that return another set.
+_SET_RETURNING_METHODS = (
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+)
+
+#: Calls whose result order is filesystem- or environment-dependent.
+_FS_ORDER_CALLS = ("listdir", "iterdir", "glob", "rglob", "scandir")
+
+#: Calls that impose a deterministic order on any iterable.
+_ORDERING_CALLS = ("sorted", "range")
+
+#: Calls that *preserve* their argument's iteration order, so iterating
+#: their result is exactly as (non)deterministic as the argument.
+_ORDER_PRESERVING_CALLS = ("list", "tuple", "enumerate", "reversed", "iter", "zip")
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    head = annotation
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Attribute):
+        return head.attr in _SET_ANNOTATIONS
+    if isinstance(head, ast.Name):
+        return head.id in _SET_ANNOTATIONS
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        text = head.value.split("[", 1)[0].rsplit(".", 1)[-1].strip()
+        return text in _SET_ANNOTATIONS
+    return False
+
+
+class ScopeDataflow:
+    """Flow-insensitive facts about one scope's local names."""
+
+    def __init__(self, scope: ScopeNode) -> None:
+        self.scope = scope
+        self.set_names: Set[str] = set()
+        self.lambda_names: Set[str] = set()
+        self.nested_function_names: Set[str] = set()
+        #: name -> linenos where the name's value is mutated in place or
+        #: rebound (``x.append(...)``, ``x[k] = v``, ``x += ...``).
+        self.mutation_lines: Dict[str, List[int]] = {}
+        self._collect_params()
+        # Two passes so chained assignments (``a = set(); b = a | c``)
+        # converge without a full fixpoint.
+        for _ in range(2):
+            self._collect_assignments()
+        self._collect_mutations()
+
+    # -- construction ---------------------------------------------------------
+
+    def _own_statements(self) -> List[ast.stmt]:
+        body = getattr(self.scope, "body", [])
+        return body if isinstance(body, list) else []
+
+    def _walk_own(self):
+        """Walk the scope's body without descending into nested scopes."""
+        stack: List[ast.AST] = list(self._own_statements())
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                stack.append(child)
+
+    def _collect_params(self) -> None:
+        if isinstance(self.scope, ast.Module):
+            return
+        args = self.scope.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if _annotation_is_set(getattr(arg, "annotation", None)):
+                self.set_names.add(arg.arg)
+
+    def _collect_assignments(self) -> None:
+        for node in self._walk_own():
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and _annotation_is_set(node.annotation):
+                    self.set_names.add(node.target.id)
+                if node.value is None:
+                    continue
+                value, targets = node.value, [node.target]
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.nested_function_names.add(node.name)
+                continue
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(value, ast.Lambda):
+                    self.lambda_names.add(target.id)
+                if self.expression_is_set(value):
+                    self.set_names.add(target.id)
+                elif target.id in self.set_names and not self._preserves_set(value):
+                    # Rebound to something that is not a set: retract.
+                    self.set_names.discard(target.id)
+
+    def _preserves_set(self, value: ast.expr) -> bool:
+        return self.expression_is_set(value)
+
+    def _collect_mutations(self) -> None:
+        for node in self._walk_own():
+            name: Optional[str] = None
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                ):
+                    name = func.value.id
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                name = node.target.id
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base is not target:
+                        self.mutation_lines.setdefault(base.id, []).append(node.lineno)
+            if name is not None:
+                self.mutation_lines.setdefault(name, []).append(node.lineno)
+
+    # -- queries --------------------------------------------------------------
+
+    def expression_is_set(self, expr: ast.expr) -> bool:
+        """Structural evidence that ``expr`` evaluates to a set."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.set_names
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.expression_is_set(expr.left) or self.expression_is_set(expr.right)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in _SET_FACTORIES:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+                and self.expression_is_set(func.value)
+            ):
+                return True
+        return False
+
+    def unordered_reason(self, expr: ast.expr) -> Optional[str]:
+        """Why iterating ``expr`` has no deterministic order, or ``None``.
+
+        Sets and frozensets iterate in hash order (randomized across
+        processes for strings); directory listings iterate in
+        filesystem order.  Anything wrapped in ``sorted(...)`` — or any
+        other explicit ordering — is fine.
+        """
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in _ORDERING_CALLS:
+                return None
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_PRESERVING_CALLS
+                and expr.args
+            ):
+                return self.unordered_reason(expr.args[0])
+            if isinstance(func, ast.Attribute) and func.attr in _FS_ORDER_CALLS:
+                return f"{func.attr}() yields entries in filesystem order"
+            if isinstance(func, ast.Name) and func.id in _FS_ORDER_CALLS:
+                return f"{func.id}() yields entries in filesystem order"
+        if self.expression_is_set(expr):
+            return "set iteration order follows hash order"
+        return None
+
+    def mutated_after(self, name: str, lineno: int) -> Optional[int]:
+        """First line > ``lineno`` where ``name`` is mutated, if any."""
+        later = [line for line in self.mutation_lines.get(name, ()) if line > lineno]
+        return min(later) if later else None
+
+    def is_local_callable(self, name: str) -> bool:
+        """True when ``name`` is a lambda or a function nested in this scope."""
+        return name in self.lambda_names or name in self.nested_function_names
+
+
+def comprehension_iters(node: ast.AST) -> List[Tuple[ast.expr, int, int]]:
+    """(iterable, line, col) for every generator clause of a comprehension."""
+    out: List[Tuple[ast.expr, int, int]] = []
+    for comp in getattr(node, "generators", []):
+        out.append((comp.iter, comp.iter.lineno, comp.iter.col_offset))
+    return out

@@ -5,6 +5,21 @@ parses each file once and dispatches nodes to every applicable rule in a
 single walk.  Rules that need whole-file context (e.g. the public-API
 drift check) override :meth:`Rule.check_file` instead.
 
+Whole-program analysis: every lint entry point carries a
+:class:`repro.lint.project.ProjectIndex` — :func:`lint_paths` builds one
+over all files it is given (so rules can reason interprocedurally across
+the repository), while :func:`lint_source`/:func:`lint_file` build a
+single-module index on the fly so the same rules degrade to intra-module
+resolution.  Rules reach the index and per-scope dataflow facts through
+:class:`FileContext` (``ctx.project``, ``ctx.dataflow_for``,
+``ctx.in_serialized_reachable``, …).
+
+With ``cache_dir`` set, :func:`lint_paths` keys per-module index shards
+and findings on content hashes (see :class:`repro.lint.project.IndexCache`):
+a warm run re-parses only the modules whose bytes changed, and re-lints
+only those plus any file whose *cross-module* inputs (the project
+fingerprint) moved.
+
 Suppression: a ``# repro: noqa[RULE-ID]`` comment silences that rule on
 its line (comma-separate several ids; bare ``# repro: noqa`` silences
 every rule on the line).  Suppressions that silence nothing are reported
@@ -14,6 +29,7 @@ as ``NOQA001`` warnings so stale exemptions surface.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -34,6 +50,16 @@ from typing import (
     Union,
 )
 
+from repro.lint.dataflow import ScopeDataflow, ScopeNode
+from repro.lint.project import (
+    IndexCache,
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+    content_hash,
+    module_name_for,
+    resolve_call,
+)
 from repro.lint.registry import all_rules
 
 PathLike = Union[str, Path]
@@ -88,6 +114,18 @@ class Finding:
             "fix_hint": self.fix_hint,
         }
 
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(doc["path"]),
+            line=int(doc["line"]),  # type: ignore[arg-type]
+            col=int(doc["col"]),  # type: ignore[arg-type]
+            rule_id=str(doc["rule"]),
+            severity=Severity(str(doc["severity"])),
+            message=str(doc["message"]),
+            fix_hint=str(doc.get("fix_hint", "")),
+        )
+
 
 @dataclass
 class _Suppression:
@@ -104,15 +142,28 @@ class _Suppression:
 class FileContext:
     """Everything a rule may want to know about the file being linted."""
 
-    def __init__(self, path: PathLike, source: str, tree: ast.Module):
+    def __init__(
+        self,
+        path: PathLike,
+        source: str,
+        tree: ast.Module,
+        project: Optional[ProjectIndex] = None,
+        module_index: Optional[ModuleIndex] = None,
+    ):
         self.path = Path(path)
         self.posix = self.path.as_posix()
         self.parts: Tuple[str, ...] = self.path.parts
         self.source = source
         self.lines: List[str] = source.splitlines()
         self.tree = tree
+        self.module_name = module_name_for(path)
         self._numpy_aliases: Optional[Set[str]] = None
         self._from_imports: Optional[Dict[str, str]] = None
+        self._module_index = module_index
+        self._project = project
+        self._scopes: Optional[Dict[int, Tuple[ast.AST, Optional[str]]]] = None
+        self._parents: Dict[int, ast.AST] = {}
+        self._dataflows: Dict[int, ScopeDataflow] = {}
 
     # -- path scoping helpers ------------------------------------------------
 
@@ -168,6 +219,124 @@ class FileContext:
     def resolves_to(self, name: str, dotted: str) -> bool:
         """True when local ``name`` was imported as ``dotted``."""
         return self.from_imports.get(name) == dotted
+
+    # -- whole-program context -----------------------------------------------
+
+    @property
+    def module_index(self) -> ModuleIndex:
+        """This file's shard of the project index (built lazily)."""
+        if self._module_index is None:
+            self._module_index = build_module_index(
+                self.path, self.source, self.tree, self.module_name
+            )
+        return self._module_index
+
+    @property
+    def project(self) -> ProjectIndex:
+        """The project index; a single-module view outside lint_paths."""
+        if self._project is None:
+            self._project = ProjectIndex([self.module_index])
+        return self._project
+
+    def _scope_map(self) -> Dict[int, Tuple[ast.AST, Optional[str]]]:
+        """node id -> (innermost scope node, top-level function qualname)."""
+        if self._scopes is not None:
+            return self._scopes
+        scopes: Dict[int, Tuple[ast.AST, Optional[str]]] = {id(self.tree): (self.tree, None)}
+
+        def rec(
+            node: ast.AST,
+            scope: ast.AST,
+            qual: Optional[str],
+            class_name: Optional[str],
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                scopes[id(child)] = (scope, qual)
+                self._parents[id(child)] = node
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if qual is None:
+                        child_qual = (
+                            f"{class_name}.{child.name}" if class_name else child.name
+                        )
+                    else:
+                        # Nested function: interprocedural facts are
+                        # tracked at the top-level unit that contains it.
+                        child_qual = qual
+                    rec(child, child, child_qual, None)
+                elif isinstance(child, ast.Lambda):
+                    rec(child, child, qual, class_name)
+                elif isinstance(child, ast.ClassDef):
+                    rec(
+                        child,
+                        scope,
+                        qual,
+                        child.name if qual is None else class_name,
+                    )
+                else:
+                    rec(child, scope, qual, class_name)
+
+        rec(self.tree, self.tree, None, None)
+        self._scopes = scopes
+        return scopes
+
+    def scope_of(self, node: ast.AST) -> ast.AST:
+        """The innermost function (or module) whose body contains ``node``."""
+        return self._scope_map().get(id(node), (self.tree, None))[0]
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST node directly containing ``node`` (None for the root)."""
+        self._scope_map()
+        return self._parents.get(id(node))
+
+    def function_qualname(self, node: ast.AST) -> Optional[str]:
+        """Module-local qualname of the top-level unit containing ``node``.
+
+        ``None`` means module-level code.  Nested functions report their
+        enclosing top-level function/method, matching the granularity of
+        the project index.
+        """
+        return self._scope_map().get(id(node), (self.tree, None))[1]
+
+    def dataflow_for(self, node: ast.AST) -> ScopeDataflow:
+        """Cached :class:`ScopeDataflow` for ``node``'s enclosing scope."""
+        scope = self.scope_of(node)
+        key = id(scope)
+        if key not in self._dataflows:
+            self._dataflows[key] = ScopeDataflow(scope)  # type: ignore[arg-type]
+        return self._dataflows[key]
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Best-effort dotted target of a call (see project.resolve_call)."""
+        qual = self.function_qualname(call)
+        self_class = qual.rsplit(".", 1)[0] if qual and "." in qual else None
+        return resolve_call(
+            call,
+            self.module_index.imports,
+            self.module_name,
+            self.module_index.functions.keys()
+            | {q.split(".")[0] for q in self.module_index.functions},
+            self_class,
+        )
+
+    def full_qualname(self, local_qualname: str) -> str:
+        return f"{self.module_name}.{local_qualname}"
+
+    def in_serialized_reachable(self, node: ast.AST) -> bool:
+        """Can values computed at ``node`` feed a serialized/merged output?
+
+        Module-level code counts as reachable: it builds the constants
+        everything else reads.
+        """
+        qual = self.function_qualname(node)
+        if qual is None:
+            return True
+        return self.full_qualname(qual) in self.project.serialized_reachable
+
+    def worker_qualnames(self) -> Set[str]:
+        """Module-local qualnames of this file's pool-seam worker functions."""
+        workers = self.project.worker_functions
+        prefix = f"{self.module_name}."
+        return {full[len(prefix):] for full in workers if full.startswith(prefix)}
 
 
 class Rule:
@@ -236,6 +405,12 @@ class LintResult:
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: modules whose index shard was (re)built this run
+    indexed_modules: List[str] = field(default_factory=list)
+    #: modules whose index shard was served from the cache
+    cached_modules: List[str] = field(default_factory=list)
+    #: files whose findings were recomputed (vs served from cache)
+    files_reanalyzed: int = 0
 
     @property
     def counts_by_rule(self) -> Dict[str, int]:
@@ -306,36 +481,35 @@ def _meta_for(rule_id: str) -> Tuple[Severity, str]:
     return rule.severity, rule.fix_hint
 
 
-def lint_source(
+def _syntax_finding(posix: str, exc: SyntaxError, active_ids: Set[str]) -> List[Finding]:
+    if SYNTAX_ERROR_ID not in active_ids:
+        return []
+    severity, hint = _meta_for(SYNTAX_ERROR_ID)
+    return [
+        Finding(
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=SYNTAX_ERROR_ID,
+            severity=severity,
+            message=f"file does not parse: {exc.msg}",
+            fix_hint=hint,
+        )
+    ]
+
+
+def _lint_tree(
     source: str,
-    path: PathLike = "<string>",
-    select: Optional[Iterable[str]] = None,
-    ignore: Optional[Iterable[str]] = None,
+    path: PathLike,
+    tree: ast.Module,
+    rule_classes: List[Type[Rule]],
+    project: Optional[ProjectIndex] = None,
+    module_index: Optional[ModuleIndex] = None,
 ) -> List[Finding]:
-    """Lint one python source string; returns sorted findings."""
-    rule_classes = _select_rules(select, ignore)
+    """Run the selected rules over one parsed module."""
     active_ids = {rule.rule_id for rule in rule_classes}
     posix = Path(path).as_posix()
-
-    try:
-        tree = ast.parse(source, filename=posix)
-    except SyntaxError as exc:
-        severity, hint = _meta_for(SYNTAX_ERROR_ID)
-        if SYNTAX_ERROR_ID not in active_ids:
-            return []
-        return [
-            Finding(
-                path=posix,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule_id=SYNTAX_ERROR_ID,
-                severity=severity,
-                message=f"file does not parse: {exc.msg}",
-                fix_hint=hint,
-            )
-        ]
-
-    ctx = FileContext(path, source, tree)
+    ctx = FileContext(path, source, tree, project=project, module_index=module_index)
     rules = [rule for rule in (cls() for cls in rule_classes) if rule.applies_to(ctx)]
 
     dispatch: Dict[type, List[Rule]] = {}
@@ -389,14 +563,38 @@ def lint_source(
     return sorted(kept)
 
 
+def lint_source(
+    source: str,
+    path: PathLike = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project: Optional[ProjectIndex] = None,
+) -> List[Finding]:
+    """Lint one python source string; returns sorted findings.
+
+    Without an explicit ``project``, a single-module index is built on
+    the fly so interprocedural rules see at least this file's own call
+    graph.
+    """
+    rule_classes = _select_rules(select, ignore)
+    active_ids = {rule.rule_id for rule in rule_classes}
+    posix = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return _syntax_finding(posix, exc, active_ids)
+    return _lint_tree(source, path, tree, rule_classes, project=project)
+
+
 def lint_file(
     path: PathLike,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    project: Optional[ProjectIndex] = None,
 ) -> List[Finding]:
     """Lint one file on disk."""
     source = Path(path).read_text(encoding="utf-8")
-    return lint_source(source, path=path, select=select, ignore=ignore)
+    return lint_source(source, path=path, select=select, ignore=ignore, project=project)
 
 
 def _iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
@@ -420,15 +618,127 @@ def _iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
             yield candidate
 
 
+def _rules_signature(rule_classes: List[Type[Rule]]) -> str:
+    joined = ",".join(sorted(rule.rule_id for rule in rule_classes))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
 def lint_paths(
     paths: Sequence[PathLike],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    cache_dir: Optional[PathLike] = None,
 ) -> LintResult:
-    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``*.py`` file under ``paths`` as one program.
+
+    All files are indexed into a shared :class:`ProjectIndex` first, so
+    interprocedural rules (DET*, SEAM*, DUR001) resolve calls across
+    module boundaries.  With ``cache_dir``, index shards and findings
+    are reused for unchanged files (see the module docstring).
+    """
+    rule_classes = _select_rules(select, ignore)
+    active_ids = {rule.rule_id for rule in rule_classes}
+    rules_sig = _rules_signature(rule_classes)
+    cache = IndexCache(cache_dir) if cache_dir is not None else None
     result = LintResult()
+
+    @dataclass
+    class _Entry:
+        path: Path
+        posix: str
+        module: str
+        source: str
+        source_hash: str
+        tree: Optional[ast.Module] = None
+        shard: Optional[ModuleIndex] = None
+        syntax_error: Optional[SyntaxError] = None
+
+    entries: List[_Entry] = []
     for path in _iter_python_files(paths):
+        source = Path(path).read_text(encoding="utf-8")
+        entry = _Entry(
+            path=Path(path),
+            posix=Path(path).as_posix(),
+            module=module_name_for(path),
+            source=source,
+            source_hash=content_hash(source),
+        )
+        entry.shard = (
+            cache.load_shard(entry.module, entry.source_hash) if cache else None
+        )
+        if entry.shard is None:
+            try:
+                entry.tree = ast.parse(source, filename=entry.posix)
+            except SyntaxError as exc:
+                entry.syntax_error = exc
+            else:
+                entry.shard = build_module_index(
+                    entry.path, source, entry.tree, entry.module
+                )
+                if cache:
+                    cache.store_shard(entry.shard)
+            result.indexed_modules.append(entry.module)
+        else:
+            result.cached_modules.append(entry.module)
+        entries.append(entry)
+
+    project = ProjectIndex([e.shard for e in entries if e.shard is not None])
+    project_fp = project.fingerprint()
+
+    for entry in entries:
         result.files_checked += 1
-        result.findings.extend(lint_file(path, select=select, ignore=ignore))
+        if entry.syntax_error is not None:
+            result.files_reanalyzed += 1
+            result.findings.extend(
+                _syntax_finding(entry.posix, entry.syntax_error, active_ids)
+            )
+            continue
+        if cache is not None:
+            cached = cache.load_findings(
+                entry.module, entry.source_hash, project_fp, rules_sig
+            )
+            if cached is not None:
+                result.findings.extend(Finding.from_json(doc) for doc in cached)
+                continue
+        if entry.tree is None:
+            try:
+                entry.tree = ast.parse(entry.source, filename=entry.posix)
+            except SyntaxError as exc:  # pragma: no cover - hash-stable reparse
+                result.files_reanalyzed += 1
+                result.findings.extend(_syntax_finding(entry.posix, exc, active_ids))
+                continue
+        result.files_reanalyzed += 1
+        findings = _lint_tree(
+            entry.source,
+            entry.path,
+            entry.tree,
+            rule_classes,
+            project=project,
+            module_index=entry.shard,
+        )
+        if cache is not None:
+            cache.store_findings(
+                entry.module,
+                entry.source_hash,
+                project_fp,
+                rules_sig,
+                [f.render_json() for f in findings],
+            )
+        result.findings.extend(findings)
+
     result.findings.sort()
     return result
+
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "ScopeDataflow",
+    "ScopeNode",
+    "Severity",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,102 @@
+"""DET003 — float accumulation in an order the program does not control.
+
+Float addition is not associative: ``(a + b) + c != a + (b + c)`` in
+general, so summing the *same* numbers in a different order produces
+different bytes.  That only matters when the order is itself
+nondeterministic — which is exactly what iterating a set (hash order)
+or a directory listing (filesystem order) gives you.  The two hazards
+the rule flags, on any path that can reach serialized/merged output:
+
+* ``sum(<unordered iterable>)`` — including generator expressions whose
+  innermost iterable is unordered;
+* ``acc += ...`` inside a loop over an unordered iterable.
+
+Fixes, in order of preference: iterate ``sorted(...)`` so the
+accumulation order is pinned; or use ``math.fsum`` (exact, hence
+order-independent) when sorting is too expensive.  Integer counting is
+exempt — integer addition is associative — when the accumulated
+expression is a literal ``1``/integer constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+def _unordered_sum_arg(call: ast.Call, flow) -> Optional[str]:
+    """Reason the ``sum(...)`` argument iterates in nondeterministic order."""
+    if not (isinstance(call.func, ast.Name) and call.func.id == "sum"):
+        return None
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+        if _is_integer_count(arg.elt):
+            return None  # sum(1 for ...) is order-independent counting
+        for comp in arg.generators:
+            reason = flow.unordered_reason(comp.iter)
+            if reason is not None:
+                return reason
+        return None
+    return flow.unordered_reason(arg)
+
+
+def _is_integer_count(expr: ast.expr) -> bool:
+    """True for ``+= 1``-style counting, which is order-independent."""
+    return isinstance(expr, ast.Constant) and isinstance(expr.value, int)
+
+
+@register_rule
+class FloatAccumulationOrder(Rule):
+    """DET003 — order-sensitive accumulation over an unordered iterable."""
+
+    rule_id: ClassVar[str] = "DET003"
+    name: ClassVar[str] = "float-accumulation-order"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "accumulation over an unordered iterable: float addition is not "
+        "associative, so hash/filesystem order changes the result bytes"
+    )
+    fix_hint: ClassVar[str] = (
+        "iterate sorted(...) to pin the accumulation order, or use "
+        "math.fsum (exact, order-independent) for float sums"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call, ast.For)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_serialized_reachable(node):
+            return
+        flow = ctx.dataflow_for(node)
+        if isinstance(node, ast.Call):
+            reason = _unordered_sum_arg(node, flow)
+            if reason is not None:
+                yield self.finding_at(
+                    ctx,
+                    node,
+                    message=f"sum() over an unordered iterable ({reason})",
+                )
+            return
+        assert isinstance(node, ast.For)
+        reason = flow.unordered_reason(node.iter)
+        if reason is None:
+            return
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if (
+                    isinstance(inner, ast.AugAssign)
+                    and isinstance(inner.op, (ast.Add, ast.Sub, ast.Mult))
+                    and not _is_integer_count(inner.value)
+                ):
+                    yield self.finding_at(
+                        ctx,
+                        inner,
+                        message=(
+                            f"accumulation inside a loop whose {reason}; "
+                            "the running total's rounding depends on visit "
+                            "order"
+                        ),
+                    )

@@ -1,0 +1,151 @@
+"""DET002 — ``id()`` / ``hash()`` dependent ordering and keying.
+
+CPython's ``id()`` is an address — different every run — and ``hash()``
+of a string is salted per process (``PYTHONHASHSEED``).  Sorting by
+either, or keying an output mapping on either, produces output that can
+never be byte-identical across the serial/sharded/resume planes:
+
+* ``sorted(xs, key=id)`` / ``xs.sort(key=lambda x: hash(x))`` — the
+  order is an accident of the allocator or the hash salt;
+* ``{id(obj): ...}`` / ``d[hash(key)] = ...`` — the keys themselves
+  differ between processes, so any serialized form diverges;
+* ``list({...})`` / ``list(set(...))`` — materializes hash order
+  directly into an ordered container.
+
+Sort-key findings fire everywhere (there is no legitimate use in this
+codebase); bare ``id()``/``hash()`` value uses are only flagged on
+paths that can reach serialized/merged output, as resolved by the
+project call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+_NONDET_BUILTINS = ("id", "hash")
+
+
+def _contains_nondet_call(expr: ast.expr) -> Optional[str]:
+    """Name of the first ``id``/``hash`` call inside ``expr``, if any."""
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _NONDET_BUILTINS
+        ):
+            return node.func.id
+    return None
+
+
+def _sort_key_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The ``key=`` argument of a ``sorted(...)`` / ``.sort(...)`` call."""
+    func = call.func
+    is_sort = (isinstance(func, ast.Name) and func.id == "sorted") or (
+        isinstance(func, ast.Attribute) and func.attr == "sort"
+    )
+    if not is_sort:
+        return None
+    for kw in call.keywords:
+        if kw.arg == "key":
+            return kw.value
+    return None
+
+
+@register_rule
+class HashOrderDependence(Rule):
+    """DET002 — ordering or keying on id()/hash(), or list(set(...))."""
+
+    rule_id: ClassVar[str] = "DET002"
+    name: ClassVar[str] = "id-hash-order-dependence"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "id()/hash() drives an ordering or output key: both differ per "
+        "process, so output bytes can never be reproducible"
+    )
+    fix_hint: ClassVar[str] = (
+        "sort/key on a stable domain attribute (device_id, day, rule id) "
+        "instead of id()/hash(); use sorted(...) to materialize sets"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call, ast.Dict, ast.Assign)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._visit_call(node, ctx)
+        elif isinstance(node, ast.Dict):
+            yield from self._visit_dict_display(node, ctx)
+        elif isinstance(node, ast.Assign):
+            yield from self._visit_assign(node, ctx)
+
+    def _visit_call(self, call: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        key = _sort_key_argument(call)
+        if key is not None:
+            builtin = _contains_nondet_call(key) or (
+                key.id if isinstance(key, ast.Name) and key.id in _NONDET_BUILTINS else None
+            )
+            if builtin is not None:
+                yield self.finding_at(
+                    ctx,
+                    call,
+                    message=(
+                        f"sort key uses {builtin}(): the resulting order is "
+                        "an accident of the allocator/hash salt, never "
+                        "reproducible across runs"
+                    ),
+                )
+                return
+        # list(<set expression>) materializes hash order.
+        func = call.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "list"
+            and len(call.args) == 1
+            and ctx.in_serialized_reachable(call)
+        ):
+            flow = ctx.dataflow_for(call)
+            if flow.expression_is_set(call.args[0]):
+                yield self.finding_at(
+                    ctx,
+                    call,
+                    message=(
+                        "list(<set>) materializes hash order into an ordered "
+                        "container on a serialized path; use sorted(...)"
+                    ),
+                )
+
+    def _visit_dict_display(self, node: ast.Dict, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_serialized_reachable(node):
+            return
+        for key in node.keys:
+            if key is None:
+                continue
+            builtin = _contains_nondet_call(key)
+            if builtin is not None:
+                yield self.finding_at(
+                    ctx,
+                    key,
+                    message=(
+                        f"dict keyed on {builtin}(): the key differs per "
+                        "process, so any serialized or merged form diverges"
+                    ),
+                )
+
+    def _visit_assign(self, node: ast.Assign, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_serialized_reachable(node):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                builtin = _contains_nondet_call(target.slice)
+                if builtin is not None:
+                    yield self.finding_at(
+                        ctx,
+                        target,
+                        message=(
+                            f"mapping keyed on {builtin}(): the key differs "
+                            "per process, so any serialized or merged form "
+                            "diverges"
+                        ),
+                    )

@@ -16,6 +16,17 @@ The rule keys on the *name* of what is being written: a path expression
 mentioning ``checkpoint``/``ckpt``, ``manifest``, ``journal`` or
 ``baseline`` is a durable artifact.  Ordinary exports (CSV, JSONL,
 reports) are out of scope.
+
+Interprocedural tracking: wrappers used to launder a torn write past
+the name check — ``def save(path): path.write_text(...)`` called as
+``save(manifest_path)`` — are resolved through the project index.
+:attr:`~repro.lint.project.ProjectIndex.raw_writer_params` is the
+fixpoint of parameter positions that flow (through any chain of helper
+calls) into a raw ``open(..., "w")`` / ``write_text`` / ``write_bytes``;
+a call site passing an artifact-named expression into such a position is
+flagged exactly like a direct write.  Wrappers that route through
+``repro.runtime.atomic_write_*`` never enter that fixpoint, so the same
+call site with an atomic helper is clean.
 """
 
 from __future__ import annotations
@@ -101,6 +112,41 @@ class NonAtomicArtifactWrite(Rule):
                 return
             if _mentions_artifact(func.value):
                 yield self.finding_at(ctx, node)
+            return
+        yield from self._check_wrapper_call(node, ctx)
+
+    def _check_wrapper_call(
+        self, call: ast.Call, ctx: FileContext
+    ) -> Iterator[Finding]:
+        """Artifact-named argument flowing into a raw-writing helper."""
+        resolved = ctx.resolve_call(call)
+        if resolved is None or resolved.startswith("*."):
+            return
+        raw_params = ctx.project.raw_writer_params
+        for target in ctx.project.resolve_function(resolved):
+            if target.startswith("repro.runtime"):
+                # The sanctioned atomic writers necessarily touch files;
+                # routing through them is the fix, not a finding.
+                continue
+            positions = raw_params.get(target)
+            if not positions:
+                continue
+            for position in sorted(positions):
+                if position >= len(call.args):
+                    continue
+                arg = call.args[position]
+                if _mentions_artifact(arg):
+                    helper = target.rsplit(".", 1)[-1]
+                    yield self.finding_at(
+                        ctx,
+                        call,
+                        message=(
+                            f"durable artifact passed to {helper}(), which "
+                            "writes it non-atomically: a crash mid-write "
+                            "leaves a torn file"
+                        ),
+                    )
+            return  # one resolution is enough; avoid duplicate findings
 
     def _is_atomic_helper(self, receiver: ast.expr, ctx: FileContext) -> bool:
         """Escape hatch for names bound to the sanctioned runtime writers."""

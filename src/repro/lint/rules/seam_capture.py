@@ -1,0 +1,104 @@
+"""SEAM001 — unsafe values shipped across the process-pool seam.
+
+:func:`repro.parallel.pool.map_shards` is the one audited fan-out seam
+(PERF001 bans every other pool).  Two call-site mistakes break its
+contract silently:
+
+* **Unpicklable task functions.**  A lambda, or a function defined
+  inside the calling function, cannot be pickled by name; the pool
+  raises only at submit time in a worker — or worse, works under
+  ``n_workers=1`` (no pickling) and explodes in production.  The
+  `speedup_workers_4 ≈ 0.23` pickling seam being rewritten makes this a
+  place where "works on my laptop" and "works sharded" genuinely differ.
+* **Mutation after submit.**  ``map_shards(fn, shards, ...)`` pickles
+  its arguments at submit time in the pooled path, but the in-process
+  fallback (``n_workers=1``, circuit breaker open, retry exhaustion)
+  shares them by reference.  Mutating ``shards``/``context`` after the
+  call makes the two execution modes see *different* inputs — the exact
+  class of divergence the byte-equality suite exists to rule out.
+
+The rule flags lambdas and locally-defined functions passed as the task,
+and any argument variable mutated later in the calling function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+_SEAM_NAMES = ("map_shards",)
+
+
+def _is_seam_call(call: ast.Call, ctx: FileContext) -> bool:
+    resolved = ctx.resolve_call(call)
+    if resolved is None:
+        return False
+    return resolved in _SEAM_NAMES or any(
+        resolved.endswith(f".{name}") for name in _SEAM_NAMES
+    )
+
+
+@register_rule
+class SeamCaptureSafety(Rule):
+    """SEAM001 — unpicklable task or post-submit mutation at the seam."""
+
+    rule_id: ClassVar[str] = "SEAM001"
+    name: ClassVar[str] = "pool-seam-capture"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "value shipped across the process-pool seam is not "
+        "picklable-by-construction or is mutated after submit"
+    )
+    fix_hint: ClassVar[str] = (
+        "pass a module-level function to map_shards and treat its "
+        "arguments as frozen once submitted (finish all mutation first)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not _is_seam_call(node, ctx):
+            return
+        flow = ctx.dataflow_for(node)
+        if node.args:
+            fn_arg = node.args[0]
+            if isinstance(fn_arg, ast.Lambda):
+                yield self.finding_at(
+                    ctx,
+                    fn_arg,
+                    message=(
+                        "lambda passed across the pool seam: lambdas do not "
+                        "pickle, so this works in-process and dies sharded"
+                    ),
+                )
+            elif isinstance(fn_arg, ast.Name) and flow.is_local_callable(fn_arg.id):
+                yield self.finding_at(
+                    ctx,
+                    fn_arg,
+                    message=(
+                        f"locally-defined function {fn_arg.id!r} passed across "
+                        "the pool seam: only module-level functions pickle by "
+                        "name"
+                    ),
+                )
+        seam_args = list(node.args[1:]) + [
+            kw.value for kw in node.keywords if kw.arg in ("shards", "context")
+        ]
+        for arg in seam_args:
+            if not isinstance(arg, ast.Name):
+                continue
+            mutated_at = flow.mutated_after(arg.id, node.lineno)
+            if mutated_at is not None:
+                yield self.finding_at(
+                    ctx,
+                    arg,
+                    message=(
+                        f"{arg.id!r} is mutated on line {mutated_at} after "
+                        "being submitted across the pool seam: the pooled "
+                        "path pickled the old value, the in-process fallback "
+                        "sees the new one"
+                    ),
+                )

@@ -1,0 +1,106 @@
+"""SEAM002 — worker functions reading shared mutable module globals.
+
+A function shipped across the :func:`repro.parallel.pool.map_shards`
+seam executes in a forked/spawned worker whose module globals are a
+*copy* frozen at pool-creation (spawn: re-import) time.  If a worker
+function reads a module-level mutable container that anything in the
+project mutates, the parent's mutations are invisible to pooled workers
+but perfectly visible to the in-process fallback — the two execution
+modes compute different answers from the same code.  (The sanctioned
+channel for shared read-only state is ``map_shards(context=...)`` +
+:func:`repro.parallel.pool.get_context`, which pickles the context once
+per worker, explicitly.)
+
+Worker functions are discovered interprocedurally: the project index
+records every function whose *name* is passed to ``map_shards`` anywhere
+in the project, so a worker defined in ``repro.parallel.executor`` and
+submitted from ``repro.runtime.run`` is still checked.  Module-level
+constants that nothing mutates (frozen lookup tables) are fine; the rule
+fires only when a mutation site exists somewhere in the project.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+
+@register_rule
+class WorkerGlobalRead(Rule):
+    """SEAM002 — pool worker reads a mutated module-level container."""
+
+    rule_id: ClassVar[str] = "SEAM002"
+    name: ClassVar[str] = "worker-reads-mutable-global"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "pool worker function reads a module-level mutable container "
+        "that is mutated elsewhere: pooled and in-process runs diverge"
+    )
+    fix_hint: ClassVar[str] = (
+        "thread shared state through map_shards(context=...) and "
+        "get_context(), or make the global an immutable constant"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not self._is_worker(node, ctx):
+            return
+        hazardous = self._hazardous_globals(ctx)
+        if not hazardous:
+            return
+        params = {
+            a.arg
+            for a in node.args.args + node.args.posonlyargs + node.args.kwonlyargs
+        }
+        assigned = {
+            t.id
+            for inner in ast.walk(node)
+            if isinstance(inner, ast.Assign)
+            for t in inner.targets
+            if isinstance(t, ast.Name)
+        }
+        shadowed = params | assigned
+        seen: Set[str] = set()
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Name) or not isinstance(inner.ctx, ast.Load):
+                continue
+            name = inner.id
+            if name in shadowed or name in seen or name not in hazardous:
+                continue
+            seen.add(name)
+            yield self.finding_at(
+                ctx,
+                inner,
+                message=(
+                    f"worker function {node.name!r} reads module global "
+                    f"{name!r}, a mutable container mutated elsewhere in the "
+                    "project; pooled workers see a stale copy"
+                ),
+            )
+
+    def _is_worker(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef", ctx: FileContext
+    ) -> bool:
+        """True when this module-level function crosses the pool seam.
+
+        Nested functions can't be seam workers (SEAM001 flags them at
+        the call site), so only top-level definitions are considered.
+        """
+        if ctx.function_qualname(node) is not None:
+            return False
+        return node.name in ctx.worker_qualnames()
+
+    def _hazardous_globals(self, ctx: FileContext) -> Set[str]:
+        """Local names of this module's mutable, somewhere-mutated globals."""
+        project = ctx.project
+        mutated = project.mutated_globals
+        prefix = f"{ctx.module_name}."
+        return {
+            full[len(prefix):]
+            for full in project.mutable_globals
+            if full.startswith(prefix) and full in mutated
+        }

@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 rendering so findings surface as GitHub PR annotations.
+
+SARIF (Static Analysis Results Interchange Format) is the one format
+GitHub's code-scanning UI ingests natively: uploading the document via
+``github/codeql-action/upload-sarif`` renders every finding as an inline
+annotation on the pull request diff, with the rule's help text attached.
+Only the small subset of the (large) SARIF schema that GitHub reads is
+emitted: the tool driver with per-rule metadata, and one ``result`` per
+finding with a physical location.
+
+The document is deterministic for a given :class:`LintResult` — keys
+are sorted and findings arrive pre-sorted from the engine — so the file
+can be diffed and cached like any other build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import Finding, LintResult, Severity
+from repro.lint.registry import all_rules
+
+#: SARIF spec version emitted; GitHub code scanning requires 2.1.0.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro.lint severity -> SARIF result level.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule) -> Dict[str, object]:
+    descriptor: Dict[str, object] = {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+    if rule.fix_hint:
+        descriptor["help"] = {"text": f"fix: {rule.fix_hint}"}
+    return descriptor
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    message = finding.message
+    if finding.fix_hint:
+        message = f"{message} (fix: {finding.fix_hint})"
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; engine columns 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF document for a lint run (stable key order)."""
+    rules: List[Dict[str, object]] = [_rule_descriptor(r) for r in all_rules()]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f) for f in result.findings],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,19 @@
+"""Float accumulation in hash/filesystem order — every site is DET003."""
+
+import json
+
+
+def merge(volumes):
+    return sum(set(volumes))  # rounding depends on hash order
+
+
+def to_json(shards):
+    total_bytes = sum(s.nbytes for s in set(shards))
+    return json.dumps({"total": total_bytes})
+
+
+def render_json(root, weights):
+    weighted = 0.0
+    for path in root.iterdir():  # filesystem order
+        weighted += weights[path.stem]
+    return json.dumps(weighted)

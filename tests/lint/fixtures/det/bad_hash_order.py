@@ -1,0 +1,24 @@
+"""id()/hash() driven ordering and keying — every site here is DET002."""
+
+import json
+
+
+def order_devices(devices):
+    return sorted(devices, key=id)  # allocator order, never reproducible
+
+
+def order_records(records):
+    records.sort(key=lambda r: hash(r.name))  # salted per process
+    return records
+
+
+def merge(shards):
+    flat = list(set(shards))  # materializes hash order on a merge path
+    return flat
+
+
+def render_json(sessions):
+    table = {}
+    for session in sessions:
+        table[id(session)] = session.day  # key differs per process
+    return json.dumps(sorted(table.values()))

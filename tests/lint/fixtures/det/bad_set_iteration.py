@@ -1,0 +1,28 @@
+"""Unordered iteration feeding serialized output — every loop here is DET001."""
+
+import json
+
+
+def merge(reports):
+    out = []
+    seen = set(reports)
+    for report in seen:  # hash order leaks into the merged list
+        out.append(report)
+    return out
+
+
+def render_json(rows):
+    labels = {row.label for row in rows}
+    ordered = [label for label in labels]  # materializes hash order
+    return json.dumps(ordered)
+
+
+def _collect_days(root):
+    days = []
+    for path in root.glob("*.parquet"):  # filesystem order
+        days.append(path.stem)
+    return days
+
+
+def to_json(root):
+    return json.dumps({day: 1 for day in set(_collect_days(root))})

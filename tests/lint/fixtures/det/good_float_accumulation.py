@@ -1,0 +1,21 @@
+"""Order-pinned or order-independent accumulation — clean."""
+
+import json
+import math
+
+
+def merge(volumes):
+    return sum(sorted(set(volumes)))  # accumulation order is pinned
+
+
+def to_json(shards):
+    total_bytes = math.fsum(s.nbytes for s in set(shards))
+    n_shards = sum(1 for s in set(shards))  # integer counting is safe
+    return json.dumps({"total": total_bytes, "shards": n_shards})
+
+
+def render_json(root, weights):
+    weighted = 0.0
+    for path in sorted(root.iterdir()):
+        weighted += weights[path.stem]
+    return json.dumps(weighted)

@@ -1,0 +1,30 @@
+"""Ordered (or order-insensitive) iteration on serialized paths — clean."""
+
+import json
+
+
+def merge(reports):
+    out = []
+    for report in sorted(set(reports)):  # sorted() pins the order
+        out.append(report)
+    return out
+
+
+def render_json(rows):
+    labels = {row.label for row in rows}
+    return json.dumps(sorted(labels))  # consumer erases hash order
+
+
+def _collect_days(root):
+    days = []
+    for path in sorted(root.glob("*.parquet")):  # fs order pinned
+        days.append(path.stem)
+    return days
+
+
+def to_json(root, wanted):
+    hits = set()
+    for day in _collect_days(root):
+        if day in wanted:
+            hits.add(day)  # .add into a set is order-insensitive
+    return json.dumps(sorted(day for day in hits))

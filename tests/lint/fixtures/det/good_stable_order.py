@@ -1,0 +1,24 @@
+"""Stable, domain-keyed ordering — the reproducible counterparts."""
+
+import json
+
+
+def order_devices(devices):
+    return sorted(devices, key=lambda d: d.device_id)
+
+
+def order_records(records):
+    records.sort(key=lambda r: (r.day, r.name))
+    return records
+
+
+def merge(shards):
+    flat = sorted(set(shards))  # sorted() materializes deterministically
+    return flat
+
+
+def render_json(sessions):
+    table = {}
+    for session in sessions:
+        table[session.device_id] = session.day
+    return json.dumps(table, sort_keys=True)

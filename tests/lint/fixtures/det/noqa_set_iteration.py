@@ -1,0 +1,12 @@
+"""A deliberate unordered emit, suppressed with a justified noqa."""
+
+import json
+
+
+def merge(samples):
+    out = []
+    # Sampling diagnostics: order genuinely does not matter downstream,
+    # the consumer re-sorts before comparison.
+    for sample in set(samples):  # repro: noqa[DET001]
+        out.append(sample)
+    return json.dumps(out)

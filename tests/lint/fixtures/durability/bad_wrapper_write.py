@@ -1,0 +1,26 @@
+"""Torn writes laundered through helper wrappers — each call is DUR001.
+
+The helpers themselves never mention an artifact name, so the per-file
+check cannot see them; the project index's raw-writer fixpoint follows
+the parameter through the wrapper chain.
+"""
+
+
+def _save_text(path, payload):
+    path.write_text(payload, encoding="utf-8")
+
+
+def _persist(path, payload):
+    _save_text(path, payload)  # second hop in the wrapper chain
+
+
+def flush_manifest(manifest_path, payload):
+    _save_text(manifest_path, payload)
+
+
+def flush_checkpoint(ckpt_path, payload):
+    _persist(ckpt_path, payload)
+
+
+def flush_journal(journal_path, lines):
+    _persist(journal_path, "\n".join(lines))

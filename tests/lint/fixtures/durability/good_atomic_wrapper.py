@@ -1,0 +1,19 @@
+"""Wrappers that route through the sanctioned atomic writers — clean."""
+
+from repro.runtime.checkpoint import atomic_write_text
+
+
+def _save_text(path, payload):
+    atomic_write_text(path, payload)
+
+
+def _persist(path, payload):
+    _save_text(path, payload)
+
+
+def flush_manifest(manifest_path, payload):
+    _save_text(manifest_path, payload)
+
+
+def flush_checkpoint(ckpt_path, payload):
+    _persist(ckpt_path, payload)

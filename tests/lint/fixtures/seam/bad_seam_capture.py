@@ -1,0 +1,27 @@
+"""Unsafe values shipped across map_shards — every site here is SEAM001."""
+
+from repro.parallel.pool import map_shards
+
+
+def run_lambda(shards):
+    # Works under n_workers=1 (no pickling), dies in the pooled path.
+    return map_shards(lambda shard: len(shard), shards, n_workers=4)
+
+
+def run_nested(shards):
+    def task(shard):
+        return len(shard)
+
+    # Nested functions cannot be pickled by qualified name.
+    return map_shards(task, shards, n_workers=4)
+
+
+def run_then_mutate(shards, extra):
+    results = map_shards(_count, shards, n_workers=4)
+    # Pooled path pickled the old list; in-process fallback sees this.
+    shards.append(extra)
+    return results
+
+
+def _count(shard):
+    return len(shard)

@@ -1,0 +1,17 @@
+"""Pool worker reading mutated module globals — both reads are SEAM002."""
+
+from repro.parallel.pool import map_shards
+
+_SEEN_KEYS = set()
+_LIMITS = {"max_rows": 1000}
+
+
+def classify(shard):
+    limit = _LIMITS["max_rows"]  # stale copy in pooled workers
+    return [row for row in shard[:limit] if row.key not in _SEEN_KEYS]
+
+
+def run(shards, rows):
+    _SEEN_KEYS.update(row.key for row in rows)
+    _LIMITS["max_rows"] = len(rows)
+    return map_shards(classify, shards, n_workers=4)

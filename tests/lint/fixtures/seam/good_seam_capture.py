@@ -1,0 +1,13 @@
+"""Seam-safe fan-out: module-level task, arguments frozen before submit."""
+
+from repro.parallel.pool import map_shards
+
+
+def run(shards, extra):
+    staged = list(shards)
+    staged.append(extra)  # all mutation happens before submit
+    return map_shards(_count, staged, n_workers=4)
+
+
+def _count(shard):
+    return len(shard)

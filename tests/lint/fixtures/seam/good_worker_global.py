@@ -1,0 +1,25 @@
+"""Seam-safe shared state: context channel and frozen constants."""
+
+from repro.parallel.pool import get_context, map_shards
+
+_COLUMNS = ("device_id", "day", "bytes_up")  # immutable, never mutated
+
+
+def classify(shard):
+    seen = get_context()["seen_keys"]  # pickled once per worker, explicit
+    return [row for row in shard if row.key not in seen]
+
+
+def project(shard):
+    return [[getattr(row, col) for col in _COLUMNS] for row in shard]
+
+
+def run(shards, rows):
+    seen_keys = {row.key for row in rows}
+    return map_shards(
+        classify, shards, n_workers=4, context={"seen_keys": seen_keys}
+    )
+
+
+def run_projection(shards):
+    return map_shards(project, shards, n_workers=4)

@@ -1,0 +1,16 @@
+"""A deliberate worker global read, suppressed with a justified noqa."""
+
+from repro.parallel.pool import map_shards
+
+_PROBE_COUNTS = {}
+
+
+def probe(shard):
+    # Diagnostics only: the count is advisory and never serialized, so
+    # pooled/in-process divergence is acceptable here.
+    return len(shard) + len(_PROBE_COUNTS)  # repro: noqa[SEAM002]
+
+
+def run(shards):
+    _PROBE_COUNTS["runs"] = _PROBE_COUNTS.get("runs", 0) + 1
+    return map_shards(probe, shards, n_workers=4)

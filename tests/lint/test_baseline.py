@@ -1,0 +1,93 @@
+"""Baseline/ratchet: budgets, positional suppression, CLI round trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import apply_baseline, lint_file, load_baseline, write_baseline
+from repro.lint.baseline import BASELINE_VERSION, render_baseline
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_RNG = FIXTURES / "rng" / "bad_import_random.py"
+
+
+def test_missing_file_is_an_empty_baseline(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_version_mismatch_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "counts": {}}), encoding="utf-8")
+    with pytest.raises(ValueError, match="baseline version"):
+        load_baseline(path)
+
+
+def test_roundtrip_through_write_and_load(tmp_path):
+    findings = lint_file(BAD_RNG)
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    baseline = load_baseline(path)
+    assert sum(baseline.values()) == len(findings)
+    kept, suppressed = apply_baseline(findings, baseline)
+    assert kept == []
+    assert suppressed == len(findings)
+
+
+def test_budget_suppresses_positionally(tmp_path):
+    findings = lint_file(BAD_RNG)
+    assert len(findings) == 2
+    key = f"{findings[0].path}::{findings[0].rule_id}"
+    kept, suppressed = apply_baseline(findings, {key: 1})
+    # First finding (deterministic sort order) absorbed, second reported.
+    assert suppressed == 1
+    assert kept == [findings[1]]
+
+
+def test_growth_beyond_the_budget_surfaces(tmp_path):
+    findings = lint_file(BAD_RNG)
+    baseline = {f"{findings[0].path}::{findings[0].rule_id}": 100}
+    kept, suppressed = apply_baseline(findings, baseline)
+    assert kept == []
+    assert suppressed == len(findings)  # budget is a cap, not a count
+
+
+def test_render_is_deterministic():
+    findings = lint_file(BAD_RNG)
+    assert render_baseline(findings) == render_baseline(list(reversed(findings)))
+
+
+def test_cli_update_then_gate(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    # Ratchet step 1: accept the current findings.
+    assert main([str(BAD_RNG), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "baseline updated" in capsys.readouterr().out
+    # Gated run is now clean and says what it suppressed.
+    assert main([str(BAD_RNG), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_baseline_does_not_hide_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    assert main([str(BAD_RNG), "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    # A second bad file is not in the budget: its findings gate the run.
+    exit_code = main(
+        [str(BAD_RNG), str(FIXTURES / "rng" / "bad_unseeded.py"),
+         "--baseline", str(baseline)]
+    )
+    assert exit_code == 2  # the two RNG003 findings from the new file
+
+
+def test_cli_update_baseline_requires_baseline_path(capsys):
+    with pytest.raises(SystemExit):
+        main([str(BAD_RNG), "--update-baseline"])
+
+
+def test_repo_baseline_file_is_empty_and_current():
+    """The checked-in baseline accepts nothing: the tree is clean."""
+    repo_root = Path(__file__).resolve().parents[2]
+    doc = json.loads((repo_root / "lint-baseline.json").read_text(encoding="utf-8"))
+    assert doc["version"] == BASELINE_VERSION
+    assert doc["counts"] == {}

@@ -74,8 +74,16 @@ def test_select_and_ignore_flags(capsys):
 def test_directory_scan_covers_every_fixture(capsys):
     exit_code = main([str(FIXTURES)])
     assert exit_code == sum(
-        (2, 3, 2, 4, 2, 3, 3, 2, 2, 2, 2, 1, 4, 4, 4)
+        (2, 3, 2, 4, 2, 3, 3, 2, 2, 2, 2, 1, 4, 4, 4, 3, 4, 4, 3, 3, 2)
     )  # every bad fixture's finding count
+
+
+def test_directory_scan_matches_per_file_counts(capsys):
+    """Whole-directory scan == sum of per-file scans (no cross-file bleed)."""
+    from tests.lint.test_rules import BAD_FIXTURES
+
+    expected = sum(n for counts in BAD_FIXTURES.values() for n in counts.values())
+    assert main([str(FIXTURES)]) == expected
 
 
 def test_list_rules_mentions_every_rule(capsys):

@@ -44,6 +44,36 @@ class TestSuppression:
         findings = _lint("x = 1  # repro: noqa[ID001]\n", ignore=["NOQA001"])
         assert findings == []
 
+    def test_comma_separated_ids_tolerate_arbitrary_whitespace(self):
+        findings = _lint(
+            SLICE.format(comment="  # repro: noqa[ RNG001 ,ID001 , RNG002 ]")
+        )
+        assert findings == []
+
+    def test_noqa_inside_multi_line_string_is_not_a_directive(self):
+        source = (
+            "TEMPLATE = '''\n"
+            "code example:  # repro: noqa[ID001]\n"
+            "and also:  # repro: noqa\n"
+            "'''\n"
+        )
+        # Neither line is a real comment: no suppression is registered,
+        # so no stale-suppression warning fires either.
+        assert _lint(source) == []
+
+    def test_stale_suppression_not_reported_when_rule_selected_away(self):
+        # --select that omits NOQA001 must not smuggle the warning in.
+        findings = _lint("x = 1  # repro: noqa[ID001]\n", select=["ID001"])
+        assert findings == []
+
+    def test_ignoring_a_rule_makes_its_suppressions_stale(self):
+        # With ID001 ignored the directive silences nothing, and the
+        # stale-suppression warning says so.
+        findings = _lint(
+            SLICE.format(comment="  # repro: noqa[ID001]"), ignore=["ID001"]
+        )
+        assert [f.rule_id for f in findings] == ["NOQA001"]
+
 
 class TestSelection:
     BOTH = (

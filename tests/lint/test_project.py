@@ -1,0 +1,269 @@
+"""Whole-program index: call graph, seams, writer fixpoint, and cache."""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint import (
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+    lint_file,
+    lint_paths,
+    module_name_for,
+)
+
+
+def _shard(root: Path, name: str, source: str) -> ModuleIndex:
+    """Write ``repro/<name>.py`` under ``root`` and build its shard."""
+    path = root / "repro" / f"{name}.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return build_module_index(path, source, ast.parse(source))
+
+
+class TestModuleNames:
+    def test_anchors_at_the_repro_package(self):
+        assert module_name_for("src/repro/core/catalog.py") == "repro.core.catalog"
+        assert module_name_for("/abs/src/repro/lint/cli.py") == "repro.lint.cli"
+
+    def test_package_init_maps_to_the_package(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_paths_outside_the_package_stay_stable(self):
+        assert module_name_for("tools/gen_api_docs.py") == "tools.gen_api_docs"
+
+
+class TestCallGraph:
+    def test_serialized_reachable_crosses_modules(self, tmp_path):
+        alpha = _shard(
+            tmp_path,
+            "alpha",
+            "def gather(items):\n"
+            "    return [x for x in items]\n"
+            "\n"
+            "def untouched(items):\n"
+            "    return items\n",
+        )
+        omega = _shard(
+            tmp_path,
+            "omega",
+            "import json\n"
+            "from repro.alpha import gather\n"
+            "\n"
+            "def render_json(items):\n"
+            "    return json.dumps(gather(items))\n",
+        )
+        project = ProjectIndex([alpha, omega])
+        assert "repro.omega.render_json" in project.serialized_reachable
+        assert "repro.alpha.gather" in project.serialized_reachable
+        assert "repro.alpha.untouched" not in project.serialized_reachable
+
+    def test_worker_discovery_crosses_modules(self, tmp_path):
+        alpha = _shard(tmp_path, "alpha", "def work(shard):\n    return len(shard)\n")
+        omega = _shard(
+            tmp_path,
+            "omega",
+            "from repro.alpha import work\n"
+            "from repro.parallel.pool import map_shards\n"
+            "\n"
+            "def run(shards):\n"
+            "    return map_shards(work, shards, n_workers=2)\n",
+        )
+        project = ProjectIndex([alpha, omega])
+        assert "repro.alpha.work" in project.worker_functions
+
+    def test_raw_writer_fixpoint_follows_wrapper_chains(self, tmp_path):
+        alpha = _shard(
+            tmp_path,
+            "alpha",
+            "def save(path, text):\n"
+            "    path.write_text(text)\n",
+        )
+        omega = _shard(
+            tmp_path,
+            "omega",
+            "from repro.alpha import save\n"
+            "\n"
+            "def persist(path, text):\n"
+            "    save(path, text)\n",
+        )
+        writers = ProjectIndex([alpha, omega]).raw_writer_params
+        assert writers["repro.alpha.save"] == {0}
+        assert writers["repro.omega.persist"] == {0}
+
+    def test_mutated_globals_cross_module_boundaries(self, tmp_path):
+        alpha = _shard(tmp_path, "alpha", "_CACHE = {}\n")
+        omega = _shard(
+            tmp_path,
+            "omega",
+            "from repro.alpha import _CACHE\n"
+            "\n"
+            "def poke():\n"
+            "    _CACHE['k'] = 1\n",
+        )
+        project = ProjectIndex([alpha, omega])
+        assert "repro.alpha._CACHE" in project.mutable_globals
+        assert "repro.alpha._CACHE" in project.mutated_globals
+
+
+class TestShardSerialization:
+    SOURCE = (
+        "import json\n"
+        "_TABLE = {}\n"
+        "\n"
+        "def merge(a, b):\n"
+        "    _TABLE.update(a)\n"
+        "    return json.dumps([a, b])\n"
+    )
+
+    def test_round_trips_through_json(self, tmp_path):
+        shard = _shard(tmp_path, "alpha", self.SOURCE)
+        wire = json.loads(json.dumps(shard.to_json()))
+        assert ModuleIndex.from_json(wire) == shard
+
+    def test_fingerprint_is_stable_and_fact_sensitive(self, tmp_path):
+        before = ProjectIndex([_shard(tmp_path, "alpha", self.SOURCE)]).fingerprint()
+        again = ProjectIndex(
+            [_shard(tmp_path / "copy", "alpha", self.SOURCE)]
+        ).fingerprint()
+        assert before == again
+        moved = ProjectIndex(
+            [_shard(tmp_path / "new", "alpha", self.SOURCE + "\ndef to_json(x):\n    return x\n")]
+        ).fingerprint()
+        assert moved != before
+
+
+class TestInterproceduralLint:
+    def test_det001_needs_the_whole_program(self, tmp_path):
+        """The helper alone is clean; with its caller it is a finding."""
+        src = tmp_path / "repro"
+        src.mkdir()
+        helper = src / "alpha.py"
+        helper.write_text(
+            "def gather(items):\n"
+            "    return [x for x in set(items)]\n",
+            encoding="utf-8",
+        )
+        (src / "omega.py").write_text(
+            "import json\n"
+            "from repro.alpha import gather\n"
+            "\n"
+            "def render_json(items):\n"
+            "    return json.dumps(gather(items))\n",
+            encoding="utf-8",
+        )
+        assert lint_file(helper) == []  # not reachable in isolation
+        result = lint_paths([src])
+        assert [(f.rule_id, Path(f.path).name) for f in result.findings] == [
+            ("DET001", "alpha.py")
+        ]
+
+    def test_seam002_needs_the_whole_program(self, tmp_path):
+        src = tmp_path / "repro"
+        src.mkdir()
+        worker = src / "alpha.py"
+        worker.write_text(
+            "_CACHE = {}\n"
+            "\n"
+            "def work(shard):\n"
+            "    return _CACHE.get(shard)\n",
+            encoding="utf-8",
+        )
+        (src / "omega.py").write_text(
+            "from repro.alpha import _CACHE, work\n"
+            "from repro.parallel.pool import map_shards\n"
+            "\n"
+            "def run(shards):\n"
+            "    _CACHE['runs'] = 1\n"
+            "    return map_shards(work, shards, n_workers=2)\n",
+            encoding="utf-8",
+        )
+        assert lint_file(worker) == []  # no seam, no mutation in isolation
+        result = lint_paths([src])
+        assert [(f.rule_id, Path(f.path).name) for f in result.findings] == [
+            ("SEAM002", "alpha.py")
+        ]
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        src = tmp_path / "repro"
+        src.mkdir()
+        (src / "alpha.py").write_text(
+            "def helper(items):\n    return sorted(items)\n", encoding="utf-8"
+        )
+        (src / "omega.py").write_text(
+            "import json\n"
+            "\n"
+            "def render_json(items):\n"
+            "    return json.dumps(items)\n",
+            encoding="utf-8",
+        )
+        return src
+
+    def test_warm_run_rebuilds_nothing(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        cold = lint_paths([src], cache_dir=cache)
+        assert sorted(cold.indexed_modules) == ["repro.alpha", "repro.omega"]
+        assert cold.cached_modules == []
+        assert cold.files_reanalyzed == 2
+
+        warm = lint_paths([src], cache_dir=cache)
+        assert warm.indexed_modules == []
+        assert sorted(warm.cached_modules) == ["repro.alpha", "repro.omega"]
+        assert warm.files_reanalyzed == 0
+        assert warm.findings == cold.findings
+        assert warm.files_checked == cold.files_checked
+
+    def test_touching_one_file_rebuilds_only_its_shard(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([src], cache_dir=cache)
+
+        # Comment-only edit: the shard must rebuild (content hash moved)
+        # but the derived cross-module facts — hence every *other*
+        # module's findings — stay cached.
+        alpha = src / "alpha.py"
+        alpha.write_text("# touched\n" + alpha.read_text(encoding="utf-8"),
+                         encoding="utf-8")
+        third = lint_paths([src], cache_dir=cache)
+        assert third.indexed_modules == ["repro.alpha"]
+        assert third.cached_modules == ["repro.omega"]
+        assert third.files_reanalyzed == 1
+
+    def test_cross_module_fact_change_invalidates_cached_findings(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([src], cache_dir=cache)
+
+        # Adding a sink to alpha moves the project fingerprint, so
+        # omega's findings must be recomputed even though its bytes are
+        # unchanged.
+        alpha = src / "alpha.py"
+        alpha.write_text(
+            alpha.read_text(encoding="utf-8") + "\ndef merge(a, b):\n    return a + b\n",
+            encoding="utf-8",
+        )
+        moved = lint_paths([src], cache_dir=cache)
+        assert moved.indexed_modules == ["repro.alpha"]
+        assert moved.cached_modules == ["repro.omega"]
+        assert moved.files_reanalyzed == 2
+
+    def test_cached_findings_are_still_reported(self, tmp_path):
+        src = tmp_path / "repro"
+        src.mkdir()
+        (src / "alpha.py").write_text(
+            "import json\n"
+            "\n"
+            "def render_json(items):\n"
+            "    return json.dumps(list(set(items)))\n",
+            encoding="utf-8",
+        )
+        cache = tmp_path / "cache"
+        cold = lint_paths([src], cache_dir=cache)
+        warm = lint_paths([src], cache_dir=cache)
+        assert [f.rule_id for f in cold.findings] == ["DET002"]
+        assert warm.findings == cold.findings
+        assert warm.files_reanalyzed == 0

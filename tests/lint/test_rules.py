@@ -23,9 +23,15 @@ BAD_FIXTURES = {
     "platform_m2m/bad_adhoc_retry.py": {"RETRY001": 2},
     "perf/bad_process_pool.py": {"PERF001": 4},
     "durability/bad_torn_writes.py": {"DUR001": 4},
+    "durability/bad_wrapper_write.py": {"DUR001": 3},
     "core/bad_row_loop.py": {"PERF002": 4},
     "noqa/unused.py": {"NOQA001": 2},
     "broken/bad_syntax.py": {"SYNTAX001": 1},
+    "det/bad_set_iteration.py": {"DET001": 4},
+    "det/bad_hash_order.py": {"DET002": 4},
+    "det/bad_float_accumulation.py": {"DET003": 3},
+    "seam/bad_seam_capture.py": {"SEAM001": 3},
+    "seam/bad_worker_global.py": {"SEAM002": 2},
 }
 
 GOOD_FIXTURES = [
@@ -37,8 +43,16 @@ GOOD_FIXTURES = [
     "platform_m2m/good_policy_retry.py",
     "parallel/good_pool_seam.py",
     "durability/good_atomic_writes.py",
+    "durability/good_atomic_wrapper.py",
     "core/good_columnar_scan.py",
     "noqa/suppressed.py",
+    "det/good_sorted_iteration.py",
+    "det/good_stable_order.py",
+    "det/good_float_accumulation.py",
+    "det/noqa_set_iteration.py",
+    "seam/good_seam_capture.py",
+    "seam/good_worker_global.py",
+    "seam/noqa_worker_global.py",
 ]
 
 

@@ -1,0 +1,62 @@
+"""SARIF output: schema shape, rule descriptors, GitHub-compatible levels."""
+
+import json
+from pathlib import Path
+
+from repro.lint import all_rules, render_sarif
+from repro.lint.cli import main
+from repro.lint.engine import lint_paths
+from repro.lint.sarif import SARIF_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sarif_for(path):
+    return json.loads(render_sarif(lint_paths([path])))
+
+
+def test_document_envelope():
+    doc = _sarif_for(FIXTURES / "rng" / "bad_import_random.py")
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"].startswith("https://")
+    assert len(doc["runs"]) == 1
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro.lint"
+
+
+def test_every_rule_has_a_descriptor():
+    doc = _sarif_for(FIXTURES / "rng" / "good_seeded.py")
+    descriptors = doc["runs"][0]["tool"]["driver"]["rules"]
+    ids = [d["id"] for d in descriptors]
+    assert ids == sorted(rule.rule_id for rule in all_rules())
+    for descriptor in descriptors:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_results_carry_locations_and_levels():
+    doc = _sarif_for(FIXTURES / "rng" / "bad_import_random.py")
+    results = doc["runs"][0]["results"]
+    assert len(results) == 2
+    for result in results:
+        assert result["ruleId"] == "RNG001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        region = location["region"]
+        assert location["artifactLocation"]["uri"].endswith("bad_import_random.py")
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+
+def test_clean_tree_yields_empty_results():
+    doc = _sarif_for(FIXTURES / "rng" / "good_seeded.py")
+    assert doc["runs"][0]["results"] == []
+
+
+def test_cli_format_sarif_and_output_alias(capsys):
+    target = str(FIXTURES / "rng" / "bad_import_random.py")
+    exit_code = main([target, "--format", "sarif"])
+    via_format = capsys.readouterr().out
+    assert exit_code == 2  # exit code still counts findings
+    assert main([target, "--output", "sarif"]) == 2
+    via_output = capsys.readouterr().out
+    assert json.loads(via_format) == json.loads(via_output)
