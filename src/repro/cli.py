@@ -286,6 +286,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived catalog daemon (see docs/ROBUSTNESS.md)."""
+    import asyncio
+
+    from repro.service.config import ServiceConfig
+    from repro.service.daemon import run_daemon
+
+    eco = _build_eco(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_high_watermark=args.queue_high,
+        queue_low_watermark=args.queue_low,
+        snapshot_interval_s=args.snapshot_interval,
+    )
+
+    def announce(port: int) -> None:
+        print(f"catalog daemon listening on {args.host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            run_daemon(
+                eco,
+                args.checkpoint_dir,
+                config=config,
+                resume=args.resume,
+                seed=args.seed,
+                ready_callback=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; daemon state is durable in the WAL", file=sys.stderr)
+    return 0
+
+
 def cmd_keywords(args: argparse.Namespace) -> int:
     """Run the APN keyword-discovery workflow on a simulated population."""
     _, _, result = _build_pipeline(args)
@@ -414,6 +449,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", type=str, default=None, help="CSV export directory")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the catalog daemon (micro-batch ingest + point queries)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        required=True,
+        help="directory for the write-ahead batch log",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing WAL (restart after a crash)",
+    )
+    p.add_argument("--queue-high", type=int, default=64, help="shed watermark")
+    p.add_argument("--queue-low", type=int, default=16, help="recover watermark")
+    p.add_argument(
+        "--snapshot-interval", type=float, default=5.0,
+        help="seconds between durable snapshot (journal fsync) cycles",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("keywords", help="run APN keyword discovery")
     p.add_argument("--devices", type=int, default=800)

@@ -37,6 +37,7 @@ from repro.faults.crash import (
     KillSwitch,
     make_manifest_stale,
     tear_day_checkpoint,
+    tear_journal_tail,
 )
 from repro.faults.inject import (
     RADIO_EVENT_SCHEMA,
@@ -82,4 +83,5 @@ __all__ = [
     "inject_transactions",
     "make_manifest_stale",
     "tear_day_checkpoint",
+    "tear_journal_tail",
 ]

@@ -107,6 +107,33 @@ def tear_day_checkpoint(
     return ckpt_path
 
 
+def tear_journal_tail(directory: PathLike, keep_fraction: float = 0.5) -> Path:
+    """Truncate the completion journal's last line mid-record.
+
+    Models a crash while a journal line was being written: the tail no
+    longer parses (or fails its self-CRC), so the store must discard it
+    — and everything after it — on the next load, *and report the
+    discard* (``CheckpointStore.n_torn_journal_lines``) instead of
+    recovering silently.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    from repro.runtime.checkpoint import JOURNAL_NAME
+
+    journal_path = Path(directory) / JOURNAL_NAME
+    text = journal_path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError(f"journal {journal_path} is empty; nothing to tear")
+    last = lines[-1]
+    torn = last[: int(len(last) * keep_fraction)]
+    body = "\n".join(lines[:-1] + [torn])
+    # Deliberately non-atomic: the injector models exactly the torn
+    # write the durability layer must survive.
+    journal_path.write_text(body, encoding="utf-8")  # repro: noqa[DUR001]
+    return journal_path
+
+
 def make_manifest_stale(directory: PathLike, mode: str = "version") -> Path:
     """Rewrite a run manifest so resume must refuse it.
 

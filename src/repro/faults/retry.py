@@ -57,7 +57,10 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
         if self.max_delay_s < self.base_delay_s:
-            raise ValueError("max_delay_s must be >= base_delay_s")
+            raise ValueError(
+                f"max_delay_s must be >= base_delay_s, got "
+                f"max_delay_s={self.max_delay_s} < base_delay_s={self.base_delay_s}"
+            )
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
         if self.max_attempts < 1:

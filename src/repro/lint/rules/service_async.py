@@ -1,0 +1,138 @@
+"""Asyncio hygiene for the service package (SVC001).
+
+The catalog daemon is a long-lived event loop, and the two classic ways
+to corrupt one are both silent:
+
+* ``asyncio.create_task(...)`` whose result is dropped — the task can
+  be garbage-collected mid-flight, and its crash traceback goes to the
+  void instead of a supervisor.  Every background coroutine in
+  ``repro/service/`` must be retained (assigned, awaited, or handed to
+  :class:`repro.service.supervisor.TaskSupervisor`).
+* A blocking call (``time.sleep``, synchronous file/socket I/O,
+  ``subprocess``) inside an ``async def`` body — it stalls the whole
+  loop: every client, the drain loop and the snapshot cycle all freeze
+  behind one disk write.  Blocking work belongs in
+  ``asyncio.to_thread`` (or outside async code entirely).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: Spawning calls whose return value must not be discarded.
+_SPAWN_ATTRS: FrozenSet[str] = frozenset({"create_task", "ensure_future"})
+
+#: module base -> blocking attribute calls on it.
+_BLOCKING_ATTRS = {
+    "time": frozenset({"sleep"}),
+    "os": frozenset({"fsync", "system"}),
+    "socket": frozenset({"socket", "create_connection"}),
+    "subprocess": frozenset({"run", "Popen", "call", "check_call", "check_output"}),
+}
+
+#: Bare names that block when called directly inside async code.
+_BLOCKING_NAMES: FrozenSet[str] = frozenset({"open"})
+
+
+@register_rule
+class ServiceAsyncHygiene(Rule):
+    """SVC001 — no orphaned tasks, no blocking calls on the event loop."""
+
+    rule_id: ClassVar[str] = "SVC001"
+    name: ClassVar[str] = "service-async-hygiene"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "asyncio hygiene violation in the service package"
+    )
+    fix_hint: ClassVar[str] = (
+        "retain spawned tasks (TaskSupervisor or an awaited/stored handle); "
+        "run blocking I/O via asyncio.to_thread, never on the event loop"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Expr, ast.Call)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("service")
+
+    def _base_name(self, value: ast.AST) -> str:
+        while isinstance(value, ast.Attribute):
+            value = value.value
+        return value.id if isinstance(value, ast.Name) else ""
+
+    def _in_async_scope(self, node: ast.AST, ctx: FileContext) -> bool:
+        return isinstance(ctx.scope_of(node), ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Expr):
+            yield from self._check_dropped_task(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._check_blocking_call(node, ctx)
+
+    def _check_dropped_task(
+        self, node: ast.Expr, ctx: FileContext
+    ) -> Iterator[Finding]:
+        """An expression-statement spawn: the task handle is discarded."""
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _SPAWN_ATTRS:
+            dotted = ast.unparse(func)
+            yield self.finding_at(
+                ctx,
+                node,
+                message=(
+                    f"{dotted}(...) result is discarded: the task is "
+                    "unsupervised and may be garbage-collected mid-flight"
+                ),
+            )
+
+    def _check_blocking_call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if not self._in_async_scope(node, ctx):
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = ctx.from_imports.get(func.id, "")
+            if func.id in _BLOCKING_NAMES and not origin:
+                yield self.finding_at(
+                    ctx,
+                    node,
+                    message=(
+                        f"blocking call {func.id}() inside an async def "
+                        "stalls the event loop"
+                    ),
+                )
+            elif origin:
+                base, _, attr = origin.rpartition(".")
+                if attr in _BLOCKING_ATTRS.get(base, frozenset()):
+                    yield self.finding_at(
+                        ctx,
+                        node,
+                        message=(
+                            f"blocking call {origin}() inside an async def "
+                            "stalls the event loop"
+                        ),
+                    )
+        elif isinstance(func, ast.Attribute):
+            base = self._base_name(func.value)
+            blocked = _BLOCKING_ATTRS.get(base)
+            # Only flag when the base really is the module (not a local
+            # variable that happens to share its name via import-from).
+            if (
+                blocked
+                and func.attr in blocked
+                and base not in ctx.from_imports
+            ):
+                yield self.finding_at(
+                    ctx,
+                    node,
+                    message=(
+                        f"blocking call {base}.{func.attr}() inside an "
+                        "async def stalls the event loop"
+                    ),
+                )

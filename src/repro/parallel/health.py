@@ -27,6 +27,15 @@ BREAKER_TRIP = "breaker-trip"
 IN_PROCESS = "in-process"
 #: A checkpointed unit failed CRC/format validation and was re-executed.
 TORN_CHECKPOINT = "torn-checkpoint"
+#: The service ingest queue crossed its high watermark (shedding began).
+QUEUE_SATURATION = "queue-saturation"
+#: One ingest batch was rejected with a typed overload rejection.
+OVERLOAD_SHED = "overload-shed"
+#: A supervised background task crashed and was restarted.
+TASK_RESTART = "task-restart"
+#: A durable snapshot/sync cycle failed (detail carries the error); routine
+#: successful snapshots are gauges on ``ServiceHealth``, not incidents.
+SNAPSHOT = "snapshot"
 
 INCIDENT_KINDS = (
     DEADLINE,
@@ -35,6 +44,10 @@ INCIDENT_KINDS = (
     BREAKER_TRIP,
     IN_PROCESS,
     TORN_CHECKPOINT,
+    QUEUE_SATURATION,
+    OVERLOAD_SHED,
+    TASK_RESTART,
+    SNAPSHOT,
 )
 
 
@@ -76,6 +89,10 @@ class RunHealth:
     broken_pools: int = 0
     retries: int = 0
     torn_checkpoints: int = 0
+    queue_saturations: int = 0
+    shed_batches: int = 0
+    task_restarts: int = 0
+    snapshots: int = 0
     breaker_tripped: bool = False
     in_process_shards: List[int] = field(default_factory=list)
     incidents: List[ShardIncident] = field(default_factory=list)
@@ -95,6 +112,14 @@ class RunHealth:
             self.in_process_shards.append(incident.shard_index)
         elif incident.kind == TORN_CHECKPOINT:
             self.torn_checkpoints += 1
+        elif incident.kind == QUEUE_SATURATION:
+            self.queue_saturations += 1
+        elif incident.kind == OVERLOAD_SHED:
+            self.shed_batches += 1
+        elif incident.kind == TASK_RESTART:
+            self.task_restarts += 1
+        elif incident.kind == SNAPSHOT:
+            self.snapshots += 1
 
     @property
     def ok(self) -> bool:
@@ -118,6 +143,14 @@ class RunHealth:
             f"{self.retries} retr(y/ies)",
             f"{self.torn_checkpoints} torn checkpoint(s)",
         ]
+        if self.queue_saturations:
+            parts.append(f"{self.queue_saturations} queue saturation(s)")
+        if self.shed_batches:
+            parts.append(f"{self.shed_batches} shed batch(es)")
+        if self.task_restarts:
+            parts.append(f"{self.task_restarts} task restart(s)")
+        if self.snapshots:
+            parts.append(f"{self.snapshots} snapshot failure(s)")
         if self.breaker_tripped:
             parts.append("circuit breaker tripped")
         if self.in_process_shards:

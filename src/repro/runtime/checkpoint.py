@@ -142,6 +142,11 @@ class CheckpointStore:
         self._write_manifest()
         self._completed: Dict[Tuple[int, int], int] = {}
         self._entries: List[Dict[str, int]] = []
+        #: Journal lines discarded as a torn tail on load (the crash
+        #: case): the units they named simply re-execute, but the
+        #: discard must be observable so runs can report it as a
+        #: ``TORN_CHECKPOINT`` incident instead of recovering silently.
+        self.n_torn_journal_lines = 0
         self._load_journal()
         self._journal: IO[str] = open(  # noqa: SIM115 — held for the run
             self._journal_path, "a", encoding="utf-8"
@@ -201,16 +206,21 @@ class CheckpointStore:
     def _load_journal(self) -> None:
         if not self._journal_path.exists():
             return
-        for line in self._journal_path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
+        lines = [
+            line.strip()
+            for line in self._journal_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        for index, line in enumerate(lines):
             try:
                 doc = json.loads(line)
                 crc = doc.pop("crc")
             except (json.JSONDecodeError, KeyError, AttributeError):
-                break  # torn tail: discard it and everything after
+                # Torn tail: discard this line and everything after it.
+                self.n_torn_journal_lines = len(lines) - index
+                break
             if crc != _payload_crc(doc):
+                self.n_torn_journal_lines = len(lines) - index
                 break
             entry = {
                 "day": int(doc["day"]),
@@ -219,6 +229,16 @@ class CheckpointStore:
             }
             self._entries.append(entry)
             self._completed[(entry["day"], entry["shard"])] = entry["attempt"]
+        if self.n_torn_journal_lines:
+            # Physically remove the torn tail before the journal is
+            # reopened for append: a torn line has no trailing newline,
+            # so appending to it would glue the *next* completion record
+            # onto the garbage and lose it too on the following load.
+            body = "".join(
+                json.dumps(dict(e, crc=_payload_crc(e)), sort_keys=True) + "\n"
+                for e in self._entries
+            )
+            atomic_write_bytes(self._journal_path, body.encode("utf-8"))
 
     def mark_complete(self, day: int, shard: int) -> None:
         """Append one completed unit to the journal (flushed, not fsynced).

@@ -222,6 +222,19 @@ def run_durable_pipeline(
         # different worker count reuses the recorded shard count so
         # completed units stay addressable.
         n_shards = store.n_shards
+        if store.n_torn_journal_lines:
+            # A torn journal tail is a checkpoint-integrity event just
+            # like a torn unit block: the discarded completions simply
+            # re-execute, but never silently.
+            health.record(
+                ShardIncident(
+                    0,
+                    TORN_CHECKPOINT,
+                    store.attempt,
+                    f"journal torn tail: {store.n_torn_journal_lines} "
+                    "line(s) discarded",
+                )
+            )
 
     quarantined: Dict[str, QuarantineEntry] = {}
     observed: Set[str] = set()

@@ -1,0 +1,147 @@
+"""Synchronous client for the catalog daemon.
+
+The client is deliberately *not* async: it is what tests, the chaos
+harness and operator tooling use from outside the daemon's event loop.
+Its one piece of intelligence is :meth:`CatalogClient.ingest_with_retry`
+— the sanctioned client half of the daemon's backpressure contract: a
+``shed``/``retry`` response is not an error but guidance, and the
+client honors it by backing off under a
+:class:`repro.faults.RetryPolicy` (sleeping the *maximum* of the
+server's ``retry_after_s`` and the policy's jittered delay) and
+re-sending the same batch id, which the daemon dedupes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.retry import RetryError, RetryPolicy
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon could not be reached or closed the connection."""
+
+
+class CatalogClient:
+    """One line-JSON connection-per-request client.
+
+    ``sleep`` is injectable so tests drive the retry loop without wall
+    time; production leaves the default ``time.sleep``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one op and return the daemon's decoded response."""
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            ) as conn:
+                conn.sendall(data)
+                with conn.makefile("rb") as reader:
+                    line = reader.readline()
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"catalog daemon at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceUnavailable(
+                f"catalog daemon at {self.host}:{self.port} closed the connection"
+            )
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ServiceUnavailable(f"malformed daemon response: {response!r}")
+        return response
+
+    # -- ops -------------------------------------------------------------------
+
+    def ingest(self, batch_id: str, rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+        return self.request({"op": "ingest", "batch_id": batch_id, "rows": rows})
+
+    def ingest_with_retry(
+        self,
+        batch_id: str,
+        rows: List[Dict[str, Any]],
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, Any]:
+        """Ingest under the backpressure contract.
+
+        Re-sends on ``shed``/``retry`` responses (and transient
+        connection failures) until the policy's attempts run out, then
+        raises :class:`repro.faults.RetryError`.  The batch id never
+        changes across attempts, so a batch that was durably applied
+        just before a timeout acks as a duplicate instead of
+        double-ingesting.
+        """
+        policy = policy or RetryPolicy(
+            base_delay_s=0.05, max_delay_s=2.0, max_attempts=8
+        )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        last: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                response = self.ingest(batch_id, rows)
+            except ServiceUnavailable as exc:
+                last = exc
+                self._sleep(policy.delay_s(attempt, rng))
+                continue
+            if response.get("status") in ("ok", "rejected", "error"):
+                return response
+            # shed / retry: back off at least as long as the server asks.
+            server_hint = float(response.get("retry_after_s", 0.0))
+            last = RuntimeError(response.get("error", response.get("status", "")))
+            self._sleep(max(server_hint, policy.delay_s(attempt, rng)))
+        raise RetryError(policy.max_attempts, last)
+
+    def query_device(self, device_id: str) -> Dict[str, Any]:
+        return self.request({"op": "query", "device_id": device_id})
+
+    def footprint(self, sim_plmn: str) -> Dict[str, Any]:
+        return self.request({"op": "footprint", "sim_plmn": sim_plmn})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request({"op": "healthz"})["healthz"]
+
+    def readyz(self) -> Dict[str, Any]:
+        return self.request({"op": "readyz"})["readyz"]
+
+    def digest(self) -> Dict[str, Any]:
+        return self.request({"op": "digest"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def wait_ready(self, deadline_s: float = 10.0, poll_s: float = 0.05) -> None:
+        """Poll ``readyz`` until the daemon accepts traffic."""
+        waited = 0.0
+        while True:
+            # A daemon mid-start refuses connections; that is exactly
+            # the state this poll loop exists to wait out.
+            with contextlib.suppress(ServiceUnavailable, KeyError):
+                if self.readyz().get("ready"):
+                    return
+            if waited >= deadline_s:
+                raise TimeoutError(
+                    f"daemon at {self.host}:{self.port} not ready "
+                    f"after {deadline_s}s"
+                )
+            self._sleep(poll_s)
+            waited += poll_s

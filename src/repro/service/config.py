@@ -1,0 +1,81 @@
+"""Configuration for the catalog daemon.
+
+Every knob that shapes the daemon's robustness behavior lives here so a
+test (or the chaos harness) can shrink the timescales without patching
+daemon internals: watermarks, deadlines, snapshot cadence and the
+supervisor's restart budget are all data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one :class:`repro.service.daemon.CatalogDaemon`.
+
+    The queue watermarks implement hysteresis: shedding starts when the
+    ingest queue reaches ``queue_high_watermark`` and stops only once it
+    has drained to ``queue_low_watermark`` — a saturated daemon rejects
+    a *run* of batches rather than flapping per item.
+    """
+
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick an ephemeral port (the bound port is
+    #: published on ``CatalogDaemon.port`` once started).
+    port: int = 0
+    queue_high_watermark: int = 64
+    queue_low_watermark: int = 16
+    #: Reject batches with more rows than this before they ever touch
+    #: the queue — one hostile client cannot blow the memory budget.
+    max_batch_rows: int = 50_000
+    #: Largest request line the daemon will buffer; a line exceeding it
+    #: is rejected without ever being held in memory whole.
+    max_request_bytes: int = 32 * 1024 * 1024
+    #: Hard per-request deadline (read + parse + respond).
+    request_timeout_s: float = 30.0
+    #: How long an accepted batch may wait for its durable ack before
+    #: the client is told to re-send (same batch id; the ack is
+    #: idempotent).
+    batch_deadline_s: float = 10.0
+    #: Seconds between durable snapshot cycles (journal fsync).
+    snapshot_interval_s: float = 5.0
+    #: Supervisor restart budget per task; the delay between restarts
+    #: follows a RetryPolicy built from the two fields below.
+    restart_max_attempts: int = 5
+    restart_base_delay_s: float = 0.05
+    restart_max_delay_s: float = 1.0
+    #: Client guidance attached to typed shed rejections.
+    shed_retry_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.queue_low_watermark < 0:
+            raise ValueError(
+                f"queue_low_watermark must be >= 0, got {self.queue_low_watermark}"
+            )
+        if self.queue_high_watermark <= self.queue_low_watermark:
+            raise ValueError(
+                "queue_high_watermark must be > queue_low_watermark, got "
+                f"high={self.queue_high_watermark} <= low={self.queue_low_watermark}"
+            )
+        if self.max_batch_rows < 1:
+            raise ValueError(f"max_batch_rows must be >= 1, got {self.max_batch_rows}")
+        if self.max_request_bytes < 1024:
+            raise ValueError(
+                f"max_request_bytes must be >= 1024, got {self.max_request_bytes}"
+            )
+        for name in (
+            "request_timeout_s",
+            "batch_deadline_s",
+            "snapshot_interval_s",
+            "restart_base_delay_s",
+            "shed_retry_after_s",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.restart_max_attempts < 1:
+            raise ValueError(
+                f"restart_max_attempts must be >= 1, got {self.restart_max_attempts}"
+            )

@@ -1,0 +1,139 @@
+"""Wire protocol: line-delimited JSON requests, lenient batch parsing.
+
+One request per line, one JSON response per line.  Ingest rows reuse the
+exact dict shapes :mod:`repro.datasets.io` writes to JSONL, tagged with
+a ``kind`` discriminator::
+
+    {"op": "ingest", "batch_id": "b-1", "rows": [
+        {"kind": "radio", "device_id": "d0", "ts": 10.0, "sim_plmn":
+         "234-10", "tac": 86000012, "sector": 3, "iface": "4G-data",
+         "type": "attach_request", "result": "success"},
+        {"kind": "service", "device_id": "d0", "ts": 11.0, ...}]}
+
+Parsing is *lenient* with the ingest taxonomy of
+:class:`repro.datasets.io.IngestReport`: a row that is not a dict is a
+``parse`` error, a dict that fails field extraction is ``schema``, and
+one whose values violate the record invariants is ``semantic``.  A
+hostile batch therefore degrades into quarantine counts in the ack, it
+never kills the daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.datasets.io import (
+    IngestError,
+    IngestErrorKind,
+    IngestReport,
+    _radio_event_fields,
+    _service_record_fields,
+)
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+#: How much of a bad row an IngestError keeps for debugging.
+_EXCERPT_CHARS = 80
+
+#: Row discriminator values.
+ROW_KIND_RADIO = "radio"
+ROW_KIND_SERVICE = "service"
+
+
+def _excerpt(row: Any) -> str:
+    return repr(row)[:_EXCERPT_CHARS]
+
+
+def parse_batch_rows(
+    rows: Sequence[Any], source: str = "ingest"
+) -> Tuple[List[RadioEvent], List[ServiceRecord], IngestReport]:
+    """Leniently decode one batch's rows into typed records.
+
+    Never raises on bad rows: every rejection is quarantined into the
+    returned :class:`IngestReport` under the parse/schema/semantic
+    taxonomy, and the good rows still ingest.
+    """
+    report = IngestReport(path=source)
+    events: List[RadioEvent] = []
+    records: List[ServiceRecord] = []
+    for index, row in enumerate(rows):
+        report.n_rows += 1
+        line_no = index + 1
+        if not isinstance(row, dict):
+            report.errors.append(
+                IngestError(
+                    path=source,
+                    line_no=line_no,
+                    kind=IngestErrorKind.PARSE,
+                    message=f"row is {type(row).__name__}, not an object",
+                    excerpt=_excerpt(row),
+                )
+            )
+            continue
+        kind = row.get("kind")
+        if kind == ROW_KIND_RADIO:
+            fields_of, construct = _radio_event_fields, RadioEvent
+        elif kind == ROW_KIND_SERVICE:
+            fields_of, construct = _service_record_fields, ServiceRecord  # type: ignore[assignment]
+        else:
+            report.errors.append(
+                IngestError(
+                    path=source,
+                    line_no=line_no,
+                    kind=IngestErrorKind.SCHEMA,
+                    message=f"unknown row kind {kind!r}",
+                    excerpt=_excerpt(row),
+                )
+            )
+            continue
+        try:
+            fields = fields_of(row)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            report.errors.append(
+                IngestError(
+                    path=source,
+                    line_no=line_no,
+                    kind=IngestErrorKind.SCHEMA,
+                    message=str(exc),
+                    excerpt=_excerpt(row),
+                )
+            )
+            continue
+        try:
+            record = construct(**fields)
+        except (ValueError, TypeError, AttributeError) as exc:
+            # Mirrors repro.datasets.io._ingest: a constructor ValueError
+            # is the record's own invariant (semantic); TypeError /
+            # AttributeError mean a wrongly-typed value (still schema).
+            report.errors.append(
+                IngestError(
+                    path=source,
+                    line_no=line_no,
+                    kind=(
+                        IngestErrorKind.SEMANTIC
+                        if isinstance(exc, ValueError)
+                        else IngestErrorKind.SCHEMA
+                    ),
+                    message=str(exc),
+                    excerpt=_excerpt(row),
+                )
+            )
+            continue
+        if kind == ROW_KIND_RADIO:
+            events.append(record)  # type: ignore[arg-type]
+        else:
+            records.append(record)  # type: ignore[arg-type]
+        report.n_ok += 1
+    return events, records, report
+
+
+def report_payload(report: IngestReport) -> Dict[str, Any]:
+    """The ack's quarantine section: counts plus the first few errors."""
+    return {
+        "n_rows": report.n_rows,
+        "n_ok": report.n_ok,
+        "n_quarantined": report.n_quarantined,
+        "coverage": report.coverage,
+        "counts_by_kind": report.counts_by_kind,
+        "errors": [str(error) for error in report.errors[:5]],
+    }

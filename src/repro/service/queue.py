@@ -1,0 +1,121 @@
+"""A bounded ingest queue with watermark hysteresis and typed shedding.
+
+The daemon's first robustness rule is *bounded memory*: an ingest storm
+must never let the queue grow without limit.  Past the high watermark
+the queue rejects new work with :class:`OverloadShed` — a typed error
+carrying retry guidance, so clients back off instead of hammering — and
+keeps rejecting until the consumer has drained it to the low watermark.
+The high/low split is deliberate hysteresis: a saturated daemon sheds a
+*run* of batches and recovers with headroom, rather than oscillating
+around a single threshold one item at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Generic, List, TypeVar
+
+T = TypeVar("T")
+
+
+class OverloadShed(RuntimeError):
+    """A batch was rejected because the ingest queue is saturated.
+
+    ``retry_after_s`` is client guidance (how long to back off before
+    re-sending the same batch id); ``depth``/``high_watermark`` document
+    the queue state at rejection time for the typed response.
+    """
+
+    def __init__(
+        self,
+        retry_after_s: float,
+        depth: int,
+        high_watermark: int,
+        saturation_started: bool = False,
+    ):
+        super().__init__(
+            f"ingest queue saturated ({depth}/{high_watermark}); "
+            f"retry after {retry_after_s}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.depth = depth
+        self.high_watermark = high_watermark
+        #: True on the rejection that *started* a saturation episode —
+        #: the daemon records one QUEUE_SATURATION incident per episode
+        #: (plus one OVERLOAD_SHED per rejected batch).
+        self.saturation_started = saturation_started
+
+
+class BoundedIngestQueue(Generic[T]):
+    """FIFO queue bounded by watermark hysteresis (single event loop).
+
+    ``put_nowait`` either accepts the item or raises
+    :class:`OverloadShed`; it never blocks and never buffers past the
+    high watermark, so the queue's memory ceiling is
+    ``high_watermark * max item size`` by construction.
+    """
+
+    def __init__(
+        self,
+        high_watermark: int,
+        low_watermark: int,
+        shed_retry_after_s: float = 0.5,
+    ) -> None:
+        if high_watermark <= low_watermark or low_watermark < 0:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= low < high, got "
+                f"low={low_watermark} high={high_watermark}"
+            )
+        self._high = high_watermark
+        self._low = low_watermark
+        self._retry_after_s = shed_retry_after_s
+        self._items: "asyncio.Queue[T]" = asyncio.Queue()
+        self._shedding = False
+        #: Lifetime counters for health gauges.
+        self.n_accepted = 0
+        self.n_shed = 0
+        self.n_saturations = 0
+
+    @property
+    def depth(self) -> int:
+        return self._items.qsize()
+
+    @property
+    def shedding(self) -> bool:
+        return self._shedding
+
+    def put_nowait(self, item: T) -> None:
+        """Accept ``item`` or raise :class:`OverloadShed`.
+
+        The rejection that begins a saturation episode is flagged on the
+        exception (``saturation_started``) so the caller can record one
+        QUEUE_SATURATION incident per episode, not one per batch.
+        """
+        saturated_now = False
+        if not self._shedding and self.depth >= self._high:
+            self._shedding = True
+            self.n_saturations += 1
+            saturated_now = True
+        if self._shedding:
+            self.n_shed += 1
+            raise OverloadShed(
+                self._retry_after_s, self.depth, self._high, saturated_now
+            )
+        self._items.put_nowait(item)
+        self.n_accepted += 1
+
+    async def get(self) -> T:
+        """Wait for the next item; clears shedding at the low watermark."""
+        item = await self._items.get()
+        if self._shedding and self.depth <= self._low:
+            self._shedding = False
+        return item
+
+    def drain_nowait(self) -> List[T]:
+        """Remove and return everything queued right now (shutdown path)."""
+        items: List[T] = []
+        while not self._items.empty():
+            items.append(self._items.get_nowait())
+        if self._shedding and self.depth <= self._low:
+            self._shedding = False
+        return items

@@ -1,0 +1,106 @@
+"""Supervised background tasks: no orphans, no silent death.
+
+``asyncio.create_task`` with a dropped return value is the async
+equivalent of a daemon thread nobody joins: the coroutine can die with
+a traceback nobody sees (lint rule ``SVC001`` bans exactly that in this
+package).  :class:`TaskSupervisor` is the sanctioned alternative —
+every background coroutine is registered with a *factory*, the
+supervisor retains the running task, and a crash is either restarted
+(with :class:`repro.faults.RetryPolicy` backoff, recorded as a
+``task-restart`` incident) or, once the restart budget is exhausted,
+surfaced loudly through the ``failed`` event so the daemon can drop
+readiness instead of limping on without its drain loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Awaitable, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+
+#: A supervised coroutine is re-creatable: the supervisor restarts it by
+#: calling the factory again, never by reusing a finished coroutine.
+TaskFactory = Callable[[], Awaitable[None]]
+
+
+class TaskSupervisor:
+    """Owns every background task of one daemon.
+
+    ``policy`` governs restart pacing; its jitter is drawn from the
+    seeded ``rng`` so chaos tests see deterministic restart schedules.
+    A factory coroutine that *returns* is treated as finished work (no
+    restart); one that *raises* is restarted until ``policy.
+    max_attempts`` restarts have been spent, after which ``failed`` is
+    set and ``failure`` names the task and its last error.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        rng: np.random.Generator,
+        on_restart: Optional[Callable[[str, int, BaseException], None]] = None,
+    ) -> None:
+        self._policy = policy
+        self._rng = rng
+        self._on_restart = on_restart
+        #: Supervision wrappers, retained for the daemon's lifetime —
+        #: the whole point of the class.
+        self._tasks: Dict[str, "asyncio.Task[None]"] = {}
+        self.failed = asyncio.Event()
+        self.failure: Optional[str] = None
+        self.restarts: Dict[str, int] = {}
+
+    def supervise(self, name: str, factory: TaskFactory) -> None:
+        """Start ``factory()`` under supervision as task ``name``."""
+        if name in self._tasks:
+            raise ValueError(f"task {name!r} is already supervised")
+        self.restarts[name] = 0
+        self._tasks[name] = asyncio.get_running_loop().create_task(
+            self._run(name, factory)
+        )
+
+    async def _run(self, name: str, factory: TaskFactory) -> None:
+        attempt = 0
+        while True:
+            try:
+                await factory()
+                return  # clean completion: the task's work is done
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — supervision boundary
+                if attempt >= self._policy.max_attempts:
+                    self.failure = f"task {name!r} failed permanently: {exc!r}"
+                    self.failed.set()
+                    raise
+                delay = self._policy.delay_s(attempt, self._rng)
+                self.restarts[name] += 1
+                if self._on_restart is not None:
+                    self._on_restart(name, attempt, exc)
+                attempt += 1
+                await asyncio.sleep(delay)
+
+    @property
+    def task_names(self) -> List[str]:
+        return sorted(self._tasks)
+
+    def is_running(self, name: str) -> bool:
+        task = self._tasks.get(name)
+        return task is not None and not task.done()
+
+    async def shutdown(self) -> None:
+        """Cancel every supervised task and wait for all to finish.
+
+        Cancellation (and any error the dying task raises on its way
+        out) is the *expected* outcome here; shutdown must reap every
+        task regardless.
+        """
+        for task in self._tasks.values():
+            task.cancel()
+        for task in self._tasks.values():
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._tasks.clear()

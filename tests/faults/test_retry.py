@@ -143,3 +143,62 @@ class TestCallWithRetry:
                 on_retry=lambda attempt, delay, exc: observed.append(delay),
             )
         assert observed[:3] == [10.0, 20.0, 40.0]
+
+
+class TestPolicyEdges:
+    def test_validation_messages_name_the_offending_value(self):
+        with pytest.raises(ValueError, match=r"base_delay_s must be > 0, got 0\.0"):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError, match=r"multiplier must be >= 1, got 0\.5"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(
+            ValueError, match=r"max_delay_s=50\.0 < base_delay_s=100\.0"
+        ):
+            RetryPolicy(base_delay_s=100.0, max_delay_s=50.0)
+        with pytest.raises(ValueError, match=r"jitter must be in \[0, 1\], got 1\.5"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match=r"max_attempts must be >= 1, got 0"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match=r"attempt must be >= 0, got -1"):
+            RetryPolicy().delay_s(-1, np.random.default_rng(0))
+
+    def test_single_attempt_policy_never_retries(self):
+        policy = RetryPolicy(max_attempts=1)
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("down")
+
+        with pytest.raises(RetryError) as excinfo:
+            call_with_retry(always_fails, policy, np.random.default_rng(0))
+        assert calls["n"] == 1
+        assert excinfo.value.attempts == 1
+        # One attempt means at most one scheduled retry timestamp.
+        schedule = backoff_schedule(policy, np.random.default_rng(0))
+        assert len(schedule) == 1
+
+    def test_zero_jitter_is_deterministic_and_spares_the_rng(self):
+        policy = RetryPolicy(base_delay_s=10.0, multiplier=2.0, jitter=0.0)
+        rng = np.random.default_rng(9)
+        untouched = np.random.default_rng(9)
+        delays = [policy.delay_s(k, rng) for k in range(4)]
+        assert delays == [10.0, 20.0, 40.0, 80.0]
+        # jitter=0.0 must not draw from the generator at all, so callers
+        # swapping jitter on/off keep the rest of their draws aligned.
+        assert rng.random() == untouched.random()
+
+    def test_cap_binds_late_schedule_entries(self):
+        policy = RetryPolicy(
+            base_delay_s=10.0,
+            multiplier=2.0,
+            max_delay_s=35.0,
+            jitter=0.0,
+            max_attempts=6,
+        )
+        schedule = backoff_schedule(policy, np.random.default_rng(0))
+        gaps = [b - a for a, b in zip(schedule, schedule[1:])]
+        # 10, 20 uncapped; every later gap sits exactly on the cap.
+        assert gaps[0] == pytest.approx(20.0)
+        assert gaps[1:] == pytest.approx([35.0, 35.0, 35.0, 35.0])
+        assert schedule[0] == pytest.approx(10.0)

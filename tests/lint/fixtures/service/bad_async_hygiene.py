@@ -1,0 +1,31 @@
+"""SVC001 fixtures: orphaned tasks and blocking calls on the event loop."""
+
+import asyncio
+import os
+import socket
+import subprocess
+import time
+
+
+async def spawn_and_forget(coro):
+    # Dropped task handle: unsupervised, may be garbage-collected.
+    asyncio.create_task(coro)
+    asyncio.ensure_future(coro)
+
+
+async def blocking_sleep():
+    time.sleep(1.0)  # stalls the whole event loop
+
+
+async def blocking_file_io(path):
+    handle = open(path, "rb")  # sync file I/O inside async def
+    data = handle.read()
+    handle.close()
+    return data
+
+
+async def blocking_socket_and_fsync(fd):
+    conn = socket.create_connection(("localhost", 80))
+    conn.close()
+    os.fsync(fd)
+    subprocess.run(["true"])

@@ -1,0 +1,30 @@
+"""Clean service async code: supervised tasks, off-loop blocking work."""
+
+import asyncio
+import time
+
+
+async def supervised_spawn(coro, registry):
+    # Handle retained: the supervisor (or the dict) owns the task.
+    task = asyncio.get_running_loop().create_task(coro)
+    registry["worker"] = task
+    await task
+
+
+async def offloaded_io(path):
+    # Blocking file I/O pushed off the event loop.
+    return await asyncio.to_thread(_read_file, path)
+
+
+async def async_sleep_is_fine():
+    await asyncio.sleep(0.1)
+
+
+def _read_file(path):
+    # Sync helpers may block freely: they run in worker threads.
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def sync_sleep_is_fine():
+    time.sleep(0.01)

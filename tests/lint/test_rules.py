@@ -32,6 +32,7 @@ BAD_FIXTURES = {
     "det/bad_float_accumulation.py": {"DET003": 3},
     "seam/bad_seam_capture.py": {"SEAM001": 3},
     "seam/bad_worker_global.py": {"SEAM002": 2},
+    "service/bad_async_hygiene.py": {"SVC001": 7},
 }
 
 GOOD_FIXTURES = [
@@ -53,6 +54,7 @@ GOOD_FIXTURES = [
     "seam/good_seam_capture.py",
     "seam/good_worker_global.py",
     "seam/noqa_worker_global.py",
+    "service/good_async_hygiene.py",
 ]
 
 

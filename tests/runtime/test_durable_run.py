@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets.io import IngestReport
-from repro.faults.crash import tear_day_checkpoint
+from repro.faults.crash import tear_day_checkpoint, tear_journal_tail
 from repro.parallel.health import TORN_CHECKPOINT
 from repro.pipeline import run_pipeline
 from repro.runtime import run_durable_pipeline
@@ -173,6 +173,44 @@ def test_torn_checkpoint_reexecutes_only_that_unit(
     }
     store.close()
     assert redone == {(1, 0)}
+
+
+def test_torn_journal_tail_resumes_and_reports(
+    tmp_path, small_eco, small_dataset, plain_result
+):
+    run_durable_pipeline(
+        small_dataset, small_eco, checkpoint_dir=tmp_path, n_workers=2
+    )
+    tear_journal_tail(tmp_path)
+
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path,
+        resume=True,
+        n_workers=2,
+    )
+    assert_same_result(result, plain_result)
+
+    # The discard is loud, not silent: one TORN_CHECKPOINT incident
+    # naming the journal, counted alongside torn unit blocks.
+    assert result.health.torn_checkpoints == 1
+    torn = [i for i in result.health.incidents if i.kind == TORN_CHECKPOINT]
+    assert len(torn) == 1
+    assert "journal torn tail" in torn[0].detail
+
+    # Exactly the discarded completion re-executed, on a later attempt.
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store = CheckpointStore(
+        tmp_path, _recorded_fingerprint(tmp_path), n_shards=2, resume=True
+    )
+    entries = store.journal_entries()
+    store.close()
+    redone = [e for e in entries if e["attempt"] > 0]
+    assert len(redone) == 1
+    n_days = len(_day_slices(small_dataset))
+    assert len(entries) == n_days * 2  # full coverage restored
 
 
 def test_day_source_feeds_and_reports(tmp_path, small_eco, small_dataset):

@@ -1,0 +1,45 @@
+"""Service-suite fixtures: a small world, and its dataset as wire batches.
+
+The daemon speaks tagged row dicts (see :mod:`repro.service.protocol`),
+so the simulated MNO dataset is flattened once per session into per-day
+micro-batches that every socket test re-sends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.datasets.io import radio_event_to_dict, service_record_to_dict
+from repro.ecosystem import EcosystemConfig, build_default_ecosystem
+from repro.mno import MNOConfig, simulate_mno_dataset
+
+
+@pytest.fixture(scope="session")
+def svc_eco():
+    return build_default_ecosystem(EcosystemConfig(uk_sites=30, seed=11))
+
+
+@pytest.fixture(scope="session")
+def svc_dataset(svc_eco):
+    return simulate_mno_dataset(svc_eco, MNOConfig(n_devices=30, seed=3))
+
+
+def dataset_batches(dataset) -> List[Tuple[str, List[Dict[str, Any]]]]:
+    """One ingest batch per simulated day, rows in stream order."""
+    by_day: Dict[int, List[Dict[str, Any]]] = {}
+    for event in dataset.radio_events:
+        row = radio_event_to_dict(event)
+        row["kind"] = "radio"
+        by_day.setdefault(event.day, []).append(row)
+    for record in dataset.service_records:
+        row = service_record_to_dict(record)
+        row["kind"] = "service"
+        by_day.setdefault(record.day, []).append(row)
+    return [(f"day-{day}", by_day[day]) for day in sorted(by_day)]
+
+
+@pytest.fixture(scope="session")
+def svc_batches(svc_dataset):
+    return dataset_batches(svc_dataset)

@@ -1,0 +1,103 @@
+"""Lenient batch parsing: the parse/schema/semantic quarantine taxonomy."""
+
+from repro.datasets.io import IngestErrorKind
+from repro.service import parse_batch_rows
+from repro.service.protocol import report_payload
+
+GOOD_RADIO = {
+    "kind": "radio",
+    "device_id": "d0",
+    "ts": 10.0,
+    "sim_plmn": "23410",
+    "tac": 86000012,
+    "sector": 3,
+    "iface": "S1",
+    "type": "attach",
+    "result": "OK",
+}
+
+GOOD_SERVICE = {
+    "kind": "service",
+    "device_id": "d0",
+    "ts": 11.0,
+    "sim_plmn": "23410",
+    "visited_plmn": "23410",
+    "service": "voice",
+    "duration_s": 30.0,
+    "bytes": 0,
+    "apn": None,
+}
+
+
+def kinds_of(report):
+    return {e.kind for e in report.errors}
+
+
+def test_good_rows_round_trip():
+    events, records, report = parse_batch_rows([GOOD_RADIO, GOOD_SERVICE])
+    assert len(events) == 1 and len(records) == 1
+    assert events[0].device_id == "d0"
+    assert records[0].duration_s == 30.0
+    assert report.n_rows == 2 and report.n_ok == 2
+    assert report.errors == []
+
+
+def test_non_dict_row_is_parse_error():
+    _, _, report = parse_batch_rows(["not an object", 42, None])
+    assert report.n_ok == 0
+    assert kinds_of(report) == {IngestErrorKind.PARSE}
+
+
+def test_unknown_or_missing_kind_is_schema_error():
+    no_kind = dict(GOOD_RADIO)
+    del no_kind["kind"]
+    wrong_kind = dict(GOOD_RADIO, kind="telepathy")
+    _, _, report = parse_batch_rows([no_kind, wrong_kind])
+    assert report.n_ok == 0
+    assert kinds_of(report) == {IngestErrorKind.SCHEMA}
+    assert "telepathy" in str(report.errors[1])
+
+
+def test_missing_field_and_bad_enum_are_schema_errors():
+    missing = dict(GOOD_RADIO)
+    del missing["tac"]
+    bad_enum = dict(GOOD_RADIO, iface="9G")
+    _, _, report = parse_batch_rows([missing, bad_enum])
+    assert report.n_ok == 0
+    assert kinds_of(report) == {IngestErrorKind.SCHEMA}
+
+
+def test_invariant_violation_is_semantic_error():
+    # Well-typed fields, but the record's own invariant rejects them.
+    negative_duration = dict(GOOD_SERVICE, duration_s=-5.0)
+    negative_ts = dict(GOOD_RADIO, ts=-1.0)
+    _, _, report = parse_batch_rows([negative_duration, negative_ts])
+    assert report.n_ok == 0
+    assert kinds_of(report) == {IngestErrorKind.SEMANTIC}
+
+
+def test_hostile_batch_degrades_not_dies():
+    rows = [
+        GOOD_RADIO,
+        "garbage",
+        dict(GOOD_RADIO, iface="9G"),
+        dict(GOOD_SERVICE, duration_s=-5.0),
+        GOOD_SERVICE,
+    ]
+    events, records, report = parse_batch_rows(rows, source="b-hostile")
+    assert len(events) == 1 and len(records) == 1
+    assert report.n_rows == 5 and report.n_ok == 2
+    assert report.n_quarantined == 3
+    assert report.counts_by_kind == {"parse": 1, "schema": 1, "semantic": 1}
+    assert all(e.path == "b-hostile" for e in report.errors)
+
+
+def test_report_payload_caps_errors_at_five():
+    rows = ["x"] * 8 + [GOOD_RADIO]
+    _, _, report = parse_batch_rows(rows)
+    payload = report_payload(report)
+    assert payload["n_rows"] == 9
+    assert payload["n_ok"] == 1
+    assert payload["n_quarantined"] == 8
+    assert len(payload["errors"]) == 5
+    assert 0.0 < payload["coverage"] < 1.0

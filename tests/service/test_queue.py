@@ -1,0 +1,105 @@
+"""BoundedIngestQueue: watermark hysteresis, typed shedding, counters."""
+
+import asyncio
+
+import pytest
+
+from repro.service import BoundedIngestQueue, OverloadShed
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_watermark_validation():
+    with pytest.raises(ValueError, match="low=4 high=4"):
+        BoundedIngestQueue(4, 4)
+    with pytest.raises(ValueError, match="low=-1"):
+        BoundedIngestQueue(4, -1)
+
+
+def test_accepts_until_high_watermark():
+    async def scenario():
+        queue = BoundedIngestQueue(3, 1, shed_retry_after_s=0.25)
+        for item in range(3):
+            queue.put_nowait(item)
+        assert queue.depth == 3
+        with pytest.raises(OverloadShed) as excinfo:
+            queue.put_nowait(99)
+        shed = excinfo.value
+        assert shed.retry_after_s == 0.25
+        assert shed.depth == 3
+        assert shed.high_watermark == 3
+        assert shed.saturation_started  # first rejection of the episode
+        assert queue.depth == 3  # the rejected item was never buffered
+
+    run(scenario())
+
+
+def test_one_saturation_flag_per_episode():
+    async def scenario():
+        queue = BoundedIngestQueue(2, 0)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        flags = []
+        for _ in range(4):
+            with pytest.raises(OverloadShed) as excinfo:
+                queue.put_nowait("x")
+            flags.append(excinfo.value.saturation_started)
+        assert flags == [True, False, False, False]
+        assert queue.n_saturations == 1
+        assert queue.n_shed == 4
+
+    run(scenario())
+
+
+def test_hysteresis_recovers_at_low_watermark():
+    async def scenario():
+        queue = BoundedIngestQueue(3, 1)
+        for item in range(3):
+            queue.put_nowait(item)
+        with pytest.raises(OverloadShed):
+            queue.put_nowait("over")
+        assert queue.shedding
+        # Draining to depth 2 is not enough: still above the low mark.
+        await queue.get()
+        assert queue.shedding
+        with pytest.raises(OverloadShed) as excinfo:
+            queue.put_nowait("still-over")
+        assert not excinfo.value.saturation_started  # same episode
+        # At the low watermark the episode ends and puts flow again.
+        await queue.get()
+        assert not queue.shedding
+        queue.put_nowait("accepted")
+        assert queue.depth == 2
+        assert queue.n_saturations == 1
+
+    run(scenario())
+
+
+def test_drain_nowait_empties_and_clears_shedding():
+    async def scenario():
+        queue = BoundedIngestQueue(2, 0)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        with pytest.raises(OverloadShed):
+            queue.put_nowait("c")
+        assert queue.drain_nowait() == ["a", "b"]
+        assert queue.depth == 0
+        assert not queue.shedding
+        assert queue.drain_nowait() == []
+
+    run(scenario())
+
+
+def test_fifo_order_and_accept_counter():
+    async def scenario():
+        queue = BoundedIngestQueue(10, 2)
+        for item in range(5):
+            queue.put_nowait(item)
+        got = [await queue.get() for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+        assert queue.n_accepted == 5
+        assert queue.n_shed == 0
+
+    run(scenario())

@@ -1,0 +1,119 @@
+"""TaskSupervisor: restart budgets, terminal failure, clean shutdown."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.service import TaskSupervisor
+
+FAST = RetryPolicy(
+    base_delay_s=0.001, max_delay_s=0.01, jitter=0.0, max_attempts=3
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_supervisor(on_restart=None, policy=FAST):
+    return TaskSupervisor(policy, np.random.default_rng(0), on_restart=on_restart)
+
+
+def test_crashing_task_restarts_until_it_succeeds():
+    async def scenario():
+        restarts = []
+        supervisor = make_supervisor(
+            on_restart=lambda name, attempt, exc: restarts.append((name, attempt))
+        )
+        state = {"crashes": 2}
+        done = asyncio.Event()
+
+        async def flaky():
+            if state["crashes"] > 0:
+                state["crashes"] -= 1
+                raise RuntimeError("boom")
+            done.set()
+
+        supervisor.supervise("flaky", flaky)
+        await asyncio.wait_for(done.wait(), timeout=5.0)
+        assert restarts == [("flaky", 0), ("flaky", 1)]
+        assert supervisor.restarts["flaky"] == 2
+        assert not supervisor.failed.is_set()
+        await supervisor.shutdown()
+
+    run(scenario())
+
+
+def test_exhausted_budget_sets_failed_and_failure():
+    async def scenario():
+        supervisor = make_supervisor()
+
+        async def always_dies():
+            raise RuntimeError("persistent")
+
+        supervisor.supervise("doomed", always_dies)
+        await asyncio.wait_for(supervisor.failed.wait(), timeout=5.0)
+        assert supervisor.failure is not None
+        assert "doomed" in supervisor.failure
+        assert "persistent" in supervisor.failure
+        assert supervisor.restarts["doomed"] == FAST.max_attempts
+        await supervisor.shutdown()
+
+    run(scenario())
+
+
+def test_clean_return_is_not_restarted():
+    async def scenario():
+        calls = {"n": 0}
+        supervisor = make_supervisor()
+
+        async def one_shot():
+            calls["n"] += 1
+
+        supervisor.supervise("once", one_shot)
+        await asyncio.sleep(0.05)
+        assert calls["n"] == 1
+        assert not supervisor.is_running("once")
+        assert not supervisor.failed.is_set()
+        await supervisor.shutdown()
+
+    run(scenario())
+
+
+def test_duplicate_name_rejected():
+    async def scenario():
+        supervisor = make_supervisor()
+
+        async def forever():
+            await asyncio.sleep(3600)
+
+        supervisor.supervise("loop", forever)
+        with pytest.raises(ValueError, match="already supervised"):
+            supervisor.supervise("loop", forever)
+        await supervisor.shutdown()
+
+    run(scenario())
+
+
+def test_shutdown_cancels_running_tasks():
+    async def scenario():
+        cancelled = asyncio.Event()
+        supervisor = make_supervisor()
+
+        async def forever():
+            try:
+                await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                cancelled.set()
+                raise
+
+        supervisor.supervise("loop", forever)
+        await asyncio.sleep(0)
+        assert supervisor.is_running("loop")
+        await supervisor.shutdown()
+        assert cancelled.is_set()
+        assert supervisor.task_names == []
+
+    run(scenario())

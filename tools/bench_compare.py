@@ -1,11 +1,14 @@
 """Standalone pipeline benchmark with baseline regression checking.
 
 Times the pipeline's hot stages — catalog build, classification, the
-sharded worker sweep (1/2/4), and the cached vs uncached roaming-labeler
-path — and writes the results as ``BENCH_pipeline.json``.  With
-``--check`` it compares each bench's ops/sec against a committed
-baseline and exits non-zero on a regression beyond ``--tolerance``
-(default 20%), which is how CI's perf job gates merges.
+sharded worker sweep (1/2/4), the cached vs uncached roaming-labeler
+path, and the live catalog daemon (micro-batch ingest throughput and
+point-query p99) — and writes the results as ``BENCH_pipeline.json``.
+With ``--check`` it compares each bench's ops/sec against a committed
+baseline, enforces the derived speedup floors / overhead ceilings, and
+gates ``service_query_p99`` on a hard latency SLO; any failure exits
+non-zero beyond ``--tolerance`` (default 20%), which is how CI's perf
+job gates merges.
 
 Usage::
 
@@ -22,6 +25,7 @@ interpretable next to a multi-core run.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
@@ -29,10 +33,11 @@ import resource
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from collections import defaultdict
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -41,10 +46,16 @@ from repro.columnar import from_record_streams  # noqa: E402
 from repro.core.catalog import CatalogBuilder  # noqa: E402
 from repro.core.classifier import DeviceClassifier  # noqa: E402
 from repro.core.roaming import RoamingLabeler  # noqa: E402
-from repro.ecosystem import EcosystemConfig, build_default_ecosystem  # noqa: E402
+from repro.datasets.io import (  # noqa: E402
+    radio_event_to_dict,
+    service_record_to_dict,
+)
+from repro.ecosystem import Ecosystem, EcosystemConfig, build_default_ecosystem  # noqa: E402
 from repro.mno import MNOConfig, simulate_mno_dataset  # noqa: E402
 from repro.pipeline import run_pipeline  # noqa: E402
 from repro.runtime import atomic_write_text, run_durable_pipeline  # noqa: E402
+from repro.service import CatalogClient, ServiceConfig  # noqa: E402
+from repro.service.daemon import run_daemon  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
 SMOKE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline_smoke.json"
@@ -81,6 +92,24 @@ SMOKE_OVERHEAD_CEILINGS = {
     "checkpoint_overhead": 1.25,
 }
 
+#: Rows per ingest micro-batch streamed at the live daemon.  Each fold
+#: re-sends the touched day's accumulated slice through
+#: ``CatalogBuilder.update``, so smaller batches measure a quadratically
+#: worse path; 2000 rows matches a realistic collector flush.
+SERVICE_BATCH_ROWS = 2000
+
+#: Point queries timed by the ``service_query_p99`` bench (after one
+#: untimed priming query pays the classification-cache refresh).
+SERVICE_QUERY_SAMPLES = 200
+
+#: Hard latency SLOs in milliseconds, enforced by ``--check`` at every
+#: scale: a point query against the warm catalog is two dict lookups
+#: plus a localhost round-trip, and must stay interactive no matter how
+#: much history the daemon has folded in.
+LATENCY_SLOS = {
+    "service_query_p99": 50.0,
+}
+
 
 def _time_best(fn: Callable[[], object], repeats: int) -> float:
     """Best-of-N wall-clock seconds for one bench callable."""
@@ -90,6 +119,71 @@ def _time_best(fn: Callable[[], object], repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _service_batches(dataset: Any) -> List[Tuple[str, List[Dict[str, Any]]]]:
+    """The dataset as tagged wire batches of ``SERVICE_BATCH_ROWS`` rows."""
+    by_day: Dict[int, List[Dict[str, Any]]] = defaultdict(list)
+    for event in dataset.radio_events:
+        row = radio_event_to_dict(event)
+        row["kind"] = "radio"
+        by_day[event.day].append(row)
+    for record in dataset.service_records:
+        row = service_record_to_dict(record)
+        row["kind"] = "service"
+        by_day[record.day].append(row)
+    batches: List[Tuple[str, List[Dict[str, Any]]]] = []
+    for day in sorted(by_day):
+        rows = by_day[day]
+        for start in range(0, len(rows), SERVICE_BATCH_ROWS):
+            batches.append(
+                (
+                    f"day-{day}-{start // SERVICE_BATCH_ROWS:03d}",
+                    rows[start : start + SERVICE_BATCH_ROWS],
+                )
+            )
+    return batches
+
+
+class _LiveDaemon:
+    """One catalog daemon on a private event-loop thread, plus a client.
+
+    The daemon shares this process (its RSS lands in ``ru_maxrss``) but
+    not its thread, so the synchronous client below exercises the real
+    socket path end to end.
+    """
+
+    def __init__(self, ecosystem: Ecosystem, checkpoint_dir: Path) -> None:
+        started = threading.Event()
+        ports: List[int] = []
+
+        def _ready(port: int) -> None:
+            ports.append(port)
+            started.set()
+
+        # Long snapshot interval: the timed window should measure the
+        # ingest path, not happen to include a periodic fsync cycle.
+        config = ServiceConfig(snapshot_interval_s=60.0)
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_daemon(
+                    ecosystem,
+                    str(checkpoint_dir),
+                    config=config,
+                    ready_callback=_ready,
+                )
+            ),
+            daemon=True,
+        )
+        self._thread.start()
+        if not started.wait(timeout=30.0):
+            raise RuntimeError("catalog daemon failed to start within 30s")
+        self.client = CatalogClient("127.0.0.1", ports[0])
+        self.client.wait_ready()
+
+    def stop(self) -> None:
+        self.client.shutdown()
+        self._thread.join(timeout=30.0)
 
 
 def _peak_rss_kb() -> int:
@@ -301,6 +395,75 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
     results["durable_checkpointed"]["overhead_vs_baseline"] = round(
         min(c / b for c, b in zip(ckpt_times, base_times)), 3
     )
+
+    # Live-daemon benches: stream the dataset as micro-batches through
+    # the socket API (lenient parse, WAL append, incremental fold, ack),
+    # then time point queries against the warm catalog.  Each timed
+    # ingest pass gets a virgin daemon and WAL directory — batch ids are
+    # deduped durably, so re-sending into a warm daemon would time the
+    # no-op path.  Startup/replay sits outside the timed window.
+    batches = _service_batches(dataset)
+    ingest_times: List[float] = []
+    live: Optional[_LiveDaemon] = None
+    for pass_idx in range(repeats):
+        if live is not None:
+            live.stop()
+            shutil.rmtree(ckpt_parent / f"svc_{pass_idx - 1:03d}", ignore_errors=True)
+        live = _LiveDaemon(eco, ckpt_parent / f"svc_{pass_idx:03d}")
+        start = time.perf_counter()
+        for batch_id, rows in batches:
+            response = live.client.ingest(batch_id, rows)
+            if response.get("status") != "ok":
+                raise RuntimeError(f"ingest of {batch_id} failed: {response}")
+        ingest_times.append(time.perf_counter() - start)
+    assert live is not None
+    seconds = min(ingest_times)
+    results["service_ingest"] = {
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(len(batches) / seconds, 4),
+        "rows_per_sec": round(n_rows / seconds, 1),
+        "n_batches": len(batches),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    print(
+        f"  {'service_ingest':<24} {seconds:8.4f}s  "
+        f"({results['service_ingest']['ops_per_sec']:.2f} batches/s, "
+        f"{results['service_ingest']['rows_per_sec']:,.0f} rows/s, "
+        f"rss {results['service_ingest']['peak_rss_kb']} KiB)"
+    )
+
+    device_ids = sorted({event.device_id for event in dataset.radio_events})
+    live.client.query_device(device_ids[0])  # untimed: pays the cache refresh
+    latencies: List[float] = []
+    for i in range(SERVICE_QUERY_SAMPLES):
+        device_id = device_ids[i % len(device_ids)]
+        start = time.perf_counter()
+        response = live.client.query_device(device_id)
+        latencies.append(time.perf_counter() - start)
+        if response.get("status") != "ok":
+            raise RuntimeError(f"query of {device_id} failed: {response}")
+    live.stop()
+    latencies.sort()
+    total = sum(latencies)
+    results["service_query_p99"] = {
+        "seconds": round(total, 6),
+        "ops_per_sec": round(len(latencies) / total, 4) if total > 0 else float("inf"),
+        "rows_per_sec": (
+            round(len(latencies) / total, 1) if total > 0 else float("inf")
+        ),
+        "p50_ms": round(latencies[len(latencies) // 2] * 1000.0, 3),
+        "p99_ms": round(
+            latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1000.0, 3
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    print(
+        f"  {'service_query_p99':<24} {total:8.4f}s  "
+        f"({results['service_query_p99']['ops_per_sec']:.2f} queries/s, "
+        f"p50 {results['service_query_p99']['p50_ms']:.2f}ms, "
+        f"p99 {results['service_query_p99']['p99_ms']:.2f}ms)"
+    )
+
     shutil.rmtree(ckpt_parent, ignore_errors=True)
     return results
 
@@ -381,6 +544,23 @@ def check_overhead_ceilings(
             status = "ABOVE CEILING"
             failures += 1
         print(f"  {name:<24} {value:8.3f}x (ceiling {ceiling}x)  {status}")
+    return failures
+
+
+def check_latency_slos(benches: Dict[str, Dict[str, float]]) -> int:
+    """Count service benches whose p99 latency exceeds its SLO ceiling."""
+    failures = 0
+    for name, ceiling_ms in sorted(LATENCY_SLOS.items()):
+        value = benches.get(name, {}).get("p99_ms")
+        if value is None:
+            print(f"  MISSING {name}: SLO {ceiling_ms}ms, p99 not measured")
+            failures += 1
+            continue
+        status = "ok"
+        if value > ceiling_ms:
+            status = "ABOVE SLO"
+            failures += 1
+        print(f"  {name:<24} {value:8.3f}ms p99 (SLO {ceiling_ms}ms)  {status}")
     return failures
 
 
@@ -489,6 +669,8 @@ def main(argv: Optional[list] = None) -> int:
             report["derived"],
             SMOKE_OVERHEAD_CEILINGS if args.smoke else OVERHEAD_CEILINGS,
         )
+        print("checking latency SLOs")
+        regressions += check_latency_slos(benches)
         if regressions:
             print(f"{regressions} bench(es) regressed")
             return 1
