@@ -1,0 +1,250 @@
+"""CRC-framed column-block primitives shared by checkpoints and transport.
+
+Both the durable checkpoint store (:mod:`repro.runtime.serialize`) and
+the zero-copy shard exchange (:mod:`repro.parallel.transport`) move
+columnar stores as a single framed byte block: a JSON header describing
+pool vocabularies and column layout, followed by each column's raw
+``array`` buffer.  This module owns the shared primitives — framing,
+column chunking, pool encode/decode — so the two consumers cannot drift
+apart on the wire format.
+
+Framing (format version |BLOCK_VERSION|)::
+
+    MAGIC (4) | version u32 | crc32(body) u32 | len(body) u64 | body
+    body = header_len u32 | header JSON (utf-8) | column buffers
+
+The CRC covers the whole body, so a torn write (truncated file, partial
+rename source) or bit rot is detected before a single row is decoded —
+:class:`CheckpointCorruption` is raised, never a silently-wrong block.
+Shared-memory segments may be page-padded past the block's end, so
+:func:`block_length` recovers the exact framed length for consumers
+that read from a buffer larger than the block itself.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.columnar.store import (
+    ColumnPools,
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+    StringPool,
+)
+
+MAGIC = b"RPCK"
+BLOCK_VERSION = 1
+
+_FRAME = struct.Struct("<4sIIQ")
+_HEADER_LEN = struct.Struct("<I")
+
+#: Column storage order, fixed per format version.  Mirrors the
+#: ``__slots__`` of the columnar stores minus ``pools``.
+RADIO_COLUMNS = (
+    "device_ids",
+    "timestamps",
+    "days",
+    "sim_plmns",
+    "tacs",
+    "sector_ids",
+    "interfaces",
+    "event_types",
+    "results",
+)
+SERVICE_COLUMNS = (
+    "device_ids",
+    "timestamps",
+    "days",
+    "sim_plmns",
+    "visited_plmns",
+    "services",
+    "durations",
+    "bytes_totals",
+    "apns",
+)
+
+
+class CheckpointError(RuntimeError):
+    """Base class for durable-run checkpoint failures."""
+
+
+class CheckpointCorruption(CheckpointError):
+    """A persisted payload failed checksum or format validation."""
+
+
+# -- framing -----------------------------------------------------------------
+
+def build_block(header: Dict[str, Any], chunks: Sequence[bytes]) -> bytes:
+    """Frame ``header`` (JSON, key order preserved) plus raw buffers."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body = b"".join([_HEADER_LEN.pack(len(header_bytes)), header_bytes, *chunks])
+    frame = _FRAME.pack(MAGIC, BLOCK_VERSION, zlib.crc32(body), len(body))
+    return frame + body
+
+
+def _validate_frame(data: Union[bytes, memoryview]) -> Tuple[int, int]:
+    """Validate magic/version; return the recorded (crc, body length)."""
+    if len(data) < _FRAME.size:
+        raise CheckpointCorruption(
+            f"block too short for frame ({len(data)} bytes)"
+        )
+    magic, version, crc, body_len = _FRAME.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointCorruption(f"bad magic {bytes(magic)!r}")
+    if version != BLOCK_VERSION:
+        raise CheckpointCorruption(
+            f"block version {version} != supported {BLOCK_VERSION}"
+        )
+    return int(crc), int(body_len)
+
+
+def block_length(data: Union[bytes, memoryview]) -> int:
+    """Exact framed length of the block at the start of ``data``.
+
+    Lets a consumer slice a block out of an oversized buffer (a
+    page-padded shared-memory segment) before strict decoding.
+    """
+    _, body_len = _validate_frame(data)
+    return _FRAME.size + body_len
+
+
+def read_block(data: bytes) -> Tuple[Dict[str, Any], bytes, int]:
+    """Validate a framed block; return (header, body, buffers offset).
+
+    Strict about length: trailing bytes beyond the recorded body length
+    are corruption (a torn or concatenated write), exactly as the
+    durable checkpoint store requires.
+    """
+    crc, body_len = _validate_frame(data)
+    body = data[_FRAME.size:]
+    if len(body) != body_len:
+        raise CheckpointCorruption(
+            f"torn block: body holds {len(body)} of {body_len} bytes"
+        )
+    if zlib.crc32(body) != crc:
+        raise CheckpointCorruption("block checksum mismatch")
+    (header_len,) = _HEADER_LEN.unpack_from(body)
+    offset = _HEADER_LEN.size
+    header = json.loads(body[offset:offset + header_len].decode("utf-8"))
+    return header, body, offset + header_len
+
+
+# -- column chunking ---------------------------------------------------------
+
+ColumnSpec = List[Any]  # [name, typecode, nbytes] in the JSON header
+
+
+def column_chunks(
+    store: Union[ColumnarRadioEvents, ColumnarServiceRecords],
+    names: Sequence[str],
+) -> Tuple[List[ColumnSpec], List[bytes]]:
+    """Spec rows and raw buffers for ``store``'s columns, in order."""
+    specs: List[ColumnSpec] = []
+    chunks: List[bytes] = []
+    for name in names:
+        column: array = getattr(store, name)
+        data = column.tobytes()
+        specs.append([name, column.typecode, len(data)])
+        chunks.append(data)
+    return specs, chunks
+
+
+def load_column_chunks(
+    store: Union[ColumnarRadioEvents, ColumnarServiceRecords],
+    specs: Sequence[ColumnSpec],
+    body: bytes,
+    offset: int,
+) -> int:
+    """Rehydrate columns from ``body`` at ``offset``; return new offset."""
+    for name, typecode, nbytes in specs:
+        column = array(typecode)
+        column.frombytes(body[offset:offset + nbytes])
+        offset += nbytes
+        setattr(store, name, column)
+    return offset
+
+
+# -- pool vocabularies -------------------------------------------------------
+
+def pools_header(pools: ColumnPools) -> Dict[str, List[str]]:
+    """The JSON-serializable vocabulary of a pool set, in id order."""
+    return {
+        "devices": list(pools.devices.strings),
+        "plmns": list(pools.plmns.strings),
+        "apns": list(pools.apns.strings),
+    }
+
+
+def pools_from_header(header: Dict[str, List[str]]) -> ColumnPools:
+    """Rebuild a pool set from :func:`pools_header` output."""
+    return ColumnPools(
+        devices=StringPool(header["devices"]),
+        plmns=StringPool(header["plmns"]),
+        apns=StringPool(header["apns"]),
+    )
+
+
+def pack_pools(pools: ColumnPools) -> bytes:
+    """A framed block holding only pool vocabularies (no columns)."""
+    return build_block({"kind": "pools", "pools": pools_header(pools)}, ())
+
+
+def unpack_pools(data: bytes) -> ColumnPools:
+    """Decode a :func:`pack_pools` block."""
+    header, _, _ = read_block(data)
+    if header.get("kind") != "pools":
+        raise CheckpointCorruption(
+            f"expected a pools block, got kind {header.get('kind')!r}"
+        )
+    return pools_from_header(header["pools"])
+
+
+# -- shard column blocks -----------------------------------------------------
+
+def pack_shard_block(
+    events: ColumnarRadioEvents,
+    records: ColumnarServiceRecords,
+    include_pools: bool,
+) -> bytes:
+    """Frame one shard's columns, optionally self-contained.
+
+    With ``include_pools=True`` the pool vocabularies ride in the
+    header (self-contained fallback transport); with ``False`` the
+    block holds columns only and decoding requires the exchange's
+    shared pools block.
+    """
+    radio_spec, radio_chunks = column_chunks(events, RADIO_COLUMNS)
+    service_spec, service_chunks = column_chunks(records, SERVICE_COLUMNS)
+    header: Dict[str, Any] = {"kind": "shard"}
+    if include_pools:
+        header["pools"] = pools_header(events.pools)
+    header["radio"] = radio_spec
+    header["service"] = service_spec
+    return build_block(header, [*radio_chunks, *service_chunks])
+
+
+def unpack_shard_block(
+    data: bytes,
+    pools: Optional[ColumnPools] = None,
+) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords]:
+    """Decode a shard block against ``pools`` (or its embedded pools)."""
+    header, body, offset = read_block(data)
+    if header.get("kind") != "shard":
+        raise CheckpointCorruption(
+            f"expected a shard block, got kind {header.get('kind')!r}"
+        )
+    if pools is None:
+        if "pools" not in header:
+            raise CheckpointCorruption(
+                "shard block has no embedded pools and none were supplied"
+            )
+        pools = pools_from_header(header["pools"])
+    events = ColumnarRadioEvents(pools)
+    offset = load_column_chunks(events, header["radio"], body, offset)
+    records = ColumnarServiceRecords(pools)
+    load_column_chunks(records, header["service"], body, offset)
+    return events, records

@@ -133,7 +133,9 @@ class ColumnPools:
 
 
 def _select(column: array, indices: Sequence[int]) -> array:
-    return array(column.typecode, (column[i] for i in indices))
+    # map() over the bound __getitem__ stays in C for the whole gather,
+    # which is measurably faster than a generator with an index loop.
+    return array(column.typecode, map(column.__getitem__, indices))
 
 
 class ColumnarRadioEvents:
@@ -216,8 +218,35 @@ class ColumnarRadioEvents:
         )
 
     def rows_at(self, indices: Iterable[int]) -> List[RadioEvent]:
-        """Materialize the rows at ``indices``, in the given order."""
-        return [self.row(i) for i in indices]
+        """Materialize the rows at ``indices``, in the given order.
+
+        Batched: pool string tables and column buffers are hoisted into
+        locals once, so each row costs one dataclass construction plus
+        plain list indexing — no per-row method dispatch or pool lookup.
+        """
+        devices = self.pools.devices._strings
+        plmns = self.pools.plmns._strings
+        device_ids = self.device_ids
+        timestamps = self.timestamps
+        sim_plmns = self.sim_plmns
+        tacs = self.tacs
+        sector_ids = self.sector_ids
+        interfaces = self.interfaces
+        event_types = self.event_types
+        results = self.results
+        return [
+            RadioEvent(
+                device_id=devices[device_ids[i]],
+                timestamp=timestamps[i],
+                sim_plmn=plmns[sim_plmns[i]],
+                tac=tacs[i],
+                sector_id=sector_ids[i],
+                interface=RADIO_INTERFACES[interfaces[i]],
+                event_type=MESSAGE_TYPES[event_types[i]],
+                result=RESULT_CODES[results[i]],
+            )
+            for i in indices
+        ]
 
     def to_rows(self) -> List[RadioEvent]:
         """Materialize every row, in storage order (exact round-trip)."""
@@ -346,8 +375,36 @@ class ColumnarServiceRecords:
         )
 
     def rows_at(self, indices: Iterable[int]) -> List[ServiceRecord]:
-        """Materialize the rows at ``indices``, in the given order."""
-        return [self.row(i) for i in indices]
+        """Materialize the rows at ``indices``, in the given order.
+
+        Batched like :meth:`ColumnarRadioEvents.rows_at`: one dataclass
+        construction per row over hoisted locals.  The APN null check
+        stays inline (``NULL_ID`` maps back to None).
+        """
+        devices = self.pools.devices._strings
+        plmns = self.pools.plmns._strings
+        apn_strings = self.pools.apns._strings
+        device_ids = self.device_ids
+        timestamps = self.timestamps
+        sim_plmns = self.sim_plmns
+        visited_plmns = self.visited_plmns
+        services = self.services
+        durations = self.durations
+        bytes_totals = self.bytes_totals
+        apns = self.apns
+        return [
+            ServiceRecord(
+                device_id=devices[device_ids[i]],
+                timestamp=timestamps[i],
+                sim_plmn=plmns[sim_plmns[i]],
+                visited_plmn=plmns[visited_plmns[i]],
+                service=SERVICE_TYPES[services[i]],
+                duration_s=durations[i],
+                bytes_total=bytes_totals[i],
+                apn=None if apns[i] == NULL_ID else apn_strings[apns[i]],
+            )
+            for i in indices
+        ]
 
     def to_rows(self) -> List[ServiceRecord]:
         """Materialize every row, in storage order (exact round-trip)."""

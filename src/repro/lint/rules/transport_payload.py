@@ -1,0 +1,150 @@
+"""PERF003 — row-list payloads crossing the ``map_shards`` seam.
+
+The shard exchange is columnar: shards travel as interned column blocks
+(shared-memory segments or RPCK-framed bytes via
+:mod:`repro.parallel.transport`), so a worker attaches buffers instead
+of unpickling one dataclass per row.  Submitting per-row dataclass
+lists (``List[RadioEvent]`` / ``List[ServiceRecord]``) as ``map_shards``
+payloads reintroduces exactly the per-row pickling cost that made the
+parallel plane slower than serial.
+
+Only the **designated fallback seams** may ship rows: the executor's
+row-plane branch (``repro/parallel/executor.py``) and the durable
+driver's unit protocol (``repro/runtime/run.py``), both of which
+document why.  Everywhere else the rule flags
+
+- a direct ``shard_mno_records(...)`` argument to ``map_shards``,
+- a name bound to ``shard_mno_records(...)`` anywhere in the module,
+- a name whose annotation mentions ``RadioEvent``/``ServiceRecord``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: The row-plane sharder: its output is row-list shard payloads.
+_ROW_SHARDER = "shard_mno_records"
+
+#: Row dataclasses whose presence in a payload annotation marks it.
+_ROW_TYPES = ("RadioEvent", "ServiceRecord")
+
+#: Modules allowed to ship row payloads (documented fallback seams).
+_FALLBACK_MODULES = (
+    "repro/parallel/executor.py",
+    "repro/runtime/run.py",
+)
+
+
+def _call_name(call: ast.Call) -> str:
+    """The called name, unwrapping one attribute level."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _payload_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The shards argument of a ``map_shards(fn, shards, ...)`` call."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "shards":
+            return keyword.value
+    return None
+
+
+@register_rule
+class RowPayloadAcrossSeam(Rule):
+    """PERF003 — per-row dataclass lists submitted to ``map_shards``."""
+
+    rule_id: ClassVar[str] = "PERF003"
+    name: ClassVar[str] = "row-payload-across-pool-seam"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "per-row dataclass list shipped as a map_shards payload: the "
+        "transport seam is columnar"
+    )
+    fix_hint: ClassVar[str] = (
+        "shard with shard_columnar_records and publish through "
+        "repro.parallel.transport.publish_shards (descriptors in, "
+        "packed blocks out); row payloads belong only to the "
+        "designated fallback seams"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def __init__(self) -> None:
+        self._scanned = False
+        #: names bound to a ``shard_mno_records(...)`` call result.
+        self._row_names: Set[str] = set()
+        #: names whose annotation mentions a row dataclass.
+        self._annotated: Dict[str, str] = {}
+        self._reported: Set[Tuple[int, int]] = set()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not any(ctx.is_module(tail) for tail in _FALLBACK_MODULES)
+
+    def _scan_module(self, ctx: FileContext) -> None:
+        if self._scanned:
+            return
+        self._scanned = True
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.Call) and _call_name(value) == _ROW_SHARDER:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self._row_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                if not isinstance(target, ast.Name):
+                    continue
+                annotation = ast.unparse(node.annotation)
+                for row_type in _ROW_TYPES:
+                    if row_type in annotation:
+                        self._annotated[target.id] = row_type
+                        break
+                if (
+                    isinstance(node.value, ast.Call)
+                    and _call_name(node.value) == _ROW_SHARDER
+                ):
+                    self._row_names.add(target.id)
+
+    def _payload_problem(self, payload: ast.expr) -> Optional[str]:
+        if isinstance(payload, ast.Call) and _call_name(payload) == _ROW_SHARDER:
+            return f"payload is {_ROW_SHARDER}(...) row-list shards"
+        if isinstance(payload, ast.Name):
+            if payload.id in self._row_names:
+                return (
+                    f"payload {payload.id!r} is bound to "
+                    f"{_ROW_SHARDER}(...) row-list shards"
+                )
+            row_type = self._annotated.get(payload.id)
+            if row_type is not None:
+                return (
+                    f"payload {payload.id!r} is annotated as per-row "
+                    f"{row_type} lists"
+                )
+        return None
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if _call_name(node) != "map_shards":
+            return
+        payload = _payload_arg(node)
+        if payload is None:
+            return
+        self._scan_module(ctx)
+        problem = self._payload_problem(payload)
+        if problem is None:
+            return
+        site = (node.lineno, node.col_offset)
+        if site in self._reported:
+            return
+        self._reported.add(site)
+        yield self.finding_at(ctx, node, message=problem)

@@ -11,7 +11,11 @@ The subsystem has four layers:
   every recovery action is recorded in;
 - :mod:`repro.parallel.executor` — the pipeline-specific fan-out and
   the order-normalizing merge that makes sharded output byte-identical
-  to a serial :func:`repro.pipeline.run_pipeline` at any worker count.
+  to a serial :func:`repro.pipeline.run_pipeline` at any worker count;
+- :mod:`repro.parallel.transport` — the zero-copy shard exchange:
+  columnar shards park in shared-memory segments (or RPCK-framed bytes
+  as the portable fallback) and workers attach column buffers via tiny
+  descriptors instead of unpickling per-row dataclasses.
 
 Callers normally reach this through ``run_pipeline(..., n_workers=N)``
 or the CLI's ``--jobs``; the pieces are exported for tests and for the
@@ -33,16 +37,36 @@ from repro.parallel.sharding import (
     shard_mno_records,
     shard_of,
 )
+from repro.parallel.transport import (
+    TRANSPORT_RPCK,
+    TRANSPORT_SHM,
+    RpckShardDescriptor,
+    ShardExchange,
+    ShmShardDescriptor,
+    attach_shard,
+    cleanup_stale_segments,
+    publish_shards,
+    select_transport,
+)
 
 __all__ = [
     "DEFAULT_BREAKER_THRESHOLD",
     "DEFAULT_POOL_RETRY",
     "DEFAULT_SHARD_DEADLINE_S",
+    "RpckShardDescriptor",
     "RunHealth",
+    "ShardExchange",
     "ShardIncident",
+    "ShmShardDescriptor",
+    "TRANSPORT_RPCK",
+    "TRANSPORT_SHM",
+    "attach_shard",
+    "cleanup_stale_segments",
     "get_context",
     "map_shards",
+    "publish_shards",
     "run_stages_sharded",
+    "select_transport",
     "shard_columnar_records",
     "shard_items",
     "shard_mno_records",

@@ -26,6 +26,15 @@ merges the per-shard :class:`~repro.pipeline.DegradationReport` partials
 with :meth:`~repro.pipeline.DegradationReport.merge`; the classification
 stage then runs over the merged summaries in the parent so the batch
 poisoning/fallback semantics stay exactly the serial ones.
+
+Columnar runs that actually fan out exchange shards through
+:mod:`repro.parallel.transport`: shards are parked as shared-memory
+column segments (or self-contained RPCK blocks on the fallback
+transport), workers attach via tiny descriptors, and results come back
+as packed column/summary blocks — no per-row pickling in either
+direction.  The in-process paths (``n_workers == 1`` or a single shard)
+skip the exchange entirely, and the row plane keeps its original
+row-list payloads as the designated fallback seam.
 """
 
 from __future__ import annotations
@@ -44,6 +53,19 @@ from repro.faults.retry import RetryPolicy
 from repro.parallel.health import RunHealth
 from repro.parallel.pool import DEFAULT_SHARD_DEADLINE_S, get_context, map_shards
 from repro.parallel.sharding import shard_columnar_records, shard_mno_records
+from repro.parallel.transport import (
+    ShardDescriptor,
+    attach_shard,
+    pack_build_result,
+    pack_classifications,
+    pack_classify_payload,
+    pack_lenient_result,
+    publish_shards,
+    unpack_build_result,
+    unpack_classifications,
+    unpack_classify_payload,
+    unpack_lenient_result,
+)
 from repro.pipeline import (
     DegradationReport,
     _lenient_catalog_stage,
@@ -126,6 +148,38 @@ def _lenient_shard_columnar(
     )
 
 
+# -- zero-copy exchange workers (descriptor in, packed block out) ------------
+
+def _build_shard_block(descriptor: ShardDescriptor) -> bytes:
+    """Strict-mode worker: attach a shard, build, return a packed block."""
+    builder, classifier = get_context()
+    events, services = attach_shard(descriptor)
+    records, summaries = builder.build_from_columns(events, services)
+    _, m2m_keys = classifier.collect_m2m_evidence(summaries)
+    return pack_build_result(records, summaries, m2m_keys)
+
+
+def _classify_shard_block(payload: bytes) -> bytes:
+    """Strict-mode worker: classify one packed summary block."""
+    _, classifier = get_context()
+    summaries, global_keys = unpack_classify_payload(payload)
+    return pack_classifications(
+        classifier.classify(summaries, extra_m2m_property_keys=global_keys)
+    )
+
+
+def _lenient_shard_block(descriptor: ShardDescriptor) -> bytes:
+    """Lenient-mode worker: attach, quarantine-build, pack the result."""
+    builder, _ = get_context()
+    events, services = attach_shard(descriptor)
+    by_dev_events, by_dev_services, tac_of = _records_by_device_columnar(events, services)
+    device_ids = sorted(set(by_dev_events) | set(by_dev_services))
+    records, summaries, report = _lenient_catalog_stage(
+        device_ids, by_dev_events, by_dev_services, tac_of, builder
+    )
+    return pack_lenient_result(records, summaries, report)
+
+
 # -- merge helpers -----------------------------------------------------------
 
 def _merge_summaries(
@@ -177,6 +231,7 @@ def run_stages_sharded(
     shard_deadline_s: Optional[float] = DEFAULT_SHARD_DEADLINE_S,
     retry_policy: Optional[RetryPolicy] = None,
     health: Optional[RunHealth] = None,
+    transport: Optional[str] = None,
 ) -> Tuple[
     List[DeviceDayRecord],
     Dict[str, DeviceSummary],
@@ -194,7 +249,14 @@ def run_stages_sharded(
     and ships each worker an interned column block
     (:func:`~repro.parallel.sharding.shard_columnar_records`) instead of
     row lists; workers run the columnar catalog kernel.  Shard
-    assignment, merge, and output are unchanged.
+    assignment, merge, and output are unchanged.  When the pool is
+    actually used (``n_workers > 1`` with multiple shards), the blocks
+    travel through the zero-copy exchange
+    (:func:`~repro.parallel.transport.publish_shards`): workers receive
+    small segment descriptors and return packed column/summary blocks.
+    ``transport`` picks the exchange transport explicitly (``"shm"`` /
+    ``"rpck"``); the default consults ``REPRO_TRANSPORT`` and the
+    platform (:func:`~repro.parallel.transport.select_transport`).
 
     ``shard_deadline_s`` bounds the wait on every shard (a hung worker
     is a shard failure, not a stalled run) and ``health`` collects any
@@ -219,20 +281,42 @@ def run_stages_sharded(
             dataset.radio_events, dataset.service_records, n_shards
         )
     context = (builder, classifier)
+    # The exchange pays off only when the pool is actually used; the
+    # map_shards seam runs in-process for one worker or a single shard,
+    # where packing blocks would be pure overhead.
+    exchange = None
+    if columnar and n_workers > 1 and len(shards) > 1:
+        exchange = publish_shards(shards, transport=transport)
 
     if lenient:
-        lenient_worker: Callable[
-            [Any], Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport]
-        ] = (_lenient_shard_columnar if columnar else _lenient_shard)
-        parts = map_shards(
-            lenient_worker,
-            shards,
-            n_workers,
-            context=context,
-            deadline_s=shard_deadline_s,
-            retry_policy=retry_policy,
-            health=health,
-        )
+        if exchange is not None:
+            try:
+                blocks = map_shards(
+                    _lenient_shard_block,
+                    exchange.descriptors,
+                    n_workers,
+                    context=context,
+                    deadline_s=shard_deadline_s,
+                    retry_policy=retry_policy,
+                    health=health,
+                )
+            finally:
+                exchange.close()
+            parts = [unpack_lenient_result(block) for block in blocks]
+        else:
+            lenient_worker: Callable[
+                [Any],
+                Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], DegradationReport],
+            ] = (_lenient_shard_columnar if columnar else _lenient_shard)
+            parts = map_shards(
+                lenient_worker,
+                shards,
+                n_workers,
+                context=context,
+                deadline_s=shard_deadline_s,
+                retry_policy=retry_policy,
+                health=health,
+            )
         day_records = [record for part, _, _ in parts for record in part]
         day_records.sort(key=lambda r: (r.device_id, r.day))
         summaries = _merge_summaries([part for _, part, _ in parts])
@@ -246,34 +330,64 @@ def run_stages_sharded(
         report.n_devices_ok = len(classifications)
         return day_records, summaries, classifications, report
 
-    build_worker: Callable[
-        [Any],
-        Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]],
-    ] = (_build_shard_columnar if columnar else _build_shard)
-    built = map_shards(
-        build_worker,
-        shards,
-        n_workers,
-        context=context,
-        deadline_s=shard_deadline_s,
-        retry_policy=retry_policy,
-        health=health,
-    )
+    if exchange is not None:
+        try:
+            built_blocks = map_shards(
+                _build_shard_block,
+                exchange.descriptors,
+                n_workers,
+                context=context,
+                deadline_s=shard_deadline_s,
+                retry_policy=retry_policy,
+                health=health,
+            )
+        finally:
+            exchange.close()
+        built = [unpack_build_result(block) for block in built_blocks]
+    else:
+        build_worker: Callable[
+            [Any],
+            Tuple[List[DeviceDayRecord], Dict[str, DeviceSummary], Set[Tuple[str, str]]],
+        ] = (_build_shard_columnar if columnar else _build_shard)
+        built = map_shards(
+            build_worker,
+            shards,
+            n_workers,
+            context=context,
+            deadline_s=shard_deadline_s,
+            retry_policy=retry_policy,
+            health=health,
+        )
     day_records = [record for part, _, _ in built for record in part]
     day_records.sort(key=lambda r: (r.device_id, r.day))
     summaries = _merge_summaries([part for _, part, _ in built])
     global_keys: Set[Tuple[str, str]] = set()
     for _, _, keys in built:
         global_keys.update(keys)
-    classify_payloads = [(part, global_keys) for _, part, _ in built if part]
-    classified = map_shards(
-        _classify_shard,
-        classify_payloads,
-        n_workers,
-        context=context,
-        deadline_s=shard_deadline_s,
-        retry_policy=retry_policy,
-        health=health,
-    )
+    if exchange is not None:
+        packed_payloads = [
+            pack_classify_payload(part, global_keys) for _, part, _ in built if part
+        ]
+        classified_blocks = map_shards(
+            _classify_shard_block,
+            packed_payloads,
+            n_workers,
+            context=context,
+            deadline_s=shard_deadline_s,
+            retry_policy=retry_policy,
+            health=health,
+        )
+        classified = [unpack_classifications(block) for block in classified_blocks]
+    else:
+        classify_payloads = [(part, global_keys) for _, part, _ in built if part]
+        classified = map_shards(
+            _classify_shard,
+            classify_payloads,
+            n_workers,
+            context=context,
+            deadline_s=shard_deadline_s,
+            retry_policy=retry_policy,
+            health=health,
+        )
     classifications = _serial_order_classifications(classified, summaries)
     return day_records, summaries, classifications, None

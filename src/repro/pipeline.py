@@ -176,7 +176,8 @@ def _records_by_device_columnar(
     """Columnar twin of :func:`_records_by_device`.
 
     Grouping scans the interned device-id columns (int comparisons);
-    rows are materialized per device only afterwards, because the
+    rows are materialized per device only afterwards — via the batched
+    ``rows_at`` gather, one hoisted-locals pass per device — because the
     lenient stage needs real dataclasses to exercise — and quarantine —
     exactly the per-device failures the row path sees.
     """

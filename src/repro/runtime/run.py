@@ -298,10 +298,12 @@ def run_durable_pipeline(
                 for entry in unit_quarantine:
                     observed.add(entry[0])
                     quarantined.setdefault(entry[0], entry)
-                for event in events_c.iter_rows():
+                # to_rows() materializes in one batched pass (hoisted
+                # pools/columns) — measurably faster than iter_rows().
+                for event in events_c.to_rows():
                     if event.device_id not in quarantined:
                         day_radio.append(event)
-                for record in records_c.iter_rows():
+                for record in records_c.to_rows():
                     if record.device_id not in quarantined:
                         day_service.append(record)
             if columnar:

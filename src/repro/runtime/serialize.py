@@ -9,7 +9,8 @@ in the header.  Self-containment is what makes resume trivial: a block
 can be decoded years later with nothing but this module, no shared pool
 state to reconstruct.
 
-Framing::
+The framing and column chunking live in :mod:`repro.columnar.blocks`
+(shared with the zero-copy shard transport)::
 
     MAGIC (4) | version u32 | crc32(body) u32 | len(body) u64 | body
     body = header_len u32 | header JSON (utf-8) | column buffers
@@ -21,62 +22,45 @@ rename source) or bit rot is detected before a single row is decoded —
 
 from __future__ import annotations
 
-import json
-import struct
-import zlib
-from array import array
 from typing import List, Sequence, Tuple
 
+from repro.columnar.blocks import (
+    BLOCK_VERSION,
+    MAGIC,
+    RADIO_COLUMNS,
+    SERVICE_COLUMNS,
+    CheckpointCorruption,
+    CheckpointError,
+    build_block,
+    column_chunks,
+    load_column_chunks,
+    pools_from_header,
+    pools_header,
+    read_block,
+)
 from repro.columnar.store import (
     ColumnPools,
     ColumnarRadioEvents,
     ColumnarServiceRecords,
-    StringPool,
 )
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
 
-MAGIC = b"RPCK"
-BLOCK_VERSION = 1
-
-_FRAME = struct.Struct("<4sIIQ")
-_HEADER_LEN = struct.Struct("<I")
-
-#: Column storage order, fixed per format version.  Mirrors the
-#: ``__slots__`` of the columnar stores minus ``pools``.
-RADIO_COLUMNS = (
-    "device_ids",
-    "timestamps",
-    "days",
-    "sim_plmns",
-    "tacs",
-    "sector_ids",
-    "interfaces",
-    "event_types",
-    "results",
-)
-SERVICE_COLUMNS = (
-    "device_ids",
-    "timestamps",
-    "days",
-    "sim_plmns",
-    "visited_plmns",
-    "services",
-    "durations",
-    "bytes_totals",
-    "apns",
-)
+__all__ = [
+    "BLOCK_VERSION",
+    "MAGIC",
+    "RADIO_COLUMNS",
+    "SERVICE_COLUMNS",
+    "CheckpointCorruption",
+    "CheckpointError",
+    "QuarantineEntry",
+    "StaleManifestError",
+    "pack_day_block",
+    "unpack_day_block",
+]
 
 #: One lenient-mode quarantine decision: (device_id, stage, error text).
 QuarantineEntry = Tuple[str, str, str]
-
-
-class CheckpointError(RuntimeError):
-    """Base class for durable-run checkpoint failures."""
-
-
-class CheckpointCorruption(CheckpointError):
-    """A persisted payload failed checksum or format validation."""
 
 
 class StaleManifestError(CheckpointError):
@@ -93,81 +77,29 @@ def pack_day_block(
     events = ColumnarRadioEvents.from_rows(radio_events, pools)
     records = ColumnarServiceRecords.from_rows(service_records, pools)
 
-    chunks: List[bytes] = []
-    radio_spec = []
-    for name in RADIO_COLUMNS:
-        column: array = getattr(events, name)
-        data = column.tobytes()
-        radio_spec.append([name, column.typecode, len(data)])
-        chunks.append(data)
-    service_spec = []
-    for name in SERVICE_COLUMNS:
-        column = getattr(records, name)
-        data = column.tobytes()
-        service_spec.append([name, column.typecode, len(data)])
-        chunks.append(data)
-
+    radio_spec, radio_chunks = column_chunks(events, RADIO_COLUMNS)
+    service_spec, service_chunks = column_chunks(records, SERVICE_COLUMNS)
+    # Header key order is part of the on-disk byte format (version 1
+    # blocks predate the shared codec); keep it stable.
     header = {
-        "pools": {
-            "devices": list(pools.devices.strings),
-            "plmns": list(pools.plmns.strings),
-            "apns": list(pools.apns.strings),
-        },
+        "pools": pools_header(pools),
         "radio": radio_spec,
         "service": service_spec,
         "quarantine": [list(entry) for entry in quarantine],
     }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    body = b"".join([_HEADER_LEN.pack(len(header_bytes)), header_bytes, *chunks])
-    frame = _FRAME.pack(MAGIC, BLOCK_VERSION, zlib.crc32(body), len(body))
-    return frame + body
+    return build_block(header, [*radio_chunks, *service_chunks])
 
 
 def unpack_day_block(
     data: bytes,
 ) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords, List[QuarantineEntry]]:
     """Decode a framed block, validating checksum and version first."""
-    if len(data) < _FRAME.size:
-        raise CheckpointCorruption(
-            f"block too short for frame ({len(data)} bytes)"
-        )
-    magic, version, crc, body_len = _FRAME.unpack_from(data)
-    if magic != MAGIC:
-        raise CheckpointCorruption(f"bad magic {magic!r}")
-    if version != BLOCK_VERSION:
-        raise CheckpointCorruption(
-            f"block version {version} != supported {BLOCK_VERSION}"
-        )
-    body = data[_FRAME.size:]
-    if len(body) != body_len:
-        raise CheckpointCorruption(
-            f"torn block: body holds {len(body)} of {body_len} bytes"
-        )
-    if zlib.crc32(body) != crc:
-        raise CheckpointCorruption("block checksum mismatch")
-
-    (header_len,) = _HEADER_LEN.unpack_from(body)
-    offset = _HEADER_LEN.size
-    header = json.loads(body[offset:offset + header_len].decode("utf-8"))
-    offset += header_len
-
-    pools = ColumnPools(
-        devices=StringPool(header["pools"]["devices"]),
-        plmns=StringPool(header["pools"]["plmns"]),
-        apns=StringPool(header["pools"]["apns"]),
-    )
+    header, body, offset = read_block(data)
+    pools = pools_from_header(header["pools"])
     events = ColumnarRadioEvents(pools)
-    for name, typecode, nbytes in header["radio"]:
-        column = array(typecode)
-        column.frombytes(body[offset:offset + nbytes])
-        offset += nbytes
-        setattr(events, name, column)
+    offset = load_column_chunks(events, header["radio"], body, offset)
     records = ColumnarServiceRecords(pools)
-    for name, typecode, nbytes in header["service"]:
-        column = array(typecode)
-        column.frombytes(body[offset:offset + nbytes])
-        offset += nbytes
-        setattr(records, name, column)
+    load_column_chunks(records, header["service"], body, offset)
     quarantine = [
         (str(device_id), str(stage), str(error))
         for device_id, stage, error in header["quarantine"]

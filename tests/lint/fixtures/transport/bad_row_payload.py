@@ -1,0 +1,29 @@
+"""Fixture: per-row dataclass payloads across the pool seam — PERF003."""
+
+from typing import List, Tuple
+
+from repro.parallel.pool import map_shards
+from repro.parallel.sharding import shard_mno_records
+from repro.signaling.cdr import ServiceRecord
+from repro.signaling.events import RadioEvent
+
+
+def fan_out_direct(radio, service, n_workers):
+    """Row-shard call fed straight into the seam — PERF003."""
+    return map_shards(_count, shard_mno_records(radio, service, n_workers), n_workers)
+
+
+def fan_out_bound(radio, service, n_workers):
+    """Name bound to row-list shards — PERF003."""
+    shards = shard_mno_records(radio, service, n_workers)
+    return map_shards(_count, shards, n_workers)
+
+
+def fan_out_annotated(n_workers):
+    """Payload annotated as per-row dataclass lists — PERF003."""
+    payloads: List[Tuple[List[RadioEvent], List[ServiceRecord]]] = []
+    return map_shards(_count, payloads, n_workers)
+
+
+def _count(shard):
+    return len(shard)

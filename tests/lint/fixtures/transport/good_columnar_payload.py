@@ -1,0 +1,17 @@
+"""Fixture: columnar descriptors are the sanctioned seam payload."""
+
+from repro.parallel.pool import map_shards
+from repro.parallel.sharding import shard_columnar_records
+from repro.parallel.transport import attach_shard, publish_shards
+
+
+def fan_out_columnar(events, records, n_workers):
+    """Descriptors in, packed blocks out — clean."""
+    shards = shard_columnar_records(events, records, n_workers)
+    with publish_shards(shards) as exchange:
+        return map_shards(_attach_and_count, exchange.descriptors, n_workers)
+
+
+def _attach_and_count(descriptor):
+    events, records = attach_shard(descriptor)
+    return len(events) + len(records)

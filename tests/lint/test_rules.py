@@ -33,6 +33,7 @@ BAD_FIXTURES = {
     "seam/bad_seam_capture.py": {"SEAM001": 3},
     "seam/bad_worker_global.py": {"SEAM002": 2},
     "service/bad_async_hygiene.py": {"SVC001": 7},
+    "transport/bad_row_payload.py": {"PERF003": 3},
 }
 
 GOOD_FIXTURES = [
@@ -55,6 +56,7 @@ GOOD_FIXTURES = [
     "seam/good_worker_global.py",
     "seam/noqa_worker_global.py",
     "service/good_async_hygiene.py",
+    "transport/good_columnar_payload.py",
 ]
 
 
