@@ -261,6 +261,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         columnar=args.columnar,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        out_of_core=args.out_of_core,
     )
     print(
         f"classified {len(result.classifications)} devices "
@@ -446,6 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="resume from an existing checkpoint directory (skips journaled units)",
+    )
+    p.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help=(
+            "spill column blocks to disk and replay them through an "
+            "mmap-backed LRU window (bounded RSS; byte-identical output)"
+        ),
     )
     p.add_argument("--out", type=str, default=None, help="CSV export directory")
     p.set_defaults(func=cmd_run)

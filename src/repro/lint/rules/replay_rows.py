@@ -1,0 +1,77 @@
+"""PERF004 — row materialization on the replay/fold data paths.
+
+The durable driver and the catalog daemon fold columnar blocks into the
+catalog directly: :func:`repro.runtime.run.run_durable_pipeline`
+concatenates decoded shard stores with ``extend_from`` and the daemon's
+WAL replay partitions blocks by the cached ``days`` column.  Calling
+``.to_rows()`` / ``.iter_rows()`` on one of those stores inside
+``repro/runtime/`` or ``repro/service/`` re-materializes a dataclass
+per row — exactly the decode → rows → re-encode round-trip the columnar
+fold deleted, and at paper scale it is the difference between a shard
+window of resident memory and the whole population.
+
+Row materialization stays legitimate at *boundaries* — query responses,
+adapters handing rows to row-oriented consumers, tests.  Inside these
+two packages no such boundary exists today, so any new call site is
+either a performance regression or a deliberate adapter that must be
+designated: add its module to ``_FALLBACK_MODULES`` with a justifying
+comment, or suppress the single line with ``# noqa: PERF004`` and a
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, Severity
+from repro.lint.registry import register_rule
+
+#: The store methods that materialize one dataclass per row.
+_MATERIALIZERS = frozenset({"to_rows", "iter_rows"})
+
+#: Modules designated as row boundaries (documented adapters).  Empty
+#: today: the out-of-core refactor removed every materialization from
+#: the replay paths; list a module here only with a comment saying why
+#: its rows are a boundary, not a fold input.
+_FALLBACK_MODULES: Tuple[str, ...] = ()
+
+
+@register_rule
+class RowMaterializationInReplayPath(Rule):
+    """PERF004 — ``to_rows``/``iter_rows`` in runtime/service replay code."""
+
+    rule_id: ClassVar[str] = "PERF004"
+    name: ClassVar[str] = "row-materialization-in-replay-path"
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = (
+        "columnar store materialized to rows inside a replay/fold path: "
+        "the catalog folds columns directly"
+    )
+    fix_hint: ClassVar[str] = (
+        "fold the columns with extend_from/select and pass the stores "
+        "to CatalogBuilder.update; materialize rows only at documented "
+        "boundaries (designate the module or noqa the line with a reason)"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_package("runtime", "service"):
+            return False
+        return not any(ctx.is_module(tail) for tail in _FALLBACK_MODULES)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _MATERIALIZERS:
+            return
+        yield self.finding_at(
+            ctx,
+            node,
+            message=(
+                f".{func.attr}() materializes one dataclass per row on a "
+                "replay path"
+            ),
+        )

@@ -334,6 +334,7 @@ def run_pipeline(
     columnar: Optional[bool] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    out_of_core: bool = False,
 ) -> PipelineResult:
     """Run catalog building, labeling and classification end to end.
 
@@ -363,13 +364,20 @@ def run_pipeline(
     ``(day, shard)`` unit atomically so a killed run can be continued
     with ``resume=True`` to a byte-identical result.  ``resume`` is
     only meaningful with a checkpoint directory.
+
+    ``out_of_core=True`` runs the same day-by-day execution with spilled
+    column blocks replayed through an mmap-backed LRU window
+    (:mod:`repro.runtime.spill`) so peak RSS is bounded by the shard
+    window instead of the population; without a ``checkpoint_dir`` the
+    spill store is an ephemeral directory removed with the run.  Output
+    stays byte-identical to the in-memory path.
     """
     n_workers = resolve_workers(
         n_workers, len(dataset.radio_events) + len(dataset.service_records)
     )
     if columnar is None:
         columnar = _columnar_default()
-    if checkpoint_dir is not None:
+    if checkpoint_dir is not None or out_of_core:
         # Imported lazily: repro.runtime sits on top of repro.parallel,
         # which imports this module.
         from repro.runtime.run import run_durable_pipeline
@@ -384,6 +392,7 @@ def run_pipeline(
             lenient=lenient,
             n_workers=n_workers,
             columnar=columnar,
+            out_of_core=out_of_core,
         )
     if resume:
         raise ValueError("resume=True requires a checkpoint_dir")

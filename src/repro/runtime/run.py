@@ -30,10 +30,16 @@ it is recorded.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.columnar.store import from_record_streams
+from repro.columnar.store import (
+    ColumnPools,
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+)
 from repro.core.catalog import CatalogBuilder
 from repro.core.classifier import ClassifierConfig, DeviceClassifier
 from repro.core.roaming import RoamingLabeler
@@ -57,6 +63,12 @@ from repro.runtime.serialize import (
     QuarantineEntry,
     pack_day_block,
     unpack_day_block,
+)
+from repro.runtime.spill import (
+    ReplayWindow,
+    SpillDescriptor,
+    spill_tmp_path,
+    write_spill_blob,
 )
 from repro.signaling.cdr import ServiceRecord
 from repro.signaling.events import RadioEvent
@@ -133,12 +145,32 @@ def _validate_day_slice(
 
 def _encode_unit(payload: UnitPayload) -> bytes:
     """Worker: turn one (day, shard) slice into its checkpoint block."""
-    builder, lenient = get_context()
+    builder, lenient, _ = get_context()
     _, _, radio, service = payload
     if not lenient:
         return pack_day_block(radio, service)
     radio, service, quarantine = _validate_day_slice(builder, radio, service)
     return pack_day_block(radio, service, quarantine)
+
+
+def _encode_unit_spill(payload: UnitPayload) -> SpillDescriptor:
+    """Worker: encode one slice and spill it, returning a descriptor.
+
+    The out-of-core twin of :func:`_encode_unit`: the framed block is
+    written (and fsynced) to a staging file inside the store's units
+    directory instead of crossing the pool seam as a blob; the parent
+    publishes it with one rename (:meth:`CheckpointStore.adopt_unit`).
+    """
+    builder, lenient, spill_dir = get_context()
+    day, shard, radio, service = payload
+    if not lenient:
+        blob = pack_day_block(radio, service)
+    else:
+        radio, service, quarantine = _validate_day_slice(builder, radio, service)
+        blob = pack_day_block(radio, service, quarantine)
+    staged = spill_tmp_path(spill_dir, day, shard)
+    write_spill_blob(staged, blob)
+    return SpillDescriptor(day=day, shard=shard, path=str(staged), nbytes=len(blob))
 
 
 def run_durable_pipeline(
@@ -152,6 +184,9 @@ def run_durable_pipeline(
     n_workers: int = 1,
     n_shards: Optional[int] = None,
     columnar: bool = False,
+    out_of_core: bool = False,
+    max_resident_shards: Optional[int] = None,
+    max_resident_bytes: Optional[int] = None,
     shard_deadline_s: Optional[float] = DEFAULT_SHARD_DEADLINE_S,
     retry_policy: Optional[RetryPolicy] = None,
     day_source: Optional[DaySource] = None,
@@ -172,6 +207,19 @@ def run_durable_pipeline(
     partitions via
     :func:`repro.mno.streaming.load_day_batch_with_retry`); any ingest
     reports it yields are merged into ``result.degradation.ingest``.
+
+    ``out_of_core=True`` spills every unit block to disk in the worker
+    (a descriptor, not the blob, crosses the pool seam) and folds days
+    by attaching blocks back through an mmap-backed
+    :class:`~repro.runtime.spill.ReplayWindow` bounded by
+    ``max_resident_shards`` / ``max_resident_bytes`` — peak RSS then
+    scales with the shard window, not the population.  With
+    ``checkpoint_dir`` set, the checkpoint store doubles as the spill
+    store (durable runs get out-of-core for free, and the on-disk
+    format is identical, so a checkpoint written in either mode resumes
+    in the other); without one, an ephemeral spill directory is created
+    and removed with the run.  The result is byte-identical to the
+    in-memory path in every mode combination.
 
     ``on_unit(day, shard)`` and ``on_day(day)`` are crash-injection
     seams (see :mod:`repro.faults.crash`), called just before a unit is
@@ -210,6 +258,13 @@ def run_durable_pipeline(
         "compute_mobility": bool(compute_mobility),
     }
     store: Optional[CheckpointStore] = None
+    ephemeral_spill: Optional[str] = None
+    if checkpoint_dir is None and out_of_core:
+        # Out-of-core needs a spill store; without a checkpoint
+        # directory it lives (and dies) with this run.
+        ephemeral_spill = tempfile.mkdtemp(prefix="repro_spill_")
+        checkpoint_dir = ephemeral_spill
+        resume = False
     if checkpoint_dir is not None:
         store = CheckpointStore(
             checkpoint_dir,
@@ -236,17 +291,37 @@ def run_durable_pipeline(
                 )
             )
 
+    window: Optional[ReplayWindow] = None
+    if out_of_core:
+        assert store is not None
+        window = ReplayWindow(
+            max_resident_shards=(
+                max_resident_shards if max_resident_shards is not None else 4
+            ),
+            max_resident_bytes=max_resident_bytes,
+        )
+
     quarantined: Dict[str, QuarantineEntry] = {}
     observed: Set[str] = set()
     ingest: Optional[IngestReport] = None
     try:
         for day in day_list:
-            blocks: Dict[int, Tuple] = {}
+            #: shard -> decoded block, or None when the block stays on
+            #: disk and the fold attaches it through the window.
+            blocks: Dict[int, Optional[Tuple]] = {}
             pending: List[int] = []
             for shard in range(n_shards):
                 if store is not None and store.is_journaled(day, shard):
                     try:
-                        blocks[shard] = unpack_day_block(store.load_unit(day, shard))
+                        if window is not None:
+                            # CRC-validate in place; the block stays
+                            # mapped, never copied into the heap.
+                            window.attach(store.unit_path(day, shard), day, shard)
+                            blocks[shard] = None
+                        else:
+                            blocks[shard] = unpack_day_block(
+                                store.load_unit(day, shard)
+                            )
                         continue
                     except CheckpointCorruption as exc:
                         health.record(
@@ -269,53 +344,87 @@ def run_durable_pipeline(
                     (day, shard, shard_slices[shard][0], shard_slices[shard][1])
                     for shard in pending
                 ]
-                blobs = map_shards(
-                    _encode_unit,
+                del radio_day, service_day, shard_slices
+                spill_dir = None if store is None else store.units_dir
+                results: Sequence[Union[bytes, SpillDescriptor]] = map_shards(
+                    _encode_unit_spill if window is not None else _encode_unit,
                     payloads,
                     n_workers,
-                    context=(builder, lenient),
+                    context=(builder, lenient, spill_dir),
                     deadline_s=shard_deadline_s,
                     retry_policy=retry_policy,
                     health=health,
                 )
-                for (_, shard, _, _), blob in zip(payloads, blobs):
+                for (_, shard, _, _), result in zip(payloads, results):
                     if on_unit is not None:
                         on_unit(day, shard)
-                    if store is not None:
-                        store.save_unit(day, shard, blob)
+                    if window is not None:
+                        assert isinstance(result, SpillDescriptor)
+                        assert store is not None
+                        store.adopt_unit(day, shard, result.path)
                         store.mark_complete(day, shard)
-                    blocks[shard] = unpack_day_block(blob)
+                        blocks[shard] = None
+                    else:
+                        assert isinstance(result, bytes)
+                        if store is not None:
+                            store.save_unit(day, shard, result)
+                            store.mark_complete(day, shard)
+                        blocks[shard] = unpack_day_block(result)
             if store is not None:
                 store.sync()
 
-            day_radio: List[RadioEvent] = []
-            day_service: List[ServiceRecord] = []
+            # Fold the day's shards straight onto a shared-pool columnar
+            # accumulator (shard order, in-shard order preserved) — the
+            # builder accepts columnar input, so no row round-trip.
+            day_pools = ColumnPools()
+            events_day = ColumnarRadioEvents(day_pools)
+            records_day = ColumnarServiceRecords(day_pools)
             for shard in range(n_shards):
-                events_c, records_c, unit_quarantine = blocks[shard]
+                block = blocks[shard]
+                if block is None:
+                    assert window is not None and store is not None
+                    events_c, records_c, unit_quarantine = window.attach(
+                        store.unit_path(day, shard), day, shard
+                    )
+                else:
+                    events_c, records_c, unit_quarantine = block
                 # Quarantined devices' rows were scrubbed from the block,
                 # so they count as observed only via their entries.
                 observed.update(events_c.pools.devices.strings)
                 for entry in unit_quarantine:
                     observed.add(entry[0])
                     quarantined.setdefault(entry[0], entry)
-                # to_rows() materializes in one batched pass (hoisted
-                # pools/columns) — measurably faster than iter_rows().
-                for event in events_c.to_rows():
-                    if event.device_id not in quarantined:
-                        day_radio.append(event)
-                for record in records_c.to_rows():
-                    if record.device_id not in quarantined:
-                        day_service.append(record)
-            if columnar:
-                events_day, records_day = from_record_streams(day_radio, day_service)
-                builder.update(day, events_day, records_day)
-            else:
-                builder.update(day, day_radio, day_service)
+                radio_keep: Optional[List[int]] = None
+                service_keep: Optional[List[int]] = None
+                if quarantined:
+                    bad_ids = {
+                        index
+                        for index, name in enumerate(events_c.pools.devices.strings)
+                        if name in quarantined
+                    }
+                    if bad_ids:
+                        radio_keep = [
+                            index
+                            for index, dev in enumerate(events_c.device_ids)
+                            if dev not in bad_ids
+                        ]
+                        service_keep = [
+                            index
+                            for index, dev in enumerate(records_c.device_ids)
+                            if dev not in bad_ids
+                        ]
+                events_day.extend_from(events_c, radio_keep)
+                records_day.extend_from(records_c, service_keep)
+            builder.update(day, events_day, records_day)
             if on_day is not None:
                 on_day(day)
     finally:
+        if window is not None:
+            window.close()
         if store is not None:
             store.close()
+        if ephemeral_spill is not None:
+            shutil.rmtree(ephemeral_spill, ignore_errors=True)
 
     day_records, summaries = builder.snapshot()
     if quarantined:

@@ -22,7 +22,7 @@ rename source) or bit rot is detected before a single row is decoded —
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.columnar.blocks import (
     BLOCK_VERSION,
@@ -34,9 +34,11 @@ from repro.columnar.blocks import (
     build_block,
     column_chunks,
     load_column_chunks,
+    load_column_views,
     pools_from_header,
     pools_header,
     read_block,
+    read_block_view,
 )
 from repro.columnar.store import (
     ColumnPools,
@@ -55,6 +57,7 @@ __all__ = [
     "CheckpointError",
     "QuarantineEntry",
     "StaleManifestError",
+    "attach_day_block",
     "pack_day_block",
     "unpack_day_block",
 ]
@@ -105,3 +108,47 @@ def unpack_day_block(
         for device_id, stage, error in header["quarantine"]
     ]
     return events, records, quarantine
+
+
+def attach_day_block(
+    data: memoryview,
+) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords, List[QuarantineEntry]]:
+    """:func:`unpack_day_block` without copying the column buffers.
+
+    Validates exactly like :func:`unpack_day_block` (CRC over the whole
+    body, strict length), then attaches each column as a typed
+    ``memoryview`` over ``data`` — typically an mmap'd spill file — so
+    decoding a block costs one checksum pass plus the pool vocabularies,
+    never a buffer copy.  The stores borrow ``data``: release every
+    column view (see :class:`repro.runtime.spill.BlockReader`) before
+    closing the backing buffer.
+    """
+    header, body, offset = read_block_view(data)
+    events: Optional[ColumnarRadioEvents] = None
+    records: Optional[ColumnarServiceRecords] = None
+    try:
+        pools = pools_from_header(header["pools"])
+        events = ColumnarRadioEvents(pools)
+        offset = load_column_views(events, header["radio"], body, offset)
+        records = ColumnarServiceRecords(pools)
+        load_column_views(records, header["service"], body, offset)
+        quarantine = [
+            (str(device_id), str(stage), str(error))
+            for device_id, stage, error in header["quarantine"]
+        ]
+        return events, records, quarantine
+    except BaseException:
+        # A half-attached store's views (and this frame's locals, held
+        # alive by the raised exception's traceback) would otherwise
+        # block closing the backing mmap; release everything attached
+        # so far before propagating.
+        for store, names in ((events, RADIO_COLUMNS), (records, SERVICE_COLUMNS)):
+            if store is None:
+                continue
+            for name in names:
+                column = getattr(store, name, None)
+                if isinstance(column, memoryview):
+                    column.release()
+        raise
+    finally:
+        body.release()

@@ -1,0 +1,305 @@
+"""Out-of-core replay: mmap-backed readers over spilled column blocks.
+
+The durable runtime already persists every ``(day, shard)`` unit as a
+self-contained CRC-framed column block (:mod:`repro.runtime.serialize`).
+This module is the read side of out-of-core execution: instead of
+loading each block back into materialized ``array`` columns, a
+:class:`BlockReader` maps the unit file and attaches the columns as
+typed ``memoryview`` slices over the mapping (zero-copy; CRC verified
+lazily, at attach time).  A :class:`ReplayWindow` keeps an LRU of open
+readers bounded by ``max_resident_shards`` / ``max_resident_bytes``, so
+a catalog fold over any population only ever holds a few shards of
+column data — peak RSS becomes a function of the window, not the
+device count.
+
+Fallback matrix: when ``mmap`` is unusable on the target file (or the
+``REPRO_SPILL_NO_MMAP`` environment flag is set, e.g. on filesystems
+that cannot map), the reader degrades to a streamed ``read_bytes`` +
+:func:`~repro.runtime.serialize.unpack_day_block` — same validation,
+same rows, one buffer copy.  Either way every integrity failure is a
+:class:`~repro.columnar.blocks.CheckpointCorruption` naming the
+offending ``(day, shard)``.
+
+Lifetime discipline: attached stores *borrow* the reader's mapping.
+They are valid until the reader is evicted or closed; the window
+guarantees the most recently attached unit is never evicted, so the
+standard fold pattern — attach, fold into an accumulator, move on — is
+safe.  ``close`` releases every exported column view before unmapping
+(Python raises ``BufferError`` otherwise), and the module-level
+:func:`open_reader_count` exposes the live-reader count so chaos tests
+can assert nothing leaks.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from collections import OrderedDict
+from struct import error as struct_error
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.columnar.blocks import (
+    RADIO_COLUMNS,
+    SERVICE_COLUMNS,
+    CheckpointCorruption,
+)
+from repro.columnar.store import ColumnarRadioEvents, ColumnarServiceRecords
+from repro.runtime.checkpoint import PathLike, _TMP_SUFFIX
+from repro.runtime.serialize import (
+    QuarantineEntry,
+    attach_day_block,
+    unpack_day_block,
+)
+
+__all__ = [
+    "SPILL_NO_MMAP_ENV",
+    "BlockReader",
+    "ReplayWindow",
+    "SpillDescriptor",
+    "open_reader_count",
+    "spill_tmp_path",
+    "write_spill_blob",
+]
+
+#: Set (to any non-empty value) to force the streamed-read fallback —
+#: the escape hatch for filesystems where mmap is unavailable, and the
+#: switch the fallback-matrix tests flip.
+SPILL_NO_MMAP_ENV = "REPRO_SPILL_NO_MMAP"
+
+#: Readers currently holding an open mapping or buffer.  Chaos and
+#: leak tests assert this returns to zero after every run.
+_OPEN_READERS = 0
+
+
+def open_reader_count() -> int:
+    """How many :class:`BlockReader` instances are currently open."""
+    return _OPEN_READERS
+
+
+class SpillDescriptor(NamedTuple):
+    """What a spill worker sends back across the pool seam.
+
+    The block itself stays on disk (written + fsynced by the worker);
+    only this fixed-size descriptor crosses the process boundary, so
+    the parent's ingest cost per unit is a rename, not a blob copy.
+    """
+
+    day: int
+    shard: int
+    path: str
+    nbytes: int
+
+
+def spill_tmp_path(spill_dir: PathLike, day: int, shard: int) -> Path:
+    """Worker-side staging path for one unit's spilled block.
+
+    Lives inside the store's ``units/`` directory under the checkpoint
+    temp suffix, so a SIGKILL between spill and adopt leaves a stray
+    that the store's resume-time temp sweep removes.  The writer's pid
+    is part of the name: a timed-out worker's zombie attempt and its
+    retry can never interleave writes into the same file.
+    """
+    return Path(spill_dir) / (
+        f"day_{day:03d}.shard_{shard:03d}.ckpt.{os.getpid()}{_TMP_SUFFIX}"
+    )
+
+
+def write_spill_blob(path: PathLike, data: bytes) -> int:
+    """Durably write one framed block to its staging path."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(data)
+
+
+class BlockReader:
+    """One spilled unit, attached zero-copy (mmap) or streamed.
+
+    ``attach`` validates the frame (magic, version, strict length, CRC
+    over the whole body) and exposes the unit as attached columnar
+    stores plus its quarantine entries.  All integrity errors surface
+    as :class:`CheckpointCorruption` naming this reader's (day, shard).
+    """
+
+    def __init__(self, path: PathLike, day: int, shard: int) -> None:
+        self.path = Path(path)
+        self.day = day
+        self.shard = shard
+        self.nbytes = 0
+        self.events: Optional[ColumnarRadioEvents] = None
+        self.records: Optional[ColumnarServiceRecords] = None
+        self.quarantine: List[QuarantineEntry] = []
+        self._mmap: Optional[mmap.mmap] = None
+        self._view: Optional[memoryview] = None
+        self._open = False
+
+    def _corrupt(self, exc: Exception) -> CheckpointCorruption:
+        return CheckpointCorruption(
+            f"spilled unit (day={self.day}, shard={self.shard}): {exc}"
+        )
+
+    def attach(
+        self,
+    ) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords, List[QuarantineEntry]]:
+        """Map (or read) the block and attach its columns."""
+        global _OPEN_READERS
+        if self._open:
+            assert self.events is not None and self.records is not None
+            return self.events, self.records, self.quarantine
+        use_mmap = not os.environ.get(SPILL_NO_MMAP_ENV)
+        mapped: Optional[mmap.mmap] = None
+        if use_mmap:
+            try:
+                fd = os.open(self.path, os.O_RDONLY)
+            except FileNotFoundError as exc:
+                raise self._corrupt(exc) from exc
+            try:
+                mapped = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError, OverflowError):
+                # mmap unavailable here (or degenerate file, e.g. an
+                # empty one): fall through to the streamed read, which
+                # applies the same validation and raises the same
+                # corruption errors.
+                mapped = None
+            finally:
+                os.close(fd)
+        try:
+            if mapped is not None:
+                self._mmap = mapped
+                self._view = memoryview(mapped)
+                self.nbytes = len(mapped)
+                events, records, quarantine = attach_day_block(self._view)
+            else:
+                try:
+                    data = self.path.read_bytes()
+                except OSError as exc:
+                    raise self._corrupt(exc) from exc
+                self.nbytes = len(data)
+                events, records, quarantine = unpack_day_block(data)
+        except CheckpointCorruption as exc:
+            self.close()
+            raise self._corrupt(exc) from exc
+        except (ValueError, KeyError, TypeError, struct_error) as exc:
+            # A valid CRC over a malformed header/spec cannot happen by
+            # bit rot, but a hand-edited or cross-version block can get
+            # here; name the unit either way.
+            self.close()
+            raise self._corrupt(exc) from exc
+        self.events = events
+        self.records = records
+        self.quarantine = quarantine
+        self._open = True
+        _OPEN_READERS += 1
+        return events, records, quarantine
+
+    def close(self) -> None:
+        """Release every exported column view, then unmap."""
+        global _OPEN_READERS
+        if self._open:
+            _OPEN_READERS -= 1
+            self._open = False
+        for store, names in (
+            (self.events, RADIO_COLUMNS),
+            (self.records, SERVICE_COLUMNS),
+        ):
+            if store is None:
+                continue
+            for name in names:
+                column = getattr(store, name, None)
+                if isinstance(column, memoryview):
+                    column.release()
+        self.events = None
+        self.records = None
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def __enter__(self) -> "BlockReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ReplayWindow:
+    """LRU window of open :class:`BlockReader` mappings.
+
+    ``attach(path, day, shard)`` returns the unit's attached stores,
+    opening a reader on miss and bumping it to most-recently-used on
+    hit.  After every attach the window evicts least-recently-used
+    readers until it is back within ``max_resident_shards`` and
+    ``max_resident_bytes`` (the unit just attached is never evicted,
+    even when it alone exceeds the byte budget).  Eviction closes the
+    reader — munmap is what actually bounds resident column memory.
+    """
+
+    def __init__(
+        self,
+        max_resident_shards: int = 4,
+        max_resident_bytes: Optional[int] = None,
+    ) -> None:
+        if max_resident_shards < 1:
+            raise ValueError(
+                f"max_resident_shards must be >= 1, got {max_resident_shards}"
+            )
+        self.max_resident_shards = max_resident_shards
+        self.max_resident_bytes = max_resident_bytes
+        self._readers: "OrderedDict[Tuple[int, int], BlockReader]" = OrderedDict()
+
+    @property
+    def resident_shards(self) -> int:
+        return len(self._readers)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(reader.nbytes for reader in self._readers.values())
+
+    def resident_keys(self) -> Iterator[Tuple[int, int]]:
+        """(day, shard) keys currently resident, LRU first."""
+        return iter(tuple(self._readers))
+
+    def attach(
+        self, path: PathLike, day: int, shard: int
+    ) -> Tuple[ColumnarRadioEvents, ColumnarServiceRecords, List[QuarantineEntry]]:
+        """Attach one unit, evicting LRU readers past the budgets."""
+        key = (day, shard)
+        reader = self._readers.pop(key, None)
+        if reader is None:
+            reader = BlockReader(path, day, shard)
+            reader.attach()
+        self._readers[key] = reader
+        self._evict(keep=key)
+        assert reader.events is not None and reader.records is not None
+        return reader.events, reader.records, reader.quarantine
+
+    def _evict(self, keep: Tuple[int, int]) -> None:
+        def over_budget() -> bool:
+            if len(self._readers) > self.max_resident_shards:
+                return True
+            return (
+                self.max_resident_bytes is not None
+                and self.resident_bytes > self.max_resident_bytes
+            )
+
+        while over_budget():
+            oldest = next(iter(self._readers))
+            if oldest == keep:
+                break
+            self._readers.pop(oldest).close()
+
+    def close(self) -> None:
+        """Close every resident reader."""
+        while self._readers:
+            _, reader = self._readers.popitem(last=False)
+            reader.close()
+
+    def __enter__(self) -> "ReplayWindow":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -9,7 +9,7 @@ socket API (see :mod:`repro.service.protocol`).  The data path is::
                                    drain loop (supervised)
                                                │ WAL append  ◀─ ack here
                                                ▼
-                                   CatalogBuilder.update(day, rows)
+                                   CatalogBuilder.update(day, columns)
 
 The ack is released only after the batch's rows are journaled in the
 write-ahead log (:class:`repro.service.wal.BatchLog`) — a SIGKILL at
@@ -17,6 +17,13 @@ any instant loses only unacknowledged batches, which clients re-send
 under their batch id (idempotent).  On restart the WAL replays into a
 fresh builder, reproducing byte-for-byte the catalog state every ack
 ever promised.
+
+Catalog state is columnar end to end: each day accumulates as a pair of
+dictionary-encoded stores sharing one daemon-wide
+:class:`repro.columnar.store.ColumnPools`, live batches append parsed
+rows onto the columns, and WAL replay folds the decoded blocks in with
+:meth:`~repro.columnar.store.ColumnarRadioEvents.extend_from` — no
+dataclass materialization on either path.
 
 Blocking work (WAL file I/O) runs via ``asyncio.to_thread``; catalog
 folds are pure CPU on in-memory state and run inline on the loop.  All
@@ -34,6 +41,12 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Set
 
 import numpy as np
 
+from repro.columnar.store import (
+    NULL_ID,
+    ColumnarRadioEvents,
+    ColumnarServiceRecords,
+    ColumnPools,
+)
 from repro.core.catalog import CatalogBuilder, DeviceDayRecord, DeviceSummary
 from repro.core.classifier import Classification, DeviceClassifier
 from repro.core.roaming import RoamingLabeler
@@ -46,8 +59,9 @@ from repro.service.protocol import parse_batch_rows, report_payload
 from repro.service.queue import BoundedIngestQueue, OverloadShed
 from repro.service.supervisor import TaskSupervisor
 from repro.service.wal import BatchLog
-from repro.signaling.cdr import ServiceRecord
-from repro.signaling.events import RadioEvent
+from repro.signaling.cdr import SERVICE_TYPES, ServiceRecord
+from repro.signaling.events import RADIO_INTERFACES, RadioEvent
+from repro.signaling.procedures import MESSAGE_TYPES, RESULT_CODES
 
 #: Seam invoked with (batch_id, seq) just before a batch's WAL append —
 #: chaos tests hang a KillSwitch here to die mid-publication.
@@ -71,6 +85,67 @@ def _service_sort_key(record: ServiceRecord) -> Any:
         record.duration_s, record.bytes_total, record.visited_plmn,
         record.apn or "",
     )
+
+
+#: Enum-index → wire-value scan tables, so the columnar sort keys below
+#: compare the exact strings the row keys compare (all enum values in
+#: this schema are strings, so tuple comparison semantics are identical).
+_INTERFACE_VALUES = tuple(member.value for member in RADIO_INTERFACES)
+_MESSAGE_VALUES = tuple(member.value for member in MESSAGE_TYPES)
+_RESULT_VALUES = tuple(member.value for member in RESULT_CODES)
+_SERVICE_VALUES = tuple(member.value for member in SERVICE_TYPES)
+
+
+def _radio_sort_permutation(store: ColumnarRadioEvents) -> List[int]:
+    """Stable sort permutation matching :func:`_radio_sort_key`.
+
+    Builds the same key tuples the row sort would — pool strings and
+    enum ``.value``s, not integer ids — so ``store.select(perm)`` is
+    byte-identical to sorting materialized rows, without materializing
+    any.
+    """
+    devices = store.pools.devices.strings
+    plmns = store.pools.plmns.strings
+    device_ids = store.device_ids
+    timestamps = store.timestamps
+    sector_ids = store.sector_ids
+    interfaces = store.interfaces
+    event_types = store.event_types
+    results = store.results
+    tacs = store.tacs
+    sim_plmns = store.sim_plmns
+    keys = [
+        (
+            devices[device_ids[i]], timestamps[i], sector_ids[i],
+            _INTERFACE_VALUES[interfaces[i]], _MESSAGE_VALUES[event_types[i]],
+            _RESULT_VALUES[results[i]], tacs[i], plmns[sim_plmns[i]],
+        )
+        for i in range(len(store))
+    ]
+    return sorted(range(len(keys)), key=keys.__getitem__)
+
+
+def _service_sort_permutation(store: ColumnarServiceRecords) -> List[int]:
+    """Stable sort permutation matching :func:`_service_sort_key`."""
+    devices = store.pools.devices.strings
+    plmns = store.pools.plmns.strings
+    apn_strings = store.pools.apns.strings
+    device_ids = store.device_ids
+    timestamps = store.timestamps
+    services = store.services
+    durations = store.durations
+    bytes_totals = store.bytes_totals
+    visited_plmns = store.visited_plmns
+    apns = store.apns
+    keys = [
+        (
+            devices[device_ids[i]], timestamps[i], _SERVICE_VALUES[services[i]],
+            durations[i], bytes_totals[i], plmns[visited_plmns[i]],
+            apn_strings[apns[i]] if apns[i] != NULL_ID else "",
+        )
+        for i in range(len(store))
+    ]
+    return sorted(range(len(keys)), key=keys.__getitem__)
 
 
 def catalog_digest(
@@ -178,10 +253,15 @@ class CatalogDaemon:
         #: a concurrent re-send awaits the in-flight ack instead of
         #: double-applying the rows.
         self._pending: Dict[str, "asyncio.Future[int]"] = {}
-        #: Per-day row accumulators: ``CatalogBuilder.update`` replaces
-        #: a day's whole slice, so each fold re-sends the full day.
-        self._events_by_day: Dict[int, List[RadioEvent]] = {}
-        self._records_by_day: Dict[int, List[ServiceRecord]] = {}
+        #: Per-day columnar accumulators: ``CatalogBuilder.update``
+        #: replaces a day's whole slice, so each fold re-sends the full
+        #: day.  Every day store shares ``_pools`` — the builder's
+        #: columnar path requires one pool set across both streams, and
+        #: a daemon-wide vocabulary means live appends and WAL replay
+        #: extend the same dictionaries.
+        self._pools = ColumnPools()
+        self._events_by_day: Dict[int, ColumnarRadioEvents] = {}
+        self._records_by_day: Dict[int, ColumnarServiceRecords] = {}
         #: Query caches, invalidated by every applied batch.
         self._dirty = True
         self._cached_records: List[DeviceDayRecord] = []
@@ -207,7 +287,7 @@ class CatalogDaemon:
         )
         replayed = await asyncio.to_thread(self.wal.replay)
         for batch in replayed:
-            self._apply_rows(batch.radio_events, batch.service_records)
+            self._apply_columns(batch.radio_events, batch.service_records)
             self.health.batches_replayed += 1
         if self.wal.n_torn_journal_lines:
             self.health.note_torn_wal(
@@ -269,35 +349,90 @@ class CatalogDaemon:
 
     # -- catalog state ---------------------------------------------------------
 
+    def _day_events(self, day: int) -> ColumnarRadioEvents:
+        store = self._events_by_day.get(day)
+        if store is None:
+            store = self._events_by_day[day] = ColumnarRadioEvents(self._pools)
+        return store
+
+    def _day_records(self, day: int) -> ColumnarServiceRecords:
+        store = self._records_by_day.get(day)
+        if store is None:
+            store = self._records_by_day[day] = ColumnarServiceRecords(self._pools)
+        return store
+
     def _apply_rows(
         self,
         radio_events: List[RadioEvent],
         service_records: List[ServiceRecord],
     ) -> None:
-        """Fold one batch's rows into the incremental catalog.
+        """Fold one live batch's parsed rows into the incremental catalog.
 
-        Each touched day's accumulated slice is re-sorted into the
-        canonical per-device chronological order before the fold, so
-        ingest is *commutative*: any arrival order of (micro-)batches —
-        concurrent clients, retried sheds, out-of-order re-sends —
-        yields the value-identical catalog, because the fold itself is
-        order-sensitive (float accumulation, mobility sequences,
-        first-seen identity).
+        Rows are encoded straight onto the day's columns (``append``
+        derives the same ``timestamp // 86400`` day as the row's
+        ``.day`` property); the fold itself is shared with the replay
+        path in :meth:`_fold_days`.
         """
         days: Set[int] = set()
         for event in radio_events:
-            self._events_by_day.setdefault(event.day, []).append(event)
-            days.add(event.day)
+            day = event.day
+            self._day_events(day).append(event)
+            days.add(day)
         for record in service_records:
-            self._records_by_day.setdefault(record.day, []).append(record)
-            days.add(record.day)
+            day = record.day
+            self._day_records(day).append(record)
+            days.add(day)
+        self._fold_days(days)
+
+    def _apply_columns(
+        self,
+        radio_events: ColumnarRadioEvents,
+        service_records: ColumnarServiceRecords,
+    ) -> None:
+        """Fold one replayed batch's columnar block into the catalog.
+
+        The WAL replays each batch as the decoded stores themselves;
+        partitioning scans the cached ``days`` column into per-day index
+        lists and ``extend_from`` re-encodes each slice against the
+        daemon-wide pools — no row dataclass is ever built.
+        """
+        radio_slices: Dict[int, List[int]] = {}
+        for index, day in enumerate(radio_events.days):
+            radio_slices.setdefault(day, []).append(index)
+        service_slices: Dict[int, List[int]] = {}
+        for index, day in enumerate(service_records.days):
+            service_slices.setdefault(day, []).append(index)
+        for day, indices in radio_slices.items():
+            self._day_events(day).extend_from(radio_events, indices)
+        for day, indices in service_slices.items():
+            self._day_records(day).extend_from(service_records, indices)
+        self._fold_days(set(radio_slices) | set(service_slices))
+
+    def _fold_days(self, days: Set[int]) -> None:
+        """Re-sort and re-fold every touched day's accumulated slice.
+
+        Each day is permuted into the canonical per-device chronological
+        order before the fold, so ingest is *commutative*: any arrival
+        order of (micro-)batches — concurrent clients, retried sheds,
+        out-of-order re-sends — yields the value-identical catalog,
+        because the fold itself is order-sensitive (float accumulation,
+        mobility sequences, first-seen identity).  The permutation keys
+        are the pool strings and enum values the row sort compared, so
+        the folded order is byte-identical to the row path's.
+        """
         # Ascending day order keeps identity resolution equal to the
         # batch pipeline's stream order (see CatalogBuilder.update).
         for day in sorted(days):
-            day_events = self._events_by_day.get(day, [])
-            day_records = self._records_by_day.get(day, [])
-            day_events.sort(key=_radio_sort_key)
-            day_records.sort(key=_service_sort_key)
+            day_events = self._day_events(day)
+            day_records = self._day_records(day)
+            perm = _radio_sort_permutation(day_events)
+            if perm != list(range(len(perm))):
+                day_events = day_events.select(perm)
+                self._events_by_day[day] = day_events
+            perm = _service_sort_permutation(day_records)
+            if perm != list(range(len(perm))):
+                day_records = day_records.select(perm)
+                self._records_by_day[day] = day_records
             self._builder.update(day, day_events, day_records)
         if days:
             self._dirty = True

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Set, Tuple, Union
 
+from repro.columnar.store import ColumnarRadioEvents, ColumnarServiceRecords
 from repro.runtime.checkpoint import BeforeReplace, CheckpointStore
 from repro.runtime.serialize import (
     CheckpointCorruption,
@@ -52,12 +53,20 @@ _WAL_FINGERPRINT = {"role": "service-wal", "format": 1}
 
 @dataclass(frozen=True)
 class ReplayedBatch:
-    """One acknowledged batch recovered from the WAL."""
+    """One acknowledged batch recovered from the WAL.
+
+    The batch stays dictionary-encoded: ``radio_events`` /
+    ``service_records`` are the unit's decoded columnar stores (shared
+    per-batch pools), which the daemon folds into the catalog directly —
+    :meth:`CatalogBuilder.update` accepts columnar input, so replay
+    never materializes row dataclasses.  Call ``.to_rows()`` on either
+    store if rows are genuinely needed.
+    """
 
     seq: int
     batch_id: str
-    radio_events: List[RadioEvent]
-    service_records: List[ServiceRecord]
+    radio_events: ColumnarRadioEvents
+    service_records: ColumnarServiceRecords
 
 
 def _encode_envelope(batch_id: str, seq: int, block: bytes) -> bytes:
@@ -166,8 +175,8 @@ class BatchLog:
                 ReplayedBatch(
                     seq=seq,
                     batch_id=batch_id,
-                    radio_events=events_c.to_rows(),
-                    service_records=records_c.to_rows(),
+                    radio_events=events_c,
+                    service_records=records_c,
                 )
             )
             self.applied_batch_ids.add(batch_id)

@@ -1,0 +1,10 @@
+"""PERF004 fixture: materializing rows on the replay/fold path."""
+
+from typing import Any, List
+
+
+def replay_fold(events_store: Any, records_store: Any, builder: Any) -> None:
+    radio_rows: List[Any] = events_store.to_rows()
+    for record in records_store.iter_rows():
+        radio_rows.append(record)
+    builder.update(0, radio_rows, records_store.to_rows())

@@ -1,0 +1,13 @@
+"""PERF004 clean twin: fold the columns directly, no row round-trip."""
+
+from typing import Any, Sequence
+
+
+def replay_fold(
+    day_events: Any,
+    batch_events: Any,
+    indices: Sequence[int],
+    builder: Any,
+) -> None:
+    day_events.extend_from(batch_events, indices)
+    builder.update(0, day_events)

@@ -34,6 +34,7 @@ BAD_FIXTURES = {
     "seam/bad_worker_global.py": {"SEAM002": 2},
     "service/bad_async_hygiene.py": {"SVC001": 7},
     "transport/bad_row_payload.py": {"PERF003": 3},
+    "runtime/bad_row_replay.py": {"PERF004": 3},
 }
 
 GOOD_FIXTURES = [
@@ -57,6 +58,7 @@ GOOD_FIXTURES = [
     "seam/noqa_worker_global.py",
     "service/good_async_hygiene.py",
     "transport/good_columnar_payload.py",
+    "runtime/good_columnar_replay.py",
 ]
 
 

@@ -1,0 +1,321 @@
+"""Out-of-core spill layer: zero-copy attach, LRU window, corruption.
+
+Three contracts under test:
+
+- :class:`BlockReader` attaches a spilled unit zero-copy (or via the
+  streamed fallback) with identical rows, and every torn/corrupt/short
+  block raises :class:`CheckpointCorruption` naming the ``(day, shard)``;
+- :class:`ReplayWindow` keeps the open-reader population within its
+  shard/byte budgets (eviction actually closes mappings — that is what
+  bounds RSS) while never evicting the unit just attached;
+- ``run_durable_pipeline(out_of_core=True)`` is byte-identical to the
+  in-memory path across worker counts, strict/lenient, ephemeral and
+  durable spill stores, cross-mode resume, and torn-unit recovery —
+  with no reader leaked and no stale staging file left behind.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.columnar.blocks import CheckpointCorruption
+from repro.faults.crash import tear_day_checkpoint
+from repro.parallel.health import TORN_CHECKPOINT
+from repro.pipeline import run_pipeline
+from repro.runtime import run_durable_pipeline
+from repro.runtime.checkpoint import UNITS_DIRNAME
+from repro.runtime.run import _day_slices
+from repro.runtime.serialize import pack_day_block, unpack_day_block
+from repro.runtime.spill import (
+    SPILL_NO_MMAP_ENV,
+    BlockReader,
+    ReplayWindow,
+    open_reader_count,
+)
+
+from tests.runtime.test_durable_run import assert_same_result
+
+
+@pytest.fixture(scope="module")
+def plain_result(small_eco, small_dataset):
+    return run_pipeline(small_dataset, small_eco, n_workers=1)
+
+
+@pytest.fixture(scope="module")
+def plain_lenient(small_eco, poisoned_dataset):
+    return run_pipeline(poisoned_dataset, small_eco, lenient=True, n_workers=1)
+
+
+@pytest.fixture()
+def unit_file(tmp_path, small_dataset):
+    """One day's records packed as a framed block on disk."""
+    day, (radio, service) = sorted(_day_slices(small_dataset).items())[0]
+    blob = pack_day_block(radio, service)
+    path = tmp_path / f"day_{day:03d}.shard_000.ckpt"
+    path.write_bytes(blob)
+    return path, day, blob
+
+
+def test_block_reader_attaches_zero_copy(unit_file):
+    path, day, blob = unit_file
+    events_ref, records_ref, _ = unpack_day_block(blob)
+    with BlockReader(path, day, 0) as reader:
+        events, records, quarantine = reader.attach()
+        assert open_reader_count() == 1
+        # Zero-copy: numeric columns are views over the mapping.
+        assert isinstance(events.timestamps, memoryview)
+        assert isinstance(records.timestamps, memoryview)
+        assert quarantine == []
+        assert events.to_rows() == events_ref.to_rows()
+        assert records.to_rows() == records_ref.to_rows()
+        # Idempotent: a second attach returns the same stores.
+        assert reader.attach()[0] is events
+        assert open_reader_count() == 1
+    assert open_reader_count() == 0
+    assert reader.events is None and reader.records is None
+
+
+def test_streamed_fallback_is_identical(unit_file, monkeypatch):
+    path, day, blob = unit_file
+    with BlockReader(path, day, 0) as mapped:
+        mapped_rows = mapped.attach()[0].to_rows()
+    monkeypatch.setenv(SPILL_NO_MMAP_ENV, "1")
+    with BlockReader(path, day, 0) as streamed:
+        events, records, _ = streamed.attach()
+        # Fallback materializes real columns, not views.
+        assert not isinstance(events.timestamps, memoryview)
+        assert events.to_rows() == mapped_rows
+        assert open_reader_count() == 1
+    assert open_reader_count() == 0
+
+
+@pytest.mark.parametrize("use_mmap", [True, False])
+def test_truncated_tail_names_the_unit(unit_file, monkeypatch, use_mmap):
+    if not use_mmap:
+        monkeypatch.setenv(SPILL_NO_MMAP_ENV, "1")
+    path, day, blob = unit_file
+    path.write_bytes(blob[: len(blob) - 7])
+    reader = BlockReader(path, day, 3)
+    with pytest.raises(CheckpointCorruption) as excinfo:
+        reader.attach()
+    assert f"day={day}" in str(excinfo.value)
+    assert "shard=3" in str(excinfo.value)
+    assert open_reader_count() == 0
+
+
+@pytest.mark.parametrize("use_mmap", [True, False])
+def test_flipped_body_byte_fails_crc(unit_file, monkeypatch, use_mmap):
+    if not use_mmap:
+        monkeypatch.setenv(SPILL_NO_MMAP_ENV, "1")
+    path, day, blob = unit_file
+    corrupt = bytearray(blob)
+    corrupt[-1] ^= 0xFF
+    path.write_bytes(bytes(corrupt))
+    with pytest.raises(CheckpointCorruption) as excinfo:
+        BlockReader(path, day, 0).attach()
+    assert f"day={day}" in str(excinfo.value)
+    assert open_reader_count() == 0
+
+
+@pytest.mark.parametrize("length", [0, 3, 11])
+def test_short_file_is_corruption_not_crash(unit_file, length):
+    # Shorter than the frame header — including the empty file, where
+    # mmap itself refuses to map and the streamed fallback validates.
+    path, day, blob = unit_file
+    path.write_bytes(blob[:length])
+    with pytest.raises(CheckpointCorruption):
+        BlockReader(path, day, 0).attach()
+    assert open_reader_count() == 0
+
+
+def test_missing_file_is_corruption(tmp_path):
+    with pytest.raises(CheckpointCorruption) as excinfo:
+        BlockReader(tmp_path / "absent.ckpt", 5, 2).attach()
+    assert "day=5" in str(excinfo.value) and "shard=2" in str(excinfo.value)
+    assert open_reader_count() == 0
+
+
+@pytest.fixture()
+def shard_files(tmp_path, small_dataset):
+    """Six single-shard unit files for window tests."""
+    day, (radio, service) = sorted(_day_slices(small_dataset).items())[0]
+    paths = {}
+    for shard in range(6):
+        blob = pack_day_block(radio[shard::6], service[shard::6])
+        path = tmp_path / f"day_{day:03d}.shard_{shard:03d}.ckpt"
+        path.write_bytes(blob)
+        paths[shard] = path
+    return day, paths
+
+
+def test_window_evicts_lru_and_closes_readers(shard_files):
+    day, paths = shard_files
+    with ReplayWindow(max_resident_shards=2) as window:
+        window.attach(paths[0], day, 0)
+        window.attach(paths[1], day, 1)
+        # Bump shard 0 to most-recently-used, then overflow.
+        window.attach(paths[0], day, 0)
+        window.attach(paths[2], day, 2)
+        assert window.resident_shards == 2
+        assert open_reader_count() == 2
+        assert list(window.resident_keys()) == [(day, 0), (day, 2)]
+    assert open_reader_count() == 0
+
+
+def test_window_byte_budget_never_evicts_current(shard_files):
+    day, paths = shard_files
+    # A byte budget smaller than any one unit: the just-attached unit
+    # must survive anyway, alone.
+    with ReplayWindow(max_resident_shards=10, max_resident_bytes=1) as window:
+        window.attach(paths[0], day, 0)
+        assert window.resident_shards == 1
+        window.attach(paths[1], day, 1)
+        assert window.resident_shards == 1
+        assert list(window.resident_keys()) == [(day, 1)]
+    assert open_reader_count() == 0
+
+
+def test_window_rejects_empty_budget():
+    with pytest.raises(ValueError):
+        ReplayWindow(max_resident_shards=0)
+
+
+def _no_stale_spill_files(checkpoint_dir) -> bool:
+    return not list(Path(checkpoint_dir).rglob("*.tmp"))
+
+
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_out_of_core_equals_plain_strict(
+    tmp_path, small_eco, small_dataset, plain_result, n_workers
+):
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path / "ckpt",
+        n_workers=n_workers,
+        out_of_core=True,
+        max_resident_shards=1,
+    )
+    assert_same_result(result, plain_result)
+    assert result.health is not None and result.health.ok
+    assert open_reader_count() == 0
+    assert _no_stale_spill_files(tmp_path / "ckpt")
+
+
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_out_of_core_equals_plain_lenient(
+    tmp_path, small_eco, poisoned_dataset, plain_lenient, n_workers
+):
+    result = run_durable_pipeline(
+        poisoned_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path / "ckpt",
+        n_workers=n_workers,
+        lenient=True,
+        out_of_core=True,
+    )
+    assert_same_result(result, plain_lenient)
+    assert result.degradation is not None
+    assert plain_lenient.degradation is not None
+    assert (
+        result.degradation.n_failed_by_stage
+        == plain_lenient.degradation.n_failed_by_stage
+    )
+    assert open_reader_count() == 0
+
+
+def test_out_of_core_without_checkpoint_dir(small_eco, small_dataset, plain_result):
+    """Ephemeral spill: no directory supplied, none left behind."""
+    import glob
+    import tempfile
+
+    before = set(glob.glob(str(Path(tempfile.gettempdir()) / "repro_spill_*")))
+    result = run_durable_pipeline(
+        small_dataset, small_eco, checkpoint_dir=None, out_of_core=True
+    )
+    after = set(glob.glob(str(Path(tempfile.gettempdir()) / "repro_spill_*")))
+    assert_same_result(result, plain_result)
+    assert after == before
+    assert open_reader_count() == 0
+
+
+def test_streamed_fallback_pipeline_is_identical(
+    tmp_path, small_eco, small_dataset, plain_result, monkeypatch
+):
+    monkeypatch.setenv(SPILL_NO_MMAP_ENV, "1")
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path / "ckpt",
+        out_of_core=True,
+    )
+    assert_same_result(result, plain_result)
+    assert open_reader_count() == 0
+
+
+@pytest.mark.parametrize("first_out_of_core", [False, True])
+def test_cross_mode_resume(
+    tmp_path, small_eco, small_dataset, plain_result, first_out_of_core
+):
+    """A checkpoint written in either mode resumes in the other."""
+    run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path,
+        out_of_core=first_out_of_core,
+    )
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path,
+        resume=True,
+        out_of_core=not first_out_of_core,
+    )
+    assert_same_result(result, plain_result)
+    assert open_reader_count() == 0
+
+
+def test_out_of_core_resume_after_torn_unit(
+    tmp_path, small_eco, small_dataset, plain_result
+):
+    run_durable_pipeline(
+        small_dataset, small_eco, checkpoint_dir=tmp_path, out_of_core=True
+    )
+    torn_day = sorted(_day_slices(small_dataset))[1]
+    tear_day_checkpoint(tmp_path, torn_day, 0)
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path,
+        resume=True,
+        out_of_core=True,
+    )
+    assert_same_result(result, plain_result)
+    assert result.health is not None
+    assert any(
+        incident.kind == TORN_CHECKPOINT for incident in result.health.incidents
+    )
+    assert open_reader_count() == 0
+    assert _no_stale_spill_files(tmp_path)
+
+
+def test_stale_spill_staging_swept_on_resume(
+    tmp_path, small_eco, small_dataset, plain_result
+):
+    """A SIGKILL between spill-write and adopt leaves a ``*.tmp`` stray;
+    the store's resume-time temp sweep must remove it."""
+    run_durable_pipeline(
+        small_dataset, small_eco, checkpoint_dir=tmp_path, out_of_core=True
+    )
+    stray = Path(tmp_path) / UNITS_DIRNAME / "day_000.shard_000.ckpt.99999.tmp"
+    stray.write_bytes(b"half a spilled block")
+    result = run_durable_pipeline(
+        small_dataset,
+        small_eco,
+        checkpoint_dir=tmp_path,
+        resume=True,
+        out_of_core=True,
+    )
+    assert_same_result(result, plain_result)
+    assert not stray.exists()
+    assert _no_stale_spill_files(tmp_path)

@@ -33,9 +33,11 @@ def test_append_then_replay_round_trips(tmp_path):
     resumed = BatchLog(tmp_path, resume=True)
     batches = resumed.replay()
     assert [(b.seq, b.batch_id) for b in batches] == [(0, "b-0"), (1, "b-1")]
-    assert batches[0].radio_events == events_a
-    assert batches[0].service_records == records_a
-    assert batches[1].radio_events == events_b
+    # Replay hands back columnar stores; row materialization is the
+    # caller's opt-in, and round-trips exactly.
+    assert batches[0].radio_events.to_rows() == events_a
+    assert batches[0].service_records.to_rows() == records_a
+    assert batches[1].radio_events.to_rows() == events_b
     assert resumed.applied_batch_ids == {"b-0", "b-1"}
     # New appends continue the sequence, they never reuse a slot.
     events_c, records_c = typed_rows(day_offset=2)

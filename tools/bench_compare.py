@@ -2,19 +2,30 @@
 
 Times the pipeline's hot stages — catalog build, classification, the
 sharded worker sweep (1/2/4), the cached vs uncached roaming-labeler
-path, and the live catalog daemon (micro-batch ingest throughput and
-point-query p99) — and writes the results as ``BENCH_pipeline.json``.
-With ``--check`` it compares each bench's ops/sec against a committed
-baseline, enforces the derived speedup floors / overhead ceilings, and
-gates ``service_query_p99`` on a hard latency SLO; any failure exits
-non-zero beyond ``--tolerance`` (default 20%), which is how CI's perf
-job gates merges.
+path, the out-of-core spill pipeline, and the live catalog daemon
+(micro-batch ingest throughput and point-query p99) — and writes the
+results as ``BENCH_pipeline.json``.  With ``--check`` it compares each
+bench's ops/sec against a committed baseline, enforces the derived
+speedup floors / overhead ceilings, and gates ``service_query_p99`` on
+a hard latency SLO; any failure exits non-zero beyond ``--tolerance``
+(default 20%), which is how CI's perf job gates merges.
+
+``--scale`` sweeps the out-of-core pipeline across device counts, one
+subprocess per point (each child's ``ru_maxrss`` is then a clean
+per-scale watermark, not this process's accumulated high-water mark),
+generating input day by day through the streaming simulator so peak
+RSS measures the execution engine, not dataset materialization.  Under
+``--check``, every exact 10x device step must grow peak RSS by less
+than :data:`SCALE_RSS_CEILING` (3x) — the sublinear-memory acceptance
+criterion for out-of-core execution.  ``--scale-only`` skips the main
+benches; CI's scale_smoke job runs exactly that.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_compare.py --out BENCH_pipeline.json
     PYTHONPATH=src python tools/bench_compare.py --smoke --check
     PYTHONPATH=src python tools/bench_compare.py --smoke --write-baseline
+    PYTHONPATH=src python tools/bench_compare.py --scale-only --check
 
 Numbers are honest wall-clock measurements on whatever machine runs the
 tool; the ``meta`` block records ``cpu_count`` so a 1-core container's
@@ -37,6 +48,7 @@ import pickle
 import platform
 import resource
 import shutil
+import subprocess
 import sys
 import tempfile
 import threading
@@ -112,19 +124,98 @@ EXCHANGE_SHARDS = 4
 
 #: Hard acceptance ceilings on derived overhead ratios, enforced by
 #: ``--check`` at full scale: checkpointing every (day, shard) unit may
-#: cost at most 10% over the identical un-persisted run.
+#: cost at most 10% over the identical un-persisted run, and the
+#: out-of-core spill path (per-unit write + fsync, mmap-backed replay)
+#: at most 25% — the price of bounded RSS.
 OVERHEAD_CEILINGS = {
     "checkpoint_overhead": 1.10,
+    "out_of_core_overhead": 1.25,
 }
 
 #: The smoke run uses looser ceilings: per-unit persistence costs
 #: (manifest, journal line, block fsyncs) are fixed while the 300-device
 #: units carry ~20x fewer rows, so the relative overhead is inherently
 #: higher than at contract scale.  Smoke only guards against gross
-#: regressions; the 1.10 contract is asserted at full scale.
+#: regressions; the full-scale contracts are asserted by the perf job.
 SMOKE_OVERHEAD_CEILINGS = {
     "checkpoint_overhead": 1.25,
+    "out_of_core_overhead": 1.40,
 }
+
+#: Device counts swept by ``--scale`` when none are given.  The pair is
+#: an exact 10x step, so the sublinear-RSS gate applies; larger sweeps
+#: (e.g. ``--scale 300,3000,30000``) gate every 10x pair they contain.
+DEFAULT_SCALE_POINTS = (300, 3000)
+
+#: Peak-RSS growth ceiling across an exact 10x device step, enforced by
+#: ``--check`` on the ``--scale`` sweep.  Out-of-core execution keeps
+#: the *working set* bounded by the replay window, but the catalog's
+#: own output (day records + summaries, ~1.5 KiB per device-day) is
+#: live state the caller asked for and grows linearly — so the honest
+#: criterion is strongly sublinear growth (< 3x per 10x devices), not a
+#: flat line.
+SCALE_RSS_CEILING = 3.0
+
+#: One ``--scale`` point, run in a child process so ``ru_maxrss`` is a
+#: clean per-scale watermark.  Input is generated day by day through
+#: the streaming simulator and fed via ``day_source`` — the dataset is
+#: never materialized whole — and the pipeline runs out-of-core with a
+#: single-shard replay window, the configuration whose RSS the sweep is
+#: certifying.  Prints one JSON line on stdout.
+_SCALE_CHILD = """
+import json
+import resource
+import sys
+import time
+
+from repro.datasets.containers import MNODataset
+from repro.ecosystem import EcosystemConfig, build_default_ecosystem
+from repro.mno import MNOConfig
+from repro.mno.streaming import StreamingMNOSimulator
+from repro.runtime import run_durable_pipeline
+
+devices, seed = int(sys.argv[1]), int(sys.argv[2])
+eco = build_default_ecosystem(EcosystemConfig(uk_sites=120, seed=11))
+config = MNOConfig(n_devices=devices, seed=seed)
+sim = StreamingMNOSimulator(eco, config)
+skeleton = MNODataset(
+    observer=eco.uk_mno,
+    radio_events=[],
+    service_records=[],
+    tac_db=eco.tac_db,
+    sector_catalog=eco.uk_sectors,
+    window_days=config.window_days,
+)
+rows = [0]
+
+
+def day_source(day):
+    batch = sim.generate_day(day)
+    rows[0] += batch.n_records
+    return batch.radio_events, batch.service_records, None
+
+
+start = time.perf_counter()
+result = run_durable_pipeline(
+    skeleton,
+    eco,
+    checkpoint_dir=None,
+    compute_mobility=False,
+    n_workers=1,
+    out_of_core=True,
+    max_resident_shards=1,
+    day_source=day_source,
+    days=range(config.window_days),
+)
+seconds = time.perf_counter() - start
+print(json.dumps({
+    "devices": devices,
+    "rows": rows[0],
+    "catalog_devices": len(result.summaries),
+    "seconds": round(seconds, 3),
+    "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+}))
+"""
 
 #: Rows per ingest micro-batch streamed at the live daemon.  Each fold
 #: re-sends the touched day's accumulated slice through
@@ -375,6 +466,16 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
             dataset, eco, checkpoint_dir=None, compute_mobility=False, n_workers=1
         )
 
+    def durable_out_of_core() -> None:
+        # checkpoint_dir=None + out_of_core spills to an ephemeral
+        # directory created and removed inside the run: every unit block
+        # is written + fsynced once and replayed through the mmap-backed
+        # window, the full price of bounded RSS.
+        run_durable_pipeline(
+            dataset, eco, checkpoint_dir=None,
+            compute_mobility=False, n_workers=1, out_of_core=True,
+        )
+
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in benches.items():
         rss_before = _peak_rss_kb()
@@ -478,16 +579,17 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
         f"{results['shard_exchange']['shm_attach_ms_per_shard']:.2f} ms/shard)"
     )
 
-    # The durable pair is timed *interleaved* rather than through the
-    # best-of-N loop above: the overhead gate reads the ratio of the two
-    # timings, and two independent best-of-N measurements taken minutes
+    # The durable trio is timed *interleaved* rather than through the
+    # best-of-N loop above: the overhead gates read ratios of these
+    # timings, and independent best-of-N measurements taken minutes
     # apart pick up machine drift as fake overhead (or fake speedup).
-    # Alternating checkpointed/baseline runs and gating on the *minimum*
-    # per-pair ratio means a single noisy iteration cannot trip the
-    # ceiling — only a consistently slower checkpointed path can.
+    # Alternating checkpointed/baseline/out-of-core runs and gating on
+    # the *minimum* per-pair ratio means a single noisy iteration cannot
+    # trip a ceiling — only a consistently slower path can.
     pair_repeats = max(repeats, 3)
     ckpt_times: list = []
     base_times: list = []
+    ooc_times: list = []
     rss_before = _peak_rss_kb()
     for _ in range(pair_repeats):
         start = time.perf_counter()
@@ -496,10 +598,14 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
         start = time.perf_counter()
         durable_baseline()
         base_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        durable_out_of_core()
+        ooc_times.append(time.perf_counter() - start)
     rss_after = _peak_rss_kb()
     for name, times in (
         ("durable_checkpointed", ckpt_times),
         ("durable_baseline", base_times),
+        ("pipeline_out_of_core", ooc_times),
     ):
         seconds = min(times)
         results[name] = {
@@ -521,6 +627,9 @@ def run_benches(devices: int, seed: int, repeats: int) -> Dict[str, Dict[str, fl
         )
     results["durable_checkpointed"]["overhead_vs_baseline"] = round(
         min(c / b for c, b in zip(ckpt_times, base_times)), 3
+    )
+    results["pipeline_out_of_core"]["overhead_vs_baseline"] = round(
+        min(o / b for o, b in zip(ooc_times, base_times)), 3
     )
 
     # Live-daemon benches: stream the dataset as micro-batches through
@@ -660,7 +769,87 @@ def derive_ratios(benches: Dict[str, Dict[str, float]]) -> Dict[str, float]:
             3,
         ),
     )
+    # Out-of-core acceptance: the spill-everything run (per-unit write +
+    # fsync, mmap-windowed replay) relative to the identical in-memory
+    # execution (1.0 = free, ceiling 1.25).  Same interleaved-pair
+    # sourcing as checkpoint_overhead.
+    ratios["out_of_core_overhead"] = benches["pipeline_out_of_core"].get(
+        "overhead_vs_baseline",
+        round(
+            benches["pipeline_out_of_core"]["seconds"]
+            / benches["durable_baseline"]["seconds"],
+            3,
+        ),
+    )
     return ratios
+
+
+def run_scale_sweep(points: List[int], seed: int) -> Dict[str, Any]:
+    """Run the out-of-core pipeline at each device count, in children.
+
+    Each point gets its own subprocess so its ``ru_maxrss`` is a clean
+    watermark for that scale alone — in-process, the monotone watermark
+    of an earlier (larger) point would mask a smaller one.
+    """
+    entries: List[Dict[str, Any]] = []
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    for devices in points:
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCALE_CHILD, str(devices), str(seed)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"scale child for {devices} devices failed "
+                f"(exit {proc.returncode}):\n{proc.stderr}"
+            )
+        entry = json.loads(proc.stdout.splitlines()[-1])
+        entry["rows_per_sec"] = (
+            round(entry["rows"] / entry["seconds"], 1)
+            if entry["seconds"] > 0
+            else float("inf")
+        )
+        entries.append(entry)
+        print(
+            f"  scale {devices:>9,}  {entry['seconds']:8.2f}s  "
+            f"{entry['rows_per_sec']:>12,.0f} rows/s  "
+            f"peak RSS {entry['peak_rss_kb']:,} KiB"
+        )
+    return {"points": entries, "rss_ceiling_per_10x": SCALE_RSS_CEILING}
+
+
+def check_scale_rss(scale: Dict[str, Any]) -> int:
+    """Gate peak-RSS growth across every exact 10x device step.
+
+    Pairs whose device counts are not an exact 10x apart carry no
+    contract (the ceiling is defined per decade); a sweep with no 10x
+    pair at all prints a loud note instead of silently passing.
+    """
+    points = sorted(scale["points"], key=lambda entry: entry["devices"])
+    failures = 0
+    gated = False
+    for small in points:
+        for large in points:
+            if large["devices"] != 10 * small["devices"]:
+                continue
+            gated = True
+            ratio = large["peak_rss_kb"] / max(small["peak_rss_kb"], 1)
+            status = "ok"
+            if ratio >= SCALE_RSS_CEILING:
+                status = "ABOVE CEILING"
+                failures += 1
+            print(
+                f"  rss_growth {small['devices']:,} -> {large['devices']:,}: "
+                f"{ratio:.2f}x (ceiling {SCALE_RSS_CEILING}x)  {status}"
+            )
+    if not gated:
+        print(
+            "  NOTE: no exact 10x device pair in the sweep — the "
+            "sublinear-RSS gate did not run; include one (e.g. 300,3000)."
+        )
+    return failures
 
 
 def check_speedup_floors(
@@ -798,6 +987,20 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="overwrite the selected baseline file with this run",
     )
+    parser.add_argument(
+        "--scale",
+        type=str,
+        default=None,
+        help=(
+            "comma-separated device counts for the out-of-core RSS sweep "
+            f"(e.g. {','.join(str(p) for p in DEFAULT_SCALE_POINTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--scale-only",
+        action="store_true",
+        help="run only the --scale sweep (default points if --scale absent)",
+    )
     args = parser.parse_args(argv)
 
     devices = 300 if args.smoke else args.devices
@@ -807,21 +1010,46 @@ def main(argv: Optional[list] = None) -> int:
         if args.baseline
         else (SMOKE_BASELINE if args.smoke else DEFAULT_BASELINE)
     )
+    scale_points: Optional[List[int]] = None
+    if args.scale is not None:
+        scale_points = [int(part) for part in args.scale.split(",") if part.strip()]
+    elif args.scale_only:
+        scale_points = list(DEFAULT_SCALE_POINTS)
+
+    meta = {
+        "devices": devices,
+        "seed": args.seed,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+
+    if args.scale_only:
+        print(f"scale sweep {scale_points} devices (out-of-core) ...")
+        scale = run_scale_sweep(scale_points or [], args.seed)
+        report: Dict[str, Any] = {"meta": meta, "scale": scale}
+        out_path = Path(args.out)
+        atomic_write_text(out_path, json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+        if args.check:
+            print("checking scale-sweep RSS growth")
+            if check_scale_rss(scale):
+                print("scale sweep regressed")
+                return 1
+            print("no regressions")
+        return 0
 
     print(f"benching {devices} devices (repeats={repeats}) ...")
     benches = run_benches(devices, args.seed, repeats)
     report = {
-        "meta": {
-            "devices": devices,
-            "seed": args.seed,
-            "repeats": repeats,
-            "smoke": args.smoke,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-        },
+        "meta": meta,
         "benches": benches,
         "derived": derive_ratios(benches),
     }
+    if scale_points:
+        print(f"scale sweep {scale_points} devices (out-of-core) ...")
+        report["scale"] = run_scale_sweep(scale_points, args.seed)
     out_path = Path(args.out)
     atomic_write_text(out_path, json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
@@ -855,6 +1083,9 @@ def main(argv: Optional[list] = None) -> int:
         )
         print("checking latency SLOs")
         regressions += check_latency_slos(benches)
+        if "scale" in report:
+            print("checking scale-sweep RSS growth")
+            regressions += check_scale_rss(report["scale"])
         if regressions:
             print(f"{regressions} bench(es) regressed")
             return 1
