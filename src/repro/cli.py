@@ -322,6 +322,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify (and optionally repair) a checkpoint store or WAL at rest."""
+    from repro.runtime.checkpoint import CheckpointError
+    from repro.runtime.scrub import recompute_from_dataset, scrub_store
+
+    recompute = None
+    if args.repair and args.recompute:
+        eco = _build_eco(args)
+        dataset = simulate_mno_dataset(
+            eco, MNOConfig(n_devices=args.devices, seed=args.seed)
+        )
+        recompute = recompute_from_dataset(dataset)
+    try:
+        report = scrub_store(
+            args.checkpoint_dir, repair=args.repair, recompute=recompute
+        )
+    except CheckpointError as exc:
+        print(f"scrub failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.healthy_after_scrub else 1
+
+
 def cmd_keywords(args: argparse.Namespace) -> int:
     """Run the APN keyword-discovery workflow on a simulated population."""
     _, _, result = _build_pipeline(args)
@@ -484,6 +510,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between durable snapshot (journal fsync) cycles",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "scrub",
+        help="verify a checkpoint store's unit CRCs end-to-end; classify "
+        "and optionally repair at-rest damage",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        required=True,
+        help="store (or service WAL) directory to scrub",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="heal damage: recompute units where possible, otherwise drop "
+        "them from the journal so the next --resume re-executes them",
+    )
+    p.add_argument(
+        "--recompute",
+        action="store_true",
+        help="with --repair: rebuild damaged units byte-identically from "
+        "the simulated dataset (--devices/--seed must match the run)",
+    )
+    p.add_argument("--devices", type=int, default=800)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=cmd_scrub)
 
     p = sub.add_parser("keywords", help="run APN keyword discovery")
     p.add_argument("--devices", type=int, default=800)

@@ -18,6 +18,10 @@ reproducible inputs*:
   SIGKILL switches, torn checkpoints, stale manifests) that exercise
   the durable runtime (:mod:`repro.runtime`) the way the data
   injectors exercise ingest;
+* :mod:`repro.faults.fsfault` — seeded filesystem fault injection
+  (ENOSPC, EIO, fsync failure, short writes, latent bit rot, rename
+  failure) armed ambiently and consulted by the storage I/O seam
+  (:mod:`repro.runtime.fsio`);
 * :mod:`repro.faults.retry` — exponential-backoff retry modeling
   (seeded jitter, delay cap), used by the platform simulator to model
   reattach storms during outages and by any code that needs a sanctioned
@@ -38,6 +42,20 @@ from repro.faults.crash import (
     make_manifest_stale,
     tear_day_checkpoint,
     tear_journal_tail,
+)
+from repro.faults.fsfault import (
+    BIT_ROT,
+    EIO_READ,
+    EIO_WRITE,
+    ENOSPC,
+    FSFAULT_PLAN_ENV,
+    FSYNC_FAIL,
+    RENAME_FAIL,
+    SHORT_WRITE,
+    FsFault,
+    FsFaultInjector,
+    FsFaultPlan,
+    install,
 )
 from repro.faults.inject import (
     RADIO_EVENT_SCHEMA,
@@ -60,8 +78,17 @@ from repro.faults.retry import (
 )
 
 __all__ = [
+    "BIT_ROT",
     "CorruptionKind",
+    "EIO_READ",
+    "EIO_WRITE",
+    "ENOSPC",
+    "FSFAULT_PLAN_ENV",
+    "FSYNC_FAIL",
     "FaultPlan",
+    "FsFault",
+    "FsFaultInjector",
+    "FsFaultPlan",
     "InjectionReport",
     "KILL_AT_DAY",
     "KILL_AT_RENAME",
@@ -69,9 +96,11 @@ __all__ = [
     "KillSwitch",
     "OutageWindow",
     "RADIO_EVENT_SCHEMA",
+    "RENAME_FAIL",
     "RetryError",
     "RetryPolicy",
     "RowSchema",
+    "SHORT_WRITE",
     "SERVICE_RECORD_SCHEMA",
     "TRANSACTION_SCHEMA",
     "backoff_schedule",
@@ -81,6 +110,7 @@ __all__ = [
     "inject_rows",
     "inject_service_records",
     "inject_transactions",
+    "install",
     "make_manifest_stale",
     "tear_day_checkpoint",
     "tear_journal_tail",

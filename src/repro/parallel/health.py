@@ -50,6 +50,30 @@ INCIDENT_KINDS = (
     SNAPSHOT,
 )
 
+#: A storage operation failed (ENOSPC/EIO/fsync/rename); detail carries
+#: the error, ``op`` the operation.  Transient faults that retried away
+#: still leave one of these per failed attempt.
+STORAGE_FAULT = "storage-fault"
+#: Lenient degradation: a unit's persistence exhausted its retries and
+#: the unit was dropped from the catalog fold (re-executed on resume).
+UNIT_QUARANTINED = "unit-quarantined"
+#: Free disk crossed the daemon's low watermark; ingest is being shed
+#: until it recovers past the resume watermark (one incident/episode).
+DISK_PRESSURE = "disk-pressure"
+#: The scrubber classified damage in a store (detail carries the unit
+#: and damage class).
+SCRUB_DAMAGE = "scrub-damage"
+
+STORAGE_INCIDENT_KINDS = (
+    STORAGE_FAULT,
+    UNIT_QUARANTINED,
+    DISK_PRESSURE,
+    SCRUB_DAMAGE,
+)
+
+#: Storage operations an incident can name.
+STORAGE_OPS = ("write", "read", "fsync", "rename", "scrub")
+
 
 @dataclass(frozen=True)
 class ShardIncident:
@@ -76,6 +100,33 @@ class ShardIncident:
         return f"shard {self.shard_index}: {self.kind} attempt={self.attempt}{suffix}"
 
 
+@dataclass(frozen=True)
+class StorageIncident:
+    """One storage-layer event: a fault, a quarantine, disk pressure.
+
+    Parallel to :class:`ShardIncident` but keyed by the operation and
+    path rather than a shard index — a storage fault on the journal or
+    manifest has no shard.  ``attempt`` is the 0-based retry attempt at
+    the time of the incident.
+    """
+
+    kind: str
+    op: str
+    path: str = ""
+    detail: str = ""
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_INCIDENT_KINDS:
+            raise ValueError(f"unknown storage incident kind {self.kind!r}")
+        if self.op not in STORAGE_OPS:
+            raise ValueError(f"unknown storage op {self.op!r}")
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"storage {self.op} [{self.path}]: {self.kind}{suffix}"
+
+
 @dataclass
 class RunHealth:
     """Aggregate recovery record for one run (possibly many pool calls).
@@ -93,9 +144,14 @@ class RunHealth:
     shed_batches: int = 0
     task_restarts: int = 0
     snapshots: int = 0
+    storage_faults: int = 0
+    units_quarantined: int = 0
+    disk_pressure_events: int = 0
+    scrub_damage_events: int = 0
     breaker_tripped: bool = False
     in_process_shards: List[int] = field(default_factory=list)
     incidents: List[ShardIncident] = field(default_factory=list)
+    storage_incidents: List[StorageIncident] = field(default_factory=list)
 
     def record(self, incident: ShardIncident) -> None:
         """Append one incident and fold it into the counters."""
@@ -121,9 +177,21 @@ class RunHealth:
         elif incident.kind == SNAPSHOT:
             self.snapshots += 1
 
+    def record_storage(self, incident: StorageIncident) -> None:
+        """Append one storage incident and fold it into the counters."""
+        self.storage_incidents.append(incident)
+        if incident.kind == STORAGE_FAULT:
+            self.storage_faults += 1
+        elif incident.kind == UNIT_QUARANTINED:
+            self.units_quarantined += 1
+        elif incident.kind == DISK_PRESSURE:
+            self.disk_pressure_events += 1
+        elif incident.kind == SCRUB_DAMAGE:
+            self.scrub_damage_events += 1
+
     @property
     def ok(self) -> bool:
-        return not self.incidents
+        return not self.incidents and not self.storage_incidents
 
     def merge(self, other: Optional["RunHealth"]) -> "RunHealth":
         """Combine two reports (e.g. across stages or days) into a new one."""
@@ -132,6 +200,8 @@ class RunHealth:
         merged = RunHealth()
         for incident in self.incidents + other.incidents:
             merged.record(incident)
+        for storage in self.storage_incidents + other.storage_incidents:
+            merged.record_storage(storage)
         return merged
 
     def summary(self) -> str:
@@ -151,6 +221,14 @@ class RunHealth:
             parts.append(f"{self.task_restarts} task restart(s)")
         if self.snapshots:
             parts.append(f"{self.snapshots} snapshot failure(s)")
+        if self.storage_faults:
+            parts.append(f"{self.storage_faults} storage fault(s)")
+        if self.units_quarantined:
+            parts.append(f"{self.units_quarantined} unit(s) quarantined")
+        if self.disk_pressure_events:
+            parts.append(f"{self.disk_pressure_events} disk pressure episode(s)")
+        if self.scrub_damage_events:
+            parts.append(f"{self.scrub_damage_events} scrub damage finding(s)")
         if self.breaker_tripped:
             parts.append("circuit breaker tripped")
         if self.in_process_shards:

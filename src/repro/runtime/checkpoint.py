@@ -21,17 +21,26 @@ at *any* instant is therefore always one of three valid states —
 A unit counts as complete only when *both* its journal line and its
 block validate; either one failing integrity checks costs exactly one
 unit of recomputation, never a wrong result.
+
+All raw file operations route through :mod:`repro.runtime.fsio` (lint
+rule ``FS001``), which consults the ambient filesystem fault injector
+and owns the failure hygiene: a failed staging write or publish rename
+removes its partial/staged file before the ``OSError`` propagates, so
+the store never strands torn ``*.tmp`` files, and a failed journal
+append triggers :meth:`CheckpointStore._repair_journal` — the on-disk
+journal is rewritten from validated in-memory entries so a retry never
+appends onto a torn tail.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
-import os
 import zlib
 from pathlib import Path
 from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
 
+from repro.runtime import fsio
 from repro.runtime.serialize import (
     CheckpointCorruption,
     CheckpointError,
@@ -51,35 +60,47 @@ _TMP_SUFFIX = ".tmp"
 #: *during* checkpoint publication.
 BeforeReplace = Optional[Callable[[Path], None]]
 
+#: Kept as the module's name for directory fsync (tests and callers
+#: predating the fsio seam import it from here).
+_fsync_dir = fsio.fsync_dir
 
-def _fsync_dir(directory: Path) -> None:
-    # Directory fsync persists the rename itself; not all filesystems
-    # support opening a directory, so failure here is best-effort.
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        with contextlib.suppress(OSError):
-            os.fsync(fd)
-    finally:
-        os.close(fd)
+
+class StorageAbort(CheckpointError):
+    """A unit could not be persisted within the retry budget (strict mode).
+
+    Raised by :func:`repro.runtime.run.run_durable_pipeline` after the
+    storage retry policy is exhausted on a write/rename/fsync fault.
+    The store is left consistent (journal repaired, no torn files), so
+    the run is resumable once the underlying condition clears.
+    """
+
+    def __init__(self, day: int, shard: int, attempts: int, last_error: Any):
+        super().__init__(
+            f"unit (day={day}, shard={shard}) could not be persisted after "
+            f"{attempts} attempt(s): {last_error}; the store is consistent "
+            "and the run can be resumed"
+        )
+        self.day = day
+        self.shard = shard
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 def atomic_write_bytes(
     path: PathLike, data: bytes, before_replace: BeforeReplace = None
 ) -> Path:
-    """Write ``data`` to ``path`` via write-temp → fsync → rename."""
+    """Write ``data`` to ``path`` via write-temp → fsync → rename.
+
+    A failure at any step (including the rename) removes the staged
+    temp file before propagating, so no ``*.tmp`` outlives the call.
+    """
     target = Path(path)
     tmp = target.with_name(target.name + _TMP_SUFFIX)
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
+    fsio.write_file_bytes(tmp, data)
     if before_replace is not None:
         before_replace(target)
-    os.replace(tmp, target)
-    _fsync_dir(target.parent)
+    fsio.replace_file(tmp, target)
+    fsio.fsync_dir(target.parent)
     return target
 
 
@@ -91,6 +112,66 @@ def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Pat
 def _payload_crc(payload: Any) -> int:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return zlib.crc32(canonical.encode("utf-8"))
+
+
+def load_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read and validate a manifest envelope, returning its payload.
+
+    Shared by :class:`CheckpointStore` resume and the scrubber
+    (:mod:`repro.runtime.scrub`), which must read a store's identity
+    without instantiating the store (no attempt bump, no fingerprint to
+    compare against).
+    """
+    text = fsio.read_file_bytes(path).decode("utf-8")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruption(f"unreadable manifest: {exc}") from exc
+    if not isinstance(doc, dict) or "payload" not in doc or "crc32" not in doc:
+        raise CheckpointCorruption("manifest missing payload/crc32 envelope")
+    payload = doc["payload"]
+    if _payload_crc(payload) != doc["crc32"]:
+        raise CheckpointCorruption("manifest checksum mismatch")
+    if doc.get("version") != MANIFEST_VERSION:
+        raise StaleManifestError(
+            f"manifest version {doc.get('version')} != supported "
+            f"{MANIFEST_VERSION}"
+        )
+    if not isinstance(payload, dict):
+        raise CheckpointCorruption("manifest payload must be an object")
+    return payload
+
+
+def parse_journal_lines(
+    lines: List[str],
+) -> Tuple[List[Dict[str, int]], int]:
+    """Validate journal lines: (valid-prefix entries, torn-line count).
+
+    The journal is append-only, so the first line failing its CRC (or
+    failing to parse at all) marks a torn tail: it and everything after
+    it are discarded, and the count of discarded lines is returned so
+    the discard is observable.
+    """
+    entries: List[Dict[str, int]] = []
+    n_torn = 0
+    for index, line in enumerate(lines):
+        try:
+            doc = json.loads(line)
+            crc = doc.pop("crc")
+        except (json.JSONDecodeError, KeyError, AttributeError):
+            n_torn = len(lines) - index
+            break
+        if crc != _payload_crc(doc):
+            n_torn = len(lines) - index
+            break
+        entries.append(
+            {
+                "day": int(doc["day"]),
+                "shard": int(doc["shard"]),
+                "attempt": int(doc["attempt"]),
+            }
+        )
+    return entries, n_torn
 
 
 class CheckpointStore:
@@ -138,7 +219,9 @@ class CheckpointStore:
         else:
             self.n_shards = n_shards
             self.attempt = 0
-        self._clean_temp_files()
+        #: Stray staging files swept on open — observable so resume
+        #: tests (and the scrubber) can assert nothing was stranded.
+        self.n_stale_tmp_removed = self._clean_temp_files()
         self._write_manifest()
         self._completed: Dict[Tuple[int, int], int] = {}
         self._entries: List[Dict[str, int]] = []
@@ -148,29 +231,12 @@ class CheckpointStore:
         #: ``TORN_CHECKPOINT`` incident instead of recovering silently.
         self.n_torn_journal_lines = 0
         self._load_journal()
-        self._journal: IO[str] = open(  # noqa: SIM115 — held for the run
-            self._journal_path, "a", encoding="utf-8"
-        )
+        self._journal: IO[str] = fsio.open_append(self._journal_path)
 
     # -- manifest ------------------------------------------------------------
 
     def _read_manifest(self) -> Dict[str, Any]:
-        text = self._manifest_path.read_text(encoding="utf-8")
-        try:
-            doc = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise CheckpointCorruption(f"unreadable manifest: {exc}") from exc
-        if not isinstance(doc, dict) or "payload" not in doc or "crc32" not in doc:
-            raise CheckpointCorruption("manifest missing payload/crc32 envelope")
-        payload = doc["payload"]
-        if _payload_crc(payload) != doc["crc32"]:
-            raise CheckpointCorruption("manifest checksum mismatch")
-        if doc.get("version") != MANIFEST_VERSION:
-            raise StaleManifestError(
-                f"manifest version {doc.get('version')} != supported "
-                f"{MANIFEST_VERSION}"
-            )
-        return payload
+        return load_manifest(self._manifest_path)
 
     def _validate_manifest(self, payload: Dict[str, Any]) -> None:
         recorded = payload.get("fingerprint", {})
@@ -211,23 +277,8 @@ class CheckpointStore:
             for line in self._journal_path.read_text(encoding="utf-8").splitlines()
             if line.strip()
         ]
-        for index, line in enumerate(lines):
-            try:
-                doc = json.loads(line)
-                crc = doc.pop("crc")
-            except (json.JSONDecodeError, KeyError, AttributeError):
-                # Torn tail: discard this line and everything after it.
-                self.n_torn_journal_lines = len(lines) - index
-                break
-            if crc != _payload_crc(doc):
-                self.n_torn_journal_lines = len(lines) - index
-                break
-            entry = {
-                "day": int(doc["day"]),
-                "shard": int(doc["shard"]),
-                "attempt": int(doc["attempt"]),
-            }
-            self._entries.append(entry)
+        self._entries, self.n_torn_journal_lines = parse_journal_lines(lines)
+        for entry in self._entries:
             self._completed[(entry["day"], entry["shard"])] = entry["attempt"]
         if self.n_torn_journal_lines:
             # Physically remove the torn tail before the journal is
@@ -250,15 +301,36 @@ class CheckpointStore:
         entry = {"day": day, "shard": shard, "attempt": self.attempt}
         doc = dict(entry)
         doc["crc"] = _payload_crc(entry)
-        self._journal.write(json.dumps(doc, sort_keys=True) + "\n")
-        self._journal.flush()
+        try:
+            fsio.append_text(
+                self._journal, self._journal_path, json.dumps(doc, sort_keys=True) + "\n"
+            )
+        except OSError:
+            # The failed append may have left a torn tail; rewrite the
+            # journal from validated in-memory entries so a retried
+            # append never glues a good line onto garbage.
+            self._repair_journal()
+            raise
         self._entries.append(entry)
         self._completed[(day, shard)] = self.attempt
+
+    def _repair_journal(self) -> None:
+        """Rewrite the on-disk journal from in-memory entries, reopen it."""
+        with contextlib.suppress(OSError):
+            self._journal.close()
+        try:
+            body = "".join(
+                json.dumps(dict(e, crc=_payload_crc(e)), sort_keys=True) + "\n"
+                for e in self._entries
+            )
+            atomic_write_bytes(self._journal_path, body.encode("utf-8"))
+        finally:
+            self._journal = fsio.open_append(self._journal_path)
 
     def sync(self) -> None:
         """fsync the journal so completions survive power loss."""
         self._journal.flush()
-        os.fsync(self._journal.fileno())
+        fsio.fsync_handle(self._journal, self._journal_path)
 
     def journal_entries(self) -> List[Dict[str, int]]:
         """Every valid journal entry, in append order."""
@@ -287,33 +359,46 @@ class CheckpointStore:
         caller guarantees ``source`` is durable (written + fsynced);
         crash mid-adopt leaves either the old unit or the new one, and
         the orphaned source is swept by :meth:`_clean_temp_files` on the
-        next resume.
+        next resume.  If the rename itself fails, the staged source is
+        unlinked (see :func:`repro.runtime.fsio.replace_file`) so a
+        failed adoption cannot strand staging files.
         """
         target = self.unit_path(day, shard)
         if self.before_replace is not None:
             self.before_replace(target)
-        os.replace(source, target)
-        _fsync_dir(target.parent)
+        fsio.replace_file(source, target)
+        fsio.fsync_dir(target.parent)
         return target
 
     def load_unit(self, day: int, shard: int) -> bytes:
         path = self.unit_path(day, shard)
         try:
-            return path.read_bytes()
+            return fsio.read_file_bytes(path)
         except FileNotFoundError as exc:
             raise CheckpointCorruption(
                 f"journaled unit (day={day}, shard={shard}) has no block file"
             ) from exc
+        except OSError as exc:
+            raise CheckpointCorruption(
+                f"journaled unit (day={day}, shard={shard}) unreadable: {exc}"
+            ) from exc
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _clean_temp_files(self) -> None:
+    def _clean_temp_files(self) -> int:
+        n_removed = 0
         for stray in self.directory.rglob(f"*{_TMP_SUFFIX}"):
             stray.unlink()
+            n_removed += 1
+        return n_removed
 
     def close(self) -> None:
         if not self._journal.closed:
-            self.sync()
+            # Best-effort final fsync: the journal lines are already
+            # flushed, and close() runs on abort paths where a failing
+            # disk must not mask the typed error being raised.
+            with contextlib.suppress(OSError):
+                self.sync()
             self._journal.close()
 
     def __enter__(self) -> "CheckpointStore":

@@ -35,6 +35,8 @@ import tempfile
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from repro.columnar.store import (
     ColumnPools,
     ColumnarRadioEvents,
@@ -46,8 +48,15 @@ from repro.core.roaming import RoamingLabeler
 from repro.datasets.containers import MNODataset
 from repro.datasets.io import IngestReport
 from repro.ecosystem import Ecosystem
-from repro.faults.retry import RetryPolicy
-from repro.parallel.health import TORN_CHECKPOINT, RunHealth, ShardIncident
+from repro.faults.retry import RetryError, RetryPolicy, call_with_retry
+from repro.parallel.health import (
+    STORAGE_FAULT,
+    TORN_CHECKPOINT,
+    UNIT_QUARANTINED,
+    RunHealth,
+    ShardIncident,
+    StorageIncident,
+)
 from repro.parallel.pool import DEFAULT_SHARD_DEADLINE_S, get_context, map_shards
 from repro.parallel.sharding import shard_mno_records
 from repro.pipeline import (
@@ -57,7 +66,12 @@ from repro.pipeline import (
     StageFailure,
     _lenient_classify_stage,
 )
-from repro.runtime.checkpoint import BeforeReplace, CheckpointStore, PathLike
+from repro.runtime.checkpoint import (
+    BeforeReplace,
+    CheckpointStore,
+    PathLike,
+    StorageAbort,
+)
 from repro.runtime.serialize import (
     CheckpointCorruption,
     QuarantineEntry,
@@ -83,6 +97,18 @@ DaySource = Callable[[int], DaySlice]
 
 #: Unit worker payload: (day, shard index, radio slice, service slice).
 UnitPayload = Tuple[int, int, List[RadioEvent], List[ServiceRecord]]
+
+#: Default policy for transient storage faults (staging writes, unit
+#: publishes, journal appends/fsyncs).  Delays are drawn, never slept —
+#: the same convention as the pool's shard retries.
+STORAGE_RETRY_POLICY = RetryPolicy(
+    base_delay_s=0.05, multiplier=2.0, max_delay_s=1.0, jitter=0.5, max_attempts=3
+)
+
+#: Fold-skip sentinel for a unit whose persistence was exhausted in
+#: lenient mode: the unit is absent from this run's catalog (a typed
+#: ``unit-quarantined`` incident) and re-executes on the next resume.
+_UNIT_QUARANTINED: Tuple = ()
 
 
 def _day_slices(
@@ -143,34 +169,168 @@ def _validate_day_slice(
     return radio, service, quarantine
 
 
-def _encode_unit(payload: UnitPayload) -> bytes:
-    """Worker: turn one (day, shard) slice into its checkpoint block."""
-    builder, lenient, _ = get_context()
-    _, _, radio, service = payload
+def _encode_block(
+    builder: CatalogBuilder,
+    lenient: bool,
+    radio: List[RadioEvent],
+    service: List[ServiceRecord],
+) -> bytes:
+    """Encode one unit slice into its framed block (lenient-validated).
+
+    Deterministic for a given slice: the parent can re-encode a unit
+    whose staged spill file was lost to a write fault and publish bytes
+    identical to the worker's.
+    """
     if not lenient:
         return pack_day_block(radio, service)
     radio, service, quarantine = _validate_day_slice(builder, radio, service)
     return pack_day_block(radio, service, quarantine)
 
 
-def _encode_unit_spill(payload: UnitPayload) -> SpillDescriptor:
+def _encode_unit(payload: UnitPayload) -> bytes:
+    """Worker: turn one (day, shard) slice into its checkpoint block."""
+    builder, lenient, _ = get_context()
+    _, _, radio, service = payload
+    return _encode_block(builder, lenient, radio, service)
+
+
+def _encode_unit_spill(payload: UnitPayload) -> Union[bytes, SpillDescriptor]:
     """Worker: encode one slice and spill it, returning a descriptor.
 
     The out-of-core twin of :func:`_encode_unit`: the framed block is
     written (and fsynced) to a staging file inside the store's units
     directory instead of crossing the pool seam as a blob; the parent
     publishes it with one rename (:meth:`CheckpointStore.adopt_unit`).
+
+    Staging writes retry transient faults under the storage policy
+    (each failed attempt removed its partial file); if the retries are
+    exhausted the worker degrades to shipping the blob itself across
+    the pool seam — the parent publishes it with ``save_unit`` and
+    records the degradation, so a sick spill volume slows the run
+    instead of crashing it.
     """
     builder, lenient, spill_dir = get_context()
     day, shard, radio, service = payload
-    if not lenient:
-        blob = pack_day_block(radio, service)
-    else:
-        radio, service, quarantine = _validate_day_slice(builder, radio, service)
-        blob = pack_day_block(radio, service, quarantine)
+    blob = _encode_block(builder, lenient, radio, service)
     staged = spill_tmp_path(spill_dir, day, shard)
-    write_spill_blob(staged, blob)
+    try:
+        call_with_retry(
+            lambda: write_spill_blob(staged, blob),
+            STORAGE_RETRY_POLICY,
+            np.random.default_rng(0),
+            retry_on=(OSError,),
+        )
+    except RetryError:
+        return blob
     return SpillDescriptor(day=day, shard=shard, path=str(staged), nbytes=len(blob))
+
+
+def _persist_unit(
+    store: CheckpointStore,
+    day: int,
+    shard: int,
+    result: Union[bytes, SpillDescriptor],
+    builder: CatalogBuilder,
+    payload: UnitPayload,
+    lenient: bool,
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    health: RunHealth,
+) -> bool:
+    """Publish one unit (block file + journal line) under the retry policy.
+
+    Every failed attempt is a typed ``storage-fault`` incident.  A
+    staged spill file consumed by a failed adoption (the rename unlinks
+    its source on failure) is replaced by re-encoding the slice in the
+    parent — byte-identical, units are pure.  On exhaustion: lenient
+    quarantines the unit (``False``; it re-executes on resume), strict
+    raises :class:`StorageAbort` with the store still consistent.
+    """
+    unit_path = str(store.unit_path(day, shard))
+    state: Dict[str, Optional[bytes]] = {
+        "blob": result if isinstance(result, bytes) else None
+    }
+    staged: List[str] = [result.path] if isinstance(result, SpillDescriptor) else []
+
+    def publish_once() -> None:
+        if staged:
+            source = staged.pop()
+            store.adopt_unit(day, shard, source)
+        else:
+            blob = state["blob"]
+            if blob is None:
+                _, _, radio, service = payload
+                blob = state["blob"] = _encode_block(builder, lenient, radio, service)
+            store.save_unit(day, shard, blob)
+        store.mark_complete(day, shard)
+
+    def on_retry(attempt: int, delay: float, exc: Exception) -> None:
+        health.record_storage(
+            StorageIncident(
+                kind=STORAGE_FAULT,
+                op="write",
+                path=unit_path,
+                detail=f"day {day} shard {shard}: {exc}",
+                attempt=attempt,
+            )
+        )
+
+    try:
+        call_with_retry(
+            publish_once, policy, rng, retry_on=(OSError,), on_retry=on_retry
+        )
+        return True
+    except RetryError as exc:
+        if lenient:
+            health.record_storage(
+                StorageIncident(
+                    kind=UNIT_QUARANTINED,
+                    op="write",
+                    path=unit_path,
+                    detail=(
+                        f"day {day} shard {shard} quarantined after "
+                        f"{exc.attempts} attempt(s): {exc.last_error}"
+                    ),
+                    attempt=exc.attempts - 1,
+                )
+            )
+            return False
+        raise StorageAbort(day, shard, exc.attempts, exc.last_error) from exc
+
+
+def _sync_store(
+    store: CheckpointStore,
+    day: int,
+    lenient: bool,
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    health: RunHealth,
+) -> None:
+    """Day-boundary journal fsync under the retry policy.
+
+    On exhaustion lenient continues (completions are flushed, merely
+    not power-loss durable yet — the incident trail says so); strict
+    aborts typed with the store consistent.
+    """
+
+    def on_retry(attempt: int, delay: float, exc: Exception) -> None:
+        health.record_storage(
+            StorageIncident(
+                kind=STORAGE_FAULT,
+                op="fsync",
+                path=str(store.directory),
+                detail=f"journal sync after day {day}: {exc}",
+                attempt=attempt,
+            )
+        )
+
+    try:
+        call_with_retry(
+            store.sync, policy, rng, retry_on=(OSError,), on_retry=on_retry
+        )
+    except RetryError as exc:
+        if not lenient:
+            raise StorageAbort(day, -1, exc.attempts, exc.last_error) from exc
 
 
 def run_durable_pipeline(
@@ -266,13 +426,18 @@ def run_durable_pipeline(
         checkpoint_dir = ephemeral_spill
         resume = False
     if checkpoint_dir is not None:
-        store = CheckpointStore(
-            checkpoint_dir,
-            fingerprint,
-            n_shards=n_shards,
-            resume=resume,
-            before_replace=before_replace,
-        )
+        try:
+            store = CheckpointStore(
+                checkpoint_dir,
+                fingerprint,
+                n_shards=n_shards,
+                resume=resume,
+                before_replace=before_replace,
+            )
+        except OSError as exc:
+            # A disk fault while opening the store (manifest write,
+            # temp sweep) aborts typed, never as a bare OSError.
+            raise StorageAbort(-1, -1, 1, exc) from exc
         # The unit partitioning is fixed at run creation; resuming at a
         # different worker count reuses the recorded shard count so
         # completed units stay addressable.
@@ -304,6 +469,8 @@ def run_durable_pipeline(
     quarantined: Dict[str, QuarantineEntry] = {}
     observed: Set[str] = set()
     ingest: Optional[IngestReport] = None
+    storage_policy = retry_policy if retry_policy is not None else STORAGE_RETRY_POLICY
+    storage_rng = np.random.default_rng(0)
     try:
         for day in day_list:
             #: shard -> decoded block, or None when the block stays on
@@ -329,6 +496,15 @@ def run_durable_pipeline(
                                 shard, TORN_CHECKPOINT, 0, f"day {day}: {exc}"
                             )
                         )
+                        if isinstance(exc.__cause__, OSError):
+                            health.record_storage(
+                                StorageIncident(
+                                    kind=STORAGE_FAULT,
+                                    op="read",
+                                    path=str(store.unit_path(day, shard)),
+                                    detail=f"day {day} shard {shard}: {exc}",
+                                )
+                            )
                 pending.append(shard)
             if pending:
                 if day_source is not None:
@@ -355,23 +531,50 @@ def run_durable_pipeline(
                     retry_policy=retry_policy,
                     health=health,
                 )
-                for (_, shard, _, _), result in zip(payloads, results):
+                for unit_payload, result in zip(payloads, results):
+                    _, shard, _, _ = unit_payload
                     if on_unit is not None:
                         on_unit(day, shard)
-                    if window is not None:
-                        assert isinstance(result, SpillDescriptor)
-                        assert store is not None
-                        store.adopt_unit(day, shard, result.path)
-                        store.mark_complete(day, shard)
+                    if store is None:
+                        assert isinstance(result, bytes)
+                        blocks[shard] = unpack_day_block(result)
+                        continue
+                    if window is not None and isinstance(result, bytes):
+                        # The worker's spill staging exhausted its
+                        # retries and shipped the blob instead; the
+                        # parent publishes it atomically below.
+                        health.record_storage(
+                            StorageIncident(
+                                kind=STORAGE_FAULT,
+                                op="write",
+                                path=str(store.unit_path(day, shard)),
+                                detail=(
+                                    f"day {day} shard {shard}: worker spill "
+                                    "staging failed; block shipped to parent"
+                                ),
+                            )
+                        )
+                    published = _persist_unit(
+                        store,
+                        day,
+                        shard,
+                        result,
+                        builder,
+                        unit_payload,
+                        lenient,
+                        storage_policy,
+                        storage_rng,
+                        health,
+                    )
+                    if not published:
+                        blocks[shard] = _UNIT_QUARANTINED
+                    elif window is not None:
                         blocks[shard] = None
                     else:
                         assert isinstance(result, bytes)
-                        if store is not None:
-                            store.save_unit(day, shard, result)
-                            store.mark_complete(day, shard)
                         blocks[shard] = unpack_day_block(result)
             if store is not None:
-                store.sync()
+                _sync_store(store, day, lenient, storage_policy, storage_rng, health)
 
             # Fold the day's shards straight onto a shared-pool columnar
             # accumulator (shard order, in-shard order preserved) — the
@@ -381,11 +584,43 @@ def run_durable_pipeline(
             records_day = ColumnarServiceRecords(day_pools)
             for shard in range(n_shards):
                 block = blocks[shard]
+                if block is _UNIT_QUARANTINED:
+                    continue
                 if block is None:
                     assert window is not None and store is not None
-                    events_c, records_c, unit_quarantine = window.attach(
-                        store.unit_path(day, shard), day, shard
-                    )
+                    try:
+                        events_c, records_c, unit_quarantine = window.attach(
+                            store.unit_path(day, shard), day, shard
+                        )
+                    except CheckpointCorruption as exc:
+                        # The published block fails validation at fold
+                        # time (bit rot, read EIO).  The unit is
+                        # journaled, so the next resume detects the
+                        # damage and re-executes it — lenient runs
+                        # quarantine it from this fold, strict runs
+                        # abort typed.
+                        health.record_storage(
+                            StorageIncident(
+                                kind=STORAGE_FAULT,
+                                op="read",
+                                path=str(store.unit_path(day, shard)),
+                                detail=f"day {day} shard {shard}: {exc}",
+                            )
+                        )
+                        if not lenient:
+                            raise
+                        health.record_storage(
+                            StorageIncident(
+                                kind=UNIT_QUARANTINED,
+                                op="read",
+                                path=str(store.unit_path(day, shard)),
+                                detail=(
+                                    f"day {day} shard {shard} quarantined "
+                                    f"from the fold: {exc}"
+                                ),
+                            )
+                        )
+                        continue
                 else:
                     events_c, records_c, unit_quarantine = block
                 # Quarantined devices' rows were scrubbed from the block,

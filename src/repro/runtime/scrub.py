@@ -1,0 +1,406 @@
+"""Store scrubbing: verify CRCs end-to-end, classify and repair damage.
+
+A checkpoint store (or the daemon's WAL, which is one) can rot *at
+rest*: the run that wrote it saw every write succeed, and the damage —
+a flipped byte, a truncated tail from a lost cache, a unit file that
+vanished — surfaces only when a resume finally reads the unit, possibly
+weeks later.  :func:`scrub_store` is the proactive half of the
+durability story: walk a store **without opening it as a run** (no
+attempt bump, no fingerprint needed), re-validate every journaled
+unit's framed block CRC end-to-end, and classify what fails:
+
+``torn-tail``
+    The file is shorter than its frame header declares (or too short to
+    hold a frame at all) — the signature of an interrupted write.
+``bit-rot``
+    The full length is present but the content fails validation (CRC
+    mismatch, bad magic/version, trailing bytes) — at-rest corruption.
+``missing``
+    The journal names a unit whose block file does not exist.
+``read-error``
+    The file cannot be read at all (``EIO`` from a failing device).
+
+With ``repair=True`` the scrubber heals what it can: a ``recompute``
+callback re-derives a unit's bytes from the original inputs (units are
+pure, so the rebuilt block is byte-identical) and the unit is
+atomically rewritten and re-verified; units it cannot rebuild are
+**marked for re-execution** — the block file is removed and the unit's
+journal entries are dropped (journal atomically rewritten), so the next
+``resume=True`` run recomputes exactly the damaged units.  Stray
+staging temps and a torn journal tail are swept the same way the store
+itself would sweep them on open.
+
+Everything is reported in a typed :class:`ScrubReport`; the CLI
+(``repro scrub``) prints it and exits nonzero while damage remains.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.columnar.blocks import _FRAME, _HEADER_LEN
+from repro.runtime import fsio
+from repro.runtime.checkpoint import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    UNITS_DIRNAME,
+    _TMP_SUFFIX,
+    CheckpointError,
+    PathLike,
+    _payload_crc,
+    atomic_write_bytes,
+    load_manifest,
+    parse_journal_lines,
+)
+from repro.runtime.serialize import unpack_day_block
+
+__all__ = [
+    "DAMAGE_BIT_ROT",
+    "DAMAGE_MISSING",
+    "DAMAGE_READ_ERROR",
+    "DAMAGE_TORN_TAIL",
+    "DamagedUnit",
+    "Recompute",
+    "ScrubReport",
+    "recompute_from_dataset",
+    "scrub_store",
+]
+
+DAMAGE_TORN_TAIL = "torn-tail"
+DAMAGE_BIT_ROT = "bit-rot"
+DAMAGE_MISSING = "missing"
+DAMAGE_READ_ERROR = "read-error"
+
+#: What the scrubber did about one damaged unit.
+ACTION_REPORTED = "reported"
+ACTION_RECOMPUTED = "recomputed"
+ACTION_MARKED_RERUN = "marked-for-rerun"
+
+#: ``recompute(day, shard, n_shards) -> bytes | None``: re-derive one
+#: unit's block bytes from original inputs, or ``None`` if it cannot.
+Recompute = Callable[[int, int, int], Optional[bytes]]
+
+
+@dataclass(frozen=True)
+class DamagedUnit:
+    """One journaled unit that failed end-to-end verification."""
+
+    day: int
+    shard: int
+    damage: str
+    action: str = ACTION_REPORTED
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return (
+            f"unit (day={self.day}, shard={self.shard}) {self.damage} "
+            f"[{self.action}]{suffix}"
+        )
+
+
+@dataclass
+class ScrubReport:
+    """Typed outcome of one :func:`scrub_store` walk."""
+
+    directory: str
+    n_journaled_units: int = 0
+    n_verified_ok: int = 0
+    damaged: List[DamagedUnit] = field(default_factory=list)
+    n_recomputed: int = 0
+    n_marked_for_rerun: int = 0
+    n_torn_journal_lines: int = 0
+    n_stray_tmp: int = 0
+    manifest_error: str = ""
+    repaired: bool = False
+
+    @property
+    def unrepaired(self) -> List[DamagedUnit]:
+        """Damage the scrub did not (or could not) resolve."""
+        return [unit for unit in self.damaged if unit.action == ACTION_REPORTED]
+
+    @property
+    def ok(self) -> bool:
+        """True when the store verified clean end to end."""
+        return (
+            not self.damaged
+            and not self.n_torn_journal_lines
+            and not self.n_stray_tmp
+            and not self.manifest_error
+        )
+
+    @property
+    def healthy_after_scrub(self) -> bool:
+        """True when nothing unresolved remains (clean, or fully repaired)."""
+        return not self.unrepaired and not self.manifest_error and (
+            self.repaired or self.ok
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "n_journaled_units": self.n_journaled_units,
+            "n_verified_ok": self.n_verified_ok,
+            "n_damaged": len(self.damaged),
+            "damaged": [
+                {
+                    "day": unit.day,
+                    "shard": unit.shard,
+                    "damage": unit.damage,
+                    "action": unit.action,
+                    "detail": unit.detail,
+                }
+                for unit in self.damaged
+            ],
+            "n_recomputed": self.n_recomputed,
+            "n_marked_for_rerun": self.n_marked_for_rerun,
+            "n_torn_journal_lines": self.n_torn_journal_lines,
+            "n_stray_tmp": self.n_stray_tmp,
+            "manifest_error": self.manifest_error,
+            "repaired": self.repaired,
+            "ok": self.ok,
+            "healthy_after_scrub": self.healthy_after_scrub,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload(), sort_keys=True)
+
+    def format(self) -> str:
+        lines = [
+            f"scrub {self.directory}: "
+            f"{self.n_verified_ok}/{self.n_journaled_units} unit(s) verified ok"
+        ]
+        for unit in self.damaged:
+            lines.append(f"  {unit}")
+        if self.n_torn_journal_lines:
+            action = "truncated" if self.repaired else "found"
+            lines.append(
+                f"  journal: {action} torn tail "
+                f"({self.n_torn_journal_lines} line(s))"
+            )
+        if self.n_stray_tmp:
+            action = "removed" if self.repaired else "found"
+            lines.append(f"  staging: {action} {self.n_stray_tmp} stray temp file(s)")
+        if self.manifest_error:
+            lines.append(f"  manifest: {self.manifest_error}")
+        if self.repaired:
+            lines.append(
+                f"  repair: {self.n_recomputed} recomputed, "
+                f"{self.n_marked_for_rerun} marked for re-execution on resume"
+            )
+        lines.append("  status: " + ("healthy" if self.ok else (
+            "repaired" if self.healthy_after_scrub else "damage remains"
+        )))
+        return "\n".join(lines)
+
+
+def _classify_block(data: bytes) -> Optional[Tuple[str, str]]:
+    """(damage class, detail) for one unit's bytes, or ``None`` if clean.
+
+    Length-first: a file shorter than its frame header declares is a
+    torn tail (an interrupted write truncates; rot does not shorten a
+    file), anything else that fails validation at full length is bit
+    rot.  Validation is end-to-end — after the frame CRC the block is
+    fully decoded, so a block whose CRC collided with damaged content
+    still cannot pass.
+    """
+    frame_size = _FRAME.size
+    if len(data) < frame_size:
+        return (
+            DAMAGE_TORN_TAIL,
+            f"file holds {len(data)} byte(s), frame needs {frame_size}",
+        )
+    _magic, _version, _crc, body_len = _FRAME.unpack_from(data)
+    declared = frame_size + int(body_len)
+    if len(data) < declared:
+        return (
+            DAMAGE_TORN_TAIL,
+            f"file holds {len(data)} of {declared} declared byte(s)",
+        )
+    try:
+        unpack_day_block(data)
+    except Exception as exc:  # noqa: BLE001 — every decode failure at
+        # full declared length is at-rest corruption, whatever its type.
+        return (DAMAGE_BIT_ROT, f"{type(exc).__name__}: {exc}")
+    return None
+
+
+def _strip_wal_envelope(data: bytes) -> bytes:
+    """Drop a WAL unit's ``len | header JSON`` prefix, keeping the block.
+
+    The envelope has no checksum of its own (the block's CRC is the
+    integrity bearer); a torn or rotted envelope always leaves the
+    framed block failing validation too, so classification on the
+    stripped bytes is still length-first correct.
+    """
+    if len(data) < _HEADER_LEN.size:
+        return data
+    (header_len,) = _HEADER_LEN.unpack_from(data)
+    offset = _HEADER_LEN.size + header_len
+    if header_len < 0 or offset > len(data):
+        return data
+    return data[offset:]
+
+
+def scrub_store(
+    directory: PathLike,
+    repair: bool = False,
+    recompute: Optional[Recompute] = None,
+) -> ScrubReport:
+    """Walk one store, verifying every journaled unit end-to-end.
+
+    Read-only unless ``repair=True``.  Raises :class:`CheckpointError`
+    if ``directory`` holds no manifest at all (not a store); a corrupt
+    manifest is *reported* (``manifest_error``) and the walk continues —
+    journal and units are self-validating and independently useful.
+    """
+    root = Path(directory)
+    report = ScrubReport(directory=str(root), repaired=repair)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(f"{root} holds no {MANIFEST_NAME}; not a store")
+
+    n_shards = 0
+    wal_role = False
+    try:
+        payload = load_manifest(manifest_path)
+        n_shards = int(payload.get("n_shards", 0))
+        fingerprint = payload.get("fingerprint", {})
+        wal_role = (
+            isinstance(fingerprint, dict)
+            and fingerprint.get("role") == "service-wal"
+        )
+    except CheckpointError as exc:
+        report.manifest_error = str(exc)
+
+    entries: List[Dict[str, int]] = []
+    journal_path = root / JOURNAL_NAME
+    if journal_path.exists():
+        try:
+            text = fsio.read_file_bytes(journal_path).decode("utf-8")
+        except OSError as exc:
+            raise CheckpointError(f"journal unreadable: {exc}") from exc
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        entries, report.n_torn_journal_lines = parse_journal_lines(lines)
+
+    units_dir = root / UNITS_DIRNAME
+    seen = {(entry["day"], entry["shard"]) for entry in entries}
+    report.n_journaled_units = len(seen)
+
+    for day, shard in sorted(seen):
+        path = units_dir / f"day_{day:03d}.shard_{shard:03d}.ckpt"
+        if not path.exists():
+            report.damaged.append(
+                DamagedUnit(day, shard, DAMAGE_MISSING, detail=str(path.name))
+            )
+            continue
+        try:
+            data = fsio.read_file_bytes(path)
+        except OSError as exc:
+            report.damaged.append(
+                DamagedUnit(day, shard, DAMAGE_READ_ERROR, detail=str(exc))
+            )
+            continue
+        if wal_role:
+            data = _strip_wal_envelope(data)
+        verdict = _classify_block(data)
+        if verdict is None:
+            report.n_verified_ok += 1
+            continue
+        damage, detail = verdict
+        report.damaged.append(DamagedUnit(day, shard, damage, detail=detail))
+
+    strays = sorted(root.rglob(f"*{_TMP_SUFFIX}"))
+    report.n_stray_tmp = len(strays)
+
+    if not repair:
+        return report
+
+    # -- repair pass ---------------------------------------------------------
+    for stray in strays:
+        stray.unlink()
+
+    rerun: List[Tuple[int, int]] = []
+    healed: List[DamagedUnit] = []
+    for unit in report.damaged:
+        path = units_dir / f"day_{unit.day:03d}.shard_{unit.shard:03d}.ckpt"
+        rebuilt: Optional[bytes] = None
+        if recompute is not None and not wal_role:
+            rebuilt = recompute(unit.day, unit.shard, n_shards)
+        if rebuilt is not None and _classify_block(rebuilt) is None:
+            atomic_write_bytes(path, rebuilt)
+            report.n_recomputed += 1
+            healed.append(
+                DamagedUnit(
+                    unit.day,
+                    unit.shard,
+                    unit.damage,
+                    action=ACTION_RECOMPUTED,
+                    detail=unit.detail,
+                )
+            )
+        else:
+            # Cannot rebuild here: drop the unit so the next resume
+            # re-executes it (WAL units were by definition acked, but a
+            # damaged one was already unreplayable — dropping it turns a
+            # latent replay failure into an explicit re-send).
+            path.unlink(missing_ok=True)
+            rerun.append((unit.day, unit.shard))
+            report.n_marked_for_rerun += 1
+            healed.append(
+                DamagedUnit(
+                    unit.day,
+                    unit.shard,
+                    unit.damage,
+                    action=ACTION_MARKED_RERUN,
+                    detail=unit.detail,
+                )
+            )
+    report.damaged = healed
+
+    if rerun or report.n_torn_journal_lines:
+        dropped = set(rerun)
+        kept = [
+            entry
+            for entry in entries
+            if (entry["day"], entry["shard"]) not in dropped
+        ]
+        body = "".join(
+            json.dumps(dict(e, crc=_payload_crc(e)), sort_keys=True) + "\n"
+            for e in kept
+        )
+        atomic_write_bytes(journal_path, body.encode("utf-8"))
+    return report
+
+
+def recompute_from_dataset(
+    dataset: Any,
+    lenient: bool = False,
+    builder: Optional[Any] = None,
+) -> Recompute:
+    """Build a :data:`Recompute` that re-derives units from a dataset.
+
+    Units are pure functions of (day slice, shard count), so the
+    returned callback rebuilds byte-identical blocks from the same
+    in-memory dataset the original run consumed.  ``lenient`` runs need
+    the run's ``builder`` (for per-unit validation); strict runs don't.
+    """
+    from repro.parallel.sharding import shard_mno_records
+    from repro.runtime.run import _day_slices, _encode_block
+
+    slices = _day_slices(dataset)
+
+    def recompute(day: int, shard: int, n_shards: int) -> Optional[bytes]:
+        if n_shards < 1 or shard >= n_shards:
+            return None
+        radio_day, service_day = slices.get(day, ([], []))
+        shard_slices = shard_mno_records(radio_day, service_day, n_shards)
+        radio, service = shard_slices[shard]
+        if lenient and builder is None:
+            return None
+        return _encode_block(builder, lenient, radio, service)
+
+    return recompute

@@ -45,6 +45,7 @@ from repro.columnar.blocks import (
     CheckpointCorruption,
 )
 from repro.columnar.store import ColumnarRadioEvents, ColumnarServiceRecords
+from repro.runtime import fsio
 from repro.runtime.checkpoint import PathLike, _TMP_SUFFIX
 from repro.runtime.serialize import (
     QuarantineEntry,
@@ -106,12 +107,12 @@ def spill_tmp_path(spill_dir: PathLike, day: int, shard: int) -> Path:
 
 
 def write_spill_blob(path: PathLike, data: bytes) -> int:
-    """Durably write one framed block to its staging path."""
-    with open(path, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    return len(data)
+    """Durably write one framed block to its staging path.
+
+    Routed through the fault-aware seam: on any write/fsync failure the
+    partial staging file is removed before the ``OSError`` propagates.
+    """
+    return fsio.write_file_bytes(path, data)
 
 
 class BlockReader:
@@ -152,8 +153,12 @@ class BlockReader:
         mapped: Optional[mmap.mmap] = None
         if use_mmap:
             try:
+                # mmap reads bypass read() syscalls, so probe the
+                # fault seam explicitly before mapping: injected
+                # read-EIO must reach zero-copy consumers too.
+                fsio.check_read(self.path)
                 fd = os.open(self.path, os.O_RDONLY)
-            except FileNotFoundError as exc:
+            except OSError as exc:
                 raise self._corrupt(exc) from exc
             try:
                 mapped = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
@@ -173,7 +178,7 @@ class BlockReader:
                 events, records, quarantine = attach_day_block(self._view)
             else:
                 try:
-                    data = self.path.read_bytes()
+                    data = fsio.read_file_bytes(self.path)
                 except OSError as exc:
                     raise self._corrupt(exc) from exc
                 self.nbytes = len(data)

@@ -65,7 +65,17 @@ class CatalogClient:
             raise ServiceUnavailable(
                 f"catalog daemon at {self.host}:{self.port} closed the connection"
             )
-        response = json.loads(line.decode("utf-8"))
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # A daemon killed mid-ack (or a reset socket) delivers a
+            # truncated line; that is a transient transport failure —
+            # retryable under ingest_with_retry, where the unchanged
+            # batch id makes the re-send safe — not a protocol error.
+            raise ServiceUnavailable(
+                f"catalog daemon at {self.host}:{self.port} sent a torn "
+                f"response ({len(line)} bytes): {exc}"
+            ) from exc
         if not isinstance(response, dict):
             raise ServiceUnavailable(f"malformed daemon response: {response!r}")
         return response

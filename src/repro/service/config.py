@@ -48,6 +48,17 @@ class ServiceConfig:
     restart_max_delay_s: float = 1.0
     #: Client guidance attached to typed shed rejections.
     shed_retry_after_s: float = 0.5
+    #: Disk watermarks, mirroring the queue's hysteresis: ingest is shed
+    #: once free space on the WAL volume drops below
+    #: ``disk_min_free_bytes`` and resumes only after it recovers past
+    #: ``disk_resume_free_bytes`` — a filling disk rejects a *run* of
+    #: batches rather than flapping per block.  0 disables the check.
+    disk_min_free_bytes: int = 0
+    disk_resume_free_bytes: int = 0
+    #: Seconds between background scrub cycles (verify-only walk of the
+    #: WAL store; damage is reported as incidents, never auto-repaired
+    #: under a live daemon).  0 disables the loop.
+    scrub_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.queue_low_watermark < 0:
@@ -78,4 +89,20 @@ class ServiceConfig:
         if self.restart_max_attempts < 1:
             raise ValueError(
                 f"restart_max_attempts must be >= 1, got {self.restart_max_attempts}"
+            )
+        if self.disk_min_free_bytes < 0:
+            raise ValueError(
+                f"disk_min_free_bytes must be >= 0, got {self.disk_min_free_bytes}"
+            )
+        if self.disk_min_free_bytes > 0 and (
+            self.disk_resume_free_bytes <= self.disk_min_free_bytes
+        ):
+            raise ValueError(
+                "disk_resume_free_bytes must be > disk_min_free_bytes, got "
+                f"resume={self.disk_resume_free_bytes} <= "
+                f"min={self.disk_min_free_bytes}"
+            )
+        if self.scrub_interval_s < 0:
+            raise ValueError(
+                f"scrub_interval_s must be >= 0, got {self.scrub_interval_s}"
             )

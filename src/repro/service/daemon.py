@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import shutil
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set
 
@@ -53,6 +54,7 @@ from repro.core.roaming import RoamingLabeler
 from repro.ecosystem import Ecosystem
 from repro.faults.retry import RetryPolicy
 from repro.runtime.checkpoint import BeforeReplace
+from repro.runtime.scrub import scrub_store
 from repro.service.config import ServiceConfig
 from repro.service.health import ServiceHealth
 from repro.service.protocol import parse_batch_rows, report_payload
@@ -218,12 +220,20 @@ class CatalogDaemon:
         seed: int = 0,
         before_replace: BeforeReplace = None,
         on_batch: OnBatch = None,
+        disk_probe: Optional[Callable[[], int]] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._checkpoint_dir = checkpoint_dir
         self._resume = resume
         self._before_replace = before_replace
         self._on_batch = on_batch
+        #: Free bytes on the WAL volume; injectable so tests drive the
+        #: watermarks without filling a real disk.
+        self._disk_probe = disk_probe
+        #: Hysteresis latch for disk shedding, mirroring the queue's:
+        #: set when free space drops below ``disk_min_free_bytes``,
+        #: cleared only past ``disk_resume_free_bytes``.
+        self._disk_shedding = False
         labeler = RoamingLabeler(ecosystem.operators, ecosystem.uk_mno)
         self._builder = CatalogBuilder(
             ecosystem.tac_db, ecosystem.uk_sectors, labeler
@@ -307,6 +317,8 @@ class CatalogDaemon:
         )
         self.supervisor.supervise("drain", self._drain_loop)
         self.supervisor.supervise("snapshot", self._snapshot_loop)
+        if self.config.scrub_interval_s > 0:
+            self.supervisor.supervise("scrub", self._scrub_loop)
         self.health.ready = True
 
     async def stop(self) -> None:
@@ -463,6 +475,15 @@ class CatalogDaemon:
                     pending.service_records,
                 )
             except Exception as exc:
+                if isinstance(exc, OSError):
+                    # A disk-level append failure is a typed storage
+                    # incident, not just a failed batch: the WAL left no
+                    # torn state (save_unit is atomic; a failed journal
+                    # append repairs itself), the batch is never acked,
+                    # and the client re-sends under the same id.
+                    self.health.note_storage_fault(
+                        "write", self._checkpoint_dir, repr(exc)
+                    )
                 if not pending.ack.done():
                     pending.ack.set_exception(exc)
                 raise
@@ -485,6 +506,68 @@ class CatalogDaemon:
                 self.health.note_snapshot_failure(repr(exc))
                 continue
             self.health.note_snapshot(self.wal.next_seq - 1)
+
+    async def _scrub_loop(self) -> None:
+        """Periodic verify-only scrub of the live WAL store.
+
+        Never repairs (the store is hot; a journaled unit observed
+        damaged is a real incident, and the drain loop owns all writes)
+        — damage is surfaced as typed ``scrub-damage`` incidents so
+        operators learn about at-rest rot weeks before a restart's
+        replay would.  Stray temps and a torn journal tail are *not*
+        incidents here: a scrub racing an in-flight append can observe
+        both legitimately.
+        """
+        while True:
+            await asyncio.sleep(self.config.scrub_interval_s)
+            try:
+                report = await asyncio.to_thread(
+                    scrub_store, self._checkpoint_dir
+                )
+            except OSError as exc:
+                self.health.note_storage_fault(
+                    "scrub", self._checkpoint_dir, repr(exc)
+                )
+                continue
+            for unit in report.damaged:
+                self.health.note_scrub_damage(str(unit))
+            self.health.note_scrub(report.n_verified_ok)
+
+    def _disk_free_bytes(self) -> int:
+        if self._disk_probe is not None:
+            return self._disk_probe()
+        return shutil.disk_usage(self._checkpoint_dir).free
+
+    def _check_disk_pressure(self) -> Optional[Dict[str, Any]]:
+        """Typed shed response while the WAL volume is under pressure.
+
+        Mirrors the ingest queue's hysteresis: shedding starts below
+        ``disk_min_free_bytes`` and stops only past
+        ``disk_resume_free_bytes``, with one ``disk-pressure`` incident
+        per episode (each shed batch is still counted individually).
+        """
+        if self.config.disk_min_free_bytes <= 0:
+            return None
+        free = self._disk_free_bytes()
+        if not self._disk_shedding:
+            if free >= self.config.disk_min_free_bytes:
+                return None
+            self._disk_shedding = True
+            self.health.note_disk_pressure(
+                free, self.config.disk_min_free_bytes
+            )
+        elif free >= self.config.disk_resume_free_bytes:
+            self._disk_shedding = False
+            return None
+        return {
+            "status": "shed",
+            "error": (
+                f"WAL volume has {free} free bytes; ingest resumes past "
+                f"{self.config.disk_resume_free_bytes}"
+            ),
+            "retry_after_s": self.config.shed_retry_after_s,
+            "free_bytes": free,
+        }
 
     def _record_restart(self, name: str, attempt: int, error: BaseException) -> None:
         self.health.note_task_restart(name, attempt, repr(error))
@@ -621,6 +704,10 @@ class CatalogDaemon:
         in_flight = self._pending.get(batch_id)
         if in_flight is not None:
             return await self._await_ack(batch_id, in_flight, duplicate=True)
+        pressure = self._check_disk_pressure()
+        if pressure is not None:
+            self.health.note_shed(batch_id, self.config.shed_retry_after_s)
+            return pressure
 
         events, records, report = parse_batch_rows(rows, source=batch_id)
         ack: "asyncio.Future[int]" = asyncio.get_running_loop().create_future()

@@ -19,13 +19,17 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.parallel.health import (
+    DISK_PRESSURE,
     OVERLOAD_SHED,
     QUEUE_SATURATION,
+    SCRUB_DAMAGE,
     SNAPSHOT,
+    STORAGE_FAULT,
     TASK_RESTART,
     TORN_CHECKPOINT,
     RunHealth,
     ShardIncident,
+    StorageIncident,
 )
 
 
@@ -44,6 +48,8 @@ class ServiceHealth:
         self.batches_replayed = 0
         self.snapshots_completed = 0
         self.last_snapshot_seq = -1
+        self.scrubs_completed = 0
+        self.last_scrub_verified_ok = -1
         self.ready = False
         self.shutting_down = False
 
@@ -73,6 +79,31 @@ class ServiceHealth:
     def note_torn_wal(self, detail: str) -> None:
         self._record(TORN_CHECKPOINT, detail)
 
+    # -- storage incidents (StorageIncident kinds) ----------------------------
+
+    def note_storage_fault(self, op: str, path: str, detail: str) -> None:
+        self.run_health.record_storage(
+            StorageIncident(kind=STORAGE_FAULT, op=op, path=path, detail=detail)
+        )
+
+    def note_disk_pressure(self, free_bytes: int, min_free_bytes: int) -> None:
+        """One incident per shedding episode (hysteresis, not per batch)."""
+        self.run_health.record_storage(
+            StorageIncident(
+                kind=DISK_PRESSURE,
+                op="write",
+                detail=(
+                    f"free {free_bytes} bytes below watermark "
+                    f"{min_free_bytes}; shedding ingest"
+                ),
+            )
+        )
+
+    def note_scrub_damage(self, detail: str) -> None:
+        self.run_health.record_storage(
+            StorageIncident(kind=SCRUB_DAMAGE, op="scrub", detail=detail)
+        )
+
     # -- gauges ---------------------------------------------------------------
 
     def note_ack(self, n_rows: int) -> None:
@@ -82,6 +113,10 @@ class ServiceHealth:
     def note_snapshot(self, seq: int) -> None:
         self.snapshots_completed += 1
         self.last_snapshot_seq = seq
+
+    def note_scrub(self, n_verified_ok: int) -> None:
+        self.scrubs_completed += 1
+        self.last_scrub_verified_ok = n_verified_ok
 
     @property
     def queue_depth(self) -> int:
@@ -105,7 +140,12 @@ class ServiceHealth:
             "task_restarts": rh.task_restarts,
             "snapshot_failures": rh.snapshots,
             "torn_checkpoints": rh.torn_checkpoints,
-            "n_incidents": len(rh.incidents),
+            "storage_faults": rh.storage_faults,
+            "disk_pressure_events": rh.disk_pressure_events,
+            "scrub_damage_events": rh.scrub_damage_events,
+            "scrubs_completed": self.scrubs_completed,
+            "last_scrub_verified_ok": self.last_scrub_verified_ok,
+            "n_incidents": len(rh.incidents) + len(rh.storage_incidents),
             "summary": rh.summary(),
         }
 

@@ -1,0 +1,144 @@
+"""FsFaultPlan/FsFaultInjector: budgets, matching, determinism, env."""
+
+import os
+
+import pytest
+
+from repro.faults.fsfault import (
+    BIT_ROT,
+    EIO_READ,
+    ENOSPC,
+    FAULT_KINDS,
+    FSFAULT_PLAN_ENV,
+    FSYNC_FAIL,
+    RENAME_FAIL,
+    SHORT_WRITE,
+    FsFault,
+    FsFaultInjector,
+    FsFaultPlan,
+    active,
+    install,
+)
+
+
+def test_plan_json_round_trip():
+    plan = FsFaultPlan(
+        seed=7,
+        faults=(
+            FsFault(ENOSPC, match="journal", times=2),
+            FsFault(BIT_ROT, match="day_001", flips=5),
+        ),
+    )
+    assert FsFaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_unknown_kind_and_zero_budget_rejected():
+    with pytest.raises(ValueError, match="unknown fsfault kind"):
+        FsFault("sparks")
+    with pytest.raises(ValueError, match="nonzero"):
+        FsFault(ENOSPC, times=0)
+    with pytest.raises(ValueError, match="flips"):
+        FsFault(BIT_ROT, flips=0)
+
+
+def test_write_fault_budget_is_consumed():
+    injector = FsFaultInjector(FsFaultPlan(faults=(FsFault(ENOSPC, times=2),)))
+    assert injector.write_fault("a/unit.ckpt") is not None
+    assert injector.write_fault("a/unit.ckpt") is not None
+    assert injector.write_fault("a/unit.ckpt") is None
+    assert injector.n_fired == 2
+
+
+def test_persistent_fault_never_exhausts():
+    injector = FsFaultInjector(FsFaultPlan(faults=(FsFault(ENOSPC, times=-1),)))
+    for _ in range(10):
+        assert injector.write_fault("x") is not None
+    assert injector.n_fired == 10
+
+
+def test_match_filters_by_path_substring():
+    injector = FsFaultInjector(
+        FsFaultPlan(faults=(FsFault(ENOSPC, match="day_003.shard_001", times=-1),))
+    )
+    assert injector.write_fault("store/units/day_002.shard_001.ckpt.tmp") is None
+    assert injector.write_fault("store/units/day_003.shard_001.ckpt.tmp") is not None
+
+
+def test_read_fsync_rename_probes_raise_typed_oserror():
+    injector = FsFaultInjector(
+        FsFaultPlan(
+            faults=(
+                FsFault(EIO_READ),
+                FsFault(FSYNC_FAIL),
+                FsFault(RENAME_FAIL),
+            )
+        )
+    )
+    with pytest.raises(OSError) as excinfo:
+        injector.read_fault("unit.ckpt")
+    assert "injected eio-read" in str(excinfo.value)
+    with pytest.raises(OSError):
+        injector.fsync_fault("journal.jsonl")
+    with pytest.raises(OSError):
+        injector.rename_fault("unit.ckpt")
+    # write-kind probes never consult the read/fsync/rename budgets.
+    assert injector.write_fault("unit.ckpt") is None
+
+
+def test_enospc_error_carries_errno():
+    injector = FsFaultInjector(FsFaultPlan(faults=(FsFault(ENOSPC),)))
+    fault = injector.write_fault("f")
+    assert fault is not None and fault.kind == ENOSPC
+
+
+def test_rot_is_deterministic_per_plan_and_file():
+    data = bytes(range(256)) * 4
+    fault = FsFault(BIT_ROT, flips=4)
+    one = FsFaultInjector(FsFaultPlan(seed=3, faults=(fault,)))
+    two = FsFaultInjector(FsFaultPlan(seed=3, faults=(fault,)))
+    other_seed = FsFaultInjector(FsFaultPlan(seed=4, faults=(fault,)))
+    assert one.rot("a.ckpt", data, fault) == two.rot("a.ckpt", data, fault)
+    assert one.rot("a.ckpt", data, fault) != data
+    assert one.rot("a.ckpt", data, fault) != one.rot("b.ckpt", data, fault)
+    assert one.rot("a.ckpt", data, fault) != other_seed.rot("a.ckpt", data, fault)
+
+
+def test_rot_spares_the_frame_header():
+    data = bytes(200)
+    fault = FsFault(BIT_ROT, flips=8)
+    injector = FsFaultInjector(FsFaultPlan(seed=0, faults=(fault,)))
+    rotted = injector.rot("unit.ckpt", data, fault)
+    assert rotted[:20] == data[:20]
+    assert rotted != data
+
+
+def test_install_is_scoped_and_restores_previous():
+    assert active() is None
+    plan = FsFaultPlan(faults=(FsFault(ENOSPC),))
+    with install(plan) as outer:
+        assert active() is outer
+        with install(FsFaultPlan(faults=(FsFault(EIO_READ),))) as inner:
+            assert active() is inner
+        assert active() is outer
+    assert active() is None
+
+
+def test_env_plan_activates_and_caches_budgets(monkeypatch):
+    plan = FsFaultPlan(seed=1, faults=(FsFault(ENOSPC, times=1),))
+    monkeypatch.setenv(FSFAULT_PLAN_ENV, plan.to_json())
+    injector = active()
+    assert injector is not None
+    assert injector.write_fault("x") is not None
+    # The same injector (and its spent budget) persists across calls.
+    assert active() is injector
+    assert active().write_fault("x") is None
+    monkeypatch.delenv(FSFAULT_PLAN_ENV)
+    assert active() is None
+
+
+def test_every_kind_is_in_the_catalog():
+    assert set(FAULT_KINDS) == {
+        "enospc", "eio-write", "eio-read", "fsync-fail",
+        "short-write", "bit-rot", "rename-fail",
+    }
+    assert SHORT_WRITE in FAULT_KINDS

@@ -1,0 +1,22 @@
+"""Fixture: storage I/O bypassing the fault-aware fsio seam (FS001)."""
+
+import os
+from pathlib import Path
+
+
+def persist_blob(path, data):
+    with open(path, "wb") as handle:
+        handle.write(data)
+        os.fsync(handle.fileno())
+
+
+def persist_fd(fd, data):
+    os.write(fd, data)
+
+
+def publish(tmp, target):
+    os.replace(tmp, target)
+
+
+def stamp(path):
+    Path(path).write_text("done", encoding="utf-8")

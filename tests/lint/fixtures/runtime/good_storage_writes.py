@@ -1,0 +1,22 @@
+"""Fixture: storage I/O routed through the fsio seam (FS001-clean)."""
+
+from repro.runtime import fsio
+
+
+def persist_blob(path, data):
+    return fsio.write_file_bytes(path, data)
+
+
+def publish(tmp, target):
+    fsio.replace_file(tmp, target)
+    fsio.fsync_dir(target.parent)
+
+
+def load(path):
+    return fsio.read_file_bytes(path)
+
+
+def read_config(path):
+    # Read-only open stays out of scope: a raw read cannot tear state.
+    with open(path) as handle:
+        return handle.read()

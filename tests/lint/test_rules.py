@@ -32,9 +32,10 @@ BAD_FIXTURES = {
     "det/bad_float_accumulation.py": {"DET003": 3},
     "seam/bad_seam_capture.py": {"SEAM001": 3},
     "seam/bad_worker_global.py": {"SEAM002": 2},
-    "service/bad_async_hygiene.py": {"SVC001": 7},
+    "service/bad_async_hygiene.py": {"SVC001": 7, "FS001": 1},
     "transport/bad_row_payload.py": {"PERF003": 3},
     "runtime/bad_row_replay.py": {"PERF004": 3},
+    "runtime/bad_unrouted_writes.py": {"FS001": 5},
 }
 
 GOOD_FIXTURES = [
@@ -59,6 +60,7 @@ GOOD_FIXTURES = [
     "service/good_async_hygiene.py",
     "transport/good_columnar_payload.py",
     "runtime/good_columnar_replay.py",
+    "runtime/good_storage_writes.py",
 ]
 
 

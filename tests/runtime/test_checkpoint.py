@@ -150,3 +150,35 @@ def test_stray_temp_files_cleaned_on_open(tmp_path):
     store = CheckpointStore(tmp_path, FP, n_shards=1, resume=True)
     assert not stray.exists()
     store.close()
+
+
+def test_adopt_unit_rename_failure_unlinks_staged_tmp(tmp_path):
+    from repro.faults.fsfault import RENAME_FAIL, FsFault, FsFaultPlan, install
+
+    with CheckpointStore(tmp_path, FP, n_shards=1) as store:
+        staged = store.unit_path(0, 0).with_name("day_000.shard_000.ckpt.tmp")
+        staged.write_bytes(b"worker-written block")
+        with install(FsFaultPlan(faults=(FsFault(RENAME_FAIL),))):
+            with pytest.raises(OSError):
+                store.adopt_unit(0, 0, staged)
+        # The failed adoption strands neither the staged temp nor a
+        # half-published target.
+        assert not staged.exists()
+        assert not store.unit_path(0, 0).exists()
+        # A retried adoption from re-staged bytes then succeeds.
+        staged.write_bytes(b"worker-written block")
+        store.adopt_unit(0, 0, staged)
+        assert store.load_unit(0, 0) == b"worker-written block"
+
+
+def test_save_unit_write_fault_leaves_no_torn_state(tmp_path):
+    from repro.faults.fsfault import ENOSPC, FsFault, FsFaultPlan, install
+
+    with CheckpointStore(tmp_path, FP, n_shards=1) as store:
+        with install(FsFaultPlan(faults=(FsFault(ENOSPC),))):
+            with pytest.raises(OSError):
+                store.save_unit(0, 0, b"payload")
+        assert not store.unit_path(0, 0).exists()
+        assert list(tmp_path.rglob("*.tmp")) == []
+        store.save_unit(0, 0, b"payload")
+        assert store.load_unit(0, 0) == b"payload"

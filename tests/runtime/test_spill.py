@@ -319,3 +319,41 @@ def test_stale_spill_staging_swept_on_resume(
     assert_same_result(result, plain_result)
     assert not stray.exists()
     assert _no_stale_spill_files(tmp_path)
+
+
+def test_replay_window_attach_read_eio_leaks_no_reader(unit_file):
+    from repro.faults.fsfault import EIO_READ, FsFault, FsFaultPlan, install
+
+    path, day, blob = unit_file
+    window = ReplayWindow(max_resident_shards=4)
+    before = open_reader_count()
+    plan = FsFaultPlan(faults=(FsFault(EIO_READ, match=path.name, times=-1),))
+    with install(plan):
+        with pytest.raises(CheckpointCorruption) as excinfo:
+            window.attach(path, day, 0)
+    # The injected device error is contained as a named-unit corruption
+    # (both the mmap probe and the streamed fallback hit the seam) and
+    # the window tracks nothing for the failed unit.
+    assert f"day={day}" in str(excinfo.value)
+    assert window.resident_shards == 0
+    assert open_reader_count() == before
+    # The fault was transient: the very next attach succeeds.
+    events, records, _ = window.attach(path, day, 0)
+    expected_events, expected_records, _ = unpack_day_block(blob)
+    assert events.to_rows() == expected_events.to_rows()
+    assert records.to_rows() == expected_records.to_rows()
+    window.close()
+    assert open_reader_count() == before
+
+
+def test_replay_window_attach_bit_rot_leaks_no_reader(unit_file):
+    path, day, blob = unit_file
+    damaged = bytearray(blob)
+    damaged[-25] ^= 0xFF
+    path.write_bytes(bytes(damaged))
+    window = ReplayWindow(max_resident_shards=4)
+    before = open_reader_count()
+    with pytest.raises(CheckpointCorruption):
+        window.attach(path, day, 0)
+    assert window.resident_shards == 0
+    assert open_reader_count() == before

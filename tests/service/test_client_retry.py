@@ -1,0 +1,118 @@
+"""Client transport hardening: a daemon killed mid-ack is retryable.
+
+A SIGKILLed (or crashed) daemon leaves its client in one of three
+states, scripted here by a stub socket server: the ack line arrives
+*torn* (truncated JSON), the connection closes with no ack at all, or
+the socket resets (``ECONNRESET``).  All three must surface as
+:class:`ServiceUnavailable` — never ``JSONDecodeError`` or a bare
+``OSError`` — because that is the exception class
+:meth:`CatalogClient.ingest_with_retry` treats as transient: the batch
+id never changes across re-sends, so the daemon's dedupe makes the
+retry safe whether or not the dying daemon got the batch durable.
+"""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.faults.retry import RetryError, RetryPolicy
+from repro.service.client import CatalogClient, ServiceUnavailable
+
+ACK = json.dumps({"status": "ok", "seq": 0}).encode("utf-8") + b"\n"
+
+
+class StubDaemon:
+    """One scripted behavior per accepted connection, in order."""
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.n_served = 0
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while self.behaviors:
+            conn, _ = self._listener.accept()
+            behavior = self.behaviors.pop(0)
+            self.n_served += 1
+            with conn.makefile("rb") as reader:
+                reader.readline()  # the request the client just sent
+            if behavior == "torn":
+                conn.sendall(b'{"status": "o')  # killed mid-ack
+            elif behavior == "reset":
+                # RST on close instead of FIN: the client sees ECONNRESET.
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            elif behavior == "ok":
+                conn.sendall(ACK)
+            conn.close()
+
+    def close(self):
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture
+def stub(request):
+    servers = []
+
+    def make(behaviors):
+        server = StubDaemon(behaviors)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def client_for(server):
+    return CatalogClient(
+        "127.0.0.1", server.port, timeout_s=5.0, sleep=lambda s: None
+    )
+
+
+def test_torn_ack_is_service_unavailable(stub):
+    server = stub(["torn"])
+    with pytest.raises(ServiceUnavailable, match="torn response"):
+        client_for(server).ingest("batch-0", [])
+
+
+def test_close_without_ack_is_service_unavailable(stub):
+    server = stub(["close"])
+    with pytest.raises(ServiceUnavailable, match="closed the connection"):
+        client_for(server).ingest("batch-0", [])
+
+
+def test_reset_mid_ack_is_service_unavailable(stub):
+    server = stub(["reset"])
+    with pytest.raises(ServiceUnavailable):
+        client_for(server).ingest("batch-0", [])
+
+
+def test_ingest_with_retry_rides_through_a_dying_daemon(stub):
+    server = stub(["torn", "reset", "close", "ok"])
+    response = client_for(server).ingest_with_retry(
+        "batch-0", [], policy=RetryPolicy(base_delay_s=0.001, max_attempts=8)
+    )
+    assert response["status"] == "ok"
+    assert server.n_served == 4  # one connection per attempt, same batch id
+
+
+def test_ingest_with_retry_exhausts_into_retry_error(stub):
+    server = stub(["torn", "torn", "torn"])
+    with pytest.raises(RetryError):
+        client_for(server).ingest_with_retry(
+            "batch-0", [], policy=RetryPolicy(base_delay_s=0.001, max_attempts=3)
+        )
+    assert server.n_served == 3
